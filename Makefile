@@ -1,0 +1,28 @@
+.PHONY: all build test bench examples quickbench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# full evaluation harness (all tables/figures/ablations + bechamel)
+bench:
+	dune exec bench/main.exe
+
+# CI-sized benchmark pass
+quickbench:
+	dune exec bench/main.exe -- --quick --no-bechamel
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/crm.exe
+	dune exec examples/citations.exe
+	dune exec examples/tpch_demo.exe
+	dune exec examples/dedup.exe
+	dune exec examples/aggregates.exe
+
+clean:
+	dune clean
