@@ -1,0 +1,578 @@
+(* The conquer command-line tool.
+
+   Subcommands:
+     query      run a query over dirty CSV tables and print clean answers
+     rewrite    print RewriteClean(q) or the rewritability violations
+     why        per-answer provenance: which duplicates contribute how much
+     expected   expected aggregates (SUM/COUNT/AVG as expectations)
+     dist       exact distribution of a qualifying-entity count
+     sample     Monte-Carlo clean answers for non-rewritable queries
+     match      cluster duplicate records (sorted-neighborhood)
+     assign     compute tuple probabilities for a clustered CSV (Figure 5)
+     generate   emit a dirty TPC-H-style database as CSV files
+     demo       walk through the paper's running example
+
+   '--verbose' anywhere turns on debug logging (plans, rewritten SQL). *)
+
+module Value = Dirty.Value
+module Relation = Dirty.Relation
+module Schema = Dirty.Schema
+module Dirty_db = Dirty.Dirty_db
+module Csv = Dirty.Csv
+
+open Cmdliner
+
+(* ---- table specifications: name=path[:id=ATTR][:prob=ATTR] ---- *)
+
+type table_arg = {
+  t_name : string;
+  path : string;
+  id : string;
+  prob : string option;  (* absent: assign probabilities on load *)
+}
+
+let parse_table_arg s =
+  match String.split_on_char '=' s with
+  | t_name :: rest when rest <> [] ->
+    let rest = String.concat "=" rest in
+    let segments = String.split_on_char ':' rest in
+    (match segments with
+    | path :: options ->
+      let id = ref "id" and prob = ref None in
+      let ok =
+        List.for_all
+          (fun opt ->
+            match String.index_opt opt '=' with
+            | Some i ->
+              let key = String.sub opt 0 i
+              and v = String.sub opt (i + 1) (String.length opt - i - 1) in
+              (match key with
+              | "id" ->
+                id := v;
+                true
+              | "prob" ->
+                prob := Some v;
+                true
+              | _ -> false)
+            | None -> false)
+          options
+      in
+      if ok then Ok { t_name; path; id = !id; prob = !prob }
+      else Error (`Msg (Printf.sprintf "bad table option in %S" s))
+    | [] -> Error (`Msg (Printf.sprintf "bad table spec %S" s)))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "bad table spec %S (expected name=path.csv[:id=attr][:prob=attr])" s))
+
+let table_conv =
+  Arg.conv
+    ( parse_table_arg,
+      fun fmt t -> Format.fprintf fmt "%s=%s:id=%s" t.t_name t.path t.id )
+
+let load_table (t : table_arg) =
+  let rel = Csv.load_file t.path in
+  match t.prob with
+  | Some prob_attr ->
+    Dirty_db.make_table ~name:t.t_name ~id_attr:t.id ~prob_attr rel
+  | None ->
+    (* append a prob column and compute it from the clustering *)
+    let schema = Relation.schema rel in
+    let schema' = Schema.append schema (Schema.make [ ("prob", Value.TFloat) ]) in
+    let rel' =
+      Relation.map_rows schema'
+        (fun row -> Array.append row [| Value.Float 1.0 |])
+        rel
+    in
+    let table =
+      Dirty_db.make_table ~validate:false ~name:t.t_name ~id_attr:t.id
+        ~prob_attr:"prob" rel'
+    in
+    let attrs =
+      List.filter
+        (fun n -> n <> t.id && n <> "prob")
+        (Schema.names schema')
+    in
+    Prob.Assign.annotate_table ~attrs table
+
+let load_db tables =
+  List.fold_left
+    (fun db t -> Dirty_db.add_table db (load_table t))
+    Dirty_db.empty tables
+
+let tables_arg =
+  let doc =
+    "Dirty table as NAME=PATH.csv[:id=ATTR][:prob=ATTR]. The id attribute \
+     (default 'id') holds the cluster identifier. Without a prob attribute, \
+     probabilities are computed from the clustering (Figure 5 of the paper)."
+  in
+  Arg.(value & opt_all table_conv [] & info [ "t"; "table" ] ~docv:"TABLE" ~doc)
+
+let dir_arg =
+  let doc =
+    "Load a dirty database saved as a directory (manifest.csv plus one CSV \
+     per table, as written by 'conquer generate --save-db' or \
+     Dirty.Store.save)."
+  in
+  Arg.(value & opt (some dir) None & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+
+let resolve_db tables dir =
+  match tables, dir with
+  | [], None ->
+    prerr_endline "specify dirty tables with --table or a database with --dir";
+    exit 1
+  | [], Some d -> Dirty.Store.load d
+  | ts, None -> load_db ts
+  | ts, Some d ->
+    List.fold_left (fun db t -> Dirty_db.add_table db (load_table t))
+      (Dirty.Store.load d) ts
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+(* ---- query ---- *)
+
+type mode = Rewritten | Original | Oracle | Consistent
+
+let mode_conv =
+  Arg.enum
+    [
+      ("rewritten", Rewritten); ("original", Original); ("oracle", Oracle);
+      ("consistent", Consistent);
+    ]
+
+let query_cmd =
+  let run tables dir sql mode explain max_rows =
+    let db = resolve_db tables dir in
+    (match Dirty_db.validate db with
+    | [] -> ()
+    | problems ->
+      List.iter prerr_endline problems;
+      exit 1);
+    let session = Conquer.Clean.create db in
+    if explain then
+      print_endline (Engine.Database.explain (Conquer.Clean.engine session) sql);
+    let result =
+      match mode with
+      | Rewritten -> Conquer.Clean.answers session sql
+      | Original -> Conquer.Clean.original session sql
+      | Oracle -> Conquer.Clean.answers_oracle session sql
+      | Consistent -> Conquer.Clean.consistent_answers session sql
+    in
+    print_string (Relation.to_string ~max_rows result);
+    Printf.printf "(%d rows)\n" (Relation.cardinality result)
+  in
+  let mode =
+    Arg.(
+      value & opt mode_conv Rewritten
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:
+            "One of 'rewritten' (clean answers via RewriteClean), 'original' \
+             (the query as-is on the dirty data), 'oracle' (possible-worlds \
+             enumeration; exponential), or 'consistent' (probability-1 \
+             answers).")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print the execution plan.")
+  in
+  let max_rows =
+    Arg.(value & opt int 50 & info [ "max-rows" ] ~doc:"Rows to display.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a query over dirty tables and print clean answers")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg $ mode $ explain $ max_rows)
+
+(* ---- rewrite ---- *)
+
+let rewrite_cmd =
+  let run tables dir sql =
+    let db = resolve_db tables dir in
+    let session = Conquer.Clean.create ~index_identifiers:false db in
+    match Conquer.Clean.rewrite session sql with
+    | Ok text -> print_endline text
+    | Error violations ->
+      prerr_endline "query is not in the rewritable class (Dfn 7):";
+      List.iter
+        (fun v ->
+          prerr_endline ("  - " ^ Conquer.Rewritable.violation_to_string v))
+        violations;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Print RewriteClean(q), or the reasons the query is not rewritable")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg)
+
+(* ---- provenance ---- *)
+
+let why_cmd =
+  let run tables dir sql limit =
+    let db = resolve_db tables dir in
+    let session = Conquer.Clean.create db in
+    match Conquer.Provenance.explain session sql with
+    | explanations ->
+      List.iteri
+        (fun i e ->
+          if i < limit then
+            Format.printf "%a" Conquer.Provenance.pp_explanation e)
+        explanations;
+      if List.length explanations > limit then
+        Printf.printf "... (%d answers total)\n" (List.length explanations)
+    | exception Conquer.Rewrite.Not_rewritable vs ->
+      prerr_endline "query is not in the rewritable class (Dfn 7):";
+      List.iter
+        (fun v -> prerr_endline ("  - " ^ Conquer.Rewritable.violation_to_string v))
+        vs;
+      exit 1
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Answers to explain.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain clean answers: which combinations of duplicates \
+          contribute how much probability")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg $ limit)
+
+(* ---- expected aggregates ---- *)
+
+let expected_cmd =
+  let run tables dir sql =
+    let db = resolve_db tables dir in
+    let session = Conquer.Clean.create db in
+    match Conquer.Expected.answers session sql with
+    | result ->
+      print_string (Relation.to_string result);
+      Printf.printf "(%d rows)\n" (Relation.cardinality result)
+    | exception Conquer.Expected.Not_supported vs ->
+      prerr_endline "query outside the expected-aggregate class:";
+      List.iter
+        (fun v -> prerr_endline ("  - " ^ Conquer.Expected.violation_to_string v))
+        vs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "expected"
+       ~doc:
+         "Expected aggregates over dirty data (SUM/COUNT/AVG rewritten to \
+          expectations)")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg)
+
+(* ---- sampling ---- *)
+
+let sample_cmd =
+  let run tables dir sql samples seed =
+    let db = resolve_db tables dir in
+    let session = Conquer.Clean.create db in
+    let result = Conquer.Sampler.answers ~seed ~samples session sql in
+    print_string (Relation.to_string result);
+    Printf.printf "(%d answers from %d sampled candidate databases)\n"
+      (Relation.cardinality result) samples
+  in
+  let samples =
+    Arg.(value & opt int 1000 & info [ "n"; "samples" ] ~doc:"Sample count.")
+  in
+  let seed = Arg.(value & opt int 0x5eed & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Monte-Carlo clean answers (works for queries outside the \
+          rewritable class)")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg $ samples $ seed)
+
+(* ---- count distribution ---- *)
+
+let dist_cmd =
+  let run tables dir sql =
+    let db = resolve_db tables dir in
+    let session = Conquer.Clean.create db in
+    match Conquer.Distribution.count_distribution session sql with
+    | pmf ->
+      Printf.printf "%-8s %12s\n" "count" "probability";
+      Array.iteri
+        (fun k p -> if p > 1e-9 then Printf.printf "%-8d %12.6f\n" k p)
+        pmf;
+      Printf.printf
+        "mean %.4f, variance %.4f, std dev %.4f\n"
+        (Conquer.Distribution.mean pmf)
+        (Conquer.Distribution.variance pmf)
+        (Float.sqrt (Conquer.Distribution.variance pmf))
+    | exception Conquer.Distribution.Not_supported vs ->
+      prerr_endline "query outside the count-distribution class:";
+      List.iter
+        (fun v ->
+          prerr_endline ("  - " ^ Conquer.Distribution.violation_to_string v))
+        vs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "dist"
+       ~doc:
+         "Exact distribution of the number of entities satisfying a \
+          single-relation predicate")
+    Term.(const run $ tables_arg $ dir_arg $ sql_arg)
+
+(* ---- tuple matching ---- *)
+
+let match_cmd =
+  let run input output keys window threshold attrs out_id =
+    let rel = Csv.load_file input in
+    let all_attrs = Schema.names (Relation.schema rel) in
+    let compare_attrs = if attrs = [] then all_attrs else attrs in
+    let passes =
+      match keys with
+      | [] -> [ Matcher.Sorted_neighborhood.pass [ List.hd all_attrs ] ]
+      | ks -> List.map (fun k -> Matcher.Sorted_neighborhood.pass [ k ]) ks
+    in
+    let config =
+      { Matcher.Sorted_neighborhood.passes; window; threshold; attrs = compare_attrs }
+    in
+    let clustering = Matcher.Sorted_neighborhood.run config rel in
+    Printf.eprintf "%d records -> %d entities\n%!" (Relation.cardinality rel)
+      (Dirty.Cluster.num_clusters clustering);
+    let schema' =
+      Schema.append (Relation.schema rel)
+        (Schema.make [ (out_id, Value.TInt) ])
+    in
+    let counter = ref (-1) in
+    let rel' =
+      Relation.map_rows schema'
+        (fun row ->
+          incr counter;
+          Array.append row [| Dirty.Cluster.cluster_of_row clustering !counter |])
+        rel
+    in
+    match output with
+    | Some path -> Csv.write_file path rel'
+    | None -> print_string (Relation.to_string ~max_rows:max_int rel')
+  in
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.csv" ~doc:"Raw CSV.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUTPUT.csv" ~doc:"Output path (default: stdout).")
+  in
+  let keys =
+    Arg.(
+      value & opt_all string []
+      & info [ "k"; "key" ] ~docv:"ATTR"
+          ~doc:"Blocking-key attribute (repeatable; one sorted-neighborhood \
+                pass per key).")
+  in
+  let window =
+    Arg.(value & opt int 8 & info [ "w"; "window" ] ~doc:"Sliding-window size.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.75
+      & info [ "threshold" ] ~doc:"Record-similarity merge threshold in [0,1].")
+  in
+  let attrs =
+    Arg.(
+      value & opt_all string []
+      & info [ "a"; "attr" ] ~docv:"ATTR"
+          ~doc:"Attribute compared by the similarity (repeatable; default: all).")
+  in
+  let out_id =
+    Arg.(
+      value & opt string "id"
+      & info [ "id-attr" ] ~doc:"Name of the appended cluster-identifier column.")
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Cluster duplicate records (sorted-neighborhood merge/purge)")
+    Term.(
+      const run $ input $ output $ keys $ window $ threshold $ attrs $ out_id)
+
+(* ---- assign ---- *)
+
+let assign_cmd =
+  let run input output id_attr distance =
+    let rel = Csv.load_file input in
+    let clustering = Dirty.Cluster.of_relation rel ~id_attr in
+    let attrs =
+      List.filter (fun n -> n <> id_attr) (Schema.names (Relation.schema rel))
+    in
+    let dist =
+      match distance with
+      | "info-loss" -> Prob.Assign.Information_loss
+      | "edit" -> Prob.Assign.Edit_distance
+      | other ->
+        Printf.eprintf "unknown distance %s (info-loss or edit)\n" other;
+        exit 1
+    in
+    let probs = Prob.Assign.assign ~distance:dist ~attrs rel clustering in
+    let schema' =
+      Schema.append (Relation.schema rel) (Schema.make [ ("prob", Value.TFloat) ])
+    in
+    let counter = ref (-1) in
+    let rel' =
+      Relation.map_rows schema'
+        (fun row ->
+          incr counter;
+          Array.append row [| Value.Float probs.(!counter) |])
+        rel
+    in
+    (match output with
+    | Some path -> Csv.write_file path rel'
+    | None -> print_string (Relation.to_string ~max_rows:max_int rel'))
+  in
+  let input =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"INPUT.csv"
+        ~doc:"Clustered CSV input.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUTPUT.csv" ~doc:"Output path (default: stdout).")
+  in
+  let id_attr =
+    Arg.(
+      value & opt string "id" & info [ "id-attr" ] ~docv:"ATTR"
+        ~doc:"Cluster identifier attribute.")
+  in
+  let distance =
+    Arg.(
+      value & opt string "info-loss"
+      & info [ "distance" ] ~docv:"D" ~doc:"'info-loss' (default) or 'edit'.")
+  in
+  Cmd.v
+    (Cmd.info "assign"
+       ~doc:"Compute tuple probabilities for a clustered CSV (Figure 5)")
+    Term.(const run $ input $ output $ id_attr $ distance)
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let run outdir sf inconsistency seed assign =
+    let config = { Tpch.Datagen.default with sf; inconsistency; seed } in
+    let db = Tpch.Datagen.generate config in
+    let db = if assign then Tpch.Datagen.assign_probabilities db else db in
+    Dirty.Store.save outdir db;
+    List.iter
+      (fun (t : Dirty_db.table) ->
+        Printf.printf "%s: %d rows\n"
+          (Filename.concat outdir (t.name ^ ".csv"))
+          (Relation.cardinality t.relation))
+      (Dirty_db.tables db);
+    Printf.printf "%s written; reload with --dir %s\n"
+      (Filename.concat outdir "manifest.csv")
+      outdir
+  in
+  let outdir =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"DIR"
+        ~doc:"Output directory.")
+  in
+  let sf =
+    Arg.(
+      value & opt float 0.1 & info [ "sf" ] ~doc:"Scaling factor (database size).")
+  in
+  let inconsistency =
+    Arg.(
+      value & opt int 3
+      & info [ "if" ] ~doc:"Inconsistency factor (mean tuples per cluster).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let assign =
+    Arg.(
+      value & flag
+      & info [ "assign" ]
+          ~doc:"Recompute probabilities with the Section 4 procedure instead \
+                of the uniform default.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a dirty TPC-H-style database as CSV files")
+    Term.(const run $ outdir $ sf $ inconsistency $ seed $ assign)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let run () =
+    let v_s s = Value.String s
+    and v_i i = Value.Int i
+    and v_f f = Value.Float f in
+    let orders =
+      Relation.create
+        (Schema.make
+           [
+             ("id", Value.TString); ("orderid", Value.TInt);
+             ("custfk", Value.TString); ("cidfk", Value.TString);
+             ("quantity", Value.TInt); ("prob", Value.TFloat);
+           ])
+        [
+          [| v_s "o1"; v_i 11; v_s "m1"; v_s "c1"; v_i 3; v_f 1.0 |];
+          [| v_s "o2"; v_i 12; v_s "m2"; v_s "c1"; v_i 2; v_f 0.5 |];
+          [| v_s "o2"; v_i 13; v_s "m3"; v_s "c2"; v_i 5; v_f 0.5 |];
+        ]
+    in
+    let customer =
+      Relation.create
+        (Schema.make
+           [
+             ("id", Value.TString); ("custid", Value.TString);
+             ("name", Value.TString); ("balance", Value.TInt);
+             ("prob", Value.TFloat);
+           ])
+        [
+          [| v_s "c1"; v_s "m1"; v_s "John"; v_i 20_000; v_f 0.7 |];
+          [| v_s "c1"; v_s "m2"; v_s "John"; v_i 30_000; v_f 0.3 |];
+          [| v_s "c2"; v_s "m3"; v_s "Mary"; v_i 27_000; v_f 0.2 |];
+          [| v_s "c2"; v_s "m4"; v_s "Marion"; v_i 5_000; v_f 0.8 |];
+        ]
+    in
+    let db =
+      Dirty_db.add_table
+        (Dirty_db.add_table Dirty_db.empty
+           (Dirty_db.make_table ~name:"orders" ~id_attr:"id" ~prob_attr:"prob"
+              orders))
+        (Dirty_db.make_table ~name:"customer" ~id_attr:"id" ~prob_attr:"prob"
+           customer)
+    in
+    let s = Conquer.Clean.create db in
+    print_endline "The dirty database of Figure 2:";
+    List.iter
+      (fun (t : Dirty_db.table) ->
+        Printf.printf "%s:\n%s" t.name (Relation.to_string t.relation))
+      (Dirty_db.tables db);
+    let sql =
+      "select o.id, c.id from orders o, customer c \
+       where o.cidfk = c.id and c.balance > 10000"
+    in
+    Printf.printf "\nQuery: %s\n" sql;
+    (match Conquer.Clean.rewrite s sql with
+    | Ok text -> Printf.printf "\nRewriteClean output:\n%s\n" text
+    | Error _ -> ());
+    Printf.printf "\nClean answers:\n%s" (Relation.to_string (Conquer.Clean.answers s sql))
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk through the paper's running example")
+    Term.(const run $ const ())
+
+let () =
+  (* --verbose anywhere on the command line turns on debug logging
+     (planner plans, rewritten queries) *)
+  if Array.exists (fun a -> a = "--verbose") Sys.argv then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let info =
+    Cmd.info "conquer" ~version:"1.0.0"
+      ~doc:"Clean answers over dirty databases (ConQuer, ICDE 2006)"
+  in
+  let argv =
+    Array.of_list (List.filter (fun a -> a <> "--verbose") (Array.to_list Sys.argv))
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [
+            query_cmd; rewrite_cmd; why_cmd; expected_cmd; dist_cmd; sample_cmd; match_cmd;
+            assign_cmd; generate_cmd; demo_cmd;
+          ]))

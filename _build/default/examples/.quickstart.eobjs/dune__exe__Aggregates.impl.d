@@ -1,0 +1,1 @@
+examples/aggregates.ml: Array Conquer Dirty Float List Printf

@@ -1,0 +1,1 @@
+examples/citations.ml: Dirty List Printf Tpch

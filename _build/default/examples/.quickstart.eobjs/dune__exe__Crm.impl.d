@@ -1,0 +1,1 @@
+examples/crm.ml: Array Conquer Dirty Engine Fun List Option Printf Prob

@@ -1,0 +1,1 @@
+examples/dedup.ml: Array Conquer Dirty Format Matcher Printf Prob

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conquer Dirty Fun List Printf

@@ -1,0 +1,1 @@
+examples/tpch_demo.ml: Conquer Dirty List Printf Tpch Unix

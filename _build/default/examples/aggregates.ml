@@ -1,0 +1,109 @@
+(* Probabilistic aggregates over dirty data — the extension layer.
+
+   Run with:  dune exec examples/aggregates.exe
+
+   Three levels of aggregate answers over the same dirty database:
+
+   1. expected values   (Conquer.Expected — the paper's named future
+                         work: SUM/COUNT/AVG rewritten to expectations)
+   2. exact distributions (Conquer.Distribution — the full pmf of an
+                         entity count, moments of a SUM)
+   3. Monte-Carlo estimates (Conquer.Sampler — for queries where no
+                         exact rewriting exists) *)
+
+module Value = Dirty.Value
+module Relation = Dirty.Relation
+module Schema = Dirty.Schema
+module Dirty_db = Dirty.Dirty_db
+
+let v_s s = Value.String s
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+
+(* accounts with duplicated, conflicting balances *)
+let accounts =
+  Relation.create
+    (Schema.make
+       [
+         ("id", Value.TString); ("owner", Value.TString);
+         ("balance", Value.TInt); ("prob", Value.TFloat);
+       ])
+    [
+      [| v_s "a1"; v_s "John"; v_i 1200; v_f 0.6 |];
+      [| v_s "a1"; v_s "John"; v_i 1900; v_f 0.4 |];
+      [| v_s "a2"; v_s "Mary"; v_i 800; v_f 0.5 |];
+      [| v_s "a2"; v_s "Mary"; v_i 2400; v_f 0.5 |];
+      [| v_s "a3"; v_s "Zoe"; v_i 3100; v_f 1.0 |];
+      [| v_s "a4"; v_s "Ravi"; v_i 500; v_f 0.7 |];
+      [| v_s "a4"; v_s "Ravi"; v_i 1600; v_f 0.3 |];
+    ]
+
+let () =
+  let db =
+    Dirty_db.add_table Dirty_db.empty
+      (Dirty_db.make_table ~name:"accounts" ~id_attr:"id" ~prob_attr:"prob"
+         accounts)
+  in
+  let s = Conquer.Clean.create db in
+  print_endline "Dirty accounts:";
+  print_string (Relation.to_string accounts);
+
+  (* --- expected values --- *)
+  let sql = "select count(*), sum(balance), avg(balance) from accounts where balance > 1000" in
+  Printf.printf "\n%s\n" sql;
+  let e = Conquer.Expected.answers s sql in
+  print_string (Relation.to_string e);
+  print_endline "(count and sum are exact expectations; avg is E[SUM]/E[COUNT])";
+
+  (* --- the exact count distribution --- *)
+  let counting = "select id from accounts where balance > 1000" in
+  let pmf = Conquer.Distribution.count_distribution s counting in
+  Printf.printf "\nHow many accounts really hold more than 1000?\n";
+  Array.iteri (fun k p -> Printf.printf "  P(count = %d) = %.4f\n" k p) pmf;
+  Printf.printf "  mean %.3f, std dev %.3f, P(count >= 2) = %.4f\n"
+    (Conquer.Distribution.mean pmf)
+    (Float.sqrt (Conquer.Distribution.variance pmf))
+    (Conquer.Distribution.at_least pmf 2);
+
+  (* --- moments of the SUM --- *)
+  let m = Conquer.Distribution.sum_moments s "select sum(balance) from accounts" in
+  Printf.printf "\nTotal balance: %.0f ± %.0f (one std dev)\n" m.mean m.std_dev;
+
+  (* --- sampling where no rewriting exists --- *)
+  let loans =
+    Relation.create
+      (Schema.make
+         [
+           ("lid", Value.TString); ("accfk", Value.TString);
+           ("amount", Value.TInt); ("prob", Value.TFloat);
+         ])
+      [
+        [| v_s "l1"; v_s "a1"; v_i 500; v_f 1.0 |];
+        [| v_s "l2"; v_s "a2"; v_i 900; v_f 0.5 |];
+        [| v_s "l2"; v_s "a4"; v_i 950; v_f 0.5 |];
+      ]
+  in
+  let db2 =
+    Dirty_db.add_table db
+      (Dirty_db.make_table ~name:"loans" ~id_attr:"lid" ~prob_attr:"prob" loans)
+  in
+  let s2 = Conquer.Clean.create db2 in
+  (* the loan identifier is not selected: outside the rewritable class *)
+  let hard =
+    "select a.id from loans l, accounts a \
+     where l.accfk = a.id and a.balance > 1000 and l.amount < 920"
+  in
+  Printf.printf "\nNon-rewritable query (loan id not selected):\n%s\n" hard;
+  (match Conquer.Clean.check s2 hard with
+  | Ok _ -> ()
+  | Error vs ->
+    List.iter
+      (fun v ->
+        Printf.printf "  rejected: %s\n" (Conquer.Rewritable.violation_to_string v))
+      vs);
+  let sampled = Conquer.Sampler.answers ~seed:42 ~samples:5000 s2 hard in
+  print_endline "Monte-Carlo estimates (5000 sampled candidate databases):";
+  print_string (Relation.to_string sampled);
+  let oracle = Conquer.Clean.answers_oracle s2 hard in
+  print_endline "Exact (possible-worlds oracle, feasible at this size):";
+  print_string (Relation.to_string oracle)

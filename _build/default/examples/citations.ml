@@ -1,0 +1,55 @@
+(* Citation deduplication (the paper's Section 4.2 / Table 4 study).
+
+   Run with:  dune exec examples/citations.exe
+
+   A cluster of citation records for the same publication, gathered
+   from many bibliographies, contains formatting variations and —
+   because tuple matchers are imperfect — sometimes a record of a
+   different publication.  The Section 4 procedure ranks the records:
+   records that agree with the cluster's most frequent values get high
+   probability; reformatted or mis-clustered records sink to the
+   bottom. *)
+
+module Relation = Dirty.Relation
+module Value = Dirty.Value
+
+let () =
+  let g =
+    Tpch.Cora.generate { Tpch.Cora.default with cluster_size = 20; seed = 3 }
+  in
+  Printf.printf "A cluster of %d citation records:\n"
+    (Relation.cardinality g.relation);
+  print_string (Relation.to_string ~max_rows:8 g.relation);
+
+  let ranking = Tpch.Cora.ranking g in
+  let describe i =
+    if Some i = g.foreign_row then "MIS-CLUSTERED"
+    else if List.mem i g.variant_rows then "variant"
+    else "canonical"
+  in
+  print_endline "\nRanking by probability of being the clean record:";
+  List.iter
+    (fun (i, p) ->
+      let row = Relation.get g.relation i in
+      Printf.printf "  %.4f  %-14s %s — %s (%s)\n" p
+        ("[" ^ describe i ^ "]")
+        (Value.to_string (Relation.value g.relation row "author"))
+        (Value.to_string (Relation.value g.relation row "title"))
+        (Value.to_string (Relation.value g.relation row "year")))
+    ranking;
+
+  (match g.foreign_row with
+  | Some f ->
+    let last, _ = List.nth ranking (List.length ranking - 1) in
+    if last = f then
+      print_endline
+        "\nThe mis-clustered record ranks last — exactly the behaviour the\n\
+         paper reports on the Cora dataset (Table 4)."
+    else
+      print_endline "\nWARNING: the mis-clustered record did not rank last."
+  | None -> ());
+
+  (* the ranking is also what a downstream engine consumes: probabilities
+     sum to 1 within the cluster *)
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 ranking in
+  Printf.printf "\nProbability mass of the cluster: %.6f (must be 1.0)\n" total

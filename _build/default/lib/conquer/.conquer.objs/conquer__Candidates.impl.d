@@ -1,0 +1,1 @@
+lib/conquer/candidates.ml: Array Cluster Dirty Dirty_db Engine Hashtbl Int List Option Printf Relation Rewrite Schema Value

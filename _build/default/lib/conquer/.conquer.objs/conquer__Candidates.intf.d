@@ -1,0 +1,1 @@
+lib/conquer/candidates.mli: Dirty Sql

@@ -1,0 +1,1 @@
+lib/conquer/clean.ml: Array Candidates Dirty Dirty_db Dirty_schema Engine List Logs Relation Rewritable Rewrite Schema Sql Value

@@ -1,0 +1,1 @@
+lib/conquer/clean.mli: Dirty Dirty_schema Engine Join_graph Rewritable

@@ -1,0 +1,1 @@
+lib/conquer/dirty_schema.mli: Dirty

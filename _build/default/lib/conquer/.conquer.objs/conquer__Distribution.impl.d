@@ -1,0 +1,1 @@
+lib/conquer/distribution.ml: Array Candidates Clean Cluster Dirty Dirty_db Dirty_schema Engine Float List Option Relation Sql Value

@@ -1,0 +1,1 @@
+lib/conquer/distribution.mli: Clean Dirty Dirty_schema Sql

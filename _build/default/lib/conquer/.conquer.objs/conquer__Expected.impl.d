@@ -1,0 +1,1 @@
+lib/conquer/expected.ml: Array Candidates Clean Dirty Dirty_db Dirty_schema Engine Hashtbl List Relation Rewrite Sql Value

@@ -1,0 +1,1 @@
+lib/conquer/expected.mli: Clean Dirty Dirty_schema Engine Sql

@@ -1,0 +1,1 @@
+lib/conquer/independent.ml: Array Dirty Dirty_db Engine Float Hashtbl List Option Printf Relation Rewrite Schema Value

@@ -1,0 +1,1 @@
+lib/conquer/independent.mli: Dirty Sql

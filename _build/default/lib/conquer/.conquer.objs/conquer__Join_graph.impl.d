@@ -1,0 +1,1 @@
+lib/conquer/join_graph.ml: Dirty Dirty_schema Format Hashtbl List Option Printf Sql String

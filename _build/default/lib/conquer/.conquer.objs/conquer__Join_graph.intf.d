@@ -1,0 +1,1 @@
+lib/conquer/join_graph.mli: Dirty_schema Format Sql

@@ -1,0 +1,1 @@
+lib/conquer/provenance.ml: Array Clean Dirty Dirty_schema Engine Float Format Hashtbl List Option Printf Relation Rewritable Rewrite Sql String Value

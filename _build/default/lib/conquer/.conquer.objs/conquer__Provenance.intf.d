@@ -1,0 +1,1 @@
+lib/conquer/provenance.mli: Clean Dirty Engine Format

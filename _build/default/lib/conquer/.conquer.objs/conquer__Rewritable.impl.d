@@ -1,0 +1,1 @@
+lib/conquer/rewritable.ml: Dirty_schema Join_graph List Option Printf Result Sql String

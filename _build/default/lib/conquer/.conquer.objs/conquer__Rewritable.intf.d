@@ -1,0 +1,1 @@
+lib/conquer/rewritable.mli: Dirty_schema Join_graph Sql

@@ -1,0 +1,1 @@
+lib/conquer/rewrite.ml: Dirty_schema List Option Printf Rewritable Sql

@@ -1,0 +1,1 @@
+lib/conquer/rewrite.mli: Dirty_schema Rewritable Sql

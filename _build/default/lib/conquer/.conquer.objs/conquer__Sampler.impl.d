@@ -1,0 +1,1 @@
+lib/conquer/sampler.ml: Array Clean Cluster Dirty Dirty_db Engine Float Hashtbl List Option Random Relation Rewrite Schema Sql Value

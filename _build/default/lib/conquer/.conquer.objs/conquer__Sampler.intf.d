@@ -1,0 +1,1 @@
+lib/conquer/sampler.mli: Clean Dirty Random

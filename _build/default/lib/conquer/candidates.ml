@@ -1,0 +1,155 @@
+open Dirty
+
+type cluster_slot = {
+  table : string;
+  rows : int array;  (* member row indices *)
+  probs : float array;  (* matching probabilities *)
+}
+
+type selection = {
+  slots : cluster_slot array;
+  choice : int array;  (* per slot, index into [rows] *)
+}
+
+let chosen_rows selection table =
+  let acc = ref [] in
+  Array.iteri
+    (fun i slot ->
+      if slot.table = table then acc := slot.rows.(selection.choice.(i)) :: !acc)
+    selection.slots;
+  List.sort Int.compare !acc
+
+let slots_of_db db =
+  let slots = ref [] in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Cluster.iter
+        (fun _id members ->
+          let rows = Array.of_list members in
+          let probs = Array.map (Dirty_db.row_probability t) rows in
+          slots := { table = t.name; rows; probs } :: !slots)
+        t.clustering)
+    (Dirty_db.tables db);
+  Array.of_list (List.rev !slots)
+
+let count db =
+  Array.fold_left
+    (fun acc slot -> acc *. float_of_int (Array.length slot.rows))
+    1.0 (slots_of_db db)
+
+let fold ?(max_candidates = 1_000_000) db f init =
+  let slots = slots_of_db db in
+  let total = count db in
+  if total > float_of_int max_candidates then
+    invalid_arg
+      (Printf.sprintf
+         "Candidates.fold: %.0f candidate databases exceed the limit of %d"
+         total max_candidates);
+  let n = Array.length slots in
+  let choice = Array.make n 0 in
+  let selection = { slots; choice } in
+  let acc = ref init in
+  let rec go i prob =
+    if i >= n then acc := f !acc selection prob
+    else
+      let slot = slots.(i) in
+      for j = 0 to Array.length slot.rows - 1 do
+        choice.(i) <- j;
+        go (i + 1) (prob *. slot.probs.(j))
+      done
+  in
+  go 0 1.0;
+  !acc
+
+let candidate_relations db selection =
+  List.map
+    (fun (t : Dirty_db.table) ->
+      let rows = chosen_rows selection t.name in
+      let schema = Relation.schema t.relation in
+      ( t.name,
+        Relation.create schema (List.map (Relation.get t.relation) rows) ))
+    (Dirty_db.tables db)
+
+module Row_key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1))
+    in
+    loop 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 a
+end
+
+module Rtbl = Hashtbl.Make (Row_key)
+
+(* The oracle shares one engine database and one plan across all
+   candidates; only the base relations are swapped. *)
+let with_oracle ?max_candidates db query f =
+  let engine = Engine.Database.create () in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Engine.Database.add_relation engine ~name:t.name t.relation)
+    (Dirty_db.tables db);
+  let plan = Engine.Database.plan engine query in
+  fold ?max_candidates db
+    (fun acc selection prob ->
+      List.iter
+        (fun (name, rel) -> Engine.Database.add_relation engine ~name rel)
+        (candidate_relations db selection);
+      let result = Relation.distinct (Engine.Database.run_plan engine plan) in
+      f acc result prob)
+    ()
+
+let clean_answers ?max_candidates db query =
+  let answers = Rtbl.create 64 in
+  let schema_ref = ref None in
+  with_oracle ?max_candidates db query (fun () result prob ->
+      if !schema_ref = None then schema_ref := Some (Relation.schema result);
+      Relation.iter
+        (fun row ->
+          let p = Option.value ~default:0.0 (Rtbl.find_opt answers row) in
+          Rtbl.replace answers row (p +. prob))
+        result);
+  let schema =
+    match !schema_ref with
+    | Some s -> s
+    | None ->
+      (* no candidate produced rows; derive the schema by running the
+         query once on the dirty database itself *)
+      let engine = Engine.Database.create () in
+      List.iter
+        (fun (t : Dirty_db.table) ->
+          Engine.Database.add_relation engine ~name:t.name t.relation)
+        (Dirty_db.tables db);
+      Relation.schema (Engine.Database.query_ast engine query)
+  in
+  let out_schema =
+    Schema.append schema (Schema.make [ (Rewrite.prob_column, Value.TFloat) ])
+  in
+  let rows =
+    Rtbl.fold
+      (fun row prob acc -> Array.append row [| Value.Float prob |] :: acc)
+      answers []
+  in
+  let rel = Relation.create out_schema rows in
+  let cmp a b =
+    let n = Array.length a in
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  Relation.sort_by cmp rel
+
+let probability_that_nonempty ?max_candidates db query =
+  let total = ref 0.0 in
+  with_oracle ?max_candidates db query (fun () result prob ->
+      if not (Relation.is_empty result) then total := !total +. prob);
+  !total

@@ -1,0 +1,21 @@
+type table_info = { id_attr : string; prob_attr : string }
+
+type env = {
+  schema_of : string -> Dirty.Schema.t option;
+  info_of : string -> table_info option;
+}
+
+let of_dirty_db db =
+  {
+    schema_of =
+      (fun name ->
+        Option.map
+          (fun (t : Dirty.Dirty_db.table) -> Dirty.Relation.schema t.relation)
+          (Dirty.Dirty_db.find_table_opt db name));
+    info_of =
+      (fun name ->
+        Option.map
+          (fun (t : Dirty.Dirty_db.table) ->
+            { id_attr = t.id_attr; prob_attr = t.prob_attr })
+          (Dirty.Dirty_db.find_table_opt db name));
+  }

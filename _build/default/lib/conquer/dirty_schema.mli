@@ -1,0 +1,16 @@
+(** Descriptions of the dirty relations a query ranges over, as needed
+    by the join-graph construction and the rewriting. *)
+
+type table_info = {
+  id_attr : string;  (** identifier (cluster id) attribute *)
+  prob_attr : string;  (** probability attribute *)
+}
+
+type env = {
+  schema_of : string -> Dirty.Schema.t option;
+      (** bare schema of the dirty relation *)
+  info_of : string -> table_info option;
+      (** identifier/probability attributes of the dirty relation *)
+}
+
+val of_dirty_db : Dirty.Dirty_db.t -> env

@@ -1,0 +1,73 @@
+(** Exact distributions of COUNT answers over a dirty relation.
+
+    {!Expected} returns the {e expectation} of an aggregate; for a
+    single dirty relation the full {e distribution} of the entity
+    count is also tractable.  For a query
+
+    {v select <identifier> from R where W v}
+
+    each cluster [c] of [R] contributes a Bernoulli variable with
+
+      p_c = Σ {prob(t) | t ∈ c, t satisfies W}
+
+    (exactly one tuple of [c] is in any candidate database, so the
+    events "the chosen tuple satisfies W" are disjoint within the
+    cluster and independent across clusters).  The number of entities
+    satisfying [W] in the clean database is therefore a
+    Poisson-binomial variable; its probability mass function is
+    computed exactly by dynamic programming in O(k²) for k clusters.
+
+    Only single-relation select-project queries are supported — with
+    joins the cluster events are shared between answer rows and the
+    count is no longer a sum of independent Bernoullis. *)
+
+type violation =
+  | Not_single_table
+  | Not_spj of string
+  | Unknown_dirty_table of string
+
+val violation_to_string : violation -> string
+
+exception Not_supported of violation list
+
+val check : Dirty_schema.env -> Sql.Ast.query -> (unit, violation list) result
+
+val qualification_probabilities :
+  Clean.session -> string -> (Dirty.Value.t * float) list
+(** Per cluster identifier, the probability that the cluster's clean
+    tuple satisfies the query's WHERE clause.  Clusters with
+    probability 0 are omitted.
+    @raise Not_supported when {!check} fails. *)
+
+val count_distribution : Clean.session -> string -> float array
+(** [count_distribution s sql] is the pmf of the entity count: index
+    [i] holds the probability that exactly [i] entities satisfy the
+    predicate in the clean database.  Sums to 1.
+    @raise Not_supported when {!check} fails. *)
+
+val count_distribution_oracle :
+  ?max_candidates:int -> Clean.session -> string -> float array
+(** The same pmf by candidate enumeration (Dfn 5 applied to the
+    counting query); exponential, for validation. *)
+
+val mean : float array -> float
+val variance : float array -> float
+
+val at_least : float array -> int -> float
+(** [at_least pmf k] = P(count >= k): tail probability, e.g. "what is
+    the chance at least 10 customers qualify?". *)
+
+(** {1 Moments of SUM aggregates}
+
+    For [select sum(e) from R where W] over a single dirty relation,
+    the sum is [Σ_c X_c] with [X_c = e(chosen tuple)·1{W}] independent
+    across clusters, so both moments are exact:
+    [E = Σ_c Σ_t prob(t)·e(t)·1W(t)] and
+    [Var = Σ_c (E[X_c²] − E[X_c]²)]. *)
+
+type moments = { mean : float; variance : float; std_dev : float }
+
+val sum_moments : Clean.session -> string -> moments
+(** The query must be [select sum(<expr>) from <table> where <w>]
+    (exactly one ungrouped SUM over one dirty relation).
+    @raise Not_supported / Invalid_argument otherwise. *)

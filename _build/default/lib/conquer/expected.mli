@@ -1,0 +1,77 @@
+(** Expected answers for aggregate queries — the extension the paper
+    names as future work ("we would like to extend the class of
+    queries that can be rewritten to consider, for example, queries
+    with grouping and aggregation", Section 6).
+
+    For an aggregate query over a dirty database
+
+    {v select G1..Gk, AGG(e) from R1..Rm where W group by G1..Gk v}
+
+    the natural probabilistic semantics assigns to every group value
+    the {e expectation} of its aggregate over the candidate databases
+    (Dfn 4's distribution), where a group absent from a candidate's
+    answer contributes 0:
+
+      E[AGG_g] = Σ_cd  Pr(cd) · AGG({e(τ) | τ ∈ q(cd), G(τ) = g})
+
+    For SUM and COUNT the aggregate is linear in the join tuples, so
+    the expectation distributes over them:
+
+      E[SUM_g(e)] = Σ_{join tuples τ in group g} e(τ) · Pr(τ survives)
+
+    and [Pr(τ survives)] is exactly [R1.prob · ... · Rm.prob] because a
+    join tuple picks at most one tuple from every cluster and clusters
+    are independent (no self-joins).  Hence the rewriting
+
+    {v
+    select G1..Gk, SUM(e * R1.prob * ... * Rm.prob)
+    from R1..Rm where W group by G1..Gk
+    v}
+
+    computes expected SUMs, and with [e = 1] expected COUNTs.  Notably
+    this is correct for {e every} SPJ core without self-joins — the
+    tree-shape and root-identifier conditions of Dfn 7 are not needed,
+    because expectations are additive even over candidate sets that
+    overlap (the over-counting of Example 7 is precisely what linearity
+    of expectation tolerates).
+
+    AVG is rewritten as the ratio of expected sum to expected count,
+    i.e. [E[SUM]/E[COUNT]] — the standard first-order approximation of
+    [E[AVG]]; the oracle computes the true [E[AVG]] so the
+    approximation is testable.  MIN/MAX do not decompose linearly and
+    are only available through the oracle. *)
+
+type violation =
+  | Self_join of string  (** a relation repeated in FROM *)
+  | Unknown_dirty_table of string
+  | Distinct_not_supported
+  | Having_not_supported
+  | Outer_join_not_supported
+  | Group_select_mismatch of string
+      (** a non-aggregate select item does not appear in GROUP BY (or
+          vice versa) *)
+  | Unsupported_aggregate of string  (** MIN/MAX or nested aggregates *)
+  | Unresolved_column of string
+
+val violation_to_string : violation -> string
+
+val check : Dirty_schema.env -> Sql.Ast.query -> (unit, violation list) result
+(** Membership test for the expected-aggregate rewriting. *)
+
+val rewrite : Dirty_schema.env -> Sql.Ast.query -> Sql.Ast.query
+(** The expected-aggregate rewriting described above.  Assumes
+    {!check} passed; raises [Invalid_argument] on malformed input. *)
+
+exception Not_supported of violation list
+
+val answers : ?config:Engine.Planner.config -> Clean.session -> string -> Dirty.Relation.t
+(** Expected aggregates via the rewriting, executed on the engine.
+    @raise Not_supported when {!check} fails. *)
+
+val answers_oracle :
+  ?max_candidates:int -> Clean.session -> string -> Dirty.Relation.t
+(** Exact expected aggregates by candidate enumeration: runs the
+    aggregate query on every candidate database and averages.  Groups
+    are keyed on the non-aggregate columns; a group absent from a
+    candidate contributes 0 to its aggregates.  Supports all five
+    aggregate functions. *)

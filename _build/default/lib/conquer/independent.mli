@@ -1,0 +1,23 @@
+(** Independent-tuple possible-worlds semantics (Dalvi–Suciu style),
+    implemented by naive world enumeration.
+
+    Under this semantics every tuple is independently present with
+    its probability — there is no exclusivity between the duplicates
+    of a cluster, so a world may retain zero, one, or several tuples
+    of the same cluster.  The paper argues (Section 1) that this is
+    the wrong semantics for duplicated data; this module makes the
+    contrast executable (see the [ablation-independent] bench
+    report).
+
+    The enumeration is 2^n in the number of tuples; it is only usable
+    for example-sized databases. *)
+
+val world_count : Dirty.Dirty_db.t -> float
+
+val answers :
+  ?max_worlds:int -> Dirty.Dirty_db.t -> Sql.Ast.query -> Dirty.Relation.t
+(** Each distinct answer tuple with the total probability of the
+    worlds producing it.  Output schema and sorting as in
+    {!Candidates.clean_answers}.
+    @raise Invalid_argument when 2^n exceeds [max_worlds] (default
+    [1_000_000]). *)

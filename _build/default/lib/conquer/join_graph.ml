@@ -1,0 +1,148 @@
+type arc = {
+  from_alias : string;
+  from_attr : string;
+  to_alias : string;
+  to_attr : string;
+}
+
+type join_kind =
+  | Fk_join of arc
+  | Id_id_join of string * string
+  | Non_id_join of string * string
+
+type t = {
+  vertices : string list;
+  arcs : arc list;
+  joins : (Sql.Ast.expr * join_kind) list;
+  non_equality : Sql.Ast.expr list;
+}
+
+exception Unresolved of string
+
+let unresolvedf fmt = Printf.ksprintf (fun s -> raise (Unresolved s)) fmt
+
+type binding = {
+  alias : string;
+  table : string;
+  schema : Dirty.Schema.t;
+  info : Dirty_schema.table_info option;
+}
+
+let bindings_of env (q : Sql.Ast.query) =
+  List.map
+    (fun ({ table; t_alias } : Sql.Ast.table_ref) ->
+      let alias = Option.value ~default:table t_alias in
+      match env.Dirty_schema.schema_of table with
+      | None -> unresolvedf "unknown table %s" table
+      | Some schema -> { alias; table; schema; info = env.Dirty_schema.info_of table })
+    q.from
+
+let owner bindings (c : Sql.Ast.column) =
+  match c.table with
+  | Some t -> (
+    match List.find_opt (fun b -> b.alias = t) bindings with
+    | Some b when Dirty.Schema.mem b.schema c.name -> b
+    | Some _ -> unresolvedf "column %s.%s not found" t c.name
+    | None -> unresolvedf "unknown alias %s" t)
+  | None -> (
+    match List.filter (fun b -> Dirty.Schema.mem b.schema c.name) bindings with
+    | [ b ] -> b
+    | [] -> unresolvedf "unbound column %s" c.name
+    | _ -> unresolvedf "ambiguous column %s" c.name)
+
+let is_identifier binding attr =
+  match binding.info with
+  | Some { id_attr; _ } -> String.lowercase_ascii attr = id_attr
+  | None -> false
+
+let build env (q : Sql.Ast.query) =
+  let bindings = bindings_of env q in
+  let vertices = List.map (fun b -> b.alias) bindings in
+  let conjuncts =
+    match q.where with None -> [] | Some w -> Sql.Ast.conjuncts w
+  in
+  let aliases_of e =
+    List.sort_uniq String.compare
+      (List.map (fun c -> (owner bindings c).alias) (Sql.Ast.expr_columns e))
+  in
+  let joins = ref [] and non_equality = ref [] in
+  List.iter
+    (fun conjunct ->
+      match aliases_of conjunct with
+      | [] | [ _ ] -> ()  (* single-relation predicate: not a join *)
+      | [ _; _ ] -> (
+        match (conjunct : Sql.Ast.expr) with
+        | Binop (Eq, Col ca, Col cb) ->
+          let ba = owner bindings ca and bb = owner bindings cb in
+          let ida = is_identifier ba ca.name and idb = is_identifier bb cb.name in
+          let kind =
+            if ida && idb then Id_id_join (ba.alias, bb.alias)
+            else if idb then
+              Fk_join
+                {
+                  from_alias = ba.alias;
+                  from_attr = ca.name;
+                  to_alias = bb.alias;
+                  to_attr = cb.name;
+                }
+            else if ida then
+              Fk_join
+                {
+                  from_alias = bb.alias;
+                  from_attr = cb.name;
+                  to_alias = ba.alias;
+                  to_attr = ca.name;
+                }
+            else Non_id_join (ba.alias, bb.alias)
+          in
+          joins := (conjunct, kind) :: !joins
+        | _ -> non_equality := conjunct :: !non_equality)
+      | _ -> non_equality := conjunct :: !non_equality)
+    conjuncts;
+  let arcs =
+    List.filter_map
+      (function _, Fk_join arc -> Some arc | _ -> None)
+      (List.rev !joins)
+  in
+  {
+    vertices;
+    arcs;
+    joins = List.rev !joins;
+    non_equality = List.rev !non_equality;
+  }
+
+let in_degree t v =
+  List.length (List.filter (fun a -> a.to_alias = v) t.arcs)
+
+let roots t = List.filter (fun v -> in_degree t v = 0) t.vertices
+
+let is_tree t =
+  match t.vertices with
+  | [] -> false
+  | [ _ ] -> t.arcs = []
+  | _ -> (
+    match roots t with
+    | [ root ] ->
+      List.for_all (fun v -> v = root || in_degree t v = 1) t.vertices
+      &&
+      (* reachability from the root *)
+      let visited = Hashtbl.create 8 in
+      let rec visit v =
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          List.iter
+            (fun a -> if a.from_alias = v then visit a.to_alias)
+            t.arcs
+        end
+      in
+      visit root;
+      List.for_all (Hashtbl.mem visited) t.vertices
+    | _ -> false)
+
+let pp fmt t =
+  Format.fprintf fmt "vertices: %s@\n" (String.concat ", " t.vertices);
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "arc: %s.%s -> %s.%s@\n" a.from_alias a.from_attr
+        a.to_alias a.to_attr)
+    t.arcs

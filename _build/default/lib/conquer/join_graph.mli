@@ -1,0 +1,50 @@
+(** Join graphs of SPJ queries (Dfn 6).
+
+    The vertices are the relations (aliases) used in the query; there
+    is an arc from [Ri] to [Rj] when a non-identifier attribute of
+    [Ri] is equated with the identifier attribute of [Rj] — the
+    shape of a foreign-key join after identifier propagation. *)
+
+type arc = {
+  from_alias : string;
+  from_attr : string;  (** non-identifier attribute of the source *)
+  to_alias : string;
+  to_attr : string;  (** identifier attribute of the target *)
+}
+
+(** How each equality join condition of the query was classified. *)
+type join_kind =
+  | Fk_join of arc  (** non-identifier = identifier: a graph arc *)
+  | Id_id_join of string * string
+      (** identifier = identifier: allowed by Dfn 7(1) but
+          contributes no arc *)
+  | Non_id_join of string * string
+      (** neither side is an identifier: violates Dfn 7(1) *)
+
+type t = {
+  vertices : string list;  (** aliases, FROM order *)
+  arcs : arc list;
+  joins : (Sql.Ast.expr * join_kind) list;
+      (** every cross-relation equality conjunct with its kind *)
+  non_equality : Sql.Ast.expr list;
+      (** cross-relation conjuncts that are not simple column
+          equalities (not covered by the rewritable class) *)
+}
+
+exception Unresolved of string
+(** A column reference could not be resolved against the FROM
+    clause. *)
+
+val build : Dirty_schema.env -> Sql.Ast.query -> t
+(** @raise Unresolved on unknown tables/columns or ambiguity. *)
+
+val roots : t -> string list
+(** Vertices with no incoming arc. *)
+
+val is_tree : t -> bool
+(** True when the arcs form a single arborescence spanning all
+    vertices: exactly one root, every other vertex with exactly one
+    incoming arc, and every vertex reachable from the root.  A
+    single-vertex graph is a tree. *)
+
+val pp : Format.formatter -> t -> unit

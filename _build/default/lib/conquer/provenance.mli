@@ -1,0 +1,53 @@
+(** Why-provenance for clean answers.
+
+    The probability of a clean answer is a sum over the join tuples
+    that produce it (Theorem 1's disjointness argument): each join
+    tuple picks one duplicate per relation and contributes the product
+    of their probabilities.  This module exposes that decomposition,
+    so a user can see {e why} an answer is likely — which combination
+    of duplicates supports it and with how much mass.
+
+    For the running example's q2, the answer (o2, c1, 0.5) explains
+    as:
+
+    {v
+    (o2, c1)  probability 0.5
+      0.35 = orders[o2 @ 0.5] * customer[c1 @ 0.7]
+      0.15 = orders[o2 @ 0.5] * customer[c1 @ 0.3]
+    v}
+
+    Sound for the same class as {!Rewrite} (Dfn 7); the per-answer
+    totals equal {!Clean.answers}' probabilities. *)
+
+type witness = {
+  w_alias : string;  (** relation alias in the query *)
+  w_table : string;
+  w_cluster : Dirty.Value.t;  (** the duplicate's cluster identifier *)
+  w_probability : float;  (** the duplicate's tuple probability *)
+}
+
+type contribution = {
+  witnesses : witness list;  (** one per FROM relation, query order *)
+  mass : float;
+      (** total probability mass of the join tuples sharing this
+          witness signature (= count × product of the witness
+          probabilities) *)
+  count : int;
+      (** number of join tuples with this signature (duplicates that
+          agree on cluster and probability are indistinguishable in
+          the explanation) *)
+}
+
+type explanation = {
+  answer : Dirty.Relation.row;  (** the answer tuple (query columns) *)
+  total : float;  (** = the clean-answer probability *)
+  contributions : contribution list;  (** descending by mass *)
+}
+
+val explain :
+  ?config:Engine.Planner.config -> Clean.session -> string -> explanation list
+(** Explanations for every clean answer of a rewritable query, sorted
+    by descending total.
+    @raise Rewrite.Not_rewritable outside the class. *)
+
+val pp_explanation : Format.formatter -> explanation -> unit

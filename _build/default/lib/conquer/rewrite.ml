@@ -1,0 +1,49 @@
+let prob_column = "clean_prob"
+
+exception Not_rewritable of Rewritable.violation list
+
+let prob_product env (from : Sql.Ast.table_ref list) =
+  let prob_refs =
+    List.map
+      (fun (r : Sql.Ast.table_ref) ->
+        let alias = Option.value ~default:r.table r.t_alias in
+        match env.Dirty_schema.info_of r.table with
+        | Some { prob_attr; _ } ->
+          Sql.Ast.Col { table = Some alias; name = prob_attr }
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Rewrite: %s is not a known dirty table" r.table))
+      from
+  in
+  match prob_refs with
+  | [] -> invalid_arg "Rewrite: empty FROM clause"
+  | first :: rest ->
+    List.fold_left (fun acc e -> Sql.Ast.Binop (Mul, acc, e)) first rest
+
+let rewrite_clean env (q : Sql.Ast.query) : Sql.Ast.query =
+  let items =
+    match q.select with
+    | Items items -> items
+    | Star ->
+      invalid_arg "Rewrite.rewrite_clean: SELECT * not supported; list attributes"
+  in
+  (* sum(R1.prob * ... * Rm.prob) over the FROM relations *)
+  let product = prob_product env q.from in
+  let sum_item : Sql.Ast.select_item =
+    { expr = Agg (Sum, Some product); alias = Some prob_column }
+  in
+  {
+    q with
+    select = Items (items @ [ sum_item ]);
+    group_by = List.map (fun (i : Sql.Ast.select_item) -> i.expr) items;
+  }
+
+let rewrite_checked env q =
+  match Rewritable.check env q with
+  | Ok _ -> Ok (rewrite_clean env q)
+  | Error vs -> Error vs
+
+let rewrite_exn env q =
+  match rewrite_checked env q with
+  | Ok q' -> q'
+  | Error vs -> raise (Not_rewritable vs)

@@ -1,0 +1,42 @@
+(** RewriteClean (Figure 4).
+
+    Given an SPJ query
+
+    {v select A1, ..., An from R1, ..., Rm where W v}
+
+    the rewriting is
+
+    {v
+    select A1, ..., An, sum(R1.prob * ... * Rm.prob) as clean_prob
+    from R1, ..., Rm where W
+    group by A1, ..., An
+    v}
+
+    The rewritten query computes the clean answers (Dfn 5) for every
+    rewritable query (Theorem 1).  The ORDER BY clause of the input,
+    if any, is preserved on top, as in the paper's experiments. *)
+
+val prob_column : string
+(** Name of the appended probability column, ["clean_prob"]. *)
+
+val prob_product : Dirty_schema.env -> Sql.Ast.table_ref list -> Sql.Ast.expr
+(** [R1.prob * ... * Rm.prob] over the FROM relations; the probability
+    of a join tuple surviving into a candidate database.
+    @raise Invalid_argument on an empty FROM or a relation with no
+    dirty metadata. *)
+
+exception Not_rewritable of Rewritable.violation list
+
+val rewrite_clean : Dirty_schema.env -> Sql.Ast.query -> Sql.Ast.query
+(** Apply Figure 4 without checking membership in the rewritable
+    class (the rewriting is syntactically defined for any SPJ query;
+    it is only guaranteed correct for rewritable ones).
+    @raise Rewritable.Unresolved-like errors via [Invalid_argument]
+    when a FROM relation has no dirty metadata. *)
+
+val rewrite_checked :
+  Dirty_schema.env -> Sql.Ast.query -> (Sql.Ast.query, Rewritable.violation list) result
+(** Check Dfn 7 first; [Error] lists the violations. *)
+
+val rewrite_exn : Dirty_schema.env -> Sql.Ast.query -> Sql.Ast.query
+(** @raise Not_rewritable *)

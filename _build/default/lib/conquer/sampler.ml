@@ -1,0 +1,107 @@
+open Dirty
+
+type estimate = {
+  row : Relation.row;
+  probability : float;
+  std_error : float;
+  occurrences : int;
+}
+
+(* draw one tuple index per cluster according to the probabilities *)
+let pick_tuple rng (table : Dirty_db.table) members =
+  let u = Random.State.float rng 1.0 in
+  let rec go acc = function
+    | [] -> List.nth members (List.length members - 1)  (* rounding tail *)
+    | [ last ] -> last
+    | i :: rest ->
+      let acc = acc +. Dirty_db.row_probability table i in
+      if u < acc then i else go acc rest
+  in
+  go 0.0 members
+
+let sample_candidate rng db =
+  List.map
+    (fun (t : Dirty_db.table) ->
+      let chosen = ref [] in
+      Cluster.iter
+        (fun _ members -> chosen := pick_tuple rng t members :: !chosen)
+        t.clustering;
+      let rows =
+        List.rev_map (Relation.get t.relation) !chosen
+      in
+      (t.name, Relation.create (Relation.schema t.relation) rows))
+    (Dirty_db.tables db)
+
+module Rtbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1))
+    in
+    loop 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 a
+end)
+
+let estimates ?(seed = 0x5eed) ~samples session sql =
+  if samples < 1 then invalid_arg "Sampler.estimates: samples < 1";
+  let db = Clean.dirty_db session in
+  let rng = Random.State.make [| seed |] in
+  let q = Sql.Parser.parse_query sql in
+  let engine = Engine.Database.create () in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Engine.Database.add_relation engine ~name:t.name t.relation)
+    (Dirty_db.tables db);
+  let plan = Engine.Database.plan engine q in
+  let counts = Rtbl.create 64 in
+  for _ = 1 to samples do
+    List.iter
+      (fun (name, rel) -> Engine.Database.add_relation engine ~name rel)
+      (sample_candidate rng db);
+    let result = Relation.distinct (Engine.Database.run_plan engine plan) in
+    Relation.iter
+      (fun row ->
+        Rtbl.replace counts row
+          (1 + Option.value ~default:0 (Rtbl.find_opt counts row)))
+      result
+  done;
+  let n = float_of_int samples in
+  Rtbl.fold
+    (fun row occurrences acc ->
+      let p = float_of_int occurrences /. n in
+      {
+        row;
+        probability = p;
+        std_error = Float.sqrt (p *. (1.0 -. p) /. n);
+        occurrences;
+      }
+      :: acc)
+    counts []
+  |> List.sort (fun a b ->
+         match Float.compare b.probability a.probability with
+         | 0 ->
+           (* deterministic tie-break on the row values *)
+           compare
+             (Array.map Value.to_string a.row)
+             (Array.map Value.to_string b.row)
+         | c -> c)
+
+let answers ?seed ~samples session sql =
+  let ests = estimates ?seed ~samples session sql in
+  (* the output schema: run the query once against the dirty tables *)
+  let base = Engine.Database.query_ast (Clean.engine session) (Sql.Parser.parse_query sql) in
+  let schema =
+    Schema.append (Relation.schema base)
+      (Schema.make
+         [ (Rewrite.prob_column, Value.TFloat); ("std_error", Value.TFloat) ])
+  in
+  Relation.create schema
+    (List.map
+       (fun e ->
+         Array.append e.row
+           [| Value.Float e.probability; Value.Float e.std_error |])
+       ests)

@@ -1,0 +1,41 @@
+(** Monte-Carlo clean answers for queries outside the rewritable
+    class.
+
+    Example 7 shows SPJ queries for which no SQL rewriting computes
+    the clean answers, and the general problem is co-NP-complete — the
+    exact oracle ({!Candidates}) is exponential.  Sampling fills the
+    gap: candidate databases are cheap to draw from Dfn 4's
+    distribution (pick one tuple per cluster, independently, according
+    to the tuple probabilities), and the fraction of sampled candidates
+    producing an answer tuple is an unbiased estimator of its clean
+    probability.  Cost is [samples × query time], polynomial
+    throughout.
+
+    Each estimate comes with its standard error
+    [sqrt(p̂(1−p̂)/n)]; answers never observed are absent (they have
+    estimated probability 0). *)
+
+type estimate = {
+  row : Dirty.Relation.row;  (** the answer tuple (query columns only) *)
+  probability : float;  (** fraction of samples producing the row *)
+  std_error : float;
+  occurrences : int;
+}
+
+val sample_candidate :
+  Random.State.t -> Dirty.Dirty_db.t -> (string * Dirty.Relation.t) list
+(** Draw one candidate database (one tuple per cluster, by tuple
+    probability). *)
+
+val estimates :
+  ?seed:int -> samples:int -> Clean.session -> string -> estimate list
+(** Run the query on [samples] sampled candidates.  Any query the
+    engine supports is allowed (including non-rewritable SPJ and
+    grouped queries); answers are compared as whole rows.
+    @raise Invalid_argument if [samples < 1]. *)
+
+val answers :
+  ?seed:int -> samples:int -> Clean.session -> string -> Dirty.Relation.t
+(** {!estimates} as a relation: the query's columns followed by
+    [clean_prob] (the estimate) and [std_error], sorted by descending
+    estimate. *)

@@ -1,0 +1,1 @@
+lib/dirty/cluster.ml: Array Hashtbl List Option Relation Schema Value

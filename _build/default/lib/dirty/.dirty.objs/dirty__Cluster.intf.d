@@ -1,0 +1,1 @@
+lib/dirty/cluster.mli: Relation Value

@@ -1,0 +1,1 @@
+lib/dirty/csv.ml: Array Buffer Fun Hashtbl List Option Printf Relation Schema String Value

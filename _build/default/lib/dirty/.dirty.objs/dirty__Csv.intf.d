@@ -1,0 +1,1 @@
+lib/dirty/csv.mli: Relation

@@ -1,0 +1,1 @@
+lib/dirty/dirty_db.ml: Array Cluster Float Hashtbl List Map Option Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/dirty/dirty_db.mli: Cluster Relation Value

@@ -1,0 +1,1 @@
+lib/dirty/relation.ml: Array Format Hashtbl Int List Option Printf Schema Seq String Value

@@ -1,0 +1,1 @@
+lib/dirty/relation.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/dirty/schema.ml: Array Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/dirty/schema.mli: Format Value

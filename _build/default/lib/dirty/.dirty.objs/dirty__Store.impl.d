@@ -1,0 +1,1 @@
+lib/dirty/store.ml: Csv Dirty_db Filename Fun List Sys

@@ -1,0 +1,1 @@
+lib/dirty/store.mli: Dirty_db

@@ -1,0 +1,1 @@
+lib/dirty/value.ml: Bool Buffer Float Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/dirty/value.mli: Format

@@ -1,0 +1,52 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  order : Value.t array;  (* cluster identifiers in first-appearance order *)
+  groups : int list Vtbl.t;  (* identifier -> member row indices, row order *)
+  owner : Value.t array;  (* row index -> identifier *)
+}
+
+let of_assignment ~size f =
+  let groups = Vtbl.create (max 16 size) in
+  let order = ref [] in
+  let owner = Array.init size f in
+  Array.iteri
+    (fun i id ->
+      match Vtbl.find_opt groups id with
+      | None ->
+        Vtbl.replace groups id [ i ];
+        order := id :: !order
+      | Some members -> Vtbl.replace groups id (i :: members))
+    owner;
+  (* members were accumulated in reverse row order *)
+  let groups' = Vtbl.create (Vtbl.length groups) in
+  Vtbl.iter (fun id members -> Vtbl.replace groups' id (List.rev members)) groups;
+  { order = Array.of_list (List.rev !order); groups = groups'; owner }
+
+let of_relation rel ~id_attr =
+  let idx = Schema.index_of (Relation.schema rel) id_attr in
+  of_assignment ~size:(Relation.cardinality rel) (fun i -> (Relation.get rel i).(idx))
+
+let id_values t = Array.to_list t.order
+let members t id = Option.value ~default:[] (Vtbl.find_opt t.groups id)
+let cluster_of_row t i = t.owner.(i)
+let size t id = List.length (members t id)
+let num_clusters t = Array.length t.order
+let num_rows t = Array.length t.owner
+let is_singleton t id = size t id = 1
+
+let fold f t init =
+  Array.fold_left (fun acc id -> f id (members t id) acc) init t.order
+
+let iter f t = Array.iter (fun id -> f id (members t id)) t.order
+
+let max_cluster_size t = fold (fun _ ms acc -> max acc (List.length ms)) t 0
+
+let mean_cluster_size t =
+  if num_clusters t = 0 then 0.0
+  else float_of_int (num_rows t) /. float_of_int (num_clusters t)

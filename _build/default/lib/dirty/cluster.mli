@@ -1,0 +1,39 @@
+(** Clusterings of a relation (Dfn 1 of the paper).
+
+    A clustering partitions the tuples of a relation into disjoint
+    clusters of potential duplicates.  Following the paper's
+    convention, the cluster of a tuple is named by the value of a
+    designated {e identifier attribute}; tuples sharing the identifier
+    value are duplicates of the same real-world entity. *)
+
+type t
+
+val of_relation : Relation.t -> id_attr:string -> t
+(** Group the relation's rows by the value of [id_attr].
+    @raise Not_found if [id_attr] is not in the schema. *)
+
+val of_assignment : size:int -> (int -> Value.t) -> t
+(** Clustering over row indices [0..size-1] where row [i] belongs to
+    the cluster named [f i]. *)
+
+val id_values : t -> Value.t list
+(** Cluster identifiers, in first-appearance order. *)
+
+val members : t -> Value.t -> int list
+(** Row indices of the cluster named by the identifier value, in row
+    order.  Empty list for unknown identifiers. *)
+
+val cluster_of_row : t -> int -> Value.t
+(** Identifier of the cluster the given row belongs to. *)
+
+val size : t -> Value.t -> int
+val num_clusters : t -> int
+val num_rows : t -> int
+
+val is_singleton : t -> Value.t -> bool
+
+val fold : (Value.t -> int list -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Value.t -> int list -> unit) -> t -> unit
+
+val max_cluster_size : t -> int
+val mean_cluster_size : t -> float

@@ -1,0 +1,147 @@
+let parse_line ?(sep = ',') line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let push () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* [i] scans the line; [quoted] tracks whether we are inside "..." *)
+  let rec go i quoted =
+    if i >= n then push ()
+    else
+      let c = line.[i] in
+      if quoted then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' && Buffer.length buf = 0 then go (i + 1) true
+      else if c = sep then begin
+        push ();
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !fields
+
+let needs_quoting sep s =
+  String.exists (fun c -> c = sep || c = '"' || c = '\n' || c = '\r') s
+
+let render_field sep s =
+  if not (needs_quoting sep s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render_line ?(sep = ',') fields =
+  String.concat (String.make 1 sep) (List.map (render_field sep) fields)
+
+let read_channel ?sep ic =
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line =
+        (* tolerate CRLF files *)
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      if line = "" then go acc else go (parse_line ?sep line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let read_file ?sep path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ?sep ic)
+
+(* Majority-vote type inference for a parsed column. *)
+let infer_type values =
+  let counts = Hashtbl.create 8 in
+  let total = ref 0 in
+  List.iter
+    (fun v ->
+      match Value.type_of v with
+      | None -> ()
+      | Some ty ->
+        incr total;
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts ty) in
+        Hashtbl.replace counts ty (c + 1))
+    values;
+  if !total = 0 then Value.TString
+  else begin
+    let best = ref Value.TString and best_count = ref (-1) in
+    Hashtbl.iter
+      (fun ty c ->
+        if c > !best_count then begin
+          best := ty;
+          best_count := c
+        end)
+      counts;
+    (* A column mixing ints and floats is a float column. *)
+    if
+      !best = Value.TInt
+      && Hashtbl.mem counts Value.TFloat
+    then Value.TFloat
+    else if Hashtbl.length counts > 1 && !best <> Value.TFloat then Value.TString
+    else !best
+  end
+
+let relation_of_rows ?(header = true) rows =
+  match rows with
+  | [] -> Relation.create (Schema.make []) []
+  | first :: rest ->
+    let names, data =
+      if header then (first, rest)
+      else (List.mapi (fun i _ -> Printf.sprintf "c%d" i) first, rows)
+    in
+    let parsed = List.map (fun row -> List.map Value.parse row) data in
+    let arity = List.length names in
+    List.iteri
+      (fun i row ->
+        if List.length row <> arity then
+          invalid_arg
+            (Printf.sprintf "Csv: row %d has %d fields, expected %d" i
+               (List.length row) arity))
+      parsed;
+    let columns =
+      List.mapi (fun j _ -> List.map (fun row -> List.nth row j) parsed) names
+    in
+    let types = List.map infer_type columns in
+    let schema = Schema.make (List.combine names types) in
+    Relation.create schema (List.map Array.of_list parsed)
+
+let load_file ?sep ?header path = relation_of_rows ?header (read_file ?sep path)
+
+let write_file ?sep ?(header = true) path rel =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      if header then begin
+        output_string oc (render_line ?sep (Schema.names (Relation.schema rel)));
+        output_char oc '\n'
+      end;
+      Relation.iter
+        (fun row ->
+          let fields = Array.to_list (Array.map Value.to_string row) in
+          output_string oc (render_line ?sep fields);
+          output_char oc '\n')
+        rel)

@@ -1,0 +1,23 @@
+(** Minimal CSV reader/writer used by the CLI and the examples.
+
+    Supports RFC-4180-style quoting: fields containing the separator,
+    a double quote, or a newline are quoted with ["..."] and embedded
+    quotes are doubled. *)
+
+val parse_line : ?sep:char -> string -> string list
+val render_line : ?sep:char -> string list -> string
+
+val read_channel : ?sep:char -> in_channel -> string list list
+val read_file : ?sep:char -> string -> string list list
+
+val relation_of_rows :
+  ?header:bool -> string list list -> Relation.t
+(** Build a relation from raw CSV rows.  When [header] (default true)
+    the first row gives attribute names; otherwise names are
+    [c0, c1, ...].  Column types are inferred by {!Value.parse} on the
+    data (majority vote; mixed columns degrade to VARCHAR, storing the
+    parsed values unchanged). *)
+
+val load_file : ?sep:char -> ?header:bool -> string -> Relation.t
+
+val write_file : ?sep:char -> ?header:bool -> string -> Relation.t -> unit

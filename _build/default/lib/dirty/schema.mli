@@ -1,0 +1,37 @@
+(** Relation schemas: ordered lists of named, typed attributes. *)
+
+type attribute = {
+  name : string;  (** lowercase attribute name *)
+  ty : Value.ty;
+}
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate attribute names. *)
+
+val attributes : t -> attribute list
+val arity : t -> int
+val names : t -> string list
+
+val mem : t -> string -> bool
+val index_of : t -> string -> int
+(** Position of the attribute. @raise Not_found if absent. *)
+
+val index_of_opt : t -> string -> int option
+val attribute_at : t -> int -> attribute
+
+val project : t -> string list -> t
+(** Schema restricted to the given attributes, in the given order.
+    @raise Not_found if one is absent. *)
+
+val append : t -> t -> t
+(** Concatenation; duplicate names are disambiguated by keeping the
+    later occurrence suffixed with [_2], [_3], ... *)
+
+val rename : prefix:string -> t -> t
+(** Prefix every attribute name with [prefix ^ "."], used to qualify
+    attribute references after a join. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

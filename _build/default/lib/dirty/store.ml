@@ -1,0 +1,43 @@
+let manifest_name = "manifest.csv"
+
+let save dir db =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  let manifest =
+    [ "name"; "id_attr"; "prob_attr" ]
+    :: List.map
+         (fun (t : Dirty_db.table) -> [ t.name; t.id_attr; t.prob_attr ])
+         (Dirty_db.tables db)
+  in
+  let oc = open_out (Filename.concat dir manifest_name) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun fields ->
+          output_string oc (Csv.render_line fields);
+          output_char oc '\n')
+        manifest);
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Csv.write_file (Filename.concat dir (t.name ^ ".csv")) t.relation)
+    (Dirty_db.tables db)
+
+let load ?(validate = true) dir =
+  let manifest_path = Filename.concat dir manifest_name in
+  let rows = Csv.read_file manifest_path in
+  let entries =
+    match rows with
+    | [ "name"; "id_attr"; "prob_attr" ] :: entries -> entries
+    | _ -> raise (Sys_error (manifest_path ^ ": malformed manifest header"))
+  in
+  List.fold_left
+    (fun db entry ->
+      match entry with
+      | [ name; id_attr; prob_attr ] ->
+        let relation = Csv.load_file (Filename.concat dir (name ^ ".csv")) in
+        Dirty_db.add_table db
+          (Dirty_db.make_table ~validate ~name ~id_attr ~prob_attr relation)
+      | _ -> raise (Sys_error (manifest_path ^ ": malformed manifest row")))
+    Dirty_db.empty entries

@@ -1,0 +1,22 @@
+(** Directory persistence for dirty databases.
+
+    A database is saved as one CSV file per table plus a
+    [manifest.csv] recording each table's identifier and probability
+    attributes:
+
+    {v
+    dir/
+      manifest.csv      -- name,id_attr,prob_attr
+      customer.csv
+      orders.csv
+    v} *)
+
+val save : string -> Dirty_db.t -> unit
+(** Write the database into the directory (created if missing;
+    existing table files are overwritten). *)
+
+val load : ?validate:bool -> string -> Dirty_db.t
+(** Load a database saved by {!save}.  When [validate] (default
+    [true]) the per-cluster probability sums are re-checked.
+    @raise Sys_error / Dirty_db.Invalid on missing or malformed
+    files. *)

@@ -1,0 +1,71 @@
+(** Typed SQL values.
+
+    The engine manipulates dynamically typed values drawn from a small
+    set of SQL-like types.  [Null] follows a simplified SQL semantics:
+    it compares equal to itself for grouping purposes ([compare]) but
+    all arithmetic involving [Null] yields [Null], and comparison
+    predicates on [Null] are false (see {!Engine.Expr}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int  (** days since 1970-01-01; a separate type so that date
+                     literals pretty-print back as dates *)
+
+type ty = TBool | TInt | TFloat | TString | TDate
+
+(** {1 Classification} *)
+
+val type_of : t -> ty option
+(** [type_of v] is [None] for [Null]. *)
+
+val ty_name : ty -> string
+
+val is_null : t -> bool
+
+(** {1 Ordering and equality} *)
+
+val compare : t -> t -> int
+(** Total order used for sorting and grouping.  [Null] sorts first;
+    ints and floats compare numerically with each other; values of
+    incomparable types are ordered by their type tag so that the order
+    stays total. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with [equal] (numeric values hash by their float
+    image). *)
+
+(** {1 Numeric coercion} *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+
+(** {1 Date support} *)
+
+val date_of_string : string -> t
+(** Parse ["YYYY-MM-DD"] into [Date]. @raise Invalid_argument on bad
+    syntax. *)
+
+val string_of_date : int -> string
+
+(** {1 Parsing and printing} *)
+
+val parse : string -> t
+(** Best-effort parse used by the CSV loader: integers, then floats,
+    then dates, then booleans, empty string as [Null], anything else
+    as [String]. *)
+
+val to_string : t -> string
+(** Display form ([Null] prints as ["NULL"], dates as
+    ["YYYY-MM-DD"]). *)
+
+val to_sql : t -> string
+(** SQL literal form (strings quoted with escaping, dates as
+    [DATE 'YYYY-MM-DD']). *)
+
+val pp : Format.formatter -> t -> unit

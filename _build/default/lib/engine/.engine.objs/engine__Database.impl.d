@@ -1,0 +1,1 @@
+lib/engine/database.ml: Dirty Exec Format Hashtbl Index List Option Plan Planner Relation Sql Stats String

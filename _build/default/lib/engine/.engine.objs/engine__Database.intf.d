@@ -1,0 +1,1 @@
+lib/engine/database.mli: Dirty Exec Index Plan Planner Sql Stats

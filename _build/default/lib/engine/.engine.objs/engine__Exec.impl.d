@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Dirty Expr Format Fun Hashtbl Index List Option Plan Planner Printf Relation Schema Sql String Unix Value

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Dirty Format Index Plan

@@ -1,0 +1,1 @@
+lib/engine/expr.ml: Array Dirty Hashtbl List Printf Relation Schema Sql String Value

@@ -1,0 +1,1 @@
+lib/engine/expr.mli: Dirty Sql

@@ -1,0 +1,1 @@
+lib/engine/index.ml: Array Dirty Hashtbl Option Relation Schema Value

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Format List Sql String

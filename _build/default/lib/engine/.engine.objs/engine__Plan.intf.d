@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Format Sql

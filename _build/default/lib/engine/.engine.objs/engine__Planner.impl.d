@@ -1,0 +1,1 @@
+lib/engine/planner.ml: Dirty Expr Hashtbl List Logs Option Plan Printf Schema Sql Stats String Value

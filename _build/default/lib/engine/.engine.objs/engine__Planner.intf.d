@@ -1,0 +1,1 @@
+lib/engine/planner.mli: Dirty Plan Sql Stats

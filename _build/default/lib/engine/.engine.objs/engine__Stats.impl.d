@@ -1,0 +1,1 @@
+lib/engine/stats.ml: Array Dirty Float Hashtbl List Option Relation Schema Seq Sql Value

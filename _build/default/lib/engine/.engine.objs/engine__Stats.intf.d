@@ -1,0 +1,1 @@
+lib/engine/stats.mli: Dirty Sql

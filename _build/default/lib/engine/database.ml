@@ -1,0 +1,76 @@
+open Dirty
+
+type entry = {
+  relation : Relation.t;
+  mutable indexes : (string * Index.t) list;  (* attr -> index *)
+  mutable stats : Stats.t option;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add_relation t ~name rel =
+  Hashtbl.replace t name { relation = rel; indexes = []; stats = None }
+
+let drop_relation t name = Hashtbl.remove t name
+
+let entry t name =
+  match Hashtbl.find_opt t name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let relation t name = (entry t name).relation
+let relation_opt t name = Option.map (fun e -> e.relation) (Hashtbl.find_opt t name)
+let table_names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let create_index t ~table ~attr =
+  let e = entry t table in
+  let attr = String.lowercase_ascii attr in
+  let index = Index.build e.relation attr in
+  e.indexes <- (attr, index) :: List.remove_assoc attr e.indexes
+
+let index t ~table ~attr =
+  match Hashtbl.find_opt t table with
+  | None -> None
+  | Some e -> List.assoc_opt (String.lowercase_ascii attr) e.indexes
+
+let has_index t ~table ~attr = index t ~table ~attr <> None
+
+let analyze t name =
+  let e = entry t name in
+  e.stats <- Some (Stats.analyze e.relation)
+
+let analyze_all t = List.iter (analyze t) (table_names t)
+let stats t name = Option.bind (Hashtbl.find_opt t name) (fun e -> e.stats)
+
+let planner_env t : Planner.env =
+  {
+    schema_of =
+      (fun name ->
+        Option.map (fun e -> Relation.schema e.relation) (Hashtbl.find_opt t name));
+    stats_of = (fun name -> stats t name);
+    has_index = (fun table attr -> has_index t ~table ~attr);
+  }
+
+let exec_catalog t : Exec.catalog =
+  {
+    relation = (fun name -> relation t name);
+    index = (fun table attr -> index t ~table ~attr);
+  }
+
+let plan ?config t q = Planner.plan ?config (planner_env t) q
+let run_plan t p = Exec.run (exec_catalog t) p
+let query_ast ?config t q = run_plan t (plan ?config t q)
+let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
+
+let explain ?config t text =
+  Plan.to_string (plan ?config t (Sql.Parser.parse_query text))
+
+let query_profiled ?config t text =
+  let p = plan ?config t (Sql.Parser.parse_query text) in
+  Exec.run_profiled (exec_catalog t) p
+
+let explain_analyze ?config t text =
+  let _, profile = query_profiled ?config t text in
+  Format.asprintf "%a" Exec.pp_profile profile

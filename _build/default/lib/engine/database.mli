@@ -1,0 +1,49 @@
+(** The embedded database: catalog, indexes, statistics, and the query
+    entry points. *)
+
+type t
+
+val create : unit -> t
+
+val add_relation : t -> name:string -> Dirty.Relation.t -> unit
+(** Register (or replace) a base table. Replacing a table drops its
+    indexes and statistics. *)
+
+val drop_relation : t -> string -> unit
+val relation : t -> string -> Dirty.Relation.t
+(** @raise Not_found *)
+
+val relation_opt : t -> string -> Dirty.Relation.t option
+val table_names : t -> string list
+
+val create_index : t -> table:string -> attr:string -> unit
+(** Build (or rebuild) a hash index. @raise Not_found for an unknown
+    table or attribute. *)
+
+val has_index : t -> table:string -> attr:string -> bool
+val index : t -> table:string -> attr:string -> Index.t option
+
+val analyze : t -> string -> unit
+(** RUNSTATS: collect statistics for the table. *)
+
+val analyze_all : t -> unit
+val stats : t -> string -> Stats.t option
+
+val plan : ?config:Planner.config -> t -> Sql.Ast.query -> Plan.t
+val run_plan : t -> Plan.t -> Dirty.Relation.t
+
+val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
+val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t
+(** Parse, plan and execute SQL text.
+    @raise Sql.Parser.Error, Planner.Plan_error or Exec.Exec_error. *)
+
+val explain : ?config:Planner.config -> t -> string -> string
+(** The plan the query would run, rendered EXPLAIN-style. *)
+
+val query_profiled :
+  ?config:Planner.config -> t -> string -> Dirty.Relation.t * Exec.profile
+(** Execute and return per-operator row counts and timings. *)
+
+val explain_analyze : ?config:Planner.config -> t -> string -> string
+(** Run the query and render the profiled plan (rows and elapsed time
+    per operator, EXPLAIN ANALYZE-style). *)

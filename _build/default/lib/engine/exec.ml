@@ -1,0 +1,645 @@
+open Dirty
+
+type catalog = {
+  relation : string -> Relation.t;
+  index : string -> string -> Index.t option;
+}
+
+exception Exec_error of string
+
+let exec_errorf fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+let infer_column_ty rows j =
+  let rec go = function
+    | [] -> Value.TString
+    | row :: rest -> (
+      match Value.type_of row.(j) with Some ty -> ty | None -> go rest)
+  in
+  go rows
+
+let infer_schema names rows =
+  Schema.make (List.mapi (fun j name -> (name, infer_column_ty rows j)) names)
+
+let compile schema e =
+  try Expr.compile schema e with
+  | Expr.Unbound_column c -> exec_errorf "unbound column %s" c
+  | Expr.Ambiguous_column c -> exec_errorf "ambiguous column %s" c
+  | Expr.Type_error msg -> raise (Exec_error msg)
+
+let predicate schema e =
+  let f = compile schema e in
+  fun row -> Expr.truth (f row)
+
+(* ---- aggregation ---- *)
+
+type agg_state =
+  | Count_state of int ref
+  | Sum_state of { mutable int_sum : int; mutable float_sum : float;
+                   mutable is_float : bool; mutable seen : bool }
+  | Avg_state of { mutable total : float; mutable count : int }
+  | Min_state of Value.t option ref
+  | Max_state of Value.t option ref
+
+let new_state (f : Sql.Ast.agg_fun) =
+  match f with
+  | Count -> Count_state (ref 0)
+  | Sum -> Sum_state { int_sum = 0; float_sum = 0.0; is_float = false; seen = false }
+  | Avg -> Avg_state { total = 0.0; count = 0 }
+  | Min -> Min_state (ref None)
+  | Max -> Max_state (ref None)
+
+let feed state (v : Value.t option) =
+  (* [v] is [None] for count-star, [Some value] otherwise *)
+  match state, v with
+  | Count_state r, None -> incr r
+  | Count_state r, Some v -> if not (Value.is_null v) then incr r
+  | Sum_state s, Some v -> (
+    if not (Value.is_null v) then
+      match v with
+      | Value.Int i ->
+        s.seen <- true;
+        if s.is_float then s.float_sum <- s.float_sum +. float_of_int i
+        else s.int_sum <- s.int_sum + i
+      | _ -> (
+        match Value.to_float v with
+        | Some f ->
+          s.seen <- true;
+          if not s.is_float then begin
+            s.is_float <- true;
+            s.float_sum <- float_of_int s.int_sum
+          end;
+          s.float_sum <- s.float_sum +. f
+        | None -> exec_errorf "SUM of non-numeric value %s" (Value.to_string v)))
+  | Avg_state s, Some v -> (
+    if not (Value.is_null v) then
+      match Value.to_float v with
+      | Some f ->
+        s.total <- s.total +. f;
+        s.count <- s.count + 1
+      | None -> exec_errorf "AVG of non-numeric value %s" (Value.to_string v))
+  | Min_state r, Some v ->
+    if not (Value.is_null v) then begin
+      match !r with
+      | None -> r := Some v
+      | Some m -> if Value.compare v m < 0 then r := Some v
+    end
+  | Max_state r, Some v ->
+    if not (Value.is_null v) then begin
+      match !r with
+      | None -> r := Some v
+      | Some m -> if Value.compare v m > 0 then r := Some v
+    end
+  | (Sum_state _ | Avg_state _ | Min_state _ | Max_state _), None ->
+    exec_errorf "aggregate other than COUNT requires an argument"
+
+let finish = function
+  | Count_state r -> Value.Int !r
+  | Sum_state s ->
+    if not s.seen then Value.Null
+    else if s.is_float then Value.Float s.float_sum
+    else Value.Int s.int_sum
+  | Avg_state s ->
+    if s.count = 0 then Value.Null else Value.Float (s.total /. float_of_int s.count)
+  | Min_state r | Max_state r -> Option.value ~default:Value.Null !r
+
+(* Collect the distinct aggregate calls appearing in the given
+   expressions, in syntactic order. *)
+let collect_aggs exprs =
+  let seen = ref [] in
+  let rec go (e : Sql.Ast.expr) =
+    match e with
+    | Agg (_, _) -> if not (List.mem e !seen) then seen := e :: !seen
+    | Lit _ | Col _ | Exists _ | Scalar_subquery _ -> ()
+    | Unop (_, a) | Like (a, _) | Not_like (a, _) | In_list (a, _)
+    | Is_null a | Is_not_null a | In_query (a, _) ->
+      go a
+    | Binop (_, a, b) -> go a; go b
+    | Between (a, b, c) -> go a; go b; go c
+  in
+  List.iter go exprs;
+  List.rev !seen
+
+(* Substitute group-by expressions and aggregate calls with references
+   to the intermediate columns #g<i> / #a<i>. *)
+let rewrite_grouped ~group_by ~aggs e =
+  let rec go (e : Sql.Ast.expr) : Sql.Ast.expr =
+    match List.find_index (Sql.Ast.equal_expr e) group_by with
+    | Some i -> Col { table = None; name = Printf.sprintf "#g%d" i }
+    | None -> (
+      match List.find_index (Sql.Ast.equal_expr e) aggs with
+      | Some i -> Col { table = None; name = Printf.sprintf "#a%d" i }
+      | None -> (
+        match e with
+        | Lit _ | Col _ -> e
+        | Unop (op, a) -> Unop (op, go a)
+        | Binop (op, a, b) -> Binop (op, go a, go b)
+        | Like (a, p) -> Like (go a, p)
+        | Not_like (a, p) -> Not_like (go a, p)
+        | In_list (a, vs) -> In_list (go a, vs)
+        | Between (a, b, c) -> Between (go a, go b, go c)
+        | Is_null a -> Is_null (go a)
+        | Is_not_null a -> Is_not_null (go a)
+        | In_query (a, q) -> In_query (go a, q)
+        | Exists _ | Scalar_subquery _ -> e
+        | Agg _ ->
+          exec_errorf "nested aggregate: %s" (Sql.Pretty.expr_to_string e)))
+  in
+  go e
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i = i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1)) in
+    loop 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 a
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* an aggregate argument: count-star or a compiled expression *)
+type agg_arg = Star_arg | Expr_arg of (Relation.row -> Value.t)
+
+let feed_arg state arg row =
+  match arg with
+  | Star_arg -> feed state None
+  | Expr_arg f -> feed state (Some (f row))
+
+let run_aggregate input ~group_by ~items ~having =
+  let in_schema = Relation.schema input in
+  let key_fns = Array.of_list (List.map (compile in_schema) group_by) in
+  let num_keys = Array.length key_fns in
+  let exprs = List.map fst items @ Option.to_list having in
+  let aggs = collect_aggs exprs in
+  let agg_specs =
+    Array.of_list
+      (List.map
+         (fun e ->
+           match (e : Sql.Ast.expr) with
+           | Agg (f, None) -> (f, Star_arg)
+           | Agg (f, Some arg) -> (f, Expr_arg (compile in_schema arg))
+           | _ -> assert false)
+         aggs)
+  in
+  let num_aggs = Array.length agg_specs in
+  let new_states () = Array.map (fun (f, _) -> new_state f) agg_specs in
+  let groups = Ktbl.create 256 in
+  let order = ref [] in
+  Relation.iter
+    (fun row ->
+      let key = Array.init num_keys (fun i -> key_fns.(i) row) in
+      let states =
+        match Ktbl.find_opt groups key with
+        | Some states -> states
+        | None ->
+          let states = new_states () in
+          Ktbl.add groups key states;
+          order := key :: !order;
+          states
+      in
+      for i = 0 to num_aggs - 1 do
+        feed_arg states.(i) (snd agg_specs.(i)) row
+      done)
+    input;
+  (* SQL semantics: an ungrouped aggregate over an empty input yields
+     a single row of initial aggregate values *)
+  if group_by = [] && Ktbl.length groups = 0 then begin
+    Ktbl.add groups [||] (new_states ());
+    order := [ [||] ]
+  end;
+  let finished_rows =
+    List.rev_map
+      (fun key ->
+        let states = Ktbl.find groups key in
+        Array.append key (Array.map finish states))
+      !order
+  in
+  (* fast path: the output columns are exactly the group columns
+     followed by the aggregates, and no HAVING — emit directly *)
+  let rewritten_items =
+    List.map (fun (e, n) -> (rewrite_grouped ~group_by ~aggs e, n)) items
+  in
+  let is_passthrough =
+    having = None
+    && List.length items = num_keys + num_aggs
+    && List.for_all2
+         (fun (e, _) i ->
+           match (e : Sql.Ast.expr) with
+           | Col { table = None; name } ->
+             name
+             = (if i < num_keys then Printf.sprintf "#g%d" i
+                else Printf.sprintf "#a%d" (i - num_keys))
+           | _ -> false)
+         rewritten_items
+         (List.init (List.length items) Fun.id)
+  in
+  if is_passthrough then
+    Relation.create (infer_schema (List.map snd items) finished_rows) finished_rows
+  else begin
+    let inter_names =
+      List.mapi (fun i _ -> Printf.sprintf "#g%d" i) group_by
+      @ List.mapi (fun i _ -> Printf.sprintf "#a%d" i) aggs
+    in
+    let inter_schema = infer_schema inter_names finished_rows in
+    let inter = Relation.create inter_schema finished_rows in
+    let inter =
+      match having with
+      | None -> inter
+      | Some h ->
+        let h' = rewrite_grouped ~group_by ~aggs h in
+        Relation.filter (predicate inter_schema h') inter
+    in
+    let out_names = List.map snd items in
+    let out_fns = List.map (fun (e, _) -> compile inter_schema e) rewritten_items in
+    let out_rows =
+      List.map
+        (fun row -> Array.of_list (List.map (fun f -> f row) out_fns))
+        (Relation.row_list inter)
+    in
+    Relation.create (infer_schema out_names out_rows) out_rows
+  end
+
+(* ---- joins ---- *)
+
+let run_hash_join left right ~left_keys ~right_keys =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let lf = List.map (compile ls) left_keys and rf = List.map (compile rs) right_keys in
+  let table = Ktbl.create (max 16 (Relation.cardinality right)) in
+  Relation.iter
+    (fun row ->
+      let key = Array.of_list (List.map (fun f -> f row) rf) in
+      if not (Array.exists Value.is_null key) then begin
+        let existing = Option.value ~default:[] (Ktbl.find_opt table key) in
+        Ktbl.replace table key (row :: existing)
+      end)
+    right;
+  (* right rows were consed in reverse; reverse once *)
+  let table' = Ktbl.create (Ktbl.length table) in
+  Ktbl.iter (fun k rows -> Ktbl.replace table' k (List.rev rows)) table;
+  let out_schema = Schema.append ls rs in
+  let out = ref [] in
+  Relation.iter
+    (fun lrow ->
+      let key = Array.of_list (List.map (fun f -> f lrow) lf) in
+      if not (Array.exists Value.is_null key) then
+        match Ktbl.find_opt table' key with
+        | None -> ()
+        | Some rrows ->
+          List.iter (fun rrow -> out := Array.append lrow rrow :: !out) rrows)
+    left;
+  Relation.create out_schema (List.rev !out)
+
+(* Find an equality conjunct of [on] whose sides resolve strictly on
+   the two inputs, to drive a hash path for the outer join; the rest
+   of [on] is verified per candidate pair. *)
+let split_outer_condition ls rs on =
+  let resolves schema e =
+    try
+      List.iter (fun c -> ignore (Expr.resolve schema c)) (Sql.Ast.expr_columns e);
+      Sql.Ast.expr_columns e <> []
+    with Expr.Unbound_column _ | Expr.Ambiguous_column _ -> false
+  in
+  let conjuncts = Sql.Ast.conjuncts on in
+  let rec pick acc = function
+    | [] -> None
+    | (Sql.Ast.Binop (Eq, a, b) as c) :: rest ->
+      if resolves ls a && resolves rs b then Some ((a, b), acc @ rest)
+      else if resolves rs a && resolves ls b then Some ((b, a), acc @ rest)
+      else pick (acc @ [ c ]) rest
+    | c :: rest -> pick (acc @ [ c ]) rest
+  in
+  pick [] conjuncts
+
+let run_left_outer_join lrel rrel ~on =
+  let ls = Relation.schema lrel and rs = Relation.schema rrel in
+  let out_schema = Schema.append ls rs in
+  let nulls = Array.make (Schema.arity rs) Dirty.Value.Null in
+  let out = ref [] in
+  (match split_outer_condition ls rs on with
+  | Some ((lkey, rkey), residual) ->
+    let lf = compile ls lkey and rf = compile rs rkey in
+    let table = Ktbl.create (max 16 (Relation.cardinality rrel)) in
+    let add_bucket key row =
+      let existing = Option.value ~default:[] (Ktbl.find_opt table key) in
+      Ktbl.replace table key (row :: existing)
+    in
+    Relation.iter
+      (fun rrow ->
+        let key = [| rf rrow |] in
+        if not (Value.is_null key.(0)) then add_bucket key rrow)
+      rrel;
+    let residual_pred =
+      match Sql.Ast.conj residual with
+      | None -> fun _ -> true
+      | Some pred -> predicate out_schema pred
+    in
+    Relation.iter
+      (fun lrow ->
+        let key = [| lf lrow |] in
+        let matches =
+          if Value.is_null key.(0) then []
+          else
+            List.filter
+              (fun combined -> residual_pred combined)
+              (List.rev_map
+                 (fun rrow -> Array.append lrow rrow)
+                 (Option.value ~default:[] (Ktbl.find_opt table key)))
+        in
+        match matches with
+        | [] -> out := Array.append lrow nulls :: !out
+        | rows -> List.iter (fun row -> out := row :: !out) (List.rev rows))
+      lrel
+  | None ->
+    (* general nested-loop outer join *)
+    let pred = predicate out_schema on in
+    Relation.iter
+      (fun lrow ->
+        let matched = ref false in
+        Relation.iter
+          (fun rrow ->
+            let combined = Array.append lrow rrow in
+            if pred combined then begin
+              matched := true;
+              out := combined :: !out
+            end)
+          rrel;
+        if not !matched then out := Array.append lrow nulls :: !out)
+      lrel);
+  Relation.create out_schema (List.rev !out)
+
+(* ---- main interpreter ----
+
+   The interpreter threads a [hook] around every node's evaluation so
+   that {!run_profiled} can record per-operator statistics without a
+   second copy of the evaluation logic. *)
+
+let rec run_hooked hook catalog (plan : Plan.t) : Relation.t =
+  hook plan (fun () -> eval hook catalog (resolve_node catalog plan))
+
+(* ---- uncorrelated subqueries ----
+
+   Subquery expressions are resolved when the node holding them is
+   evaluated: the subquery is planned and run against the catalog's
+   base tables, and its result replaces the expression (a value list
+   for IN, a boolean for EXISTS, a scalar for value subqueries).
+   Correlated references fail inside the subquery's own planning with
+   an unbound-column error. *)
+
+and eval_subquery catalog (q : Sql.Ast.query) : Relation.t =
+  let env : Planner.env =
+    {
+      schema_of =
+        (fun name ->
+          match catalog.relation name with
+          | rel -> Some (Relation.schema rel)
+          | exception Not_found -> None);
+      stats_of = (fun _ -> None);
+      has_index = (fun table attr -> catalog.index table attr <> None);
+    }
+  in
+  let plan =
+    try Planner.plan env q
+    with Planner.Plan_error msg -> exec_errorf "in subquery: %s" msg
+  in
+  run_hooked (fun _ f -> f ()) catalog plan
+
+and scalar_of_subquery catalog q =
+  let rel = eval_subquery catalog q in
+  if Schema.arity (Relation.schema rel) <> 1 then
+    exec_errorf "scalar subquery must return one column";
+  match Relation.cardinality rel with
+  | 0 -> Value.Null
+  | 1 -> (Relation.get rel 0).(0)
+  | n -> exec_errorf "scalar subquery returned %d rows" n
+
+and resolve_expr catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
+  let go = resolve_expr catalog in
+  match e with
+  | In_query (x, q) ->
+    let rel = eval_subquery catalog q in
+    if Schema.arity (Relation.schema rel) <> 1 then
+      exec_errorf "IN subquery must return one column";
+    let values =
+      Relation.fold
+        (fun acc row -> if Value.is_null row.(0) then acc else row.(0) :: acc)
+        [] rel
+    in
+    In_list (go x, List.rev values)
+  | Exists q ->
+    Lit (Value.Bool (not (Relation.is_empty (eval_subquery catalog q))))
+  | Scalar_subquery q -> Lit (scalar_of_subquery catalog q)
+  | Lit _ | Col _ | Agg (_, None) -> e
+  | Agg (f, Some a) -> Agg (f, Some (go a))
+  | Unop (op, a) -> Unop (op, go a)
+  | Binop (op, a, b) -> Binop (op, go a, go b)
+  | Like (a, p) -> Like (go a, p)
+  | Not_like (a, p) -> Not_like (go a, p)
+  | In_list (a, vs) -> In_list (go a, vs)
+  | Between (a, b, c) -> Between (go a, go b, go c)
+  | Is_null a -> Is_null (go a)
+  | Is_not_null a -> Is_not_null (go a)
+
+and resolve_if_needed catalog e =
+  if Sql.Ast.has_subqueries e then resolve_expr catalog e else e
+
+and resolve_node catalog (plan : Plan.t) : Plan.t =
+  let r = resolve_if_needed catalog in
+  match plan with
+  | Scan _ | Distinct _ | Limit _ -> plan
+  | Filter { input; pred } -> Filter { input; pred = r pred }
+  | Project { input; items } ->
+    Project { input; items = List.map (fun (e, n) -> (r e, n)) items }
+  | Hash_join { left; right; left_keys; right_keys } ->
+    Hash_join
+      {
+        left;
+        right;
+        left_keys = List.map r left_keys;
+        right_keys = List.map r right_keys;
+      }
+  | Index_join j -> Index_join { j with left_keys = List.map r j.left_keys }
+  | Left_outer_join { left; right; on } ->
+    Left_outer_join { left; right; on = r on }
+  | Cross _ -> plan
+  | Aggregate { input; group_by; items; having } ->
+    Aggregate
+      {
+        input;
+        group_by = List.map r group_by;
+        items = List.map (fun (e, n) -> (r e, n)) items;
+        having = Option.map r having;
+      }
+  | Sort { input; keys } ->
+    Sort { input; keys = List.map (fun (e, d) -> (r e, d)) keys }
+
+and eval hook catalog (plan : Plan.t) : Relation.t =
+  let run catalog plan = run_hooked hook catalog plan in
+  match plan with
+  | Scan { table; alias } ->
+    let rel =
+      try catalog.relation table
+      with Not_found -> exec_errorf "unknown table %s" table
+    in
+    let schema = Schema.rename ~prefix:alias (Relation.schema rel) in
+    Relation.of_array schema (Relation.rows rel)
+  | Filter { input; pred } ->
+    let rel = run catalog input in
+    Relation.filter (predicate (Relation.schema rel) pred) rel
+  | Project { input; items } ->
+    let rel = run catalog input in
+    let schema = Relation.schema rel in
+    let fns = List.map (fun (e, _) -> compile schema e) items in
+    let rows =
+      List.map
+        (fun row -> Array.of_list (List.map (fun f -> f row) fns))
+        (Relation.row_list rel)
+    in
+    Relation.create (infer_schema (List.map snd items) rows) rows
+  | Hash_join { left; right; left_keys; right_keys } ->
+    run_hash_join (run catalog left) (run catalog right) ~left_keys ~right_keys
+  | Left_outer_join { left; right; on } ->
+    run_left_outer_join (run catalog left) (run catalog right) ~on
+  | Index_join { left; table; alias; left_keys; right_attrs } -> (
+    let base =
+      try catalog.relation table
+      with Not_found -> exec_errorf "unknown table %s" table
+    in
+    match right_attrs with
+    | [] -> exec_errorf "index join with no key attributes"
+    | first_attr :: other_attrs -> (
+      match catalog.index table first_attr with
+      | None -> exec_errorf "no index on %s.%s" table first_attr
+      | Some index ->
+        let lrel = run catalog left in
+        let ls = Relation.schema lrel in
+        let lf =
+          match List.map (compile ls) left_keys with
+          | [] -> exec_errorf "index join with no probe keys"
+          | f :: fs -> (f, fs)
+        in
+        let other_idx =
+          List.map (Schema.index_of (Relation.schema base)) other_attrs
+        in
+        let out_schema =
+          Schema.append ls (Schema.rename ~prefix:alias (Relation.schema base))
+        in
+        let out = ref [] in
+        Relation.iter
+          (fun lrow ->
+            let first_f, rest_f = lf in
+            let probe = first_f lrow in
+            if not (Value.is_null probe) then
+              List.iter
+                (fun i ->
+                  let rrow = Relation.get base i in
+                  (* residual equalities on the remaining key attrs *)
+                  let rest_vals = List.map (fun f -> f lrow) rest_f in
+                  let ok =
+                    List.for_all2
+                      (fun v j -> Value.equal v rrow.(j))
+                      rest_vals other_idx
+                  in
+                  if ok then out := Array.append lrow rrow :: !out)
+                (Index.lookup index probe))
+          lrel;
+        Relation.create out_schema (List.rev !out)))
+  | Cross (a, b) ->
+    let ra = run catalog a and rb = run catalog b in
+    let schema = Schema.append (Relation.schema ra) (Relation.schema rb) in
+    let out = ref [] in
+    Relation.iter
+      (fun rowa ->
+        Relation.iter (fun rowb -> out := Array.append rowa rowb :: !out) rb)
+      ra;
+    Relation.create schema (List.rev !out)
+  | Aggregate { input; group_by; items; having } ->
+    run_aggregate (run catalog input) ~group_by ~items ~having
+  | Sort { input; keys } ->
+    let rel = run catalog input in
+    let schema = Relation.schema rel in
+    let compiled = List.map (fun (e, desc) -> (compile schema e, desc)) keys in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (f, desc) :: rest ->
+          let c = Value.compare (f a) (f b) in
+          if c <> 0 then if desc then -c else c else go rest
+      in
+      go compiled
+    in
+    Relation.sort_by cmp rel
+  | Distinct input -> Relation.distinct (run catalog input)
+  | Limit (input, n) ->
+    let rel = run catalog input in
+    let keep = min n (Relation.cardinality rel) in
+    Relation.of_array (Relation.schema rel)
+      (Array.sub (Relation.rows rel) 0 keep)
+
+let run catalog plan =
+  (* evaluation-time type errors surface as engine errors *)
+  try run_hooked (fun _ f -> f ()) catalog plan
+  with Expr.Type_error msg -> raise (Exec_error msg)
+
+type profile = {
+  operator : string;
+  out_rows : int;
+  elapsed : float;
+  children : profile list;
+}
+
+let operator_label (plan : Plan.t) =
+  match plan with
+  | Scan { table; _ } -> "Scan " ^ table
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Hash_join _ -> "HashJoin"
+  | Index_join { table; _ } -> "IndexJoin " ^ table
+  | Left_outer_join _ -> "LeftOuterJoin"
+  | Cross _ -> "CrossProduct"
+  | Aggregate _ -> "Aggregate"
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | Limit _ -> "Limit"
+
+let run_profiled catalog plan =
+  (* a stack of children accumulators: the hook pushes a frame before
+     evaluating a node and folds the completed profile into the
+     parent's frame afterwards *)
+  let stack = ref [ [] ] in
+  let hook node f =
+    stack := [] :: !stack;
+    let t0 = Unix.gettimeofday () in
+    let rel = f () in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match !stack with
+    | children :: parent :: rest ->
+      let p =
+        {
+          operator = operator_label node;
+          out_rows = Relation.cardinality rel;
+          elapsed;
+          children = List.rev children;
+        }
+      in
+      stack := (p :: parent) :: rest
+    | _ -> assert false);
+    rel
+  in
+  let rel =
+    try run_hooked hook catalog plan
+    with Expr.Type_error msg -> raise (Exec_error msg)
+  in
+  match !stack with
+  | [ [ root ] ] -> (rel, root)
+  | _ -> raise (Exec_error "run_profiled: unbalanced profile stack")
+
+let rec pp_profile_indent fmt indent p =
+  Format.fprintf fmt "%s%s  rows=%d  time=%.3fms@\n"
+    (String.make indent ' ')
+    p.operator p.out_rows (p.elapsed *. 1000.0);
+  List.iter (pp_profile_indent fmt (indent + 2)) p.children
+
+let pp_profile fmt p = pp_profile_indent fmt 0 p

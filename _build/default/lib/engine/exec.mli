@@ -1,0 +1,38 @@
+(** Plan evaluation.
+
+    Operators are materialized: each node produces a full
+    {!Dirty.Relation.t}.  Joins are hash-based; aggregation is
+    hash-grouped. *)
+
+type catalog = {
+  relation : string -> Dirty.Relation.t;
+      (** base table by name. @raise Not_found for unknown tables *)
+  index : string -> string -> Index.t option;
+      (** [index table attr] is the persistent index, when one
+          exists *)
+}
+
+exception Exec_error of string
+
+val run : catalog -> Plan.t -> Dirty.Relation.t
+(** @raise Exec_error on semantic errors (unknown table, unbound or
+    ambiguous column, type errors). *)
+
+(** Per-operator execution statistics (EXPLAIN ANALYZE). *)
+type profile = {
+  operator : string;  (** short operator label, e.g. ["HashJoin"] *)
+  out_rows : int;  (** rows the operator produced *)
+  elapsed : float;  (** seconds, inclusive of children *)
+  children : profile list;
+}
+
+val run_profiled : catalog -> Plan.t -> Dirty.Relation.t * profile
+(** Like {!run} but also returns the per-node statistics tree. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+
+val infer_schema :
+  string list -> Dirty.Relation.row list -> Dirty.Schema.t
+(** Output-schema inference for computed columns: each column's type
+    is taken from its first non-null value (VARCHAR when none).
+    Exposed for tests. *)

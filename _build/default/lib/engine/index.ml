@@ -1,0 +1,27 @@
+open Dirty
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = { attr : string; buckets : int list Vtbl.t; cardinality : int }
+
+let build rel attr =
+  let idx = Schema.index_of (Relation.schema rel) attr in
+  let buckets = Vtbl.create (max 16 (Relation.cardinality rel)) in
+  let n = Relation.cardinality rel in
+  (* iterate backwards so that consing preserves row order *)
+  for i = n - 1 downto 0 do
+    let key = (Relation.get rel i).(idx) in
+    let existing = Option.value ~default:[] (Vtbl.find_opt buckets key) in
+    Vtbl.replace buckets key (i :: existing)
+  done;
+  { attr; buckets; cardinality = n }
+
+let attr t = t.attr
+let lookup t key = Option.value ~default:[] (Vtbl.find_opt t.buckets key)
+let distinct_keys t = Vtbl.length t.buckets
+let cardinality t = t.cardinality

@@ -1,0 +1,18 @@
+(** Persistent hash indexes on a single attribute of a base table.
+
+    The paper's experiments create indexes on the identifier
+    attributes before timing queries; {!Planner} uses these indexes
+    for index joins when available. *)
+
+type t
+
+val build : Dirty.Relation.t -> string -> t
+(** [build rel attr] indexes [rel]'s rows by the value of [attr].
+    @raise Not_found if [attr] is not in the schema. *)
+
+val attr : t -> string
+val lookup : t -> Dirty.Value.t -> int list
+(** Row indices holding the value, in row order. *)
+
+val distinct_keys : t -> int
+val cardinality : t -> int

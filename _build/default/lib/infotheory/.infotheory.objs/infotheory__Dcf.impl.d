@@ -1,0 +1,1 @@
+lib/infotheory/dcf.ml: Dist Format List

@@ -1,0 +1,1 @@
+lib/infotheory/dcf.mli: Dist Format

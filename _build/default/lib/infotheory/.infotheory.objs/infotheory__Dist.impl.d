@@ -1,0 +1,1 @@
+lib/infotheory/dist.ml: Float Format Int List Map Option

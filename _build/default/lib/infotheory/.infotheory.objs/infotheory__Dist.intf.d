@@ -1,0 +1,1 @@
+lib/infotheory/dist.mli: Format

@@ -1,0 +1,1 @@
+lib/infotheory/mutual_info.ml: Dcf Dist Float List

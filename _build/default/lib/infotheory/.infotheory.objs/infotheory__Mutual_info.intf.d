@@ -1,0 +1,1 @@
+lib/infotheory/mutual_info.mli: Dcf Dist

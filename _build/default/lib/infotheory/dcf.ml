@@ -1,0 +1,31 @@
+type t = { weight : float; dist : Dist.t }
+
+let make ~weight dist =
+  if weight <= 0.0 then invalid_arg "Dcf.make: non-positive weight";
+  if not (Dist.is_normalized ~eps:1e-6 dist) then
+    invalid_arg "Dcf.make: distribution not normalized";
+  { weight; dist }
+
+let of_symbols symbols =
+  match symbols with
+  | [] -> invalid_arg "Dcf.of_symbols: empty tuple"
+  | _ -> { weight = 1.0; dist = Dist.uniform symbols }
+
+let merge a b =
+  let weight = a.weight +. b.weight in
+  let dist =
+    Dist.mix [ (a.weight /. weight, a.dist); (b.weight /. weight, b.dist) ]
+  in
+  { weight; dist }
+
+let merge_many = function
+  | [] -> invalid_arg "Dcf.merge_many: empty list"
+  | first :: rest -> List.fold_left merge first rest
+
+let information_loss ~total a b =
+  if total <= 0.0 then invalid_arg "Dcf.information_loss: non-positive total";
+  let w = a.weight +. b.weight in
+  let pi1 = a.weight /. w and pi2 = b.weight /. w in
+  w /. total *. Dist.js_divergence ~w1:pi1 ~w2:pi2 a.dist b.dist
+
+let pp fmt t = Format.fprintf fmt "DCF(|c|=%g, %a)" t.weight Dist.pp t.dist

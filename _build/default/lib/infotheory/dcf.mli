@@ -1,0 +1,40 @@
+(** Distributional Cluster Features (Section 4.1.2 of the paper,
+    after LIMBO).
+
+    A DCF summarizes a cluster [c] as the pair
+    [(|c|, p(V | c))]: the cluster's cardinality and the conditional
+    distribution of attribute values given the cluster. *)
+
+type t = private {
+  weight : float;  (** cluster cardinality |c| (can be fractional
+                       after weighted merges) *)
+  dist : Dist.t;  (** p(v | c), normalized *)
+}
+
+val make : weight:float -> Dist.t -> t
+(** @raise Invalid_argument if [weight <= 0] or the distribution is
+    not normalized (1e-6 tolerance). *)
+
+val of_symbols : int list -> t
+(** DCF of a single tuple containing the given [m] attribute values:
+    weight 1, probability [1/m] on each value (Section 4.1.1). *)
+
+val merge : t -> t -> t
+(** The paper's recursive DCF merge: the merged weight is
+    [|c1| + |c2|] and the merged conditional is the
+    cardinality-weighted average of the two conditionals. *)
+
+val merge_many : t list -> t
+(** Left fold of {!merge}. @raise Invalid_argument on the empty
+    list. *)
+
+val information_loss : total:float -> t -> t -> float
+(** [information_loss ~total d1 d2] is the mutual-information loss
+    [I(C;V) − I(C';V)] incurred by merging the two clusters, where
+    [total] is the total number of tuples [n] (so cluster priors are
+    [weight/n]).  By the standard identity this equals
+    [(w1+w2)/n · JS_{π1,π2}(p1, p2)] with [πi = wi/(w1+w2)];
+    {!Mutual_info} provides the direct computation used to
+    cross-check this in tests. *)
+
+val pp : Format.formatter -> t -> unit

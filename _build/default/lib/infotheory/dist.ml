@@ -1,0 +1,89 @@
+module Imap = Map.Make (Int)
+
+type t = float Imap.t
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let of_assoc pairs =
+  List.fold_left
+    (fun acc (sym, mass) ->
+      if mass < 0.0 then invalid_arg "Dist.of_assoc: negative mass"
+      else if mass = 0.0 then acc
+      else
+        Imap.update sym
+          (function None -> Some mass | Some m -> Some (m +. mass))
+          acc)
+    Imap.empty pairs
+
+let uniform symbols =
+  match symbols with
+  | [] -> invalid_arg "Dist.uniform: empty support"
+  | _ ->
+    let p = 1.0 /. float_of_int (List.length symbols) in
+    of_assoc (List.map (fun s -> (s, p)) symbols)
+
+let singleton sym = Imap.singleton sym 1.0
+let prob t sym = Option.value ~default:0.0 (Imap.find_opt sym t)
+let support t = List.map fst (Imap.bindings t)
+let support_size t = Imap.cardinal t
+let total_mass t = Imap.fold (fun _ m acc -> acc +. m) t 0.0
+let is_normalized ?(eps = 1e-9) t = Float.abs (total_mass t -. 1.0) <= eps
+
+let normalize t =
+  let z = total_mass t in
+  if z <= 0.0 then invalid_arg "Dist.normalize: zero mass"
+  else Imap.map (fun m -> m /. z) t
+
+let scale w t = Imap.map (fun m -> m *. w) t
+
+let mix weighted =
+  List.fold_left
+    (fun acc (w, d) ->
+      Imap.fold
+        (fun sym m acc ->
+          let contribution = w *. m in
+          if contribution = 0.0 then acc
+          else
+            Imap.update sym
+              (function None -> Some contribution | Some x -> Some (x +. contribution))
+              acc)
+        d acc)
+    Imap.empty weighted
+
+let fold f t init = Imap.fold f t init
+
+let entropy t =
+  Imap.fold (fun _ p acc -> if p > 0.0 then acc -. (p *. log2 p) else acc) t 0.0
+
+let kl_divergence p q =
+  Imap.fold
+    (fun sym pp acc ->
+      if pp <= 0.0 then acc
+      else
+        let qq = prob q sym in
+        if qq <= 0.0 then
+          invalid_arg "Dist.kl_divergence: support of p not contained in q"
+        else acc +. (pp *. log2 (pp /. qq)))
+    p 0.0
+
+let js_divergence ?(w1 = 0.5) ?(w2 = 0.5) p q =
+  let m = mix [ (w1, p); (w2, q) ] in
+  (* when the weights do not sum to 1 the mixture must be renormalized
+     for the KL terms to be well defined *)
+  let m = if Float.abs (w1 +. w2 -. 1.0) <= 1e-12 then m else normalize m in
+  (w1 *. kl_divergence p m) +. (w2 *. kl_divergence q m)
+
+let equal ?(eps = 1e-9) a b =
+  let keys = List.sort_uniq Int.compare (support a @ support b) in
+  List.for_all (fun k -> Float.abs (prob a k -. prob b k) <= eps) keys
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  let first = ref true in
+  Imap.iter
+    (fun sym p ->
+      if not !first then Format.fprintf fmt ", ";
+      first := false;
+      Format.fprintf fmt "%d:%.4g" sym p)
+    t;
+  Format.fprintf fmt "}"

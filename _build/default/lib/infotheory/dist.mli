@@ -1,0 +1,55 @@
+(** Sparse finite probability distributions over integer-coded
+    symbols.
+
+    Symbols are non-negative integers (callers intern their domain
+    values, see {!Prob.Interning}); probabilities of symbols outside
+    the support are zero.  All logarithms are base 2, so entropies and
+    divergences are in bits. *)
+
+type t
+
+val of_assoc : (int * float) list -> t
+(** Builds a distribution from (symbol, mass) pairs.  Masses for the
+    same symbol accumulate; zero-mass entries are dropped.
+    @raise Invalid_argument on negative mass. *)
+
+val uniform : int list -> t
+(** Uniform distribution over the given (distinct) symbols. *)
+
+val singleton : int -> t
+
+val prob : t -> int -> float
+val support : t -> int list
+(** Symbols with non-zero mass, ascending. *)
+
+val support_size : t -> int
+val total_mass : t -> float
+val is_normalized : ?eps:float -> t -> bool
+
+val normalize : t -> t
+(** Scale to total mass 1. @raise Invalid_argument on zero total
+    mass. *)
+
+val scale : float -> t -> t
+
+val mix : (float * t) list -> t
+(** Weighted mixture [sum_i w_i * d_i]; weights need not sum to 1 (the
+    result is not normalized unless they do and each [d_i] is). *)
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val entropy : t -> float
+(** Shannon entropy in bits; 0·log 0 = 0. Assumes normalization. *)
+
+val kl_divergence : t -> t -> float
+(** [kl_divergence p q] = Σ p(x) log₂ (p(x)/q(x)).
+    @raise Invalid_argument when p's support is not contained in
+    q's (infinite divergence). *)
+
+val js_divergence : ?w1:float -> ?w2:float -> t -> t -> float
+(** Generalized Jensen–Shannon divergence with mixture weights [w1],
+    [w2] (default 0.5 each):
+    [w1·KL(p‖m) + w2·KL(q‖m)] with [m = w1·p + w2·q]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

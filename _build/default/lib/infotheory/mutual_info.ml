@@ -1,0 +1,25 @@
+let log2 x = Float.log x /. Float.log 2.0
+
+let marginal clusters = Dist.mix clusters
+
+let mutual_information clusters =
+  let pv = marginal clusters in
+  List.fold_left
+    (fun acc (pc, cond) ->
+      if pc <= 0.0 then acc
+      else
+        acc
+        +. Dist.fold
+             (fun sym p acc ->
+               if p <= 0.0 then acc
+               else acc +. (pc *. p *. log2 (p /. Dist.prob pv sym)))
+             cond 0.0)
+    0.0 clusters
+
+let clustering_of_dcfs ~total dcfs =
+  List.map (fun (d : Dcf.t) -> (d.weight /. total, d.dist)) dcfs
+
+let merge_loss ~total a b ~rest =
+  let before = clustering_of_dcfs ~total (a :: b :: rest) in
+  let after = clustering_of_dcfs ~total (Dcf.merge a b :: rest) in
+  mutual_information before -. mutual_information after

@@ -1,0 +1,1 @@
+lib/matcher/evaluate.ml: Cluster Dirty Format Hashtbl List Option Value

@@ -1,0 +1,1 @@
+lib/matcher/evaluate.mli: Dirty Format

@@ -1,0 +1,1 @@
+lib/matcher/limbo.ml: Array Cluster Dirty Infotheory Int List Prob Value

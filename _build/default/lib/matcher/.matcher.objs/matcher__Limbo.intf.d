@@ -1,0 +1,1 @@
+lib/matcher/limbo.mli: Dirty

@@ -1,0 +1,1 @@
+lib/matcher/similarity.ml: Array Dirty Float List Option Prob Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/matcher/similarity.mli: Dirty

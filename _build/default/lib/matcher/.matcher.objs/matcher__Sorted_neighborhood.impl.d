@@ -1,0 +1,1 @@
+lib/matcher/sorted_neighborhood.ml: Array Dirty List Relation Schema Similarity String Union_find Value

@@ -1,0 +1,1 @@
+lib/matcher/sorted_neighborhood.mli: Dirty

@@ -1,0 +1,1 @@
+lib/matcher/union_find.ml: Array Dirty Fun

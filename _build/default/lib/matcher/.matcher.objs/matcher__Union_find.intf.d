@@ -1,0 +1,1 @@
+lib/matcher/union_find.mli: Dirty

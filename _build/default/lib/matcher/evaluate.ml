@@ -1,0 +1,60 @@
+open Dirty
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  predicted_pairs : int;
+  true_pairs : int;
+  common_pairs : int;
+}
+
+let pairs_in_cluster members =
+  let m = List.length members in
+  m * (m - 1) / 2
+
+let total_pairs clustering =
+  Cluster.fold (fun _ members acc -> acc + pairs_in_cluster members) clustering 0
+
+let pairwise ~truth predicted =
+  if Cluster.num_rows truth <> Cluster.num_rows predicted then
+    invalid_arg "Evaluate.pairwise: row count mismatch";
+  let predicted_pairs = total_pairs predicted in
+  let true_pairs = total_pairs truth in
+  (* common pairs: within every predicted cluster, group members by
+     their true cluster and count pairs inside each group *)
+  let common = ref 0 in
+  Cluster.iter
+    (fun _ members ->
+      let by_truth = Hashtbl.create 8 in
+      List.iter
+        (fun row ->
+          let t = Value.to_string (Cluster.cluster_of_row truth row) in
+          Hashtbl.replace by_truth t
+            (1 + Option.value ~default:0 (Hashtbl.find_opt by_truth t)))
+        members;
+      Hashtbl.iter (fun _ m -> common := !common + (m * (m - 1) / 2)) by_truth)
+    predicted;
+  let precision =
+    if predicted_pairs = 0 then 1.0
+    else float_of_int !common /. float_of_int predicted_pairs
+  in
+  let recall =
+    if true_pairs = 0 then 1.0 else float_of_int !common /. float_of_int true_pairs
+  in
+  let f1 =
+    if precision +. recall <= 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  {
+    precision;
+    recall;
+    f1;
+    predicted_pairs;
+    true_pairs;
+    common_pairs = !common;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "precision %.3f recall %.3f f1 %.3f (pairs: %d/%d/%d)"
+    s.precision s.recall s.f1 s.common_pairs s.predicted_pairs s.true_pairs

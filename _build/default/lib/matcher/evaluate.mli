@@ -1,0 +1,22 @@
+(** Pairwise clustering quality against a ground-truth clustering.
+
+    A predicted clustering is scored by the set of within-cluster row
+    pairs it implies: precision is the fraction of predicted pairs
+    that are true duplicates, recall the fraction of true duplicate
+    pairs predicted. *)
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  predicted_pairs : int;
+  true_pairs : int;
+  common_pairs : int;
+}
+
+val pairwise : truth:Dirty.Cluster.t -> Dirty.Cluster.t -> scores
+(** @raise Invalid_argument when the clusterings cover different row
+    counts.  Conventions: with zero predicted pairs precision is 1;
+    with zero true pairs recall is 1. *)
+
+val pp : Format.formatter -> scores -> unit

@@ -1,0 +1,80 @@
+open Dirty
+
+type stop = Num_clusters of int | Max_loss of float
+
+type config = { attrs : string list; stop : stop }
+
+type state = {
+  mutable dcf : Infotheory.Dcf.t;
+  mutable members : int list;  (* rows, ascending *)
+  mutable alive : bool;
+  lowest : int;
+}
+
+(* run the agglomeration, invoking [on_merge] for every merge *)
+let agglomerate config rel ~on_merge =
+  let matrix = Prob.Matrix.of_relation ~attrs:config.attrs rel in
+  let n = Prob.Matrix.num_rows matrix in
+  let total = float_of_int (max n 1) in
+  let states =
+    Array.init n (fun i ->
+        { dcf = Prob.Matrix.row_dcf matrix i; members = [ i ]; alive = true; lowest = i })
+  in
+  let alive = ref n in
+  let target =
+    match config.stop with Num_clusters k -> max 1 k | Max_loss _ -> 1
+  in
+  let continue = ref (n > 1) in
+  while !continue && !alive > target do
+    (* cheapest merge among alive cluster pairs *)
+    let best = ref None in
+    for i = 0 to n - 1 do
+      if states.(i).alive then
+        for j = i + 1 to n - 1 do
+          if states.(j).alive then begin
+            let loss =
+              Infotheory.Dcf.information_loss ~total states.(i).dcf states.(j).dcf
+            in
+            match !best with
+            | Some (_, _, l) when l <= loss -> ()
+            | _ -> best := Some (i, j, loss)
+          end
+        done
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (i, j, loss) ->
+      let stop_now =
+        match config.stop with Max_loss phi -> loss > phi | Num_clusters _ -> false
+      in
+      if stop_now then continue := false
+      else begin
+        on_merge states.(i).lowest states.(j).lowest loss;
+        states.(i).dcf <- Infotheory.Dcf.merge states.(i).dcf states.(j).dcf;
+        states.(i).members <-
+          List.merge Int.compare states.(i).members states.(j).members;
+        states.(j).alive <- false;
+        decr alive
+      end
+  done;
+  states
+
+let cluster_of_states states =
+  let n = Array.length states in
+  let owner = Array.make n 0 in
+  Array.iter
+    (fun s ->
+      if s.alive then List.iter (fun row -> owner.(row) <- s.lowest) s.members)
+    states;
+  Cluster.of_assignment ~size:n (fun i -> Value.Int owner.(i))
+
+let run config rel =
+  let states = agglomerate config rel ~on_merge:(fun _ _ _ -> ()) in
+  cluster_of_states states
+
+let merge_trace config rel =
+  let trace = ref [] in
+  let _ =
+    agglomerate config rel ~on_merge:(fun a b loss -> trace := (a, b, loss) :: !trace)
+  in
+  List.rev !trace

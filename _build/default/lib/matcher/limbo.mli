@@ -1,0 +1,32 @@
+(** Agglomerative information-theoretic clustering of categorical
+    tuples — the LIMBO algorithm of Andritsos et al. (EDBT 2004),
+    which the paper builds its distance measure on (Section 4.1).
+
+    This is the direct agglomerative variant: every tuple starts as a
+    singleton DCF; the pair of clusters whose merge loses the least
+    mutual information I(C;V) is merged repeatedly until a stopping
+    condition holds.  (The original LIMBO accelerates this with a
+    bounded DCF tree; the agglomerative core is the same and is what
+    the duplicate-detection workloads here need.)  Complexity is
+    O(k² · |V|) per merge — fine for blocking-sized inputs; pair it
+    with {!Sorted_neighborhood} blocks for large relations. *)
+
+type stop =
+  | Num_clusters of int  (** merge until this many clusters remain *)
+  | Max_loss of float
+      (** stop before a merge that would lose more than this much
+          mutual information (absolute, in bits) *)
+
+type config = {
+  attrs : string list;  (** attributes the summaries are built over *)
+  stop : stop;
+}
+
+val run : config -> Dirty.Relation.t -> Dirty.Cluster.t
+(** Cluster the relation's rows.  Cluster identifiers are [Int]
+    values (the surviving DCF's lowest member row). *)
+
+val merge_trace : config -> Dirty.Relation.t -> (int * int * float) list
+(** The sequence of merges performed, as (cluster a's lowest row,
+    cluster b's lowest row, information loss) — useful to inspect the
+    dendrogram and pick a [Max_loss] threshold. *)

@@ -1,0 +1,55 @@
+open Dirty
+
+let string_similarity a b = 1.0 -. Prob.Strdist.normalized_levenshtein a b
+
+let tokens s =
+  String.split_on_char ' ' (String.lowercase_ascii s)
+  |> List.filter (fun t -> t <> "")
+  |> List.sort_uniq String.compare
+
+let token_jaccard a b =
+  let ta = tokens a and tb = tokens b in
+  match ta, tb with
+  | [], [] -> 1.0
+  | _ ->
+    let inter = List.length (List.filter (fun t -> List.mem t tb) ta) in
+    let union = List.length (List.sort_uniq String.compare (ta @ tb)) in
+    float_of_int inter /. float_of_int union
+
+let numeric_similarity a b =
+  let denom = Float.max (Float.max (Float.abs a) (Float.abs b)) 1.0 in
+  Float.max 0.0 (1.0 -. (Float.abs (a -. b) /. denom))
+
+let value_similarity a b =
+  match a, b with
+  | Value.Null, Value.Null -> 1.0
+  | Value.Null, _ | _, Value.Null -> 0.0
+  | Value.String x, Value.String y -> string_similarity x y
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    numeric_similarity (Option.get (Value.to_float a)) (Option.get (Value.to_float b))
+  | Value.Date x, Value.Date y ->
+    (* a week apart is still fairly similar *)
+    Float.max 0.0 (1.0 -. (Float.abs (float_of_int (x - y)) /. 30.0))
+  | Value.Bool x, Value.Bool y -> if x = y then 1.0 else 0.0
+  | _ -> string_similarity (Value.to_string a) (Value.to_string b)
+
+let record_similarity ?weights rel ~attrs i j =
+  let schema = Relation.schema rel in
+  let indices = List.map (Schema.index_of schema) attrs in
+  let weights =
+    match weights with
+    | Some w ->
+      if List.length w <> List.length attrs then
+        invalid_arg "Similarity.record_similarity: weight arity mismatch"
+      else w
+    | None -> List.map (fun _ -> 1.0) attrs
+  in
+  let ri = Relation.get rel i and rj = Relation.get rel j in
+  let total_weight = List.fold_left ( +. ) 0.0 weights in
+  if total_weight <= 0.0 then invalid_arg "Similarity.record_similarity: zero weight";
+  let weighted =
+    List.fold_left2
+      (fun acc idx w -> acc +. (w *. value_similarity ri.(idx) rj.(idx)))
+      0.0 indices weights
+  in
+  weighted /. total_weight

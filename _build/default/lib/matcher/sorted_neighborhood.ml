@@ -1,0 +1,75 @@
+open Dirty
+
+type pass = { key_attrs : string list; key_prefix : int }
+
+let pass ?(key_prefix = 3) key_attrs = { key_attrs; key_prefix }
+
+type config = {
+  passes : pass list;
+  window : int;
+  threshold : float;
+  attrs : string list;
+}
+
+let blocking_key rel pass row_index =
+  let schema = Relation.schema rel in
+  let row = Relation.get rel row_index in
+  String.concat "|"
+    (List.map
+       (fun attr ->
+         let v = Value.to_string row.(Schema.index_of schema attr) in
+         let v = String.lowercase_ascii v in
+         if String.length v <= pass.key_prefix then v
+         else String.sub v 0 pass.key_prefix)
+       pass.key_attrs)
+
+let sorted_order rel pass =
+  let n = Relation.cardinality rel in
+  let keyed = Array.init n (fun i -> (blocking_key rel pass i, i)) in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let validate config =
+  if config.passes = [] then
+    invalid_arg "Sorted_neighborhood: at least one pass required";
+  if config.window < 2 then invalid_arg "Sorted_neighborhood: window < 2";
+  if config.threshold < 0.0 || config.threshold > 1.0 then
+    invalid_arg "Sorted_neighborhood: threshold outside [0,1]"
+
+let iter_window_pairs order window f =
+  let n = Array.length order in
+  for i = 0 to n - 1 do
+    for j = i + 1 to min (n - 1) (i + window - 1) do
+      f order.(i) order.(j)
+    done
+  done
+
+let run config rel =
+  validate config;
+  let n = Relation.cardinality rel in
+  let uf = Union_find.create n in
+  List.iter
+    (fun pass ->
+      let order = sorted_order rel pass in
+      iter_window_pairs order config.window (fun a b ->
+          if not (Union_find.same uf a b) then
+            if
+              Similarity.record_similarity rel ~attrs:config.attrs a b
+              >= config.threshold
+            then Union_find.union uf a b))
+    config.passes;
+  Union_find.to_cluster uf
+
+let pairs_compared config rel =
+  validate config;
+  let n = Relation.cardinality rel in
+  let per_pass =
+    (* a window of size w over n rows examines (w-1) pairs per start,
+       truncated at the tail *)
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      count := !count + (min (n - 1) (i + config.window - 1) - i)
+    done;
+    !count
+  in
+  per_pass * List.length config.passes

@@ -1,0 +1,17 @@
+(** Disjoint sets over the integers [0..n-1] (union by rank, path
+    compression).  Used by the matchers to merge tuple pairs into
+    duplicate clusters. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val num_classes : t -> int
+
+val to_cluster : t -> Dirty.Cluster.t
+(** The partition as a {!Dirty.Cluster.t}; cluster identifiers are the
+    canonical representatives as [Int] values. *)

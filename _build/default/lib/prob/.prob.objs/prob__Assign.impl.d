@@ -1,0 +1,1 @@
+lib/prob/assign.ml: Array Cluster Dirty Dirty_db Infotheory List Matrix Relation Representative Schema Strdist Value

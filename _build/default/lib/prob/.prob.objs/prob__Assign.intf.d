@@ -1,0 +1,1 @@
+lib/prob/assign.mli: Dirty Infotheory Matrix

@@ -1,0 +1,1 @@
+lib/prob/interning.ml: Array Dirty Hashtbl Value

@@ -1,0 +1,1 @@
+lib/prob/interning.mli: Dirty

@@ -1,0 +1,1 @@
+lib/prob/matrix.ml: Array Dirty Infotheory Interning List Relation Schema

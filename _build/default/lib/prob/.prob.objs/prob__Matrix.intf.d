@@ -1,0 +1,1 @@
+lib/prob/matrix.mli: Dirty Infotheory Interning

@@ -1,0 +1,1 @@
+lib/prob/representative.ml: Array Cluster Dirty Format Infotheory Interning List Matrix Value

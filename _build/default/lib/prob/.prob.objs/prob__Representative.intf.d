@@ -1,0 +1,1 @@
+lib/prob/representative.mli: Dirty Format Infotheory Matrix

@@ -1,0 +1,1 @@
+lib/prob/resolve.ml: Array Cluster Dirty Dirty_db Float Hashtbl List Relation Schema Value

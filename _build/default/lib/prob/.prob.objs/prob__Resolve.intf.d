@@ -1,0 +1,1 @@
+lib/prob/resolve.mli: Dirty

@@ -1,0 +1,1 @@
+lib/prob/strdist.ml: Array Fun String

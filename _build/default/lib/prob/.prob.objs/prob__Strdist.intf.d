@@ -1,0 +1,1 @@
+lib/prob/strdist.mli:

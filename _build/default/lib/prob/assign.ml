@@ -1,0 +1,94 @@
+open Dirty
+
+type distance =
+  | Information_loss
+  | Edit_distance
+  | Custom of (Matrix.t -> int -> Infotheory.Dcf.t -> float)
+
+type result = {
+  probabilities : float array;
+  distances : float array;
+  similarities : float array;
+  representatives : (Value.t * Infotheory.Dcf.t) list;
+}
+
+let information_loss_fn matrix =
+  let total = float_of_int (Matrix.num_rows matrix) in
+  fun row rep -> Infotheory.Dcf.information_loss ~total (Matrix.row_dcf matrix row) rep
+
+let edit_distance_fn rel attrs matrix =
+  let schema = Relation.schema rel in
+  let indices = List.map (Schema.index_of schema) attrs in
+  fun row rep ->
+    let modal = Representative.modal_tuple matrix rep in
+    let tuple = Relation.get rel row in
+    let dists =
+      List.map2
+        (fun j v ->
+          Strdist.normalized_levenshtein
+            (Value.to_string tuple.(j))
+            (Value.to_string v))
+        indices modal
+    in
+    List.fold_left ( +. ) 0.0 dists /. float_of_int (List.length dists)
+
+let run ?(distance = Information_loss) ?attrs rel clustering =
+  let attrs =
+    match attrs with None -> Schema.names (Relation.schema rel) | Some a -> a
+  in
+  let matrix = Matrix.of_relation ~attrs rel in
+  let dist_fn =
+    match distance with
+    | Information_loss -> information_loss_fn matrix
+    | Edit_distance -> edit_distance_fn rel attrs matrix
+    | Custom f -> f matrix
+  in
+  let n = Relation.cardinality rel in
+  let distances = Array.make n 0.0 in
+  let similarities = Array.make n 1.0 in
+  let probabilities = Array.make n 1.0 in
+  let representatives = Representative.all matrix clustering in
+  List.iter
+    (fun (id, rep) ->
+      let members = Cluster.members clustering id in
+      match members with
+      | [] -> ()
+      | [ single ] ->
+        distances.(single) <- 0.0;
+        similarities.(single) <- 1.0;
+        probabilities.(single) <- 1.0
+      | _ ->
+        let card = List.length members in
+        List.iter (fun row -> distances.(row) <- dist_fn row rep) members;
+        let sum = List.fold_left (fun acc row -> acc +. distances.(row)) 0.0 members in
+        if sum <= 0.0 then
+          (* all members identical: uniform probabilities *)
+          List.iter
+            (fun row ->
+              similarities.(row) <- 1.0;
+              probabilities.(row) <- 1.0 /. float_of_int card)
+            members
+        else
+          List.iter
+            (fun row ->
+              let s = 1.0 -. (distances.(row) /. sum) in
+              similarities.(row) <- s;
+              probabilities.(row) <- s /. float_of_int (card - 1))
+            members)
+    representatives;
+  { probabilities; distances; similarities; representatives }
+
+let assign ?distance ?attrs rel clustering =
+  (run ?distance ?attrs rel clustering).probabilities
+
+let annotate_table ?distance ?attrs (table : Dirty_db.table) =
+  let attrs =
+    match attrs with
+    | Some a -> a
+    | None ->
+      List.filter
+        (fun name -> name <> table.id_attr && name <> table.prob_attr)
+        (Schema.names (Relation.schema table.relation))
+  in
+  let probs = assign ?distance ~attrs table.relation table.clustering in
+  Dirty_db.with_probabilities table probs

@@ -1,0 +1,57 @@
+(** The probability-assignment procedure of Figure 5.
+
+    Given a clustering of a relation and a distance measure, each
+    tuple gets the probability of being the cluster's representative
+    in the clean database:
+
+    - Step 1: compute each cluster's representative by merging the
+      member tuples' DCFs.
+    - Step 2: compute the distance [d_t] of every tuple to its
+      cluster's representative and the per-cluster sum [S(c)].
+    - Step 3: similarity [s_t = 1 − d_t / S(c)]; the probability is
+      [1.0] for singleton clusters and [s_t / (|c| − 1)] otherwise.
+
+    Degenerate case (not covered by the paper): when [S(c) = 0] —
+    all member tuples identical — probabilities are uniform
+    [1/|c|]. *)
+
+type distance =
+  | Information_loss
+      (** DCF merge loss [I(C;V) − I(C';V)] (the paper's measure,
+          Section 4.1.3) *)
+  | Edit_distance
+      (** mean normalized Levenshtein distance between the tuple and
+          the representative's modal tuple, attribute-wise *)
+  | Custom of (Matrix.t -> int -> Infotheory.Dcf.t -> float)
+      (** [f matrix row rep] *)
+
+type result = {
+  probabilities : float array;  (** per row, row order *)
+  distances : float array;  (** d_t per row *)
+  similarities : float array;  (** s_t per row (1.0 for singletons) *)
+  representatives : (Dirty.Value.t * Infotheory.Dcf.t) list;
+}
+
+val run :
+  ?distance:distance ->
+  ?attrs:string list ->
+  Dirty.Relation.t ->
+  Dirty.Cluster.t ->
+  result
+(** Execute the procedure.  [attrs] selects the attributes the
+    summaries are built over (default: all).  The returned
+    probabilities sum to 1 within each cluster. *)
+
+val assign :
+  ?distance:distance ->
+  ?attrs:string list ->
+  Dirty.Relation.t ->
+  Dirty.Cluster.t ->
+  float array
+(** Just the probabilities of {!run}. *)
+
+val annotate_table : ?distance:distance -> ?attrs:string list ->
+  Dirty.Dirty_db.table -> Dirty.Dirty_db.table
+(** Recompute the probability column of a dirty table from its own
+    clustering.  [attrs] defaults to all attributes except the
+    identifier and probability columns. *)

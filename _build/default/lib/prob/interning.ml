@@ -1,0 +1,43 @@
+open Dirty
+
+module Key = struct
+  type t = int * Value.t
+
+  let equal (a1, v1) (a2, v2) = a1 = a2 && Value.equal v1 v2
+  let hash (a, v) = (a * 31) + Value.hash v
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type t = {
+  forward : int Ktbl.t;
+  mutable backward : (int * Value.t) array;
+  mutable next : int;
+}
+
+let create () = { forward = Ktbl.create 64; backward = Array.make 64 (0, Value.Null); next = 0 }
+
+let intern t ~attr value =
+  let key = (attr, value) in
+  match Ktbl.find_opt t.forward key with
+  | Some sym -> sym
+  | None ->
+    let sym = t.next in
+    t.next <- sym + 1;
+    Ktbl.add t.forward key sym;
+    if sym >= Array.length t.backward then begin
+      let bigger = Array.make (2 * Array.length t.backward) (0, Value.Null) in
+      Array.blit t.backward 0 bigger 0 (Array.length t.backward);
+      t.backward <- bigger
+    end;
+    t.backward.(sym) <- key;
+    sym
+
+let find_opt t ~attr value = Ktbl.find_opt t.forward (attr, value)
+let size t = t.next
+
+let to_pair t sym =
+  if sym < 0 || sym >= t.next then raise Not_found else t.backward.(sym)
+
+let attr_of t sym = fst (to_pair t sym)
+let value_of t sym = snd (to_pair t sym)

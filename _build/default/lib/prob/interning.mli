@@ -1,0 +1,22 @@
+(** Interning of attribute values into integer symbols.
+
+    Section 4.1.1 requires the domain of each attribute to be "named
+    in such a way that identical values from different attributes are
+    treated as distinct values": the symbol space is keyed by the
+    (attribute position, value) pair. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> attr:int -> Dirty.Value.t -> int
+(** Symbol of the pair, allocating a fresh one on first sight. *)
+
+val find_opt : t -> attr:int -> Dirty.Value.t -> int option
+val size : t -> int
+
+val to_pair : t -> int -> int * Dirty.Value.t
+(** Inverse mapping. @raise Not_found for unallocated symbols. *)
+
+val attr_of : t -> int -> int
+val value_of : t -> int -> Dirty.Value.t

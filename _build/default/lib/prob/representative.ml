@@ -1,0 +1,48 @@
+open Dirty
+
+let of_rows matrix rows =
+  match rows with
+  | [] -> invalid_arg "Representative.of_rows: empty cluster"
+  | _ -> Infotheory.Dcf.merge_many (List.map (Matrix.row_dcf matrix) rows)
+
+let all matrix clustering =
+  List.rev
+    (Cluster.fold
+       (fun id members acc -> (id, of_rows matrix members) :: acc)
+       clustering [])
+
+let modal_tuple matrix (dcf : Infotheory.Dcf.t) =
+  let interning = Matrix.interning matrix in
+  let num_attrs = List.length (Matrix.attrs matrix) in
+  let best = Array.make num_attrs None in
+  Infotheory.Dist.fold
+    (fun sym p () ->
+      let attr = Interning.attr_of interning sym in
+      match best.(attr) with
+      | Some (_, bp) when bp >= p -> ()
+      | _ -> best.(attr) <- Some (sym, p))
+    dcf.Infotheory.Dcf.dist ();
+  Array.to_list
+    (Array.map
+       (function
+         | None -> Value.Null
+         | Some (sym, _) -> Interning.value_of interning sym)
+       best)
+
+let pp_table matrix fmt reps =
+  let interning = Matrix.interning matrix in
+  let num_syms = Interning.size interning in
+  Format.fprintf fmt "%-12s |c|" "cluster";
+  for sym = 0 to num_syms - 1 do
+    Format.fprintf fmt " %12s"
+      (Value.to_string (Interning.value_of interning sym))
+  done;
+  Format.fprintf fmt "@\n";
+  List.iter
+    (fun (id, (dcf : Infotheory.Dcf.t)) ->
+      Format.fprintf fmt "%-12s %3g" (Value.to_string id) dcf.weight;
+      for sym = 0 to num_syms - 1 do
+        Format.fprintf fmt " %12.3f" (Infotheory.Dist.prob dcf.dist sym)
+      done;
+      Format.fprintf fmt "@\n")
+    reps

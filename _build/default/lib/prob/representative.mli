@@ -1,0 +1,22 @@
+(** Cluster representatives (Section 4.1.2, Table 2).
+
+    The representative of a cluster is the DCF obtained by recursively
+    merging the DCFs of its member tuples.  A representative need not
+    coincide with any tuple of the relation. *)
+
+val of_rows : Matrix.t -> int list -> Infotheory.Dcf.t
+(** Representative of the cluster containing the given row indices.
+    @raise Invalid_argument on the empty cluster. *)
+
+val all : Matrix.t -> Dirty.Cluster.t -> (Dirty.Value.t * Infotheory.Dcf.t) list
+(** Representative per cluster, keyed by cluster identifier, in
+    first-appearance order. *)
+
+val modal_tuple : Matrix.t -> Infotheory.Dcf.t -> Dirty.Value.t list
+(** The most frequent value per attribute under the representative's
+    distribution — the "most frequent values" row of Table 4.  Ties
+    break toward the lower interned symbol. *)
+
+val pp_table :
+  Matrix.t -> Format.formatter -> (Dirty.Value.t * Infotheory.Dcf.t) list -> unit
+(** Render representatives as the value-by-cluster table of Table 2. *)

@@ -1,0 +1,94 @@
+open Dirty
+
+type policy = Most_probable | Merge
+
+let most_probable_row (table : Dirty_db.table) members =
+  match members with
+  | [] -> invalid_arg "Resolve: empty cluster"
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun best i ->
+          if Dirty_db.row_probability table i > Dirty_db.row_probability table best
+          then i
+          else best)
+        first rest
+    in
+    Array.copy (Relation.get table.relation best)
+
+(* probability-weighted merge of a cluster's rows: numeric columns
+   average, categorical columns take the heaviest value *)
+let merged_row (table : Dirty_db.table) members =
+  let schema = Relation.schema table.relation in
+  let arity = Schema.arity schema in
+  let rows = List.map (Relation.get table.relation) members in
+  let probs = List.map (Dirty_db.row_probability table) members in
+  Array.init arity (fun j ->
+      let values = List.map (fun r -> r.(j)) rows in
+      let ty = (Schema.attribute_at schema j).Schema.ty in
+      match ty with
+      | Value.TInt | Value.TFloat | Value.TDate ->
+        (* weighted mean over the non-null values *)
+        let total_w = ref 0.0 and total = ref 0.0 in
+        List.iter2
+          (fun v p ->
+            match Value.to_float v with
+            | Some x ->
+              total_w := !total_w +. p;
+              total := !total +. (p *. x)
+            | None -> ())
+          values probs;
+        if !total_w <= 0.0 then Value.Null
+        else begin
+          let mean = !total /. !total_w in
+          match ty with
+          | Value.TInt -> Value.Int (int_of_float (Float.round mean))
+          | Value.TDate -> Value.Date (int_of_float (Float.round mean))
+          | _ -> Value.Float mean
+        end
+      | Value.TString | Value.TBool ->
+        (* heaviest value by accumulated probability *)
+        let weights = Hashtbl.create 8 in
+        List.iter2
+          (fun v p ->
+            let k = Value.to_string v in
+            Hashtbl.replace weights k
+              ((match Hashtbl.find_opt weights k with Some (w, _) -> w | None -> 0.0)
+               +. p,
+               v))
+          values probs;
+        let best = ref None in
+        Hashtbl.iter
+          (fun _ (w, v) ->
+            match !best with
+            | Some (bw, _) when bw >= w -> ()
+            | _ -> best := Some (w, v))
+          weights;
+        (match !best with Some (_, v) -> v | None -> Value.Null))
+
+let resolve_table ?(policy = Most_probable) (table : Dirty_db.table) =
+  let schema = Relation.schema table.relation in
+  let prob_idx = Schema.index_of schema table.prob_attr in
+  let id_idx = Schema.index_of schema table.id_attr in
+  let rows =
+    List.rev
+      (Cluster.fold
+         (fun id members acc ->
+           let row =
+             match policy with
+             | Most_probable -> most_probable_row table members
+             | Merge -> merged_row table members
+           in
+           row.(prob_idx) <- Value.Float 1.0;
+           row.(id_idx) <- id;
+           row :: acc)
+         table.clustering [])
+  in
+  Dirty_db.make_table ~name:table.name ~id_attr:table.id_attr
+    ~prob_attr:table.prob_attr
+    (Relation.create schema rows)
+
+let resolve ?policy db =
+  List.fold_left
+    (fun acc t -> Dirty_db.add_table acc (resolve_table ?policy t))
+    Dirty_db.empty (Dirty_db.tables db)

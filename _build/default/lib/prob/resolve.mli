@@ -1,0 +1,31 @@
+(** Offline conflict resolution (survivorship), the approach the
+    paper's introduction contrasts clean answers against.
+
+    Commercial integration tools resolve each duplicate cluster to a
+    single tuple with survivorship rules — keep the best
+    representation, or merge values (e.g. "take the average between
+    multiple conflicting incomes").  This module implements the two
+    standard policies so the trade-off is measurable: resolution
+    commits to one world up front and loses the uncertain answers
+    that clean-answer semantics retains (see the
+    [ablation-survivorship] bench report and the paper's Section 1
+    discussion of why card 111 disappears). *)
+
+type policy =
+  | Most_probable
+      (** keep each cluster's highest-probability tuple (ties break to
+          the earliest row) *)
+  | Merge
+      (** synthesize a representative: probability-weighted mean for
+          numeric attributes, probability-weighted modal value for
+          categorical ones (the "average the incomes" survivorship
+          rule) *)
+
+val resolve_table :
+  ?policy:policy -> Dirty.Dirty_db.table -> Dirty.Dirty_db.table
+(** One tuple per cluster; the probability column becomes 1.0
+    everywhere (the result is a clean table over the same schema).
+    Default policy: [Most_probable]. *)
+
+val resolve : ?policy:policy -> Dirty.Dirty_db.t -> Dirty.Dirty_db.t
+(** Resolve every table. *)

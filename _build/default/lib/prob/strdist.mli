@@ -1,0 +1,11 @@
+(** String distances used by the edit-distance variant of the
+    probability-assignment procedure (the paper notes the method can
+    incorporate any available tuple distance, e.g. string edit
+    distance). *)
+
+val levenshtein : string -> string -> int
+(** Classic edit distance (insert/delete/substitute, unit costs). *)
+
+val normalized_levenshtein : string -> string -> float
+(** [levenshtein a b / max(|a|,|b|)], in [0,1]; 0 for two empty
+    strings. *)

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Dirty Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Buffer Dirty Format List Option Printf String

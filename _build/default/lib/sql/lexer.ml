@@ -1,0 +1,143 @@
+type token =
+  | IDENT of string
+  | KEYWORD of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | OP of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "LIMIT"; "AND"; "OR"; "NOT"; "AS"; "LIKE"; "IN"; "BETWEEN";
+    "IS"; "NULL"; "TRUE"; "FALSE"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "DATE";
+    "JOIN"; "INNER"; "CROSS"; "ON"; "LEFT"; "OUTER"; "EXISTS";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_line_comment i = if i < n && input.[i] <> '\n' then skip_line_comment (i + 1) else i in
+  let rec go i =
+    if i >= n then emit EOF n
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then go (skip_line_comment i)
+      else if c = '(' then begin emit LPAREN i; go (i + 1) end
+      else if c = ')' then begin emit RPAREN i; go (i + 1) end
+      else if c = ',' then begin emit COMMA i; go (i + 1) end
+      else if c = '.' && not (i + 1 < n && is_digit input.[i + 1]) then begin
+        emit DOT i;
+        go (i + 1)
+      end
+      else if c = '\'' then begin
+        (* string literal with '' escaping *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then raise (Error ("unterminated string literal", i))
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit (STRING (Buffer.contents buf)) i;
+        go j
+      end
+      else if is_digit c || (c = '.' && i + 1 < n && is_digit input.[i + 1]) then begin
+        let j = ref i in
+        let seen_dot = ref false and seen_exp = ref false in
+        let continue = ref true in
+        while !continue && !j < n do
+          let d = input.[!j] in
+          if is_digit d then incr j
+          else if d = '.' && not !seen_dot && not !seen_exp then begin
+            seen_dot := true;
+            incr j
+          end
+          else if (d = 'e' || d = 'E') && not !seen_exp && !j > i then begin
+            seen_exp := true;
+            incr j;
+            if !j < n && (input.[!j] = '+' || input.[!j] = '-') then incr j
+          end
+          else continue := false
+        done;
+        let text = String.sub input i (!j - i) in
+        let tok =
+          if !seen_dot || !seen_exp then
+            match float_of_string_opt text with
+            | Some f -> FLOAT f
+            | None -> raise (Error (Printf.sprintf "bad number %S" text, i))
+          else
+            match int_of_string_opt text with
+            | Some k -> INT k
+            | None -> (
+              match float_of_string_opt text with
+              | Some f -> FLOAT f
+              | None -> raise (Error (Printf.sprintf "bad number %S" text, i)))
+        in
+        emit tok i;
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let text = String.sub input i (!j - i) in
+        if is_keyword text then emit (KEYWORD (String.uppercase_ascii text)) i
+        else emit (IDENT (String.lowercase_ascii text)) i;
+        go !j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "!=" | "<=" | ">=" ->
+          emit (OP (if two = "!=" then "<>" else two)) i;
+          go (i + 2)
+        | _ -> (
+          match c with
+          | '=' | '<' | '>' | '+' | '-' | '*' | '/' ->
+            emit (OP (String.make 1 c)) i;
+            go (i + 1)
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+  in
+  go 0;
+  List.rev !tokens
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KEYWORD s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | OP s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | EOF -> "<end of input>"

@@ -1,0 +1,25 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | IDENT of string       (** lowercased identifier *)
+  | KEYWORD of string     (** uppercased reserved word *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string      (** contents of a ['...'] literal *)
+  | OP of string          (** one of [=, <>, !=, <, <=, >, >=, +, -, *, /] *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EOF
+
+exception Error of string * int  (** message, byte position *)
+
+val keywords : string list
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their start positions; ends with [EOF].
+    Comments ([-- ...] to end of line) and whitespace are skipped.
+    @raise Error on an unexpected character or an unterminated string. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,381 @@
+open Ast
+
+exception Error of string
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let errorf state fmt =
+  let tok, pos = state.tokens.(state.pos) in
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Error
+           (Printf.sprintf "%s at position %d (found %s)" msg pos
+              (Lexer.token_to_string tok))))
+    fmt
+
+let peek state = fst state.tokens.(state.pos)
+
+let advance state =
+  let tok = peek state in
+  if tok <> Lexer.EOF then state.pos <- state.pos + 1;
+  tok
+
+let expect state tok what =
+  if peek state = tok then ignore (advance state) else errorf state "expected %s" what
+
+let accept state tok = if peek state = tok then (ignore (advance state); true) else false
+
+let accept_keyword state kw = accept state (Lexer.KEYWORD kw)
+
+let expect_keyword state kw = expect state (Lexer.KEYWORD kw) kw
+
+let expect_ident state what =
+  match peek state with
+  | Lexer.IDENT name ->
+    ignore (advance state);
+    name
+  | _ -> errorf state "expected %s" what
+
+(* ---- expressions ---- *)
+
+let agg_of_keyword = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "AVG" -> Some Avg
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | _ -> None
+
+let parse_literal state =
+  match advance state with
+  | Lexer.INT i -> Dirty.Value.Int i
+  | Lexer.FLOAT f -> Dirty.Value.Float f
+  | Lexer.STRING s -> Dirty.Value.String s
+  | Lexer.KEYWORD "NULL" -> Dirty.Value.Null
+  | Lexer.KEYWORD "TRUE" -> Dirty.Value.Bool true
+  | Lexer.KEYWORD "FALSE" -> Dirty.Value.Bool false
+  | Lexer.KEYWORD "DATE" -> (
+    match advance state with
+    | Lexer.STRING s -> (
+      try Dirty.Value.date_of_string s
+      with Invalid_argument msg -> raise (Error msg))
+    | _ ->
+      state.pos <- state.pos - 1;
+      errorf state "expected date string after DATE")
+  | _ ->
+    state.pos <- state.pos - 1;
+    errorf state "expected literal"
+
+let rec parse_or state =
+  let lhs = parse_and state in
+  if accept_keyword state "OR" then Binop (Or, lhs, parse_or state) else lhs
+
+and parse_and state =
+  let lhs = parse_not state in
+  if accept_keyword state "AND" then Binop (And, lhs, parse_and state) else lhs
+
+and parse_not state =
+  if accept_keyword state "NOT" then Unop (Not, parse_not state)
+  else parse_predicate state
+
+and parse_predicate state =
+  let lhs = parse_additive state in
+  match peek state with
+  | Lexer.OP (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+    ignore (advance state);
+    let rhs = parse_additive state in
+    let binop =
+      match op with
+      | "=" -> Eq
+      | "<>" -> Neq
+      | "<" -> Lt
+      | "<=" -> Le
+      | ">" -> Gt
+      | _ -> Ge
+    in
+    Binop (binop, lhs, rhs)
+  | Lexer.KEYWORD "LIKE" ->
+    ignore (advance state);
+    parse_like state lhs ~negated:false
+  | Lexer.KEYWORD "NOT" -> (
+    ignore (advance state);
+    match advance state with
+    | Lexer.KEYWORD "LIKE" -> parse_like state lhs ~negated:true
+    | Lexer.KEYWORD "IN" -> Unop (Not, parse_in state lhs)
+    | Lexer.KEYWORD "BETWEEN" -> Unop (Not, parse_between state lhs)
+    | _ ->
+      state.pos <- state.pos - 1;
+      errorf state "expected LIKE, IN or BETWEEN after NOT")
+  | Lexer.KEYWORD "IN" ->
+    ignore (advance state);
+    parse_in state lhs
+  | Lexer.KEYWORD "BETWEEN" ->
+    ignore (advance state);
+    parse_between state lhs
+  | Lexer.KEYWORD "IS" ->
+    ignore (advance state);
+    let negated = accept_keyword state "NOT" in
+    expect_keyword state "NULL";
+    if negated then Is_not_null lhs else Is_null lhs
+  | _ -> lhs
+
+and parse_like state lhs ~negated =
+  match advance state with
+  | Lexer.STRING pattern ->
+    if negated then Not_like (lhs, pattern) else Like (lhs, pattern)
+  | _ ->
+    state.pos <- state.pos - 1;
+    errorf state "expected pattern string after LIKE"
+
+and parse_in state lhs =
+  expect state Lexer.LPAREN "(";
+  if peek state = Lexer.KEYWORD "SELECT" then begin
+    let q = parse_query_state state in
+    expect state Lexer.RPAREN ")";
+    In_query (lhs, q)
+  end
+  else begin
+    let rec items acc =
+      let v = parse_literal state in
+      if accept state Lexer.COMMA then items (v :: acc) else List.rev (v :: acc)
+    in
+    let values = items [] in
+    expect state Lexer.RPAREN ")";
+    In_list (lhs, values)
+  end
+
+and parse_between state lhs =
+  let lo = parse_additive state in
+  expect_keyword state "AND";
+  let hi = parse_additive state in
+  Between (lhs, lo, hi)
+
+and parse_additive state =
+  let lhs = ref (parse_multiplicative state) in
+  let continue = ref true in
+  while !continue do
+    match peek state with
+    | Lexer.OP "+" ->
+      ignore (advance state);
+      lhs := Binop (Add, !lhs, parse_multiplicative state)
+    | Lexer.OP "-" ->
+      ignore (advance state);
+      lhs := Binop (Sub, !lhs, parse_multiplicative state)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative state =
+  let lhs = ref (parse_unary state) in
+  let continue = ref true in
+  while !continue do
+    match peek state with
+    | Lexer.OP "*" ->
+      ignore (advance state);
+      lhs := Binop (Mul, !lhs, parse_unary state)
+    | Lexer.OP "/" ->
+      ignore (advance state);
+      lhs := Binop (Div, !lhs, parse_unary state)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary state =
+  if accept state (Lexer.OP "-") then Unop (Neg, parse_unary state)
+  else parse_primary state
+
+and parse_primary state =
+  match peek state with
+  | Lexer.LPAREN ->
+    ignore (advance state);
+    if peek state = Lexer.KEYWORD "SELECT" then begin
+      let q = parse_query_state state in
+      expect state Lexer.RPAREN ")";
+      Scalar_subquery q
+    end
+    else begin
+      let e = parse_or state in
+      expect state Lexer.RPAREN ")";
+      e
+    end
+  | Lexer.KEYWORD "EXISTS" ->
+    ignore (advance state);
+    expect state Lexer.LPAREN "(";
+    let q = parse_query_state state in
+    expect state Lexer.RPAREN ")";
+    Exists q
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _
+  | Lexer.KEYWORD ("NULL" | "TRUE" | "FALSE" | "DATE") ->
+    Lit (parse_literal state)
+  | Lexer.KEYWORD kw when agg_of_keyword kw <> None ->
+    ignore (advance state);
+    let agg = Option.get (agg_of_keyword kw) in
+    expect state Lexer.LPAREN "(";
+    let arg =
+      if agg = Count && accept state (Lexer.OP "*") then None
+      else Some (parse_or state)
+    in
+    expect state Lexer.RPAREN ")";
+    Agg (agg, arg)
+  | Lexer.IDENT first ->
+    ignore (advance state);
+    if accept state Lexer.DOT then
+      let name = expect_ident state "column name after '.'" in
+      Col { table = Some first; name }
+    else Col { table = None; name = first }
+  | _ -> errorf state "expected expression"
+
+(* ---- queries ---- *)
+
+and parse_select_item state =
+  let expr = parse_or state in
+  let alias =
+    if accept_keyword state "AS" then Some (expect_ident state "alias")
+    else
+      match peek state with
+      | Lexer.IDENT name ->
+        ignore (advance state);
+        Some name
+      | _ -> None
+  in
+  { expr; alias }
+
+and parse_select_list state =
+  if accept state (Lexer.OP "*") then Star
+  else begin
+    let rec items acc =
+      let item = parse_select_item state in
+      if accept state Lexer.COMMA then items (item :: acc)
+      else List.rev (item :: acc)
+    in
+    Items (items [])
+  end
+
+and parse_table_ref state =
+  let table = expect_ident state "table name" in
+  let t_alias =
+    if accept_keyword state "AS" then Some (expect_ident state "table alias")
+    else
+      match peek state with
+      | Lexer.IDENT name ->
+        ignore (advance state);
+        Some name
+      | _ -> None
+  in
+  { table; t_alias }
+
+(* FROM items: comma-separated, each possibly followed by a chain of
+   [INNER] JOIN t ON cond / CROSS JOIN t.  Joins are desugared: the
+   tables join the FROM list and the ON conditions are conjoined into
+   the WHERE clause. *)
+and parse_from state =
+  let on_conditions = ref [] in
+  let outer_joins = ref [] in
+  let rec join_chain acc =
+    if accept_keyword state "JOIN" || (accept_keyword state "INNER" && (expect_keyword state "JOIN"; true))
+    then begin
+      let r = parse_table_ref state in
+      expect_keyword state "ON";
+      let cond = parse_or state in
+      on_conditions := cond :: !on_conditions;
+      join_chain (r :: acc)
+    end
+    else if accept_keyword state "CROSS" then begin
+      expect_keyword state "JOIN";
+      let r = parse_table_ref state in
+      join_chain (r :: acc)
+    end
+    else if accept_keyword state "LEFT" then begin
+      ignore (accept_keyword state "OUTER");
+      expect_keyword state "JOIN";
+      let r = parse_table_ref state in
+      expect_keyword state "ON";
+      let cond = parse_or state in
+      outer_joins := { oj_table = r; oj_on = cond } :: !outer_joins;
+      join_chain acc
+    end
+    else acc
+  in
+  let rec refs acc =
+    let r = parse_table_ref state in
+    let acc = join_chain (r :: acc) in
+    if accept state Lexer.COMMA then refs acc else List.rev acc
+  in
+  let from = refs [] in
+  (from, List.rev !on_conditions, List.rev !outer_joins)
+
+and parse_expr_list state =
+  let rec go acc =
+    let e = parse_or state in
+    if accept state Lexer.COMMA then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+and parse_order_list state =
+  let rec go acc =
+    let e = parse_or state in
+    let desc =
+      if accept_keyword state "DESC" then true
+      else begin
+        ignore (accept_keyword state "ASC");
+        false
+      end
+    in
+    let item = { o_expr = e; desc } in
+    if accept state Lexer.COMMA then go (item :: acc) else List.rev (item :: acc)
+  in
+  go []
+
+and parse_query_state state =
+  expect_keyword state "SELECT";
+  let distinct = accept_keyword state "DISTINCT" in
+  let select = parse_select_list state in
+  expect_keyword state "FROM";
+  let from, on_conditions, outer_joins = parse_from state in
+  let where = if accept_keyword state "WHERE" then Some (parse_or state) else None in
+  let where = conj (on_conditions @ Option.to_list where) in
+  let group_by =
+    if accept_keyword state "GROUP" then begin
+      expect_keyword state "BY";
+      parse_expr_list state
+    end
+    else []
+  in
+  let having = if accept_keyword state "HAVING" then Some (parse_or state) else None in
+  let order_by =
+    if accept_keyword state "ORDER" then begin
+      expect_keyword state "BY";
+      parse_order_list state
+    end
+    else []
+  in
+  let limit =
+    if accept_keyword state "LIMIT" then begin
+      match advance state with
+      | Lexer.INT i -> Some i
+      | _ ->
+        state.pos <- state.pos - 1;
+        errorf state "expected integer after LIMIT"
+    end
+    else None
+  in
+  { distinct; select; from; outer_joins; where; group_by; having; order_by; limit }
+
+let make_state input =
+  match Lexer.tokenize input with
+  | tokens -> { tokens = Array.of_list tokens; pos = 0 }
+  | exception Lexer.Error (msg, pos) ->
+    raise (Error (Printf.sprintf "%s at position %d" msg pos))
+
+let parse_query input =
+  let state = make_state input in
+  let q = parse_query_state state in
+  expect state Lexer.EOF "end of input";
+  q
+
+let parse_expr input =
+  let state = make_state input in
+  let e = parse_or state in
+  expect state Lexer.EOF "end of input";
+  e

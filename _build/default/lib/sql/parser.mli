@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the SQL subset described in
+    {!Ast}. *)
+
+exception Error of string
+(** Parse error with a human-readable message including position. *)
+
+val parse_query : string -> Ast.query
+(** @raise Error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone scalar expression (used by tests and the
+    CLI). *)

@@ -1,0 +1,1 @@
+lib/tpch/cora.ml: Array Dirty Float List Prob Random Seq

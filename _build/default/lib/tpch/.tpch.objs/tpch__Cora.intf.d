@@ -1,0 +1,1 @@
+lib/tpch/cora.mli: Dirty

@@ -1,0 +1,1 @@
+lib/tpch/datagen.ml: Array Bytes Char Dirty Float List Option Printf Prob Random Schema String

@@ -1,0 +1,1 @@
+lib/tpch/datagen.mli: Dirty Prob

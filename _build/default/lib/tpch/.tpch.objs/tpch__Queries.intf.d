@@ -1,0 +1,1 @@
+lib/tpch/queries.mli:

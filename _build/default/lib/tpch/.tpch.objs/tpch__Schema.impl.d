@@ -1,0 +1,1 @@
+lib/tpch/schema.ml: Dirty List Schema Value

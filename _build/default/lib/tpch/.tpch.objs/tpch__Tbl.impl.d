@@ -1,0 +1,1 @@
+lib/tpch/tbl.ml: Array Dirty Filename Fun Hashtbl List Printf Schema String

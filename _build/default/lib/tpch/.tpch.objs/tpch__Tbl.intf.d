@@ -1,0 +1,1 @@
+lib/tpch/tbl.mli: Dirty

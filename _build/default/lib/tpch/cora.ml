@@ -1,0 +1,152 @@
+module Value = Dirty.Value
+module Relation = Dirty.Relation
+module Cluster = Dirty.Cluster
+
+type config = {
+  cluster_size : int;
+  variant_fraction : float;
+  plant_foreign : bool;
+  seed : int;
+}
+
+let default =
+  { cluster_size = 56; variant_fraction = 0.25; plant_foreign = true; seed = 7 }
+
+type generated = {
+  relation : Relation.t;
+  attrs : string list;
+  clustering : Cluster.t;
+  canonical_rows : int list;
+  variant_rows : int list;
+  foreign_row : int option;
+}
+
+let attrs = [ "author"; "title"; "venue"; "volume"; "year"; "pages" ]
+
+let schema =
+  Dirty.Schema.make
+    [
+      ("author", Value.TString);
+      ("title", Value.TString);
+      ("venue", Value.TString);
+      ("volume", Value.TString);
+      ("year", Value.TString);
+      ("pages", Value.TString);
+      ("cluster", Value.TString);
+    ]
+
+(* The canonical citation, after the paper's Schapire example. *)
+let canonical =
+  [|
+    "robert e. schapire";
+    "the strength of weak learnability";
+    "machine learning";
+    "5(2)";
+    "1990";
+    "197-227";
+  |]
+
+(* The planted foreign publication (Table 4's penultimate tuple
+   "corresponds to a different publication"). *)
+let foreign =
+  [|
+    "r. schapire";
+    "on the strength of weak learnability";
+    "proc of the 30th i.e.e.e. symposium";
+    "NULL";
+    "1989";
+    "pp. 28-33";
+  |]
+
+(* formatting variations of individual fields *)
+let author_variants =
+  [| "r. schapire"; "schapire, r.e."; "r. e. schapire"; "robert schapire" |]
+
+let volume_variants = [| "5"; "5(2)"; "vol. 5"; "NULL" |]
+let year_variants = [| "1990"; "(1990)"; "90" |]
+let pages_variants = [| "197-227"; "pp. 197-227"; "pages 197-227" |]
+let venue_variants = [| "machine learning"; "machine learning journal"; "mach. learn." |]
+
+let variant_row rng =
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let row = Array.copy canonical in
+  (* vary between one and three fields *)
+  let n = 1 + Random.State.int rng 3 in
+  for _ = 1 to n do
+    match Random.State.int rng 5 with
+    | 0 -> row.(0) <- pick author_variants
+    | 1 -> row.(2) <- pick venue_variants
+    | 2 -> row.(3) <- pick volume_variants
+    | 3 -> row.(4) <- pick year_variants
+    | _ -> row.(5) <- pick pages_variants
+  done;
+  row
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let foreign_count = if config.plant_foreign then 1 else 0 in
+  let variant_count =
+    let base =
+      int_of_float
+        (Float.round (config.variant_fraction *. float_of_int config.cluster_size))
+    in
+    min base (config.cluster_size - foreign_count - 1)
+  in
+  let canonical_count = config.cluster_size - variant_count - foreign_count in
+  if canonical_count < 1 then
+    invalid_arg "Cora.generate: cluster too small for the requested mix";
+  let rows = ref [] and kinds = ref [] in
+  for _ = 1 to canonical_count do
+    rows := Array.copy canonical :: !rows;
+    kinds := `Canonical :: !kinds
+  done;
+  for _ = 1 to variant_count do
+    rows := variant_row rng :: !rows;
+    kinds := `Variant :: !kinds
+  done;
+  if config.plant_foreign then begin
+    rows := Array.copy foreign :: !rows;
+    kinds := `Foreign :: !kinds
+  end;
+  (* shuffle rows to avoid positional artifacts *)
+  let paired = Array.of_list (List.combine !rows !kinds) in
+  for i = Array.length paired - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = paired.(i) in
+    paired.(i) <- paired.(j);
+    paired.(j) <- tmp
+  done;
+  let to_value_row fields =
+    Array.append
+      (Array.map (fun s -> Value.String s) fields)
+      [| Value.String "schapire90" |]
+  in
+  let relation =
+    Relation.of_array schema (Array.map (fun (r, _) -> to_value_row r) paired)
+  in
+  let clustering = Cluster.of_relation relation ~id_attr:"cluster" in
+  let classify kind =
+    List.of_seq
+      (Seq.filter_map
+         (fun (i, (_, k)) -> if k = kind then Some i else None)
+         (Array.to_seqi paired))
+  in
+  {
+    relation;
+    attrs;
+    clustering;
+    canonical_rows = classify `Canonical;
+    variant_rows = classify `Variant;
+    foreign_row = (match classify `Foreign with [ i ] -> Some i | _ -> None);
+  }
+
+let ranking generated =
+  let result =
+    Prob.Assign.run ~attrs:generated.attrs generated.relation generated.clustering
+  in
+  let pairs =
+    List.init
+      (Array.length result.probabilities)
+      (fun i -> (i, result.probabilities.(i)))
+  in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) pairs

@@ -1,0 +1,42 @@
+(** Synthetic citation clusters for the Table 4 qualitative study.
+
+    The paper evaluates the probability assignment on the Cora
+    research-paper dataset (duplicated citation records), showing for
+    a 56-tuple cluster of a Schapire publication that the most likely
+    tuples agree with the cluster's most frequent attribute values
+    while the least likely tuples are either heavily reformatted or
+    belong to a different publication (mis-clustered).
+
+    Cora itself is not redistributable here, so this module generates
+    clusters with the same structure: a canonical citation, many
+    near-identical copies, a few copies with formatting variations
+    (abbreviated authors, different page/volume notation, NULLs), and
+    optionally one planted tuple from a {e different} publication. *)
+
+type config = {
+  cluster_size : int;  (** total tuples in the cluster (default 56) *)
+  variant_fraction : float;
+      (** fraction of tuples with format variations (default 0.25) *)
+  plant_foreign : bool;
+      (** plant one mis-clustered tuple from another publication
+          (default true) *)
+  seed : int;
+}
+
+val default : config
+
+type generated = {
+  relation : Dirty.Relation.t;
+      (** schema: author, title, venue, volume, year, pages, cluster *)
+  attrs : string list;  (** the six descriptive attributes *)
+  clustering : Dirty.Cluster.t;
+  canonical_rows : int list;  (** rows identical to the canonical form *)
+  variant_rows : int list;  (** rows with formatting variations *)
+  foreign_row : int option;  (** the planted mis-clustered row *)
+}
+
+val generate : config -> generated
+
+val ranking : generated -> (int * float) list
+(** Rows with their assigned probabilities (Figure 5, information-loss
+    distance), sorted most likely first. *)

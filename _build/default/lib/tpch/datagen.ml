@@ -1,0 +1,595 @@
+module Value = Dirty.Value
+module Relation = Dirty.Relation
+module Dirty_db = Dirty.Dirty_db
+
+type config = { sf : float; inconsistency : int; seed : int; fk_noise : float }
+
+let default = { sf = 0.1; inconsistency = 3; seed = 42; fk_noise = 0.1 }
+
+(* ---- vocabulary ---- *)
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [|
+    "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA"; "FRANCE";
+    "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN"; "JORDAN"; "KENYA";
+    "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA"; "SAUDI ARABIA";
+    "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES";
+  |]
+
+(* nation -> region mapping, TPC-H standard *)
+let nation_regions =
+  [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2; 3; 3; 1 |]
+
+let first_names =
+  [|
+    "James"; "Mary"; "John"; "Patricia"; "Robert"; "Jennifer"; "Michael";
+    "Linda"; "William"; "Elizabeth"; "David"; "Barbara"; "Richard"; "Susan";
+    "Joseph"; "Jessica"; "Thomas"; "Sarah"; "Charles"; "Karen";
+  |]
+
+let last_names =
+  [|
+    "Smith"; "Johnson"; "Williams"; "Brown"; "Jones"; "Garcia"; "Miller";
+    "Davis"; "Rodriguez"; "Martinez"; "Hernandez"; "Lopez"; "Gonzalez";
+    "Wilson"; "Anderson"; "Thomas"; "Taylor"; "Moore"; "Jackson"; "Martin";
+  |]
+
+let street_names =
+  [|
+    "Maple"; "Oak"; "Pine"; "Cedar"; "Elm"; "Birch"; "Walnut"; "Chestnut";
+    "Spruce"; "Willow"; "Ash"; "Poplar"; "Baldwin"; "Arrow"; "Jones";
+  |]
+
+let street_kinds = [| "St"; "Ave"; "Blvd"; "Rd"; "Lane"; "Way" |]
+
+let mktsegments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let shipmodes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let shipinstructs =
+  [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let part_adjectives =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+    "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream"; "cyan";
+    "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral"; "forest";
+    "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey"; "honeydew";
+    "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender"; "lawn"; "lemon";
+  |]
+
+let part_nouns =
+  [| "copper"; "steel"; "brass"; "tin"; "nickel"; "zinc"; "iron"; "chrome" |]
+
+let part_types_1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let part_types_2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let part_types_3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers_1 = [| "SM"; "MED"; "LG"; "JUMBO"; "WRAP" |]
+let containers_2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let comment_words =
+  [|
+    "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "final";
+    "special"; "pending"; "express"; "regular"; "ironic"; "even"; "bold";
+    "silent"; "daring"; "requests"; "deposits"; "packages"; "accounts";
+    "instructions"; "theodolites"; "platelets"; "foxes"; "ideas"; "dependencies";
+  |]
+
+(* ---- randomness helpers ---- *)
+
+let pick rng arr = arr.(Random.State.int rng (Array.length arr))
+let int_between rng lo hi = lo + Random.State.int rng (hi - lo + 1)
+
+let comment rng =
+  let n = int_between rng 3 7 in
+  String.concat " " (List.init n (fun _ -> pick rng comment_words))
+
+let date_between rng lo hi =
+  match Value.date_of_string lo, Value.date_of_string hi with
+  | Value.Date dlo, Value.Date dhi -> int_between rng dlo dhi
+  | _ -> assert false
+
+(* ---- perturbations ---- *)
+
+let typo rng s =
+  if String.length s < 2 then s
+  else
+    let b = Bytes.of_string s in
+    let i = Random.State.int rng (Bytes.length b - 1) in
+    (match Random.State.int rng 4 with
+    | 0 ->
+      (* transpose adjacent characters *)
+      let c = Bytes.get b i in
+      Bytes.set b i (Bytes.get b (i + 1));
+      Bytes.set b (i + 1) c;
+      Bytes.to_string b
+    | 1 ->
+      (* drop a character *)
+      let s = Bytes.to_string b in
+      String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1)
+    | 2 ->
+      (* duplicate a character *)
+      let s = Bytes.to_string b in
+      String.sub s 0 i ^ String.make 1 s.[i] ^ String.sub s i (String.length s - i)
+    | _ ->
+      (* replace with a nearby letter *)
+      Bytes.set b i (Char.chr (97 + Random.State.int rng 26));
+      Bytes.to_string b)
+
+let case_flip s =
+  if s = "" then s
+  else if s.[0] >= 'A' && s.[0] <= 'Z' then String.lowercase_ascii s
+  else String.capitalize_ascii s
+
+let abbreviate s =
+  match String.index_opt s ' ' with
+  | Some i when i >= 1 -> String.sub s 0 1 ^ "." ^ String.sub s i (String.length s - i)
+  | _ -> if String.length s > 4 then String.sub s 0 4 ^ "." else s
+
+let perturb_string rng s =
+  match Random.State.int rng 5 with
+  | 0 | 1 -> typo rng s
+  | 2 -> case_flip s
+  | 3 -> abbreviate s
+  | _ -> s
+
+let perturb_float rng x =
+  let jitter = 1.0 +. ((Random.State.float rng 0.2) -. 0.1) in
+  Float.round (x *. jitter *. 100.0) /. 100.0
+
+let perturb_int rng x = max 1 (x + int_between rng (-2) 2)
+let perturb_date rng d = d + int_between rng (-3) 3
+
+(* ---- cluster machinery ---- *)
+
+(* Per dirty table we track, for every entity, the rowids of its
+   duplicates, so that raw foreign keys can reference a specific
+   duplicate. *)
+type entity_index = { mutable rowids : int list array }
+
+let cluster_size rng inconsistency =
+  if inconsistency <= 1 then 1 else int_between rng 1 ((2 * inconsistency) - 1)
+
+(* emit the duplicate rows of one entity.  [canonical] builds the
+   descriptive columns once; [emit] receives (rowid, perturbed or not,
+   probability). *)
+let with_cluster rng config ~next_rowid ~index ~entity emit =
+  let size = cluster_size rng config.inconsistency in
+  let prob = 1.0 /. float_of_int size in
+  let rowids = ref [] in
+  for dup = 0 to size - 1 do
+    let rowid = !next_rowid in
+    next_rowid := rowid + 1;
+    rowids := rowid :: !rowids;
+    emit ~rowid ~dup ~prob
+  done;
+  index.rowids.(entity) <- List.rev !rowids
+
+let raw_fk rng index entity =
+  match index.rowids.(entity) with
+  | [] -> invalid_arg "Datagen.raw_fk: entity with no rows"
+  | rowids -> List.nth rowids (Random.State.int rng (List.length rowids))
+
+(* possibly redirect a duplicate's fk to a different entity *)
+let noisy_entity rng config ~num_entities ~dup entity =
+  if dup > 0 && num_entities > 1 && Random.State.float rng 1.0 < config.fk_noise
+  then begin
+    let other = Random.State.int rng num_entities in
+    if other = entity then (entity + 1) mod num_entities else other
+  end
+  else entity
+
+(* ---- table builders ---- *)
+
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+let v_s s = Value.String s
+let v_d d = Value.Date d
+
+let build_region () =
+  Relation.create (Schema.region).schema
+    (List.init (Array.length region_names) (fun i ->
+         [| v_i i; v_s region_names.(i); v_s "clean lookup table"; v_f 1.0 |]))
+
+let build_nation () =
+  Relation.create (Schema.nation).schema
+    (List.init (Array.length nation_names) (fun i ->
+         [| v_i i; v_s nation_names.(i); v_i nation_regions.(i); v_s "clean lookup table"; v_f 1.0 |]))
+
+let person_name rng = pick rng first_names ^ " " ^ pick rng last_names
+
+let address rng =
+  Printf.sprintf "%d %s %s" (int_between rng 1 999) (pick rng street_names)
+    (pick rng street_kinds)
+
+let phone rng nation =
+  Printf.sprintf "%02d-%03d-%03d-%04d" (10 + nation) (int_between rng 100 999)
+    (int_between rng 100 999) (int_between rng 1000 9999)
+
+let build_supplier rng config ~count =
+  let index = { rowids = Array.make count [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  for entity = 0 to count - 1 do
+    let name = Printf.sprintf "Supplier %s" (person_name rng) in
+    let addr = address rng in
+    let nation = Random.State.int rng (Array.length nation_names) in
+    let ph = phone rng nation in
+    let bal = Random.State.float rng 9999.0 -. 999.0 in
+    let cmt = comment rng in
+    with_cluster rng config ~next_rowid ~index ~entity (fun ~rowid ~dup ~prob ->
+        let p s = if dup = 0 then s else perturb_string rng s in
+        rows :=
+          [|
+            v_i entity; v_i rowid; v_s (p name); v_s (p addr); v_i nation;
+            v_s (p ph); v_f (if dup = 0 then bal else perturb_float rng bal);
+            v_s (p cmt); v_f prob;
+          |]
+          :: !rows)
+  done;
+  (Relation.create (Schema.supplier).schema (List.rev !rows), index)
+
+let build_part rng config ~count =
+  let index = { rowids = Array.make count [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  for entity = 0 to count - 1 do
+    let name =
+      Printf.sprintf "%s %s %s" (pick rng part_adjectives) (pick rng part_adjectives)
+        (pick rng part_nouns)
+    in
+    let mfgr = Printf.sprintf "Manufacturer#%d" (int_between rng 1 5) in
+    let brand = Printf.sprintf "Brand#%d%d" (int_between rng 1 5) (int_between rng 1 5) in
+    let ty =
+      Printf.sprintf "%s %s %s" (pick rng part_types_1) (pick rng part_types_2)
+        (pick rng part_types_3)
+    in
+    let size = int_between rng 1 50 in
+    let container = pick rng containers_1 ^ " " ^ pick rng containers_2 in
+    let price = 900.0 +. Random.State.float rng 1200.0 in
+    let cmt = comment rng in
+    with_cluster rng config ~next_rowid ~index ~entity (fun ~rowid ~dup ~prob ->
+        let p s = if dup = 0 then s else perturb_string rng s in
+        rows :=
+          [|
+            v_i entity; v_i rowid; v_s (p name); v_s mfgr; v_s brand; v_s (p ty);
+            v_i (if dup = 0 then size else perturb_int rng size);
+            v_s (p container);
+            v_f (if dup = 0 then price else perturb_float rng price);
+            v_s (p cmt); v_f prob;
+          |]
+          :: !rows)
+  done;
+  (Relation.create (Schema.part).schema (List.rev !rows), index)
+
+let build_partsupp rng config ~num_parts ~num_suppliers ~part_index ~supp_index =
+  let count = num_parts * 4 in
+  let index = { rowids = Array.make count [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  (* the (part, supplier) entity pair of each partsupp entity; needed
+     again by lineitem generation *)
+  let refs = Array.make count (0, 0) in
+  for entity = 0 to count - 1 do
+    let part_entity = entity / 4 in
+    let supp_entity = Random.State.int rng num_suppliers in
+    refs.(entity) <- (part_entity, supp_entity);
+    let qty = int_between rng 1 9999 in
+    let cost = 1.0 +. Random.State.float rng 999.0 in
+    let cmt = comment rng in
+    with_cluster rng config ~next_rowid ~index ~entity (fun ~rowid ~dup ~prob ->
+        let pe =
+          noisy_entity rng config ~num_entities:num_parts ~dup part_entity
+        in
+        let se =
+          noisy_entity rng config ~num_entities:num_suppliers ~dup supp_entity
+        in
+        rows :=
+          [|
+            v_i entity; v_i rowid; v_i pe; v_i (raw_fk rng part_index pe);
+            v_i se; v_i (raw_fk rng supp_index se);
+            v_i (if dup = 0 then qty else perturb_int rng qty);
+            v_f (if dup = 0 then cost else perturb_float rng cost);
+            v_s (if dup = 0 then cmt else perturb_string rng cmt); v_f prob;
+          |]
+          :: !rows)
+  done;
+  (Relation.create (Schema.partsupp).schema (List.rev !rows), index, refs)
+
+let build_customer rng config ~count =
+  let index = { rowids = Array.make count [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  for entity = 0 to count - 1 do
+    let name = person_name rng in
+    let addr = address rng in
+    let nation = Random.State.int rng (Array.length nation_names) in
+    let ph = phone rng nation in
+    let bal = Random.State.float rng 9999.0 -. 999.0 in
+    let seg = pick rng mktsegments in
+    let cmt = comment rng in
+    with_cluster rng config ~next_rowid ~index ~entity (fun ~rowid ~dup ~prob ->
+        let p s = if dup = 0 then s else perturb_string rng s in
+        rows :=
+          [|
+            v_i entity; v_i rowid; v_s (p name); v_s (p addr); v_i nation;
+            v_s (p ph); v_f (if dup = 0 then bal else perturb_float rng bal);
+            v_s seg; v_s (p cmt); v_f prob;
+          |]
+          :: !rows)
+  done;
+  (Relation.create (Schema.customer).schema (List.rev !rows), index)
+
+let build_orders rng config ~count ~num_customers ~cust_index =
+  let index = { rowids = Array.make count [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  let order_dates = Array.make count 0 in
+  for entity = 0 to count - 1 do
+    let cust_entity = Random.State.int rng num_customers in
+    let status = pick rng [| "F"; "O"; "P" |] in
+    let total = 1000.0 +. Random.State.float rng 300_000.0 in
+    let odate = date_between rng "1992-01-01" "1998-08-02" in
+    order_dates.(entity) <- odate;
+    let priority = pick rng priorities in
+    let clerk = Printf.sprintf "Clerk#%09d" (int_between rng 1 1000) in
+    with_cluster rng config ~next_rowid ~index ~entity (fun ~rowid ~dup ~prob ->
+        let ce =
+          noisy_entity rng config ~num_entities:num_customers ~dup cust_entity
+        in
+        rows :=
+          [|
+            v_i entity; v_i rowid; v_i ce; v_i (raw_fk rng cust_index ce);
+            v_s status;
+            v_f (if dup = 0 then total else perturb_float rng total);
+            v_d (if dup = 0 then odate else perturb_date rng odate);
+            v_s priority; v_s clerk; v_i 0; v_f prob;
+          |]
+          :: !rows)
+  done;
+  (Relation.create (Schema.orders).schema (List.rev !rows), index, order_dates)
+
+let build_lineitem rng config ~num_orders ~order_index ~order_dates ~num_partsupps
+    ~ps_index ~ps_refs =
+  (* 1-7 lineitem entities per order entity *)
+  let per_order = Array.init num_orders (fun _ -> int_between rng 1 7) in
+  let count = Array.fold_left ( + ) 0 per_order in
+  let index = { rowids = Array.make (max 1 count) [] } in
+  let next_rowid = ref 0 in
+  let rows = ref [] in
+  let entity = ref 0 in
+  for order = 0 to num_orders - 1 do
+    for line = 1 to per_order.(order) do
+      let e = !entity in
+      incr entity;
+      let ps_entity = Random.State.int rng num_partsupps in
+      let part_entity, supp_entity = ps_refs.(ps_entity) in
+      let qty = int_between rng 1 50 in
+      let price = float_of_int qty *. (900.0 +. Random.State.float rng 1200.0) in
+      let discount = float_of_int (int_between rng 0 10) /. 100.0 in
+      let tax = float_of_int (int_between rng 0 8) /. 100.0 in
+      let rflag = pick rng [| "R"; "A"; "N" |] in
+      let lstatus = pick rng [| "O"; "F" |] in
+      let shipdate = order_dates.(order) + int_between rng 1 121 in
+      let commitdate = order_dates.(order) + int_between rng 30 90 in
+      let receiptdate = shipdate + int_between rng 1 30 in
+      with_cluster rng config ~next_rowid ~index ~entity:e
+        (fun ~rowid ~dup ~prob ->
+          let oe =
+            noisy_entity rng config ~num_entities:num_orders ~dup order
+          in
+          let pse =
+            noisy_entity rng config ~num_entities:num_partsupps ~dup ps_entity
+          in
+          let pe, se =
+            if pse = ps_entity then (part_entity, supp_entity) else ps_refs.(pse)
+          in
+          rows :=
+            [|
+              v_i e; v_i rowid; v_i oe; v_i (raw_fk rng order_index oe);
+              v_i pe; v_i se; v_i pse; v_i (raw_fk rng ps_index pse);
+              v_i line;
+              v_i (if dup = 0 then qty else perturb_int rng qty);
+              v_f (if dup = 0 then price else perturb_float rng price);
+              v_f discount; v_f tax; v_s rflag; v_s lstatus;
+              v_d (if dup = 0 then shipdate else perturb_date rng shipdate);
+              v_d commitdate;
+              v_d (if dup = 0 then receiptdate else perturb_date rng receiptdate);
+              v_s (pick rng shipinstructs); v_s (pick rng shipmodes); v_f prob;
+            |]
+            :: !rows)
+    done
+  done;
+  Relation.create (Schema.lineitem).schema (List.rev !rows)
+
+(* ---- entry points ---- *)
+
+(* [sf] fixes the total number of rows; [if] fixes the mean cluster
+   size.  Entity counts therefore scale as sf/if, so that
+   entities x mean-cluster-size stays (approximately) constant across
+   [if] — matching the paper's setup where the database size is set
+   by sf alone and Figure 7's propagation time is flat across if. *)
+let scaled config base =
+  let entities =
+    float_of_int base *. config.sf /. float_of_int (max 1 config.inconsistency)
+  in
+  max 2 (int_of_float (Float.round entities))
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let num_suppliers = scaled config 100 in
+  let num_parts = scaled config 200 in
+  let num_customers = scaled config 150 in
+  let num_orders = scaled config 1500 in
+  let region = build_region () in
+  let nation = build_nation () in
+  let supplier, supp_index = build_supplier rng config ~count:num_suppliers in
+  let part, part_index = build_part rng config ~count:num_parts in
+  let partsupp, ps_index, ps_refs =
+    build_partsupp rng config ~num_parts ~num_suppliers ~part_index ~supp_index
+  in
+  let customer, cust_index = build_customer rng config ~count:num_customers in
+  let orders, order_index, order_dates =
+    build_orders rng config ~count:num_orders ~num_customers ~cust_index
+  in
+  let lineitem =
+    build_lineitem rng config ~num_orders ~order_index ~order_dates
+      ~num_partsupps:(num_parts * 4) ~ps_index ~ps_refs
+  in
+  let add db (spec : Schema.table_spec) rel =
+    Dirty_db.add_table db
+      (Dirty_db.make_table ~name:spec.name ~id_attr:spec.id_attr
+         ~prob_attr:spec.prob_attr rel)
+  in
+  let db = Dirty_db.empty in
+  let db = add db Schema.region region in
+  let db = add db Schema.nation nation in
+  let db = add db Schema.supplier supplier in
+  let db = add db Schema.part part in
+  let db = add db Schema.partsupp partsupp in
+  let db = add db Schema.customer customer in
+  let db = add db Schema.orders orders in
+  add db Schema.lineitem lineitem
+
+let descriptive_attrs (spec : Schema.table_spec) =
+  let skip = ref [ spec.id_attr; spec.prob_attr ] in
+  (match spec.rowid_attr with Some r -> skip := r :: !skip | None -> ());
+  (* raw foreign keys duplicate the propagated ones; leave both out of
+     the summaries *)
+  List.filter
+    (fun n -> (not (List.mem n !skip)) && not (String.ends_with ~suffix:"_raw" n))
+    (Dirty.Schema.names spec.schema)
+
+let assign_probabilities ?distance db =
+  List.fold_left
+    (fun acc (spec : Schema.table_spec) ->
+      match Dirty_db.find_table_opt db spec.name with
+      | None -> acc
+      | Some table ->
+        let attrs = descriptive_attrs spec in
+        let table' = Prob.Assign.annotate_table ?distance ~attrs table in
+        Dirty_db.add_table acc table')
+    Dirty_db.empty
+    (List.map (fun (t : Dirty_db.table) -> Schema.spec t.name) (Dirty_db.tables db))
+
+(* columns that must stay fixed when perturbing a duplicate: the
+   identifier, row key, probability, and all (raw and propagated)
+   foreign keys *)
+let protected_attrs (spec : Schema.table_spec) =
+  let base = [ spec.id_attr; spec.prob_attr ] in
+  let base =
+    match spec.rowid_attr with Some r -> r :: base | None -> base
+  in
+  List.filter
+    (fun n ->
+      List.mem n base
+      || String.ends_with ~suffix:"_raw" n
+      || String.ends_with ~suffix:"key" n
+      || n = "l_psid")
+    (Dirty.Schema.names spec.schema)
+
+let perturb_value rng (v : Value.t) =
+  match v with
+  | Value.String s -> Value.String (perturb_string rng s)
+  | Value.Int i -> Value.Int (perturb_int rng i)
+  | Value.Float f -> Value.Float (perturb_float rng f)
+  | Value.Date d -> Value.Date (perturb_date rng d)
+  | Value.Null | Value.Bool _ -> v
+
+let dirtify ?(config = default) db =
+  let rng = Random.State.make [| config.seed |] in
+  List.fold_left
+    (fun acc (t : Dirty_db.table) ->
+      match List.find_opt (fun (s : Schema.table_spec) -> s.name = t.name)
+              Schema.dirty_tables
+      with
+      | None -> Dirty_db.add_table acc t
+      | Some spec ->
+        let sch = Relation.schema t.relation in
+        let prob_idx = Dirty.Schema.index_of sch spec.prob_attr in
+        let rowid_idx =
+          Option.map (Dirty.Schema.index_of sch) spec.rowid_attr
+        in
+        let protected_idx =
+          List.map (Dirty.Schema.index_of sch) (protected_attrs spec)
+        in
+        (* fresh row keys continue after the existing maximum *)
+        let next_rowid =
+          ref
+            (1
+            + Relation.fold
+                (fun acc row ->
+                  match rowid_idx with
+                  | Some i -> (
+                    match Value.to_int row.(i) with
+                    | Some r -> max acc r
+                    | None -> acc)
+                  | None -> acc)
+                0 t.relation)
+        in
+        let out = ref [] in
+        Relation.iter
+          (fun row ->
+            let size = cluster_size rng config.inconsistency in
+            let prob = 1.0 /. float_of_int size in
+            let original = Array.copy row in
+            original.(prob_idx) <- Value.Float prob;
+            out := original :: !out;
+            for _ = 2 to size do
+              let dup = Array.copy row in
+              Array.iteri
+                (fun j v ->
+                  if not (List.mem j protected_idx) then
+                    dup.(j) <- perturb_value rng v)
+                dup;
+              (match rowid_idx with
+              | Some i ->
+                dup.(i) <- Value.Int !next_rowid;
+                incr next_rowid
+              | None -> ());
+              dup.(prob_idx) <- Value.Float prob;
+              out := dup :: !out
+            done)
+          t.relation;
+        let relation = Relation.create sch (List.rev !out) in
+        Dirty_db.add_table acc
+          (Dirty_db.make_table ~name:spec.name ~id_attr:spec.id_attr
+             ~prob_attr:spec.prob_attr relation))
+    Dirty_db.empty (Dirty_db.tables db)
+
+let propagations =
+  (* (src table, src rowid attr, dst table, raw fk attr, propagated attr) *)
+  [
+    ("customer", "c_rowid", "orders", "o_custkey_raw", "o_custkey");
+    ("part", "p_rowid", "partsupp", "ps_partkey_raw", "ps_partkey");
+    ("supplier", "s_rowid", "partsupp", "ps_suppkey_raw", "ps_suppkey");
+    ("orders", "o_rowid", "lineitem", "l_orderkey_raw", "l_orderkey");
+    ("partsupp", "ps_rowid", "lineitem", "l_psid_raw", "l_psid");
+  ]
+
+let propagate_all db =
+  List.fold_left
+    (fun db (src_name, src_key, dst_name, fk_attr, out_attr) ->
+      let src = Dirty_db.find_table db src_name in
+      let dst = Dirty_db.find_table db dst_name in
+      let dst' = Dirty_db.propagate ~src ~src_key ~dst ~fk_attr ~out_attr in
+      let without =
+        List.fold_left
+          (fun acc (t : Dirty_db.table) ->
+            if t.name = dst_name then acc else Dirty_db.add_table acc t)
+          Dirty_db.empty (Dirty_db.tables db)
+      in
+      Dirty_db.add_table without dst')
+    db propagations
+
+let row_counts db =
+  List.map
+    (fun (t : Dirty_db.table) -> (t.name, Relation.cardinality t.relation))
+    (Dirty_db.tables db)
+
+let total_rows db = List.fold_left (fun acc (_, n) -> acc + n) 0 (row_counts db)

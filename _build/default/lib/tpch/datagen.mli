@@ -1,0 +1,61 @@
+(** UIS-style dirty data generator for the TPC-H schema (Section 5.1).
+
+    Follows the two knobs of the paper's setup:
+
+    - [sf], the scaling factor, controls the total number of rows
+      (scaled down from TPC-H's gigabyte sizes to laptop-bench sizes;
+      one [sf] unit is roughly 8k rows across the eight tables);
+    - [inconsistency] (the paper's [if]) controls duplication:
+      cluster cardinalities are drawn uniformly from
+      [[1, 2·if − 1]], so the mean cluster size is [if];
+      [if = 1] yields a completely clean database.  Entity counts
+      scale as [sf/if], keeping the database size set by [sf] alone
+      (as in the paper, where the 1 GB instances keep their size as
+      [if] varies).
+
+    Duplicates are perturbed copies of a clean tuple: typos and
+    abbreviations on strings, jitter on numbers and dates, and with
+    probability [fk_noise] a duplicate that disagrees with its
+    cluster-mates on a foreign key (the "true disagreement between
+    sources" of the introduction).
+
+    Tuple probabilities are initialized uniformly within each cluster;
+    {!assign_probabilities} recomputes them with the Section 4
+    procedure. *)
+
+type config = {
+  sf : float;
+  inconsistency : int;
+  seed : int;
+  fk_noise : float;
+}
+
+val default : config
+(** [sf = 0.1], [inconsistency = 3], [seed = 42],
+    [fk_noise = 0.1]. *)
+
+val generate : config -> Dirty.Dirty_db.t
+(** Generate the eight tables.  The result validates as a dirty
+    database (per-cluster probabilities sum to 1). *)
+
+val assign_probabilities :
+  ?distance:Prob.Assign.distance -> Dirty.Dirty_db.t -> Dirty.Dirty_db.t
+(** Recompute every dirty table's probabilities from its clustering
+    (Figure 5), over the non-key descriptive attributes. *)
+
+val dirtify : ?config:config -> Dirty.Dirty_db.t -> Dirty.Dirty_db.t
+(** Inject duplicates into an existing database over this schema
+    (e.g. real TPC-H data loaded with {!Tbl.load_dir}): every tuple of
+    the six dirty tables becomes a cluster whose cardinality is drawn
+    as in {!generate}; the duplicates perturb the descriptive columns
+    and share the identifier, keys and foreign keys (so referential
+    integrity is preserved; [fk_noise] is not applied here).  [sf] is
+    ignored — the input data sets the size. *)
+
+val propagate_all : Dirty.Dirty_db.t -> Dirty.Dirty_db.t
+(** Re-run identifier propagation for every foreign key (rewrites the
+    propagated fk columns from the raw ones) — the offline step timed
+    in Figure 7. *)
+
+val row_counts : Dirty.Dirty_db.t -> (string * int) list
+val total_rows : Dirty.Dirty_db.t -> int

@@ -1,0 +1,191 @@
+type query = { qid : int; sql : string; description : string }
+
+let q1 =
+  {
+    qid = 1;
+    description = "pricing summary report (aggregates removed)";
+    sql =
+      "select l_id, l_returnflag, l_linestatus, l_quantity, l_extendedprice \
+       from lineitem \
+       where l_shipdate <= date '1998-09-02' \
+       order by l_returnflag, l_linestatus";
+  }
+
+let q2 =
+  {
+    qid = 2;
+    description = "minimum cost supplier (subquery removed)";
+    sql =
+      "select ps_id, s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, \
+       s_phone \
+       from part p, supplier s, partsupp ps, nation n, region r \
+       where p_partkey = ps_partkey and s_suppkey = ps_suppkey \
+       and p_size <= 15 and p_type like '%BRASS' \
+       and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+       and r_name = 'EUROPE' \
+       order by s_acctbal desc, n_name, s_name, p_partkey";
+  }
+
+let q3_body =
+  "select l_id, l_orderkey, l_extendedprice * (1 - l_discount) as revenue, \
+   o_orderdate, o_shippriority \
+   from customer, orders, lineitem \
+   where c_mktsegment = 'BUILDING' and c_custkey = o_custkey \
+   and l_orderkey = o_orderkey \
+   and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15'"
+
+let q3 =
+  {
+    qid = 3;
+    description = "shipping priority (three-way join, order by revenue)";
+    sql = q3_body ^ " order by revenue desc, o_orderdate";
+  }
+
+let q4 =
+  {
+    qid = 4;
+    description = "order priority checking (exists subquery flattened)";
+    sql =
+      "select l_id, o_orderkey, o_orderpriority \
+       from orders, lineitem \
+       where l_orderkey = o_orderkey and l_commitdate < l_receiptdate \
+       and o_orderdate >= date '1993-07-01' and o_orderdate < date '1993-10-01' \
+       order by o_orderpriority";
+  }
+
+let q6 =
+  {
+    qid = 6;
+    description = "forecasting revenue change (aggregates removed)";
+    sql =
+      "select l_id, l_extendedprice, l_discount \
+       from lineitem \
+       where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' \
+       and l_discount between 0.05 and 0.07 and l_quantity < 24";
+  }
+
+let q9 =
+  {
+    qid = 9;
+    description = "product type profit (six-way join, high selectivity)";
+    sql =
+      "select l_id, n_name, o_orderdate, \
+       l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount \
+       from part p, supplier s, lineitem l, partsupp ps, orders o, nation n \
+       where s_suppkey = l_suppkey and l_psid = ps_id and p_partkey = l_partkey \
+       and o_orderkey = l_orderkey and s_nationkey = n_nationkey \
+       and p_name like '%green%' \
+       order by n_name, o_orderdate desc";
+  }
+
+let q10 =
+  {
+    qid = 10;
+    description = "returned item reporting (aggregates removed)";
+    sql =
+      "select l_id, c_custkey, c_name, l_extendedprice, l_discount, c_acctbal, \
+       n_name, c_address, c_phone \
+       from customer c, orders o, lineitem l, nation n \
+       where c_custkey = o_custkey and l_orderkey = o_orderkey \
+       and o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01' \
+       and l_returnflag = 'R' and c_nationkey = n_nationkey \
+       order by c_acctbal desc";
+  }
+
+let q11 =
+  {
+    qid = 11;
+    description = "important stock identification (aggregates removed)";
+    sql =
+      "select ps_id, ps_partkey, ps_supplycost, ps_availqty \
+       from partsupp ps, supplier s, nation n \
+       where ps_suppkey = s_suppkey and s_nationkey = n_nationkey \
+       and n_name = 'GERMANY' \
+       order by ps_supplycost desc";
+  }
+
+let q12 =
+  {
+    qid = 12;
+    description = "shipping modes and order priority (aggregates removed)";
+    sql =
+      "select l_id, l_shipmode, o_orderpriority \
+       from orders, lineitem \
+       where o_orderkey = l_orderkey and l_shipmode in ('MAIL', 'SHIP') \
+       and l_commitdate < l_receiptdate and l_shipdate < l_commitdate \
+       and l_receiptdate >= date '1994-01-01' \
+       and l_receiptdate < date '1995-01-01' \
+       order by l_shipmode";
+  }
+
+let q14 =
+  {
+    qid = 14;
+    description = "promotion effect (aggregates removed)";
+    sql =
+      "select l_id, p_type, l_extendedprice, l_discount \
+       from lineitem, part \
+       where l_partkey = p_partkey \
+       and l_shipdate >= date '1995-09-01' and l_shipdate < date '1995-10-01'";
+  }
+
+let q17 =
+  {
+    qid = 17;
+    description = "small-quantity-order revenue (avg subquery removed)";
+    sql =
+      "select l_id, l_quantity, l_extendedprice \
+       from lineitem, part \
+       where p_partkey = l_partkey and p_brand like 'Brand#2%' \
+       and p_container like 'MED%' and l_quantity < 10";
+  }
+
+let q18 =
+  {
+    qid = 18;
+    description = "large volume customer (in-subquery removed)";
+    sql =
+      "select l_id, c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, \
+       l_quantity \
+       from customer, orders, lineitem \
+       where c_custkey = o_custkey and o_orderkey = l_orderkey \
+       and l_quantity > 45 \
+       order by o_totalprice desc, o_orderdate";
+  }
+
+let q20 =
+  {
+    qid = 20;
+    description = "potential part promotion (subqueries flattened)";
+    sql =
+      "select ps_id, s_name, s_address \
+       from supplier s, nation n, partsupp ps, part p \
+       where s_nationkey = n_nationkey and n_name = 'CANADA' \
+       and ps_suppkey = s_suppkey and ps_partkey = p_partkey \
+       and p_name like 'forest%' \
+       order by s_name";
+  }
+
+let all = [ q1; q2; q3; q4; q6; q9; q10; q11; q12; q14; q17; q18; q20 ]
+
+let find qid =
+  match List.find_opt (fun q -> q.qid = qid) all with
+  | Some q -> q
+  | None -> raise Not_found
+
+let q3_no_order_by =
+  { q3 with description = "query 3 without ORDER BY (Figure 9)"; sql = q3_body }
+
+let q18_original_form =
+  {
+    qid = 18;
+    description = "large volume customer with its TPC-H subquery restored";
+    sql =
+      "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice \
+       from customer, orders, lineitem \
+       where o_orderkey in \
+       (select l_orderkey from lineitem group by l_orderkey \
+        having sum(l_quantity) > 150) \
+       and c_custkey = o_custkey and o_orderkey = l_orderkey \
+       order by o_totalprice desc, o_orderdate";
+  }

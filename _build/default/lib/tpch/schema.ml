@@ -1,0 +1,194 @@
+open Dirty
+
+type table_spec = {
+  name : string;
+  schema : Schema.t;
+  id_attr : string;
+  rowid_attr : string option;
+  prob_attr : string;
+}
+
+let region =
+  {
+    name = "region";
+    schema =
+      Schema.make
+        [
+          ("r_regionkey", Value.TInt);
+          ("r_name", Value.TString);
+          ("r_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "r_regionkey";
+    rowid_attr = None;
+    prob_attr = "prob";
+  }
+
+let nation =
+  {
+    name = "nation";
+    schema =
+      Schema.make
+        [
+          ("n_nationkey", Value.TInt);
+          ("n_name", Value.TString);
+          ("n_regionkey", Value.TInt);
+          ("n_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "n_nationkey";
+    rowid_attr = None;
+    prob_attr = "prob";
+  }
+
+let supplier =
+  {
+    name = "supplier";
+    schema =
+      Schema.make
+        [
+          ("s_suppkey", Value.TInt);
+          ("s_rowid", Value.TInt);
+          ("s_name", Value.TString);
+          ("s_address", Value.TString);
+          ("s_nationkey", Value.TInt);
+          ("s_phone", Value.TString);
+          ("s_acctbal", Value.TFloat);
+          ("s_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "s_suppkey";
+    rowid_attr = Some "s_rowid";
+    prob_attr = "prob";
+  }
+
+let part =
+  {
+    name = "part";
+    schema =
+      Schema.make
+        [
+          ("p_partkey", Value.TInt);
+          ("p_rowid", Value.TInt);
+          ("p_name", Value.TString);
+          ("p_mfgr", Value.TString);
+          ("p_brand", Value.TString);
+          ("p_type", Value.TString);
+          ("p_size", Value.TInt);
+          ("p_container", Value.TString);
+          ("p_retailprice", Value.TFloat);
+          ("p_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "p_partkey";
+    rowid_attr = Some "p_rowid";
+    prob_attr = "prob";
+  }
+
+let partsupp =
+  {
+    name = "partsupp";
+    schema =
+      Schema.make
+        [
+          ("ps_id", Value.TInt);
+          ("ps_rowid", Value.TInt);
+          ("ps_partkey", Value.TInt);  (* propagated fk to part *)
+          ("ps_partkey_raw", Value.TInt);
+          ("ps_suppkey", Value.TInt);  (* propagated fk to supplier *)
+          ("ps_suppkey_raw", Value.TInt);
+          ("ps_availqty", Value.TInt);
+          ("ps_supplycost", Value.TFloat);
+          ("ps_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "ps_id";
+    rowid_attr = Some "ps_rowid";
+    prob_attr = "prob";
+  }
+
+let customer =
+  {
+    name = "customer";
+    schema =
+      Schema.make
+        [
+          ("c_custkey", Value.TInt);
+          ("c_rowid", Value.TInt);
+          ("c_name", Value.TString);
+          ("c_address", Value.TString);
+          ("c_nationkey", Value.TInt);
+          ("c_phone", Value.TString);
+          ("c_acctbal", Value.TFloat);
+          ("c_mktsegment", Value.TString);
+          ("c_comment", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "c_custkey";
+    rowid_attr = Some "c_rowid";
+    prob_attr = "prob";
+  }
+
+let orders =
+  {
+    name = "orders";
+    schema =
+      Schema.make
+        [
+          ("o_orderkey", Value.TInt);
+          ("o_rowid", Value.TInt);
+          ("o_custkey", Value.TInt);  (* propagated fk to customer *)
+          ("o_custkey_raw", Value.TInt);
+          ("o_orderstatus", Value.TString);
+          ("o_totalprice", Value.TFloat);
+          ("o_orderdate", Value.TDate);
+          ("o_orderpriority", Value.TString);
+          ("o_clerk", Value.TString);
+          ("o_shippriority", Value.TInt);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "o_orderkey";
+    rowid_attr = Some "o_rowid";
+    prob_attr = "prob";
+  }
+
+let lineitem =
+  {
+    name = "lineitem";
+    schema =
+      Schema.make
+        [
+          ("l_id", Value.TInt);
+          ("l_rowid", Value.TInt);
+          ("l_orderkey", Value.TInt);  (* propagated fk to orders *)
+          ("l_orderkey_raw", Value.TInt);
+          ("l_partkey", Value.TInt);  (* propagated fk to part *)
+          ("l_suppkey", Value.TInt);  (* propagated fk to supplier *)
+          ("l_psid", Value.TInt);  (* propagated fk to partsupp *)
+          ("l_psid_raw", Value.TInt);
+          ("l_linenumber", Value.TInt);
+          ("l_quantity", Value.TInt);
+          ("l_extendedprice", Value.TFloat);
+          ("l_discount", Value.TFloat);
+          ("l_tax", Value.TFloat);
+          ("l_returnflag", Value.TString);
+          ("l_linestatus", Value.TString);
+          ("l_shipdate", Value.TDate);
+          ("l_commitdate", Value.TDate);
+          ("l_receiptdate", Value.TDate);
+          ("l_shipinstruct", Value.TString);
+          ("l_shipmode", Value.TString);
+          ("prob", Value.TFloat);
+        ];
+    id_attr = "l_id";
+    rowid_attr = Some "l_rowid";
+    prob_attr = "prob";
+  }
+
+let all = [ region; nation; supplier; part; partsupp; customer; orders; lineitem ]
+let dirty_tables = [ supplier; part; partsupp; customer; orders; lineitem ]
+
+let spec name =
+  match List.find_opt (fun t -> t.name = name) all with
+  | Some t -> t
+  | None -> raise Not_found

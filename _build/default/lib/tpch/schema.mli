@@ -1,0 +1,41 @@
+(** The dirty TPC-H-style schema the evaluation runs on.
+
+    Each dirty table carries:
+    - a {e row key} column ([*_rowid]) that is unique per tuple (the
+      original key of the source before tuple matching),
+    - an {e identifier} column holding the cluster identifier emitted
+      by the matcher (the paper's setup where the original key values
+      are replaced by the identifier — duplicates share it),
+    - a [prob] column, and
+    - foreign keys in two forms: a raw form referencing the row key
+      of a specific duplicate ([*_raw]) and the propagated form
+      referencing the identifier (what queries join on).
+
+    [region] and [nation] are clean lookup tables (singleton
+    clusters, probability 1). *)
+
+type table_spec = {
+  name : string;
+  schema : Dirty.Schema.t;
+  id_attr : string;
+  rowid_attr : string option;  (** None for the clean lookup tables *)
+  prob_attr : string;
+}
+
+val region : table_spec
+val nation : table_spec
+val supplier : table_spec
+val part : table_spec
+val partsupp : table_spec
+val customer : table_spec
+val orders : table_spec
+val lineitem : table_spec
+
+val all : table_spec list
+(** Topological order (referenced tables first). *)
+
+val dirty_tables : table_spec list
+(** The six tables that receive duplicates. *)
+
+val spec : string -> table_spec
+(** @raise Not_found *)

@@ -1,0 +1,159 @@
+module Value = Dirty.Value
+module Relation = Dirty.Relation
+module Dirty_db = Dirty.Dirty_db
+
+let parse_line line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '|' then String.sub line 0 (n - 1) else line
+  in
+  String.split_on_char '|' line
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | "" -> go acc
+        | line -> go (parse_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let failf path lineno fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "%s:%d: %s" path lineno s)) fmt
+
+let int_field path lineno s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> failf path lineno "expected integer, got %S" s
+
+let float_field path lineno s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> failf path lineno "expected number, got %S" s
+
+let date_field path lineno s =
+  match Value.date_of_string (String.trim s) with
+  | d -> d
+  | exception Invalid_argument _ -> failf path lineno "expected date, got %S" s
+
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+let v_s s = Value.String s
+let prob_one = Value.Float 1.0
+
+(* each loader maps a .tbl row onto our dirty-schema row *)
+
+let load_table dir name arity convert (spec : Schema.table_spec) =
+  let path = Filename.concat dir (name ^ ".tbl") in
+  let rows = load_file path in
+  let converted =
+    List.mapi
+      (fun i fields ->
+        let lineno = i + 1 in
+        if List.length fields <> arity then
+          failf path lineno "expected %d fields, got %d" arity
+            (List.length fields);
+        convert path lineno i (Array.of_list fields))
+      rows
+  in
+  Dirty_db.make_table ~name:spec.name ~id_attr:spec.id_attr
+    ~prob_attr:spec.prob_attr
+    (Relation.create spec.schema converted)
+
+let load_dir dir =
+  let region =
+    load_table dir "region" 3 (fun path ln _ f ->
+        [| v_i (int_field path ln f.(0)); v_s f.(1); v_s f.(2); prob_one |])
+      Schema.region
+  in
+  let nation =
+    load_table dir "nation" 4 (fun path ln _ f ->
+        [|
+          v_i (int_field path ln f.(0)); v_s f.(1);
+          v_i (int_field path ln f.(2)); v_s f.(3); prob_one;
+        |])
+      Schema.nation
+  in
+  let supplier =
+    load_table dir "supplier" 7 (fun path ln _ f ->
+        let key = int_field path ln f.(0) in
+        [|
+          v_i key; v_i key; v_s f.(1); v_s f.(2);
+          v_i (int_field path ln f.(3)); v_s f.(4);
+          v_f (float_field path ln f.(5)); v_s f.(6); prob_one;
+        |])
+      Schema.supplier
+  in
+  let part =
+    load_table dir "part" 9 (fun path ln _ f ->
+        let key = int_field path ln f.(0) in
+        [|
+          v_i key; v_i key; v_s f.(1); v_s f.(2); v_s f.(3); v_s f.(4);
+          v_i (int_field path ln f.(5)); v_s f.(6);
+          v_f (float_field path ln f.(7)); v_s f.(8); prob_one;
+        |])
+      Schema.part
+  in
+  (* partsupp gets a synthetic identifier; remember (partkey, suppkey)
+     -> ps_id for lineitem linking *)
+  let ps_index = Hashtbl.create 1024 in
+  let partsupp =
+    load_table dir "partsupp" 5 (fun path ln i f ->
+        let partkey = int_field path ln f.(0) in
+        let suppkey = int_field path ln f.(1) in
+        Hashtbl.replace ps_index (partkey, suppkey) i;
+        [|
+          v_i i; v_i i; v_i partkey; v_i partkey; v_i suppkey; v_i suppkey;
+          v_i (int_field path ln f.(2)); v_f (float_field path ln f.(3));
+          v_s f.(4); prob_one;
+        |])
+      Schema.partsupp
+  in
+  let customer =
+    load_table dir "customer" 8 (fun path ln _ f ->
+        let key = int_field path ln f.(0) in
+        [|
+          v_i key; v_i key; v_s f.(1); v_s f.(2);
+          v_i (int_field path ln f.(3)); v_s f.(4);
+          v_f (float_field path ln f.(5)); v_s f.(6); v_s f.(7); prob_one;
+        |])
+      Schema.customer
+  in
+  let orders =
+    load_table dir "orders" 9 (fun path ln _ f ->
+        let key = int_field path ln f.(0) in
+        let custkey = int_field path ln f.(1) in
+        [|
+          v_i key; v_i key; v_i custkey; v_i custkey; v_s f.(2);
+          v_f (float_field path ln f.(3)); date_field path ln f.(4);
+          v_s f.(5); v_s f.(6); v_i (int_field path ln f.(7)); prob_one;
+        |])
+      Schema.orders
+  in
+  let lineitem =
+    load_table dir "lineitem" 16 (fun path ln i f ->
+        let orderkey = int_field path ln f.(0) in
+        let partkey = int_field path ln f.(1) in
+        let suppkey = int_field path ln f.(2) in
+        let psid =
+          match Hashtbl.find_opt ps_index (partkey, suppkey) with
+          | Some id -> id
+          | None -> failf path ln "no partsupp row for (%d, %d)" partkey suppkey
+        in
+        [|
+          v_i i; v_i i; v_i orderkey; v_i orderkey; v_i partkey; v_i suppkey;
+          v_i psid; v_i psid; v_i (int_field path ln f.(3));
+          v_i (int_of_float (float_field path ln f.(4)));
+          v_f (float_field path ln f.(5)); v_f (float_field path ln f.(6));
+          v_f (float_field path ln f.(7)); v_s f.(8); v_s f.(9);
+          date_field path ln f.(10); date_field path ln f.(11);
+          date_field path ln f.(12); v_s f.(13); v_s f.(14); prob_one;
+        |])
+      Schema.lineitem
+  in
+  List.fold_left Dirty_db.add_table Dirty_db.empty
+    [ region; nation; supplier; part; partsupp; customer; orders; lineitem ]

@@ -1,0 +1,24 @@
+(** Loader for official TPC-H [dbgen] output ([.tbl] files,
+    pipe-separated, no header, trailing separator).
+
+    The files are mapped onto this repository's dirty schema: every
+    tuple becomes its own singleton cluster with probability 1 (a
+    clean database), row keys coincide with the original primary keys,
+    synthetic identifiers are allocated for [partsupp] and [lineitem],
+    and [lineitem] rows are linked to their [partsupp] identifier via
+    the (partkey, suppkey) pair.  Comment columns that our scaled
+    schema does not carry are dropped.
+
+    Use {!Datagen.dirtify} afterwards to inject duplicates into the
+    loaded data. *)
+
+val parse_line : string -> string list
+(** Split one [.tbl] line (handles the trailing ['|']). *)
+
+val load_file : string -> string list list
+
+val load_dir : string -> Dirty.Dirty_db.t
+(** Load [region.tbl], [nation.tbl], [supplier.tbl], [part.tbl],
+    [partsupp.tbl], [customer.tbl], [orders.tbl] and [lineitem.tbl]
+    from the directory.  Missing files raise [Sys_error]; malformed
+    rows raise [Failure] with the file and line. *)

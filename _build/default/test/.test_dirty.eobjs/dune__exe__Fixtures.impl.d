@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Cluster Dirty Dirty_db Float Fun List Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+test/test_conquer.ml: Alcotest Array Cluster Conquer Dirty Dirty_db Engine Fixtures Float Format List Option Printf Relation Schema Sql String Value

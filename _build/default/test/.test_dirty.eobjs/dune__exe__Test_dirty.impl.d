@@ -1,0 +1,1 @@
+test/test_dirty.ml: Alcotest Array Cluster Conquer Csv Dirty Dirty_db Filename Fixtures Fun List Option Relation Schema Store String Sys Value

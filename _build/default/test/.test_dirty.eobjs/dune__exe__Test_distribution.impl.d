@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Conquer Dirty Dirty_db Fixtures List Option Printf Random Relation Schema Sql Value

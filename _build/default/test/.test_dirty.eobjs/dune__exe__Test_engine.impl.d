@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Conquer Dirty Engine Fixtures Float List Relation Schema Sql String Value

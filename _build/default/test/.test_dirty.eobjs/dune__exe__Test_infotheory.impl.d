@@ -1,0 +1,1 @@
+test/test_infotheory.ml: Alcotest Dcf Dist Fixtures Infotheory List Mutual_info

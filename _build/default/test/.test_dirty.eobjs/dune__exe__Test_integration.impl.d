@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dirty Engine List Relation Schema Sql Value

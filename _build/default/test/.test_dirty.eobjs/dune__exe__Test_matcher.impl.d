@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Array Cluster Conquer Dirty Dirty_db Fixtures Format List Matcher Prob Relation Schema Tpch Value

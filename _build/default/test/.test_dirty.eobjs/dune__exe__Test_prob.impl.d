@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Cluster Conquer Dirty Dirty_db Fixtures Infotheory List Printf Prob Relation Schema Value

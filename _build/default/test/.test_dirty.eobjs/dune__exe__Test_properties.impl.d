@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Cluster Conquer Dirty Dirty_db Engine Float Format Fun Infotheory List Option Printf Prob QCheck QCheck_alcotest Relation Schema Sql Value

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Cluster Conquer Dirty Dirty_db Engine Fixtures Float List Option Printf Random Relation Sql Value

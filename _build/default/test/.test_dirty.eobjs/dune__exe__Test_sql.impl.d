@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Dirty Lexer List Option Parser Pretty Sql Tpch

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Cluster Conquer Dirty Dirty_db Filename Fixtures Fun Hashtbl Lazy List Option Printf Relation Schema String Sys Tpch Value

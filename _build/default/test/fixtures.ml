@@ -1,0 +1,180 @@
+(* Shared fixtures: the paper's running examples. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+
+(* ---- Figure 1: the loyalty-card database ---- *)
+
+let loyalty_db () =
+  let loyaltycard =
+    Relation.create
+      (Schema.make
+         [ ("cardid", Value.TInt); ("custfk", Value.TString); ("prob", Value.TFloat) ])
+      [
+        [| v_i 111; v_s "c1"; v_f 0.4 |];
+        [| v_i 111; v_s "c2"; v_f 0.6 |];
+      ]
+  in
+  let customer =
+    Relation.create
+      (Schema.make
+         [
+           ("custid", Value.TString);
+           ("name", Value.TString);
+           ("income", Value.TInt);
+           ("prob", Value.TFloat);
+         ])
+      [
+        [| v_s "c1"; v_s "John"; v_i 120_000; v_f 0.9 |];
+        [| v_s "c1"; v_s "John"; v_i 80_000; v_f 0.1 |];
+        [| v_s "c2"; v_s "Mary"; v_i 140_000; v_f 0.4 |];
+        [| v_s "c2"; v_s "Marion"; v_i 40_000; v_f 0.6 |];
+      ]
+  in
+  let db = Dirty_db.empty in
+  let db =
+    Dirty_db.add_table db
+      (Dirty_db.make_table ~name:"loyaltycard" ~id_attr:"cardid" ~prob_attr:"prob"
+         loyaltycard)
+  in
+  Dirty_db.add_table db
+    (Dirty_db.make_table ~name:"customer" ~id_attr:"custid" ~prob_attr:"prob"
+       customer)
+
+(* ---- Figure 2: the order/customer database ----
+
+   Tuple probabilities for the order cluster o2 are 0.5/0.5, which
+   reproduces the candidate probabilities of Example 3. *)
+
+let order_schema =
+  Schema.make
+    [
+      ("id", Value.TString);
+      ("orderid", Value.TInt);
+      ("custfk", Value.TString);
+      ("cidfk", Value.TString);
+      ("quantity", Value.TInt);
+      ("prob", Value.TFloat);
+    ]
+
+let customer_schema =
+  Schema.make
+    [
+      ("id", Value.TString);
+      ("custid", Value.TString);
+      ("name", Value.TString);
+      ("balance", Value.TInt);
+      ("prob", Value.TFloat);
+    ]
+
+let orders_relation () =
+  Relation.create order_schema
+    [
+      [| v_s "o1"; v_i 11; v_s "m1"; v_s "c1"; v_i 3; v_f 1.0 |];
+      [| v_s "o2"; v_i 12; v_s "m2"; v_s "c1"; v_i 2; v_f 0.5 |];
+      [| v_s "o2"; v_i 13; v_s "m3"; v_s "c2"; v_i 5; v_f 0.5 |];
+    ]
+
+let customers_relation () =
+  Relation.create customer_schema
+    [
+      [| v_s "c1"; v_s "m1"; v_s "John"; v_i 20_000; v_f 0.7 |];
+      [| v_s "c1"; v_s "m2"; v_s "John"; v_i 30_000; v_f 0.3 |];
+      [| v_s "c2"; v_s "m3"; v_s "Mary"; v_i 27_000; v_f 0.2 |];
+      [| v_s "c2"; v_s "m4"; v_s "Marion"; v_i 5_000; v_f 0.8 |];
+    ]
+
+let figure2_db () =
+  let db = Dirty_db.empty in
+  let db =
+    Dirty_db.add_table db
+      (Dirty_db.make_table ~name:"orders" ~id_attr:"id" ~prob_attr:"prob"
+         (orders_relation ()))
+  in
+  Dirty_db.add_table db
+    (Dirty_db.make_table ~name:"customer" ~id_attr:"id" ~prob_attr:"prob"
+       (customers_relation ()))
+
+(* The three queries of Examples 4-7 (over the Figure 2 database).
+   The order relation is named [orders] to avoid the SQL keyword. *)
+
+let q1 = "select id from customer c where balance > 10000"
+let q2 =
+  "select o.id, c.id from orders o, customer c \
+   where o.cidfk = c.id and c.balance > 10000"
+let q3 =
+  "select c.id from orders o, customer c \
+   where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000"
+
+(* ---- Figure 6: the Section 4 customer relation ---- *)
+
+let section4_customer () =
+  Relation.create
+    (Schema.make
+       [
+         ("name", Value.TString);
+         ("mktsegment", Value.TString);
+         ("nation", Value.TString);
+         ("address", Value.TString);
+         ("cluster", Value.TString);
+       ])
+    [
+      [| v_s "Mary"; v_s "building"; v_s "USA"; v_s "Jones Ave"; v_s "c1" |];
+      [| v_s "Mary"; v_s "banking"; v_s "USA"; v_s "Jones Ave"; v_s "c1" |];
+      [| v_s "Marion"; v_s "banking"; v_s "USA"; v_s "Jones ave"; v_s "c1" |];
+      [| v_s "John"; v_s "building"; v_s "America"; v_s "Arrow"; v_s "c2" |];
+      [| v_s "John S."; v_s "building"; v_s "USA"; v_s "Arrow"; v_s "c2" |];
+      [| v_s "John"; v_s "banking"; v_s "Canada"; v_s "Baldwin"; v_s "c3" |];
+    ]
+
+let section4_attrs = [ "name"; "mktsegment"; "nation"; "address" ]
+
+let section4_clustering () =
+  Cluster.of_relation (section4_customer ()) ~id_attr:"cluster"
+
+(* ---- assertion helpers ---- *)
+
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (float_eq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected actual
+
+(* Look up the probability of an answer row identified by a prefix of
+   values (the non-probability columns). *)
+let answer_prob rel key =
+  let rows = Relation.row_list rel in
+  let matches row =
+    List.for_all2
+      (fun expected i -> Value.equal expected row.(i))
+      key
+      (List.init (List.length key) Fun.id)
+  in
+  match List.find_opt matches rows with
+  | Some row -> (
+    match Value.to_float row.(Array.length row - 1) with
+    | Some p -> Some p
+    | None -> None)
+  | None -> None
+
+let expect_answer rel key prob =
+  match answer_prob rel key with
+  | Some p ->
+    check_float ~eps:1e-9
+      (Printf.sprintf "answer [%s]"
+         (String.concat ", " (List.map Value.to_string key)))
+      prob p
+  | None ->
+    Alcotest.failf "answer [%s] not found"
+      (String.concat ", " (List.map Value.to_string key))
+
+let expect_no_answer rel key =
+  match answer_prob rel key with
+  | None -> ()
+  | Some p ->
+    Alcotest.failf "answer [%s] unexpectedly present with probability %f"
+      (String.concat ", " (List.map Value.to_string key))
+      p

@@ -1,0 +1,183 @@
+(* Tests for the exact COUNT-distribution extension (Poisson-binomial
+   over clusters). *)
+
+open Dirty
+
+let session () = Conquer.Clean.create (Fixtures.figure2_db ())
+
+let check_pmf msg expected actual =
+  Alcotest.(check int) (msg ^ ": support size") (Array.length expected)
+    (Array.length actual);
+  Array.iteri
+    (fun i p -> Fixtures.check_float (Printf.sprintf "%s: pmf[%d]" msg i) p actual.(i))
+    expected
+
+let test_figure2_distribution () =
+  let s = session () in
+  let sql = "select id from customer where balance > 25000" in
+  (* qualifying: cluster c1 via t5 (0.3), cluster c2 via t6 (0.2);
+     count pmf: P(0) = .7*.8 = .56, P(1) = .3*.8 + .7*.2 = .38,
+     P(2) = .3*.2 = .06 *)
+  let pmf = Conquer.Distribution.count_distribution s sql in
+  check_pmf "figure 2" [| 0.56; 0.38; 0.06 |] pmf;
+  Fixtures.check_float "mean = expected count" 0.5 (Conquer.Distribution.mean pmf);
+  Fixtures.check_float "variance = sum p(1-p)"
+    ((0.3 *. 0.7) +. (0.2 *. 0.8))
+    (Conquer.Distribution.variance pmf);
+  Fixtures.check_float "P(count >= 1)" 0.44 (Conquer.Distribution.at_least pmf 1);
+  Fixtures.check_float "tail beyond support" 0.0
+    (Conquer.Distribution.at_least pmf 3)
+
+let test_matches_expected_count () =
+  let s = session () in
+  let sql = "select id from customer where balance > 10000" in
+  let pmf = Conquer.Distribution.count_distribution s sql in
+  let expected =
+    Conquer.Expected.answers s "select count(*) from customer where balance > 10000"
+  in
+  let e = Option.get (Value.to_float (Relation.get expected 0).(0)) in
+  Fixtures.check_float "mean equals E[count]" e (Conquer.Distribution.mean pmf)
+
+let test_oracle_agrees () =
+  let s = session () in
+  let sql = "select id from customer where balance > 25000" in
+  let fast = Conquer.Distribution.count_distribution s sql in
+  let slow = Conquer.Distribution.count_distribution_oracle s sql in
+  (* the oracle's support covers all clusters; compare index-wise *)
+  Array.iteri
+    (fun i p ->
+      let q = if i < Array.length fast then fast.(i) else 0.0 in
+      Fixtures.check_float (Printf.sprintf "pmf[%d]" i) p q)
+    slow
+
+let test_oracle_agrees_randomized () =
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let rows = ref [] in
+      for entity = 0 to 3 do
+        let size = 1 + Random.State.int rng 3 in
+        for _ = 1 to size do
+          rows :=
+            [|
+              Value.Int entity;
+              Value.Int (Random.State.int rng 10);
+              Value.Float (1.0 /. float_of_int size);
+            |]
+            :: !rows
+        done
+      done;
+      let rel =
+        Relation.create
+          (Schema.make
+             [ ("id", Value.TInt); ("val", Value.TInt); ("prob", Value.TFloat) ])
+          (List.rev !rows)
+      in
+      let db =
+        Dirty_db.add_table Dirty_db.empty
+          (Dirty_db.make_table ~name:"t" ~id_attr:"id" ~prob_attr:"prob" rel)
+      in
+      let s = Conquer.Clean.create db in
+      let sql = "select id from t where val < 5" in
+      let fast = Conquer.Distribution.count_distribution s sql in
+      let slow = Conquer.Distribution.count_distribution_oracle s sql in
+      Array.iteri
+        (fun i p ->
+          let q = if i < Array.length fast then fast.(i) else 0.0 in
+          Fixtures.check_float (Printf.sprintf "seed %d pmf[%d]" seed i) p q)
+        slow)
+    [ 10; 11; 12; 13; 14 ]
+
+let test_pmf_normalized () =
+  let s = session () in
+  let pmf =
+    Conquer.Distribution.count_distribution s "select id from customer where balance > 0"
+  in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  Fixtures.check_float "normalized" 1.0 total
+
+let test_certain_counts () =
+  (* predicates satisfied by every duplicate: the count is deterministic *)
+  let s = session () in
+  let pmf =
+    Conquer.Distribution.count_distribution s
+      "select id from customer where balance > 1000"
+  in
+  (* both clusters qualify with certainty: P(2) = 1 *)
+  check_pmf "deterministic" [| 0.0; 0.0; 1.0 |] pmf
+
+let test_qualification_probabilities () =
+  let s = session () in
+  let ps =
+    Conquer.Distribution.qualification_probabilities s
+      "select id from customer where balance > 25000"
+  in
+  Alcotest.(check int) "two clusters qualify" 2 (List.length ps);
+  let lookup id = List.assoc (Value.String id) ps in
+  Fixtures.check_float "c1" 0.3 (lookup "c1");
+  Fixtures.check_float "c2" 0.2 (lookup "c2")
+
+let test_check_rejections () =
+  let s = session () in
+  let env = Conquer.Clean.env s in
+  let reject sql pred =
+    match Conquer.Distribution.check env (Sql.Parser.parse_query sql) with
+    | Ok () -> Alcotest.failf "accepted %s" sql
+    | Error vs -> Alcotest.(check bool) ("violation for " ^ sql) true (List.exists pred vs)
+  in
+  reject "select o.id from orders o, customer c where o.cidfk = c.id"
+    (function Conquer.Distribution.Not_single_table -> true | _ -> false);
+  reject "select count(*) from customer"
+    (function Conquer.Distribution.Not_spj _ -> true | _ -> false);
+  reject "select distinct id from customer"
+    (function Conquer.Distribution.Not_spj _ -> true | _ -> false);
+  match
+    Conquer.Distribution.count_distribution s
+      "select o.id from orders o, customer c where o.cidfk = c.id"
+  with
+  | exception Conquer.Distribution.Not_supported _ -> ()
+  | _ -> Alcotest.fail "expected Not_supported"
+
+let test_poisson_binomial_shape () =
+  (* uniform halves: binomial(4, 0.5) *)
+  let rel =
+    Relation.create
+      (Schema.make
+         [ ("id", Value.TInt); ("v", Value.TInt); ("prob", Value.TFloat) ])
+      (List.concat
+         (List.init 4 (fun e ->
+              [
+                [| Value.Int e; Value.Int 1; Value.Float 0.5 |];
+                [| Value.Int e; Value.Int 0; Value.Float 0.5 |];
+              ])))
+  in
+  let db =
+    Dirty_db.add_table Dirty_db.empty
+      (Dirty_db.make_table ~name:"t" ~id_attr:"id" ~prob_attr:"prob" rel)
+  in
+  let s = Conquer.Clean.create db in
+  let pmf = Conquer.Distribution.count_distribution s "select id from t where v = 1" in
+  let binom = [| 0.0625; 0.25; 0.375; 0.25; 0.0625 |] in
+  check_pmf "binomial(4, 1/2)" binom pmf
+
+let () =
+  Alcotest.run "distribution"
+    [
+      ( "count pmf",
+        [
+          Alcotest.test_case "figure 2 numbers" `Quick test_figure2_distribution;
+          Alcotest.test_case "mean = E[count]" `Quick test_matches_expected_count;
+          Alcotest.test_case "oracle agrees" `Quick test_oracle_agrees;
+          Alcotest.test_case "oracle agrees (randomized)" `Quick
+            test_oracle_agrees_randomized;
+          Alcotest.test_case "normalized" `Quick test_pmf_normalized;
+          Alcotest.test_case "deterministic counts" `Quick test_certain_counts;
+          Alcotest.test_case "binomial shape" `Quick test_poisson_binomial_shape;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "qualification probabilities" `Quick
+            test_qualification_probabilities;
+          Alcotest.test_case "rejections" `Quick test_check_rejections;
+        ] );
+    ]

@@ -1,0 +1,558 @@
+(* Tests for the query engine: expression evaluation, operators,
+   planner, indexes, statistics. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+
+let db () =
+  let engine = Engine.Database.create () in
+  let emp =
+    Relation.create
+      (Schema.make
+         [
+           ("eid", Value.TInt);
+           ("name", Value.TString);
+           ("dept", Value.TInt);
+           ("salary", Value.TInt);
+         ])
+      [
+        [| v_i 1; v_s "ann"; v_i 10; v_i 100 |];
+        [| v_i 2; v_s "bob"; v_i 10; v_i 200 |];
+        [| v_i 3; v_s "carol"; v_i 20; v_i 300 |];
+        [| v_i 4; v_s "dan"; v_i 20; v_i 400 |];
+        [| v_i 5; v_s "eve"; v_i 30; Value.Null |];
+      ]
+  in
+  let dept =
+    Relation.create
+      (Schema.make [ ("did", Value.TInt); ("dname", Value.TString) ])
+      [
+        [| v_i 10; v_s "eng" |];
+        [| v_i 20; v_s "sales" |];
+        [| v_i 40; v_s "empty" |];
+      ]
+  in
+  Engine.Database.add_relation engine ~name:"emp" emp;
+  Engine.Database.add_relation engine ~name:"dept" dept;
+  engine
+
+let run ?config sql = Engine.Database.query ?config (db ()) sql
+
+(* ---- expression evaluation ---- *)
+
+let eval_expr expr_sql row schema =
+  let e = Sql.Parser.parse_expr expr_sql in
+  Engine.Expr.compile schema e row
+
+let one_row_schema = Schema.make [ ("x", Value.TInt); ("y", Value.TFloat); ("s", Value.TString); ("n", Value.TInt) ]
+let one_row = [| v_i 6; v_f 2.5; v_s "hello"; Value.Null |]
+
+let check_value msg expected actual =
+  if not (Value.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Value.to_string expected)
+      (Value.to_string actual)
+
+let test_expr_arithmetic () =
+  check_value "int add" (v_i 8) (eval_expr "x + 2" one_row one_row_schema);
+  check_value "mixed mul" (v_f 15.0) (eval_expr "x * y" one_row one_row_schema);
+  check_value "int div" (v_i 3) (eval_expr "x / 2" one_row one_row_schema);
+  check_value "float div" (v_f 2.4) (eval_expr "x / 2.5" one_row one_row_schema);
+  check_value "neg" (v_i (-6)) (eval_expr "-x" one_row one_row_schema);
+  check_value "null propagates" Value.Null (eval_expr "n + 1" one_row one_row_schema)
+
+let test_expr_division_by_zero () =
+  match eval_expr "x / 0" one_row one_row_schema with
+  | exception Engine.Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "division by zero accepted"
+
+let test_expr_comparisons () =
+  check_value "lt" (Value.Bool true) (eval_expr "x < 10" one_row one_row_schema);
+  check_value "between" (Value.Bool true)
+    (eval_expr "x between 5 and 7" one_row one_row_schema);
+  check_value "null comparison false" (Value.Bool false)
+    (eval_expr "n > 0" one_row one_row_schema);
+  check_value "is null" (Value.Bool true) (eval_expr "n is null" one_row one_row_schema);
+  check_value "in list" (Value.Bool true)
+    (eval_expr "s in ('hello', 'world')" one_row one_row_schema)
+
+let test_expr_like () =
+  let m = Engine.Expr.like_matcher in
+  Alcotest.(check bool) "prefix" true (m "he%" "hello");
+  Alcotest.(check bool) "suffix" true (m "%llo" "hello");
+  Alcotest.(check bool) "infix" true (m "%ell%" "hello");
+  Alcotest.(check bool) "underscore" true (m "h_llo" "hello");
+  Alcotest.(check bool) "no match" false (m "h_llo" "heello");
+  Alcotest.(check bool) "exact" true (m "hello" "hello");
+  Alcotest.(check bool) "empty pattern" false (m "" "x");
+  Alcotest.(check bool) "percent only" true (m "%" "");
+  Alcotest.(check bool) "multi wildcard" true (m "%a%b%" "xxaxxbxx")
+
+let test_expr_resolution_errors () =
+  let schema = Schema.make [ ("t.a", Value.TInt); ("u.a", Value.TInt) ] in
+  (match Engine.Expr.resolve schema { table = None; name = "a" } with
+  | exception Engine.Expr.Ambiguous_column _ -> ()
+  | _ -> Alcotest.fail "ambiguity not detected");
+  (match Engine.Expr.resolve schema { table = None; name = "zz" } with
+  | exception Engine.Expr.Unbound_column _ -> ()
+  | _ -> Alcotest.fail "unbound not detected");
+  Alcotest.(check int) "qualified" 1
+    (Engine.Expr.resolve schema { table = Some "u"; name = "a" })
+
+(* ---- scans, filters, projections ---- *)
+
+let test_scan_and_filter () =
+  let r = run "select name from emp where salary > 150" in
+  Alcotest.(check int) "three rows" 3 (Relation.cardinality r)
+
+let test_projection_expressions () =
+  let r = run "select eid * 10 as tens from emp where eid = 2" in
+  check_value "computed" (v_i 20) (Relation.get r 0).(0)
+
+let test_select_star () =
+  let r = run "select * from dept" in
+  Alcotest.(check int) "all columns" 2 (Schema.arity (Relation.schema r));
+  Alcotest.(check int) "all rows" 3 (Relation.cardinality r)
+
+let test_null_filtered () =
+  let r = run "select name from emp where salary > 0" in
+  (* eve's NULL salary fails the predicate *)
+  Alcotest.(check int) "null row dropped" 4 (Relation.cardinality r)
+
+(* ---- joins ---- *)
+
+let test_hash_join () =
+  let r = run "select e.name, d.dname from emp e, dept d where e.dept = d.did" in
+  Alcotest.(check int) "four matches" 4 (Relation.cardinality r)
+
+let test_join_no_match () =
+  let r =
+    run "select e.name from emp e, dept d where e.dept = d.did and d.dname = 'empty'"
+  in
+  Alcotest.(check int) "empty join" 0 (Relation.cardinality r)
+
+let test_cross_product () =
+  let r = run "select e.eid, d.did from emp e, dept d" in
+  Alcotest.(check int) "5 x 3" 15 (Relation.cardinality r)
+
+let test_index_join_equivalence () =
+  let engine = db () in
+  Engine.Database.create_index engine ~table:"dept" ~attr:"did";
+  Engine.Database.analyze_all engine;
+  let sql = "select e.name, d.dname from emp e, dept d where e.dept = d.did order by e.name" in
+  let with_index = Engine.Database.query engine sql in
+  let without =
+    Engine.Database.query
+      ~config:{ Engine.Planner.default_config with use_indexes = false }
+      engine sql
+  in
+  Alcotest.(check bool) "same results" true
+    (Relation.equal_as_bags with_index without)
+
+let test_index_join_used () =
+  let engine = db () in
+  Engine.Database.create_index engine ~table:"dept" ~attr:"did";
+  Engine.Database.analyze_all engine;
+  let plan =
+    Engine.Database.explain engine
+      "select e.name, d.dname from emp e, dept d where e.dept = d.did"
+  in
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "plan uses the index" true (contains plan "IndexJoin")
+
+let test_left_outer_join () =
+  let r =
+    run
+      "select d.dname, e.name from dept d left outer join emp e on e.dept = d.did \
+       order by d.dname"
+  in
+  (* eng: 2 matches, sales: 2 matches, empty: null-padded once *)
+  Alcotest.(check int) "five rows" 5 (Relation.cardinality r);
+  let empty_row = Relation.get r 0 in
+  Alcotest.(check bool) "empty dept kept" true
+    (Value.equal empty_row.(0) (v_s "empty") && Value.is_null empty_row.(1))
+
+let test_left_outer_join_residual_on () =
+  (* extra non-equality condition inside ON restricts matches without
+     dropping left rows *)
+  let r =
+    run
+      "select d.dname, e.name from dept d \
+       left join emp e on e.dept = d.did and e.salary > 150 \
+       order by d.dname, e.name"
+  in
+  (* eng keeps only bob; sales keeps carol and dan; empty null-padded *)
+  Alcotest.(check int) "four rows" 4 (Relation.cardinality r);
+  let eng_rows =
+    Relation.row_list (Relation.filter (fun row -> Value.equal row.(0) (v_s "eng")) r)
+  in
+  (match eng_rows with
+  | [ row ] -> Alcotest.(check bool) "bob only" true (Value.equal row.(1) (v_s "bob"))
+  | _ -> Alcotest.fail "expected one eng row")
+
+let test_left_outer_join_nested_loop_path () =
+  (* a pure inequality ON condition exercises the nested-loop path *)
+  let r =
+    run
+      "select d.did, e.eid from dept d left join emp e on e.salary > 250 and e.dept = 20 \
+       order by d.did, e.eid"
+  in
+  (* every dept row pairs with carol(300) and dan(400): 3 * 2 = 6 *)
+  Alcotest.(check int) "six rows" 6 (Relation.cardinality r)
+
+let test_left_outer_join_all_match () =
+  let inner =
+    run "select e.name, d.dname from emp e, dept d where e.dept = d.did"
+  in
+  let outer =
+    run "select e.name, d.dname from emp e left join dept d on e.dept = d.did"
+  in
+  (* eve's dept 30 has no dept row: outer keeps her with NULL *)
+  Alcotest.(check int) "outer adds the dangling row"
+    (Relation.cardinality inner + 1)
+    (Relation.cardinality outer)
+
+let test_outer_join_not_rewritable () =
+  let db = Fixtures.figure2_db () in
+  let s = Conquer.Clean.create db in
+  let sql =
+    "select o.id, c.id from orders o left join customer c on o.cidfk = c.id"
+  in
+  match Conquer.Clean.check s sql with
+  | Ok _ -> Alcotest.fail "outer join should not be rewritable"
+  | Error vs ->
+    Alcotest.(check bool) "not-SPJ violation" true
+      (List.exists
+         (function Conquer.Rewritable.Not_spj _ -> true | _ -> false)
+         vs)
+
+let test_pushdown_equivalence () =
+  let sql =
+    "select e.name from emp e, dept d \
+     where e.dept = d.did and e.salary > 150 and d.dname = 'sales'"
+  in
+  let pushed = run sql in
+  let unpushed =
+    run ~config:{ Engine.Planner.default_config with pushdown = false } sql
+  in
+  Alcotest.(check bool) "pushdown preserves results" true
+    (Relation.equal_as_bags pushed unpushed);
+  Alcotest.(check int) "two sales rows above 150" 2 (Relation.cardinality pushed)
+
+(* ---- aggregation ---- *)
+
+let test_aggregates_global () =
+  let r = run "select count(*), sum(salary), min(salary), max(salary), avg(salary) from emp" in
+  let row = Relation.get r 0 in
+  check_value "count counts all rows" (v_i 5) row.(0);
+  check_value "sum skips nulls" (v_i 1000) row.(1);
+  check_value "min" (v_i 100) row.(2);
+  check_value "max" (v_i 400) row.(3);
+  check_value "avg over non-nulls" (v_f 250.0) row.(4)
+
+let test_count_column_skips_nulls () =
+  let r = run "select count(salary) from emp" in
+  check_value "count(col)" (v_i 4) (Relation.get r 0).(0)
+
+let test_aggregate_empty_input () =
+  let r = run "select count(*), sum(salary) from emp where eid > 100" in
+  let row = Relation.get r 0 in
+  check_value "count 0" (v_i 0) row.(0);
+  check_value "sum null" Value.Null row.(1)
+
+let test_group_by () =
+  let r = run "select dept, count(*), sum(salary) from emp group by dept order by dept" in
+  Alcotest.(check int) "three groups" 3 (Relation.cardinality r);
+  let row = Relation.get r 0 in
+  check_value "dept 10" (v_i 10) row.(0);
+  check_value "count 2" (v_i 2) row.(1);
+  check_value "sum 300" (v_i 300) row.(2)
+
+let test_group_by_empty_input_no_groups () =
+  let r = run "select dept, count(*) from emp where eid > 100 group by dept" in
+  Alcotest.(check int) "no groups" 0 (Relation.cardinality r)
+
+let test_having () =
+  let r = run "select dept, count(*) from emp group by dept having count(*) > 1" in
+  Alcotest.(check int) "two surviving groups" 2 (Relation.cardinality r)
+
+let test_group_expression () =
+  (* grouping on a computed expression, as the rewritten Q3 does *)
+  let r =
+    run
+      "select salary * 2 as double, count(*) from emp \
+       where salary is not null group by salary * 2 order by double"
+  in
+  Alcotest.(check int) "four groups" 4 (Relation.cardinality r);
+  check_value "first" (v_i 200) (Relation.get r 0).(0)
+
+let test_aggregate_of_expression () =
+  let r = run "select sum(salary * 2) from emp" in
+  check_value "sum of products" (v_i 2000) (Relation.get r 0).(0)
+
+(* ---- sort / distinct / limit ---- *)
+
+let test_order_by () =
+  let r = run "select name, salary from emp where salary is not null order by salary desc" in
+  check_value "largest first" (v_s "dan") (Relation.get r 0).(0);
+  check_value "smallest last" (v_s "ann") (Relation.get r 3).(0)
+
+let test_order_by_alias () =
+  let r =
+    run "select name, salary * 2 as double from emp where salary is not null order by double desc"
+  in
+  check_value "alias sort" (v_s "dan") (Relation.get r 0).(0)
+
+let test_order_by_unprojected_column () =
+  (* sorting on a column that is not selected (sort below project) *)
+  let r = run "select name from emp where salary is not null order by salary desc" in
+  check_value "sorted by hidden column" (v_s "dan") (Relation.get r 0).(0)
+
+let test_distinct () =
+  let r = run "select distinct dept from emp" in
+  Alcotest.(check int) "three departments" 3 (Relation.cardinality r)
+
+let test_limit () =
+  let r = run "select eid from emp order by eid limit 2" in
+  Alcotest.(check int) "limit" 2 (Relation.cardinality r);
+  check_value "first" (v_i 1) (Relation.get r 0).(0)
+
+(* ---- planner errors ---- *)
+
+let test_unknown_table () =
+  match run "select x from nonexistent" with
+  | exception Engine.Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "unknown table accepted"
+
+let test_duplicate_alias () =
+  match run "select 1 from emp e, dept e" with
+  | exception Engine.Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "duplicate alias accepted"
+
+let test_ambiguous_column_rejected () =
+  (* both emp and dept joined; a bogus shared name *)
+  match run "select name from emp e, dept d where e.dept = d.did and zzz = 1" with
+  | exception Engine.Planner.Plan_error _ -> ()
+  | _ -> Alcotest.fail "unbound column accepted"
+
+(* ---- statistics ---- *)
+
+let test_stats () =
+  let engine = db () in
+  Engine.Database.analyze engine "emp";
+  match Engine.Database.stats engine "emp" with
+  | None -> Alcotest.fail "no stats"
+  | Some stats ->
+    Alcotest.(check int) "rows" 5 stats.Engine.Stats.rows;
+    (match Engine.Stats.column stats "dept" with
+    | Some c ->
+      Alcotest.(check int) "distinct depts" 3 c.Engine.Stats.distinct;
+      Alcotest.(check int) "no nulls" 0 c.Engine.Stats.nulls
+    | None -> Alcotest.fail "no dept stats");
+    (match Engine.Stats.column stats "salary" with
+    | Some c -> Alcotest.(check int) "one null" 1 c.Engine.Stats.nulls
+    | None -> Alcotest.fail "no salary stats")
+
+let test_histograms () =
+  (* 100 rows with values 1..100: the equi-depth histogram should
+     estimate range fractions accurately *)
+  let rel =
+    Relation.create
+      (Schema.make [ ("v", Value.TInt) ])
+      (List.init 100 (fun i -> [| v_i (i + 1) |]))
+  in
+  let stats = Engine.Stats.analyze rel in
+  match Engine.Stats.column stats "v" with
+  | None -> Alcotest.fail "no stats"
+  | Some { histogram = None; _ } -> Alcotest.fail "no histogram"
+  | Some { histogram = Some hist; _ } ->
+    let frac ?lo ?hi () = Engine.Stats.range_fraction hist ?lo ?hi () in
+    Alcotest.(check bool) "half below 50" true
+      (Float.abs (frac ~hi:50.0 () -. 0.5) < 0.06);
+    Alcotest.(check bool) "quarter in (25,50]" true
+      (Float.abs (frac ~lo:25.0 ~hi:50.0 () -. 0.25) < 0.06);
+    Fixtures.check_float "everything" 1.0 (frac ());
+    Fixtures.check_float "empty range" 0.0 (frac ~lo:60.0 ~hi:40.0 ());
+    Alcotest.(check bool) "below min" true (frac ~hi:0.5 () < 0.05)
+
+let test_histogram_selectivity () =
+  let rel =
+    Relation.create
+      (Schema.make [ ("v", Value.TInt) ])
+      (List.init 100 (fun i -> [| v_i (i + 1) |]))
+  in
+  let stats = Some (Engine.Stats.analyze rel) in
+  let sel sql = Engine.Stats.selectivity stats (Sql.Parser.parse_expr sql) in
+  Alcotest.(check bool) "v < 20 is selective" true
+    (Float.abs (sel "v < 20" -. 0.2) < 0.06);
+  Alcotest.(check bool) "v > 80 is selective" true
+    (Float.abs (sel "v > 80" -. 0.2) < 0.06);
+  Alcotest.(check bool) "between uses the histogram" true
+    (Float.abs (sel "v between 40 and 60" -. 0.2) < 0.06);
+  (* string columns keep the default *)
+  let rel2 =
+    Relation.create
+      (Schema.make [ ("s", Value.TString) ])
+      [ [| v_s "a" |]; [| v_s "b" |] ]
+  in
+  let stats2 = Some (Engine.Stats.analyze rel2) in
+  Fixtures.check_float "no histogram: default" (1.0 /. 3.0)
+    (Engine.Stats.selectivity stats2 (Sql.Parser.parse_expr "s < 'b'"))
+
+let test_selectivity () =
+  let engine = db () in
+  Engine.Database.analyze engine "emp";
+  let stats = Engine.Database.stats engine "emp" in
+  let sel sql = Engine.Stats.selectivity stats (Sql.Parser.parse_expr sql) in
+  Alcotest.(check (float 1e-9)) "equality uses distinct" (1.0 /. 3.0)
+    (sel "dept = 10");
+  Alcotest.(check bool) "conjunction shrinks" true
+    (sel "dept = 10 and salary > 100" < sel "dept = 10");
+  Alcotest.(check bool) "range default" true (sel "salary > 100" > 0.0)
+
+(* ---- profiling ---- *)
+
+let test_run_profiled () =
+  let engine = db () in
+  let sql = "select e.name, d.dname from emp e, dept d where e.dept = d.did" in
+  let rel, profile = Engine.Database.query_profiled engine sql in
+  Alcotest.(check int) "result rows" 4 (Relation.cardinality rel);
+  Alcotest.(check string) "root operator" "Project" profile.Engine.Exec.operator;
+  Alcotest.(check int) "root row count" 4 profile.Engine.Exec.out_rows;
+  (* the join and its two scans appear beneath the projection *)
+  let rec operators (p : Engine.Exec.profile) =
+    p.operator :: List.concat_map operators p.children
+  in
+  let ops = operators profile in
+  Alcotest.(check bool) "has a join" true
+    (List.exists
+       (fun o ->
+         o = "HashJoin" || String.length o >= 9 && String.sub o 0 9 = "IndexJoin")
+       ops);
+  Alcotest.(check bool) "scans both tables" true
+    (List.mem "Scan emp" ops && List.mem "Scan dept" ops);
+  (* timings are nonnegative and the root dominates its children *)
+  let rec check_times (p : Engine.Exec.profile) =
+    Alcotest.(check bool) "time nonneg" true (p.elapsed >= 0.0);
+    List.iter check_times p.children
+  in
+  check_times profile
+
+let test_explain_analyze_text () =
+  let engine = db () in
+  let text =
+    Engine.Database.explain_analyze engine "select name from emp where salary > 150"
+  in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions rows" true (contains "rows=");
+  Alcotest.(check bool) "mentions the scan" true (contains "Scan emp")
+
+(* ---- indexes ---- *)
+
+let test_index_lookup () =
+  let rel =
+    Relation.create
+      (Schema.make [ ("k", Value.TInt); ("v", Value.TString) ])
+      [
+        [| v_i 1; v_s "a" |]; [| v_i 2; v_s "b" |]; [| v_i 1; v_s "c" |];
+      ]
+  in
+  let idx = Engine.Index.build rel "k" in
+  Alcotest.(check (list int)) "bucket" [ 0; 2 ] (Engine.Index.lookup idx (v_i 1));
+  Alcotest.(check (list int)) "missing" [] (Engine.Index.lookup idx (v_i 99));
+  Alcotest.(check int) "distinct keys" 2 (Engine.Index.distinct_keys idx)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_expr_arithmetic;
+          Alcotest.test_case "division by zero" `Quick test_expr_division_by_zero;
+          Alcotest.test_case "comparisons" `Quick test_expr_comparisons;
+          Alcotest.test_case "like" `Quick test_expr_like;
+          Alcotest.test_case "resolution errors" `Quick test_expr_resolution_errors;
+        ] );
+      ( "scan/filter/project",
+        [
+          Alcotest.test_case "scan+filter" `Quick test_scan_and_filter;
+          Alcotest.test_case "projection expressions" `Quick
+            test_projection_expressions;
+          Alcotest.test_case "select star" `Quick test_select_star;
+          Alcotest.test_case "null filtered" `Quick test_null_filtered;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "empty join" `Quick test_join_no_match;
+          Alcotest.test_case "cross product" `Quick test_cross_product;
+          Alcotest.test_case "index join equivalence" `Quick
+            test_index_join_equivalence;
+          Alcotest.test_case "index join used" `Quick test_index_join_used;
+          Alcotest.test_case "pushdown equivalence" `Quick
+            test_pushdown_equivalence;
+          Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+          Alcotest.test_case "outer join residual ON" `Quick
+            test_left_outer_join_residual_on;
+          Alcotest.test_case "outer join nested loop" `Quick
+            test_left_outer_join_nested_loop_path;
+          Alcotest.test_case "outer join keeps dangling rows" `Quick
+            test_left_outer_join_all_match;
+          Alcotest.test_case "outer join not rewritable" `Quick
+            test_outer_join_not_rewritable;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "global aggregates" `Quick test_aggregates_global;
+          Alcotest.test_case "count(col) skips nulls" `Quick
+            test_count_column_skips_nulls;
+          Alcotest.test_case "empty input" `Quick test_aggregate_empty_input;
+          Alcotest.test_case "group by" `Quick test_group_by;
+          Alcotest.test_case "group by empty input" `Quick
+            test_group_by_empty_input_no_groups;
+          Alcotest.test_case "having" `Quick test_having;
+          Alcotest.test_case "group by expression" `Quick test_group_expression;
+          Alcotest.test_case "aggregate of expression" `Quick
+            test_aggregate_of_expression;
+        ] );
+      ( "sort/distinct/limit",
+        [
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "order by alias" `Quick test_order_by_alias;
+          Alcotest.test_case "order by unprojected" `Quick
+            test_order_by_unprojected_column;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "limit" `Quick test_limit;
+        ] );
+      ( "planner errors",
+        [
+          Alcotest.test_case "unknown table" `Quick test_unknown_table;
+          Alcotest.test_case "duplicate alias" `Quick test_duplicate_alias;
+          Alcotest.test_case "unbound column" `Quick
+            test_ambiguous_column_rejected;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "analyze" `Quick test_stats;
+          Alcotest.test_case "selectivity" `Quick test_selectivity;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "histogram selectivity" `Quick
+            test_histogram_selectivity;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "run_profiled" `Quick test_run_profiled;
+          Alcotest.test_case "explain analyze" `Quick test_explain_analyze_text;
+        ] );
+      ("index", [ Alcotest.test_case "lookup" `Quick test_index_lookup ]);
+    ]

@@ -1,0 +1,248 @@
+(* Tests for the expected-aggregates extension (the paper's named
+   future work): the rewriting computes E[SUM]/E[COUNT] exactly, even
+   for queries outside the Dfn 7 rewritable class, because expectation
+   is linear. *)
+
+open Dirty
+
+let v_s s = Value.String s
+
+let session () = Conquer.Clean.create (Fixtures.figure2_db ())
+
+let expected_value rel key =
+  match Fixtures.answer_prob rel key with
+  | Some v -> v
+  | None ->
+    Alcotest.failf "group [%s] not found"
+      (String.concat ", " (List.map Value.to_string key))
+
+(* ---- hand-computed expectations on the Figure 2 database ---- *)
+
+let test_expected_count_global () =
+  let s = session () in
+  (* E[#customers with balance > 10000]: cluster c1 always qualifies
+     (0.7 + 0.3), cluster c2 with probability 0.2 => 1.2 *)
+  let r =
+    Conquer.Expected.answers s
+      "select count(*) from customer where balance > 10000"
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality r);
+  Fixtures.check_float "expected count" 1.2
+    (Option.get (Value.to_float (Relation.get r 0).(0)))
+
+let test_expected_count_oracle_agrees () =
+  let s = session () in
+  let sql = "select count(*) from customer where balance > 10000" in
+  let oracle = Conquer.Expected.answers_oracle s sql in
+  Fixtures.check_float "oracle expected count" 1.2
+    (Option.get (Value.to_float (Relation.get oracle 0).(0)))
+
+let test_expected_sum () =
+  let s = session () in
+  (* E[sum of qualifying balances] =
+     20000*0.7 + 30000*0.3 + 27000*0.2 = 14000 + 9000 + 5400 = 28400 *)
+  let sql = "select sum(balance) from customer where balance > 10000" in
+  let r = Conquer.Expected.answers s sql in
+  Fixtures.check_float "expected sum" 28_400.0
+    (Option.get (Value.to_float (Relation.get r 0).(0)));
+  let oracle = Conquer.Expected.answers_oracle s sql in
+  Fixtures.check_float "oracle agrees" 28_400.0
+    (Option.get (Value.to_float (Relation.get oracle 0).(0)))
+
+let test_expected_group_by () =
+  let s = session () in
+  (* expected number of order lines per customer identifier:
+     joins o2->(c1 via t2), o2->(c2 via t3), o1->(c1);
+     E[count | group c1] = 1.0 (t1 with any c1 pick) + 0.5 (t2) = 1.5
+     E[count | group c2] = 0.5 (t3 with any c2 pick) = 0.5 *)
+  let sql =
+    "select c.id, count(*) from orders o, customer c \
+     where o.cidfk = c.id group by c.id"
+  in
+  let r = Conquer.Expected.answers s sql in
+  Fixtures.check_float "c1 expectation" 1.5 (expected_value r [ v_s "c1" ]);
+  Fixtures.check_float "c2 expectation" 0.5 (expected_value r [ v_s "c2" ]);
+  let oracle = Conquer.Expected.answers_oracle s sql in
+  Fixtures.check_float "oracle c1" 1.5 (expected_value oracle [ v_s "c1" ]);
+  Fixtures.check_float "oracle c2" 0.5 (expected_value oracle [ v_s "c2" ])
+
+let test_expected_beyond_dfn7 () =
+  (* Example 7's query shape (root identifier NOT selected) is outside
+     the clean-answer rewritable class, but its expected-count version
+     is exact: E[#(order,customer) join pairs with quantity < 5 and
+     balance > 25000 per customer] *)
+  let s = session () in
+  let sql =
+    "select c.id, count(*) from orders o, customer c \
+     where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000 \
+     group by c.id"
+  in
+  (* join tuples for c1: (t1, t5) with prob 1.0*0.3 = 0.3 and (t2, t5)
+     with prob 0.5*0.3 = 0.15 => E = 0.45.  For c2: t3 fails the
+     quantity predicate => no group. *)
+  let r = Conquer.Expected.answers s sql in
+  Fixtures.check_float "E[count] for c1" 0.45 (expected_value r [ v_s "c1" ]);
+  Fixtures.expect_no_answer r [ v_s "c2" ];
+  let oracle = Conquer.Expected.answers_oracle s sql in
+  Fixtures.check_float "oracle agrees" 0.45 (expected_value oracle [ v_s "c1" ])
+
+let test_expected_avg_ratio () =
+  let s = session () in
+  let sql = "select avg(balance) from customer where balance > 10000" in
+  let r = Conquer.Expected.answers s sql in
+  (* the rewriting computes E[SUM]/E[COUNT] = 28400 / 1.2 *)
+  Fixtures.check_float ~eps:1e-6 "ratio of expectations" (28_400.0 /. 1.2)
+    (Option.get (Value.to_float (Relation.get r 0).(0)))
+
+let test_check_rejects () =
+  let s = session () in
+  let env = Conquer.Clean.env s in
+  let reject sql pred =
+    match Conquer.Expected.check env (Sql.Parser.parse_query sql) with
+    | Ok () -> Alcotest.failf "accepted %s" sql
+    | Error vs ->
+      Alcotest.(check bool)
+        ("violation for " ^ sql)
+        true (List.exists pred vs)
+  in
+  reject "select a.id, count(*) from customer a, customer b group by a.id"
+    (function Conquer.Expected.Self_join _ -> true | _ -> false);
+  reject "select min(balance) from customer"
+    (function Conquer.Expected.Unsupported_aggregate _ -> true | _ -> false);
+  reject "select name, count(*) from customer group by id"
+    (function Conquer.Expected.Group_select_mismatch _ -> true | _ -> false);
+  reject "select distinct id, count(*) from customer group by id"
+    (function Conquer.Expected.Distinct_not_supported -> true | _ -> false);
+  reject "select id, count(*) from customer group by id having count(*) > 1"
+    (function Conquer.Expected.Having_not_supported -> true | _ -> false)
+
+let test_answers_raises () =
+  let s = session () in
+  match Conquer.Expected.answers s "select min(balance) from customer" with
+  | exception Conquer.Expected.Not_supported _ -> ()
+  | _ -> Alcotest.fail "expected Not_supported"
+
+let test_clean_database_expectations () =
+  (* on a clean database the expected aggregates coincide with the
+     ordinary ones *)
+  let clean =
+    Tpch.Datagen.generate
+      { Tpch.Datagen.default with sf = 0.02; inconsistency = 1 }
+  in
+  let s = Conquer.Clean.create clean in
+  let sql = "select count(*) from lineitem where l_quantity < 25" in
+  let expected = Conquer.Expected.answers s sql in
+  let plain = Conquer.Clean.original s sql in
+  let ev = Option.get (Value.to_float (Relation.get expected 0).(0)) in
+  let pv = Option.get (Value.to_float (Relation.get plain 0).(0)) in
+  Fixtures.check_float ~eps:1e-6 "clean db: expectation = actual" pv ev
+
+(* ---- oracle equality on random databases (QCheck-lite, via seeds) ---- *)
+
+let test_oracle_equality_randomized () =
+  (* a deterministic sweep over seeds, complementing the QCheck suite *)
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let cluster_rows prefix entity =
+        let size = 1 + Random.State.int rng 3 in
+        List.init size (fun _ ->
+            ( Printf.sprintf "%s%d" prefix entity,
+              Random.State.int rng 8,
+              1.0 /. float_of_int size ))
+      in
+      let rows =
+        List.concat (List.init 3 (fun e -> cluster_rows "e" e))
+      in
+      let rel =
+        Relation.create
+          (Schema.make
+             [ ("id", Value.TString); ("val", Value.TInt); ("prob", Value.TFloat) ])
+          (List.map
+             (fun (id, v, p) -> [| v_s id; Value.Int v; Value.Float p |])
+             rows)
+      in
+      let db =
+        Dirty_db.add_table Dirty_db.empty
+          (Dirty_db.make_table ~name:"t" ~id_attr:"id" ~prob_attr:"prob" rel)
+      in
+      let s = Conquer.Clean.create db in
+      let sql = "select id, sum(val), count(*) from t where val < 6 group by id" in
+      let fast = Conquer.Expected.answers s sql in
+      let slow = Conquer.Expected.answers_oracle s sql in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: same groups" seed)
+        (Relation.cardinality slow) (Relation.cardinality fast);
+      Relation.iter
+        (fun row ->
+          let key = [ row.(0) ] in
+          let sum_fast = Option.get (Value.to_float row.(1)) in
+          let cnt_fast = Option.get (Value.to_float row.(2)) in
+          let slow_row =
+            List.find
+              (fun r -> Value.equal r.(0) row.(0))
+              (Relation.row_list slow)
+          in
+          Fixtures.check_float ~eps:1e-9
+            (Printf.sprintf "seed %d sum %s" seed
+               (String.concat "," (List.map Value.to_string key)))
+            (Option.get (Value.to_float slow_row.(1)))
+            sum_fast;
+          Fixtures.check_float ~eps:1e-9
+            (Printf.sprintf "seed %d count" seed)
+            (Option.get (Value.to_float slow_row.(2)))
+            cnt_fast)
+        fast)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_tpch_aggregate_variants () =
+  (* the aggregate forms of TPC-H Q1/Q6 run through the extension *)
+  let db =
+    Tpch.Datagen.generate
+      { Tpch.Datagen.default with sf = 0.05; inconsistency = 3 }
+  in
+  let s = Conquer.Clean.create db in
+  let q1 =
+    "select l_returnflag, l_linestatus, sum(l_quantity), \
+     sum(l_extendedprice), count(*) from lineitem \
+     where l_shipdate <= date '1998-09-02' \
+     group by l_returnflag, l_linestatus \
+     order by l_returnflag, l_linestatus"
+  in
+  let r1 = Conquer.Expected.answers s q1 in
+  Alcotest.(check bool) "q1 groups" true (Relation.cardinality r1 > 0);
+  let q6 =
+    "select sum(l_extendedprice * l_discount) from lineitem \
+     where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' \
+     and l_discount between 0.05 and 0.07 and l_quantity < 24"
+  in
+  let r6 = Conquer.Expected.answers s q6 in
+  Alcotest.(check int) "q6 single row" 1 (Relation.cardinality r6)
+
+let () =
+  Alcotest.run "expected"
+    [
+      ( "hand-computed",
+        [
+          Alcotest.test_case "global count" `Quick test_expected_count_global;
+          Alcotest.test_case "oracle count" `Quick
+            test_expected_count_oracle_agrees;
+          Alcotest.test_case "sum" `Quick test_expected_sum;
+          Alcotest.test_case "group by" `Quick test_expected_group_by;
+          Alcotest.test_case "beyond Dfn 7" `Quick test_expected_beyond_dfn7;
+          Alcotest.test_case "avg ratio" `Quick test_expected_avg_ratio;
+        ] );
+      ( "class check",
+        [
+          Alcotest.test_case "rejections" `Quick test_check_rejects;
+          Alcotest.test_case "answers raises" `Quick test_answers_raises;
+        ] );
+      ( "equivalences",
+        [
+          Alcotest.test_case "clean db" `Quick test_clean_database_expectations;
+          Alcotest.test_case "randomized oracle equality" `Quick
+            test_oracle_equality_randomized;
+          Alcotest.test_case "TPC-H aggregate variants" `Quick
+            test_tpch_aggregate_variants;
+        ] );
+    ]

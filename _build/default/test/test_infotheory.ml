@@ -1,0 +1,173 @@
+(* Tests for distributions, entropy, mutual information, and DCFs. *)
+
+open Infotheory
+
+let check_float = Fixtures.check_float
+
+(* ---- Dist ---- *)
+
+let test_of_assoc () =
+  let d = Dist.of_assoc [ (1, 0.25); (2, 0.5); (1, 0.25) ] in
+  check_float "accumulated" 0.5 (Dist.prob d 1);
+  check_float "direct" 0.5 (Dist.prob d 2);
+  check_float "outside support" 0.0 (Dist.prob d 99);
+  Alcotest.(check (list int)) "support" [ 1; 2 ] (Dist.support d);
+  Alcotest.(check bool) "normalized" true (Dist.is_normalized d);
+  match Dist.of_assoc [ (1, -0.1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative mass accepted"
+
+let test_uniform_singleton () =
+  let u = Dist.uniform [ 1; 2; 3; 4 ] in
+  check_float "uniform prob" 0.25 (Dist.prob u 3);
+  let s = Dist.singleton 7 in
+  check_float "singleton" 1.0 (Dist.prob s 7);
+  check_float "entropy of singleton" 0.0 (Dist.entropy s)
+
+let test_normalize_scale_mix () =
+  let d = Dist.of_assoc [ (1, 2.0); (2, 6.0) ] in
+  let n = Dist.normalize d in
+  check_float "normalized" 0.25 (Dist.prob n 1);
+  let s = Dist.scale 0.5 n in
+  check_float "scaled mass" 0.5 (Dist.total_mass s);
+  let m = Dist.mix [ (0.5, Dist.singleton 1); (0.5, Dist.singleton 2) ] in
+  check_float "mixture" 0.5 (Dist.prob m 1);
+  Alcotest.(check bool) "mixture normalized" true (Dist.is_normalized m)
+
+let test_entropy () =
+  check_float "fair coin = 1 bit" 1.0 (Dist.entropy (Dist.uniform [ 0; 1 ]));
+  check_float "uniform 4 = 2 bits" 2.0 (Dist.entropy (Dist.uniform [ 0; 1; 2; 3 ]));
+  let biased = Dist.of_assoc [ (0, 0.9); (1, 0.1) ] in
+  Alcotest.(check bool) "biased below 1 bit" true (Dist.entropy biased < 1.0);
+  Alcotest.(check bool) "entropy nonneg" true (Dist.entropy biased >= 0.0)
+
+let test_kl () =
+  let p = Dist.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  let q = Dist.of_assoc [ (0, 0.75); (1, 0.25) ] in
+  check_float "self divergence" 0.0 (Dist.kl_divergence p p);
+  Alcotest.(check bool) "kl positive" true (Dist.kl_divergence p q > 0.0);
+  (* containment violation *)
+  let r = Dist.singleton 0 in
+  (match Dist.kl_divergence p r with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "infinite KL accepted");
+  (* KL(singleton || p) is fine *)
+  check_float "kl singleton" 1.0 (Dist.kl_divergence r p)
+
+let test_js () =
+  let p = Dist.singleton 0 and q = Dist.singleton 1 in
+  (* maximally different: JS = 1 bit with equal weights *)
+  check_float "disjoint JS" 1.0 (Dist.js_divergence p q);
+  check_float "identical JS" 0.0 (Dist.js_divergence p p);
+  (* symmetry with equal weights *)
+  let a = Dist.of_assoc [ (0, 0.3); (1, 0.7) ] in
+  let b = Dist.of_assoc [ (0, 0.6); (1, 0.4) ] in
+  check_float "symmetric" (Dist.js_divergence a b) (Dist.js_divergence b a);
+  (* weighted version is still nonnegative *)
+  Alcotest.(check bool) "weighted nonneg" true
+    (Dist.js_divergence ~w1:0.25 ~w2:0.75 a b >= 0.0)
+
+(* ---- Mutual information ---- *)
+
+let test_mutual_information_independent () =
+  (* two clusters with identical conditionals: I(C;V) = 0 *)
+  let cond = Dist.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  check_float "independent" 0.0
+    (Mutual_info.mutual_information [ (0.5, cond); (0.5, cond) ])
+
+let test_mutual_information_determined () =
+  (* clusters with disjoint conditionals: I(C;V) = H(C) = 1 bit *)
+  check_float "determined" 1.0
+    (Mutual_info.mutual_information
+       [ (0.5, Dist.singleton 0); (0.5, Dist.singleton 1) ])
+
+let test_mutual_information_nonneg () =
+  let clusters =
+    [
+      (0.25, Dist.of_assoc [ (0, 0.7); (1, 0.3) ]);
+      (0.5, Dist.of_assoc [ (1, 0.2); (2, 0.8) ]);
+      (0.25, Dist.of_assoc [ (0, 0.1); (2, 0.9) ]);
+    ]
+  in
+  Alcotest.(check bool) "nonneg" true
+    (Mutual_info.mutual_information clusters >= 0.0)
+
+(* ---- DCF ---- *)
+
+let test_dcf_of_symbols () =
+  let d = Dcf.of_symbols [ 3; 5; 9; 11 ] in
+  check_float "weight" 1.0 d.Dcf.weight;
+  check_float "per-value" 0.25 (Dist.prob d.Dcf.dist 5)
+
+let test_dcf_merge_weighted_average () =
+  let a = Dcf.make ~weight:1.0 (Dist.singleton 0) in
+  let b = Dcf.make ~weight:3.0 (Dist.singleton 1) in
+  let m = Dcf.merge a b in
+  check_float "merged weight" 4.0 m.Dcf.weight;
+  check_float "weighted p0" 0.25 (Dist.prob m.Dcf.dist 0);
+  check_float "weighted p1" 0.75 (Dist.prob m.Dcf.dist 1);
+  Alcotest.(check bool) "normalized" true (Dist.is_normalized m.Dcf.dist)
+
+let test_dcf_merge_many_associative_weight () =
+  let parts = List.init 5 (fun i -> Dcf.of_symbols [ i; i + 10 ]) in
+  let m = Dcf.merge_many parts in
+  check_float "total weight" 5.0 m.Dcf.weight;
+  Alcotest.(check bool) "normalized" true (Dist.is_normalized m.Dcf.dist)
+
+let test_information_loss_matches_direct () =
+  (* the JS shortcut must agree with the I(C;V) - I(C';V) difference *)
+  let a = Dcf.make ~weight:2.0 (Dist.of_assoc [ (0, 0.5); (1, 0.5) ]) in
+  let b = Dcf.make ~weight:1.0 (Dist.of_assoc [ (1, 0.25); (2, 0.75) ]) in
+  let rest = [ Dcf.make ~weight:3.0 (Dist.of_assoc [ (2, 0.2); (3, 0.8) ]) ] in
+  let total = 6.0 in
+  let direct = Mutual_info.merge_loss ~total a b ~rest in
+  let shortcut = Dcf.information_loss ~total a b in
+  Fixtures.check_float ~eps:1e-9 "shortcut equals direct" direct shortcut
+
+let test_information_loss_zero_for_identical () =
+  let a = Dcf.make ~weight:1.0 (Dist.of_assoc [ (0, 0.5); (1, 0.5) ]) in
+  let b = Dcf.make ~weight:2.0 (Dist.of_assoc [ (0, 0.5); (1, 0.5) ]) in
+  check_float "no loss merging identical" 0.0
+    (Dcf.information_loss ~total:3.0 a b)
+
+let test_information_loss_nonneg () =
+  let a = Dcf.make ~weight:1.5 (Dist.of_assoc [ (0, 0.9); (1, 0.1) ]) in
+  let b = Dcf.make ~weight:2.5 (Dist.of_assoc [ (0, 0.2); (2, 0.8) ]) in
+  Alcotest.(check bool) "nonneg" true (Dcf.information_loss ~total:4.0 a b >= 0.0)
+
+let () =
+  Alcotest.run "infotheory"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "of_assoc" `Quick test_of_assoc;
+          Alcotest.test_case "uniform/singleton" `Quick test_uniform_singleton;
+          Alcotest.test_case "normalize/scale/mix" `Quick
+            test_normalize_scale_mix;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "KL divergence" `Quick test_kl;
+          Alcotest.test_case "JS divergence" `Quick test_js;
+        ] );
+      ( "mutual information",
+        [
+          Alcotest.test_case "independent" `Quick
+            test_mutual_information_independent;
+          Alcotest.test_case "determined" `Quick
+            test_mutual_information_determined;
+          Alcotest.test_case "nonnegative" `Quick test_mutual_information_nonneg;
+        ] );
+      ( "dcf",
+        [
+          Alcotest.test_case "of_symbols" `Quick test_dcf_of_symbols;
+          Alcotest.test_case "weighted merge" `Quick
+            test_dcf_merge_weighted_average;
+          Alcotest.test_case "merge_many" `Quick
+            test_dcf_merge_many_associative_weight;
+          Alcotest.test_case "loss = direct MI difference" `Quick
+            test_information_loss_matches_direct;
+          Alcotest.test_case "identical merge is free" `Quick
+            test_information_loss_zero_for_identical;
+          Alcotest.test_case "loss nonnegative" `Quick
+            test_information_loss_nonneg;
+        ] );
+    ]

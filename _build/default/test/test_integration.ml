@@ -1,0 +1,394 @@
+(* Golden integration tests: a battery of SQL queries over a fixed
+   database, each with its expected result spelled out.  These pin the
+   end-to-end behaviour of the lexer, parser, planner and executor
+   together. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+let v_d s = Value.date_of_string s
+
+let engine () =
+  let e = Engine.Database.create () in
+  let products =
+    Relation.create
+      (Schema.make
+         [
+           ("pid", Value.TInt);
+           ("pname", Value.TString);
+           ("category", Value.TString);
+           ("price", Value.TFloat);
+           ("stock", Value.TInt);
+         ])
+      [
+        [| v_i 1; v_s "apple"; v_s "fruit"; v_f 0.5; v_i 100 |];
+        [| v_i 2; v_s "banana"; v_s "fruit"; v_f 0.25; v_i 150 |];
+        [| v_i 3; v_s "carrot"; v_s "vegetable"; v_f 0.3; v_i 80 |];
+        [| v_i 4; v_s "daikon"; v_s "vegetable"; v_f 1.2; v_i 0 |];
+        [| v_i 5; v_s "endive"; v_s "vegetable"; v_f 2.1; Value.Null |];
+        [| v_i 6; v_s "fig"; v_s "fruit"; v_f 3.0; v_i 20 |];
+      ]
+  in
+  let sales =
+    Relation.create
+      (Schema.make
+         [
+           ("sid", Value.TInt);
+           ("product", Value.TInt);
+           ("qty", Value.TInt);
+           ("day", Value.TDate);
+         ])
+      [
+        [| v_i 1; v_i 1; v_i 10; v_d "2024-01-05" |];
+        [| v_i 2; v_i 1; v_i 5; v_d "2024-01-06" |];
+        [| v_i 3; v_i 2; v_i 7; v_d "2024-01-06" |];
+        [| v_i 4; v_i 3; v_i 2; v_d "2024-02-01" |];
+        [| v_i 5; v_i 6; v_i 1; v_d "2024-02-02" |];
+        [| v_i 6; v_i 99; v_i 4; v_d "2024-02-03" |];  (* dangling product *)
+      ]
+  in
+  Engine.Database.add_relation e ~name:"products" products;
+  Engine.Database.add_relation e ~name:"sales" sales;
+  Engine.Database.analyze_all e;
+  e
+
+let run sql = Engine.Database.query (engine ()) sql
+
+(* compare the result against expected rows (order-sensitive) *)
+let expect_rows sql expected =
+  let result = run sql in
+  let actual = Relation.row_list result in
+  if List.length actual <> List.length expected then
+    Alcotest.failf "%s\nexpected %d rows, got %d:\n%s" sql
+      (List.length expected) (List.length actual)
+      (Relation.to_string result);
+  List.iteri
+    (fun i (exp_row : Value.t list) ->
+      let act = List.nth actual i in
+      List.iteri
+        (fun j v ->
+          if not (Value.equal v act.(j)) then
+            Alcotest.failf "%s\nrow %d col %d: expected %s, got %s\n%s" sql i j
+              (Value.to_string v) (Value.to_string act.(j))
+              (Relation.to_string result))
+        exp_row)
+    expected
+
+(* order-insensitive variant *)
+let expect_bag sql expected =
+  let result = run sql in
+  let schema = Relation.schema result in
+  let expected_rel = Relation.create schema (List.map Array.of_list expected) in
+  if not (Relation.equal_as_bags result expected_rel) then
+    Alcotest.failf "%s\nexpected (any order):\n%s\ngot:\n%s" sql
+      (Relation.to_string expected_rel)
+      (Relation.to_string result)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let selection_tests =
+  [
+    case "equality" (fun () ->
+        expect_bag "select pname from products where category = 'fruit'"
+          [ [ v_s "apple" ]; [ v_s "banana" ]; [ v_s "fig" ] ]);
+    case "range and arithmetic" (fun () ->
+        expect_bag "select pname from products where price * 2 > 2.0"
+          [ [ v_s "daikon" ]; [ v_s "endive" ]; [ v_s "fig" ] ]);
+    case "between" (fun () ->
+        expect_bag "select pid from products where price between 0.3 and 1.2"
+          [ [ v_i 1 ]; [ v_i 3 ]; [ v_i 4 ] ]);
+    case "in list" (fun () ->
+        expect_bag "select pname from products where pid in (2, 4, 17)"
+          [ [ v_s "banana" ]; [ v_s "daikon" ] ]);
+    case "like prefix" (fun () ->
+        expect_bag "select pname from products where pname like '_a%'"
+          [ [ v_s "banana" ]; [ v_s "carrot" ]; [ v_s "daikon" ] ]);
+    case "not like" (fun () ->
+        expect_bag
+          "select pname from products where pname not like '%a%' and category = 'fruit'"
+          [ [ v_s "fig" ] ]);
+    case "is null" (fun () ->
+        expect_bag "select pname from products where stock is null"
+          [ [ v_s "endive" ] ]);
+    case "is not null and comparison" (fun () ->
+        expect_bag
+          "select pname from products where stock is not null and stock < 50"
+          [ [ v_s "daikon" ]; [ v_s "fig" ] ]);
+    case "boolean precedence" (fun () ->
+        (* OR binds looser than AND *)
+        expect_bag
+          "select pid from products where category = 'fruit' and price > 1.0 \
+           or pid = 3"
+          [ [ v_i 3 ]; [ v_i 6 ] ]);
+    case "not with parens" (fun () ->
+        expect_bag
+          "select pid from products where not (category = 'fruit' or price > 1.0)"
+          [ [ v_i 3 ] ]);
+    case "date comparison" (fun () ->
+        expect_bag "select sid from sales where day < date '2024-02-01'"
+          [ [ v_i 1 ]; [ v_i 2 ]; [ v_i 3 ] ]);
+    case "date arithmetic" (fun () ->
+        (* day + 3 pushes the Jan 6 sales past Jan 8 *)
+        expect_bag
+          "select sid from sales where day + 3 > date '2024-01-08' \
+           and day < date '2024-01-31'"
+          [ [ v_i 2 ]; [ v_i 3 ] ]);
+  ]
+
+let projection_tests =
+  [
+    case "computed columns" (fun () ->
+        expect_rows
+          "select pname, price * stock as value from products where pid = 1"
+          [ [ v_s "apple"; v_f 50.0 ] ]);
+    case "null propagation in projection" (fun () ->
+        expect_rows "select price * stock from products where pid = 5"
+          [ [ Value.Null ] ]);
+    case "negation" (fun () ->
+        expect_rows "select -stock from products where pid = 4" [ [ v_i 0 ] ]);
+    case "integer vs float division" (fun () ->
+        expect_rows "select stock / 3, price / 2 from products where pid = 1"
+          [ [ v_i 33; v_f 0.25 ] ]);
+    case "string literal column" (fun () ->
+        expect_rows "select 'x', pid from products where pid = 1"
+          [ [ v_s "x"; v_i 1 ] ]);
+  ]
+
+let join_tests =
+  [
+    case "two-way join with predicate" (fun () ->
+        expect_bag
+          "select p.pname, s.qty from products p, sales s \
+           where s.product = p.pid and s.qty >= 5"
+          [
+            [ v_s "apple"; v_i 10 ]; [ v_s "apple"; v_i 5 ];
+            [ v_s "banana"; v_i 7 ];
+          ]);
+    case "join-on syntax" (fun () ->
+        expect_bag
+          "select p.pname from products p join sales s on s.product = p.pid \
+           where s.day >= date '2024-02-01'"
+          [ [ v_s "carrot" ]; [ v_s "fig" ] ]);
+    case "dangling sale dropped by inner join" (fun () ->
+        expect_bag
+          "select s.sid from sales s, products p where s.product = p.pid \
+           and s.sid = 6"
+          []);
+    case "left join keeps dangling sale" (fun () ->
+        expect_rows
+          "select s.sid, p.pname from sales s left join products p \
+           on s.product = p.pid where s.sid = 6"
+          [ [ v_i 6; Value.Null ] ]);
+    case "cross join count" (fun () ->
+        expect_rows "select count(*) from products, sales" [ [ v_i 36 ] ]);
+    case "join with expression keys" (fun () ->
+        (* join on pid = product - 0 exercises expression join keys *)
+        expect_bag
+          "select p.pid from products p, sales s where p.pid + 0 = s.product \
+           and s.qty = 7"
+          [ [ v_i 2 ] ]);
+  ]
+
+let aggregate_tests =
+  [
+    case "global aggregates" (fun () ->
+        expect_rows
+          "select count(*), count(stock), min(price), max(price) from products"
+          [ [ v_i 6; v_i 5; v_f 0.25; v_f 3.0 ] ]);
+    case "sum and avg skip nulls" (fun () ->
+        expect_rows "select sum(stock), avg(stock) from products"
+          [ [ v_i 350; v_f 70.0 ] ]);
+    case "group by with order" (fun () ->
+        expect_rows
+          "select category, count(*), sum(stock) from products \
+           group by category order by category"
+          [
+            [ v_s "fruit"; v_i 3; v_i 270 ];
+            [ v_s "vegetable"; v_i 3; v_i 80 ];
+          ]);
+    case "group by with having" (fun () ->
+        expect_rows
+          "select category from products group by category \
+           having min(price) < 0.3 order by category"
+          [ [ v_s "fruit" ] ]);
+    case "aggregate of expression" (fun () ->
+        expect_rows
+          "select sum(qty * 2) from sales where product = 1"
+          [ [ v_i 30 ] ]);
+    case "expression over aggregates" (fun () ->
+        expect_rows
+          "select max(price) - min(price) from products where category = 'fruit'"
+          [ [ v_f 2.75 ] ]);
+    case "group on expression" (fun () ->
+        expect_rows
+          "select qty / 5, count(*) from sales group by qty / 5 order by qty / 5"
+          [ [ v_i 0; v_i 3 ]; [ v_i 1; v_i 2 ]; [ v_i 2; v_i 1 ] ]);
+    case "empty group input" (fun () ->
+        expect_rows
+          "select category, count(*) from products where pid > 100 group by category"
+          []);
+    case "ungrouped aggregate over empty input" (fun () ->
+        expect_rows "select count(*), sum(price) from products where pid > 100"
+          [ [ v_i 0; Value.Null ] ]);
+    case "join then aggregate" (fun () ->
+        expect_rows
+          "select p.category, sum(s.qty) from products p, sales s \
+           where s.product = p.pid group by p.category order by p.category"
+          [ [ v_s "fruit"; v_i 23 ]; [ v_s "vegetable"; v_i 2 ] ]);
+  ]
+
+let ordering_tests =
+  [
+    case "order by desc with limit" (fun () ->
+        expect_rows "select pname from products order by price desc limit 2"
+          [ [ v_s "fig" ]; [ v_s "endive" ] ]);
+    case "order by two keys" (fun () ->
+        expect_rows
+          "select category, pname from products order by category desc, pname"
+          [
+            [ v_s "vegetable"; v_s "carrot" ];
+            [ v_s "vegetable"; v_s "daikon" ];
+            [ v_s "vegetable"; v_s "endive" ];
+            [ v_s "fruit"; v_s "apple" ];
+            [ v_s "fruit"; v_s "banana" ];
+            [ v_s "fruit"; v_s "fig" ];
+          ]);
+    case "order by alias" (fun () ->
+        expect_rows
+          "select pname, price * 10 as deci from products \
+           where category = 'fruit' order by deci"
+          [
+            [ v_s "banana"; v_f 2.5 ];
+            [ v_s "apple"; v_f 5.0 ];
+            [ v_s "fig"; v_f 30.0 ];
+          ]);
+    case "order by unselected column" (fun () ->
+        expect_rows
+          "select pname from products where category = 'vegetable' order by price"
+          [ [ v_s "carrot" ]; [ v_s "daikon" ]; [ v_s "endive" ] ]);
+    case "nulls sort first" (fun () ->
+        expect_rows "select pid from products order by stock limit 2"
+          [ [ v_i 5 ]; [ v_i 4 ] ]);
+    case "distinct" (fun () ->
+        expect_rows "select distinct category from products order by category"
+          [ [ v_s "fruit" ]; [ v_s "vegetable" ] ]);
+    case "distinct with limit" (fun () ->
+        expect_rows "select distinct product from sales order by product limit 3"
+          [ [ v_i 1 ]; [ v_i 2 ]; [ v_i 3 ] ]);
+    case "limit larger than result" (fun () ->
+        expect_rows "select pid from products where pid = 1 limit 10"
+          [ [ v_i 1 ] ]);
+  ]
+
+let star_tests =
+  [
+    case "select star arity" (fun () ->
+        let r = run "select * from sales where sid = 1" in
+        Alcotest.(check int) "four columns" 4 (Schema.arity (Relation.schema r)));
+    case "select star join arity" (fun () ->
+        let r =
+          run "select * from products p, sales s where s.product = p.pid limit 1"
+        in
+        Alcotest.(check int) "nine columns" 9 (Schema.arity (Relation.schema r)));
+    case "count star on empty table join" (fun () ->
+        expect_rows
+          "select count(*) from sales where day > date '2030-01-01'"
+          [ [ v_i 0 ] ]);
+  ]
+
+let subquery_tests =
+  [
+    case "in subquery" (fun () ->
+        expect_bag
+          "select pname from products where pid in \
+           (select product from sales where qty > 5)"
+          [ [ v_s "apple" ]; [ v_s "banana" ] ]);
+    case "not in subquery" (fun () ->
+        expect_bag
+          "select pid from products where pid not in (select product from sales)"
+          [ [ v_i 4 ]; [ v_i 5 ] ]);
+    case "scalar subquery comparison" (fun () ->
+        expect_bag
+          "select pname from products where price > \
+           (select avg(price) from products)"
+          [ [ v_s "endive" ]; [ v_s "fig" ] ]);
+    case "scalar subquery as projection" (fun () ->
+        expect_rows
+          "select pid, (select max(qty) from sales) from products where pid = 1"
+          [ [ v_i 1; v_i 10 ] ]);
+    case "exists true" (fun () ->
+        expect_rows
+          "select count(*) from products where exists \
+           (select sid from sales where qty > 5)"
+          [ [ v_i 6 ] ]);
+    case "exists false" (fun () ->
+        expect_rows
+          "select count(*) from products where exists \
+           (select sid from sales where qty > 100)"
+          [ [ v_i 0 ] ]);
+    case "not exists" (fun () ->
+        expect_rows
+          "select count(*) from products where not exists \
+           (select sid from sales where qty > 100)"
+          [ [ v_i 6 ] ]);
+    case "nested subqueries" (fun () ->
+        expect_bag
+          "select pname from products where pid in \
+           (select product from sales where qty > \
+            (select avg(qty) from sales))"
+          [ [ v_s "apple" ]; [ v_s "banana" ] ]);
+    case "empty scalar subquery is null" (fun () ->
+        (* NULL comparison is false: no rows survive *)
+        expect_rows
+          "select pid from products where price > \
+           (select price from products where pid = 99)"
+          []);
+    case "scalar subquery multiple rows rejected" (fun () ->
+        match run "select pid from products where price > (select price from products)" with
+        | exception Engine.Exec.Exec_error _ -> ()
+        | _ -> Alcotest.fail "multi-row scalar accepted");
+    case "correlated subquery rejected" (fun () ->
+        match
+          run
+            "select pname from products p where exists \
+             (select sid from sales s where s.product = p.pid)"
+        with
+        | exception Engine.Exec.Exec_error _ -> ()
+        | _ -> Alcotest.fail "correlated subquery accepted");
+  ]
+
+let error_tests =
+  [
+    case "unknown column" (fun () ->
+        match run "select zzz from products" with
+        | exception Engine.Exec.Exec_error _ -> ()
+        | exception Engine.Planner.Plan_error _ -> ()
+        | _ -> Alcotest.fail "unknown column accepted");
+    case "unknown table" (fun () ->
+        match run "select 1 from missing" with
+        | exception Engine.Planner.Plan_error _ -> ()
+        | _ -> Alcotest.fail "unknown table accepted");
+    case "type error in predicate" (fun () ->
+        match run "select pid from products where pname + 1 > 0" with
+        | exception Engine.Exec.Exec_error _ -> ()
+        | _ -> Alcotest.fail "string arithmetic accepted");
+    case "syntax error" (fun () ->
+        match run "select from products" with
+        | exception Sql.Parser.Error _ -> ()
+        | _ -> Alcotest.fail "syntax error accepted");
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("selection", selection_tests);
+      ("projection", projection_tests);
+      ("joins", join_tests);
+      ("aggregation", aggregate_tests);
+      ("ordering", ordering_tests);
+      ("star & misc", star_tests);
+      ("subqueries", subquery_tests);
+      ("errors", error_tests);
+    ]

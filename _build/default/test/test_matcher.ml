@@ -1,0 +1,346 @@
+(* Tests for the tuple-matching substrate: union-find, similarity,
+   sorted-neighborhood (merge/purge), LIMBO-style clustering, and the
+   pairwise evaluation metrics. *)
+
+open Dirty
+
+let v_s s = Value.String s
+
+(* ---- union-find ---- *)
+
+let test_union_find () =
+  let uf = Matcher.Union_find.create 6 in
+  Alcotest.(check int) "initial classes" 6 (Matcher.Union_find.num_classes uf);
+  Matcher.Union_find.union uf 0 1;
+  Matcher.Union_find.union uf 1 2;
+  Matcher.Union_find.union uf 4 5;
+  Alcotest.(check int) "classes after unions" 3
+    (Matcher.Union_find.num_classes uf);
+  Alcotest.(check bool) "0 ~ 2" true (Matcher.Union_find.same uf 0 2);
+  Alcotest.(check bool) "0 !~ 3" false (Matcher.Union_find.same uf 0 3);
+  Alcotest.(check bool) "4 ~ 5" true (Matcher.Union_find.same uf 4 5);
+  let c = Matcher.Union_find.to_cluster uf in
+  Alcotest.(check int) "cluster count" 3 (Cluster.num_clusters c);
+  Alcotest.(check int) "cluster rows" 6 (Cluster.num_rows c)
+
+let test_union_find_idempotent () =
+  let uf = Matcher.Union_find.create 3 in
+  Matcher.Union_find.union uf 0 1;
+  Matcher.Union_find.union uf 0 1;
+  Matcher.Union_find.union uf 1 0;
+  Alcotest.(check int) "no double-count" 2 (Matcher.Union_find.num_classes uf)
+
+(* ---- similarity ---- *)
+
+let test_string_similarity () =
+  Fixtures.check_float "identical" 1.0 (Matcher.Similarity.string_similarity "abc" "abc");
+  Fixtures.check_float "disjoint" 0.0 (Matcher.Similarity.string_similarity "abc" "xyz");
+  Alcotest.(check bool) "typo close" true
+    (Matcher.Similarity.string_similarity "john smith" "jonh smith" > 0.7)
+
+let test_token_jaccard () =
+  Fixtures.check_float "reordered tokens" 1.0
+    (Matcher.Similarity.token_jaccard "John Smith" "smith john");
+  Fixtures.check_float "half overlap" (1.0 /. 3.0)
+    (Matcher.Similarity.token_jaccard "a b" "b c");
+  Fixtures.check_float "both empty" 1.0 (Matcher.Similarity.token_jaccard "" "")
+
+let test_value_similarity () =
+  Fixtures.check_float "null-null" 1.0
+    (Matcher.Similarity.value_similarity Value.Null Value.Null);
+  Fixtures.check_float "null-other" 0.0
+    (Matcher.Similarity.value_similarity Value.Null (v_s "x"));
+  Alcotest.(check bool) "close numbers" true
+    (Matcher.Similarity.value_similarity (Value.Int 100) (Value.Int 95) > 0.9);
+  Fixtures.check_float "equal dates" 1.0
+    (Matcher.Similarity.value_similarity (Value.Date 100) (Value.Date 100))
+
+let people_relation () =
+  Relation.create
+    (Schema.make
+       [ ("name", Value.TString); ("city", Value.TString); ("age", Value.TInt) ])
+    [
+      [| v_s "John Smith"; v_s "Toronto"; Value.Int 34 |];   (* 0: A *)
+      [| v_s "Jon Smith"; v_s "Toronto"; Value.Int 34 |];    (* 1: A *)
+      [| v_s "John Smyth"; v_s "Toronto"; Value.Int 35 |];   (* 2: A *)
+      [| v_s "Mary Jones"; v_s "Ottawa"; Value.Int 29 |];    (* 3: B *)
+      [| v_s "Mary Jone"; v_s "Ottawa"; Value.Int 29 |];     (* 4: B *)
+      [| v_s "Zoe Chen"; v_s "Vancouver"; Value.Int 51 |];   (* 5: C *)
+    ]
+
+let truth_clustering () =
+  let owners = [| 0; 0; 0; 1; 1; 2 |] in
+  Cluster.of_assignment ~size:6 (fun i -> Value.Int owners.(i))
+
+let test_record_similarity () =
+  let rel = people_relation () in
+  let sim = Matcher.Similarity.record_similarity rel ~attrs:[ "name"; "city"; "age" ] in
+  Alcotest.(check bool) "duplicates similar" true (sim 0 1 > 0.85);
+  Alcotest.(check bool) "distinct dissimilar" true (sim 0 3 < 0.5);
+  Fixtures.check_float "self similarity" 1.0 (sim 2 2);
+  (* weighting: name-only comparison *)
+  let name_only =
+    Matcher.Similarity.record_similarity ~weights:[ 1.0; 0.0; 0.0 ] rel
+      ~attrs:[ "name"; "city"; "age" ]
+  in
+  Alcotest.(check bool) "weights respected" true (name_only 0 1 > 0.85)
+
+(* ---- sorted neighborhood ---- *)
+
+let snm_config =
+  {
+    Matcher.Sorted_neighborhood.passes =
+      [ Matcher.Sorted_neighborhood.pass [ "name" ];
+        Matcher.Sorted_neighborhood.pass [ "city"; "name" ] ];
+    window = 4;
+    threshold = 0.8;
+    attrs = [ "name"; "city"; "age" ];
+  }
+
+let test_snm_recovers_planted_duplicates () =
+  let rel = people_relation () in
+  let predicted = Matcher.Sorted_neighborhood.run snm_config rel in
+  let scores = Matcher.Evaluate.pairwise ~truth:(truth_clustering ()) predicted in
+  Alcotest.(check bool)
+    (Format.asprintf "good scores: %a" Matcher.Evaluate.pp scores)
+    true
+    (scores.precision >= 0.99 && scores.recall >= 0.99)
+
+let test_snm_high_threshold_splits () =
+  let rel = people_relation () in
+  let predicted =
+    Matcher.Sorted_neighborhood.run { snm_config with threshold = 0.999 } rel
+  in
+  (* nothing merges: all singletons *)
+  Alcotest.(check int) "singletons" 6 (Cluster.num_clusters predicted)
+
+let test_snm_low_threshold_overmerges () =
+  let rel = people_relation () in
+  let predicted =
+    Matcher.Sorted_neighborhood.run
+      { snm_config with threshold = 0.0; window = 6 }
+      rel
+  in
+  Alcotest.(check int) "everything merged" 1 (Cluster.num_clusters predicted)
+
+let test_snm_blocking_efficiency () =
+  let rel = people_relation () in
+  let compared = Matcher.Sorted_neighborhood.pairs_compared snm_config rel in
+  (* two passes, window 4 over 6 rows: 2 * (3+3+3+2+1) = 24 > full
+     pairwise 15 for this tiny input, but sublinear in n for big n *)
+  Alcotest.(check int) "pair count formula" 24 compared;
+  let big_config = { snm_config with window = 5 } in
+  ignore big_config;
+  (* windowed comparisons grow linearly with n, full pairwise
+     quadratically: check the crossover on a larger synthetic size *)
+  let n = 1000 in
+  let window_pairs = (List.length snm_config.passes) * (n * (snm_config.window - 1)) in
+  Alcotest.(check bool) "linear beats quadratic" true
+    (window_pairs < n * (n - 1) / 2)
+
+let test_snm_validation () =
+  let rel = people_relation () in
+  (match Matcher.Sorted_neighborhood.run { snm_config with window = 1 } rel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window 1 accepted");
+  match Matcher.Sorted_neighborhood.run { snm_config with passes = [] } rel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no passes accepted"
+
+let test_snm_on_generated_customers () =
+  (* end-to-end on the TPC-H generator's dirty customers, scored
+     against the generator's ground-truth clusters *)
+  let db =
+    Tpch.Datagen.generate
+      { Tpch.Datagen.default with sf = 0.15; inconsistency = 3; seed = 5 }
+  in
+  let customer = Dirty_db.find_table db "customer" in
+  let config =
+    {
+      Matcher.Sorted_neighborhood.passes =
+        [ Matcher.Sorted_neighborhood.pass [ "c_name" ];
+          Matcher.Sorted_neighborhood.pass [ "c_address" ];
+          Matcher.Sorted_neighborhood.pass [ "c_phone" ] ];
+      window = 8;
+      threshold = 0.72;
+      attrs = [ "c_name"; "c_address"; "c_phone"; "c_acctbal" ];
+    }
+  in
+  let predicted = Matcher.Sorted_neighborhood.run config customer.relation in
+  let scores = Matcher.Evaluate.pairwise ~truth:customer.clustering predicted in
+  Alcotest.(check bool)
+    (Format.asprintf "F1 respectable: %a" Matcher.Evaluate.pp scores)
+    true (scores.f1 > 0.6)
+
+(* ---- LIMBO ---- *)
+
+let test_limbo_two_groups () =
+  let rel = people_relation () in
+  let predicted =
+    Matcher.Limbo.run
+      { attrs = [ "name"; "city" ]; stop = Num_clusters 3 }
+      rel
+  in
+  let scores = Matcher.Evaluate.pairwise ~truth:(truth_clustering ()) predicted in
+  Alcotest.(check int) "three clusters" 3 (Cluster.num_clusters predicted);
+  Alcotest.(check bool)
+    (Format.asprintf "recovers the groups: %a" Matcher.Evaluate.pp scores)
+    true (scores.f1 >= 0.7)
+
+let test_limbo_max_loss_zero_merges_identical () =
+  (* with a zero loss budget only information-free merges happen:
+     identical tuples collapse, distinct ones stay apart *)
+  let rel =
+    Relation.create
+      (Schema.make [ ("a", Value.TString); ("b", Value.TString) ])
+      [
+        [| v_s "x"; v_s "y" |];
+        [| v_s "x"; v_s "y" |];
+        [| v_s "p"; v_s "q" |];
+      ]
+  in
+  let predicted =
+    Matcher.Limbo.run { attrs = [ "a"; "b" ]; stop = Max_loss 1e-9 } rel
+  in
+  Alcotest.(check int) "identical rows merged, others kept" 2
+    (Cluster.num_clusters predicted)
+
+let test_limbo_merge_trace () =
+  let rel = people_relation () in
+  let trace =
+    Matcher.Limbo.merge_trace
+      { attrs = [ "name"; "city" ]; stop = Num_clusters 1 }
+      rel
+  in
+  Alcotest.(check int) "n-1 merges to a single cluster" 5 (List.length trace);
+  List.iter
+    (fun (_, _, loss) ->
+      Alcotest.(check bool) "losses nonnegative" true (loss >= -1e-12))
+    trace;
+  (* the first (cheapest) merge should join two of the true duplicate
+     pairs, not cross-entity rows *)
+  match trace with
+  | (a, b, _) :: _ ->
+    let truth = truth_clustering () in
+    Alcotest.(check bool) "first merge within an entity" true
+      (Value.equal (Cluster.cluster_of_row truth a) (Cluster.cluster_of_row truth b))
+  | [] -> Alcotest.fail "empty trace"
+
+let test_limbo_single_row () =
+  let rel =
+    Relation.create (Schema.make [ ("a", Value.TString) ]) [ [| v_s "x" |] ]
+  in
+  let predicted = Matcher.Limbo.run { attrs = [ "a" ]; stop = Num_clusters 1 } rel in
+  Alcotest.(check int) "one row, one cluster" 1 (Cluster.num_clusters predicted)
+
+(* ---- evaluation metrics ---- *)
+
+let test_evaluate_perfect () =
+  let truth = truth_clustering () in
+  let s = Matcher.Evaluate.pairwise ~truth truth in
+  Fixtures.check_float "precision" 1.0 s.precision;
+  Fixtures.check_float "recall" 1.0 s.recall;
+  Fixtures.check_float "f1" 1.0 s.f1;
+  Alcotest.(check int) "true pairs" 4 s.true_pairs
+
+let test_evaluate_all_singletons () =
+  let truth = truth_clustering () in
+  let singletons = Cluster.of_assignment ~size:6 (fun i -> Value.Int i) in
+  let s = Matcher.Evaluate.pairwise ~truth singletons in
+  Fixtures.check_float "vacuous precision" 1.0 s.precision;
+  Fixtures.check_float "zero recall" 0.0 s.recall
+
+let test_evaluate_one_big_cluster () =
+  let truth = truth_clustering () in
+  let lump = Cluster.of_assignment ~size:6 (fun _ -> Value.Int 0) in
+  let s = Matcher.Evaluate.pairwise ~truth lump in
+  Fixtures.check_float "full recall" 1.0 s.recall;
+  (* 4 true pairs out of 15 predicted *)
+  Fixtures.check_float "diluted precision" (4.0 /. 15.0) s.precision
+
+let test_evaluate_mismatched_sizes () =
+  let truth = truth_clustering () in
+  let other = Cluster.of_assignment ~size:4 (fun i -> Value.Int i) in
+  match Matcher.Evaluate.pairwise ~truth other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size mismatch accepted"
+
+(* ---- end-to-end: match, assign, answer ---- *)
+
+let test_pipeline_end_to_end () =
+  (* raw duplicated relation with no clustering at all -> matcher ->
+     probability assignment -> clean answers *)
+  let rel = people_relation () in
+  let clustering = Matcher.Sorted_neighborhood.run snm_config rel in
+  (* attach the discovered cluster identifier and computed probability *)
+  let probs = Prob.Assign.assign ~attrs:[ "name"; "city"; "age" ] rel clustering in
+  let schema' =
+    Schema.append (Relation.schema rel)
+      (Schema.make [ ("id", Value.TInt); ("prob", Value.TFloat) ])
+  in
+  let counter = ref (-1) in
+  let rel' =
+    Relation.map_rows schema'
+      (fun row ->
+        incr counter;
+        let id = Cluster.cluster_of_row clustering !counter in
+        Array.append row [| id; Value.Float probs.(!counter) |])
+      rel
+  in
+  let table = Dirty_db.make_table ~name:"people" ~id_attr:"id" ~prob_attr:"prob" rel' in
+  let db = Dirty_db.add_table Dirty_db.empty table in
+  let s = Conquer.Clean.create db in
+  let answers = Conquer.Clean.answers s "select id from people where age > 30" in
+  (* the John Smith entity qualifies with certainty; Mary (29) and Zoe
+     (51) resolve accordingly *)
+  Alcotest.(check int) "two qualifying entities" 2 (Relation.cardinality answers)
+
+let () =
+  Alcotest.run "matcher"
+    [
+      ( "union-find",
+        [
+          Alcotest.test_case "basics" `Quick test_union_find;
+          Alcotest.test_case "idempotent unions" `Quick test_union_find_idempotent;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "strings" `Quick test_string_similarity;
+          Alcotest.test_case "token jaccard" `Quick test_token_jaccard;
+          Alcotest.test_case "values" `Quick test_value_similarity;
+          Alcotest.test_case "records" `Quick test_record_similarity;
+        ] );
+      ( "sorted neighborhood",
+        [
+          Alcotest.test_case "recovers duplicates" `Quick
+            test_snm_recovers_planted_duplicates;
+          Alcotest.test_case "high threshold splits" `Quick
+            test_snm_high_threshold_splits;
+          Alcotest.test_case "low threshold over-merges" `Quick
+            test_snm_low_threshold_overmerges;
+          Alcotest.test_case "blocking efficiency" `Quick
+            test_snm_blocking_efficiency;
+          Alcotest.test_case "validation" `Quick test_snm_validation;
+          Alcotest.test_case "generated customers" `Quick
+            test_snm_on_generated_customers;
+        ] );
+      ( "limbo",
+        [
+          Alcotest.test_case "two groups" `Quick test_limbo_two_groups;
+          Alcotest.test_case "max-loss zero" `Quick
+            test_limbo_max_loss_zero_merges_identical;
+          Alcotest.test_case "merge trace" `Quick test_limbo_merge_trace;
+          Alcotest.test_case "single row" `Quick test_limbo_single_row;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "perfect" `Quick test_evaluate_perfect;
+          Alcotest.test_case "singletons" `Quick test_evaluate_all_singletons;
+          Alcotest.test_case "one big cluster" `Quick
+            test_evaluate_one_big_cluster;
+          Alcotest.test_case "size mismatch" `Quick
+            test_evaluate_mismatched_sizes;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "match-assign-answer" `Quick test_pipeline_end_to_end ] );
+    ]

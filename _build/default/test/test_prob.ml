@@ -1,0 +1,322 @@
+(* Tests for the probability-assignment pipeline of Section 4:
+   the normalized matrix (Table 1), cluster representatives (Table 2),
+   and the Figure 5 procedure (Table 3). *)
+
+open Dirty
+
+let check_float = Fixtures.check_float
+
+let matrix () =
+  Prob.Matrix.of_relation ~attrs:Fixtures.section4_attrs
+    (Fixtures.section4_customer ())
+
+(* ---- interning ---- *)
+
+let test_interning_distinct_per_attribute () =
+  let i = Prob.Interning.create () in
+  let a = Prob.Interning.intern i ~attr:0 (Value.String "USA") in
+  let b = Prob.Interning.intern i ~attr:1 (Value.String "USA") in
+  Alcotest.(check bool) "same value, different attrs" true (a <> b);
+  Alcotest.(check int) "stable" a
+    (Prob.Interning.intern i ~attr:0 (Value.String "USA"));
+  Alcotest.(check int) "reverse attr" 1 (Prob.Interning.attr_of i b);
+  Alcotest.(check bool) "reverse value" true
+    (Value.equal (Prob.Interning.value_of i b) (Value.String "USA"))
+
+(* ---- the normalized matrix (Table 1) ---- *)
+
+let test_matrix_shape () =
+  let m = matrix () in
+  Alcotest.(check int) "six rows" 6 (Prob.Matrix.num_rows m);
+  (* Table 1 has 13 distinct (attribute, value) symbols *)
+  Alcotest.(check int) "thirteen symbols" 13
+    (Prob.Interning.size (Prob.Matrix.interning m))
+
+let test_matrix_entries () =
+  let m = matrix () in
+  (* each tuple's row is uniform 1/4 on its values *)
+  check_float "M[t1, Mary]" 0.25
+    (Prob.Matrix.entry m 0 ~attr:0 ~value:(Value.String "Mary"));
+  check_float "M[t1, banking] = 0" 0.0
+    (Prob.Matrix.entry m 0 ~attr:1 ~value:(Value.String "banking"));
+  check_float "M[t3, Jones ave]" 0.25
+    (Prob.Matrix.entry m 2 ~attr:3 ~value:(Value.String "Jones ave"));
+  let d = Prob.Matrix.row_dist m 0 in
+  Alcotest.(check bool) "row normalized" true (Infotheory.Dist.is_normalized d);
+  Alcotest.(check int) "four values" 4 (Infotheory.Dist.support_size d)
+
+(* ---- cluster representatives (Table 2) ---- *)
+
+let rep_prob m rep ~attr value =
+  let interning = Prob.Matrix.interning m in
+  match Prob.Interning.find_opt interning ~attr (Value.String value) with
+  | None -> 0.0
+  | Some sym -> Infotheory.Dist.prob rep.Infotheory.Dcf.dist sym
+
+let test_representatives_table2 () =
+  let m = matrix () in
+  let clustering = Fixtures.section4_clustering () in
+  let reps = Prob.Representative.all m clustering in
+  Alcotest.(check int) "three representatives" 3 (List.length reps);
+  let rep1 = List.assoc (Value.String "c1") reps in
+  let rep2 = List.assoc (Value.String "c2") reps in
+  let rep3 = List.assoc (Value.String "c3") reps in
+  (* Table 2, row rep1: |c| = 3; Mary 0.167, Marion 0.083, banking
+     0.167, building 0.083, USA 0.25, Jones Ave 0.167, Jones ave 0.083 *)
+  check_float "rep1 weight" 3.0 rep1.Infotheory.Dcf.weight;
+  check_float ~eps:1e-3 "rep1 Mary" 0.167 (rep_prob m rep1 ~attr:0 "Mary");
+  check_float ~eps:1e-3 "rep1 Marion" 0.083 (rep_prob m rep1 ~attr:0 "Marion");
+  check_float ~eps:1e-3 "rep1 banking" 0.167 (rep_prob m rep1 ~attr:1 "banking");
+  check_float ~eps:1e-3 "rep1 building" 0.083 (rep_prob m rep1 ~attr:1 "building");
+  check_float ~eps:1e-3 "rep1 USA" 0.25 (rep_prob m rep1 ~attr:2 "USA");
+  check_float ~eps:1e-3 "rep1 Jones Ave" 0.167 (rep_prob m rep1 ~attr:3 "Jones Ave");
+  check_float ~eps:1e-3 "rep1 Jones ave" 0.083 (rep_prob m rep1 ~attr:3 "Jones ave");
+  (* Table 2, rep2: |c| = 2; building 0.25, Arrow 0.25, John 0.125,
+     John S. 0.125, America 0.125, USA 0.125 *)
+  check_float "rep2 weight" 2.0 rep2.Infotheory.Dcf.weight;
+  check_float "rep2 building" 0.25 (rep_prob m rep2 ~attr:1 "building");
+  check_float "rep2 Arrow" 0.25 (rep_prob m rep2 ~attr:3 "Arrow");
+  check_float "rep2 John" 0.125 (rep_prob m rep2 ~attr:0 "John");
+  check_float "rep2 John S." 0.125 (rep_prob m rep2 ~attr:0 "John S.");
+  check_float "rep2 USA" 0.125 (rep_prob m rep2 ~attr:2 "USA");
+  (* Table 2, rep3 = t6 alone: every value 0.25 *)
+  check_float "rep3 weight" 1.0 rep3.Infotheory.Dcf.weight;
+  check_float "rep3 John" 0.25 (rep_prob m rep3 ~attr:0 "John");
+  check_float "rep3 Canada" 0.25 (rep_prob m rep3 ~attr:2 "Canada")
+
+let test_modal_tuple () =
+  let m = matrix () in
+  let clustering = Fixtures.section4_clustering () in
+  let reps = Prob.Representative.all m clustering in
+  let rep1 = List.assoc (Value.String "c1") reps in
+  let modal = Prob.Representative.modal_tuple m rep1 in
+  (* c1's most frequent values: Mary, USA dominate; mktsegment tie
+     between banking (2) and building (1) resolves to banking *)
+  (match modal with
+  | [ name; seg; nation; _addr ] ->
+    Alcotest.(check bool) "Mary" true (Value.equal name (Value.String "Mary"));
+    Alcotest.(check bool) "banking" true (Value.equal seg (Value.String "banking"));
+    Alcotest.(check bool) "USA" true (Value.equal nation (Value.String "USA"))
+  | _ -> Alcotest.fail "modal arity")
+
+(* ---- the Figure 5 procedure (Table 3) ---- *)
+
+let run_section4 () =
+  Prob.Assign.run ~attrs:Fixtures.section4_attrs
+    (Fixtures.section4_customer ())
+    (Fixtures.section4_clustering ())
+
+let test_assign_cluster_sums () =
+  let r = run_section4 () in
+  let clustering = Fixtures.section4_clustering () in
+  Cluster.iter
+    (fun id members ->
+      let sum = List.fold_left (fun acc i -> acc +. r.probabilities.(i)) 0.0 members in
+      check_float
+        (Printf.sprintf "cluster %s sums to 1" (Value.to_string id))
+        1.0 sum)
+    clustering
+
+let test_assign_table3_qualitative () =
+  let r = run_section4 () in
+  (* t2 shares all its values with other cluster members: it must be
+     the most probable tuple of c1 (the paper's central claim) *)
+  Alcotest.(check bool) "t2 beats t1" true
+    (r.probabilities.(1) > r.probabilities.(0));
+  Alcotest.(check bool) "t2 beats t3" true
+    (r.probabilities.(1) > r.probabilities.(2));
+  (* t4 and t5 are symmetric in c2: exactly 0.5 each *)
+  check_float "t4 = 0.5" 0.5 r.probabilities.(3);
+  check_float "t5 = 0.5" 0.5 r.probabilities.(4);
+  (* singleton cluster: certainty *)
+  check_float "t6 = 1.0" 1.0 r.probabilities.(5);
+  check_float "t6 distance 0" 0.0 r.distances.(5)
+
+let test_assign_similarity_definition () =
+  let r = run_section4 () in
+  (* s_t = 1 - d_t / S(c) for multi-tuple clusters *)
+  let s_c1 = r.distances.(0) +. r.distances.(1) +. r.distances.(2) in
+  List.iter
+    (fun i ->
+      check_float
+        (Printf.sprintf "similarity of t%d" (i + 1))
+        (1.0 -. (r.distances.(i) /. s_c1))
+        r.similarities.(i))
+    [ 0; 1; 2 ];
+  (* probability = s_t / (|c| - 1) *)
+  List.iter
+    (fun i ->
+      check_float
+        (Printf.sprintf "probability of t%d" (i + 1))
+        (r.similarities.(i) /. 2.0)
+        r.probabilities.(i))
+    [ 0; 1; 2 ]
+
+let test_assign_identical_tuples_uniform () =
+  let rel =
+    Relation.create
+      (Schema.make [ ("v", Value.TString); ("cl", Value.TString) ])
+      [
+        [| Value.String "x"; Value.String "c" |];
+        [| Value.String "x"; Value.String "c" |];
+        [| Value.String "x"; Value.String "c" |];
+      ]
+  in
+  let clustering = Cluster.of_relation rel ~id_attr:"cl" in
+  let probs = Prob.Assign.assign ~attrs:[ "v" ] rel clustering in
+  Array.iter (fun p -> check_float "uniform third" (1.0 /. 3.0) p) probs
+
+let test_assign_two_tuple_cluster () =
+  (* with two tuples the distances are symmetric: both get 0.5 *)
+  let rel =
+    Relation.create
+      (Schema.make [ ("v", Value.TString); ("w", Value.TString); ("cl", Value.TString) ])
+      [
+        [| Value.String "a"; Value.String "z"; Value.String "c" |];
+        [| Value.String "b"; Value.String "z"; Value.String "c" |];
+      ]
+  in
+  let clustering = Cluster.of_relation rel ~id_attr:"cl" in
+  let probs = Prob.Assign.assign ~attrs:[ "v"; "w" ] rel clustering in
+  check_float "first half" 0.5 probs.(0);
+  check_float "second half" 0.5 probs.(1)
+
+let test_annotate_table () =
+  let table =
+    Dirty_db.make_table ~name:"customer" ~id_attr:"id" ~prob_attr:"prob"
+      (Fixtures.customers_relation ())
+  in
+  let annotated = Prob.Assign.annotate_table table in
+  Alcotest.(check (list string)) "still valid" []
+    (Dirty_db.table_validate annotated);
+  (* both clusters have two symmetric-ish tuples; probabilities must
+     not be the placeholder values any more but still sum to 1 *)
+  let p0 = Dirty_db.row_probability annotated 0
+  and p1 = Dirty_db.row_probability annotated 1 in
+  check_float "c1 sums to 1" 1.0 (p0 +. p1)
+
+(* ---- survivorship resolution ---- *)
+
+let figure2_customer_table () =
+  Dirty_db.make_table ~name:"customer" ~id_attr:"id" ~prob_attr:"prob"
+    (Fixtures.customers_relation ())
+
+let test_resolve_most_probable () =
+  let resolved = Prob.Resolve.resolve_table (figure2_customer_table ()) in
+  Alcotest.(check int) "one tuple per cluster" 2
+    (Relation.cardinality resolved.relation);
+  (* c1 keeps John@20000 (0.7), c2 keeps Marion@5000 (0.8) *)
+  let balances = Relation.column resolved.relation "balance" in
+  Alcotest.(check bool) "c1 best kept" true
+    (Value.equal balances.(0) (Value.Int 20_000));
+  Alcotest.(check bool) "c2 best kept" true
+    (Value.equal balances.(1) (Value.Int 5_000));
+  (* result is a clean table *)
+  check_float "prob 1" 1.0 (Dirty_db.row_probability resolved 0);
+  Alcotest.(check (list string)) "valid" [] (Dirty_db.table_validate resolved)
+
+let test_resolve_merge () =
+  let resolved =
+    Prob.Resolve.resolve_table ~policy:Prob.Resolve.Merge
+      (figure2_customer_table ())
+  in
+  let row = Relation.get resolved.relation 0 in
+  (* the "average the incomes" rule: 0.7*20000 + 0.3*30000 = 23000 *)
+  Alcotest.(check bool) "weighted balance" true
+    (Value.equal (Relation.value resolved.relation row "balance") (Value.Int 23_000));
+  Alcotest.(check bool) "modal name" true
+    (Value.equal (Relation.value resolved.relation row "name") (Value.String "John"))
+
+let test_resolution_loses_answers () =
+  (* the introduction's motivation: resolving offline then querying
+     misses answers that clean-answer semantics retains *)
+  let db = Fixtures.figure2_db () in
+  let resolved = Prob.Resolve.resolve db in
+  let s_resolved = Conquer.Clean.create resolved in
+  let s_dirty = Conquer.Clean.create db in
+  let offline = Conquer.Clean.original s_resolved Fixtures.q2 in
+  let clean = Conquer.Clean.answers s_dirty Fixtures.q2 in
+  Alcotest.(check bool) "offline loses possible answers" true
+    (Relation.cardinality offline < Relation.cardinality clean)
+
+(* ---- string distance ---- *)
+
+let test_levenshtein () =
+  Alcotest.(check int) "identity" 0 (Prob.Strdist.levenshtein "abc" "abc");
+  Alcotest.(check int) "substitution" 1 (Prob.Strdist.levenshtein "abc" "abd");
+  Alcotest.(check int) "insertion" 1 (Prob.Strdist.levenshtein "abc" "abcd");
+  Alcotest.(check int) "deletion" 1 (Prob.Strdist.levenshtein "abc" "ac");
+  Alcotest.(check int) "kitten/sitting" 3
+    (Prob.Strdist.levenshtein "kitten" "sitting");
+  Alcotest.(check int) "empty" 3 (Prob.Strdist.levenshtein "" "abc")
+
+let test_normalized_levenshtein () =
+  check_float "identical" 0.0 (Prob.Strdist.normalized_levenshtein "abc" "abc");
+  check_float "disjoint" 1.0 (Prob.Strdist.normalized_levenshtein "abc" "xyz");
+  check_float "both empty" 0.0 (Prob.Strdist.normalized_levenshtein "" "");
+  Alcotest.(check bool) "in unit range" true
+    (let d = Prob.Strdist.normalized_levenshtein "hello" "help" in
+     d > 0.0 && d < 1.0)
+
+let test_edit_distance_assignment () =
+  let r =
+    Prob.Assign.run ~distance:Prob.Assign.Edit_distance
+      ~attrs:Fixtures.section4_attrs
+      (Fixtures.section4_customer ())
+      (Fixtures.section4_clustering ())
+  in
+  (* same invariants as the information-loss variant *)
+  let clustering = Fixtures.section4_clustering () in
+  Cluster.iter
+    (fun id members ->
+      let sum = List.fold_left (fun acc i -> acc +. r.probabilities.(i)) 0.0 members in
+      check_float
+        (Printf.sprintf "cluster %s sums to 1" (Value.to_string id))
+        1.0 sum)
+    clustering;
+  check_float "singleton still certain" 1.0 r.probabilities.(5)
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "interning",
+        [ Alcotest.test_case "per-attribute" `Quick test_interning_distinct_per_attribute ] );
+      ( "matrix (Table 1)",
+        [
+          Alcotest.test_case "shape" `Quick test_matrix_shape;
+          Alcotest.test_case "entries" `Quick test_matrix_entries;
+        ] );
+      ( "representatives (Table 2)",
+        [
+          Alcotest.test_case "published numbers" `Quick
+            test_representatives_table2;
+          Alcotest.test_case "modal tuple" `Quick test_modal_tuple;
+        ] );
+      ( "assignment (Table 3)",
+        [
+          Alcotest.test_case "cluster sums" `Quick test_assign_cluster_sums;
+          Alcotest.test_case "qualitative ranking" `Quick
+            test_assign_table3_qualitative;
+          Alcotest.test_case "similarity definition" `Quick
+            test_assign_similarity_definition;
+          Alcotest.test_case "identical tuples" `Quick
+            test_assign_identical_tuples_uniform;
+          Alcotest.test_case "two-tuple cluster" `Quick
+            test_assign_two_tuple_cluster;
+          Alcotest.test_case "annotate table" `Quick test_annotate_table;
+        ] );
+      ( "survivorship",
+        [
+          Alcotest.test_case "most probable" `Quick test_resolve_most_probable;
+          Alcotest.test_case "merge policy" `Quick test_resolve_merge;
+          Alcotest.test_case "resolution loses answers" `Quick
+            test_resolution_loses_answers;
+        ] );
+      ( "string distance",
+        [
+          Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+          Alcotest.test_case "normalized" `Quick test_normalized_levenshtein;
+          Alcotest.test_case "edit-distance assignment" `Quick
+            test_edit_distance_assignment;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+(* Property-based tests (QCheck): the rewriting agrees with the
+   possible-worlds oracle on random dirty databases and random
+   rewritable queries, the probability assignment satisfies its
+   invariants, and the engine's plan transformations preserve
+   results. *)
+
+open Dirty
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+(* ---- random dirty databases over a parent/child schema ---- *)
+
+let parent_schema =
+  Schema.make
+    [ ("id", Value.TInt); ("val", Value.TInt); ("prob", Value.TFloat) ]
+
+let child_schema =
+  Schema.make
+    [
+      ("id", Value.TInt); ("fk", Value.TInt); ("val", Value.TInt);
+      ("prob", Value.TFloat);
+    ]
+
+(* random per-cluster probabilities: positive and normalized *)
+let probs_gen k =
+  let* raw = QCheck.Gen.list_size (QCheck.Gen.return k) (QCheck.Gen.float_range 0.05 1.0) in
+  let total = List.fold_left ( +. ) 0.0 raw in
+  QCheck.Gen.return (List.map (fun x -> x /. total) raw)
+
+let cluster_gen ~make_row entity =
+  let* size = QCheck.Gen.int_range 1 3 in
+  let* probs = probs_gen size in
+  let* rows =
+    QCheck.Gen.flatten_l (List.map (fun p -> make_row entity p) probs)
+  in
+  QCheck.Gen.return rows
+
+let parent_gen ~entities =
+  let make_row entity p =
+    let* v = QCheck.Gen.int_range 0 9 in
+    QCheck.Gen.return [| Value.Int entity; Value.Int v; Value.Float p |]
+  in
+  let* clusters =
+    QCheck.Gen.flatten_l
+      (List.init entities (fun e -> cluster_gen ~make_row e))
+  in
+  QCheck.Gen.return (Relation.create parent_schema (List.concat clusters))
+
+let child_gen ~entities ~parents =
+  let make_row entity p =
+    let* fk = QCheck.Gen.int_range 0 (parents - 1) in
+    let* v = QCheck.Gen.int_range 0 9 in
+    QCheck.Gen.return [| Value.Int entity; Value.Int fk; Value.Int v; Value.Float p |]
+  in
+  let* clusters =
+    QCheck.Gen.flatten_l
+      (List.init entities (fun e -> cluster_gen ~make_row e))
+  in
+  QCheck.Gen.return (Relation.create child_schema (List.concat clusters))
+
+let db_gen =
+  let* parents = QCheck.Gen.int_range 1 3 in
+  let* children = QCheck.Gen.int_range 1 3 in
+  let* parent = parent_gen ~entities:parents in
+  let* child = child_gen ~entities:children ~parents in
+  let db =
+    Dirty_db.add_table Dirty_db.empty
+      (Dirty_db.make_table ~name:"parent" ~id_attr:"id" ~prob_attr:"prob" parent)
+  in
+  QCheck.Gen.return
+    (Dirty_db.add_table db
+       (Dirty_db.make_table ~name:"child" ~id_attr:"id" ~prob_attr:"prob" child))
+
+(* random rewritable queries over the parent/child schema *)
+let query_gen =
+  let* shape = QCheck.Gen.int_range 0 2 in
+  let* threshold = QCheck.Gen.int_range 0 10 in
+  let* threshold2 = QCheck.Gen.int_range 0 10 in
+  QCheck.Gen.return
+    (match shape with
+    | 0 -> Printf.sprintf "select id from parent where val < %d" threshold
+    | 1 ->
+      Printf.sprintf
+        "select c.id, p.id from child c, parent p where c.fk = p.id and p.val < %d"
+        threshold
+    | _ ->
+      Printf.sprintf
+        "select c.id, c.val, p.id from child c, parent p \
+         where c.fk = p.id and p.val < %d and c.val >= %d"
+        threshold threshold2)
+
+let db_and_query =
+  QCheck.make
+    ~print:(fun (db, sql) ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (t : Dirty_db.table) ->
+          Buffer.add_string buf (t.name ^ ":\n");
+          Buffer.add_string buf (Relation.to_string t.relation))
+        (Dirty_db.tables db);
+      Buffer.add_string buf sql;
+      Buffer.contents buf)
+    (let* db = db_gen in
+     let* q = query_gen in
+     QCheck.Gen.return (db, q))
+
+(* compare two answer relations keyed on all-but-last column *)
+let answers_agree a b =
+  let key row = Array.to_list (Array.sub row 0 (Array.length row - 1)) in
+  let to_map rel =
+    Relation.fold
+      (fun acc row ->
+        let p = Option.get (Value.to_float row.(Array.length row - 1)) in
+        (key row, p) :: acc)
+      [] rel
+  in
+  let ma = to_map a and mb = to_map b in
+  List.length ma = List.length mb
+  && List.for_all
+       (fun (k, p) ->
+         match
+           List.find_opt (fun (k', _) -> List.for_all2 Value.equal k k') mb
+         with
+         | Some (_, p') -> Float.abs (p -. p') <= 1e-9
+         | None -> false)
+       ma
+
+let prop_rewriting_equals_oracle =
+  QCheck.Test.make ~count:150 ~name:"RewriteClean = possible-worlds oracle"
+    db_and_query (fun (db, sql) ->
+      let q = Sql.Parser.parse_query sql in
+      let session = Conquer.Clean.create db in
+      match Conquer.Rewritable.check (Conquer.Clean.env session) q with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ ->
+        let rewritten = Conquer.Clean.answers session sql in
+        let oracle = Conquer.Candidates.clean_answers db q in
+        answers_agree rewritten oracle)
+
+let prop_oracle_mass_bounded =
+  QCheck.Test.make ~count:100 ~name:"answer probabilities within (0,1]"
+    db_and_query (fun (db, sql) ->
+      let session = Conquer.Clean.create db in
+      match Conquer.Clean.answers session sql with
+      | exception Conquer.Rewrite.Not_rewritable _ -> QCheck.assume_fail ()
+      | rel ->
+        Relation.fold
+          (fun acc row ->
+            let p = Option.get (Value.to_float row.(Array.length row - 1)) in
+            acc && p > 0.0 && p <= 1.0 +. 1e-9)
+          true rel)
+
+let prop_consistent_subset =
+  QCheck.Test.make ~count:80 ~name:"consistent answers are the prob-1 answers"
+    db_and_query (fun (db, sql) ->
+      let session = Conquer.Clean.create db in
+      match Conquer.Clean.answers session sql with
+      | exception Conquer.Rewrite.Not_rewritable _ -> QCheck.assume_fail ()
+      | answers ->
+        let consistent = Conquer.Clean.consistent_answers session sql in
+        let certain =
+          Relation.fold
+            (fun acc row ->
+              let p = Option.get (Value.to_float row.(Array.length row - 1)) in
+              if p >= 1.0 -. 1e-9 then acc + 1 else acc)
+            0 answers
+        in
+        Relation.cardinality consistent = certain)
+
+(* ---- probability assignment invariants ---- *)
+
+let categorical_relation_gen =
+  let* rows = QCheck.Gen.int_range 2 12 in
+  let* num_clusters = QCheck.Gen.int_range 1 4 in
+  let* data =
+    QCheck.Gen.list_size (QCheck.Gen.return rows)
+      (QCheck.Gen.pair
+         (QCheck.Gen.int_range 0 4)  (* value a *)
+         (QCheck.Gen.int_range 0 2)  (* value b *))
+  in
+  let* owners =
+    QCheck.Gen.list_size (QCheck.Gen.return rows)
+      (QCheck.Gen.int_range 0 (num_clusters - 1))
+  in
+  let schema =
+    Schema.make
+      [ ("a", Value.TString); ("b", Value.TString); ("cl", Value.TInt) ]
+  in
+  let rows =
+    List.map2
+      (fun (a, b) owner ->
+        [|
+          Value.String (Printf.sprintf "a%d" a);
+          Value.String (Printf.sprintf "b%d" b);
+          Value.Int owner;
+        |])
+      data owners
+  in
+  QCheck.Gen.return (Relation.create schema rows)
+
+let categorical_relation =
+  QCheck.make ~print:(fun rel -> Relation.to_string rel) categorical_relation_gen
+
+let prop_assignment_invariants =
+  QCheck.Test.make ~count:200 ~name:"Figure 5 probabilities are a distribution"
+    categorical_relation (fun rel ->
+      let clustering = Cluster.of_relation rel ~id_attr:"cl" in
+      let r = Prob.Assign.run ~attrs:[ "a"; "b" ] rel clustering in
+      let ok_range =
+        Array.for_all (fun p -> p >= -1e-9 && p <= 1.0 +. 1e-9) r.probabilities
+      in
+      let ok_sums =
+        Cluster.fold
+          (fun _ members acc ->
+            let sum =
+              List.fold_left (fun s i -> s +. r.probabilities.(i)) 0.0 members
+            in
+            acc && Float.abs (sum -. 1.0) <= 1e-6)
+          clustering true
+      in
+      let ok_singletons =
+        Cluster.fold
+          (fun _ members acc ->
+            match members with
+            | [ i ] -> acc && Float.abs (r.probabilities.(i) -. 1.0) <= 1e-9
+            | _ -> acc)
+          clustering true
+      in
+      ok_range && ok_sums && ok_singletons)
+
+(* ---- information-theory invariants ---- *)
+
+let dist_gen =
+  let* n = QCheck.Gen.int_range 1 6 in
+  let* masses =
+    QCheck.Gen.list_size (QCheck.Gen.return n) (QCheck.Gen.float_range 0.05 1.0)
+  in
+  let total = List.fold_left ( +. ) 0.0 masses in
+  QCheck.Gen.return
+    (Infotheory.Dist.of_assoc (List.mapi (fun i m -> (i, m /. total)) masses))
+
+let dist_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a / %a" Infotheory.Dist.pp a Infotheory.Dist.pp b)
+    (QCheck.Gen.pair dist_gen dist_gen)
+
+let prop_js_nonneg_symmetric =
+  QCheck.Test.make ~count:300 ~name:"JS divergence nonneg and symmetric"
+    dist_pair (fun (a, b) ->
+      let ab = Infotheory.Dist.js_divergence a b in
+      let ba = Infotheory.Dist.js_divergence b a in
+      ab >= -1e-12 && Float.abs (ab -. ba) <= 1e-9)
+
+let prop_merge_loss_consistent =
+  QCheck.Test.make ~count:300
+    ~name:"DCF information loss = direct MI difference" dist_pair
+    (fun (a, b) ->
+      let da = Infotheory.Dcf.make ~weight:2.0 a in
+      let db_ = Infotheory.Dcf.make ~weight:3.0 b in
+      let total = 8.0 in
+      let rest = [ Infotheory.Dcf.make ~weight:3.0 (Infotheory.Dist.uniform [ 100; 101 ]) ] in
+      let direct = Infotheory.Mutual_info.merge_loss ~total da db_ ~rest in
+      let shortcut = Infotheory.Dcf.information_loss ~total da db_ in
+      Float.abs (direct -. shortcut) <= 1e-9)
+
+let prop_entropy_bounds =
+  QCheck.Test.make ~count:300 ~name:"0 <= H(p) <= log2 |support|"
+    (QCheck.make ~print:(Format.asprintf "%a" Infotheory.Dist.pp) dist_gen)
+    (fun d ->
+      let h = Infotheory.Dist.entropy d in
+      let n = float_of_int (Infotheory.Dist.support_size d) in
+      h >= -1e-12 && h <= (Float.log n /. Float.log 2.0) +. 1e-9)
+
+(* ---- engine metamorphic properties ---- *)
+
+let prop_pushdown_equivalence =
+  QCheck.Test.make ~count:100 ~name:"selection pushdown preserves results"
+    db_and_query (fun (db, sql) ->
+      let session = Conquer.Clean.create db in
+      let engine = Conquer.Clean.engine session in
+      let a = Engine.Database.query engine sql in
+      let b =
+        Engine.Database.query
+          ~config:{ Engine.Planner.default_config with pushdown = false }
+          engine sql
+      in
+      Relation.equal_as_bags a b)
+
+let prop_index_equivalence =
+  QCheck.Test.make ~count:100 ~name:"index joins preserve results"
+    db_and_query (fun (db, sql) ->
+      let session = Conquer.Clean.create db in
+      let engine = Conquer.Clean.engine session in
+      let a = Engine.Database.query engine sql in
+      let b =
+        Engine.Database.query
+          ~config:{ Engine.Planner.default_config with use_indexes = false }
+          engine sql
+      in
+      Relation.equal_as_bags a b)
+
+let prop_distinct_idempotent =
+  QCheck.Test.make ~count:100 ~name:"distinct is idempotent"
+    categorical_relation (fun rel ->
+      let d = Relation.distinct rel in
+      Relation.equal_as_bags d (Relation.distinct d))
+
+(* ---- SQL printer/parser round trip ---- *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  let literal =
+    oneof
+      [
+        map (fun i -> Sql.Ast.lit_int i) (int_range (-100) 100);
+        map (fun f -> Sql.Ast.lit_float f) (float_range (-10.0) 10.0);
+        map (fun s -> Sql.Ast.lit_string s) (oneofl [ "x"; "it's"; "a b" ]);
+        return (Sql.Ast.Lit Dirty.Value.Null);
+        return (Sql.Ast.Lit (Dirty.Value.Bool true));
+      ]
+  in
+  let column = map (fun n -> Sql.Ast.col n) (oneofl [ "a"; "b"; "t.c" ]) in
+  (* qualified references are generated via the column table field *)
+  let column =
+    oneof
+      [ column; return (Sql.Ast.Col { table = Some "t"; name = "c" }) ]
+  in
+  let leaf = oneof [ literal; column ] in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      let sub = node (depth - 1) in
+      oneof
+        [
+          leaf;
+          map2
+            (fun op (a, b) -> Sql.Ast.Binop (op, a, b))
+            (oneofl
+               Sql.Ast.[ Eq; Neq; Lt; Le; Gt; Ge; Add; Sub; Mul; Div; And; Or ])
+            (pair sub sub);
+          map (fun a -> Sql.Ast.Unop (Not, a)) sub;
+          map (fun a -> Sql.Ast.Unop (Neg, a)) sub;
+          map2 (fun a p -> Sql.Ast.Like (a, p)) sub (oneofl [ "x%"; "_y" ]);
+          map
+            (fun a -> Sql.Ast.In_list (a, [ Dirty.Value.Int 1; Dirty.Value.String "z" ]))
+            sub;
+          map3 (fun a b c -> Sql.Ast.Between (a, b, c)) sub sub sub;
+          map (fun a -> Sql.Ast.Is_null a) sub;
+          map (fun a -> Sql.Ast.Is_not_null a) sub;
+        ]
+  in
+  node 3
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"pretty |> parse is the identity on exprs"
+    (QCheck.make ~print:Sql.Pretty.expr_to_string expr_gen)
+    (fun e ->
+      let printed = Sql.Pretty.expr_to_string e in
+      match Sql.Parser.parse_expr printed with
+      | reparsed ->
+        (* floats may differ in the final digit through printing; use
+           the printer as the normal form *)
+        Sql.Pretty.expr_to_string reparsed = printed
+      | exception Sql.Parser.Error msg ->
+        QCheck.Test.fail_reportf "failed to reparse %S: %s" printed msg)
+
+(* ---- expected aggregates vs oracle ---- *)
+
+let prop_expected_equals_oracle =
+  QCheck.Test.make ~count:80 ~name:"expected aggregates = oracle expectations"
+    db_and_query (fun (db, _) ->
+      let session = Conquer.Clean.create db in
+      let sql = "select id, count(*), sum(val) from parent group by id" in
+      let fast = Conquer.Expected.answers session sql in
+      let slow = Conquer.Expected.answers_oracle session sql in
+      Relation.cardinality fast = Relation.cardinality slow
+      && Relation.fold
+           (fun acc row ->
+             acc
+             &&
+             match
+               List.find_opt
+                 (fun r -> Value.equal r.(0) row.(0))
+                 (Relation.row_list slow)
+             with
+             | None -> false
+             | Some r ->
+               let close i =
+                 match Value.to_float row.(i), Value.to_float r.(i) with
+                 | Some a, Some b -> Float.abs (a -. b) <= 1e-9
+                 | _ -> false
+               in
+               close 1 && close 2)
+           true fast)
+
+(* ---- count distribution vs oracle ---- *)
+
+let prop_distribution_equals_oracle =
+  QCheck.Test.make ~count:60 ~name:"count pmf = oracle pmf"
+    db_and_query (fun (db, _) ->
+      let session = Conquer.Clean.create db in
+      let sql = "select id from parent where val < 5" in
+      let fast = Conquer.Distribution.count_distribution session sql in
+      let slow = Conquer.Distribution.count_distribution_oracle session sql in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i p ->
+             let q = if i < Array.length fast then fast.(i) else 0.0 in
+             Float.abs (p -. q) <= 1e-9)
+           slow))
+
+(* ---- rewritten query cardinality vs original ---- *)
+
+let prop_rewriting_groups =
+  QCheck.Test.make ~count:100
+    ~name:"rewritten cardinality never exceeds the original"
+    db_and_query (fun (db, sql) ->
+      let session = Conquer.Clean.create db in
+      match Conquer.Clean.answers session sql with
+      | exception Conquer.Rewrite.Not_rewritable _ -> QCheck.assume_fail ()
+      | rewritten ->
+        let original = Conquer.Clean.original session sql in
+        Relation.cardinality rewritten <= Relation.cardinality original)
+
+let () =
+  let suite name tests =
+    (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+  in
+  Alcotest.run "properties"
+    [
+      suite "oracle"
+        [
+          prop_rewriting_equals_oracle;
+          prop_oracle_mass_bounded;
+          prop_consistent_subset;
+          prop_rewriting_groups;
+        ];
+      suite "assignment" [ prop_assignment_invariants ];
+      suite "sql" [ prop_pretty_parse_roundtrip ];
+      suite "extensions"
+        [ prop_expected_equals_oracle; prop_distribution_equals_oracle ];
+      suite "infotheory"
+        [ prop_js_nonneg_symmetric; prop_merge_loss_consistent; prop_entropy_bounds ];
+      suite "engine"
+        [ prop_pushdown_equivalence; prop_index_equivalence; prop_distinct_idempotent ];
+    ]

@@ -1,0 +1,217 @@
+(* Tests for the Monte-Carlo sampler (non-rewritable queries) and the
+   SUM-moment computations. *)
+
+open Dirty
+
+let v_s s = Value.String s
+
+let session () = Conquer.Clean.create (Fixtures.figure2_db ())
+
+(* ---- sampling candidates ---- *)
+
+let test_sample_candidate_shape () =
+  let db = Fixtures.figure2_db () in
+  let rng = Random.State.make [| 1 |] in
+  let sampled = Conquer.Sampler.sample_candidate rng db in
+  Alcotest.(check int) "two tables" 2 (List.length sampled);
+  List.iter
+    (fun (name, rel) ->
+      let table = Dirty_db.find_table db name in
+      Alcotest.(check int)
+        (name ^ ": one row per cluster")
+        (Cluster.num_clusters table.clustering)
+        (Relation.cardinality rel))
+    sampled
+
+let test_sample_candidate_frequencies () =
+  (* the o2 cluster is a fair coin: both tuples should appear in
+     roughly half the samples *)
+  let db = Fixtures.figure2_db () in
+  let rng = Random.State.make [| 2 |] in
+  let n = 2000 in
+  let t2 = ref 0 in
+  for _ = 1 to n do
+    let sampled = Conquer.Sampler.sample_candidate rng db in
+    let orders = List.assoc "orders" sampled in
+    Relation.iter
+      (fun row ->
+        if Value.equal row.(0) (v_s "o2") && Value.equal row.(1) (Value.Int 12)
+        then incr t2)
+      orders
+  done;
+  let freq = float_of_int !t2 /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "t2 frequency %.3f near 0.5" freq)
+    true
+    (freq > 0.45 && freq < 0.55)
+
+(* ---- estimates on the running example ---- *)
+
+let test_sampler_on_example7 () =
+  (* q3 is outside the rewritable class; the sampler estimates its true
+     clean answer (c1, 0.3) without candidate enumeration *)
+  let s = session () in
+  let result = Conquer.Sampler.answers ~seed:7 ~samples:4000 s Fixtures.q3 in
+  match Fixtures.answer_prob result [ v_s "c1" ] with
+  | None -> Alcotest.fail "c1 not estimated"
+  | Some _ ->
+    (* the probability column is second-to-last here (std_error last);
+       recompute from the row *)
+    let row = Relation.get result 0 in
+    let p = Option.get (Value.to_float row.(1)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "estimate %.3f near 0.3" p)
+      true
+      (Float.abs (p -. 0.3) < 0.03);
+    let se = Option.get (Value.to_float row.(2)) in
+    Alcotest.(check bool) "standard error sane" true (se > 0.0 && se < 0.02)
+
+let test_sampler_matches_rewriting () =
+  (* on a rewritable query the estimates converge to the exact clean
+     probabilities *)
+  let s = session () in
+  let exact = Conquer.Clean.answers s Fixtures.q2 in
+  let sampled = Conquer.Sampler.answers ~seed:11 ~samples:4000 s Fixtures.q2 in
+  Relation.iter
+    (fun row ->
+      let key = [ row.(0); row.(1) ] in
+      let p_exact = Option.get (Fixtures.answer_prob exact key) in
+      let matching =
+        List.find
+          (fun r -> Value.equal r.(0) row.(0) && Value.equal r.(1) row.(1))
+          (Relation.row_list sampled)
+      in
+      let p_est = Option.get (Value.to_float matching.(2)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %.3f near exact %.3f" p_est p_exact)
+        true
+        (Float.abs (p_est -. p_exact) < 0.04))
+    exact
+
+let test_sampler_deterministic_by_seed () =
+  let s = session () in
+  let a = Conquer.Sampler.estimates ~seed:3 ~samples:200 s Fixtures.q1 in
+  let b = Conquer.Sampler.estimates ~seed:3 ~samples:200 s Fixtures.q1 in
+  Alcotest.(check int) "same support" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Conquer.Sampler.estimate) (y : Conquer.Sampler.estimate) ->
+      Fixtures.check_float "same estimate" x.probability y.probability)
+    a b
+
+let test_sampler_rejects_zero_samples () =
+  let s = session () in
+  match Conquer.Sampler.estimates ~samples:0 s Fixtures.q1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "samples=0 accepted"
+
+let test_sampler_certain_answer () =
+  let s = session () in
+  let ests = Conquer.Sampler.estimates ~seed:5 ~samples:300 s Fixtures.q1 in
+  (* c1 qualifies in every candidate: estimate exactly 1, stderr 0 *)
+  let c1 =
+    List.find (fun (e : Conquer.Sampler.estimate) -> Value.equal e.row.(0) (v_s "c1")) ests
+  in
+  Fixtures.check_float "certain estimate" 1.0 c1.probability;
+  Fixtures.check_float "zero stderr" 0.0 c1.std_error;
+  Alcotest.(check int) "present in all samples" 300 c1.occurrences
+
+(* ---- SUM moments ---- *)
+
+let test_sum_moments_hand_computed () =
+  let s = session () in
+  let m =
+    Conquer.Distribution.sum_moments s
+      "select sum(balance) from customer where balance > 10000"
+  in
+  (* E = 20000*.7 + 30000*.3 + 27000*.2 = 28400.
+     Cluster c1: E[X] = 23000 (balance always qualifies), E[X^2] =
+     .7*20000^2+.3*30000^2 = 5.5e8; Var_c1 = 5.5e8 - 5.29e8 = 2.1e7.
+     Cluster c2: E[X] = 5400, E[X^2] = .2*27000^2 = 1.458e8;
+     Var_c2 = 1.458e8 - 2.916e7 = 1.1664e8. *)
+  Fixtures.check_float "mean" 28_400.0 m.mean;
+  Fixtures.check_float ~eps:1e-3 "variance" (2.1e7 +. 1.1664e8) m.variance;
+  Fixtures.check_float ~eps:1e-6 "std dev" (Float.sqrt m.variance) m.std_dev
+
+let test_sum_moments_match_expected () =
+  let s = session () in
+  let m =
+    Conquer.Distribution.sum_moments s "select sum(balance) from customer"
+  in
+  let e =
+    Conquer.Expected.answers s "select sum(balance) from customer"
+  in
+  Fixtures.check_float "mean agrees with E[SUM]"
+    (Option.get (Value.to_float (Relation.get e 0).(0)))
+    m.mean
+
+let test_sum_moments_oracle () =
+  (* brute-force over the 8 candidates of the figure 2 database *)
+  let s = session () in
+  let db = Fixtures.figure2_db () in
+  let sql = "select sum(balance) from customer where balance > 25000" in
+  let m = Conquer.Distribution.sum_moments s sql in
+  let q = Sql.Parser.parse_query sql in
+  let engine = Engine.Database.create () in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Engine.Database.add_relation engine ~name:t.name t.relation)
+    (Dirty_db.tables db);
+  let plan = Engine.Database.plan engine q in
+  let mean = ref 0.0 and second = ref 0.0 in
+  Conquer.Candidates.fold db
+    (fun () sel prob ->
+      List.iter
+        (fun (name, rel) -> Engine.Database.add_relation engine ~name rel)
+        (Conquer.Candidates.candidate_relations db sel);
+      let result = Engine.Database.run_plan engine plan in
+      let v =
+        Option.value ~default:0.0 (Value.to_float (Relation.get result 0).(0))
+      in
+      mean := !mean +. (prob *. v);
+      second := !second +. (prob *. v *. v))
+    ();
+  Fixtures.check_float ~eps:1e-6 "mean matches oracle" !mean m.mean;
+  Fixtures.check_float ~eps:1e-3 "variance matches oracle"
+    (!second -. (!mean *. !mean))
+    m.variance
+
+let test_sum_moments_rejections () =
+  let s = session () in
+  (match
+     Conquer.Distribution.sum_moments s
+       "select sum(o.quantity) from orders o, customer c where o.cidfk = c.id"
+   with
+  | exception Conquer.Distribution.Not_supported _ -> ()
+  | _ -> Alcotest.fail "join accepted");
+  match Conquer.Distribution.sum_moments s "select id from customer" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-sum select accepted"
+
+let () =
+  Alcotest.run "sampler"
+    [
+      ( "candidate sampling",
+        [
+          Alcotest.test_case "shape" `Quick test_sample_candidate_shape;
+          Alcotest.test_case "frequencies" `Quick test_sample_candidate_frequencies;
+        ] );
+      ( "estimates",
+        [
+          Alcotest.test_case "example 7 estimated" `Quick test_sampler_on_example7;
+          Alcotest.test_case "matches the rewriting" `Quick
+            test_sampler_matches_rewriting;
+          Alcotest.test_case "seed determinism" `Quick
+            test_sampler_deterministic_by_seed;
+          Alcotest.test_case "zero samples rejected" `Quick
+            test_sampler_rejects_zero_samples;
+          Alcotest.test_case "certain answers" `Quick test_sampler_certain_answer;
+        ] );
+      ( "sum moments",
+        [
+          Alcotest.test_case "hand-computed" `Quick test_sum_moments_hand_computed;
+          Alcotest.test_case "matches E[SUM]" `Quick
+            test_sum_moments_match_expected;
+          Alcotest.test_case "oracle" `Quick test_sum_moments_oracle;
+          Alcotest.test_case "rejections" `Quick test_sum_moments_rejections;
+        ] );
+    ]

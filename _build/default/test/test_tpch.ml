@@ -1,0 +1,487 @@
+(* Tests for the TPC-H workload substrate: generator invariants, the
+   13 queries, identifier propagation, and the Cora study. *)
+
+open Dirty
+
+let small_config = { Tpch.Datagen.default with sf = 0.02; inconsistency = 3; seed = 11 }
+
+let db = lazy (Tpch.Datagen.generate small_config)
+
+(* ---- generator invariants ---- *)
+
+let test_generated_db_valid () =
+  Alcotest.(check (list string)) "valid dirty database" []
+    (Dirty_db.validate (Lazy.force db))
+
+let test_all_tables_present () =
+  Alcotest.(check (list string)) "eight tables"
+    [ "customer"; "lineitem"; "nation"; "orders"; "part"; "partsupp"; "region"; "supplier" ]
+    (Dirty_db.table_names (Lazy.force db))
+
+let test_cluster_sizes_bounded () =
+  let db = Lazy.force db in
+  let max_allowed = (2 * small_config.inconsistency) - 1 in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      let m = Cluster.max_cluster_size t.clustering in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s max cluster size %d <= %d" t.name m max_allowed)
+        true (m <= max_allowed))
+    (Dirty_db.tables db)
+
+let test_clean_db_when_if_1 () =
+  let clean =
+    Tpch.Datagen.generate { small_config with inconsistency = 1 }
+  in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Alcotest.(check int)
+        (t.name ^ " all singletons")
+        (Relation.cardinality t.relation)
+        (Cluster.num_clusters t.clustering))
+    (Dirty_db.tables clean)
+
+let test_rowids_unique () =
+  let db = Lazy.force db in
+  List.iter
+    (fun (spec : Tpch.Schema.table_spec) ->
+      match spec.rowid_attr with
+      | None -> ()
+      | Some rowid ->
+        let t = Dirty_db.find_table db spec.name in
+        let col = Relation.column t.relation rowid in
+        let seen = Hashtbl.create 64 in
+        Array.iter
+          (fun v ->
+            let k = Value.to_string v in
+            if Hashtbl.mem seen k then
+              Alcotest.failf "%s: duplicate rowid %s" spec.name k;
+            Hashtbl.replace seen k ())
+          col)
+    Tpch.Schema.all
+
+let test_scaling_monotone () =
+  let small = Tpch.Datagen.total_rows (Tpch.Datagen.generate { small_config with sf = 0.02 }) in
+  let bigger = Tpch.Datagen.total_rows (Tpch.Datagen.generate { small_config with sf = 0.08 }) in
+  Alcotest.(check bool) "more sf, more rows" true (bigger > 2 * small)
+
+let test_inconsistency_changes_clusters_not_size () =
+  (* sf fixes the database size; if only changes the cluster sizes *)
+  let base = { small_config with sf = 0.3 } in
+  let low = Tpch.Datagen.generate { base with inconsistency = 1 } in
+  let high = Tpch.Datagen.generate { base with inconsistency = 5 } in
+  let mean db =
+    let t = Dirty_db.find_table db "lineitem" in
+    Cluster.mean_cluster_size t.clustering
+  in
+  Alcotest.(check bool) "higher if, larger clusters" true
+    (mean high > 2.0 *. mean low);
+  let rows_low = Tpch.Datagen.total_rows low
+  and rows_high = Tpch.Datagen.total_rows high in
+  let ratio = float_of_int rows_high /. float_of_int rows_low in
+  Alcotest.(check bool)
+    (Printf.sprintf "row counts comparable (ratio %.2f)" ratio)
+    true
+    (ratio > 0.4 && ratio < 2.5)
+
+let test_deterministic_by_seed () =
+  let a = Tpch.Datagen.generate small_config in
+  let b = Tpch.Datagen.generate small_config in
+  List.iter2
+    (fun (ta : Dirty_db.table) (tb : Dirty_db.table) ->
+      Alcotest.(check bool)
+        (ta.name ^ " reproducible")
+        true
+        (Relation.equal_as_bags ta.relation tb.relation))
+    (Dirty_db.tables a) (Dirty_db.tables b)
+
+let test_foreign_keys_resolve () =
+  let db = Lazy.force db in
+  let ids name attr =
+    let t = Dirty_db.find_table db name in
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun v -> Hashtbl.replace seen (Value.to_string v) ())
+      (Relation.column t.relation attr);
+    seen
+  in
+  let check_fk src attr target target_id =
+    let targets = ids target target_id in
+    let t = Dirty_db.find_table db src in
+    Array.iter
+      (fun v ->
+        if not (Hashtbl.mem targets (Value.to_string v)) then
+          Alcotest.failf "%s.%s = %s has no target in %s" src attr
+            (Value.to_string v) target)
+      (Relation.column t.relation attr)
+  in
+  check_fk "orders" "o_custkey" "customer" "c_custkey";
+  check_fk "lineitem" "l_orderkey" "orders" "o_orderkey";
+  check_fk "lineitem" "l_psid" "partsupp" "ps_id";
+  check_fk "partsupp" "ps_partkey" "part" "p_partkey";
+  check_fk "partsupp" "ps_suppkey" "supplier" "s_suppkey";
+  check_fk "customer" "c_nationkey" "nation" "n_nationkey";
+  check_fk "nation" "n_regionkey" "region" "r_regionkey"
+
+(* ---- propagation round-trip ---- *)
+
+let test_propagate_all_is_consistent () =
+  (* the generator emits propagated fks directly; re-running the
+     propagation from the raw fks must reproduce them *)
+  let db = Lazy.force db in
+  let before =
+    List.map (fun (t : Dirty_db.table) -> (t.name, t.relation)) (Dirty_db.tables db)
+  in
+  let after = Tpch.Datagen.propagate_all db in
+  List.iter
+    (fun (name, rel) ->
+      let rel' = (Dirty_db.find_table after name).relation in
+      Alcotest.(check bool) (name ^ " unchanged by re-propagation") true
+        (Relation.equal_as_bags rel rel'))
+    before
+
+(* ---- probability assignment on generated data ---- *)
+
+let test_assign_probabilities_valid () =
+  let db = Tpch.Datagen.assign_probabilities (Lazy.force db) in
+  Alcotest.(check (list string)) "valid after assignment" []
+    (Dirty_db.validate db)
+
+(* ---- the 13 queries ---- *)
+
+let session = lazy (Conquer.Clean.create (Lazy.force db))
+
+let test_all_queries_rewritable () =
+  let s = Lazy.force session in
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      match Conquer.Clean.check s q.sql with
+      | Ok _ -> ()
+      | Error vs ->
+        Alcotest.failf "Q%d not rewritable: %s" q.qid
+          (String.concat "; "
+             (List.map Conquer.Rewritable.violation_to_string vs)))
+    Tpch.Queries.all
+
+let test_all_queries_run () =
+  let s = Lazy.force session in
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      let original = Conquer.Clean.original s q.sql in
+      let rewritten = Conquer.Clean.answers s q.sql in
+      (* each clean answer's probability lies in (0, 1] *)
+      let prob_idx =
+        Schema.index_of (Relation.schema rewritten) Conquer.Rewrite.prob_column
+      in
+      Relation.iter
+        (fun row ->
+          match Value.to_float row.(prob_idx) with
+          | Some p ->
+            if p <= 0.0 || p > 1.0 +. 1e-9 then
+              Alcotest.failf "Q%d probability %f out of range" q.qid p
+          | None -> Alcotest.failf "Q%d non-numeric probability" q.qid)
+        rewritten;
+      (* grouping can only reduce cardinality *)
+      Alcotest.(check bool)
+        (Printf.sprintf "Q%d |rewritten| <= |original|" q.qid)
+        true
+        (Relation.cardinality rewritten <= Relation.cardinality original))
+    Tpch.Queries.all
+
+let test_query_count () =
+  Alcotest.(check int) "thirteen queries" 13 (List.length Tpch.Queries.all);
+  Alcotest.(check (list int)) "the paper's numbers"
+    [ 1; 2; 3; 4; 6; 9; 10; 11; 12; 14; 17; 18; 20 ]
+    (List.map (fun (q : Tpch.Queries.query) -> q.qid) Tpch.Queries.all)
+
+let test_q3_no_order_by_same_rows () =
+  let s = Lazy.force session in
+  let with_ob = Conquer.Clean.answers s (Tpch.Queries.find 3).sql in
+  let without = Conquer.Clean.answers s Tpch.Queries.q3_no_order_by.sql in
+  Alcotest.(check bool) "same bag of answers" true
+    (Relation.equal_as_bags with_ob without)
+
+let test_q18_original_form () =
+  (* the genuine Q18 (with its IN/HAVING subquery) runs on the engine,
+     is rejected by the Dfn 7 checker, and is answerable by sampling *)
+  let s = Lazy.force session in
+  let q = Tpch.Queries.q18_original_form in
+  let direct = Conquer.Clean.original s q.sql in
+  Alcotest.(check bool) "engine evaluates the subquery" true
+    (Relation.cardinality direct >= 0);
+  (match Conquer.Clean.check s q.sql with
+  | Ok _ -> Alcotest.fail "subquery form must not be rewritable"
+  | Error vs ->
+    Alcotest.(check bool) "rejected as non-SPJ" true
+      (List.exists
+         (function Conquer.Rewritable.Not_spj _ -> true | _ -> false)
+         vs));
+  let sampled = Conquer.Sampler.answers ~seed:2 ~samples:30 s q.sql in
+  let prob_idx =
+    Schema.index_of (Relation.schema sampled) Conquer.Rewrite.prob_column
+  in
+  Relation.iter
+    (fun row ->
+      let p = Option.get (Value.to_float row.(prob_idx)) in
+      Alcotest.(check bool) "estimates in (0,1]" true (p > 0.0 && p <= 1.0))
+    sampled
+
+let test_clean_database_rewriting_is_identity_like () =
+  (* on a clean database (if = 1) every clean answer has probability 1 *)
+  let clean = Tpch.Datagen.generate { small_config with inconsistency = 1 } in
+  let s = Conquer.Clean.create clean in
+  let q = Tpch.Queries.find 6 in
+  let rewritten = Conquer.Clean.answers s q.sql in
+  let prob_idx =
+    Schema.index_of (Relation.schema rewritten) Conquer.Rewrite.prob_column
+  in
+  Relation.iter
+    (fun row ->
+      match Value.to_float row.(prob_idx) with
+      | Some p -> Fixtures.check_float "certain answer" 1.0 p
+      | None -> Alcotest.fail "non-numeric probability")
+    rewritten;
+  let original = Conquer.Clean.original s q.sql in
+  Alcotest.(check int) "same cardinality as original"
+    (Relation.cardinality original)
+    (Relation.cardinality rewritten)
+
+(* ---- .tbl loading and dirtify ---- *)
+
+let write_tbl dir name lines =
+  let oc = open_out (Filename.concat dir (name ^ ".tbl")) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let with_tbl_dir f =
+  let dir = Filename.temp_file "tpch" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      write_tbl dir "region" [ "0|AMERICA|comment|" ];
+      write_tbl dir "nation" [ "0|CANADA|0|comment|" ];
+      write_tbl dir "supplier" [ "1|Supplier#1|addr one|0|11-123|100.50|c|" ];
+      write_tbl dir "part"
+        [ "1|green copper|Mfgr#1|Brand#12|STANDARD TIN|7|SM BOX|901.00|c|" ];
+      write_tbl dir "partsupp" [ "1|1|500|10.25|c|" ];
+      write_tbl dir "customer"
+        [
+          "1|Customer#1|someplace|0|11-999|3000.00|BUILDING|c|";
+          "2|Customer#2|elsewhere|0|11-888|-50.00|AUTOMOBILE|c|";
+        ];
+      write_tbl dir "orders"
+        [
+          "10|1|O|1000.00|1995-01-15|1-URGENT|Clerk#1|0|c|";
+          "11|2|F|2000.00|1996-06-01|5-LOW|Clerk#2|0|c|";
+        ];
+      write_tbl dir "lineitem"
+        [
+          "10|1|1|1|17|17000.00|0.04|0.02|N|O|1995-02-01|1995-02-10|1995-02-20|NONE|AIR|c|";
+          "11|1|1|1|3|3000.00|0.00|0.00|R|F|1996-06-10|1996-06-15|1996-06-20|NONE|MAIL|c|";
+        ];
+      f dir)
+
+let test_tbl_parse_line () =
+  Alcotest.(check (list string)) "trailing separator" [ "1"; "x"; "y" ]
+    (Tpch.Tbl.parse_line "1|x|y|");
+  Alcotest.(check (list string)) "no trailing separator" [ "1"; "x" ]
+    (Tpch.Tbl.parse_line "1|x")
+
+let test_tbl_load_dir () =
+  with_tbl_dir (fun dir ->
+      let db = Tpch.Tbl.load_dir dir in
+      Alcotest.(check (list string)) "validates clean" [] (Dirty_db.validate db);
+      let customer = Dirty_db.find_table db "customer" in
+      Alcotest.(check int) "two customers" 2
+        (Relation.cardinality customer.relation);
+      Alcotest.(check int) "singleton clusters" 2
+        (Cluster.num_clusters customer.clustering);
+      (* queries run over the loaded data *)
+      let s = Conquer.Clean.create db in
+      let r =
+        Conquer.Clean.answers s
+          "select l_id, o_orderkey from lineitem, orders \
+           where l_orderkey = o_orderkey"
+      in
+      Alcotest.(check int) "join works" 2 (Relation.cardinality r))
+
+let test_tbl_lineitem_psid_linked () =
+  with_tbl_dir (fun dir ->
+      let db = Tpch.Tbl.load_dir dir in
+      let s = Conquer.Clean.create db in
+      let r =
+        Conquer.Clean.answers s
+          "select l_id, ps_supplycost from lineitem, partsupp \
+           where l_psid = ps_id"
+      in
+      Alcotest.(check int) "partsupp link resolves" 2 (Relation.cardinality r))
+
+let test_dirtify () =
+  with_tbl_dir (fun dir ->
+      let clean = Tpch.Tbl.load_dir dir in
+      let dirty =
+        Tpch.Datagen.dirtify
+          ~config:{ Tpch.Datagen.default with inconsistency = 4; seed = 9 }
+          clean
+      in
+      Alcotest.(check (list string)) "still a valid dirty db" []
+        (Dirty_db.validate dirty);
+      let customer = Dirty_db.find_table dirty "customer" in
+      (* same entities, more rows *)
+      Alcotest.(check int) "entities preserved" 2
+        (Cluster.num_clusters customer.clustering);
+      Alcotest.(check bool) "duplicates injected" true
+        (Relation.cardinality customer.relation >= 2);
+      (* lookup tables untouched *)
+      let region = Dirty_db.find_table dirty "region" in
+      Alcotest.(check int) "region untouched" 1
+        (Relation.cardinality region.relation);
+      (* identifiers and fks are preserved, so joins still resolve *)
+      let s = Conquer.Clean.create dirty in
+      let r =
+        Conquer.Clean.answers s
+          "select l_id, o_orderkey from lineitem, orders \
+           where l_orderkey = o_orderkey"
+      in
+      Alcotest.(check bool) "join non-empty" true (Relation.cardinality r > 0);
+      (* every answer's probability is a valid probability *)
+      let prob_idx =
+        Schema.index_of (Relation.schema r) Conquer.Rewrite.prob_column
+      in
+      Relation.iter
+        (fun row ->
+          let p = Option.get (Value.to_float row.(prob_idx)) in
+          Alcotest.(check bool) "probability in (0,1]" true (p > 0.0 && p <= 1.0 +. 1e-9))
+        r)
+
+let test_dirtify_rowids_stay_unique () =
+  with_tbl_dir (fun dir ->
+      let dirty =
+        Tpch.Datagen.dirtify
+          ~config:{ Tpch.Datagen.default with inconsistency = 3; seed = 4 }
+          (Tpch.Tbl.load_dir dir)
+      in
+      List.iter
+        (fun (spec : Tpch.Schema.table_spec) ->
+          match spec.rowid_attr with
+          | None -> ()
+          | Some rowid -> (
+            match Dirty_db.find_table_opt dirty spec.name with
+            | None -> ()
+            | Some t ->
+              let seen = Hashtbl.create 16 in
+              Array.iter
+                (fun v ->
+                  let k = Value.to_string v in
+                  if Hashtbl.mem seen k then
+                    Alcotest.failf "%s: duplicate rowid %s" spec.name k;
+                  Hashtbl.replace seen k ())
+                (Relation.column t.relation rowid)))
+        Tpch.Schema.all)
+
+(* ---- Cora (Table 4) ---- *)
+
+let test_cora_structure () =
+  let g = Tpch.Cora.generate Tpch.Cora.default in
+  Alcotest.(check int) "56 tuples" 56 (Relation.cardinality g.relation);
+  Alcotest.(check int) "single cluster" 1 (Cluster.num_clusters g.clustering);
+  Alcotest.(check bool) "has canonical rows" true (g.canonical_rows <> []);
+  Alcotest.(check bool) "has variant rows" true (g.variant_rows <> []);
+  Alcotest.(check bool) "foreign row planted" true (Option.is_some g.foreign_row)
+
+let test_cora_probabilities_sum () =
+  let g = Tpch.Cora.generate Tpch.Cora.default in
+  let ranking = Tpch.Cora.ranking g in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 ranking in
+  Fixtures.check_float ~eps:1e-6 "sums to 1" 1.0 total
+
+let test_cora_ranking_table4 () =
+  let g = Tpch.Cora.generate Tpch.Cora.default in
+  let ranking = Tpch.Cora.ranking g in
+  (* Table 4's claim: the most likely tuple carries the most frequent
+     values (a canonical row); the least likely tuple is the
+     mis-clustered one *)
+  (match ranking with
+  | (top, _) :: _ ->
+    Alcotest.(check bool) "top is canonical" true
+      (List.mem top g.canonical_rows)
+  | [] -> Alcotest.fail "empty ranking");
+  let bottom, _ = List.nth ranking (List.length ranking - 1) in
+  Alcotest.(check (option int)) "bottom is the foreign tuple"
+    g.foreign_row (Some bottom)
+
+let test_cora_without_foreign () =
+  let g =
+    Tpch.Cora.generate { Tpch.Cora.default with plant_foreign = false }
+  in
+  Alcotest.(check (option int)) "no foreign row" None g.foreign_row;
+  let ranking = Tpch.Cora.ranking g in
+  (* variants rank below canonicals *)
+  let bottom, _ = List.nth ranking (List.length ranking - 1) in
+  Alcotest.(check bool) "bottom is a variant" true (List.mem bottom g.variant_rows)
+
+let () =
+  Alcotest.run "tpch"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "valid dirty db" `Quick test_generated_db_valid;
+          Alcotest.test_case "all tables" `Quick test_all_tables_present;
+          Alcotest.test_case "cluster sizes bounded" `Quick
+            test_cluster_sizes_bounded;
+          Alcotest.test_case "if=1 is clean" `Quick test_clean_db_when_if_1;
+          Alcotest.test_case "rowids unique" `Quick test_rowids_unique;
+          Alcotest.test_case "sf scaling" `Quick test_scaling_monotone;
+          Alcotest.test_case "if changes clusters not size" `Quick
+            test_inconsistency_changes_clusters_not_size;
+          Alcotest.test_case "seed determinism" `Quick test_deterministic_by_seed;
+          Alcotest.test_case "foreign keys resolve" `Quick
+            test_foreign_keys_resolve;
+        ] );
+      ( "propagation",
+        [
+          Alcotest.test_case "re-propagation consistent" `Quick
+            test_propagate_all_is_consistent;
+        ] );
+      ( "probabilities",
+        [
+          Alcotest.test_case "assignment valid" `Quick
+            test_assign_probabilities_valid;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "thirteen queries" `Quick test_query_count;
+          Alcotest.test_case "all rewritable" `Quick test_all_queries_rewritable;
+          Alcotest.test_case "all run with sane probabilities" `Quick
+            test_all_queries_run;
+          Alcotest.test_case "q3 order-by variant" `Quick
+            test_q3_no_order_by_same_rows;
+          Alcotest.test_case "q18 original subquery form" `Quick
+            test_q18_original_form;
+          Alcotest.test_case "clean db gives certainty" `Quick
+            test_clean_database_rewriting_is_identity_like;
+        ] );
+      ( "tbl loader & dirtify",
+        [
+          Alcotest.test_case "parse line" `Quick test_tbl_parse_line;
+          Alcotest.test_case "load dir" `Quick test_tbl_load_dir;
+          Alcotest.test_case "partsupp link" `Quick test_tbl_lineitem_psid_linked;
+          Alcotest.test_case "dirtify" `Quick test_dirtify;
+          Alcotest.test_case "dirtify rowids unique" `Quick
+            test_dirtify_rowids_stay_unique;
+        ] );
+      ( "cora (Table 4)",
+        [
+          Alcotest.test_case "structure" `Quick test_cora_structure;
+          Alcotest.test_case "probabilities sum" `Quick
+            test_cora_probabilities_sum;
+          Alcotest.test_case "ranking" `Quick test_cora_ranking_table4;
+          Alcotest.test_case "without foreign tuple" `Quick
+            test_cora_without_foreign;
+        ] );
+    ]
