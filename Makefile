@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples quickbench clean
+.PHONY: all build test check bench examples quickbench clean
 
 all: build
 
@@ -7,6 +7,12 @@ build:
 
 test:
 	dune runtest
+
+# everything CI runs: full build, test suite, and the examples
+check:
+	dune build @all
+	dune runtest
+	$(MAKE) examples
 
 # full evaluation harness (all tables/figures/ablations + bechamel)
 bench:

@@ -2,6 +2,7 @@
 
    Subcommands:
      query      run a query over dirty CSV tables and print clean answers
+     validate   report structured integrity diagnostics (optionally repair)
      rewrite    print RewriteClean(q) or the rewritability violations
      why        per-answer provenance: which duplicates contribute how much
      expected   expected aggregates (SUM/COUNT/AVG as expectations)
@@ -11,6 +12,10 @@
      assign     compute tuple probabilities for a clustered CSV (Figure 5)
      generate   emit a dirty TPC-H-style database as CSV files
      demo       walk through the paper's running example
+
+   Exit codes: 0 success; 2 the database has Error-severity validation
+   diagnostics (or a repair failed); 3 an execution budget was
+   exceeded; 1 other errors.
 
    '--verbose' anywhere turns on debug logging (plans, rewritten SQL). *)
 
@@ -71,11 +76,11 @@ let table_conv =
     ( parse_table_arg,
       fun fmt t -> Format.fprintf fmt "%s=%s:id=%s" t.t_name t.path t.id )
 
-let load_table (t : table_arg) =
+let load_table ?(validate = true) (t : table_arg) =
   let rel = Csv.load_file t.path in
   match t.prob with
   | Some prob_attr ->
-    Dirty_db.make_table ~name:t.t_name ~id_attr:t.id ~prob_attr rel
+    Dirty_db.make_table ~validate ~name:t.t_name ~id_attr:t.id ~prob_attr rel
   | None ->
     (* append a prob column and compute it from the clustering *)
     let schema = Relation.schema rel in
@@ -96,9 +101,9 @@ let load_table (t : table_arg) =
     in
     Prob.Assign.annotate_table ~attrs table
 
-let load_db tables =
+let load_db ?validate tables =
   List.fold_left
-    (fun db t -> Dirty_db.add_table db (load_table t))
+    (fun db t -> Dirty_db.add_table db (load_table ?validate t))
     Dirty_db.empty tables
 
 let tables_arg =
@@ -117,19 +122,147 @@ let dir_arg =
   in
   Arg.(value & opt (some dir) None & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
 
-let resolve_db tables dir =
+let load_store ?validate ~lenient d =
+  let db, warnings = Dirty.Store.load_verbose ?validate ~lenient d in
+  List.iter (fun w -> Printf.eprintf "warning: %s\n%!" w) warnings;
+  db
+
+let resolve_db ?validate ?(lenient = false) tables dir =
   match tables, dir with
   | [], None ->
     prerr_endline "specify dirty tables with --table or a database with --dir";
     exit 1
-  | [], Some d -> Dirty.Store.load d
-  | ts, None -> load_db ts
+  | [], Some d -> load_store ?validate ~lenient d
+  | ts, None -> load_db ?validate ts
   | ts, Some d ->
-    List.fold_left (fun db t -> Dirty_db.add_table db (load_table t))
-      (Dirty.Store.load d) ts
+    List.fold_left (fun db t -> Dirty_db.add_table db (load_table ?validate t))
+      (load_store ?validate ~lenient d) ts
 
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"The query.")
+
+let lenient_arg =
+  let doc =
+    "With --dir: skip corrupt or invalid tables (reported as warnings on \
+     stderr) instead of aborting the load."
+  in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Dirty.Repair.policy_of_string s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown repair policy %S (expected renormalize, clamp, \
+                  uniform, drop or fail)"
+                 s))),
+      fun fmt p ->
+        Format.pp_print_string fmt (Dirty.Repair.policy_to_string p) )
+
+let repair_arg =
+  let doc =
+    "Repair invalid clusters before answering, under POLICY: 'renormalize' \
+     (rescale to sum 1), 'clamp' (clamp into [0,1], then renormalize), \
+     'uniform' (1/n each), 'drop' (delete the cluster), or 'fail' (abort on \
+     the first problem). Applied actions are reported on stderr."
+  in
+  Arg.(
+    value & opt (some policy_conv) None
+    & info [ "repair" ] ~docv:"POLICY" ~doc)
+
+let budget_rows_arg =
+  let doc =
+    "Execution budget: abort (exit code 3) once the plan's operators have \
+     produced N rows, intermediate results included."
+  in
+  Arg.(value & opt (some int) None & info [ "budget-rows" ] ~docv:"N" ~doc)
+
+let budget_time_arg =
+  let doc =
+    "Execution budget: abort (exit code 3) after SECONDS of wall-clock \
+     execution."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "budget-time" ] ~docv:"SECONDS" ~doc)
+
+let partial_arg =
+  let doc =
+    "With a budget: degrade gracefully instead of aborting — print the \
+     partial answers produced within the budget, flagged as truncated."
+  in
+  Arg.(value & flag & info [ "partial" ] ~doc)
+
+let budget_config budget_rows budget_time =
+  if budget_rows = None && budget_time = None then None
+  else
+    Some
+      {
+        Engine.Planner.default_config with
+        max_rows = budget_rows;
+        max_elapsed = budget_time;
+      }
+
+(* validate, and either report-and-exit or repair *)
+let validate_or_repair ?(quiet_warnings = false) repair db =
+  match repair with
+  | Some policy ->
+    let db, actions = Dirty.Repair.repair_db ~policy db in
+    List.iter
+      (fun a -> Printf.eprintf "repaired: %s\n" (Dirty.Repair.action_to_string a))
+      actions;
+    db
+  | None ->
+    let diags = Dirty.Validate.db_diagnostics db in
+    List.iter
+      (fun d ->
+        if (not quiet_warnings) || Dirty.Validate.severity d = Dirty.Validate.Error
+        then prerr_endline (Dirty.Validate.to_string d))
+      diags;
+    if not (Dirty.Validate.is_clean diags) then begin
+      Printf.eprintf
+        "%d validation error(s); re-run with --repair POLICY to fix them\n"
+        (List.length (Dirty.Validate.errors diags));
+      exit 2
+    end;
+    db
+
+let handling_failures f =
+  try f () with
+  | Sys_error msg ->
+    prerr_endline msg;
+    exit 1
+  | Invalid_argument msg | Failure msg ->
+    Printf.eprintf "invalid input: %s\n" msg;
+    exit 1
+  | Sql.Parser.Error msg ->
+    Printf.eprintf "SQL parse error: %s\n" msg;
+    exit 1
+  | Engine.Planner.Plan_error msg ->
+    Printf.eprintf "planning error: %s\n" msg;
+    exit 1
+  | Engine.Exec.Exec_error msg ->
+    Printf.eprintf "execution error: %s\n" msg;
+    exit 1
+  | Conquer.Rewrite.Not_rewritable vs ->
+    prerr_endline "query is not in the rewritable class (Dfn 7):";
+    List.iter
+      (fun v -> prerr_endline ("  - " ^ Conquer.Rewritable.violation_to_string v))
+      vs;
+    exit 1
+  | Dirty.Repair.Repair_failed d ->
+    Printf.eprintf "repair failed: %s\n" (Dirty.Validate.to_string d);
+    exit 2
+  | Dirty_db.Invalid msg ->
+    Printf.eprintf "invalid dirty database: %s\n" msg;
+    exit 2
+  | Engine.Budget.Exceeded { produced; elapsed; limits } ->
+    prerr_endline (Engine.Budget.exceeded_message ~produced ~elapsed limits);
+    prerr_endline "re-run with --partial for the answers produced in budget";
+    exit 3
 
 (* ---- query ---- *)
 
@@ -143,25 +276,31 @@ let mode_conv =
     ]
 
 let query_cmd =
-  let run tables dir sql mode explain max_rows =
-    let db = resolve_db tables dir in
-    (match Dirty_db.validate db with
-    | [] -> ()
-    | problems ->
-      List.iter prerr_endline problems;
-      exit 1);
+  let run tables dir sql mode explain max_rows lenient repair budget_rows
+      budget_time partial =
+    handling_failures @@ fun () ->
+    let db = resolve_db ~validate:false ~lenient tables dir in
+    let db = validate_or_repair ~quiet_warnings:true repair db in
+    let config = budget_config budget_rows budget_time in
     let session = Conquer.Clean.create db in
     if explain then
       print_endline (Engine.Database.explain (Conquer.Clean.engine session) sql);
-    let result =
+    let result, truncated =
       match mode with
-      | Rewritten -> Conquer.Clean.answers session sql
-      | Original -> Conquer.Clean.original session sql
-      | Oracle -> Conquer.Clean.answers_oracle session sql
-      | Consistent -> Conquer.Clean.consistent_answers session sql
+      | Rewritten when partial ->
+        let { Conquer.Clean.rows; truncated } =
+          Conquer.Clean.answers_within ?config session sql
+        in
+        (rows, truncated)
+      | Rewritten -> (Conquer.Clean.answers ?config session sql, false)
+      | Original -> (Conquer.Clean.original ?config session sql, false)
+      | Oracle -> (Conquer.Clean.answers_oracle session sql, false)
+      | Consistent -> (Conquer.Clean.consistent_answers ?config session sql, false)
     in
     print_string (Relation.to_string ~max_rows result);
-    Printf.printf "(%d rows)\n" (Relation.cardinality result)
+    Printf.printf "(%d rows%s)\n"
+      (Relation.cardinality result)
+      (if truncated then ", truncated by execution budget" else "")
   in
   let mode =
     Arg.(
@@ -181,7 +320,54 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a query over dirty tables and print clean answers")
-    Term.(const run $ tables_arg $ dir_arg $ sql_arg $ mode $ explain $ max_rows)
+    Term.(
+      const run $ tables_arg $ dir_arg $ sql_arg $ mode $ explain $ max_rows
+      $ lenient_arg $ repair_arg $ budget_rows_arg $ budget_time_arg
+      $ partial_arg)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let run tables dir lenient repair output =
+    handling_failures @@ fun () ->
+    let db = resolve_db ~validate:false ~lenient tables dir in
+    let diags = Dirty.Validate.db_diagnostics db in
+    List.iter (fun d -> print_endline (Dirty.Validate.to_string d)) diags;
+    let errors = List.length (Dirty.Validate.errors diags) in
+    let warnings = List.length diags - errors in
+    Printf.printf "%d error(s), %d warning(s)\n" errors warnings;
+    match repair with
+    | None -> if errors > 0 then exit 2
+    | Some policy ->
+      let repaired, actions = Dirty.Repair.repair_db ~policy db in
+      List.iter
+        (fun a ->
+          Printf.printf "repaired: %s\n" (Dirty.Repair.action_to_string a))
+        actions;
+      let after = Dirty.Validate.errors (Dirty.Validate.db_diagnostics repaired) in
+      Printf.printf "after repair: %d error(s)\n" (List.length after);
+      (match output with
+      | Some outdir ->
+        Dirty.Store.save outdir repaired;
+        Printf.printf "repaired database written to %s\n" outdir
+      | None -> ());
+      if after <> [] then exit 2
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"With --repair: save the repaired database to this directory.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Report every integrity problem of a dirty database (cluster sums, \
+          bad probabilities, duplicates, empty clusters) as structured \
+          diagnostics; optionally repair them. Exits 2 when Error-severity \
+          diagnostics remain.")
+    Term.(
+      const run $ tables_arg $ dir_arg $ lenient_arg $ repair_arg $ output)
 
 (* ---- rewrite ---- *)
 
@@ -573,6 +759,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            query_cmd; rewrite_cmd; why_cmd; expected_cmd; dist_cmd; sample_cmd; match_cmd;
-            assign_cmd; generate_cmd; demo_cmd;
+            query_cmd; validate_cmd; rewrite_cmd; why_cmd; expected_cmd; dist_cmd;
+            sample_cmd; match_cmd; assign_cmd; generate_cmd; demo_cmd;
           ]))

@@ -36,6 +36,24 @@ val top_answers :
     the ranking use case the paper motivates.
     @raise Rewrite.Not_rewritable as {!answers}. *)
 
+type partial = { rows : Dirty.Relation.t; truncated : bool }
+(** A possibly-truncated answer set.  [truncated] is [true] when an
+    execution budget ran out and [rows] is only a prefix of the full
+    answer set. *)
+
+val answers_within :
+  ?config:Engine.Planner.config -> session -> string -> partial
+(** Like {!answers}, but a budget declared by [config] ([max_rows] /
+    [max_elapsed]) degrades gracefully: instead of raising
+    {!Engine.Budget.Exceeded}, execution stops producing rows once the
+    budget is spent and the partial answers are returned with
+    [truncated = true]. *)
+
+val top_answers_within :
+  ?config:Engine.Planner.config -> k:int -> session -> string -> partial
+(** Budgeted {!top_answers}: the prefix of the ranked answers that the
+    budget allowed, with the truncation flag. *)
+
 val answers_above :
   ?config:Engine.Planner.config ->
   threshold:float ->

@@ -52,21 +52,92 @@ let render_field sep s =
   end
 
 let render_line ?(sep = ',') fields =
-  String.concat (String.make 1 sep) (List.map (render_field sep) fields)
+  match fields with
+  (* a row whose single field is the empty string must not render as a
+     blank line (blank lines are skipped on read): quote it *)
+  | [ "" ] -> "\"\""
+  | _ -> String.concat (String.make 1 sep) (List.map (render_field sep) fields)
 
-let read_channel ?sep ic =
-  let rec go acc =
-    match input_line ic with
-    | line ->
-      let line =
-        (* tolerate CRLF files *)
-        let n = String.length line in
-        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
-      in
-      if line = "" then go acc else go (parse_line ?sep line :: acc)
-    | exception End_of_file -> List.rev acc
+(* Quote-aware parse of a whole document: rows are split on newlines
+   {e outside} quotes, so fields containing '\n' (which {!render_field}
+   legitimately emits quoted) round-trip.  Blank lines are skipped;
+   CRLF and lone-CR row terminators are tolerated; an unterminated
+   quote at end of input keeps the text read so far. *)
+let parse_rows ?(sep = ',') s =
+  let n = String.length s in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  (* [seen] distinguishes a blank line from a row holding one empty
+     field written as "" *)
+  let seen = ref false in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
   in
-  go []
+  let end_row () =
+    if !seen || !fields <> [] || Buffer.length buf > 0 then begin
+      push_field ();
+      rows := List.rev !fields :: !rows;
+      fields := []
+    end;
+    seen := false
+  in
+  let rec go i quoted =
+    if i >= n then end_row ()
+    else
+      let c = s.[i] in
+      if quoted then
+        if c = '"' then
+          if i + 1 < n && s.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' && Buffer.length buf = 0 then begin
+        seen := true;
+        go (i + 1) true
+      end
+      else if c = sep then begin
+        seen := true;
+        push_field ();
+        go (i + 1) false
+      end
+      else if c = '\r' && i + 1 < n && s.[i + 1] = '\n' then begin
+        end_row ();
+        go (i + 2) false
+      end
+      else if c = '\n' || c = '\r' then begin
+        end_row ();
+        go (i + 1) false
+      end
+      else begin
+        seen := true;
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !rows
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let k = input ic chunk 0 (Bytes.length chunk) in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_channel ?sep ic = parse_rows ?sep (read_all ic)
 
 let read_file ?sep path =
   let ic = open_in path in
@@ -130,18 +201,20 @@ let relation_of_rows ?(header = true) rows =
 
 let load_file ?sep ?header path = relation_of_rows ?header (read_file ?sep path)
 
-let write_file ?sep ?(header = true) path rel =
+let write_channel ?sep ?(header = true) oc rel =
+  if header then begin
+    output_string oc (render_line ?sep (Schema.names (Relation.schema rel)));
+    output_char oc '\n'
+  end;
+  Relation.iter
+    (fun row ->
+      let fields = Array.to_list (Array.map Value.to_string row) in
+      output_string oc (render_line ?sep fields);
+      output_char oc '\n')
+    rel
+
+let write_file ?sep ?header path rel =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      if header then begin
-        output_string oc (render_line ?sep (Schema.names (Relation.schema rel)));
-        output_char oc '\n'
-      end;
-      Relation.iter
-        (fun row ->
-          let fields = Array.to_list (Array.map Value.to_string row) in
-          output_string oc (render_line ?sep fields);
-          output_char oc '\n')
-        rel)
+    (fun () -> write_channel ?sep ?header oc rel)

@@ -5,9 +5,22 @@
     quotes are doubled. *)
 
 val parse_line : ?sep:char -> string -> string list
+(** Parse a single physical line (no embedded newlines). *)
+
+val parse_rows : ?sep:char -> string -> string list list
+(** Parse a whole CSV document.  Quoting is honoured {e across} line
+    boundaries, so fields containing newlines round-trip; blank lines
+    (outside quotes) are skipped; CRLF and lone-CR terminators are
+    tolerated. *)
+
 val render_line : ?sep:char -> string list -> string
+(** Inverse of {!parse_line}/{!parse_rows} row rendering.  A row whose
+    single field is the empty string renders as [""] (quoted) so it is
+    not mistaken for a blank line on read. *)
 
 val read_channel : ?sep:char -> in_channel -> string list list
+(** {!parse_rows} over the channel's remaining contents. *)
+
 val read_file : ?sep:char -> string -> string list list
 
 val relation_of_rows :
@@ -20,4 +33,5 @@ val relation_of_rows :
 
 val load_file : ?sep:char -> ?header:bool -> string -> Relation.t
 
+val write_channel : ?sep:char -> ?header:bool -> out_channel -> Relation.t -> unit
 val write_file : ?sep:char -> ?header:bool -> string -> Relation.t -> unit

@@ -1,0 +1,315 @@
+type policy =
+  | Renormalize
+  | Uniform_fallback
+  | Clamp_and_renormalize
+  | Drop_cluster
+  | Fail
+
+let policy_to_string = function
+  | Renormalize -> "renormalize"
+  | Uniform_fallback -> "uniform"
+  | Clamp_and_renormalize -> "clamp"
+  | Drop_cluster -> "drop"
+  | Fail -> "fail"
+
+let policy_of_string = function
+  | "renormalize" -> Some Renormalize
+  | "uniform" | "uniform-fallback" -> Some Uniform_fallback
+  | "clamp" | "clamp-and-renormalize" -> Some Clamp_and_renormalize
+  | "drop" | "drop-cluster" -> Some Drop_cluster
+  | "fail" -> Some Fail
+  | _ -> None
+
+(* conservativeness order used when one cluster carries diagnostics
+   that select different policies *)
+let rank = function
+  | Renormalize -> 0
+  | Clamp_and_renormalize -> 1
+  | Uniform_fallback -> 2
+  | Drop_cluster -> 3
+  | Fail -> 4
+
+type action = {
+  a_table : string;
+  a_cluster : Value.t;
+  a_policy : policy;
+  a_note : string;
+}
+
+let action_to_string a =
+  Printf.sprintf "table %s: cluster %s: %s (%s)" a.a_table
+    (Value.to_string a.a_cluster)
+    a.a_note
+    (policy_to_string a.a_policy)
+
+exception Repair_failed of Validate.diagnostic
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let tolerance = Dirty_db.tolerance
+
+let prob_of row pidx =
+  match row.(pidx) with
+  | Value.Int n -> Some (float_of_int n)
+  | Value.Float f when not (Float.is_nan f) -> Some f
+  | _ -> None
+
+(* New probabilities for one cluster under a policy; returns the
+   per-member probability list and a note. *)
+let fix_cluster policy relation pidx members =
+  let n = List.length members in
+  let uniform note = (List.map (fun _ -> 1.0 /. float_of_int n) members, note) in
+  let raw = List.map (fun i -> prob_of (Relation.get relation i) pidx) members in
+  match policy with
+  | Uniform_fallback -> uniform (Printf.sprintf "uniform 1/%d over %d tuples" n n)
+  | Clamp_and_renormalize ->
+    let clamped =
+      List.map
+        (function
+          | None -> 0.0
+          | Some p -> Float.max 0.0 (Float.min 1.0 p))
+        raw
+    in
+    let sum = List.fold_left ( +. ) 0.0 clamped in
+    if sum > 0.0 then
+      ( List.map (fun p -> p /. sum) clamped,
+        Printf.sprintf "clamped and renormalized %d tuples (clamped sum %g)" n sum )
+    else uniform "clamped sum is 0; used uniform fallback"
+  | Renormalize -> (
+    let numeric =
+      List.map (Option.map (fun p -> if p >= -.tolerance then Float.max 0.0 p else p)) raw
+    in
+    match
+      List.fold_left
+        (fun acc p ->
+          match (acc, p) with
+          | Some s, Some p when p >= 0.0 -> Some (s +. p)
+          | _ -> None)
+        (Some 0.0) numeric
+    with
+    | Some sum when sum > 0.0 ->
+      ( List.map (fun p -> Option.get p /. sum) numeric,
+        Printf.sprintf "renormalized %d tuples (sum %g)" n sum )
+    | _ -> uniform "renormalize preconditions failed; used uniform fallback")
+  | Drop_cluster | Fail -> assert false
+
+let repair_table ?(policy_for = fun _ -> None) ~policy (t : Dirty_db.table) =
+  let diags = Validate.table_diagnostics t in
+  (match List.find_opt (function Validate.Missing_column _ -> true | _ -> false) diags with
+  | Some d -> raise (Repair_failed d)
+  | None -> ());
+  let errors = Validate.errors diags in
+  if errors = [] then (t, [])
+  else begin
+    let schema = Relation.schema t.relation in
+    let pidx = Schema.index_of schema t.prob_attr in
+    (* per-cluster: the most conservative policy its diagnostics select,
+       and a representative diagnostic for error reporting *)
+    let chosen : (policy * Validate.diagnostic) Vtbl.t = Vtbl.create 8 in
+    let clusters_in_order = ref [] in
+    List.iter
+      (fun d ->
+        let cluster =
+          match d with
+          | Validate.Non_numeric_probability { cluster; _ }
+          | Validate.Nan_probability { cluster; _ }
+          | Validate.Probability_out_of_range { cluster; _ }
+          | Validate.Cluster_sum_mismatch { cluster; _ }
+          | Validate.Empty_cluster { cluster; _ } ->
+            Some cluster
+          | _ -> None
+        in
+        match cluster with
+        | None -> ()
+        | Some cluster ->
+          let p = Option.value ~default:policy (policy_for d) in
+          (match Vtbl.find_opt chosen cluster with
+          | None ->
+            clusters_in_order := cluster :: !clusters_in_order;
+            Vtbl.replace chosen cluster (p, d)
+          | Some (p0, d0) ->
+            if rank p > rank p0 then Vtbl.replace chosen cluster (p, d)
+            else Vtbl.replace chosen cluster (p0, d0)))
+      errors;
+    let clusters_in_order = List.rev !clusters_in_order in
+    (* Fail wins before any mutation *)
+    List.iter
+      (fun c ->
+        match Vtbl.find chosen c with
+        | Fail, d -> raise (Repair_failed d)
+        | _ -> ())
+      clusters_in_order;
+    let actions = ref [] in
+    (* new probability per row index, and the set of dropped clusters *)
+    let row_prob = Hashtbl.create 16 in
+    let dropped : unit Vtbl.t = Vtbl.create 8 in
+    List.iter
+      (fun cluster ->
+        let p, _ = Vtbl.find chosen cluster in
+        let members = Cluster.members t.clustering cluster in
+        match p with
+        | Fail -> assert false
+        | Drop_cluster ->
+          Vtbl.replace dropped cluster ();
+          actions :=
+            {
+              a_table = t.name;
+              a_cluster = cluster;
+              a_policy = Drop_cluster;
+              a_note = Printf.sprintf "dropped %d tuples" (List.length members);
+            }
+            :: !actions
+        | (Renormalize | Uniform_fallback | Clamp_and_renormalize) as p ->
+          let probs, note = fix_cluster p t.relation pidx members in
+          List.iter2 (fun i q -> Hashtbl.replace row_prob i q) members probs;
+          actions :=
+            { a_table = t.name; a_cluster = cluster; a_policy = p; a_note = note }
+            :: !actions)
+      clusters_in_order;
+    let out = ref [] in
+    let n = Relation.cardinality t.relation in
+    for i = n - 1 downto 0 do
+      let cluster = Cluster.cluster_of_row t.clustering i in
+      if not (Vtbl.mem dropped cluster) then begin
+        let row = Relation.get t.relation i in
+        match Hashtbl.find_opt row_prob i with
+        | None -> out := row :: !out
+        | Some q ->
+          let row' = Array.copy row in
+          row'.(pidx) <- Value.Float q;
+          out := row' :: !out
+      end
+    done;
+    let relation = Relation.create schema !out in
+    let t' =
+      Dirty_db.make_table ~validate:false ~name:t.name ~id_attr:t.id_attr
+        ~prob_attr:t.prob_attr relation
+    in
+    (t', List.rev !actions)
+  end
+
+(* ---- database-level repair: tables, then dangling references ---- *)
+
+(* One pass over [t]: null the foreign-key cells named by [to_null]
+   (a list of (row, attr_index) pairs over the {e original} row
+   numbering) and drop the clusters in [drop_clusters]. *)
+let apply_fk_fixes (t : Dirty_db.table) ~to_null ~drop_clusters =
+  let schema = Relation.schema t.relation in
+  let out = ref [] in
+  let n = Relation.cardinality t.relation in
+  for i = n - 1 downto 0 do
+    let cluster = Cluster.cluster_of_row t.clustering i in
+    if not (Vtbl.mem drop_clusters cluster) then begin
+      let row = Relation.get t.relation i in
+      match List.filter_map (fun (r, j) -> if r = i then Some j else None) to_null with
+      | [] -> out := row :: !out
+      | cols ->
+        let row' = Array.copy row in
+        List.iter (fun j -> row'.(j) <- Value.Null) cols;
+        out := row' :: !out
+    end
+  done;
+  Dirty_db.make_table ~validate:false ~name:t.name ~id_attr:t.id_attr
+    ~prob_attr:t.prob_attr (Relation.create schema !out)
+
+let replace_table db (t : Dirty_db.table) =
+  Dirty_db.add_table
+    (List.fold_left
+       (fun acc (u : Dirty_db.table) ->
+         if u.name = t.name then acc else Dirty_db.add_table acc u)
+       Dirty_db.empty (Dirty_db.tables db))
+    t
+
+let repair_db ?(references = []) ?(policy_for = fun _ -> None) ~policy db =
+  let db', actions =
+    List.fold_left
+      (fun (db', actions) t ->
+        let t', acts = repair_table ~policy_for ~policy t in
+        (Dirty_db.add_table db' t', actions @ acts))
+      (Dirty_db.empty, []) (Dirty_db.tables db)
+  in
+  let dangling =
+    if references = [] then []
+    else
+      List.filter
+        (function Validate.Dangling_reference _ -> true | _ -> false)
+        (Validate.db_diagnostics ~references db')
+  in
+  if dangling = [] then (db', actions)
+  else begin
+    (* group the per-row fixes by referencing table *)
+    let to_null : (string, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+    let to_drop : (string, unit Vtbl.t) Hashtbl.t = Hashtbl.create 8 in
+    let drop_set table =
+      match Hashtbl.find_opt to_drop table with
+      | Some s -> s
+      | None ->
+        let s = Vtbl.create 4 in
+        Hashtbl.replace to_drop table s;
+        s
+    in
+    let actions = ref actions in
+    List.iter
+      (fun d ->
+        match d with
+        | Validate.Dangling_reference { table; row; attr; value; target } -> (
+          let t = Dirty_db.find_table db' table in
+          let cluster = Cluster.cluster_of_row t.clustering row in
+          match Option.value ~default:policy (policy_for d) with
+          | Fail -> raise (Repair_failed d)
+          | Drop_cluster ->
+            let set = drop_set table in
+            if not (Vtbl.mem set cluster) then begin
+              Vtbl.replace set cluster ();
+              actions :=
+                {
+                  a_table = table;
+                  a_cluster = cluster;
+                  a_policy = Drop_cluster;
+                  a_note =
+                    Printf.sprintf "dropped cluster: %s = %s names no cluster of %s"
+                      attr (Value.to_string value) target;
+                }
+                :: !actions
+            end
+          | p ->
+            let j = Schema.index_of (Relation.schema t.relation) attr in
+            Hashtbl.replace to_null table
+              ((row, j) :: Option.value ~default:[] (Hashtbl.find_opt to_null table));
+            actions :=
+              {
+                a_table = table;
+                a_cluster = cluster;
+                a_policy = p;
+                a_note =
+                  Printf.sprintf "nulled %s = %s (no cluster of %s)" attr
+                    (Value.to_string value) target;
+              }
+              :: !actions)
+        | _ -> ())
+      dangling;
+    let tables_touched =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun t _ acc -> t :: acc) to_null []
+        @ Hashtbl.fold (fun t _ acc -> t :: acc) to_drop [])
+    in
+    let db'' =
+      List.fold_left
+        (fun db'' name ->
+          let t = Dirty_db.find_table db'' name in
+          let t' =
+            apply_fk_fixes t
+              ~to_null:(Option.value ~default:[] (Hashtbl.find_opt to_null name))
+              ~drop_clusters:
+                (Option.value ~default:(Vtbl.create 1) (Hashtbl.find_opt to_drop name))
+          in
+          replace_table db'' t')
+        db' tables_touched
+    in
+    (db'', !actions)
+  end

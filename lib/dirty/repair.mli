@@ -1,0 +1,83 @@
+(** Graceful-degradation repair of dirty tables.
+
+    {!Validate} reports what is wrong; this module fixes it, cluster by
+    cluster, under an explicit policy, so that a dirty load can proceed
+    with a report of what was repaired instead of aborting.
+
+    Policies act on the clusters that carry [Error]-severity
+    diagnostics ([Warning]s — zero probabilities, duplicate tuples —
+    are preserved untouched):
+
+    - [Renormalize]: divide every probability of the cluster by the
+      cluster sum.  Requires every probability to be numeric, finite
+      and non-negative with a positive sum; when those preconditions
+      fail the cluster degrades to [Uniform_fallback] (recorded in the
+      action note).
+    - [Clamp_and_renormalize]: coerce non-numeric and NaN probabilities
+      to 0, clamp into [0,1], then renormalize (uniform when the
+      clamped sum is 0).
+    - [Uniform_fallback]: give every tuple of the cluster probability
+      1/n, discarding the recorded values.
+    - [Drop_cluster]: delete the cluster's tuples entirely.
+    - [Fail]: raise {!Repair_failed} — the strict behaviour of
+      {!Dirty_db.make_table}, but with a structured diagnostic.
+
+    For {!Validate.Dangling_reference} diagnostics (database level),
+    [Drop_cluster] deletes the referencing cluster, [Fail] raises, and
+    every other policy nulls the dangling foreign-key value (the
+    convention {!Dirty_db.propagate} uses for unmatched keys).
+
+    A repaired database always passes {!Validate} with no
+    [Error]-severity diagnostics (missing designated columns excepted:
+    those are structural and raise {!Repair_failed} under every
+    policy). *)
+
+type policy =
+  | Renormalize
+  | Uniform_fallback
+  | Clamp_and_renormalize
+  | Drop_cluster
+  | Fail
+
+val policy_to_string : policy -> string
+
+val policy_of_string : string -> policy option
+(** Parses the kebab-case names used by the CLI: ["renormalize"],
+    ["uniform"], ["clamp"], ["drop"], ["fail"]. *)
+
+(** What was done to one cluster (or foreign-key row). *)
+type action = {
+  a_table : string;
+  a_cluster : Value.t;
+  a_policy : policy;  (** the policy actually applied *)
+  a_note : string;  (** human-readable description of the change *)
+}
+
+val action_to_string : action -> string
+
+exception Repair_failed of Validate.diagnostic
+(** Raised under the [Fail] policy, and for structural problems
+    (missing identifier/probability columns) no policy can fix. *)
+
+val repair_table :
+  ?policy_for:(Validate.diagnostic -> policy option) ->
+  policy:policy ->
+  Dirty_db.table ->
+  Dirty_db.table * action list
+(** Repair every cluster carrying error diagnostics.  [policy_for]
+    overrides the default [policy] per diagnostic (return [None] to
+    use the default); when a cluster's diagnostics select several
+    policies the most conservative one wins
+    ([Fail > Drop_cluster > Uniform_fallback > Clamp_and_renormalize >
+    Renormalize]).
+    @raise Repair_failed as described above. *)
+
+val repair_db :
+  ?references:Validate.reference list ->
+  ?policy_for:(Validate.diagnostic -> policy option) ->
+  policy:policy ->
+  Dirty_db.t ->
+  Dirty_db.t * action list
+(** Repair every table, then repair dangling references (checked
+    against the already-repaired tables).
+    @raise Repair_failed as {!repair_table}. *)

@@ -1,30 +1,55 @@
 let manifest_name = "manifest.csv"
 
+(* Run [f oc] against a temp file in [path]'s directory, then rename it
+   into place.  The rename is atomic on POSIX filesystems, so readers
+   (and crash recovery) only ever observe the old or the new complete
+   file, never a partial write. *)
+let write_atomic path f =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".store-" ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let save dir db =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
+  (* table files first, the manifest last: a crash mid-save leaves the
+     previous manifest in place, so [load] never sees a database whose
+     manifest names half-written tables *)
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      write_atomic
+        (Filename.concat dir (t.name ^ ".csv"))
+        (fun oc -> Csv.write_channel oc t.relation))
+    (Dirty_db.tables db);
   let manifest =
     [ "name"; "id_attr"; "prob_attr" ]
     :: List.map
          (fun (t : Dirty_db.table) -> [ t.name; t.id_attr; t.prob_attr ])
          (Dirty_db.tables db)
   in
-  let oc = open_out (Filename.concat dir manifest_name) in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  write_atomic (Filename.concat dir manifest_name) (fun oc ->
       List.iter
         (fun fields ->
           output_string oc (Csv.render_line fields);
           output_char oc '\n')
-        manifest);
-  List.iter
-    (fun (t : Dirty_db.table) ->
-      Csv.write_file (Filename.concat dir (t.name ^ ".csv")) t.relation)
-    (Dirty_db.tables db)
+        manifest)
 
-let load ?(validate = true) dir =
+let describe_exn = function
+  | Sys_error msg -> msg
+  | Dirty_db.Invalid msg -> msg
+  | Invalid_argument msg -> msg
+  | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+let load_verbose ?(validate = true) ?(lenient = false) dir =
   let manifest_path = Filename.concat dir manifest_name in
   let rows = Csv.read_file manifest_path in
   let entries =
@@ -32,12 +57,31 @@ let load ?(validate = true) dir =
     | [ "name"; "id_attr"; "prob_attr" ] :: entries -> entries
     | _ -> raise (Sys_error (manifest_path ^ ": malformed manifest header"))
   in
-  List.fold_left
-    (fun db entry ->
-      match entry with
-      | [ name; id_attr; prob_attr ] ->
-        let relation = Csv.load_file (Filename.concat dir (name ^ ".csv")) in
-        Dirty_db.add_table db
-          (Dirty_db.make_table ~validate ~name ~id_attr ~prob_attr relation)
-      | _ -> raise (Sys_error (manifest_path ^ ": malformed manifest row")))
-    Dirty_db.empty entries
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let db =
+    List.fold_left
+      (fun db entry ->
+        match entry with
+        | [ name; id_attr; prob_attr ] -> (
+          let path = Filename.concat dir (name ^ ".csv") in
+          match
+            let relation = Csv.load_file path in
+            Dirty_db.make_table ~validate ~name ~id_attr ~prob_attr relation
+          with
+          | table -> Dirty_db.add_table db table
+          | exception e when lenient ->
+            warn "table %s skipped: %s" name (describe_exn e);
+            db)
+        | entry ->
+          if lenient then begin
+            warn "%s: malformed manifest row [%s] skipped" manifest_path
+              (String.concat "," entry);
+            db
+          end
+          else raise (Sys_error (manifest_path ^ ": malformed manifest row")))
+      Dirty_db.empty entries
+  in
+  (db, List.rev !warnings)
+
+let load ?validate ?lenient dir = fst (load_verbose ?validate ?lenient dir)

@@ -9,14 +9,31 @@
       manifest.csv      -- name,id_attr,prob_attr
       customer.csv
       orders.csv
-    v} *)
+    v}
+
+    Writes are crash-safe: each file is written to a temporary name in
+    the same directory and renamed into place (atomic on POSIX), and
+    the manifest is written {e after} every table file, so a process
+    killed mid-{!save} never leaves a manifest naming a half-written
+    table — {!load} sees either the previous database or the new one,
+    complete. *)
 
 val save : string -> Dirty_db.t -> unit
 (** Write the database into the directory (created if missing;
-    existing table files are overwritten). *)
+    existing table files are overwritten atomically). *)
 
-val load : ?validate:bool -> string -> Dirty_db.t
+val load : ?validate:bool -> ?lenient:bool -> string -> Dirty_db.t
 (** Load a database saved by {!save}.  When [validate] (default
-    [true]) the per-cluster probability sums are re-checked.
+    [true]) the per-cluster probability sums are re-checked.  When
+    [lenient] (default [false]), corrupt or invalid tables and
+    malformed manifest rows are skipped instead of aborting the whole
+    load (use {!load_verbose} to see what was skipped); a missing or
+    header-corrupt manifest is still fatal, since nothing can be
+    loaded without it.
     @raise Sys_error / Dirty_db.Invalid on missing or malformed
-    files. *)
+    files (non-lenient mode). *)
+
+val load_verbose :
+  ?validate:bool -> ?lenient:bool -> string -> Dirty_db.t * string list
+(** Like {!load}, also returning the warnings collected while loading
+    (always empty when [lenient] is false, since problems raise). *)

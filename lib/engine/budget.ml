@@ -1,0 +1,96 @@
+type limits = { max_rows : int option; max_elapsed : float option }
+
+let no_limits = { max_rows = None; max_elapsed = None }
+
+type mode = Raise | Truncate
+
+exception
+  Exceeded of { produced : int; elapsed : float; limits : limits }
+
+let exceeded_message ~produced ~elapsed limits =
+  let limit_s =
+    String.concat ", "
+      (List.filter_map Fun.id
+         [
+           Option.map (Printf.sprintf "max %d rows") limits.max_rows;
+           Option.map (Printf.sprintf "max %gs") limits.max_elapsed;
+         ])
+  in
+  Printf.sprintf "execution budget exceeded after %d rows in %.3fs (%s)" produced
+    elapsed
+    (if limit_s = "" then "no limits" else limit_s)
+
+let () =
+  Printexc.register_printer (function
+    | Exceeded { produced; elapsed; limits } ->
+      Some (exceeded_message ~produced ~elapsed limits)
+    | _ -> None)
+
+(* rows admitted between wall-clock reads; gettimeofday costs ~20ns so
+   this keeps the per-row overhead well under a nanosecond amortized *)
+let time_check_interval = 256
+
+type t = {
+  limits : limits;
+  mode : mode;
+  started : float;
+  mutable produced : int;
+  mutable stopped : bool;
+  mutable countdown : int;
+}
+
+let create ?(mode = Raise) limits =
+  {
+    limits;
+    mode;
+    started = Unix.gettimeofday ();
+    produced = 0;
+    stopped = false;
+    countdown = time_check_interval;
+  }
+
+let elapsed t = Unix.gettimeofday () -. t.started
+let produced t = t.produced
+let exhausted t = t.stopped
+let truncated = exhausted
+
+let stop t =
+  match t.mode with
+  | Raise ->
+    raise (Exceeded { produced = t.produced; elapsed = elapsed t; limits = t.limits })
+  | Truncate -> t.stopped <- true
+
+let over_time t =
+  match t.limits.max_elapsed with
+  | None -> false
+  | Some lim -> elapsed t > lim
+
+let check_time t = if (not t.stopped) && over_time t then stop t
+
+let admit t n =
+  if t.stopped then 0
+  else begin
+    t.countdown <- t.countdown - n;
+    if t.countdown <= 0 then begin
+      t.countdown <- time_check_interval;
+      check_time t
+    end;
+    if t.stopped then 0
+    else
+      match t.limits.max_rows with
+      | None ->
+        t.produced <- t.produced + n;
+        n
+      | Some lim ->
+        if t.produced + n <= lim then begin
+          t.produced <- t.produced + n;
+          n
+        end
+        else begin
+          let allowed = max 0 (lim - t.produced) in
+          t.produced <- t.produced + n;
+          stop t;
+          (* only reached in Truncate mode *)
+          allowed
+        end
+  end

@@ -1,0 +1,67 @@
+(** Execution budgets: bounds on the work a query may perform.
+
+    A budget caps the total number of rows the plan's operators
+    produce (a proxy for work done — intermediate results count, not
+    just the final answer) and the elapsed wall-clock time.  The
+    executor charges the budget as rows are materialized, including
+    {e inside} join and cross-product loops, so a query whose
+    intermediate result explodes is stopped mid-operator rather than
+    after the damage is done.
+
+    Two modes of exceeding:
+
+    - [Raise] (the default): raise {!Exceeded} with the work done so
+      far — the structured failure callers of
+      {!Database.query_ast} observe.
+    - [Truncate]: stop producing rows but let the plan finish over the
+      partial intermediate results, and record that truncation
+      happened.  Used by the degrading query entry points
+      ([Database.query_ast_within], [Conquer.Clean.top_answers_within])
+      to return partial answers with a truncation flag. *)
+
+type limits = {
+  max_rows : int option;  (** total rows produced across all operators *)
+  max_elapsed : float option;  (** wall-clock seconds *)
+}
+
+val no_limits : limits
+
+type mode = Raise | Truncate
+
+exception
+  Exceeded of {
+    produced : int;  (** rows produced when the budget ran out *)
+    elapsed : float;  (** seconds since execution started *)
+    limits : limits;  (** the limits that were in force *)
+  }
+
+val exceeded_message : produced:int -> elapsed:float -> limits -> string
+(** Human-readable rendering used by [Printexc] and the CLI. *)
+
+type t
+
+val create : ?mode:mode -> limits -> t
+(** A fresh budget; the clock starts now. *)
+
+val admit : t -> int -> int
+(** [admit t n] charges [n] more rows and returns how many of them the
+    budget admits: [n] while within limits; fewer (possibly 0) in
+    [Truncate] mode once the row budget runs out.  The wall clock is
+    consulted at most once every few hundred admitted rows, keeping
+    the per-row cost negligible.
+    @raise Exceeded in [Raise] mode when a limit is crossed. *)
+
+val check_time : t -> unit
+(** Force a clock check (used at operator boundaries, where crossing
+    the time limit should surface promptly).
+    @raise Exceeded in [Raise] mode. *)
+
+val exhausted : t -> bool
+(** True once the budget stopped admitting rows ([Truncate] mode). *)
+
+val truncated : t -> bool
+(** Alias of {!exhausted}: the result reflects a truncated
+    execution. *)
+
+val produced : t -> int
+val elapsed : t -> float

@@ -60,8 +60,24 @@ let exec_catalog t : Exec.catalog =
   }
 
 let plan ?config t q = Planner.plan ?config (planner_env t) q
-let run_plan t p = Exec.run (exec_catalog t) p
-let query_ast ?config t q = run_plan t (plan ?config t q)
+let run_plan ?budget t p = Exec.run ?budget (exec_catalog t) p
+
+(* the budget declared by the planner config, if any *)
+let budget_of_config mode (config : Planner.config option) =
+  match config with
+  | Some { max_rows; max_elapsed; _ }
+    when max_rows <> None || max_elapsed <> None ->
+    Some (Budget.create ~mode { Budget.max_rows; max_elapsed })
+  | Some _ | None -> None
+
+let query_ast ?config t q =
+  run_plan ?budget:(budget_of_config Budget.Raise config) t (plan ?config t q)
+
+let query_ast_within ?config t q =
+  let budget = budget_of_config Budget.Truncate config in
+  let rel = run_plan ?budget t (plan ?config t q) in
+  (rel, match budget with Some b -> Budget.truncated b | None -> false)
+
 let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
 
 let explain ?config t text =
@@ -69,7 +85,9 @@ let explain ?config t text =
 
 let query_profiled ?config t text =
   let p = plan ?config t (Sql.Parser.parse_query text) in
-  Exec.run_profiled (exec_catalog t) p
+  Exec.run_profiled
+    ?budget:(budget_of_config Budget.Raise config)
+    (exec_catalog t) p
 
 let explain_analyze ?config t text =
   let _, profile = query_profiled ?config t text in

@@ -30,12 +30,22 @@ val analyze_all : t -> unit
 val stats : t -> string -> Stats.t option
 
 val plan : ?config:Planner.config -> t -> Sql.Ast.query -> Plan.t
-val run_plan : t -> Plan.t -> Dirty.Relation.t
+val run_plan : ?budget:Budget.t -> t -> Plan.t -> Dirty.Relation.t
 
 val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
 val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t
-(** Parse, plan and execute SQL text.
-    @raise Sql.Parser.Error, Planner.Plan_error or Exec.Exec_error. *)
+(** Parse, plan and execute SQL text.  When the config declares an
+    execution budget ([max_rows] / [max_elapsed]), exceeding it raises
+    {!Budget.Exceeded}.
+    @raise Sql.Parser.Error, Planner.Plan_error, Exec.Exec_error or
+    Budget.Exceeded. *)
+
+val query_ast_within :
+  ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t * bool
+(** Like {!query_ast}, but a budget declared by the config degrades
+    gracefully instead of raising: execution stops producing rows once
+    the budget is spent and the partial result is returned with [true]
+    as the truncation flag. *)
 
 val explain : ?config:Planner.config -> t -> string -> string
 (** The plan the query would run, rendered EXPLAIN-style. *)

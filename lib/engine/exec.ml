@@ -9,6 +9,29 @@ exception Exec_error of string
 
 let exec_errorf fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
+(* ---- budget accounting ----
+
+   Operators charge the budget per materialized row.  In [Raise] mode
+   {!Budget.admit} raises {!Budget.Exceeded} itself; in [Truncate]
+   mode it stops admitting rows, and the local [Budget_stop] exception
+   unwinds the operator's emit loop so it finishes with the partial
+   output produced so far. *)
+
+exception Budget_stop
+
+let tick budget =
+  match budget with
+  | None -> ()
+  | Some b -> if Budget.admit b 1 = 0 then raise Budget_stop
+
+(* nodes whose emit loops tick per row; everything else is charged on
+   its materialized output at the node boundary *)
+let per_row_charged (plan : Plan.t) =
+  match plan with
+  | Hash_join _ | Left_outer_join _ | Cross _ | Index_join _ -> true
+  | Scan _ | Filter _ | Project _ | Aggregate _ | Sort _ | Distinct _ | Limit _ ->
+    false
+
 let infer_column_ty rows j =
   let rec go = function
     | [] -> Value.TString
@@ -264,7 +287,7 @@ let run_aggregate input ~group_by ~items ~having =
 
 (* ---- joins ---- *)
 
-let run_hash_join left right ~left_keys ~right_keys =
+let run_hash_join ?budget left right ~left_keys ~right_keys =
   let ls = Relation.schema left and rs = Relation.schema right in
   let lf = List.map (compile ls) left_keys and rf = List.map (compile rs) right_keys in
   let table = Ktbl.create (max 16 (Relation.cardinality right)) in
@@ -281,15 +304,21 @@ let run_hash_join left right ~left_keys ~right_keys =
   Ktbl.iter (fun k rows -> Ktbl.replace table' k (List.rev rows)) table;
   let out_schema = Schema.append ls rs in
   let out = ref [] in
-  Relation.iter
-    (fun lrow ->
-      let key = Array.of_list (List.map (fun f -> f lrow) lf) in
-      if not (Array.exists Value.is_null key) then
-        match Ktbl.find_opt table' key with
-        | None -> ()
-        | Some rrows ->
-          List.iter (fun rrow -> out := Array.append lrow rrow :: !out) rrows)
-    left;
+  (try
+     Relation.iter
+       (fun lrow ->
+         let key = Array.of_list (List.map (fun f -> f lrow) lf) in
+         if not (Array.exists Value.is_null key) then
+           match Ktbl.find_opt table' key with
+           | None -> ()
+           | Some rrows ->
+             List.iter
+               (fun rrow ->
+                 tick budget;
+                 out := Array.append lrow rrow :: !out)
+               rrows)
+       left
+   with Budget_stop -> ());
   Relation.create out_schema (List.rev !out)
 
 (* Find an equality conjunct of [on] whose sides resolve strictly on
@@ -313,12 +342,13 @@ let split_outer_condition ls rs on =
   in
   pick [] conjuncts
 
-let run_left_outer_join lrel rrel ~on =
+let run_left_outer_join ?budget lrel rrel ~on =
   let ls = Relation.schema lrel and rs = Relation.schema rrel in
   let out_schema = Schema.append ls rs in
   let nulls = Array.make (Schema.arity rs) Dirty.Value.Null in
   let out = ref [] in
-  (match split_outer_condition ls rs on with
+  (try
+     match split_outer_condition ls rs on with
   | Some ((lkey, rkey), residual) ->
     let lf = compile ls lkey and rf = compile rs rkey in
     let table = Ktbl.create (max 16 (Relation.cardinality rrel)) in
@@ -349,8 +379,15 @@ let run_left_outer_join lrel rrel ~on =
                  (Option.value ~default:[] (Ktbl.find_opt table key)))
         in
         match matches with
-        | [] -> out := Array.append lrow nulls :: !out
-        | rows -> List.iter (fun row -> out := row :: !out) (List.rev rows))
+        | [] ->
+          tick budget;
+          out := Array.append lrow nulls :: !out
+        | rows ->
+          List.iter
+            (fun row ->
+              tick budget;
+              out := row :: !out)
+            (List.rev rows))
       lrel
   | None ->
     (* general nested-loop outer join *)
@@ -363,11 +400,16 @@ let run_left_outer_join lrel rrel ~on =
             let combined = Array.append lrow rrow in
             if pred combined then begin
               matched := true;
+              tick budget;
               out := combined :: !out
             end)
           rrel;
-        if not !matched then out := Array.append lrow nulls :: !out)
-      lrel);
+        if not !matched then begin
+          tick budget;
+          out := Array.append lrow nulls :: !out
+        end)
+      lrel
+   with Budget_stop -> ());
   Relation.create out_schema (List.rev !out)
 
 (* ---- main interpreter ----
@@ -376,8 +418,20 @@ let run_left_outer_join lrel rrel ~on =
    that {!run_profiled} can record per-operator statistics without a
    second copy of the evaluation logic. *)
 
-let rec run_hooked hook catalog (plan : Plan.t) : Relation.t =
-  hook plan (fun () -> eval hook catalog (resolve_node catalog plan))
+let rec run_hooked budget hook catalog (plan : Plan.t) : Relation.t =
+  (* bail out of deep plans promptly when the clock has run out *)
+  (match budget with None -> () | Some b -> Budget.check_time b);
+  let rel =
+    hook plan (fun () -> eval budget hook catalog (resolve_node budget catalog plan))
+  in
+  match budget with
+  | None -> rel
+  | Some _ when per_row_charged plan -> rel
+  | Some b ->
+    let n = Relation.cardinality rel in
+    let allowed = Budget.admit b n in
+    if allowed >= n then rel
+    else Relation.of_array (Relation.schema rel) (Array.sub (Relation.rows rel) 0 allowed)
 
 (* ---- uncorrelated subqueries ----
 
@@ -388,7 +442,7 @@ let rec run_hooked hook catalog (plan : Plan.t) : Relation.t =
    Correlated references fail inside the subquery's own planning with
    an unbound-column error. *)
 
-and eval_subquery catalog (q : Sql.Ast.query) : Relation.t =
+and eval_subquery budget catalog (q : Sql.Ast.query) : Relation.t =
   let env : Planner.env =
     {
       schema_of =
@@ -404,10 +458,10 @@ and eval_subquery catalog (q : Sql.Ast.query) : Relation.t =
     try Planner.plan env q
     with Planner.Plan_error msg -> exec_errorf "in subquery: %s" msg
   in
-  run_hooked (fun _ f -> f ()) catalog plan
+  run_hooked budget (fun _ f -> f ()) catalog plan
 
-and scalar_of_subquery catalog q =
-  let rel = eval_subquery catalog q in
+and scalar_of_subquery budget catalog q =
+  let rel = eval_subquery budget catalog q in
   if Schema.arity (Relation.schema rel) <> 1 then
     exec_errorf "scalar subquery must return one column";
   match Relation.cardinality rel with
@@ -415,11 +469,11 @@ and scalar_of_subquery catalog q =
   | 1 -> (Relation.get rel 0).(0)
   | n -> exec_errorf "scalar subquery returned %d rows" n
 
-and resolve_expr catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
-  let go = resolve_expr catalog in
+and resolve_expr budget catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
+  let go = resolve_expr budget catalog in
   match e with
   | In_query (x, q) ->
-    let rel = eval_subquery catalog q in
+    let rel = eval_subquery budget catalog q in
     if Schema.arity (Relation.schema rel) <> 1 then
       exec_errorf "IN subquery must return one column";
     let values =
@@ -429,8 +483,8 @@ and resolve_expr catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
     in
     In_list (go x, List.rev values)
   | Exists q ->
-    Lit (Value.Bool (not (Relation.is_empty (eval_subquery catalog q))))
-  | Scalar_subquery q -> Lit (scalar_of_subquery catalog q)
+    Lit (Value.Bool (not (Relation.is_empty (eval_subquery budget catalog q))))
+  | Scalar_subquery q -> Lit (scalar_of_subquery budget catalog q)
   | Lit _ | Col _ | Agg (_, None) -> e
   | Agg (f, Some a) -> Agg (f, Some (go a))
   | Unop (op, a) -> Unop (op, go a)
@@ -442,11 +496,11 @@ and resolve_expr catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
   | Is_null a -> Is_null (go a)
   | Is_not_null a -> Is_not_null (go a)
 
-and resolve_if_needed catalog e =
-  if Sql.Ast.has_subqueries e then resolve_expr catalog e else e
+and resolve_if_needed budget catalog e =
+  if Sql.Ast.has_subqueries e then resolve_expr budget catalog e else e
 
-and resolve_node catalog (plan : Plan.t) : Plan.t =
-  let r = resolve_if_needed catalog in
+and resolve_node budget catalog (plan : Plan.t) : Plan.t =
+  let r = resolve_if_needed budget catalog in
   match plan with
   | Scan _ | Distinct _ | Limit _ -> plan
   | Filter { input; pred } -> Filter { input; pred = r pred }
@@ -475,8 +529,8 @@ and resolve_node catalog (plan : Plan.t) : Plan.t =
   | Sort { input; keys } ->
     Sort { input; keys = List.map (fun (e, d) -> (r e, d)) keys }
 
-and eval hook catalog (plan : Plan.t) : Relation.t =
-  let run catalog plan = run_hooked hook catalog plan in
+and eval budget hook catalog (plan : Plan.t) : Relation.t =
+  let run catalog plan = run_hooked budget hook catalog plan in
   match plan with
   | Scan { table; alias } ->
     let rel =
@@ -499,9 +553,10 @@ and eval hook catalog (plan : Plan.t) : Relation.t =
     in
     Relation.create (infer_schema (List.map snd items) rows) rows
   | Hash_join { left; right; left_keys; right_keys } ->
-    run_hash_join (run catalog left) (run catalog right) ~left_keys ~right_keys
+    run_hash_join ?budget (run catalog left) (run catalog right) ~left_keys
+      ~right_keys
   | Left_outer_join { left; right; on } ->
-    run_left_outer_join (run catalog left) (run catalog right) ~on
+    run_left_outer_join ?budget (run catalog left) (run catalog right) ~on
   | Index_join { left; table; alias; left_keys; right_attrs } -> (
     let base =
       try catalog.relation table
@@ -527,33 +582,44 @@ and eval hook catalog (plan : Plan.t) : Relation.t =
           Schema.append ls (Schema.rename ~prefix:alias (Relation.schema base))
         in
         let out = ref [] in
-        Relation.iter
-          (fun lrow ->
-            let first_f, rest_f = lf in
-            let probe = first_f lrow in
-            if not (Value.is_null probe) then
-              List.iter
-                (fun i ->
-                  let rrow = Relation.get base i in
-                  (* residual equalities on the remaining key attrs *)
-                  let rest_vals = List.map (fun f -> f lrow) rest_f in
-                  let ok =
-                    List.for_all2
-                      (fun v j -> Value.equal v rrow.(j))
-                      rest_vals other_idx
-                  in
-                  if ok then out := Array.append lrow rrow :: !out)
-                (Index.lookup index probe))
-          lrel;
+        (try
+           Relation.iter
+             (fun lrow ->
+               let first_f, rest_f = lf in
+               let probe = first_f lrow in
+               if not (Value.is_null probe) then
+                 List.iter
+                   (fun i ->
+                     let rrow = Relation.get base i in
+                     (* residual equalities on the remaining key attrs *)
+                     let rest_vals = List.map (fun f -> f lrow) rest_f in
+                     let ok =
+                       List.for_all2
+                         (fun v j -> Value.equal v rrow.(j))
+                         rest_vals other_idx
+                     in
+                     if ok then begin
+                       tick budget;
+                       out := Array.append lrow rrow :: !out
+                     end)
+                   (Index.lookup index probe))
+             lrel
+         with Budget_stop -> ());
         Relation.create out_schema (List.rev !out)))
   | Cross (a, b) ->
     let ra = run catalog a and rb = run catalog b in
     let schema = Schema.append (Relation.schema ra) (Relation.schema rb) in
     let out = ref [] in
-    Relation.iter
-      (fun rowa ->
-        Relation.iter (fun rowb -> out := Array.append rowa rowb :: !out) rb)
-      ra;
+    (try
+       Relation.iter
+         (fun rowa ->
+           Relation.iter
+             (fun rowb ->
+               tick budget;
+               out := Array.append rowa rowb :: !out)
+             rb)
+         ra
+     with Budget_stop -> ());
     Relation.create schema (List.rev !out)
   | Aggregate { input; group_by; items; having } ->
     run_aggregate (run catalog input) ~group_by ~items ~having
@@ -578,9 +644,9 @@ and eval hook catalog (plan : Plan.t) : Relation.t =
     Relation.of_array (Relation.schema rel)
       (Array.sub (Relation.rows rel) 0 keep)
 
-let run catalog plan =
+let run ?budget catalog plan =
   (* evaluation-time type errors surface as engine errors *)
-  try run_hooked (fun _ f -> f ()) catalog plan
+  try run_hooked budget (fun _ f -> f ()) catalog plan
   with Expr.Type_error msg -> raise (Exec_error msg)
 
 type profile = {
@@ -604,7 +670,7 @@ let operator_label (plan : Plan.t) =
   | Distinct _ -> "Distinct"
   | Limit _ -> "Limit"
 
-let run_profiled catalog plan =
+let run_profiled ?budget catalog plan =
   (* a stack of children accumulators: the hook pushes a frame before
      evaluating a node and folds the completed profile into the
      parent's frame afterwards *)
@@ -629,7 +695,7 @@ let run_profiled catalog plan =
     rel
   in
   let rel =
-    try run_hooked hook catalog plan
+    try run_hooked budget hook catalog plan
     with Expr.Type_error msg -> raise (Exec_error msg)
   in
   match !stack with

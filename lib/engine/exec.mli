@@ -14,9 +14,12 @@ type catalog = {
 
 exception Exec_error of string
 
-val run : catalog -> Plan.t -> Dirty.Relation.t
+val run : ?budget:Budget.t -> catalog -> Plan.t -> Dirty.Relation.t
 (** @raise Exec_error on semantic errors (unknown table, unbound or
-    ambiguous column, type errors). *)
+    ambiguous column, type errors).
+    @raise Budget.Exceeded when a [Raise]-mode budget runs out; with a
+    [Truncate]-mode budget the result is the partial output produced
+    within the budget (consult {!Budget.truncated}). *)
 
 (** Per-operator execution statistics (EXPLAIN ANALYZE). *)
 type profile = {
@@ -26,7 +29,8 @@ type profile = {
   children : profile list;
 }
 
-val run_profiled : catalog -> Plan.t -> Dirty.Relation.t * profile
+val run_profiled :
+  ?budget:Budget.t -> catalog -> Plan.t -> Dirty.Relation.t * profile
 (** Like {!run} but also returns the per-node statistics tree. *)
 
 val pp_profile : Format.formatter -> profile -> unit

@@ -1,8 +1,14 @@
 open Dirty
 
-type config = { pushdown : bool; use_indexes : bool }
+type config = {
+  pushdown : bool;
+  use_indexes : bool;
+  max_rows : int option;
+  max_elapsed : float option;
+}
 
-let default_config = { pushdown = true; use_indexes = true }
+let default_config =
+  { pushdown = true; use_indexes = true; max_rows = None; max_elapsed = None }
 
 type env = {
   schema_of : string -> Schema.t option;

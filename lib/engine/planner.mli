@@ -19,6 +19,13 @@
 type config = {
   pushdown : bool;  (** push single-table predicates below joins *)
   use_indexes : bool;  (** allow index joins *)
+  max_rows : int option;
+      (** execution budget: total rows the plan's operators may
+          produce (intermediate results included); [None] (the
+          default) is unlimited.  See {!Budget}. *)
+  max_elapsed : float option;
+      (** execution budget: wall-clock seconds; [None] is
+          unlimited. *)
 }
 
 val default_config : config

@@ -22,8 +22,16 @@ let load_file path =
       in
       go [])
 
+exception Parse_error of { path : string; lineno : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { path; lineno; msg } ->
+      Some (Printf.sprintf "Tpch.Tbl.Parse_error: %s:%d: %s" path lineno msg)
+    | _ -> None)
+
 let failf path lineno fmt =
-  Printf.ksprintf (fun s -> failwith (Printf.sprintf "%s:%d: %s" path lineno s)) fmt
+  Printf.ksprintf (fun msg -> raise (Parse_error { path; lineno; msg })) fmt
 
 let int_field path lineno s =
   match int_of_string_opt (String.trim s) with

@@ -12,6 +12,11 @@
     Use {!Datagen.dirtify} afterwards to inject duplicates into the
     loaded data. *)
 
+exception Parse_error of { path : string; lineno : int; msg : string }
+(** A malformed [.tbl] row: wrong field count, a non-numeric key or
+    amount, an unparseable date, or a [lineitem] row naming a
+    (partkey, suppkey) pair with no [partsupp] row. *)
+
 val parse_line : string -> string list
 (** Split one [.tbl] line (handles the trailing ['|']). *)
 
@@ -21,4 +26,4 @@ val load_dir : string -> Dirty.Dirty_db.t
 (** Load [region.tbl], [nation.tbl], [supplier.tbl], [part.tbl],
     [partsupp.tbl], [customer.tbl], [orders.tbl] and [lineitem.tbl]
     from the directory.  Missing files raise [Sys_error]; malformed
-    rows raise [Failure] with the file and line. *)
+    rows raise {!Parse_error} with the file and line. *)

@@ -1,0 +1,125 @@
+(* Fault injection for the robustness suite: seeded-problem databases,
+   file corruption, and simulated crashes of Store.save. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_f f = Value.Float f
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "conquer" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* ---- seeded problems ----
+
+   One dirty database exhibiting every injectable Validate diagnostic
+   at once, built with [~validate:false] so construction succeeds:
+
+   - cust/c1: probabilities sum to 1.3        -> Cluster_sum_mismatch
+   - cust/c2: a probability that is a string  -> Non_numeric_probability
+   - cust/c3: a NaN probability               -> Nan_probability
+   - cust/c4: -0.2 and 1.2 (sum still 1)      -> Probability_out_of_range x2
+   - cust/c5: probabilities 0 and 1           -> Zero_probability (warning)
+   - cust/c6: two rows identical off-prob     -> Duplicate_tuple (warning)
+   - cust/c7: a well-formed cluster (control)
+   - orders/o1: custfk = "zzz"                -> Dangling_reference
+     (against reference orders.custfk -> cust) *)
+
+let cust_schema =
+  Schema.make
+    [ ("id", Value.TString); ("name", Value.TString); ("prob", Value.TFloat) ]
+
+let orders_schema =
+  Schema.make
+    [ ("id", Value.TString); ("custfk", Value.TString); ("prob", Value.TFloat) ]
+
+let seeded_reference : Validate.reference =
+  { ref_table = "orders"; fk_attr = "custfk"; target = "cust" }
+
+let seeded_db () =
+  let cust =
+    Relation.create cust_schema
+      [
+        [| v_s "c1"; v_s "Ann"; v_f 0.7 |];
+        [| v_s "c1"; v_s "Anne"; v_f 0.6 |];
+        [| v_s "c2"; v_s "Bob"; v_s "lots" |];
+        [| v_s "c2"; v_s "Rob"; v_f 1.0 |];
+        [| v_s "c3"; v_s "Cal"; v_f Float.nan |];
+        [| v_s "c3"; v_s "Carl"; v_f 1.0 |];
+        [| v_s "c4"; v_s "Dee"; v_f (-0.2) |];
+        [| v_s "c4"; v_s "Di"; v_f 1.2 |];
+        [| v_s "c5"; v_s "Ed"; v_f 0.0 |];
+        [| v_s "c5"; v_s "Eddy"; v_f 1.0 |];
+        [| v_s "c6"; v_s "Flo"; v_f 0.5 |];
+        [| v_s "c6"; v_s "Flo"; v_f 0.5 |];
+        [| v_s "c7"; v_s "Gus"; v_f 1.0 |];
+      ]
+  in
+  let orders =
+    Relation.create orders_schema
+      [
+        [| v_s "o1"; v_s "zzz"; v_f 1.0 |];
+        [| v_s "o2"; v_s "c7"; v_f 1.0 |];
+      ]
+  in
+  let db =
+    Dirty_db.add_table Dirty_db.empty
+      (Dirty_db.make_table ~validate:false ~name:"cust" ~id_attr:"id"
+         ~prob_attr:"prob" cust)
+  in
+  Dirty_db.add_table db
+    (Dirty_db.make_table ~validate:false ~name:"orders" ~id_attr:"id"
+       ~prob_attr:"prob" orders)
+
+(* ---- file corruption ---- *)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Simulate a torn (non-atomic) write: keep only the first [keep]
+   bytes of the file, cutting mid-row. *)
+let truncate_file path ~keep =
+  let s = read_bytes path in
+  write_bytes path (String.sub s 0 (min keep (String.length s)))
+
+(* ---- simulated crashes of Store.save ----
+
+   [Store.save] writes each table CSV atomically (temp file + rename),
+   then the manifest, last.  A crash can therefore be observed as: some
+   complete new table files, possibly a stray temp file from the write
+   in flight, and the manifest of the *previous* save (or none).
+   [interrupted_save] reproduces exactly that on-disk state: the first
+   [tables_written] tables of [db] land completely, a partial temp file
+   is left behind for the next one, and the manifest is not touched. *)
+
+let interrupted_save ?(tables_written = 1) dir db =
+  let tables = Dirty_db.tables db in
+  List.iteri
+    (fun i (t : Dirty_db.table) ->
+      if i < tables_written then
+        Csv.write_file (Filename.concat dir (t.name ^ ".csv")) t.relation
+      else if i = tables_written then begin
+        (* the write that was in flight: a half-written temp file *)
+        let tmp = Filename.temp_file ~temp_dir:dir ".store-" ".tmp" in
+        write_bytes tmp "id,na"
+      end)
+    tables

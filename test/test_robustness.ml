@@ -1,0 +1,516 @@
+(* Robustness: complete structured diagnostics (Validate), per-cluster
+   repair policies (Repair), crash-safe persistence (Store), and
+   execution budgets (Engine.Budget), exercised end-to-end with the
+   fault-injection helpers of [Fault]. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_f f = Value.Float f
+
+(* ---- Validate: one pass reports every seeded problem ---- *)
+
+let seeded_diags () =
+  Validate.db_diagnostics ~references:[ Fault.seeded_reference ]
+    (Fault.seeded_db ())
+
+let count p diags = List.length (List.filter p diags)
+
+let test_validate_reports_everything () =
+  let diags = seeded_diags () in
+  let open Validate in
+  Alcotest.(check int) "cluster sum mismatch" 1
+    (count (function Cluster_sum_mismatch { cluster; _ } ->
+         Value.equal cluster (v_s "c1") | _ -> false)
+       diags);
+  Alcotest.(check int) "non-numeric probability" 1
+    (count (function Non_numeric_probability _ -> true | _ -> false) diags);
+  Alcotest.(check int) "NaN probability" 1
+    (count (function Nan_probability _ -> true | _ -> false) diags);
+  Alcotest.(check int) "out-of-range probabilities" 2
+    (count (function Probability_out_of_range _ -> true | _ -> false) diags);
+  Alcotest.(check int) "zero probability (warning)" 1
+    (count (function Zero_probability _ -> true | _ -> false) diags);
+  Alcotest.(check int) "duplicate tuples (warning)" 1
+    (count (function Duplicate_tuple _ -> true | _ -> false) diags);
+  Alcotest.(check int) "dangling reference" 1
+    (count (function Dangling_reference { value; _ } ->
+         Value.equal value (v_s "zzz") | _ -> false)
+       diags);
+  (* nothing else: the control cluster c7 and orders/o2 are clean *)
+  Alcotest.(check int) "total diagnostics" 8 (List.length diags);
+  Alcotest.(check int) "error-severity subset" 6
+    (List.length (Validate.errors diags));
+  Alcotest.(check bool) "not clean" false (Validate.is_clean diags)
+
+let test_validate_clean_db () =
+  let diags = Validate.db_diagnostics (Fixtures.figure2_db ()) in
+  Alcotest.(check int) "no diagnostics" 0 (List.length diags);
+  Alcotest.(check bool) "clean" true (Validate.is_clean diags)
+
+let test_validate_unknown_reference () =
+  let diags =
+    Validate.db_diagnostics
+      ~references:
+        [ { Validate.ref_table = "orders"; fk_attr = "nope"; target = "cust" } ]
+      (Fault.seeded_db ())
+  in
+  Alcotest.(check bool) "missing foreign-key column reported" true
+    (List.exists
+       (function Validate.Missing_column { column = "nope"; _ } -> true
+         | _ -> false)
+       diags)
+
+(* ---- Repair: every policy yields a Validate-clean database ---- *)
+
+let refs = [ Fault.seeded_reference ]
+
+let test_repair_policy policy () =
+  let db, actions = Repair.repair_db ~references:refs ~policy (Fault.seeded_db ()) in
+  Alcotest.(check bool) "actions reported" true (actions <> []);
+  Alcotest.(check bool)
+    (Repair.policy_to_string policy ^ " leaves no errors")
+    true
+    (Validate.is_clean (Validate.db_diagnostics ~references:refs db))
+
+let test_repair_fail_policy () =
+  match Repair.repair_db ~references:refs ~policy:Repair.Fail (Fault.seeded_db ()) with
+  | exception Repair.Repair_failed _ -> ()
+  | _ -> Alcotest.fail "Fail policy did not raise"
+
+let test_repair_renormalize_values () =
+  let db, _ =
+    Repair.repair_db ~references:refs ~policy:Repair.Renormalize
+      (Fault.seeded_db ())
+  in
+  let cust = Dirty_db.find_table db "cust" in
+  let prob_of name =
+    let found = ref None in
+    Relation.iter
+      (fun row ->
+        if Value.equal (Relation.value cust.relation row "name") (v_s name) then
+          found := Value.to_float (Relation.value cust.relation row "prob"))
+      cust.relation;
+    match !found with
+    | Some p -> p
+    | None -> Alcotest.failf "row %s not found" name
+  in
+  (* c1 summed to 1.3: renormalized in place *)
+  Fixtures.check_float "Ann renormalized" (0.7 /. 1.3) (prob_of "Ann");
+  Fixtures.check_float "Anne renormalized" (0.6 /. 1.3) (prob_of "Anne");
+  (* c2 had a non-numeric probability: renormalize degrades to uniform *)
+  Fixtures.check_float "Bob uniform fallback" 0.5 (prob_of "Bob");
+  (* the clean control cluster is untouched *)
+  Fixtures.check_float "Gus untouched" 1.0 (prob_of "Gus")
+
+let test_repair_drop_dangling () =
+  let db, _ =
+    Repair.repair_db ~references:refs ~policy:Repair.Drop_cluster
+      (Fault.seeded_db ())
+  in
+  let orders = Dirty_db.find_table db "orders" in
+  Alcotest.(check int) "dangling order cluster dropped" 1
+    (Relation.cardinality orders.relation);
+  Alcotest.(check bool) "surviving row is the clean one" true
+    (Value.equal (Relation.value orders.relation
+                    (Relation.get orders.relation 0) "id")
+       (v_s "o2"))
+
+let test_repair_null_dangling () =
+  let db, _ =
+    Repair.repair_db ~references:refs ~policy:Repair.Renormalize
+      (Fault.seeded_db ())
+  in
+  let orders = Dirty_db.find_table db "orders" in
+  Alcotest.(check int) "no rows dropped" 2 (Relation.cardinality orders.relation);
+  let fk_of_o1 =
+    Relation.value orders.relation (Relation.get orders.relation 0) "custfk"
+  in
+  Alcotest.(check bool) "dangling foreign key nulled" true
+    (Value.is_null fk_of_o1)
+
+(* every non-Fail policy, on random garbage probabilities *)
+let repair_property =
+  let ( let* ) gen f = QCheck.Gen.( >>= ) gen f in
+  let policy_gen =
+    QCheck.Gen.oneofl
+      [
+        Repair.Renormalize; Repair.Uniform_fallback;
+        Repair.Clamp_and_renormalize; Repair.Drop_cluster;
+      ]
+  in
+  let prob_gen =
+    QCheck.Gen.frequency
+      [
+        (5, QCheck.Gen.float_range (-0.5) 2.0);
+        (1, QCheck.Gen.return Float.nan);
+        (1, QCheck.Gen.return 0.0);
+        (4, QCheck.Gen.float_range 0.0 1.0);
+      ]
+  in
+  let table_gen =
+    let* clusters = QCheck.Gen.int_range 1 5 in
+    QCheck.Gen.flatten_l
+      (List.init clusters (fun c ->
+           let* size = QCheck.Gen.int_range 1 4 in
+           QCheck.Gen.flatten_l
+             (List.init size (fun i ->
+                  let* p = prob_gen in
+                  QCheck.Gen.return
+                    [| Value.Int c; Value.Int ((10 * c) + i); Value.Float p |]))))
+  in
+  let print (rows, policy) =
+    Repair.policy_to_string policy
+    ^ "\n"
+    ^ String.concat "\n"
+        (List.map
+           (fun r ->
+             String.concat ","
+               (List.map Value.to_string (Array.to_list r)))
+           (List.concat rows))
+  in
+  let arb = QCheck.make ~print QCheck.Gen.(pair table_gen policy_gen) in
+  QCheck.Test.make ~count:200 ~name:"repair leaves no error diagnostics" arb
+    (fun (rows, policy) ->
+      let rows = List.concat rows in
+      let rel =
+        Relation.create
+          (Schema.make
+             [ ("id", Value.TInt); ("v", Value.TInt); ("prob", Value.TFloat) ])
+          rows
+      in
+      let t =
+        Dirty_db.make_table ~validate:false ~name:"t" ~id_attr:"id"
+          ~prob_attr:"prob" rel
+      in
+      let t', _ = Repair.repair_table ~policy t in
+      Validate.is_clean (Validate.table_diagnostics t'))
+
+(* ---- Store: crash safety and failure modes ---- *)
+
+let modified_figure2 () =
+  (* figure2 plus a new table the interrupted save gets to write first *)
+  let extra =
+    Relation.create
+      (Schema.make [ ("id", Value.TString); ("prob", Value.TFloat) ])
+      [ [| v_s "x1"; v_f 1.0 |] ]
+  in
+  let db = Fixtures.figure2_db () in
+  Dirty_db.add_table db
+    (Dirty_db.make_table ~name:"aextra" ~id_attr:"id" ~prob_attr:"prob" extra)
+
+let test_store_crash_before_manifest () =
+  Fault.with_temp_dir (fun dir ->
+      let v1 = Fixtures.figure2_db () in
+      Store.save dir v1;
+      (* the re-save of a grown database crashes before the manifest *)
+      Fault.interrupted_save ~tables_written:1 dir (modified_figure2 ());
+      let db = Store.load dir in
+      Alcotest.(check (list string))
+        "load sees exactly the previous save"
+        (Dirty_db.table_names v1) (Dirty_db.table_names db);
+      List.iter2
+        (fun (a : Dirty_db.table) (b : Dirty_db.table) ->
+          Alcotest.(check bool) (a.name ^ " intact") true
+            (Relation.equal_as_bags a.relation b.relation))
+        (Dirty_db.tables v1) (Dirty_db.tables db))
+
+let test_store_crash_on_first_save () =
+  Fault.with_temp_dir (fun dir ->
+      Fault.interrupted_save ~tables_written:1 dir (Fixtures.figure2_db ());
+      match Store.load dir with
+      | exception Sys_error _ -> ()
+      | _ -> Alcotest.fail "half-written first save was loadable")
+
+let test_store_stray_temp_ignored () =
+  Fault.with_temp_dir (fun dir ->
+      let db = Fixtures.figure2_db () in
+      Store.save dir db;
+      Fault.write_bytes (Filename.concat dir ".store-stray.tmp") "id,pr";
+      let db' = Store.load dir in
+      Alcotest.(check (list string))
+        "temp file invisible to load"
+        (Dirty_db.table_names db) (Dirty_db.table_names db'))
+
+let test_store_torn_table_file () =
+  Fault.with_temp_dir (fun dir ->
+      Store.save dir (Fixtures.figure2_db ());
+      let path = Filename.concat dir "customer.csv" in
+      Fault.truncate_file path ~keep:30;
+      (match Store.load dir with
+      | exception (Dirty_db.Invalid _ | Invalid_argument _ | Failure _) -> ()
+      | _ -> Alcotest.fail "torn table accepted by strict load");
+      let db, warnings = Store.load_verbose ~lenient:true dir in
+      Alcotest.(check (list string)) "torn table skipped" [ "orders" ]
+        (Dirty_db.table_names db);
+      Alcotest.(check int) "one warning" 1 (List.length warnings))
+
+let test_store_missing_table_file () =
+  Fault.with_temp_dir (fun dir ->
+      Store.save dir (Fixtures.figure2_db ());
+      Sys.remove (Filename.concat dir "orders.csv");
+      (match Store.load dir with
+      | exception Sys_error _ -> ()
+      | _ -> Alcotest.fail "missing table accepted by strict load");
+      let db, warnings = Store.load_verbose ~lenient:true dir in
+      Alcotest.(check (list string)) "missing table skipped" [ "customer" ]
+        (Dirty_db.table_names db);
+      Alcotest.(check int) "one warning" 1 (List.length warnings))
+
+let test_store_malformed_manifest_row () =
+  Fault.with_temp_dir (fun dir ->
+      Store.save dir (Fixtures.figure2_db ());
+      let manifest = Filename.concat dir "manifest.csv" in
+      Fault.write_bytes manifest (Fault.read_bytes manifest ^ "too,few\n");
+      (match Store.load dir with
+      | exception Sys_error _ -> ()
+      | _ -> Alcotest.fail "malformed manifest row accepted by strict load");
+      let db, warnings = Store.load_verbose ~lenient:true dir in
+      Alcotest.(check int) "tables still loaded" 2
+        (List.length (Dirty_db.table_names db));
+      Alcotest.(check int) "one warning" 1 (List.length warnings))
+
+let test_store_malformed_manifest_header () =
+  Fault.with_temp_dir (fun dir ->
+      Store.save dir (Fixtures.figure2_db ());
+      Fault.write_bytes (Filename.concat dir "manifest.csv") "not,a,manifest\n";
+      (* fatal even in lenient mode: nothing can be loaded without it *)
+      match Store.load ~lenient:true dir with
+      | exception Sys_error _ -> ()
+      | _ -> Alcotest.fail "malformed manifest header accepted")
+
+let test_store_save_is_atomic_per_file () =
+  Fault.with_temp_dir (fun dir ->
+      (* overwriting an existing store never truncates in place: the
+         old file stays readable until the rename *)
+      Store.save dir (Fixtures.figure2_db ());
+      Store.save dir (Fixtures.figure2_db ());
+      let db = Store.load dir in
+      Alcotest.(check int) "still two tables" 2
+        (List.length (Dirty_db.table_names db)))
+
+(* ---- budgets ---- *)
+
+let test_budget_admit_raise () =
+  let b = Engine.Budget.create { Engine.Budget.max_rows = Some 5; max_elapsed = None } in
+  Alcotest.(check int) "within budget" 3 (Engine.Budget.admit b 3);
+  (match Engine.Budget.admit b 3 with
+  | exception Engine.Budget.Exceeded { produced; limits; _ } ->
+    Alcotest.(check int) "produced counts the overflow" 6 produced;
+    Alcotest.(check (option int)) "limits echoed" (Some 5) limits.max_rows
+  | _ -> Alcotest.fail "over-budget admit did not raise");
+  (* the exception propagates; exhausted is the Truncate-mode flag *)
+  Alcotest.(check int) "produced still recorded" 6 (Engine.Budget.produced b)
+
+let test_budget_admit_truncate () =
+  let b =
+    Engine.Budget.create ~mode:Engine.Budget.Truncate
+      { Engine.Budget.max_rows = Some 5; max_elapsed = None }
+  in
+  Alcotest.(check int) "full batch" 3 (Engine.Budget.admit b 3);
+  Alcotest.(check int) "partial batch" 2 (Engine.Budget.admit b 4);
+  Alcotest.(check bool) "truncated" true (Engine.Budget.truncated b);
+  Alcotest.(check int) "nothing after exhaustion" 0 (Engine.Budget.admit b 1)
+
+let budget_config ?rows ?secs () =
+  { Engine.Planner.default_config with max_rows = rows; max_elapsed = secs }
+
+let test_query_budget_raises () =
+  let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  match Conquer.Clean.answers ~config:(budget_config ~rows:2 ()) s Fixtures.q2 with
+  | exception Engine.Budget.Exceeded _ -> ()
+  | _ -> Alcotest.fail "row budget did not raise"
+
+let test_query_time_budget_raises () =
+  let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  (* a pre-expired clock: the first wall-clock check trips *)
+  match
+    Conquer.Clean.answers ~config:(budget_config ~secs:(-1.0) ()) s Fixtures.q2
+  with
+  | exception Engine.Budget.Exceeded _ -> ()
+  | _ -> Alcotest.fail "time budget did not raise"
+
+let test_query_unbudgeted_config_unchanged () =
+  let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  let rel = Conquer.Clean.answers ~config:Engine.Planner.default_config s Fixtures.q2 in
+  Alcotest.(check int) "all answers" 3 (Relation.cardinality rel)
+
+let test_answers_within_degrades () =
+  let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  let full = Conquer.Clean.answers s Fixtures.q2 in
+  (* generous budget: complete answers, not truncated *)
+  let complete =
+    Conquer.Clean.answers_within ~config:(budget_config ~rows:100_000 ()) s
+      Fixtures.q2
+  in
+  Alcotest.(check bool) "not truncated" false complete.truncated;
+  Alcotest.(check bool) "same answers" true
+    (Relation.equal_as_bags full complete.rows);
+  (* starved budget: partial prefix, flagged *)
+  let partial =
+    Conquer.Clean.answers_within ~config:(budget_config ~rows:2 ()) s Fixtures.q2
+  in
+  Alcotest.(check bool) "truncated" true partial.truncated;
+  Alcotest.(check bool) "a strict prefix of the work" true
+    (Relation.cardinality partial.rows < Relation.cardinality full)
+
+let test_top_answers_within_partial_prefix () =
+  let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  let full = Conquer.Clean.top_answers ~k:3 s Fixtures.q2 in
+  let generous =
+    Conquer.Clean.top_answers_within ~config:(budget_config ~rows:100_000 ())
+      ~k:3 s Fixtures.q2
+  in
+  Alcotest.(check bool) "generous budget: not truncated" false
+    generous.truncated;
+  Alcotest.(check bool) "generous budget: identical ranking" true
+    (Relation.equal_as_bags full generous.rows);
+  let starved =
+    Conquer.Clean.top_answers_within ~config:(budget_config ~rows:2 ()) ~k:3 s
+      Fixtures.q2
+  in
+  Alcotest.(check bool) "starved budget: truncated" true starved.truncated;
+  Alcotest.(check bool) "starved budget: prefix only" true
+    (Relation.cardinality starved.rows < Relation.cardinality full)
+
+(* ---- end-to-end: seeded db -> repair -> store -> budgeted query ---- *)
+
+let test_pipeline_end_to_end () =
+  Fault.with_temp_dir (fun dir ->
+      let dirty = Fault.seeded_db () in
+      Alcotest.(check bool) "starts dirty" false
+        (Validate.is_clean (Validate.db_diagnostics ~references:refs dirty));
+      let repaired, _ =
+        Repair.repair_db ~references:refs ~policy:Repair.Clamp_and_renormalize
+          dirty
+      in
+      Store.save dir repaired;
+      let loaded = Store.load dir in
+      Alcotest.(check bool) "reloaded db validates" true
+        (Validate.is_clean (Validate.db_diagnostics loaded));
+      let s = Conquer.Clean.create loaded in
+      let { Conquer.Clean.rows; truncated } =
+        Conquer.Clean.answers_within
+          ~config:(budget_config ~rows:100_000 ())
+          s "select id from cust"
+      in
+      Alcotest.(check bool) "not truncated" false truncated;
+      Alcotest.(check int) "one answer per cluster" 7 (Relation.cardinality rows))
+
+(* ---- CSV round-trips with hostile content ---- *)
+
+let hostile_schema =
+  Schema.make [ ("a", Value.TString); ("b", Value.TString) ]
+
+let test_csv_embedded_newlines () =
+  let rel =
+    Relation.create hostile_schema
+      [
+        [| v_s "line1\nline2"; v_s "plain" |];
+        [| v_s "with,comma"; v_s "with\"quote" |];
+        (* an empty cell reads back as Null (Value.parse convention) *)
+        [| v_s "\r\nwindows"; Value.Null |];
+      ]
+  in
+  let path = Filename.temp_file "conquer" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file path rel;
+      let rel' = Csv.load_file path in
+      Alcotest.(check bool) "newline fields round-trip" true
+        (Relation.equal_as_bags rel rel'))
+
+let test_csv_empty_single_field_row () =
+  let rows = [ [ "v" ]; [ "x" ]; [ "" ]; [ "y" ] ] in
+  let rendered =
+    String.concat "\n" (List.map Csv.render_line rows) ^ "\n"
+  in
+  Alcotest.(check int) "empty row not dropped" 4
+    (List.length (Csv.parse_rows rendered));
+  Alcotest.(check (list (list string))) "round-trip" rows
+    (Csv.parse_rows rendered)
+
+let test_csv_crlf_and_blank_lines () =
+  let doc = "a,b\r\n1,2\r\n\r\n3,4\n\n" in
+  Alcotest.(check (list (list string))) "CRLF handled, blank lines skipped"
+    [ [ "a"; "b" ]; [ "1"; "2" ]; [ "3"; "4" ] ]
+    (Csv.parse_rows doc)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "reports every seeded problem" `Quick
+            test_validate_reports_everything;
+          Alcotest.test_case "clean db is clean" `Quick test_validate_clean_db;
+          Alcotest.test_case "unknown reference column" `Quick
+            test_validate_unknown_reference;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "renormalize -> clean" `Quick
+            (test_repair_policy Repair.Renormalize);
+          Alcotest.test_case "clamp -> clean" `Quick
+            (test_repair_policy Repair.Clamp_and_renormalize);
+          Alcotest.test_case "uniform -> clean" `Quick
+            (test_repair_policy Repair.Uniform_fallback);
+          Alcotest.test_case "drop -> clean" `Quick
+            (test_repair_policy Repair.Drop_cluster);
+          Alcotest.test_case "fail raises" `Quick test_repair_fail_policy;
+          Alcotest.test_case "renormalized values" `Quick
+            test_repair_renormalize_values;
+          Alcotest.test_case "drop removes dangling cluster" `Quick
+            test_repair_drop_dangling;
+          Alcotest.test_case "null out dangling foreign key" `Quick
+            test_repair_null_dangling;
+          QCheck_alcotest.to_alcotest ~long:false repair_property;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "crash before manifest keeps old db" `Quick
+            test_store_crash_before_manifest;
+          Alcotest.test_case "crash on first save loads nothing" `Quick
+            test_store_crash_on_first_save;
+          Alcotest.test_case "stray temp file ignored" `Quick
+            test_store_stray_temp_ignored;
+          Alcotest.test_case "torn table file" `Quick test_store_torn_table_file;
+          Alcotest.test_case "missing table file" `Quick
+            test_store_missing_table_file;
+          Alcotest.test_case "malformed manifest row" `Quick
+            test_store_malformed_manifest_row;
+          Alcotest.test_case "malformed manifest header" `Quick
+            test_store_malformed_manifest_header;
+          Alcotest.test_case "resave over existing store" `Quick
+            test_store_save_is_atomic_per_file;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "admit raises in Raise mode" `Quick
+            test_budget_admit_raise;
+          Alcotest.test_case "admit truncates in Truncate mode" `Quick
+            test_budget_admit_truncate;
+          Alcotest.test_case "row budget raises" `Quick test_query_budget_raises;
+          Alcotest.test_case "time budget raises" `Quick
+            test_query_time_budget_raises;
+          Alcotest.test_case "config without budget unchanged" `Quick
+            test_query_unbudgeted_config_unchanged;
+          Alcotest.test_case "answers_within degrades gracefully" `Quick
+            test_answers_within_degrades;
+          Alcotest.test_case "top_answers_within partial prefix" `Quick
+            test_top_answers_within_partial_prefix;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "validate/repair/store/budget" `Quick
+            test_pipeline_end_to_end ] );
+      ( "csv",
+        [
+          Alcotest.test_case "embedded newlines round-trip" `Quick
+            test_csv_embedded_newlines;
+          Alcotest.test_case "empty single-field row" `Quick
+            test_csv_empty_single_field_row;
+          Alcotest.test_case "CRLF and blank lines" `Quick
+            test_csv_crlf_and_blank_lines;
+        ] );
+    ]
