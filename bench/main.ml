@@ -7,7 +7,14 @@
      main.exe --report NAME    run one report (see --list)
      main.exe --no-bechamel    skip the bechamel statistical pass
      main.exe --quick          smaller data sizes (CI-friendly)
-     main.exe --list           list report names *)
+     main.exe --json FILE      write the machine-readable summary to FILE
+     main.exe --list           list report names
+
+   Besides the human-readable tables, every timed measurement is
+   recorded (min/median/max over the runs) and dumped together with a
+   telemetry metrics snapshot as one JSON file, BENCH_<n>.json in the
+   working directory — <n> is the first integer >= 2 whose file does
+   not exist yet, so successive runs never clobber each other. *)
 
 module Value = Dirty.Value
 module Relation = Dirty.Relation
@@ -19,17 +26,27 @@ module Dirty_db = Dirty.Dirty_db
 (* timing helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let time_once f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (Unix.gettimeofday () -. t0, result)
+(* Measurement is Telemetry.Timing — the same helper the CLI's
+   [profile] subcommand uses.  Every named sample is kept (with its
+   full min/median/max spread) and written to BENCH_<n>.json at the
+   end of the run, tagged with the report it came from. *)
 
-(* median wall-clock over [runs] executions after one warmup *)
-let time_runs ?(runs = 3) f =
-  ignore (f ());
-  let samples = List.init runs (fun _ -> fst (time_once f)) in
-  let sorted = List.sort Float.compare samples in
-  List.nth sorted (runs / 2)
+let current_report = ref "startup"
+let samples : (string * string * Telemetry.Timing.stats) list ref = ref []
+
+let record name stats = samples := (!current_report, name, stats) :: !samples
+
+let time_once ?name f =
+  let t, result = Telemetry.Timing.time_once f in
+  Option.iter (fun n -> record n (Telemetry.Timing.singleton t)) name;
+  (t, result)
+
+(* median wall-clock over [runs] executions after one warmup; the
+   spread behind the median lands in BENCH_<n>.json under [name] *)
+let time_runs ?runs ~name f =
+  let stats = Telemetry.Timing.time_runs ?runs f in
+  record name stats;
+  stats.median
 
 let ms t = t *. 1000.0
 
@@ -256,10 +273,20 @@ let report_fig7 () =
       let db = tpch_db ~sf ~inconsistency in
       let lineitem = Dirty_db.find_table db "lineitem" in
       let rows = Relation.cardinality lineitem.relation in
-      let t_prop = time_runs (fun () -> Tpch.Datagen.propagate_all db) in
-      let t_assign = time_runs (fun () -> Prob.Assign.annotate_table lineitem) in
+      let t_prop =
+        time_runs
+          ~name:(Printf.sprintf "if%d/propagation" inconsistency)
+          (fun () -> Tpch.Datagen.propagate_all db)
+      in
+      let t_assign =
+        time_runs
+          ~name:(Printf.sprintf "if%d/assign" inconsistency)
+          (fun () -> Prob.Assign.annotate_table lineitem)
+      in
       let t_scan =
-        time_runs (fun () ->
+        time_runs
+          ~name:(Printf.sprintf "if%d/scan" inconsistency)
+          (fun () ->
             Relation.fold (fun acc row -> acc + Array.length row) 0
               lineitem.relation)
       in
@@ -284,8 +311,16 @@ let report_fig8 () =
   let worst = ref (0, 0.0) in
   List.iter
     (fun (q : Tpch.Queries.query) ->
-      let t_orig = time_runs (fun () -> Conquer.Clean.original s q.sql) in
-      let t_rew = time_runs (fun () -> Conquer.Clean.answers s q.sql) in
+      let t_orig =
+        time_runs
+          ~name:(Printf.sprintf "q%02d-original" q.qid)
+          (fun () -> Conquer.Clean.original s q.sql)
+      in
+      let t_rew =
+        time_runs
+          ~name:(Printf.sprintf "q%02d-rewritten" q.qid)
+          (fun () -> Conquer.Clean.answers s q.sql)
+      in
       let ratio = if t_orig > 0.0 then t_rew /. t_orig else 1.0 in
       if ratio > snd !worst then worst := (q.qid, ratio);
       Printf.printf "Q%-4d %12.2fms %12.2fms %8.2f\n" q.qid (ms t_orig)
@@ -310,10 +345,23 @@ let report_fig9 () =
     (fun inconsistency ->
       let db = tpch_db ~sf:(bench_sf ()) ~inconsistency in
       let s = Conquer.Clean.create db in
-      let t_orig = time_runs (fun () -> Conquer.Clean.original s q3) in
-      let t_rew = time_runs (fun () -> Conquer.Clean.answers s q3) in
-      let t_orig_nob = time_runs (fun () -> Conquer.Clean.original s q3_nob) in
-      let t_rew_nob = time_runs (fun () -> Conquer.Clean.answers s q3_nob) in
+      let name suffix = Printf.sprintf "if%d/%s" inconsistency suffix in
+      let t_orig =
+        time_runs ~name:(name "original") (fun () -> Conquer.Clean.original s q3)
+      in
+      let t_rew =
+        time_runs ~name:(name "rewritten") (fun () -> Conquer.Clean.answers s q3)
+      in
+      let t_orig_nob =
+        time_runs
+          ~name:(name "original-no-order-by")
+          (fun () -> Conquer.Clean.original s q3_nob)
+      in
+      let t_rew_nob =
+        time_runs
+          ~name:(name "rewritten-no-order-by")
+          (fun () -> Conquer.Clean.answers s q3_nob)
+      in
       Printf.printf "%-4d %10.2fms %10.2fms %14.2fms %14.2fms\n" inconsistency
         (ms t_orig) (ms t_rew) (ms t_orig_nob) (ms t_rew_nob))
     [ 1; 2; 3; 4; 5 ];
@@ -344,8 +392,12 @@ let report_fig10 () =
     (fun (q : Tpch.Queries.query) ->
       Printf.printf "Q%-4d" q.qid;
       List.iter
-        (fun (_, _, s) ->
-          let t = time_runs (fun () -> Conquer.Clean.answers s q.sql) in
+        (fun (sf, _, s) ->
+          let t =
+            time_runs
+              ~name:(Printf.sprintf "q%02d/sf%g" q.qid sf)
+              (fun () -> Conquer.Clean.answers s q.sql)
+          in
           Printf.printf " %10.1fms" (ms t))
         sessions;
       print_newline ())
@@ -386,12 +438,18 @@ let report_ablation_oracle () =
       let db = make_db clusters in
       let s = Conquer.Clean.create db in
       let candidates = Conquer.Candidates.count db in
-      let t_rew = time_runs (fun () -> Conquer.Clean.answers s sql) in
+      let t_rew =
+        time_runs
+          ~name:(Printf.sprintf "%d-clusters/rewriting" clusters)
+          (fun () -> Conquer.Clean.answers s sql)
+      in
       let t_oracle =
         if candidates <= 70_000.0 then
           Printf.sprintf "%10.2fms"
             (ms
-               (time_runs ~runs:1 (fun () ->
+               (time_runs ~runs:1
+                  ~name:(Printf.sprintf "%d-clusters/oracle" clusters)
+                  (fun () ->
                     Conquer.Candidates.clean_answers ~max_candidates:100_000 db
                       (Sql.Parser.parse_query sql))))
         else "  infeasible"
@@ -478,9 +536,15 @@ let report_ablation_index () =
   List.iter
     (fun qid ->
       let q = Tpch.Queries.find qid in
-      let t_with = time_runs (fun () -> Conquer.Clean.answers with_idx q.sql) in
+      let t_with =
+        time_runs
+          ~name:(Printf.sprintf "q%02d-indexed" qid)
+          (fun () -> Conquer.Clean.answers with_idx q.sql)
+      in
       let t_without =
-        time_runs (fun () -> Conquer.Clean.answers without_idx q.sql)
+        time_runs
+          ~name:(Printf.sprintf "q%02d-no-indexes" qid)
+          (fun () -> Conquer.Clean.answers without_idx q.sql)
       in
       Printf.printf "Q%-4d %14.2fms %14.2fms\n" qid (ms t_with) (ms t_without))
     [ 3; 9; 10 ];
@@ -496,20 +560,20 @@ let report_ext_expected () =
   section "Extension: expected aggregates (the paper's named future work)";
   let db = tpch_db ~sf:(bench_sf ()) ~inconsistency:3 in
   let s = Conquer.Clean.create db in
-  let show name sql =
-    let t = time_runs (fun () -> Conquer.Expected.answers s sql) in
+  let show key name sql =
+    let t = time_runs ~name:key (fun () -> Conquer.Expected.answers s sql) in
     let r = Conquer.Expected.answers s sql in
     Printf.printf "%s (%d groups, %.2f ms):\n" name (Relation.cardinality r)
       (ms t);
     print_string (Relation.to_string ~max_rows:6 r)
   in
-  show "Q1 with its aggregates restored"
+  show "q01-aggregates" "Q1 with its aggregates restored"
     "select l_returnflag, l_linestatus, sum(l_quantity), \
      sum(l_extendedprice), count(*) from lineitem \
      where l_shipdate <= date '1998-09-02' \
      group by l_returnflag, l_linestatus \
      order by l_returnflag, l_linestatus";
-  show "Q6 revenue"
+  show "q06-revenue" "Q6 revenue"
     "select sum(l_extendedprice * l_discount) from lineitem \
      where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' \
      and l_discount between 0.05 and 0.07 and l_quantity < 24";
@@ -546,7 +610,9 @@ let report_ext_matcher () =
         }
       in
       let t, predicted =
-        time_once (fun () -> Matcher.Sorted_neighborhood.run config customer.relation)
+        time_once
+          ~name:(Printf.sprintf "sorted-neighborhood-t%.2f-w%d" threshold window)
+          (fun () -> Matcher.Sorted_neighborhood.run config customer.relation)
       in
       let scores = Matcher.Evaluate.pairwise ~truth:customer.clustering predicted in
       Printf.printf "%-10.2f %-7d %10d %8.3f %8.3f %8.3f %8.1fms\n" threshold
@@ -563,7 +629,7 @@ let report_ext_matcher () =
   in
   let truth_small = Cluster.of_relation small ~id_attr:"c_custkey" in
   let t, predicted =
-    time_once (fun () ->
+    time_once ~name:"limbo-block" (fun () ->
         Matcher.Limbo.run
           {
             attrs = [ "c_name"; "c_address"; "c_phone" ];
@@ -595,7 +661,9 @@ let report_ext_sampler () =
   List.iter
     (fun samples ->
       let t, ests =
-        time_once (fun () -> Conquer.Sampler.estimates ~seed:17 ~samples s q3)
+        time_once
+          ~name:(Printf.sprintf "%d-samples" samples)
+          (fun () -> Conquer.Sampler.estimates ~seed:17 ~samples s q3)
       in
       match ests with
       | { probability; std_error; _ } :: _ ->
@@ -612,7 +680,7 @@ let report_ext_sampler () =
      rewritable class, fine for the sampler *)
   let q18 = Tpch.Queries.q18_original_form in
   let t, ests =
-    time_once (fun () ->
+    time_once ~name:"q18-original-form" (fun () ->
         Conquer.Sampler.estimates ~seed:23 ~samples:200 sb q18.sql)
   in
   Printf.printf
@@ -632,7 +700,10 @@ let report_ext_distribution () =
      near the predicate boundary qualify only probabilistically *)
   let sql = "select l_id from lineitem where l_quantity < 25" in
   Printf.printf "query: %s\n" sql;
-  let t, pmf = time_once (fun () -> Conquer.Distribution.count_distribution s sql) in
+  let t, pmf =
+    time_once ~name:"count-pmf" (fun () ->
+        Conquer.Distribution.count_distribution s sql)
+  in
   Printf.printf
     "entity-count distribution over %d possible counts (computed in %.2f ms):\n"
     (Array.length pmf) (ms t);
@@ -737,9 +808,63 @@ let run_bechamel () =
   in
   List.iter
     (fun (name, estimate) ->
+      record name (Telemetry.Timing.singleton (estimate /. 1e9));
       Printf.printf "%-44s %14.0f ns/run (%10.3f ms)\n" name estimate
         (estimate /. 1e6))
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_<n>.json                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The timed reports run with telemetry disabled, precisely so the
+   instrumentation cannot distort the numbers.  Run one fully
+   instrumented query afterwards so the metrics snapshot embedded in
+   the JSON is populated. *)
+let populate_metrics () =
+  Telemetry.Control.with_enabled (fun () ->
+      let s = Conquer.Clean.create (figure2_db ()) in
+      ignore
+        (Conquer.Clean.answers s
+           "select o.id, c.id from orders o, customer c \
+            where o.cidfk = c.id and c.balance > 10000"))
+
+let next_bench_path () =
+  let rec free n =
+    let path = Printf.sprintf "BENCH_%d.json" n in
+    if Sys.file_exists path then free (n + 1) else path
+  in
+  free 2
+
+let write_bench_json ~reports path =
+  let js = Telemetry.Export.json_string in
+  let jf = Telemetry.Export.json_float in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"conquer-bench/1\"";
+  Buffer.add_string buf (Printf.sprintf ",\"generated_at\":%s" (jf (Unix.time ())));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"quick\":%b,\"reports\":[%s]" !quick
+       (String.concat "," (List.map js reports)));
+  Buffer.add_string buf ",\"samples\":[";
+  List.iteri
+    (fun i (report, name, (s : Telemetry.Timing.stats)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"report\":%s,\"name\":%s,\"runs\":%d,\"min_ms\":%s,\"median_ms\":%s,\"max_ms\":%s}"
+           (js report) (js name) s.runs
+           (jf (ms s.min))
+           (jf (ms s.median))
+           (jf (ms s.max))))
+    (List.rev !samples);
+  Buffer.add_string buf "],\"metrics\":";
+  Buffer.add_string buf (Telemetry.Export.metrics_json ());
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf);
+  Printf.printf "\nwrote %d sample(s) to %s\n" (List.length !samples) path
 
 (* ------------------------------------------------------------------ *)
 (* driver                                                              *)
@@ -771,6 +896,7 @@ let () =
   let args = Array.to_list Sys.argv in
   let selected = ref [] in
   let bechamel = ref true in
+  let json_path = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -778,6 +904,9 @@ let () =
       parse rest
     | "--no-bechamel" :: rest ->
       bechamel := false;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
       parse rest
     | "--list" :: _ ->
       List.iter (fun (name, _) -> print_endline name) reports;
@@ -792,7 +921,8 @@ let () =
       parse rest
     | ("--help" | "-h") :: _ ->
       print_endline
-        "usage: main.exe [--quick] [--no-bechamel] [--report NAME]... [--list]";
+        "usage: main.exe [--quick] [--no-bechamel] [--report NAME]... \
+         [--json FILE] [--list]";
       exit 0
     | arg :: _ ->
       Printf.eprintf "unknown argument %s\n" arg;
@@ -806,5 +936,15 @@ let () =
     "ConQuer benchmark harness — reproducing the evaluation of\n\
      \"Clean Answers over Dirty Databases\" (ICDE 2006)%s\n"
     (if !quick then " [quick mode]" else "");
-  List.iter (fun name -> (List.assoc name reports) ()) to_run;
-  if !bechamel then run_bechamel ()
+  List.iter
+    (fun name ->
+      current_report := name;
+      (List.assoc name reports) ())
+    to_run;
+  if !bechamel then begin
+    current_report := "bechamel";
+    run_bechamel ()
+  end;
+  populate_metrics ();
+  let path = match !json_path with Some p -> p | None -> next_bench_path () in
+  write_bench_json ~reports:to_run path

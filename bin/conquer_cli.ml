@@ -2,6 +2,7 @@
 
    Subcommands:
      query      run a query over dirty CSV tables and print clean answers
+     profile    run a query with telemetry on and print the span tree
      validate   report structured integrity diagnostics (optionally repair)
      rewrite    print RewriteClean(q) or the rewritability violations
      why        per-answer provenance: which duplicates contribute how much
@@ -17,7 +18,10 @@
    diagnostics (or a repair failed); 3 an execution budget was
    exceeded; 1 other errors.
 
-   '--verbose' anywhere turns on debug logging (plans, rewritten SQL). *)
+   '--verbose' anywhere turns on debug logging (plans, rewritten SQL).
+   '--trace FILE' anywhere enables telemetry and appends every completed
+   root span as a JSON line to FILE; '--metrics FILE' enables telemetry
+   and writes a Prometheus-style metrics snapshot to FILE at exit. *)
 
 module Value = Dirty.Value
 module Relation = Dirty.Relation
@@ -324,6 +328,61 @@ let query_cmd =
       const run $ tables_arg $ dir_arg $ sql_arg $ mode $ explain $ max_rows
       $ lenient_arg $ repair_arg $ budget_rows_arg $ budget_time_arg
       $ partial_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run tables dir sql mode runs lenient repair =
+    handling_failures @@ fun () ->
+    let db = resolve_db ~validate:false ~lenient tables dir in
+    let db = validate_or_repair ~quiet_warnings:true repair db in
+    let session = Conquer.Clean.create db in
+    let execute () =
+      match mode with
+      | Rewritten -> Conquer.Clean.answers session sql
+      | Original -> Conquer.Clean.original session sql
+      | Oracle -> Conquer.Clean.answers_oracle session sql
+      | Consistent -> Conquer.Clean.consistent_answers session sql
+    in
+    (* one instrumented pass captures the span tree (plan operators,
+       rewriting, and the clean-answer aggregation) *)
+    let result, spans = Telemetry.Span.collecting (fun () -> execute ()) in
+    Printf.printf "%d answer row(s)\n\nspan tree:\n" (Relation.cardinality result);
+    List.iter
+      (fun s -> print_string (Telemetry.Export.span_to_string s))
+      spans;
+    (* repeated timing runs with telemetry forced off, so the numbers
+       are not distorted by the instrumentation itself *)
+    let stats =
+      Telemetry.Control.with_disabled (fun () ->
+          Telemetry.Timing.time_runs ~runs (fun () -> ignore (execute ())))
+    in
+    Printf.printf "\ntiming (telemetry off): %s\n" (Telemetry.Timing.to_string stats)
+  in
+  let mode =
+    Arg.(
+      value & opt mode_conv Rewritten
+      & info [ "m"; "mode" ] ~docv:"MODE"
+          ~doc:
+            "One of 'rewritten' (default), 'original', 'oracle' or \
+             'consistent' — same semantics as 'query'.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 5
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Timed executions after one warmup (reported as min/median/max).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a query with telemetry enabled: print the tracing-span tree \
+          (per-operator rows, wall-clock, allocation) and min/median/max \
+          timings. Combine with --metrics FILE for a Prometheus-style \
+          counter snapshot.")
+    Term.(
+      const run $ tables_arg $ dir_arg $ sql_arg $ mode $ runs $ lenient_arg
+      $ repair_arg)
 
 (* ---- validate ---- *)
 
@@ -741,6 +800,24 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Walk through the paper's running example")
     Term.(const run $ const ())
 
+(* Pull the first occurrence of [--name VALUE] or [--name=VALUE] out of
+   an argument list; returns the value (if any) and the remaining
+   arguments.  Used for the global telemetry flags, which — like
+   --verbose — apply to every subcommand. *)
+let extract_value name args =
+  let prefix = name ^ "=" in
+  let plen = String.length prefix in
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | a :: value :: rest when a = name -> (Some value, List.rev_append acc rest)
+    | [ a ] when a = name -> (None, List.rev acc)
+    | a :: rest
+      when String.length a > plen && String.sub a 0 plen = prefix ->
+      (Some (String.sub a plen (String.length a - plen)), List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
   (* --verbose anywhere on the command line turns on debug logging
      (planner plans, rewritten queries) *)
@@ -748,17 +825,30 @@ let () =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  let args = List.filter (fun a -> a <> "--verbose") (Array.to_list Sys.argv) in
+  (* --trace FILE / --metrics FILE anywhere enable telemetry globally *)
+  let trace_file, args = extract_value "--trace" args in
+  let metrics_file, args = extract_value "--metrics" args in
+  (match trace_file with
+  | Some path ->
+    Telemetry.Control.enable ();
+    Telemetry.Span.subscribe (Telemetry.Export.trace_writer path)
+  | None -> ());
+  (match metrics_file with
+  | Some path ->
+    Telemetry.Control.enable ();
+    at_exit (fun () -> Telemetry.Export.write_metrics path)
+  | None -> ());
   let info =
     Cmd.info "conquer" ~version:"1.0.0"
       ~doc:"Clean answers over dirty databases (ConQuer, ICDE 2006)"
   in
-  let argv =
-    Array.of_list (List.filter (fun a -> a <> "--verbose") (Array.to_list Sys.argv))
-  in
+  let argv = Array.of_list args in
   exit
     (Cmd.eval ~argv
        (Cmd.group info
           [
-            query_cmd; validate_cmd; rewrite_cmd; why_cmd; expected_cmd; dist_cmd;
-            sample_cmd; match_cmd; assign_cmd; generate_cmd; demo_cmd;
+            query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
+            expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
+            generate_cmd; demo_cmd;
           ]))

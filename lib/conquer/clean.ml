@@ -10,14 +10,35 @@ type session = {
   env : Dirty_schema.env;
 }
 
+let m_sessions =
+  Telemetry.Metrics.counter "conquer.sessions" ~help:"clean-answer sessions created"
+
+let m_queries =
+  Telemetry.Metrics.counter "conquer.queries"
+    ~help:"clean-answer queries served (all modes)"
+
+let m_clusters_indexed =
+  Telemetry.Metrics.counter "conquer.clusters_indexed"
+    ~help:"identifier-index entries built at session creation"
+
+(* wrap a query entry point in a root span carrying the query mode *)
+let spanned mode f =
+  Telemetry.Metrics.inc m_queries;
+  Telemetry.Span.with_ ~name:"conquer.answers" ~attrs:[ ("mode", mode) ] f
+
 let create ?(index_identifiers = true) dirty =
+  Telemetry.Metrics.inc m_sessions;
+  Telemetry.Span.with_ ~name:"conquer.session_create" @@ fun () ->
   let engine = Engine.Database.create () in
   List.iter
     (fun (t : Dirty_db.table) ->
       Engine.Database.add_relation engine ~name:t.name t.relation;
       if index_identifiers then begin
         Engine.Database.create_index engine ~table:t.name ~attr:t.id_attr;
-        Engine.Database.analyze engine t.name
+        Engine.Database.analyze engine t.name;
+        Telemetry.Metrics.inc
+          ~n:(Relation.cardinality t.relation)
+          m_clusters_indexed
       end)
     (Dirty_db.tables dirty);
   { dirty; engine; env = Dirty_schema.of_dirty_db dirty }
@@ -34,10 +55,13 @@ let rewrite s sql =
   | Error vs -> Error vs
 
 let answers ?config s sql =
+  spanned "rewritten" @@ fun () ->
   let q = Sql.Parser.parse_query sql in
   let rewritten = Rewrite.rewrite_exn s.env q in
   Log.debug (fun m -> m "rewritten query:@\n%a" Sql.Pretty.pp_query rewritten);
-  Engine.Database.query_ast ?config s.engine rewritten
+  let rel = Engine.Database.query_ast ?config s.engine rewritten in
+  Telemetry.Span.add_attr "answers" (string_of_int (Relation.cardinality rel));
+  rel
 
 let rewritten_ast s sql =
   Rewrite.rewrite_exn s.env (Sql.Parser.parse_query sql)
@@ -55,6 +79,7 @@ let top_answers ?config ~k s sql =
 type partial = { rows : Relation.t; truncated : bool }
 
 let answers_within ?config s sql =
+  spanned "rewritten-within" @@ fun () ->
   let q = Sql.Parser.parse_query sql in
   let rewritten = Rewrite.rewrite_exn s.env q in
   Log.debug (fun m -> m "rewritten query:@\n%a" Sql.Pretty.pp_query rewritten);
@@ -92,7 +117,8 @@ let answers_unchecked ?config s sql =
 let answers_oracle ?max_candidates s sql =
   Candidates.clean_answers ?max_candidates s.dirty (Sql.Parser.parse_query sql)
 
-let original ?config s sql = Engine.Database.query ?config s.engine sql
+let original ?config s sql =
+  spanned "original" @@ fun () -> Engine.Database.query ?config s.engine sql
 
 let consistent_answers ?config ?(eps = 1e-9) s sql =
   let with_probs = answers ?config s sql in

@@ -2,6 +2,14 @@ let prob_column = "clean_prob"
 
 exception Not_rewritable of Rewritable.violation list
 
+let m_rewrites =
+  Telemetry.Metrics.counter "conquer.rewrite.queries"
+    ~help:"queries rewritten into their clean-answer form"
+
+let m_candidate_products =
+  Telemetry.Metrics.counter "conquer.rewrite.candidate_products"
+    ~help:"probability factors multiplied into rewritten SUM products"
+
 let prob_product env (from : Sql.Ast.table_ref list) =
   let prob_refs =
     List.map
@@ -21,6 +29,9 @@ let prob_product env (from : Sql.Ast.table_ref list) =
     List.fold_left (fun acc e -> Sql.Ast.Binop (Mul, acc, e)) first rest
 
 let rewrite_clean env (q : Sql.Ast.query) : Sql.Ast.query =
+  Telemetry.Span.with_ ~name:"conquer.rewrite" @@ fun () ->
+  Telemetry.Metrics.inc m_rewrites;
+  Telemetry.Metrics.inc ~n:(List.length q.from) m_candidate_products;
   let items =
     match q.select with
     | Items items -> items

@@ -1,5 +1,17 @@
 let manifest_name = "manifest.csv"
 
+let m_files_written =
+  Telemetry.Metrics.counter "dirty.store.files_written"
+    ~help:"files persisted by Store.save (tables and manifests)"
+
+let m_bytes_written =
+  Telemetry.Metrics.counter "dirty.store.bytes_written"
+    ~help:"bytes persisted by Store.save"
+
+let m_renames =
+  Telemetry.Metrics.counter "dirty.store.renames"
+    ~help:"atomic temp-to-final renames (the fsync-equivalent commit points)"
+
 (* Run [f oc] against a temp file in [path]'s directory, then rename it
    into place.  The rename is atomic on POSIX filesystems, so readers
    (and crash recovery) only ever observe the old or the new complete
@@ -9,14 +21,25 @@ let write_atomic path f =
   let tmp = Filename.temp_file ~temp_dir:dir ".store-" ".tmp" in
   match
     let oc = open_out tmp in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        f oc;
+        (* pos_out counts buffered bytes too, so this is the file's
+           final size *)
+        pos_out oc)
   with
-  | () -> Sys.rename tmp path
+  | bytes ->
+    Sys.rename tmp path;
+    Telemetry.Metrics.inc m_files_written;
+    Telemetry.Metrics.inc ~n:bytes m_bytes_written;
+    Telemetry.Metrics.inc m_renames
   | exception e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
 let save dir db =
+  Telemetry.Span.with_ ~name:"store.save" ~attrs:[ ("dir", dir) ] @@ fun () ->
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
@@ -50,6 +73,7 @@ let describe_exn = function
   | e -> Printexc.to_string e
 
 let load_verbose ?(validate = true) ?(lenient = false) dir =
+  Telemetry.Span.with_ ~name:"store.load" ~attrs:[ ("dir", dir) ] @@ fun () ->
   let manifest_path = Filename.concat dir manifest_name in
   let rows = Csv.read_file manifest_path in
   let entries =

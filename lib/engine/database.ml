@@ -8,6 +8,13 @@ type entry = {
 
 type t = (string, entry) Hashtbl.t
 
+let h_query_seconds =
+  Telemetry.Metrics.histogram "engine.query_seconds"
+    ~help:"end-to-end wall-clock of plan+execute per query"
+
+let m_queries =
+  Telemetry.Metrics.counter "engine.queries" ~help:"queries executed"
+
 let create () : t = Hashtbl.create 16
 
 let add_relation t ~name rel =
@@ -39,7 +46,8 @@ let has_index t ~table ~attr = index t ~table ~attr <> None
 
 let analyze t name =
   let e = entry t name in
-  e.stats <- Some (Stats.analyze e.relation)
+  Telemetry.Span.with_ ~name:"engine.analyze" ~attrs:[ ("table", name) ]
+    (fun () -> e.stats <- Some (Stats.analyze e.relation))
 
 let analyze_all t = List.iter (analyze t) (table_names t)
 let stats t name = Option.bind (Hashtbl.find_opt t name) (fun e -> e.stats)
@@ -70,13 +78,25 @@ let budget_of_config mode (config : Planner.config option) =
     Some (Budget.create ~mode { Budget.max_rows; max_elapsed })
   | Some _ | None -> None
 
+let timed_query f =
+  Telemetry.Metrics.inc m_queries;
+  if not (Telemetry.Control.enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    Telemetry.Metrics.observe h_query_seconds (Unix.gettimeofday () -. t0);
+    result
+  end
+
 let query_ast ?config t q =
-  run_plan ?budget:(budget_of_config Budget.Raise config) t (plan ?config t q)
+  timed_query (fun () ->
+      run_plan ?budget:(budget_of_config Budget.Raise config) t (plan ?config t q))
 
 let query_ast_within ?config t q =
-  let budget = budget_of_config Budget.Truncate config in
-  let rel = run_plan ?budget t (plan ?config t q) in
-  (rel, match budget with Some b -> Budget.truncated b | None -> false)
+  timed_query (fun () ->
+      let budget = budget_of_config Budget.Truncate config in
+      let rel = run_plan ?budget t (plan ?config t q) in
+      (rel, match budget with Some b -> Budget.truncated b | None -> false))
 
 let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
 

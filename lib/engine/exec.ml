@@ -9,6 +9,42 @@ exception Exec_error of string
 
 let exec_errorf fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
+(* ---- telemetry ----
+
+   Per-operator spans and registry counters.  Everything is gated on
+   {!Telemetry.Control.enabled}, so the disabled cost on the per-row
+   paths is a flag test. *)
+
+let m_operators =
+  Telemetry.Metrics.counter "engine.exec.operators"
+    ~help:"plan operators evaluated"
+
+let m_rows_out =
+  Telemetry.Metrics.counter "engine.exec.rows_out"
+    ~help:"rows materialized by plan operators (intermediates included)"
+
+let m_budget_ticks =
+  Telemetry.Metrics.counter "engine.exec.budget_ticks"
+    ~help:"per-row budget charges inside join emit loops"
+
+let h_operator_seconds =
+  Telemetry.Metrics.histogram "engine.exec.operator_seconds"
+    ~help:"wall-clock per plan operator (inclusive of children)"
+
+let operator_label (plan : Plan.t) =
+  match plan with
+  | Scan { table; _ } -> "Scan " ^ table
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Hash_join _ -> "HashJoin"
+  | Index_join { table; _ } -> "IndexJoin " ^ table
+  | Left_outer_join _ -> "LeftOuterJoin"
+  | Cross _ -> "CrossProduct"
+  | Aggregate _ -> "Aggregate"
+  | Sort _ -> "Sort"
+  | Distinct _ -> "Distinct"
+  | Limit _ -> "Limit"
+
 (* ---- budget accounting ----
 
    Operators charge the budget per materialized row.  In [Raise] mode
@@ -22,7 +58,9 @@ exception Budget_stop
 let tick budget =
   match budget with
   | None -> ()
-  | Some b -> if Budget.admit b 1 = 0 then raise Budget_stop
+  | Some b ->
+    Telemetry.Metrics.inc m_budget_ticks;
+    if Budget.admit b 1 = 0 then raise Budget_stop
 
 (* nodes whose emit loops tick per row; everything else is charged on
    its materialized output at the node boundary *)
@@ -421,8 +459,21 @@ let run_left_outer_join ?budget lrel rrel ~on =
 let rec run_hooked budget hook catalog (plan : Plan.t) : Relation.t =
   (* bail out of deep plans promptly when the clock has run out *)
   (match budget with None -> () | Some b -> Budget.check_time b);
-  let rel =
+  let eval_node () =
     hook plan (fun () -> eval budget hook catalog (resolve_node budget catalog plan))
+  in
+  let rel =
+    if not (Telemetry.Control.enabled ()) then eval_node ()
+    else
+      Telemetry.Span.with_ ~name:("exec." ^ operator_label plan) (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let rel = eval_node () in
+          Telemetry.Metrics.observe h_operator_seconds (Unix.gettimeofday () -. t0);
+          let n = Relation.cardinality rel in
+          Telemetry.Metrics.inc m_operators;
+          Telemetry.Metrics.inc ~n m_rows_out;
+          Telemetry.Span.add_attr "rows_out" (string_of_int n);
+          rel)
   in
   match budget with
   | None -> rel
@@ -655,20 +706,6 @@ type profile = {
   elapsed : float;
   children : profile list;
 }
-
-let operator_label (plan : Plan.t) =
-  match plan with
-  | Scan { table; _ } -> "Scan " ^ table
-  | Filter _ -> "Filter"
-  | Project _ -> "Project"
-  | Hash_join _ -> "HashJoin"
-  | Index_join { table; _ } -> "IndexJoin " ^ table
-  | Left_outer_join _ -> "LeftOuterJoin"
-  | Cross _ -> "CrossProduct"
-  | Aggregate _ -> "Aggregate"
-  | Sort _ -> "Sort"
-  | Distinct _ -> "Distinct"
-  | Limit _ -> "Limit"
 
 let run_profiled ?budget catalog plan =
   (* a stack of children accumulators: the hook pushes a frame before

@@ -24,6 +24,23 @@ let log_src = Logs.Src.create "engine.planner" ~doc:"SQL query planner"
 
 module Log = (val Logs.src_log log_src)
 
+(* ---- telemetry ---- *)
+
+let m_plans =
+  Telemetry.Metrics.counter "engine.planner.plans" ~help:"queries planned"
+
+let m_stats_lookups =
+  Telemetry.Metrics.counter "engine.planner.stats_lookups"
+    ~help:"table statistics consulted while planning"
+
+let m_selectivity_estimates =
+  Telemetry.Metrics.counter "engine.planner.selectivity_estimates"
+    ~help:"predicate selectivity estimations"
+
+let m_join_candidates =
+  Telemetry.Metrics.counter "engine.planner.join_candidates"
+    ~help:"join-order candidates considered by the greedy search"
+
 type binding = {
   alias : string;
   table : string;
@@ -103,7 +120,9 @@ let base_estimate binding preds =
     | None -> 1000.0
   in
   List.fold_left
-    (fun est pred -> est *. Stats.selectivity binding.stats pred)
+    (fun est pred ->
+      Telemetry.Metrics.inc m_selectivity_estimates;
+      est *. Stats.selectivity binding.stats pred)
     rows preds
 
 let join_key_distinct binding (e : Sql.Ast.expr) =
@@ -147,7 +166,11 @@ let resolves_against schema (e : Sql.Ast.expr) =
     true
   with Expr.Unbound_column _ | Expr.Ambiguous_column _ -> false
 
-let plan ?(config = default_config) env (q : Sql.Ast.query) : Plan.t =
+let plan_query config env (q : Sql.Ast.query) : Plan.t =
+  let stats_of table =
+    Telemetry.Metrics.inc m_stats_lookups;
+    env.stats_of table
+  in
   (* bindings *)
   let bindings =
     List.map
@@ -155,7 +178,7 @@ let plan ?(config = default_config) env (q : Sql.Ast.query) : Plan.t =
         let alias = Option.value ~default:table t_alias in
         match env.schema_of table with
         | None -> plan_errorf "unknown table %s" table
-        | Some bare -> { alias; table; bare; stats = env.stats_of table })
+        | Some bare -> { alias; table; bare; stats = stats_of table })
       q.from
   in
   (match bindings with [] -> plan_errorf "empty FROM clause" | _ -> ());
@@ -165,7 +188,7 @@ let plan ?(config = default_config) env (q : Sql.Ast.query) : Plan.t =
         let alias = Option.value ~default:table t_alias in
         match env.schema_of table with
         | None -> plan_errorf "unknown table %s" table
-        | Some bare -> ({ alias; table; bare; stats = env.stats_of table }, oj_on))
+        | Some bare -> ({ alias; table; bare; stats = stats_of table }, oj_on))
       q.outer_joins
   in
   let aliases =
@@ -260,6 +283,7 @@ let plan ?(config = default_config) env (q : Sql.Ast.query) : Plan.t =
       List.filter (fun a -> edges_between a <> []) !remaining
     in
     let candidates = if connected <> [] then connected else !remaining in
+    Telemetry.Metrics.inc ~n:(List.length candidates) m_join_candidates;
     let next =
       List.fold_left
         (fun best alias ->
@@ -418,3 +442,7 @@ let plan ?(config = default_config) env (q : Sql.Ast.query) : Plan.t =
   in
   Log.debug (fun m -> m "plan:@\n%a" Plan.pp final);
   final
+
+let plan ?(config = default_config) env q =
+  Telemetry.Metrics.inc m_plans;
+  Telemetry.Span.with_ ~name:"planner.plan" (fun () -> plan_query config env q)

@@ -49,9 +49,17 @@ let range_fraction hist ?lo ?hi () =
         if x < bounds.(0) then 0.0
         else if x >= bounds.(buckets - 1) then 1.0
         else begin
-          (* find the bucket containing x *)
-          let rec find i = if bounds.(i) >= x then i else find (i + 1) in
-          let i = find 0 in
+          (* binary search for the bucket containing x: the smallest i
+             with bounds.(i) >= x.  This probe sits on the planner's
+             selectivity path, so it must not be O(buckets). *)
+          let rec find lo hi =
+            (* invariant: bounds.(hi) >= x and bounds.(lo - 1) < x *)
+            if lo >= hi then hi
+            else
+              let mid = (lo + hi) / 2 in
+              if bounds.(mid) >= x then find lo mid else find (mid + 1) hi
+          in
+          let i = find 0 (buckets - 1) in
           let lower = if i = 0 then bounds.(0) else bounds.(i - 1) in
           let upper = bounds.(i) in
           let within =

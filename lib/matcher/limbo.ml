@@ -11,8 +11,19 @@ type state = {
   lowest : int;
 }
 
+let m_dcf_merges =
+  Telemetry.Metrics.counter "matcher.limbo.dcf_merges"
+    ~help:"cluster pairs merged during agglomeration"
+
+let m_distance_evals =
+  Telemetry.Metrics.counter "matcher.limbo.distance_evals"
+    ~help:"information-loss evaluations in the best-pair search"
+
 (* run the agglomeration, invoking [on_merge] for every merge *)
 let agglomerate config rel ~on_merge =
+  Telemetry.Span.with_ ~name:"matcher.limbo.agglomerate"
+    ~attrs:[ ("rows", string_of_int (Dirty.Relation.cardinality rel)) ]
+  @@ fun () ->
   let matrix = Prob.Matrix.of_relation ~attrs:config.attrs rel in
   let n = Prob.Matrix.num_rows matrix in
   let total = float_of_int (max n 1) in
@@ -32,6 +43,7 @@ let agglomerate config rel ~on_merge =
       if states.(i).alive then
         for j = i + 1 to n - 1 do
           if states.(j).alive then begin
+            Telemetry.Metrics.inc m_distance_evals;
             let loss =
               Infotheory.Dcf.information_loss ~total states.(i).dcf states.(j).dcf
             in
@@ -49,6 +61,7 @@ let agglomerate config rel ~on_merge =
       in
       if stop_now then continue := false
       else begin
+        Telemetry.Metrics.inc m_dcf_merges;
         on_merge states.(i).lowest states.(j).lowest loss;
         states.(i).dcf <- Infotheory.Dcf.merge states.(i).dcf states.(j).dcf;
         states.(i).members <-

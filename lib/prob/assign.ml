@@ -12,6 +12,18 @@ type result = {
   representatives : (Value.t * Infotheory.Dcf.t) list;
 }
 
+let m_runs =
+  Telemetry.Metrics.counter "prob.assign.runs"
+    ~help:"probability-assignment passes (Figure 5)"
+
+let m_clusters =
+  Telemetry.Metrics.counter "prob.assign.clusters"
+    ~help:"clusters whose tuple probabilities were computed"
+
+let m_distance_evals =
+  Telemetry.Metrics.counter "prob.assign.distance_evals"
+    ~help:"tuple-to-representative distance evaluations"
+
 let information_loss_fn matrix =
   let total = float_of_int (Matrix.num_rows matrix) in
   fun row rep -> Infotheory.Dcf.information_loss ~total (Matrix.row_dcf matrix row) rep
@@ -33,21 +45,35 @@ let edit_distance_fn rel attrs matrix =
     List.fold_left ( +. ) 0.0 dists /. float_of_int (List.length dists)
 
 let run ?(distance = Information_loss) ?attrs rel clustering =
+  Telemetry.Metrics.inc m_runs;
+  Telemetry.Span.with_ ~name:"prob.assign" @@ fun () ->
   let attrs =
     match attrs with None -> Schema.names (Relation.schema rel) | Some a -> a
   in
-  let matrix = Matrix.of_relation ~attrs rel in
+  let matrix =
+    Telemetry.Span.with_ ~name:"prob.assign.matrix" (fun () ->
+        Matrix.of_relation ~attrs rel)
+  in
   let dist_fn =
     match distance with
     | Information_loss -> information_loss_fn matrix
     | Edit_distance -> edit_distance_fn rel attrs matrix
     | Custom f -> f matrix
   in
+  let dist_fn row rep =
+    Telemetry.Metrics.inc m_distance_evals;
+    dist_fn row rep
+  in
   let n = Relation.cardinality rel in
   let distances = Array.make n 0.0 in
   let similarities = Array.make n 1.0 in
   let probabilities = Array.make n 1.0 in
-  let representatives = Representative.all matrix clustering in
+  let representatives =
+    Telemetry.Span.with_ ~name:"prob.assign.representatives" (fun () ->
+        Representative.all matrix clustering)
+  in
+  Telemetry.Metrics.inc ~n:(List.length representatives) m_clusters;
+  Telemetry.Span.with_ ~name:"prob.assign.distances" @@ fun () ->
   List.iter
     (fun (id, rep) ->
       let members = Cluster.members clustering id in

@@ -1,0 +1,169 @@
+(* Exporters: pretty span trees, JSON-lines traces, and a
+   Prometheus-style text dump of the metrics registry. *)
+
+(* ---- small hand-rolled JSON emitters (no external dependency) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+(* JSON numbers may not be nan/inf; clamp to null *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+(* ---- span trees ---- *)
+
+let pp_words ppf w =
+  if w >= 1e6 then Format.fprintf ppf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Format.fprintf ppf "%.1fkw" (w /. 1e3)
+  else Format.fprintf ppf "%.0fw" w
+
+let rec pp_span_indent ppf indent (s : Span.t) =
+  Format.fprintf ppf "%s%s  %.3fms  minor=%a major=%a" (String.make indent ' ')
+    s.name (s.elapsed *. 1000.0) pp_words s.minor_words pp_words s.major_words;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) s.attrs);
+  Format.fprintf ppf "@\n";
+  List.iter (pp_span_indent ppf (indent + 2)) s.children
+
+let pp_span ppf s = pp_span_indent ppf 0 s
+
+let span_to_string s = Format.asprintf "%a" pp_span s
+
+(* one JSON object per span, children nested *)
+let rec span_json buf (s : Span.t) =
+  Buffer.add_string buf "{\"name\":";
+  Buffer.add_string buf (json_string s.name);
+  Buffer.add_string buf (Printf.sprintf ",\"start\":%s" (json_float s.start));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"elapsed_ms\":%s" (json_float (s.elapsed *. 1000.0)));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"minor_words\":%s" (json_float s.minor_words));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"major_words\":%s" (json_float s.major_words));
+  if s.attrs <> [] then begin
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (json_string k);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (json_string v))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) s.attrs);
+    Buffer.add_char buf '}'
+  end;
+  if s.children <> [] then begin
+    Buffer.add_string buf ",\"children\":[";
+    List.iteri
+      (fun i child ->
+        if i > 0 then Buffer.add_char buf ',';
+        span_json buf child)
+      s.children;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}'
+
+let span_to_json s =
+  let buf = Buffer.create 256 in
+  span_json buf s;
+  Buffer.contents buf
+
+(* Append each completed root as one JSON line.  Opens lazily on the
+   first span and registers the close at exit, so subscribing is cheap
+   when nothing ever traces. *)
+let trace_writer path =
+  let channel = ref None in
+  let get () =
+    match !channel with
+    | Some oc -> oc
+    | None ->
+      let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+      channel := Some oc;
+      at_exit (fun () -> close_out_noerr oc);
+      oc
+  in
+  fun span ->
+    let oc = get () in
+    output_string oc (span_to_json span);
+    output_char oc '\n';
+    flush oc
+
+(* ---- Prometheus-style text format ---- *)
+
+let prometheus_name name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  "conquer_" ^ mapped
+
+let pp_prometheus ppf () =
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let pname = prometheus_name s.name in
+      if s.help <> "" then Format.fprintf ppf "# HELP %s %s@\n" pname s.help;
+      match s.data with
+      | Metrics.Counter_value n ->
+        Format.fprintf ppf "# TYPE %s counter@\n%s %d@\n" pname pname n
+      | Metrics.Gauge_value v ->
+        Format.fprintf ppf "# TYPE %s gauge@\n%s %s@\n" pname pname (json_float v)
+      | Metrics.Histogram_value h ->
+        Format.fprintf ppf "# TYPE %s histogram@\n" pname;
+        Array.iteri
+          (fun i bound ->
+            Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@\n" pname
+              (json_float bound) h.hs_counts.(i))
+          h.hs_bounds;
+        Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@\n" pname
+          h.hs_counts.(Array.length h.hs_counts - 1);
+        Format.fprintf ppf "%s_sum %s@\n" pname (json_float h.hs_sum);
+        Format.fprintf ppf "%s_count %d@\n" pname h.hs_total)
+    (Metrics.snapshot ())
+
+let prometheus_string () = Format.asprintf "%a" pp_prometheus ()
+
+let write_metrics path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (prometheus_string ()))
+
+(* metrics snapshot as a JSON object: counters and gauges as numbers,
+   histograms as {count, sum} — used by the bench harness *)
+let metrics_json () =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (s : Metrics.sample) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_string s.name);
+      Buffer.add_char buf ':';
+      match s.data with
+      | Metrics.Counter_value n -> Buffer.add_string buf (string_of_int n)
+      | Metrics.Gauge_value v -> Buffer.add_string buf (json_float v)
+      | Metrics.Histogram_value h ->
+        Buffer.add_string buf
+          (Printf.sprintf "{\"count\":%d,\"sum\":%s}" h.hs_total
+             (json_float h.hs_sum)))
+    (Metrics.snapshot ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,168 @@
+(* Process-wide metrics registry: named counters, gauges and
+   log-scale latency histograms.
+
+   Handles are created once (find-or-create against a global table)
+   and mutated in place on the hot path — no locking, no allocation
+   per update ("lock-free-ish via plain mutation").  Readers take a
+   [snapshot], which copies every value, so a dump observes a
+   consistent point-in-time view even if updates race it.
+
+   All updates are gated on {!Control.enabled}; with telemetry off an
+   update is a flag test and a branch. *)
+
+type counter = { c_name : string; c_help : string; mutable count : int }
+type gauge = { g_name : string; g_help : string; mutable value : float }
+
+(* log-scale buckets: upper bounds grow by powers of two from
+   [base] seconds; the last bucket is +infinity *)
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* upper bound of each finite bucket *)
+  counts : int array;    (* one per finite bucket, plus one overflow *)
+  mutable sum : float;
+  mutable total : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let find_or_create name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry name m;
+    m
+
+let counter ?(help = "") name =
+  match
+    find_or_create name (fun () -> Counter { c_name = name; c_help = help; count = 0 })
+  with
+  | Counter c -> c
+  | _ -> invalid_arg (name ^ " is registered as a non-counter metric")
+
+let gauge ?(help = "") name =
+  match
+    find_or_create name (fun () -> Gauge { g_name = name; g_help = help; value = 0.0 })
+  with
+  | Gauge g -> g
+  | _ -> invalid_arg (name ^ " is registered as a non-gauge metric")
+
+(* 22 log-scale buckets from 1us to ~2s cover micro-operator to
+   whole-query latencies *)
+let default_bounds =
+  Array.init 22 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+let histogram ?(help = "") ?(bounds = default_bounds) name =
+  match
+    find_or_create name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            h_help = help;
+            bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            sum = 0.0;
+            total = 0;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (name ^ " is registered as a non-histogram metric")
+
+let inc ?(n = 1) c = if Control.enabled () then c.count <- c.count + n
+let set g v = if Control.enabled () then g.value <- v
+let add g v = if Control.enabled () then g.value <- g.value +. v
+
+let bucket_index bounds v =
+  (* first bucket whose upper bound admits v; bounds are sorted *)
+  let n = Array.length bounds in
+  let rec go lo hi =
+    (* invariant: every bucket < lo is too small, hi admits v (or is
+       the overflow bucket n) *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  if Control.enabled () then begin
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.total <- h.total + 1
+  end
+
+(* ---- snapshots ---- *)
+
+type histogram_snapshot = {
+  hs_bounds : float array;
+  hs_counts : int array;  (* cumulative, per finite bound, then +Inf *)
+  hs_sum : float;
+  hs_total : int;
+}
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+type sample = { name : string; help : string; data : value }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun _ m acc ->
+      let sample =
+        match m with
+        | Counter c -> { name = c.c_name; help = c.c_help; data = Counter_value c.count }
+        | Gauge g -> { name = g.g_name; help = g.g_help; data = Gauge_value g.value }
+        | Histogram h ->
+          let cumulative = Array.make (Array.length h.counts) 0 in
+          let running = ref 0 in
+          Array.iteri
+            (fun i c ->
+              running := !running + c;
+              cumulative.(i) <- !running)
+            h.counts;
+          {
+            name = h.h_name;
+            help = h.h_help;
+            data =
+              Histogram_value
+                {
+                  hs_bounds = Array.copy h.bounds;
+                  hs_counts = cumulative;
+                  hs_sum = h.sum;
+                  hs_total = h.total;
+                };
+          }
+      in
+      sample :: acc)
+    registry []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+(* zero every metric (handles stay valid); for tests and benchmarks *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0.0;
+        h.total <- 0)
+    registry
+
+let find name = Hashtbl.find_opt registry name
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c.count
+  | _ -> None

@@ -1,0 +1,103 @@
+(* Tracing spans.
+
+   [with_ ~name f] times [f] and charges it with wall-clock and
+   allocation deltas ({!Gc.counters} minor/major words — both
+   inclusive of children, like the times).  [Gc.counters] reads the
+   allocation pointer, so the deltas are exact even when no GC ran
+   inside the span ([Gc.quick_stat]'s counters only refresh at GC
+   events in native code).  Nested calls build a tree;
+   when the outermost span of the current (single-threaded) stack
+   completes, the finished tree is handed to every subscriber.
+
+   With telemetry disabled ({!Control}), [with_] is [f ()] plus one
+   branch. *)
+
+type t = {
+  name : string;
+  mutable attrs : (string * string) list;
+  start : float;                 (* Unix epoch seconds *)
+  mutable elapsed : float;       (* seconds, inclusive of children *)
+  mutable minor_words : float;   (* allocation deltas, inclusive *)
+  mutable major_words : float;
+  mutable children : t list;
+}
+
+(* innermost span first; single-threaded by design *)
+let stack : t list ref = ref []
+
+let subscribers : (t -> unit) list ref = ref []
+
+let subscribe f = subscribers := f :: !subscribers
+
+(* children accumulate in reverse while the tree is being built; put
+   them in chronological order once, when the root completes *)
+let rec normalize span =
+  span.children <- List.rev span.children;
+  List.iter normalize span.children
+
+let add_attr key value =
+  if Control.enabled () then
+    match !stack with
+    | span :: _ -> span.attrs <- (key, value) :: List.remove_assoc key span.attrs
+    | [] -> ()
+
+let with_ ?(attrs = []) ~name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let minor0, _, major0 = Gc.counters () in
+    let span =
+      {
+        name;
+        attrs;
+        start = Unix.gettimeofday ();
+        elapsed = 0.0;
+        minor_words = 0.0;
+        major_words = 0.0;
+        children = [];
+      }
+    in
+    stack := span :: !stack;
+    let finish () =
+      span.elapsed <- Unix.gettimeofday () -. span.start;
+      let minor1, _, major1 = Gc.counters () in
+      span.minor_words <- minor1 -. minor0;
+      span.major_words <- major1 -. major0;
+      (match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ());
+      match !stack with
+      | parent :: _ -> parent.children <- span :: parent.children
+      | [] ->
+        normalize span;
+        List.iter (fun f -> f span) !subscribers
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* Run [f] with telemetry enabled and also collect the root spans it
+   completes, without disturbing other subscribers.  Returns the
+   result and the roots in completion order. *)
+let collecting f =
+  let acc = ref [] in
+  let collect span = acc := span :: !acc in
+  let saved = !subscribers in
+  subscribers := collect :: saved;
+  Fun.protect
+    ~finally:(fun () -> subscribers := List.filter (fun s -> s != collect) !subscribers)
+    (fun () ->
+      let v = Control.with_enabled f in
+      (v, List.rev !acc))
+
+(* flattened pre-order walk, with depth — handy for exporters *)
+let rec fold_preorder f acc ?(depth = 0) span =
+  let acc = f acc ~depth span in
+  List.fold_left (fun acc child -> fold_preorder f acc ~depth:(depth + 1) child) acc
+    span.children
+
+let count span = fold_preorder (fun n ~depth:_ _ -> n + 1) 0 span

@@ -381,6 +381,38 @@ let test_histograms () =
     Fixtures.check_float "empty range" 0.0 (frac ~lo:60.0 ~hi:40.0 ());
     Alcotest.(check bool) "below min" true (frac ~hi:0.5 () < 0.05)
 
+let test_histogram_boundary_cdf () =
+  (* Regression for the binary-search rewrite of [range_fraction]: 64
+     values over 32 buckets gives depth 2 and bucket bounds exactly at
+     2, 4, ..., 64, so the CDF at every bound is pinned to
+     (i+1)/buckets with no interpolation slack.  The old linear scan
+     and the binary search must agree on these boundary probes. *)
+  let rel =
+    Relation.create
+      (Schema.make [ ("v", Value.TInt) ])
+      (List.init 64 (fun i -> [| v_i (i + 1) |]))
+  in
+  let stats = Engine.Stats.analyze rel in
+  match Engine.Stats.column stats "v" with
+  | None | Some { histogram = None; _ } -> Alcotest.fail "no histogram"
+  | Some { histogram = Some hist; _ } ->
+    let buckets = Array.length hist.Engine.Stats.bounds in
+    Alcotest.(check int) "32 buckets" 32 buckets;
+    for i = 0 to buckets - 1 do
+      Fixtures.check_float
+        (Printf.sprintf "cdf at bound %d" i)
+        (float_of_int (i + 1) /. float_of_int buckets)
+        (Engine.Stats.range_fraction hist ~hi:hist.Engine.Stats.bounds.(i) ())
+    done;
+    (* half-way into a bucket interpolates linearly *)
+    Fixtures.check_float "midpoint of the second bucket" (1.5 /. 32.0)
+      (Engine.Stats.range_fraction hist ~hi:3.0 ());
+    (* probes strictly outside the bounds stay clamped *)
+    Fixtures.check_float "below the first bound" 0.0
+      (Engine.Stats.range_fraction hist ~hi:1.0 ());
+    Fixtures.check_float "above the last bound" 1.0
+      (Engine.Stats.range_fraction hist ~lo:0.0 ~hi:1000.0 ())
+
 let test_histogram_selectivity () =
   let rel =
     Relation.create
@@ -456,6 +488,76 @@ let test_explain_analyze_text () =
   in
   Alcotest.(check bool) "mentions rows" true (contains "rows=");
   Alcotest.(check bool) "mentions the scan" true (contains "Scan emp")
+
+let test_explain_analyze_row_counts () =
+  (* per-operator row counts are the actual cardinalities, not
+     estimates: the scans see whole tables, the filter and everything
+     above it see the surviving rows *)
+  let engine = db () in
+  let sql = "select e.name, d.dname from emp e, dept d where e.dept = d.did" in
+  let _, profile = Engine.Database.query_profiled engine sql in
+  let rec find op (p : Engine.Exec.profile) =
+    if p.operator = op then Some p
+    else List.find_map (find op) p.children
+  in
+  let rows op =
+    match find op profile with
+    | Some p -> p.out_rows
+    | None -> Alcotest.failf "no %s operator in the profile" op
+  in
+  Alcotest.(check int) "projection emits the join result" 4 (rows "Project");
+  Alcotest.(check int) "emp scanned in full" 5 (rows "Scan emp");
+  Alcotest.(check int) "dept scanned in full" 3 (rows "Scan dept");
+  let text = Engine.Database.explain_analyze engine sql in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rendered counts match" true (contains "rows=4");
+  Alcotest.(check bool) "scan counts rendered" true (contains "rows=5")
+
+let test_operator_times_monotone () =
+  (* operator times are inclusive of their inputs, so they must be
+     monotone along every root-to-leaf path; and across plans, a scan
+     over many rows must not be cheaper than one over a handful *)
+  let engine = db () in
+  let _, profile =
+    Engine.Database.query_profiled engine
+      "select e.name, d.dname from emp e, dept d where e.dept = d.did"
+  in
+  let rec check_parent_covers (p : Engine.Exec.profile) =
+    List.iter
+      (fun (child : Engine.Exec.profile) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s covers %s" p.operator child.operator)
+          true
+          (p.elapsed +. 1e-9 >= child.elapsed);
+        check_parent_covers child)
+      p.children
+  in
+  check_parent_covers profile;
+  let scan_time n =
+    let engine = Engine.Database.create () in
+    let rel =
+      Relation.create
+        (Schema.make [ ("v", Value.TInt) ])
+        (List.init n (fun i -> [| v_i i |]))
+    in
+    Engine.Database.add_relation engine ~name:"t" rel;
+    (* median of repeated profiled runs smooths scheduler noise *)
+    let samples =
+      List.init 5 (fun _ ->
+          let _, p = Engine.Database.query_profiled engine "select v from t" in
+          let rec total (p : Engine.Exec.profile) =
+            List.fold_left (fun acc c -> acc +. total c) p.elapsed p.children
+          in
+          total p)
+    in
+    (Telemetry.Timing.of_samples samples).median
+  in
+  Alcotest.(check bool) "times grow with row counts" true
+    (scan_time 50_000 >= scan_time 50)
 
 (* ---- indexes ---- *)
 
@@ -546,6 +648,8 @@ let () =
           Alcotest.test_case "analyze" `Quick test_stats;
           Alcotest.test_case "selectivity" `Quick test_selectivity;
           Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "histogram boundary cdf" `Quick
+            test_histogram_boundary_cdf;
           Alcotest.test_case "histogram selectivity" `Quick
             test_histogram_selectivity;
         ] );
@@ -553,6 +657,10 @@ let () =
         [
           Alcotest.test_case "run_profiled" `Quick test_run_profiled;
           Alcotest.test_case "explain analyze" `Quick test_explain_analyze_text;
+          Alcotest.test_case "explain analyze row counts" `Quick
+            test_explain_analyze_row_counts;
+          Alcotest.test_case "operator times monotone" `Quick
+            test_operator_times_monotone;
         ] );
       ("index", [ Alcotest.test_case "lookup" `Quick test_index_lookup ]);
     ]

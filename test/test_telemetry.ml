@@ -1,0 +1,296 @@
+(* Tests for the telemetry subsystem: the metrics registry, tracing
+   spans, the exporters, the shared timing helper, and the
+   instrumentation wired through the engine and the cleaner. *)
+
+open Dirty
+
+(* every test leaves the global flag off, the way production code
+   expects it *)
+let with_telemetry f =
+  Telemetry.Metrics.reset ();
+  Telemetry.Control.with_enabled f
+
+(* ---- metrics registry ---- *)
+
+let test_disabled_noop () =
+  Telemetry.Metrics.reset ();
+  let c = Telemetry.Metrics.counter "test.noop.counter" in
+  let g = Telemetry.Metrics.gauge "test.noop.gauge" in
+  let h = Telemetry.Metrics.histogram "test.noop.histogram" in
+  Telemetry.Metrics.inc ~n:5 c;
+  Telemetry.Metrics.set g 3.0;
+  Telemetry.Metrics.observe h 0.1;
+  Alcotest.(check int) "counter untouched" 0 c.count;
+  Fixtures.check_float "gauge untouched" 0.0 g.value;
+  Alcotest.(check int) "histogram untouched" 0 h.total
+
+let test_counter_and_gauge () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Metrics.counter "test.basic.counter" in
+  Telemetry.Metrics.inc c;
+  Telemetry.Metrics.inc ~n:4 c;
+  Alcotest.(check int) "counter" 5 c.count;
+  (* find-or-create hands back the same underlying metric *)
+  let c' = Telemetry.Metrics.counter "test.basic.counter" in
+  Alcotest.(check int) "same handle" 5 c'.count;
+  let g = Telemetry.Metrics.gauge "test.basic.gauge" in
+  Telemetry.Metrics.set g 2.5;
+  Telemetry.Metrics.add g 1.0;
+  Fixtures.check_float "gauge" 3.5 g.value
+
+let test_kind_mismatch () =
+  ignore (Telemetry.Metrics.counter "test.kind");
+  match Telemetry.Metrics.histogram "test.kind" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+let test_histogram_buckets () =
+  with_telemetry @@ fun () ->
+  let h =
+    Telemetry.Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] "test.buckets"
+  in
+  List.iter (Telemetry.Metrics.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+  (* raw counts: (<=1) gets 0.5 and 1.0; (<=2) gets 1.5; (<=4) gets
+     3.0; the overflow bucket gets 100 *)
+  Alcotest.(check (array int)) "raw counts" [| 2; 1; 1; 1 |] h.counts;
+  Alcotest.(check int) "total" 5 h.total;
+  Fixtures.check_float "sum" 106.0 h.sum;
+  let samples = Telemetry.Metrics.snapshot () in
+  match
+    List.find_opt (fun (s : Telemetry.Metrics.sample) -> s.name = "test.buckets") samples
+  with
+  | Some { data = Telemetry.Metrics.Histogram_value hs; _ } ->
+    Alcotest.(check (array int)) "cumulative counts" [| 2; 3; 4; 5 |] hs.hs_counts;
+    Alcotest.(check int) "snapshot total" 5 hs.hs_total
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_reset () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Metrics.counter "test.reset.counter" in
+  Telemetry.Metrics.inc ~n:7 c;
+  Telemetry.Metrics.reset ();
+  Alcotest.(check int) "zeroed, handle still valid" 0 c.count;
+  Telemetry.Metrics.inc c;
+  Alcotest.(check int) "usable after reset" 1 c.count
+
+(* ---- spans ---- *)
+
+let test_span_disabled_passthrough () =
+  Alcotest.(check bool) "telemetry off" false (Telemetry.Control.enabled ());
+  let v = Telemetry.Span.with_ ~name:"never" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 v
+
+let test_span_nesting () =
+  let v, roots =
+    Telemetry.Span.collecting (fun () ->
+        Telemetry.Span.with_ ~name:"root" (fun () ->
+            Telemetry.Span.add_attr "k" "v";
+            Telemetry.Span.with_ ~name:"a" (fun () -> ());
+            Telemetry.Span.with_ ~name:"b" (fun () -> ());
+            42))
+  in
+  Alcotest.(check int) "result" 42 v;
+  match roots with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "root" root.Telemetry.Span.name;
+    Alcotest.(check (list string)) "children in order" [ "a"; "b" ]
+      (List.map (fun (s : Telemetry.Span.t) -> s.name) root.children);
+    Alcotest.(check (option string)) "attr" (Some "v")
+      (List.assoc_opt "k" root.attrs);
+    Alcotest.(check int) "count" 3 (Telemetry.Span.count root);
+    List.iter
+      (fun (child : Telemetry.Span.t) ->
+        Alcotest.(check bool) "parent time covers child" true
+          (root.elapsed >= child.elapsed))
+      root.children
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_exception_safety () =
+  let (), roots =
+    Telemetry.Span.collecting (fun () ->
+        try Telemetry.Span.with_ ~name:"boom" (fun () -> raise Exit)
+        with Exit -> ())
+  in
+  Alcotest.(check (list string)) "failed span still completes" [ "boom" ]
+    (List.map (fun (s : Telemetry.Span.t) -> s.name) roots);
+  (* the span stack recovered: a fresh span is again a root *)
+  let (), roots = Telemetry.Span.collecting (fun () ->
+      Telemetry.Span.with_ ~name:"after" (fun () -> ()))
+  in
+  Alcotest.(check (list string)) "stack recovered" [ "after" ]
+    (List.map (fun (s : Telemetry.Span.t) -> s.name) roots)
+
+let span_names root =
+  List.rev
+    (Telemetry.Span.fold_preorder
+       (fun acc ~depth:_ (s : Telemetry.Span.t) -> s.name :: acc)
+       [] root)
+
+let test_clean_answers_spans () =
+  Telemetry.Metrics.reset ();
+  let session = Conquer.Clean.create (Fixtures.figure2_db ()) in
+  let answers, roots =
+    Telemetry.Span.collecting (fun () -> Conquer.Clean.answers session Fixtures.q1)
+  in
+  Alcotest.(check bool) "query answered" true (Relation.cardinality answers > 0);
+  match roots with
+  | [ root ] ->
+    Alcotest.(check string) "root is the clean-answer aggregation"
+      "conquer.answers" root.Telemetry.Span.name;
+    let names = span_names root in
+    Alcotest.(check bool) "rewrite span" true (List.mem "conquer.rewrite" names);
+    Alcotest.(check bool) "planner span" true (List.mem "planner.plan" names);
+    Alcotest.(check bool) "plan operator spans" true
+      (List.exists
+         (fun n -> String.length n > 5 && String.sub n 0 5 = "exec.")
+         names);
+    let has_rows_out =
+      Telemetry.Span.fold_preorder
+        (fun acc ~depth:_ (s : Telemetry.Span.t) ->
+          acc || List.mem_assoc "rows_out" s.attrs)
+        false root
+    in
+    Alcotest.(check bool) "operators report rows_out" true has_rows_out;
+    Alcotest.(check (option string)) "root reports the answer count"
+      (Some (string_of_int (Relation.cardinality answers)))
+      (List.assoc_opt "answers" root.attrs);
+    (* the instrumented run also fed the metrics registry *)
+    let count name =
+      Option.value ~default:0 (Telemetry.Metrics.counter_value name)
+    in
+    Alcotest.(check bool) "operators counted" true (count "engine.exec.operators" > 0);
+    Alcotest.(check bool) "rows counted" true (count "engine.exec.rows_out" > 0);
+    Alcotest.(check int) "one plan" 1 (count "engine.planner.plans");
+    Alcotest.(check int) "one conquer query" 1 (count "conquer.queries");
+    Alcotest.(check int) "one rewrite" 1 (count "conquer.rewrite.queries")
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+(* ---- store instrumentation ---- *)
+
+let test_store_counters () =
+  with_telemetry @@ fun () ->
+  let dir = Filename.temp_file "telemetry-store" "" in
+  Sys.remove dir;
+  let count name =
+    Option.value ~default:0 (Telemetry.Metrics.counter_value name)
+  in
+  let files0 = count "dirty.store.files_written" in
+  Dirty.Store.save dir (Fixtures.figure2_db ());
+  (* two tables plus the manifest *)
+  Alcotest.(check int) "files written" 3
+    (count "dirty.store.files_written" - files0);
+  Alcotest.(check int) "one rename per file" 3 (count "dirty.store.renames");
+  Alcotest.(check bool) "bytes accounted" true
+    (count "dirty.store.bytes_written" > 0);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* ---- exporters ---- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_prometheus_dump () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Metrics.counter ~help:"a test counter" "test.prom.counter" in
+  Telemetry.Metrics.inc ~n:3 c;
+  let h = Telemetry.Metrics.histogram "test.prom.hist" in
+  Telemetry.Metrics.observe h 0.5;
+  let dump = Telemetry.Export.prometheus_string () in
+  Alcotest.(check bool) "counter line" true
+    (contains dump "conquer_test_prom_counter 3");
+  Alcotest.(check bool) "help line" true
+    (contains dump "# HELP conquer_test_prom_counter a test counter");
+  Alcotest.(check bool) "type line" true
+    (contains dump "# TYPE conquer_test_prom_counter counter");
+  Alcotest.(check bool) "histogram buckets" true
+    (contains dump "conquer_test_prom_hist_bucket{le=");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (contains dump "conquer_test_prom_hist_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "histogram count" true
+    (contains dump "conquer_test_prom_hist_count 1")
+
+let test_metrics_json () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Metrics.counter "test.json.counter" in
+  Telemetry.Metrics.inc ~n:2 c;
+  let json = Telemetry.Export.metrics_json () in
+  Alcotest.(check bool) "counter entry" true
+    (contains json "\"test.json.counter\":2")
+
+let test_span_json () =
+  let (), roots =
+    Telemetry.Span.collecting (fun () ->
+        Telemetry.Span.with_ ~name:"outer" (fun () ->
+            Telemetry.Span.add_attr "q" "select 1";
+            Telemetry.Span.with_ ~name:"inner" (fun () -> ())))
+  in
+  let json = Telemetry.Export.span_to_json (List.hd roots) in
+  Alcotest.(check bool) "root name" true (contains json "\"name\":\"outer\"");
+  Alcotest.(check bool) "nested child" true
+    (contains json "\"children\":[{\"name\":\"inner\"");
+  Alcotest.(check bool) "attr escaped into json" true
+    (contains json "\"q\":\"select 1\"")
+
+let test_json_escaping () =
+  Alcotest.(check string) "quotes and newlines" "\"a\\\"b\\nc\""
+    (Telemetry.Export.json_string "a\"b\nc");
+  Alcotest.(check string) "nan is null" "null" (Telemetry.Export.json_float Float.nan)
+
+(* ---- the shared timing helper ---- *)
+
+let test_timing_stats () =
+  let s = Telemetry.Timing.of_samples [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check int) "runs" 3 s.runs;
+  Fixtures.check_float "min" 1.0 s.min;
+  Fixtures.check_float "median" 2.0 s.median;
+  Fixtures.check_float "max" 3.0 s.max;
+  let s = Telemetry.Timing.singleton 0.5 in
+  Fixtures.check_float "singleton min=median=max" 0.5 s.min;
+  Fixtures.check_float "singleton max" 0.5 s.max
+
+let test_time_runs () =
+  let calls = ref 0 in
+  let s = Telemetry.Timing.time_runs ~warmup:2 ~runs:5 (fun () -> incr calls) in
+  Alcotest.(check int) "warmup + timed runs" 7 !calls;
+  Alcotest.(check int) "stats runs" 5 s.runs;
+  Alcotest.(check bool) "ordered" true (s.min <= s.median && s.median <= s.max);
+  Alcotest.(check bool) "nonnegative" true (s.min >= 0.0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_span_disabled_passthrough;
+          Alcotest.test_case "nesting and attrs" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "clean answers span tree" `Quick
+            test_clean_answers_spans;
+        ] );
+      ( "instrumentation",
+        [ Alcotest.test_case "store counters" `Quick test_store_counters ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+          Alcotest.test_case "metrics json" `Quick test_metrics_json;
+          Alcotest.test_case "span json" `Quick test_span_json;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "stats of samples" `Quick test_timing_stats;
+          Alcotest.test_case "time_runs" `Quick test_time_runs;
+        ] );
+    ]
