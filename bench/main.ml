@@ -724,6 +724,101 @@ let report_ext_distribution () =
   note "        (clusters are independent Bernoulli events under Dfn 4)"
 
 (* ------------------------------------------------------------------ *)
+(* report: parallel execution A/B (DESIGN.md §5e)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Serial vs domain-parallel execution of a hash-join-heavy suite.
+   The sf-scaled TPC-H relations above are too small for the fan-out
+   to amortize, so this report runs on a synthetic database sized so
+   the partition-parallel operators actually engage.  Every query is
+   answered at jobs=1 and jobs=4 over the same engine database; the
+   serial-equivalence guarantee (bit-identical answers) is spot-checked
+   here and tested exhaustively in test/test_parallel.ml.
+
+   Speedup samples are dimensionless ratios; they are recorded through
+   the same stats machinery, so in BENCH_<n>.json their value lands in
+   [median_ms] verbatim (divided back out of the ms conversion). *)
+
+let report_parallel () =
+  section "Parallel execution: jobs=1 vs jobs=4 (hash-join-heavy suite)";
+  let scale = if !quick then 1 else 3 in
+  let nl = 120_000 * scale and nr = 60_000 * scale in
+  let nkeys = 12_000 * scale in
+  let rng = Random.State.make [| 0x5eed |] in
+  let left =
+    Relation.create
+      (Schema.make
+         [ ("k", Value.TInt); ("v", Value.TInt); ("a", Value.TString) ])
+      (List.init nl (fun i ->
+           [|
+             Value.Int (Random.State.int rng nkeys);
+             Value.Int (Random.State.int rng 1000);
+             Value.String (Printf.sprintf "l%d" i);
+           |]))
+  in
+  let right =
+    Relation.create
+      (Schema.make
+         [ ("k", Value.TInt); ("g", Value.TInt); ("b", Value.TString) ])
+      (List.init nr (fun j ->
+           [|
+             Value.Int (Random.State.int rng nkeys);
+             Value.Int (Random.State.int rng 48);
+             Value.String (Printf.sprintf "r%d" j);
+           |]))
+  in
+  let engine = Engine.Database.create () in
+  Engine.Database.add_relation engine ~name:"l" left;
+  Engine.Database.add_relation engine ~name:"r" right;
+  let config jobs = { Engine.Planner.default_config with jobs } in
+  Printf.printf "synthetic database: l=%d rows, r=%d rows, %d distinct keys\n"
+    nl nr nkeys;
+  Printf.printf "recommended domain count on this machine: %d\n"
+    (Domain.recommended_domain_count ());
+  let suite =
+    [
+      ("join", "select l.a, r.b from l, r where l.k = r.k");
+      ( "join-agg",
+        "select r.g, count(*), sum(l.v) from l, r where l.k = r.k group by r.g"
+      );
+      ("filter-agg", "select k, count(*), sum(v), avg(v) from l where v > 100 group by k");
+      ("filter-project", "select a from l where v < 500");
+    ]
+  in
+  Printf.printf "%-16s %12s %12s %9s\n" "query" "jobs=1" "jobs=4" "speedup";
+  let totals = ref (0.0, 0.0) in
+  List.iter
+    (fun (name, sql) ->
+      let card jobs =
+        Relation.cardinality (Engine.Database.query ~config:(config jobs) engine sql)
+      in
+      if card 1 <> card 4 then
+        failwith (Printf.sprintf "parallel answer mismatch on %s" name);
+      let t1 =
+        time_runs ~name:(name ^ "/jobs1") (fun () ->
+            Engine.Database.query ~config:(config 1) engine sql)
+      in
+      let t4 =
+        time_runs ~name:(name ^ "/jobs4") (fun () ->
+            Engine.Database.query ~config:(config 4) engine sql)
+      in
+      let speedup = if t4 > 0.0 then t1 /. t4 else 1.0 in
+      record (name ^ "/speedup") (Telemetry.Timing.singleton (speedup /. 1000.0));
+      let s1, s4 = !totals in
+      totals := (s1 +. t1, s4 +. t4);
+      Printf.printf "%-16s %10.2fms %10.2fms %8.2fx\n" name (ms t1) (ms t4)
+        speedup)
+    suite;
+  let s1, s4 = !totals in
+  let speedup = if s4 > 0.0 then s1 /. s4 else 1.0 in
+  record "suite/speedup" (Telemetry.Timing.singleton (speedup /. 1000.0));
+  Printf.printf "suite total: %.2fms serial, %.2fms parallel — %.2fx speedup\n"
+    (ms s1) (ms s4) speedup;
+  note "partition-parallel hash join / filter / aggregate on a shared";
+  note "        domain pool; answers are bit-identical to serial execution";
+  note "        (group order, row order and float accumulation included)"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel statistical pass                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -890,6 +985,7 @@ let reports =
     ("ext-matcher", report_ext_matcher);
     ("ext-distribution", report_ext_distribution);
     ("ext-sampler", report_ext_sampler);
+    ("parallel", report_parallel);
   ]
 
 let () =

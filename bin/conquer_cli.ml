@@ -21,7 +21,9 @@
    '--verbose' anywhere turns on debug logging (plans, rewritten SQL).
    '--trace FILE' anywhere enables telemetry and appends every completed
    root span as a JSON line to FILE; '--metrics FILE' enables telemetry
-   and writes a Prometheus-style metrics snapshot to FILE at exit. *)
+   and writes a Prometheus-style metrics snapshot to FILE at exit.
+   '--jobs N' anywhere runs partition-parallel operators on up to N
+   domains (same results, defaults to CONQUER_JOBS or 1). *)
 
 module Value = Dirty.Value
 module Relation = Dirty.Relation
@@ -829,6 +831,17 @@ let () =
   (* --trace FILE / --metrics FILE anywhere enable telemetry globally *)
   let trace_file, args = extract_value "--trace" args in
   let metrics_file, args = extract_value "--metrics" args in
+  (* --jobs N anywhere sets the process-wide parallelism default
+     (overrides CONQUER_JOBS); results are identical for any N *)
+  let jobs_arg, args = extract_value "--jobs" args in
+  (match jobs_arg with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Engine.Parallel.set_default_jobs n
+    | _ ->
+      prerr_endline ("conquer: --jobs expects a positive integer, got " ^ s);
+      exit 1)
+  | None -> ());
   (match trace_file with
   | Some path ->
     Telemetry.Control.enable ();

@@ -35,14 +35,36 @@ let rank = function
   | String _ -> 3
   | Date _ -> 4
 
+(* Exact comparison of an int against a float.  Rounding the int to
+   float first would be lossy above 2^53 — distinct ints would compare
+   equal to the same float, breaking transitivity of [equal] (and with
+   it distinct/sort/join keys).  Instead: NaN sorts above every int
+   (matching [Float.compare]'s total order); floats beyond the native
+   int range compare by sign; otherwise the float's integral part fits
+   an int exactly, so compare that, then the fractional part. *)
+let compare_int_float x y =
+  if Float.is_nan y then 1 (* [Float.compare] sorts NaN below everything *)
+  else if y >= 4.611686018427387904e18 (* 2^62 > max_int *) then -1
+  else if y < -4.611686018427387904e18 (* min_int as a float *) then 1
+  else begin
+    let ty = Float.trunc y in
+    (* |ty| <= 2^62 and integral, so the conversion is exact *)
+    let iy = int_of_float ty in
+    if x < iy then -1
+    else if x > iy then 1
+    else
+      let frac = y -. ty in
+      if frac > 0.0 then -1 else if frac < 0.0 then 1 else 0
+  end
+
 let compare a b =
   match a, b with
   | Null, Null -> 0
   | Bool x, Bool y -> Bool.compare x y
   | Int x, Int y -> Int.compare x y
   | Float x, Float y -> Float.compare x y
-  | Int x, Float y -> Float.compare (float_of_int x) y
-  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Int x, Float y -> compare_int_float x y
+  | Float x, Int y -> -compare_int_float y x
   | String x, String y -> String.compare x y
   | Date x, Date y -> Int.compare x y
   | (Null | Bool _ | Int _ | Float _ | String _ | Date _), _ ->

@@ -30,9 +30,11 @@ val is_null : t -> bool
 
 val compare : t -> t -> int
 (** Total order used for sorting and grouping.  [Null] sorts first;
-    ints and floats compare numerically with each other; values of
-    incomparable types are ordered by their type tag so that the order
-    stays total. *)
+    ints and floats compare numerically with each other — exactly,
+    without rounding the int to float, so distinct ints above 2{^53}
+    never collapse onto the same float and the order stays transitive;
+    values of incomparable types are ordered by their type tag so that
+    the order stays total. *)
 
 val equal : t -> t -> bool
 

@@ -30,10 +30,17 @@ let () =
    this keeps the per-row overhead well under a nanosecond amortized *)
 let time_check_interval = 256
 
+(* The mutable accounting fields are guarded by [lock]: a budget can be
+   charged from several domains when the executor runs partitioned
+   operators in parallel, and a torn produced/countdown update would
+   let rows slip past the limit.  The lock is uncontended in serial
+   runs, so the cost there is a couple of atomic instructions per
+   admit — still dwarfed by row materialization. *)
 type t = {
   limits : limits;
   mode : mode;
   started : float;
+  lock : Mutex.t;
   mutable produced : int;
   mutable stopped : bool;
   mutable countdown : int;
@@ -44,17 +51,24 @@ let create ?(mode = Raise) limits =
     limits;
     mode;
     started = Unix.gettimeofday ();
+    lock = Mutex.create ();
     produced = 0;
     stopped = false;
     countdown = time_check_interval;
   }
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let elapsed t = Unix.gettimeofday () -. t.started
-let produced t = t.produced
-let exhausted t = t.stopped
+let produced t = with_lock t (fun () -> t.produced)
+let exhausted t = with_lock t (fun () -> t.stopped)
 let truncated = exhausted
 
-let stop t =
+(* must be called with [t.lock] held; raises in [Raise] mode, so
+   callers release the lock via Fun.protect *)
+let stop_locked t =
   match t.mode with
   | Raise ->
     raise (Exceeded { produced = t.produced; elapsed = elapsed t; limits = t.limits })
@@ -65,15 +79,17 @@ let over_time t =
   | None -> false
   | Some lim -> elapsed t > lim
 
-let check_time t = if (not t.stopped) && over_time t then stop t
+let check_time t =
+  with_lock t (fun () -> if (not t.stopped) && over_time t then stop_locked t)
 
 let admit t n =
+  with_lock t @@ fun () ->
   if t.stopped then 0
   else begin
     t.countdown <- t.countdown - n;
     if t.countdown <= 0 then begin
       t.countdown <- time_check_interval;
-      check_time t
+      if over_time t then stop_locked t
     end;
     if t.stopped then 0
     else
@@ -89,7 +105,7 @@ let admit t n =
         else begin
           let allowed = max 0 (lim - t.produced) in
           t.produced <- t.produced + n;
-          stop t;
+          stop_locked t;
           (* only reached in Truncate mode *)
           allowed
         end

@@ -17,7 +17,13 @@
       partial intermediate results, and record that truncation
       happened.  Used by the degrading query entry points
       ([Database.query_ast_within], [Conquer.Clean.top_answers_within])
-      to return partial answers with a truncation flag. *)
+      to return partial answers with a truncation flag.
+
+    A budget is domain-safe: its accounting is mutex-guarded, so
+    charges from parallel operator partitions are serialized and the
+    admitted total never exceeds the limit.  (The executor additionally
+    runs per-row-charged operators serially when a budget is in force,
+    keeping [Truncate] prefixes identical to a serial run.) *)
 
 type limits = {
   max_rows : int option;  (** total rows produced across all operators *)

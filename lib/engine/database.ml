@@ -68,7 +68,13 @@ let exec_catalog t : Exec.catalog =
   }
 
 let plan ?config t q = Planner.plan ?config (planner_env t) q
-let run_plan ?budget t p = Exec.run ?budget (exec_catalog t) p
+let run_plan ?budget ?jobs t p = Exec.run ?budget ?jobs (exec_catalog t) p
+
+(* the parallelism the caller asked for: an explicit config pins it
+   (so jobs=1 vs jobs=4 comparisons are environment-independent);
+   otherwise the process default (CLI --jobs / CONQUER_JOBS) applies *)
+let effective_jobs (config : Planner.config option) =
+  match config with Some c -> c.jobs | None -> Parallel.default_jobs ()
 
 (* the budget declared by the planner config, if any *)
 let budget_of_config mode (config : Planner.config option) =
@@ -90,12 +96,14 @@ let timed_query f =
 
 let query_ast ?config t q =
   timed_query (fun () ->
-      run_plan ?budget:(budget_of_config Budget.Raise config) t (plan ?config t q))
+      run_plan
+        ?budget:(budget_of_config Budget.Raise config)
+        ~jobs:(effective_jobs config) t (plan ?config t q))
 
 let query_ast_within ?config t q =
   timed_query (fun () ->
       let budget = budget_of_config Budget.Truncate config in
-      let rel = run_plan ?budget t (plan ?config t q) in
+      let rel = run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q) in
       (rel, match budget with Some b -> Budget.truncated b | None -> false))
 
 let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
@@ -107,7 +115,7 @@ let query_profiled ?config t text =
   let p = plan ?config t (Sql.Parser.parse_query text) in
   Exec.run_profiled
     ?budget:(budget_of_config Budget.Raise config)
-    (exec_catalog t) p
+    ~jobs:(effective_jobs config) (exec_catalog t) p
 
 let explain_analyze ?config t text =
   let _, profile = query_profiled ?config t text in

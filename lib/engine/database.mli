@@ -30,13 +30,15 @@ val analyze_all : t -> unit
 val stats : t -> string -> Stats.t option
 
 val plan : ?config:Planner.config -> t -> Sql.Ast.query -> Plan.t
-val run_plan : ?budget:Budget.t -> t -> Plan.t -> Dirty.Relation.t
+val run_plan : ?budget:Budget.t -> ?jobs:int -> t -> Plan.t -> Dirty.Relation.t
 
 val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
 val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t
 (** Parse, plan and execute SQL text.  When the config declares an
     execution budget ([max_rows] / [max_elapsed]), exceeding it raises
-    {!Budget.Exceeded}.
+    {!Budget.Exceeded}.  The config's [jobs] field selects
+    partition-parallel execution; with no config the process-wide
+    default ([--jobs] / [CONQUER_JOBS]) applies.
     @raise Sql.Parser.Error, Planner.Plan_error, Exec.Exec_error or
     Budget.Exceeded. *)
 

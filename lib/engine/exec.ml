@@ -221,6 +221,65 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
+(* ---- partition-parallel helpers ----
+
+   Operators with enough rows split their input into contiguous
+   chunks, evaluate the chunks on the domain pool, and concatenate the
+   per-chunk results in chunk order — so the output row order (and
+   hence every downstream result) is bit-identical to a serial run.
+   Small inputs stay serial: below [Parallel.min_rows_per_chunk] per
+   requested job the handoff costs more than it saves. *)
+
+let use_parallel ~jobs n = jobs > 1 && n >= jobs * !Parallel.min_rows_per_chunk
+
+(* split [0..n-1] into contiguous ranges, a few per job so chunk
+   stealing evens out skew; returns [(offset, length)] pairs *)
+let chunk_ranges ~jobs n =
+  let max_chunks = max 1 (n / max 1 !Parallel.min_rows_per_chunk) in
+  let chunks = max 1 (min (jobs * 4) max_chunks) in
+  let base = n / chunks and extra = n mod chunks in
+  Array.init chunks (fun i ->
+      let lo = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (lo, len))
+
+(* positive partition id for a group/join key *)
+let key_pid ~nparts key = Key.hash key land max_int mod nparts
+
+(* chunked parallel filter; preserves row order exactly *)
+let run_filter ~jobs pred rel =
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  if not (use_parallel ~jobs n) then Relation.filter pred rel
+  else begin
+    let ranges = chunk_ranges ~jobs n in
+    let parts =
+      Parallel.init ~jobs (Array.length ranges) (fun ci ->
+          let lo, len = ranges.(ci) in
+          let acc = ref [] in
+          for i = lo + len - 1 downto lo do
+            if pred rows.(i) then acc := rows.(i) :: !acc
+          done;
+          !acc)
+    in
+    Relation.create (Relation.schema rel) (List.concat (Array.to_list parts))
+  end
+
+(* chunked parallel row mapping (Project); order-preserving *)
+let run_map_rows ~jobs f rel =
+  let rows = Relation.rows rel in
+  let n = Array.length rows in
+  if not (use_parallel ~jobs n) then List.map f (Array.to_list rows)
+  else begin
+    let ranges = chunk_ranges ~jobs n in
+    let parts =
+      Parallel.init ~jobs (Array.length ranges) (fun ci ->
+          let lo, len = ranges.(ci) in
+          List.init len (fun i -> f rows.(lo + i)))
+    in
+    List.concat (Array.to_list parts)
+  end
+
 (* an aggregate argument: count-star or a compiled expression *)
 type agg_arg = Star_arg | Expr_arg of (Relation.row -> Value.t)
 
@@ -229,7 +288,7 @@ let feed_arg state arg row =
   | Star_arg -> feed state None
   | Expr_arg f -> feed state (Some (f row))
 
-let run_aggregate input ~group_by ~items ~having =
+let run_aggregate ~jobs input ~group_by ~items ~having =
   let in_schema = Relation.schema input in
   let key_fns = Array.of_list (List.map (compile in_schema) group_by) in
   let num_keys = Array.length key_fns in
@@ -247,36 +306,92 @@ let run_aggregate input ~group_by ~items ~having =
   in
   let num_aggs = Array.length agg_specs in
   let new_states () = Array.map (fun (f, _) -> new_state f) agg_specs in
-  let groups = Ktbl.create 256 in
-  let order = ref [] in
-  Relation.iter
-    (fun row ->
-      let key = Array.init num_keys (fun i -> key_fns.(i) row) in
-      let states =
-        match Ktbl.find_opt groups key with
-        | Some states -> states
-        | None ->
-          let states = new_states () in
-          Ktbl.add groups key states;
-          order := key :: !order;
-          states
-      in
-      for i = 0 to num_aggs - 1 do
-        feed_arg states.(i) (snd agg_specs.(i)) row
-      done)
-    input;
-  (* SQL semantics: an ungrouped aggregate over an empty input yields
-     a single row of initial aggregate values *)
-  if group_by = [] && Ktbl.length groups = 0 then begin
-    Ktbl.add groups [||] (new_states ());
-    order := [ [||] ]
-  end;
+  let rows = Relation.rows input in
+  let n = Array.length rows in
+  let feed_row states row =
+    for i = 0 to num_aggs - 1 do
+      feed_arg states.(i) (snd agg_specs.(i)) row
+    done
+  in
+  (* Parallel grouping partitions GROUPS (by key hash), not rows: a
+     partition owns every row of its groups and feeds them in original
+     row order, so per-group accumulation (including float order) is
+     exactly the serial one.  Merging sorts partitions' groups by
+     first-occurrence row index, recovering serial group order — the
+     whole operator is bit-identical to serial.  Ungrouped aggregates
+     have a single group and stay serial. *)
   let finished_rows =
-    List.rev_map
-      (fun key ->
-        let states = Ktbl.find groups key in
-        Array.append key (Array.map finish states))
-      !order
+    if num_keys > 0 && use_parallel ~jobs n then begin
+      let keys = Array.make n [||] in
+      let nparts = min jobs Parallel.max_jobs in
+      let pids = Array.make n 0 in
+      let ranges = chunk_ranges ~jobs n in
+      Parallel.run ~jobs (Array.length ranges) (fun ci ->
+          let lo, len = ranges.(ci) in
+          for i = lo to lo + len - 1 do
+            let key = Array.init num_keys (fun j -> key_fns.(j) rows.(i)) in
+            keys.(i) <- key;
+            pids.(i) <- key_pid ~nparts key
+          done);
+      let per_part =
+        Parallel.init ~jobs nparts (fun p ->
+            let groups = Ktbl.create 64 in
+            (* (first-occurrence row index, key, states), reversed *)
+            let entries = ref [] in
+            for i = 0 to n - 1 do
+              if pids.(i) = p then begin
+                let states =
+                  match Ktbl.find_opt groups keys.(i) with
+                  | Some states -> states
+                  | None ->
+                    let states = new_states () in
+                    Ktbl.add groups keys.(i) states;
+                    entries := (i, keys.(i), states) :: !entries;
+                    states
+                in
+                feed_row states rows.(i)
+              end
+            done;
+            List.rev !entries)
+      in
+      let merged =
+        List.sort
+          (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          (List.concat (Array.to_list per_part))
+      in
+      List.map
+        (fun (_, key, states) -> Array.append key (Array.map finish states))
+        merged
+    end
+    else begin
+      let groups = Ktbl.create 256 in
+      let order = ref [] in
+      Array.iter
+        (fun row ->
+          let key = Array.init num_keys (fun i -> key_fns.(i) row) in
+          let states =
+            match Ktbl.find_opt groups key with
+            | Some states -> states
+            | None ->
+              let states = new_states () in
+              Ktbl.add groups key states;
+              order := key :: !order;
+              states
+          in
+          feed_row states row)
+        rows;
+      (* SQL semantics: an ungrouped aggregate over an empty input
+         yields a single row of initial aggregate values *)
+      if group_by = [] && Ktbl.length groups = 0 then begin
+        Ktbl.add groups [||] (new_states ());
+        order := [ [||] ]
+      end;
+      List.rev_map
+        (fun key ->
+          let states = Ktbl.find groups key in
+          Array.append key (Array.map finish states))
+        !order
+    end
   in
   (* fast path: the output columns are exactly the group columns
      followed by the aggregates, and no HAVING — emit directly *)
@@ -325,39 +440,122 @@ let run_aggregate input ~group_by ~items ~having =
 
 (* ---- joins ---- *)
 
-let run_hash_join ?budget left right ~left_keys ~right_keys =
+(* A build-side bucket.  Rows are consed during the build (so they sit
+   in reverse scan order) and reversed in place exactly once — lazily
+   at the bucket's first probe hit in the serial path, eagerly after
+   the partition build in the parallel path (probes there run on other
+   domains and must not mutate).  Either way we never rebuild the
+   whole table just to fix bucket order. *)
+type bucket = { mutable b_rows : Relation.row list; mutable b_ordered : bool }
+
+let bucket_add table key row =
+  match Ktbl.find_opt table key with
+  | Some b -> b.b_rows <- row :: b.b_rows
+  | None -> Ktbl.add table key { b_rows = [ row ]; b_ordered = false }
+
+let bucket_rows b =
+  if not b.b_ordered then begin
+    b.b_rows <- List.rev b.b_rows;
+    b.b_ordered <- true
+  end;
+  b.b_rows
+
+let run_hash_join ?budget ~jobs left right ~left_keys ~right_keys =
   let ls = Relation.schema left and rs = Relation.schema right in
   let lf = List.map (compile ls) left_keys and rf = List.map (compile rs) right_keys in
-  let table = Ktbl.create (max 16 (Relation.cardinality right)) in
-  Relation.iter
-    (fun row ->
-      let key = Array.of_list (List.map (fun f -> f row) rf) in
-      if not (Array.exists Value.is_null key) then begin
-        let existing = Option.value ~default:[] (Ktbl.find_opt table key) in
-        Ktbl.replace table key (row :: existing)
-      end)
-    right;
-  (* right rows were consed in reverse; reverse once *)
-  let table' = Ktbl.create (Ktbl.length table) in
-  Ktbl.iter (fun k rows -> Ktbl.replace table' k (List.rev rows)) table;
   let out_schema = Schema.append ls rs in
-  let out = ref [] in
-  (try
-     Relation.iter
-       (fun lrow ->
-         let key = Array.of_list (List.map (fun f -> f lrow) lf) in
-         if not (Array.exists Value.is_null key) then
-           match Ktbl.find_opt table' key with
+  let lrows = Relation.rows left and rrows = Relation.rows right in
+  let nl = Array.length lrows and nr = Array.length rrows in
+  let probe_key fns row =
+    let key = Array.of_list (List.map (fun f -> f row) fns) in
+    if Array.exists Value.is_null key then None else Some key
+  in
+  (* With a budget in force the join stays serial: rows are charged as
+     they are emitted, and a parallel emit would make the Truncate
+     prefix depend on scheduling. *)
+  if Option.is_some budget || not (use_parallel ~jobs (nl + nr)) then begin
+    let table = Ktbl.create (max 16 nr) in
+    Array.iter
+      (fun row ->
+        match probe_key rf row with
+        | Some key -> bucket_add table key row
+        | None -> ())
+      rrows;
+    let out = ref [] in
+    (try
+       Array.iter
+         (fun lrow ->
+           match probe_key lf lrow with
            | None -> ()
-           | Some rrows ->
-             List.iter
-               (fun rrow ->
-                 tick budget;
-                 out := Array.append lrow rrow :: !out)
-               rrows)
-       left
-   with Budget_stop -> ());
-  Relation.create out_schema (List.rev !out)
+           | Some key -> (
+             match Ktbl.find_opt table key with
+             | None -> ()
+             | Some b ->
+               List.iter
+                 (fun rrow ->
+                   tick budget;
+                   out := Array.append lrow rrow :: !out)
+                 (bucket_rows b)))
+         lrows
+     with Budget_stop -> ());
+    Relation.create out_schema (List.rev !out)
+  end
+  else begin
+    (* radix-partitioned build: extract build keys in parallel, build
+       one sub-table per key partition in parallel (each partition
+       scans the key array, touching only its own rows), then probe
+       left chunks in parallel against the read-only tables.  Chunk
+       outputs concatenate in order, so the result is bit-identical to
+       the serial join. *)
+    let nparts = min jobs Parallel.max_jobs in
+    let rkeys = Array.make nr None in
+    let rpids = Array.make nr 0 in
+    let branges = chunk_ranges ~jobs nr in
+    Parallel.run ~jobs (Array.length branges) (fun ci ->
+        let lo, len = branges.(ci) in
+        for i = lo to lo + len - 1 do
+          match probe_key rf rrows.(i) with
+          | Some key ->
+            rkeys.(i) <- Some key;
+            rpids.(i) <- key_pid ~nparts key
+          | None -> ()
+        done);
+    let tables =
+      Parallel.init ~jobs nparts (fun p ->
+          let table = Ktbl.create (max 16 (nr / nparts)) in
+          for i = 0 to nr - 1 do
+            match rkeys.(i) with
+            | Some key when rpids.(i) = p -> bucket_add table key rrows.(i)
+            | _ -> ()
+          done;
+          Ktbl.iter
+            (fun _ b ->
+              b.b_rows <- List.rev b.b_rows;
+              b.b_ordered <- true)
+            table;
+          table)
+    in
+    let pranges = chunk_ranges ~jobs nl in
+    let parts =
+      Parallel.init ~jobs (Array.length pranges) (fun ci ->
+          let lo, len = pranges.(ci) in
+          let acc = ref [] in
+          for i = lo to lo + len - 1 do
+            let lrow = lrows.(i) in
+            match probe_key lf lrow with
+            | None -> ()
+            | Some key -> (
+              match Ktbl.find_opt tables.(key_pid ~nparts key) key with
+              | None -> ()
+              | Some b ->
+                List.iter
+                  (fun rrow -> acc := Array.append lrow rrow :: !acc)
+                  b.b_rows)
+          done;
+          List.rev !acc)
+    in
+    Relation.create out_schema (List.concat (Array.to_list parts))
+  end
 
 (* Find an equality conjunct of [on] whose sides resolve strictly on
    the two inputs, to drive a hash path for the outer join; the rest
@@ -370,13 +568,16 @@ let split_outer_condition ls rs on =
     with Expr.Unbound_column _ | Expr.Ambiguous_column _ -> false
   in
   let conjuncts = Sql.Ast.conjuncts on in
+  (* [acc] holds the skipped conjuncts in reverse; rev_append restores
+     their order — consing keeps the scan linear in the conjunct count *)
   let rec pick acc = function
     | [] -> None
     | (Sql.Ast.Binop (Eq, a, b) as c) :: rest ->
-      if resolves ls a && resolves rs b then Some ((a, b), acc @ rest)
-      else if resolves rs a && resolves ls b then Some ((b, a), acc @ rest)
-      else pick (acc @ [ c ]) rest
-    | c :: rest -> pick (acc @ [ c ]) rest
+      if resolves ls a && resolves rs b then Some ((a, b), List.rev_append acc rest)
+      else if resolves rs a && resolves ls b then
+        Some ((b, a), List.rev_append acc rest)
+      else pick (c :: acc) rest
+    | c :: rest -> pick (c :: acc) rest
   in
   pick [] conjuncts
 
@@ -456,11 +657,12 @@ let run_left_outer_join ?budget lrel rrel ~on =
    that {!run_profiled} can record per-operator statistics without a
    second copy of the evaluation logic. *)
 
-let rec run_hooked budget hook catalog (plan : Plan.t) : Relation.t =
+let rec run_hooked budget jobs hook catalog (plan : Plan.t) : Relation.t =
   (* bail out of deep plans promptly when the clock has run out *)
   (match budget with None -> () | Some b -> Budget.check_time b);
   let eval_node () =
-    hook plan (fun () -> eval budget hook catalog (resolve_node budget catalog plan))
+    hook plan (fun () ->
+        eval budget jobs hook catalog (resolve_node budget jobs catalog plan))
   in
   let rel =
     if not (Telemetry.Control.enabled ()) then eval_node ()
@@ -493,7 +695,7 @@ let rec run_hooked budget hook catalog (plan : Plan.t) : Relation.t =
    Correlated references fail inside the subquery's own planning with
    an unbound-column error. *)
 
-and eval_subquery budget catalog (q : Sql.Ast.query) : Relation.t =
+and eval_subquery budget jobs catalog (q : Sql.Ast.query) : Relation.t =
   let env : Planner.env =
     {
       schema_of =
@@ -509,10 +711,10 @@ and eval_subquery budget catalog (q : Sql.Ast.query) : Relation.t =
     try Planner.plan env q
     with Planner.Plan_error msg -> exec_errorf "in subquery: %s" msg
   in
-  run_hooked budget (fun _ f -> f ()) catalog plan
+  run_hooked budget jobs (fun _ f -> f ()) catalog plan
 
-and scalar_of_subquery budget catalog q =
-  let rel = eval_subquery budget catalog q in
+and scalar_of_subquery budget jobs catalog q =
+  let rel = eval_subquery budget jobs catalog q in
   if Schema.arity (Relation.schema rel) <> 1 then
     exec_errorf "scalar subquery must return one column";
   match Relation.cardinality rel with
@@ -520,11 +722,11 @@ and scalar_of_subquery budget catalog q =
   | 1 -> (Relation.get rel 0).(0)
   | n -> exec_errorf "scalar subquery returned %d rows" n
 
-and resolve_expr budget catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
-  let go = resolve_expr budget catalog in
+and resolve_expr budget jobs catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
+  let go = resolve_expr budget jobs catalog in
   match e with
   | In_query (x, q) ->
-    let rel = eval_subquery budget catalog q in
+    let rel = eval_subquery budget jobs catalog q in
     if Schema.arity (Relation.schema rel) <> 1 then
       exec_errorf "IN subquery must return one column";
     let values =
@@ -534,8 +736,8 @@ and resolve_expr budget catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
     in
     In_list (go x, List.rev values)
   | Exists q ->
-    Lit (Value.Bool (not (Relation.is_empty (eval_subquery budget catalog q))))
-  | Scalar_subquery q -> Lit (scalar_of_subquery budget catalog q)
+    Lit (Value.Bool (not (Relation.is_empty (eval_subquery budget jobs catalog q))))
+  | Scalar_subquery q -> Lit (scalar_of_subquery budget jobs catalog q)
   | Lit _ | Col _ | Agg (_, None) -> e
   | Agg (f, Some a) -> Agg (f, Some (go a))
   | Unop (op, a) -> Unop (op, go a)
@@ -547,11 +749,11 @@ and resolve_expr budget catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
   | Is_null a -> Is_null (go a)
   | Is_not_null a -> Is_not_null (go a)
 
-and resolve_if_needed budget catalog e =
-  if Sql.Ast.has_subqueries e then resolve_expr budget catalog e else e
+and resolve_if_needed budget jobs catalog e =
+  if Sql.Ast.has_subqueries e then resolve_expr budget jobs catalog e else e
 
-and resolve_node budget catalog (plan : Plan.t) : Plan.t =
-  let r = resolve_if_needed budget catalog in
+and resolve_node budget jobs catalog (plan : Plan.t) : Plan.t =
+  let r = resolve_if_needed budget jobs catalog in
   match plan with
   | Scan _ | Distinct _ | Limit _ -> plan
   | Filter { input; pred } -> Filter { input; pred = r pred }
@@ -580,8 +782,8 @@ and resolve_node budget catalog (plan : Plan.t) : Plan.t =
   | Sort { input; keys } ->
     Sort { input; keys = List.map (fun (e, d) -> (r e, d)) keys }
 
-and eval budget hook catalog (plan : Plan.t) : Relation.t =
-  let run catalog plan = run_hooked budget hook catalog plan in
+and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
+  let run catalog plan = run_hooked budget jobs hook catalog plan in
   match plan with
   | Scan { table; alias } ->
     let rel =
@@ -592,19 +794,19 @@ and eval budget hook catalog (plan : Plan.t) : Relation.t =
     Relation.of_array schema (Relation.rows rel)
   | Filter { input; pred } ->
     let rel = run catalog input in
-    Relation.filter (predicate (Relation.schema rel) pred) rel
+    run_filter ~jobs (predicate (Relation.schema rel) pred) rel
   | Project { input; items } ->
     let rel = run catalog input in
     let schema = Relation.schema rel in
     let fns = List.map (fun (e, _) -> compile schema e) items in
     let rows =
-      List.map
+      run_map_rows ~jobs
         (fun row -> Array.of_list (List.map (fun f -> f row) fns))
-        (Relation.row_list rel)
+        rel
     in
     Relation.create (infer_schema (List.map snd items) rows) rows
   | Hash_join { left; right; left_keys; right_keys } ->
-    run_hash_join ?budget (run catalog left) (run catalog right) ~left_keys
+    run_hash_join ?budget ~jobs (run catalog left) (run catalog right) ~left_keys
       ~right_keys
   | Left_outer_join { left; right; on } ->
     run_left_outer_join ?budget (run catalog left) (run catalog right) ~on
@@ -673,7 +875,7 @@ and eval budget hook catalog (plan : Plan.t) : Relation.t =
      with Budget_stop -> ());
     Relation.create schema (List.rev !out)
   | Aggregate { input; group_by; items; having } ->
-    run_aggregate (run catalog input) ~group_by ~items ~having
+    run_aggregate ~jobs (run catalog input) ~group_by ~items ~having
   | Sort { input; keys } ->
     let rel = run catalog input in
     let schema = Relation.schema rel in
@@ -695,9 +897,9 @@ and eval budget hook catalog (plan : Plan.t) : Relation.t =
     Relation.of_array (Relation.schema rel)
       (Array.sub (Relation.rows rel) 0 keep)
 
-let run ?budget catalog plan =
+let run ?budget ?(jobs = 1) catalog plan =
   (* evaluation-time type errors surface as engine errors *)
-  try run_hooked budget (fun _ f -> f ()) catalog plan
+  try run_hooked budget jobs (fun _ f -> f ()) catalog plan
   with Expr.Type_error msg -> raise (Exec_error msg)
 
 type profile = {
@@ -707,7 +909,7 @@ type profile = {
   children : profile list;
 }
 
-let run_profiled ?budget catalog plan =
+let run_profiled ?budget ?(jobs = 1) catalog plan =
   (* a stack of children accumulators: the hook pushes a frame before
      evaluating a node and folds the completed profile into the
      parent's frame afterwards *)
@@ -732,7 +934,7 @@ let run_profiled ?budget catalog plan =
     rel
   in
   let rel =
-    try run_hooked budget hook catalog plan
+    try run_hooked budget jobs hook catalog plan
     with Expr.Type_error msg -> raise (Exec_error msg)
   in
   match !stack with

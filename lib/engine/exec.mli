@@ -14,8 +14,15 @@ type catalog = {
 
 exception Exec_error of string
 
-val run : ?budget:Budget.t -> catalog -> Plan.t -> Dirty.Relation.t
-(** @raise Exec_error on semantic errors (unknown table, unbound or
+val run : ?budget:Budget.t -> ?jobs:int -> catalog -> Plan.t -> Dirty.Relation.t
+(** [jobs] (default [1]) caps the domains used for partition-parallel
+    operators (hash join, filter, project, aggregate).  Results are
+    bit-identical to a serial run for any [jobs]: chunk outputs are
+    concatenated in input order and aggregate groups are merged in
+    first-occurrence order.  Per-row budget-charged operators fall
+    back to serial whenever [budget] is given, so [Truncate] prefixes
+    stay well-defined.
+    @raise Exec_error on semantic errors (unknown table, unbound or
     ambiguous column, type errors).
     @raise Budget.Exceeded when a [Raise]-mode budget runs out; with a
     [Truncate]-mode budget the result is the partial output produced
@@ -30,7 +37,7 @@ type profile = {
 }
 
 val run_profiled :
-  ?budget:Budget.t -> catalog -> Plan.t -> Dirty.Relation.t * profile
+  ?budget:Budget.t -> ?jobs:int -> catalog -> Plan.t -> Dirty.Relation.t * profile
 (** Like {!run} but also returns the per-node statistics tree. *)
 
 val pp_profile : Format.formatter -> profile -> unit

@@ -5,10 +5,17 @@ type config = {
   use_indexes : bool;
   max_rows : int option;
   max_elapsed : float option;
+  jobs : int;
 }
 
 let default_config =
-  { pushdown = true; use_indexes = true; max_rows = None; max_elapsed = None }
+  {
+    pushdown = true;
+    use_indexes = true;
+    max_rows = None;
+    max_elapsed = None;
+    jobs = 1;
+  }
 
 type env = {
   schema_of : string -> Schema.t option;

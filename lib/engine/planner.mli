@@ -26,6 +26,10 @@ type config = {
   max_elapsed : float option;
       (** execution budget: wall-clock seconds; [None] is
           unlimited. *)
+  jobs : int;
+      (** domains used for partition-parallel operators; [1] (the
+          default) keeps execution serial.  Results are bit-identical
+          for any value — see {!Exec.run}. *)
 }
 
 val default_config : config

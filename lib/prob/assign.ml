@@ -44,7 +44,10 @@ let edit_distance_fn rel attrs matrix =
     in
     List.fold_left ( +. ) 0.0 dists /. float_of_int (List.length dists)
 
-let run ?(distance = Information_loss) ?attrs rel clustering =
+let run ?(distance = Information_loss) ?attrs ?jobs rel clustering =
+  let jobs =
+    match jobs with Some j -> j | None -> Engine.Parallel.default_jobs ()
+  in
   Telemetry.Metrics.inc m_runs;
   Telemetry.Span.with_ ~name:"prob.assign" @@ fun () ->
   let attrs =
@@ -74,8 +77,14 @@ let run ?(distance = Information_loss) ?attrs rel clustering =
   in
   Telemetry.Metrics.inc ~n:(List.length representatives) m_clusters;
   Telemetry.Span.with_ ~name:"prob.assign.distances" @@ fun () ->
-  List.iter
-    (fun (id, rep) ->
+  (* Clusters partition the rows, so per-cluster tasks write disjoint
+     slices of the result arrays — they parallelize over the domain
+     pool without further coordination.  Each task is one whole
+     cluster, and chunk stealing in [Parallel.run] evens out skewed
+     cluster sizes.  (A [Custom] distance function must be
+     thread-safe when [jobs > 1].) *)
+  let reps = Array.of_list representatives in
+  let process (id, rep) =
       let members = Cluster.members clustering id in
       match members with
       | [] -> ()
@@ -100,14 +109,15 @@ let run ?(distance = Information_loss) ?attrs rel clustering =
               let s = 1.0 -. (distances.(row) /. sum) in
               similarities.(row) <- s;
               probabilities.(row) <- s /. float_of_int (card - 1))
-            members)
-    representatives;
+            members
+  in
+  Engine.Parallel.run ~jobs (Array.length reps) (fun i -> process reps.(i));
   { probabilities; distances; similarities; representatives }
 
-let assign ?distance ?attrs rel clustering =
-  (run ?distance ?attrs rel clustering).probabilities
+let assign ?distance ?attrs ?jobs rel clustering =
+  (run ?distance ?attrs ?jobs rel clustering).probabilities
 
-let annotate_table ?distance ?attrs (table : Dirty_db.table) =
+let annotate_table ?distance ?attrs ?jobs (table : Dirty_db.table) =
   let attrs =
     match attrs with
     | Some a -> a
@@ -116,5 +126,5 @@ let annotate_table ?distance ?attrs (table : Dirty_db.table) =
         (fun name -> name <> table.id_attr && name <> table.prob_attr)
         (Schema.names (Relation.schema table.relation))
   in
-  let probs = assign ?distance ~attrs table.relation table.clustering in
+  let probs = assign ?distance ~attrs ?jobs table.relation table.clustering in
   Dirty_db.with_probabilities table probs

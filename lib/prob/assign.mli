@@ -35,22 +35,28 @@ type result = {
 val run :
   ?distance:distance ->
   ?attrs:string list ->
+  ?jobs:int ->
   Dirty.Relation.t ->
   Dirty.Cluster.t ->
   result
 (** Execute the procedure.  [attrs] selects the attributes the
     summaries are built over (default: all).  The returned
-    probabilities sum to 1 within each cluster. *)
+    probabilities sum to 1 within each cluster.  [jobs] (default: the
+    process-wide {!Engine.Parallel.default_jobs}) parallelizes the
+    per-cluster distance evaluations over the domain pool; clusters
+    write disjoint rows, so results are identical for any value.  A
+    [Custom] distance function must be thread-safe when [jobs > 1]. *)
 
 val assign :
   ?distance:distance ->
   ?attrs:string list ->
+  ?jobs:int ->
   Dirty.Relation.t ->
   Dirty.Cluster.t ->
   float array
 (** Just the probabilities of {!run}. *)
 
-val annotate_table : ?distance:distance -> ?attrs:string list ->
+val annotate_table : ?distance:distance -> ?attrs:string list -> ?jobs:int ->
   Dirty.Dirty_db.table -> Dirty.Dirty_db.table
 (** Recompute the probability column of a dirty table from its own
     clustering.  [attrs] defaults to all attributes except the

@@ -2,23 +2,28 @@
 
    Telemetry is off by default; every recording operation (span entry,
    counter increment, histogram observation) first checks this flag,
-   so the disabled cost is one ref dereference and a branch per
+   so the disabled cost is one atomic load and a branch per
    instrumentation site.  The overhead budget (DESIGN.md §5d) is <3%
-   on the tier-1 test suite with the switch off. *)
+   on the tier-1 test suite with the switch off.
 
-let flag = ref false
+   The flag is an [Atomic.t] so that worker domains spawned by
+   [Engine.Parallel] observe enable/disable without data races; an
+   [Atomic.get] compiles to a plain load on the usual platforms, so
+   the disabled cost is unchanged. *)
 
-let enabled () = !flag
-let enable () = flag := true
-let disable () = flag := false
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
 
 (* run [f] with telemetry forced on (restoring the previous state) *)
 let with_enabled f =
-  let saved = !flag in
-  flag := true;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+  let saved = Atomic.get flag in
+  Atomic.set flag true;
+  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f
 
 let with_disabled f =
-  let saved = !flag in
-  flag := false;
-  Fun.protect ~finally:(fun () -> flag := saved) f
+  let saved = Atomic.get flag in
+  Atomic.set flag false;
+  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f

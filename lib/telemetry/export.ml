@@ -85,8 +85,11 @@ let span_to_json s =
 
 (* Append each completed root as one JSON line.  Opens lazily on the
    first span and registers the close at exit, so subscribing is cheap
-   when nothing ever traces. *)
+   when nothing ever traces.  A mutex serializes writers: spans can
+   complete on several domains at once, and a torn JSON line would
+   corrupt the whole trace file. *)
 let trace_writer path =
+  let lock = Mutex.create () in
   let channel = ref None in
   let get () =
     match !channel with
@@ -98,10 +101,15 @@ let trace_writer path =
       oc
   in
   fun span ->
-    let oc = get () in
-    output_string oc (span_to_json span);
-    output_char oc '\n';
-    flush oc
+    let line = span_to_json span in
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        let oc = get () in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
 
 (* ---- Prometheus-style text format ---- *)
 

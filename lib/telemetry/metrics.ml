@@ -2,22 +2,28 @@
    log-scale latency histograms.
 
    Handles are created once (find-or-create against a global table)
-   and mutated in place on the hot path — no locking, no allocation
-   per update ("lock-free-ish via plain mutation").  Readers take a
-   [snapshot], which copies every value, so a dump observes a
-   consistent point-in-time view even if updates race it.
+   and mutated in place on the hot path.  The registry is domain-safe:
+   counters and gauges are [Atomic.t] cells (a counter increment is
+   one fetch-and-add, so no increments are lost when several domains
+   run instrumented code), histograms and the registry table itself
+   are guarded by mutexes.  Readers take a [snapshot], which copies
+   every value, so a dump observes a consistent point-in-time view
+   even if updates race it.
 
    All updates are gated on {!Control.enabled}; with telemetry off an
    update is a flag test and a branch. *)
 
-type counter = { c_name : string; c_help : string; mutable count : int }
-type gauge = { g_name : string; g_help : string; mutable value : float }
+type counter = { c_name : string; c_help : string; count : int Atomic.t }
+type gauge = { g_name : string; g_help : string; value : float Atomic.t }
 
 (* log-scale buckets: upper bounds grow by powers of two from
-   [base] seconds; the last bucket is +infinity *)
+   [base] seconds; the last bucket is +infinity.  A histogram update
+   touches three fields, so it takes the per-histogram lock — observe
+   sites are per-operator (not per-row), keeping the cost acceptable. *)
 type histogram = {
   h_name : string;
   h_help : string;
+  h_lock : Mutex.t;
   bounds : float array;  (* upper bound of each finite bucket *)
   counts : int array;    (* one per finite bucket, plus one overflow *)
   mutable sum : float;
@@ -30,8 +36,14 @@ type metric =
   | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let find_or_create name make =
+  with_lock registry_lock @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m -> m
   | None ->
@@ -41,14 +53,16 @@ let find_or_create name make =
 
 let counter ?(help = "") name =
   match
-    find_or_create name (fun () -> Counter { c_name = name; c_help = help; count = 0 })
+    find_or_create name (fun () ->
+        Counter { c_name = name; c_help = help; count = Atomic.make 0 })
   with
   | Counter c -> c
   | _ -> invalid_arg (name ^ " is registered as a non-counter metric")
 
 let gauge ?(help = "") name =
   match
-    find_or_create name (fun () -> Gauge { g_name = name; g_help = help; value = 0.0 })
+    find_or_create name (fun () ->
+        Gauge { g_name = name; g_help = help; value = Atomic.make 0.0 })
   with
   | Gauge g -> g
   | _ -> invalid_arg (name ^ " is registered as a non-gauge metric")
@@ -65,6 +79,7 @@ let histogram ?(help = "") ?(bounds = default_bounds) name =
           {
             h_name = name;
             h_help = help;
+            h_lock = Mutex.create ();
             bounds;
             counts = Array.make (Array.length bounds + 1) 0;
             sum = 0.0;
@@ -74,9 +89,24 @@ let histogram ?(help = "") ?(bounds = default_bounds) name =
   | Histogram h -> h
   | _ -> invalid_arg (name ^ " is registered as a non-histogram metric")
 
-let inc ?(n = 1) c = if Control.enabled () then c.count <- c.count + n
-let set g v = if Control.enabled () then g.value <- v
-let add g v = if Control.enabled () then g.value <- g.value +. v
+let inc ?(n = 1) c =
+  if Control.enabled () then ignore (Atomic.fetch_and_add c.count n)
+
+let set g v = if Control.enabled () then Atomic.set g.value v
+
+let add g v =
+  if Control.enabled () then begin
+    (* CAS loop: Atomic.t has no float fetch-and-add *)
+    let rec loop () =
+      let old = Atomic.get g.value in
+      if not (Atomic.compare_and_set g.value old (old +. v)) then loop ()
+    in
+    loop ()
+  end
+
+(* direct reads, primarily for tests *)
+let count c = Atomic.get c.count
+let gauge_value g = Atomic.get g.value
 
 let bucket_index bounds v =
   (* first bucket whose upper bound admits v; bounds are sorted *)
@@ -94,10 +124,15 @@ let bucket_index bounds v =
 let observe h v =
   if Control.enabled () then begin
     let i = bucket_index h.bounds v in
+    with_lock h.h_lock @@ fun () ->
     h.counts.(i) <- h.counts.(i) + 1;
     h.sum <- h.sum +. v;
     h.total <- h.total + 1
   end
+
+let histogram_total h = with_lock h.h_lock (fun () -> h.total)
+let histogram_sum h = with_lock h.h_lock (fun () -> h.sum)
+let histogram_counts h = with_lock h.h_lock (fun () -> Array.copy h.counts)
 
 (* ---- snapshots ---- *)
 
@@ -116,53 +151,65 @@ type value =
 type sample = { name : string; help : string; data : value }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun _ m acc ->
-      let sample =
-        match m with
-        | Counter c -> { name = c.c_name; help = c.c_help; data = Counter_value c.count }
-        | Gauge g -> { name = g.g_name; help = g.g_help; data = Gauge_value g.value }
-        | Histogram h ->
-          let cumulative = Array.make (Array.length h.counts) 0 in
-          let running = ref 0 in
-          Array.iteri
-            (fun i c ->
-              running := !running + c;
-              cumulative.(i) <- !running)
-            h.counts;
-          {
-            name = h.h_name;
-            help = h.h_help;
-            data =
-              Histogram_value
-                {
-                  hs_bounds = Array.copy h.bounds;
-                  hs_counts = cumulative;
-                  hs_sum = h.sum;
-                  hs_total = h.total;
-                };
-          }
-      in
-      sample :: acc)
-    registry []
+  let metrics =
+    with_lock registry_lock (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  List.rev_map
+    (fun m ->
+      match m with
+      | Counter c ->
+        { name = c.c_name; help = c.c_help; data = Counter_value (Atomic.get c.count) }
+      | Gauge g ->
+        { name = g.g_name; help = g.g_help; data = Gauge_value (Atomic.get g.value) }
+      | Histogram h ->
+        let counts, sum, total =
+          with_lock h.h_lock (fun () -> (Array.copy h.counts, h.sum, h.total))
+        in
+        let cumulative = Array.make (Array.length counts) 0 in
+        let running = ref 0 in
+        Array.iteri
+          (fun i c ->
+            running := !running + c;
+            cumulative.(i) <- !running)
+          counts;
+        {
+          name = h.h_name;
+          help = h.h_help;
+          data =
+            Histogram_value
+              {
+                hs_bounds = Array.copy h.bounds;
+                hs_counts = cumulative;
+                hs_sum = sum;
+                hs_total = total;
+              };
+        })
+    metrics
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 (* zero every metric (handles stay valid); for tests and benchmarks *)
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
+  let metrics =
+    with_lock registry_lock (fun () ->
+        Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  in
+  List.iter
+    (fun m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.value <- 0.0
+      | Counter c -> Atomic.set c.count 0
+      | Gauge g -> Atomic.set g.value 0.0
       | Histogram h ->
-        Array.fill h.counts 0 (Array.length h.counts) 0;
-        h.sum <- 0.0;
-        h.total <- 0)
-    registry
+        with_lock h.h_lock (fun () ->
+            Array.fill h.counts 0 (Array.length h.counts) 0;
+            h.sum <- 0.0;
+            h.total <- 0))
+    metrics
 
-let find name = Hashtbl.find_opt registry name
+let find name =
+  with_lock registry_lock (fun () -> Hashtbl.find_opt registry name)
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> Some c.count
+  match find name with
+  | Some (Counter c) -> Some (Atomic.get c.count)
   | _ -> None

@@ -5,9 +5,18 @@
    inclusive of children, like the times).  [Gc.counters] reads the
    allocation pointer, so the deltas are exact even when no GC ran
    inside the span ([Gc.quick_stat]'s counters only refresh at GC
-   events in native code).  Nested calls build a tree;
-   when the outermost span of the current (single-threaded) stack
-   completes, the finished tree is handed to every subscriber.
+   events in native code).  Nested calls build a tree; when the
+   outermost span of the current stack completes, the finished tree
+   is handed to every subscriber.
+
+   Domain-safety: the span stack is domain-local ([Domain.DLS]), so
+   each domain builds its own tree and a worker domain spawned by
+   [Engine.Parallel] can never corrupt the coordinator's stack.  A
+   parallel region confines worker spans with {!detached} and merges
+   the finished trees back into the coordinator's current span with
+   {!attach}, in a deterministic (partition-index) order.  The
+   subscriber list is guarded by a mutex; notification itself reads
+   an immutable list snapshot.
 
    With telemetry disabled ({!Control}), [with_] is [f ()] plus one
    branch. *)
@@ -22,12 +31,22 @@ type t = {
   mutable children : t list;
 }
 
-(* innermost span first; single-threaded by design *)
-let stack : t list ref = ref []
+(* innermost span first; one stack per domain *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
+
+(* where this domain's completed roots go: [None] means the global
+   subscribers; {!detached} swaps in a capture function *)
+let sink_key : (t -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let subscribers : (t -> unit) list ref = ref []
+let subscribers_lock = Mutex.create ()
 
-let subscribe f = subscribers := f :: !subscribers
+let subscribe f =
+  Mutex.lock subscribers_lock;
+  subscribers := f :: !subscribers;
+  Mutex.unlock subscribers_lock
 
 (* children accumulate in reverse while the tree is being built; put
    them in chronological order once, when the root completes *)
@@ -37,9 +56,22 @@ let rec normalize span =
 
 let add_attr key value =
   if Control.enabled () then
-    match !stack with
+    match !(stack ()) with
     | span :: _ -> span.attrs <- (key, value) :: List.remove_assoc key span.attrs
     | [] -> ()
+
+let complete_root span =
+  normalize span;
+  match !(Domain.DLS.get sink_key) with
+  | Some capture -> capture span
+  | None ->
+    let subs =
+      Mutex.lock subscribers_lock;
+      let subs = !subscribers in
+      Mutex.unlock subscribers_lock;
+      subs
+    in
+    List.iter (fun f -> f span) subs
 
 let with_ ?(attrs = []) ~name f =
   if not (Control.enabled ()) then f ()
@@ -56,20 +88,19 @@ let with_ ?(attrs = []) ~name f =
         children = [];
       }
     in
-    stack := span :: !stack;
+    let st = stack () in
+    st := span :: !st;
     let finish () =
       span.elapsed <- Unix.gettimeofday () -. span.start;
       let minor1, _, major1 = Gc.counters () in
       span.minor_words <- minor1 -. minor0;
       span.major_words <- major1 -. major0;
-      (match !stack with
-      | _ :: rest -> stack := rest
+      (match !st with
+      | _ :: rest -> st := rest
       | [] -> ());
-      match !stack with
+      match !st with
       | parent :: _ -> parent.children <- span :: parent.children
-      | [] ->
-        normalize span;
-        List.iter (fun f -> f span) !subscribers
+      | [] -> complete_root span
     in
     match f () with
     | v ->
@@ -80,16 +111,58 @@ let with_ ?(attrs = []) ~name f =
       raise e
   end
 
+(* ---- parallel regions ---- *)
+
+(* Run [f] under a fresh root span on the current domain, capturing
+   the finished tree instead of notifying subscribers.  Used by
+   [Engine.Parallel] to confine a worker's spans: the coordinator
+   later grafts the returned tree with {!attach}.  The previous stack
+   and sink are restored on exit, so nesting is safe. *)
+let detached ?attrs ~name f =
+  if not (Control.enabled ()) then (f (), None)
+  else begin
+    let st = stack () and sink = Domain.DLS.get sink_key in
+    let saved_stack = !st and saved_sink = !sink in
+    let captured = ref None in
+    st := [];
+    sink := Some (fun span -> captured := Some span);
+    Fun.protect
+      ~finally:(fun () ->
+        st := saved_stack;
+        sink := saved_sink)
+      (fun () ->
+        let v = with_ ?attrs ~name f in
+        (v, !captured))
+  end
+
+(* Graft an already-finished (normalized) span tree as a child of the
+   current span; a no-op outside any span.  The child keeps its own
+   timings and allocation deltas. *)
+let attach span =
+  if Control.enabled () then
+    match !(stack ()) with
+    | parent :: _ -> parent.children <- span :: parent.children
+    | [] -> complete_root span
+
 (* Run [f] with telemetry enabled and also collect the root spans it
    completes, without disturbing other subscribers.  Returns the
    result and the roots in completion order. *)
 let collecting f =
   let acc = ref [] in
-  let collect span = acc := span :: !acc in
-  let saved = !subscribers in
-  subscribers := collect :: saved;
+  let acc_lock = Mutex.create () in
+  let collect span =
+    Mutex.lock acc_lock;
+    acc := span :: !acc;
+    Mutex.unlock acc_lock
+  in
+  Mutex.lock subscribers_lock;
+  subscribers := collect :: !subscribers;
+  Mutex.unlock subscribers_lock;
   Fun.protect
-    ~finally:(fun () -> subscribers := List.filter (fun s -> s != collect) !subscribers)
+    ~finally:(fun () ->
+      Mutex.lock subscribers_lock;
+      subscribers := List.filter (fun s -> s != collect) !subscribers;
+      Mutex.unlock subscribers_lock)
     (fun () ->
       let v = Control.with_enabled f in
       (v, List.rev !acc))
@@ -99,5 +172,4 @@ let rec fold_preorder f acc ?(depth = 0) span =
   let acc = f acc ~depth span in
   List.fold_left (fun acc child -> fold_preorder f acc ~depth:(depth + 1) child) acc
     span.children
-
 let count span = fold_preorder (fun n ~depth:_ _ -> n + 1) 0 span

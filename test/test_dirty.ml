@@ -20,6 +20,33 @@ let test_value_compare () =
     (Value.compare (v_s "abc") (v_s "abd") < 0);
   Alcotest.(check int) "null equals null" 0 (Value.compare Value.Null Value.Null)
 
+(* int/float comparison must be exact: above 2^53 consecutive ints map
+   onto the same float, so rounding the int would collapse distinct
+   keys and break transitivity of [equal] *)
+let test_value_compare_exact () =
+  let big = 1 lsl 53 in
+  Alcotest.(check bool) "2^53 and 2^53+1 stay distinct" false
+    (Value.equal (v_i big) (v_i (big + 1)));
+  Alcotest.(check bool) "small int/float equality" true
+    (Value.equal (v_i 1) (v_f 1.0));
+  Alcotest.(check bool) "2^53 equals its float image" true
+    (Value.equal (v_i big) (v_f (float_of_int big)));
+  (* float_of_int (2^53 + 1) rounds down to 2^53: only one of the two
+     ints may compare equal to the float *)
+  Alcotest.(check bool) "2^53+1 is above the rounded float" true
+    (Value.compare (v_i (big + 1)) (v_f (float_of_int big)) > 0);
+  Alcotest.(check bool) "fractional floats stay strict" true
+    (Value.compare (v_i 3) (v_f 3.5) < 0
+    && Value.compare (v_f 3.5) (v_i 4) < 0);
+  Alcotest.(check bool) "negative mirror" true
+    (Value.compare (v_i (-(big + 1))) (v_f (float_of_int (-big))) < 0);
+  Alcotest.(check bool) "huge float beyond int range" true
+    (Value.compare (v_i max_int) (v_f 1e19) < 0
+    && Value.compare (v_i min_int) (v_f (-1e19)) > 0);
+  Alcotest.(check bool) "nan sorts below ints" true
+    (Value.compare (v_f Float.nan) (v_i min_int) < 0
+    && Value.compare (v_i min_int) (v_f Float.nan) > 0)
+
 let test_value_hash_consistent () =
   Alcotest.(check int) "equal numerics hash alike"
     (Value.hash (v_i 7))
@@ -391,6 +418,8 @@ let () =
       ( "value",
         [
           Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "exact int/float compare" `Quick
+            test_value_compare_exact;
           Alcotest.test_case "hash consistency" `Quick test_value_hash_consistent;
           Alcotest.test_case "parse" `Quick test_value_parse;
           Alcotest.test_case "dates" `Quick test_value_dates;

@@ -1,0 +1,237 @@
+(* Parallel execution tests: the Engine.Parallel pool itself, and the
+   serial-equivalence guarantee of the partition-parallel operators —
+   jobs=4 must produce results bit-identical to jobs=1, including
+   aggregate group order and budgeted Truncate prefixes.
+
+   [Parallel.min_rows_per_chunk] is lowered so the small relations
+   used here actually take the parallel paths. *)
+
+open Dirty
+
+let () = Engine.Parallel.min_rows_per_chunk := 2
+
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+let v_s s = Value.String s
+
+let config ~jobs = { Engine.Planner.default_config with jobs }
+
+(* exact relational equality: same schema names, same rows in the same
+   order, cell-compared with Value.compare *)
+let check_same_relation msg expected actual =
+  Alcotest.(check (list string))
+    (msg ^ ": schema")
+    (Schema.names (Relation.schema expected))
+    (Schema.names (Relation.schema actual));
+  Alcotest.(check int)
+    (msg ^ ": cardinality")
+    (Relation.cardinality expected) (Relation.cardinality actual);
+  Relation.rows expected
+  |> Array.iteri (fun i row ->
+         let row' = Relation.get actual i in
+         Alcotest.(check int) (Printf.sprintf "%s: row %d arity" msg i)
+           (Array.length row) (Array.length row');
+         Array.iteri
+           (fun j v ->
+             if Value.compare v row'.(j) <> 0 then
+               Alcotest.failf "%s: row %d col %d: %s <> %s" msg i j
+                 (Value.to_string v)
+                 (Value.to_string row'.(j)))
+           row)
+
+(* ---- the pool ---- *)
+
+let test_pool_init () =
+  let a = Engine.Parallel.init ~jobs:4 100 (fun i -> i * i) in
+  Alcotest.(check (array int)) "init" (Array.init 100 (fun i -> i * i)) a;
+  Alcotest.(check (array int)) "empty" [||] (Engine.Parallel.init ~jobs:4 0 (fun i -> i))
+
+let test_pool_nested () =
+  (* inner regions must make progress even with every worker busy *)
+  let sums = Engine.Parallel.init ~jobs:4 8 (fun i ->
+      let inner = Engine.Parallel.init ~jobs:4 16 (fun j -> (i * 16) + j) in
+      Array.fold_left ( + ) 0 inner)
+  in
+  let expect = Array.init 8 (fun i -> (16 * ((i * 16) + (i * 16) + 15)) / 2) in
+  Alcotest.(check (array int)) "nested sums" expect sums
+
+exception Task_failed of int
+
+let test_pool_exception () =
+  (* several tasks fail; the lowest index must win deterministically *)
+  match
+    Engine.Parallel.run ~jobs:4 32 (fun i ->
+        if i mod 7 = 3 then raise (Task_failed i))
+  with
+  | () -> Alcotest.fail "expected a task failure"
+  | exception Task_failed i -> Alcotest.(check int) "lowest failing task" 3 i
+
+(* ---- serial equivalence of the relational operators ---- *)
+
+let join_db () =
+  let engine = Engine.Database.create () in
+  let left =
+    Relation.create
+      (Schema.make [ ("k", Value.TInt); ("a", Value.TString) ])
+      (List.init 60 (fun i ->
+           let key = if i mod 10 = 7 then Value.Null else v_i (i mod 8) in
+           [| key; v_s (Printf.sprintf "l%d" i) |]))
+  in
+  let right =
+    Relation.create
+      (Schema.make [ ("k", Value.TInt); ("b", Value.TString) ])
+      (List.init 50 (fun i ->
+           let key = if i mod 9 = 4 then Value.Null else v_i (i mod 6) in
+           [| key; v_s (Printf.sprintf "r%d" i) |]))
+  in
+  Engine.Database.add_relation engine ~name:"l" left;
+  Engine.Database.add_relation engine ~name:"r" right;
+  engine
+
+let test_hash_join_null_keys () =
+  let engine = join_db () in
+  let sql = "select l.a, r.b from l, r where l.k = r.k" in
+  let serial = Engine.Database.query ~config:(config ~jobs:1) engine sql in
+  let parallel = Engine.Database.query ~config:(config ~jobs:4) engine sql in
+  (* NULL join keys match nothing, on either side, under any jobs *)
+  let expected =
+    let matches = ref 0 in
+    List.iter
+      (fun i ->
+        if i mod 10 <> 7 then
+          List.iter
+            (fun j ->
+              if j mod 9 <> 4 && i mod 8 = j mod 6 then incr matches)
+            (List.init 50 Fun.id))
+      (List.init 60 Fun.id);
+    !matches
+  in
+  Alcotest.(check int) "null keys skipped" expected (Relation.cardinality serial);
+  check_same_relation "jobs=4 equals jobs=1" serial parallel
+
+let test_filter_project_parallel () =
+  let engine = join_db () in
+  let sql = "select l.a from l where l.k > 2" in
+  let serial = Engine.Database.query ~config:(config ~jobs:1) engine sql in
+  let parallel = Engine.Database.query ~config:(config ~jobs:4) engine sql in
+  check_same_relation "filter+project" serial parallel
+
+let test_truncate_prefix () =
+  let engine = join_db () in
+  let q =
+    Sql.Parser.parse_query "select l.a, r.b from l, r where l.k = r.k"
+  in
+  let full = Engine.Database.query_ast ~config:(config ~jobs:1) engine q in
+  let check_at jobs =
+    let cfg = { (config ~jobs) with max_rows = Some 200 } in
+    let rel, truncated = Engine.Database.query_ast_within ~config:cfg engine q in
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d truncated" jobs)
+      true truncated;
+    Alcotest.(check bool)
+      (Printf.sprintf "jobs=%d partial" jobs)
+      true
+      (Relation.cardinality rel < Relation.cardinality full);
+    (* the truncated answer is a prefix of the full answer *)
+    let prefix =
+      Relation.of_array (Relation.schema full)
+        (Array.sub (Relation.rows full) 0 (Relation.cardinality rel))
+    in
+    check_same_relation (Printf.sprintf "jobs=%d prefix" jobs) prefix rel;
+    rel
+  in
+  let serial = check_at 1 in
+  let parallel = check_at 4 in
+  check_same_relation "truncated prefixes agree" serial parallel
+
+(* ---- randomized serial-equivalence (QCheck) ---- *)
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+let value_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map v_i (QCheck.Gen.int_range (-50) 50);
+      QCheck.Gen.map v_f (QCheck.Gen.float_range (-100.0) 100.0);
+      QCheck.Gen.return Value.Null;
+    ]
+
+let grouped_relation_gen =
+  let* n = QCheck.Gen.int_range 20 200 in
+  let* rows =
+    QCheck.Gen.list_size (QCheck.Gen.return n)
+      (let* g = QCheck.Gen.int_range 0 12 in
+       let* v = value_gen in
+       QCheck.Gen.return [| v_i g; v |])
+  in
+  QCheck.Gen.return
+    (Relation.create (Schema.make [ ("g", Value.TInt); ("v", Value.TInt) ]) rows)
+
+let same_answers engine sql =
+  let serial = Engine.Database.query ~config:(config ~jobs:1) engine sql in
+  let parallel = Engine.Database.query ~config:(config ~jobs:4) engine sql in
+  check_same_relation sql serial parallel
+
+let prop_aggregate_group_order =
+  QCheck.Test.make ~count:60
+    ~name:"aggregate groups identical between jobs=1 and jobs=4"
+    (QCheck.make grouped_relation_gen)
+    (fun rel ->
+      let engine = Engine.Database.create () in
+      Engine.Database.add_relation engine ~name:"t" rel;
+      (* no ORDER BY: first-occurrence group order must match too *)
+      same_answers engine
+        "select g, count(*), sum(v), avg(v), min(v), max(v) from t group by g";
+      same_answers engine
+        "select g, count(v) from t where g > 3 group by g having count(*) > 1";
+      true)
+
+let join_pair_gen =
+  let* nl = QCheck.Gen.int_range 20 150 in
+  let* nr = QCheck.Gen.int_range 20 150 in
+  let row_gen tag =
+    let* k = QCheck.Gen.oneof
+        [ QCheck.Gen.map v_i (QCheck.Gen.int_range 0 15);
+          QCheck.Gen.return Value.Null ]
+    in
+    let* v = QCheck.Gen.int_range 0 1000 in
+    QCheck.Gen.return [| k; v_s (Printf.sprintf "%s%d" tag v) |]
+  in
+  let* lrows = QCheck.Gen.list_size (QCheck.Gen.return nl) (row_gen "l") in
+  let* rrows = QCheck.Gen.list_size (QCheck.Gen.return nr) (row_gen "r") in
+  let schema tag = Schema.make [ ("k", Value.TInt); (tag, Value.TString) ] in
+  QCheck.Gen.return
+    (Relation.create (schema "a") lrows, Relation.create (schema "b") rrows)
+
+let prop_join_rows =
+  QCheck.Test.make ~count:60
+    ~name:"hash join identical between jobs=1 and jobs=4"
+    (QCheck.make join_pair_gen)
+    (fun (left, right) ->
+      let engine = Engine.Database.create () in
+      Engine.Database.add_relation engine ~name:"l" left;
+      Engine.Database.add_relation engine ~name:"r" right;
+      same_answers engine "select l.a, r.b from l, r where l.k = r.k";
+      true)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "init" `Quick test_pool_init;
+          Alcotest.test_case "nested regions" `Quick test_pool_nested;
+          Alcotest.test_case "deterministic failure" `Quick test_pool_exception;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "hash join skips null keys" `Quick
+            test_hash_join_null_keys;
+          Alcotest.test_case "filter and project" `Quick
+            test_filter_project_parallel;
+          Alcotest.test_case "truncate prefix" `Quick test_truncate_prefix;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_aggregate_group_order; prop_join_rows ] );
+    ]

@@ -20,23 +20,23 @@ let test_disabled_noop () =
   Telemetry.Metrics.inc ~n:5 c;
   Telemetry.Metrics.set g 3.0;
   Telemetry.Metrics.observe h 0.1;
-  Alcotest.(check int) "counter untouched" 0 c.count;
-  Fixtures.check_float "gauge untouched" 0.0 g.value;
-  Alcotest.(check int) "histogram untouched" 0 h.total
+  Alcotest.(check int) "counter untouched" 0 (Telemetry.Metrics.count c);
+  Fixtures.check_float "gauge untouched" 0.0 (Telemetry.Metrics.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Telemetry.Metrics.histogram_total h)
 
 let test_counter_and_gauge () =
   with_telemetry @@ fun () ->
   let c = Telemetry.Metrics.counter "test.basic.counter" in
   Telemetry.Metrics.inc c;
   Telemetry.Metrics.inc ~n:4 c;
-  Alcotest.(check int) "counter" 5 c.count;
+  Alcotest.(check int) "counter" 5 (Telemetry.Metrics.count c);
   (* find-or-create hands back the same underlying metric *)
   let c' = Telemetry.Metrics.counter "test.basic.counter" in
-  Alcotest.(check int) "same handle" 5 c'.count;
+  Alcotest.(check int) "same handle" 5 (Telemetry.Metrics.count c');
   let g = Telemetry.Metrics.gauge "test.basic.gauge" in
   Telemetry.Metrics.set g 2.5;
   Telemetry.Metrics.add g 1.0;
-  Fixtures.check_float "gauge" 3.5 g.value
+  Fixtures.check_float "gauge" 3.5 (Telemetry.Metrics.gauge_value g)
 
 let test_kind_mismatch () =
   ignore (Telemetry.Metrics.counter "test.kind");
@@ -52,9 +52,10 @@ let test_histogram_buckets () =
   List.iter (Telemetry.Metrics.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
   (* raw counts: (<=1) gets 0.5 and 1.0; (<=2) gets 1.5; (<=4) gets
      3.0; the overflow bucket gets 100 *)
-  Alcotest.(check (array int)) "raw counts" [| 2; 1; 1; 1 |] h.counts;
-  Alcotest.(check int) "total" 5 h.total;
-  Fixtures.check_float "sum" 106.0 h.sum;
+  Alcotest.(check (array int)) "raw counts" [| 2; 1; 1; 1 |]
+    (Telemetry.Metrics.histogram_counts h);
+  Alcotest.(check int) "total" 5 (Telemetry.Metrics.histogram_total h);
+  Fixtures.check_float "sum" 106.0 (Telemetry.Metrics.histogram_sum h);
   let samples = Telemetry.Metrics.snapshot () in
   match
     List.find_opt (fun (s : Telemetry.Metrics.sample) -> s.name = "test.buckets") samples
@@ -69,9 +70,34 @@ let test_reset () =
   let c = Telemetry.Metrics.counter "test.reset.counter" in
   Telemetry.Metrics.inc ~n:7 c;
   Telemetry.Metrics.reset ();
-  Alcotest.(check int) "zeroed, handle still valid" 0 c.count;
+  Alcotest.(check int) "zeroed, handle still valid" 0 (Telemetry.Metrics.count c);
   Telemetry.Metrics.inc c;
-  Alcotest.(check int) "usable after reset" 1 c.count
+  Alcotest.(check int) "usable after reset" 1 (Telemetry.Metrics.count c)
+
+(* four domains hammering the same counter, gauge and histogram: every
+   update must land (fetch-and-add / CAS / mutex — no lost updates) *)
+let test_concurrent_counters () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Metrics.counter "test.concurrent.counter" in
+  let g = Telemetry.Metrics.gauge "test.concurrent.gauge" in
+  let h = Telemetry.Metrics.histogram ~bounds:[| 1.0 |] "test.concurrent.hist" in
+  let per_domain = 10_000 in
+  let work () =
+    for _ = 1 to per_domain do
+      Telemetry.Metrics.inc c;
+      Telemetry.Metrics.add g 1.0;
+      Telemetry.Metrics.observe h 0.5
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn work) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" (4 * per_domain)
+    (Telemetry.Metrics.count c);
+  Fixtures.check_float "no lost gauge adds"
+    (Float.of_int (4 * per_domain))
+    (Telemetry.Metrics.gauge_value g);
+  Alcotest.(check int) "no lost observations" (4 * per_domain)
+    (Telemetry.Metrics.histogram_total h)
 
 (* ---- spans ---- *)
 
@@ -269,6 +295,8 @@ let () =
           Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "concurrent domains lose nothing" `Quick
+            test_concurrent_counters;
         ] );
       ( "spans",
         [
