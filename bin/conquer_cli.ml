@@ -12,18 +12,22 @@
      match      cluster duplicate records (sorted-neighborhood)
      assign     compute tuple probabilities for a clustered CSV (Figure 5)
      generate   emit a dirty TPC-H-style database as CSV files
+     recover    sweep crash debris from a saved database directory
      demo       walk through the paper's running example
 
    Exit codes: 0 success; 2 the database has Error-severity validation
    diagnostics (or a repair failed); 3 an execution budget was
-   exceeded; 1 other errors.
+   exceeded or the query was cancelled; 4 an I/O or recovery failure
+   (corrupt store, exhausted retries); 1 other errors.
 
    '--verbose' anywhere turns on debug logging (plans, rewritten SQL).
    '--trace FILE' anywhere enables telemetry and appends every completed
    root span as a JSON line to FILE; '--metrics FILE' enables telemetry
    and writes a Prometheus-style metrics snapshot to FILE at exit.
    '--jobs N' anywhere runs partition-parallel operators on up to N
-   domains (same results, defaults to CONQUER_JOBS or 1). *)
+   domains (same results, defaults to CONQUER_JOBS or 1).
+   '--retries N' / '--io-backoff-ms N' anywhere tune the retry policy
+   for transient I/O failures when saving or loading a database. *)
 
 module Value = Dirty.Value
 module Relation = Dirty.Relation
@@ -269,6 +273,27 @@ let handling_failures f =
     prerr_endline (Engine.Budget.exceeded_message ~produced ~elapsed limits);
     prerr_endline "re-run with --partial for the answers produced in budget";
     exit 3
+  | Engine.Cancel.Cancelled reason ->
+    Printf.eprintf "query cancelled: %s\n" reason;
+    prerr_endline "re-run with --partial for the answers produced in budget";
+    exit 3
+  | Dirty.Csv.Parse_error { path; line; msg } ->
+    Printf.eprintf "parse error: %s:%d: %s\n" path line msg;
+    exit 1
+  | Tpch.Tbl.Parse_error { path; lineno; msg } ->
+    Printf.eprintf "parse error: %s:%d: %s\n" path lineno msg;
+    exit 1
+  | Dirty.Store.Corrupt { dir; detail } ->
+    Printf.eprintf "corrupt database directory %s: %s\n" dir detail;
+    prerr_endline "run 'conquer recover DIR' to sweep debris, or --lenient to skip bad tables";
+    exit 4
+  | Fault.Io.Io_error { op; path; msg; transient = _ } ->
+    Printf.eprintf "I/O error (%s %s): %s\n" (Fault.Io.op_name op) path msg;
+    exit 4
+  | Fault.Retry.Gave_up { attempts; last } ->
+    Printf.eprintf "I/O failed after %d attempt(s): %s\n" attempts
+      (Printexc.to_string last);
+    exit 4
 
 (* ---- query ---- *)
 
@@ -291,22 +316,25 @@ let query_cmd =
     let session = Conquer.Clean.create db in
     if explain then
       print_endline (Engine.Database.explain (Conquer.Clean.engine session) sql);
-    let result, truncated =
+    let complete rel = (rel, (false, false)) in
+    let result, (truncated, cancelled) =
       match mode with
       | Rewritten when partial ->
-        let { Conquer.Clean.rows; truncated } =
+        let { Conquer.Clean.rows; truncated; cancelled } =
           Conquer.Clean.answers_within ?config session sql
         in
-        (rows, truncated)
-      | Rewritten -> (Conquer.Clean.answers ?config session sql, false)
-      | Original -> (Conquer.Clean.original ?config session sql, false)
-      | Oracle -> (Conquer.Clean.answers_oracle session sql, false)
-      | Consistent -> (Conquer.Clean.consistent_answers ?config session sql, false)
+        (rows, (truncated, cancelled))
+      | Rewritten -> complete (Conquer.Clean.answers ?config session sql)
+      | Original -> complete (Conquer.Clean.original ?config session sql)
+      | Oracle -> complete (Conquer.Clean.answers_oracle session sql)
+      | Consistent -> complete (Conquer.Clean.consistent_answers ?config session sql)
     in
     print_string (Relation.to_string ~max_rows result);
     Printf.printf "(%d rows%s)\n"
       (Relation.cardinality result)
-      (if truncated then ", truncated by execution budget" else "")
+      (if truncated then ", truncated by execution budget"
+       else if cancelled then ", cancelled by time budget"
+       else "")
   in
   let mode =
     Arg.(
@@ -336,6 +364,9 @@ let query_cmd =
 let profile_cmd =
   let run tables dir sql mode runs lenient repair =
     handling_failures @@ fun () ->
+    (* counting starts before the load, so I/O retries and recoveries
+       during store loading show up in the counter section below *)
+    Telemetry.Control.enable ();
     let db = resolve_db ~validate:false ~lenient tables dir in
     let db = validate_or_repair ~quiet_warnings:true repair db in
     let session = Conquer.Clean.create db in
@@ -353,6 +384,16 @@ let profile_cmd =
     List.iter
       (fun s -> print_string (Telemetry.Export.span_to_string s))
       spans;
+    (* counters, including the robustness ones (faults injected, I/O
+       retries, store recoveries, cancellations) *)
+    print_string "\ncounters:\n";
+    List.iter
+      (fun (s : Telemetry.Metrics.sample) ->
+        match s.data with
+        | Telemetry.Metrics.Counter_value n ->
+          Printf.printf "  %-36s %d\n" s.name n
+        | _ -> ())
+      (Telemetry.Metrics.snapshot ());
     (* repeated timing runs with telemetry forced off, so the numbers
        are not distorted by the instrumentation itself *)
     let stats =
@@ -738,6 +779,41 @@ let generate_cmd =
        ~doc:"Generate a dirty TPC-H-style database as CSV files")
     Term.(const run $ outdir $ sf $ inconsistency $ seed $ assign)
 
+(* ---- recover ---- *)
+
+let recover_cmd =
+  let run dir check =
+    handling_failures @@ fun () ->
+    let actions = Dirty.Store.recover dir in
+    if actions = [] then print_endline "nothing to recover: store is clean"
+    else List.iter print_endline actions;
+    if check then begin
+      let db = load_store ~lenient:false dir in
+      Printf.printf "store loads cleanly: %d table(s)\n"
+        (List.length (Dirty.Dirty_db.tables db))
+    end
+  in
+  let dir =
+    Arg.(
+      required & pos 0 (some Cmdliner.Arg.dir) None
+      & info [] ~docv:"DIR" ~doc:"The database directory to sweep.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"After sweeping, load the store and report the table count.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Sweep the debris an interrupted save can leave in a database \
+          directory (orphaned temp files, never-committed or superseded \
+          generations) and report each removal. The committed snapshot is \
+          never touched. With --check, the store is loaded afterwards and \
+          the exit code is 4 if no loadable snapshot remains.")
+    Term.(const run $ dir $ check)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -842,6 +918,30 @@ let () =
       prerr_endline ("conquer: --jobs expects a positive integer, got " ^ s);
       exit 1)
   | None -> ());
+  (* --retries N / --io-backoff-ms N anywhere tune the process-wide
+     retry policy for transient store I/O failures *)
+  let retries_arg, args = extract_value "--retries" args in
+  (match retries_arg with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 ->
+      Fault.Retry.set_policy { (Fault.Retry.policy ()) with attempts = n }
+    | _ ->
+      prerr_endline ("conquer: --retries expects a positive integer, got " ^ s);
+      exit 1)
+  | None -> ());
+  let backoff_arg, args = extract_value "--io-backoff-ms" args in
+  (match backoff_arg with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some ms when ms >= 0 ->
+      Fault.Retry.set_policy
+        { (Fault.Retry.policy ()) with base_backoff = float_of_int ms /. 1000.0 }
+    | _ ->
+      prerr_endline
+        ("conquer: --io-backoff-ms expects a non-negative integer, got " ^ s);
+      exit 1)
+  | None -> ());
   (match trace_file with
   | Some path ->
     Telemetry.Control.enable ();
@@ -863,5 +963,5 @@ let () =
           [
             query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
             expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
-            generate_cmd; demo_cmd;
+            generate_cmd; recover_cmd; demo_cmd;
           ]))

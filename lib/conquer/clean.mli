@@ -42,18 +42,21 @@ val top_answers :
     the ranking use case the paper motivates.
     @raise Rewrite.Not_rewritable as {!answers}. *)
 
-type partial = { rows : Dirty.Relation.t; truncated : bool }
-(** A possibly-truncated answer set.  [truncated] is [true] when an
-    execution budget ran out and [rows] is only a prefix of the full
-    answer set. *)
+type partial = { rows : Dirty.Relation.t; truncated : bool; cancelled : bool }
+(** A possibly-incomplete answer set.  [truncated] is [true] when the
+    row budget ran out and [rows] is only a prefix of the full answer
+    set; [cancelled] is [true] when the execution was cancelled (time
+    budget crossed, or the budget's token tripped) and [rows] is
+    whatever had been produced by then.  At most one of the two is
+    set. *)
 
 val answers_within :
   ?config:Engine.Planner.config -> session -> string -> partial
 (** Like {!answers}, but a budget declared by [config] ([max_rows] /
     [max_elapsed]) degrades gracefully: instead of raising
-    {!Engine.Budget.Exceeded}, execution stops producing rows once the
-    budget is spent and the partial answers are returned with
-    [truncated = true]. *)
+    {!Engine.Budget.Exceeded} or {!Engine.Cancel.Cancelled}, execution
+    stops producing rows once the budget is spent and the partial
+    answers are returned with the corresponding flag set. *)
 
 val top_answers_within :
   ?config:Engine.Planner.config -> k:int -> session -> string -> partial

@@ -1,3 +1,11 @@
+exception Parse_error of { path : string; line : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { path; line; msg } ->
+      Some (Printf.sprintf "Dirty.Csv.Parse_error: %s:%d: %s" path line msg)
+    | _ -> None)
+
 let parse_line ?(sep = ',') line =
   let n = String.length line in
   let fields = ref [] in
@@ -62,8 +70,10 @@ let render_line ?(sep = ',') fields =
    {e outside} quotes, so fields containing '\n' (which {!render_field}
    legitimately emits quoted) round-trip.  Blank lines are skipped;
    CRLF and lone-CR row terminators are tolerated; an unterminated
-   quote at end of input keeps the text read so far. *)
-let parse_rows ?(sep = ',') s =
+   quote at end of input keeps the text read so far.  Each row is
+   tagged with the 1-based physical line it starts on, so downstream
+   errors can point at the offending line of the file. *)
+let parse_rows_loc ?(sep = ',') s =
   let n = String.length s in
   let rows = ref [] in
   let fields = ref [] in
@@ -71,6 +81,8 @@ let parse_rows ?(sep = ',') s =
   (* [seen] distinguishes a blank line from a row holding one empty
      field written as "" *)
   let seen = ref false in
+  let line = ref 1 in
+  let row_line = ref 1 in
   let push_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
@@ -78,10 +90,15 @@ let parse_rows ?(sep = ',') s =
   let end_row () =
     if !seen || !fields <> [] || Buffer.length buf > 0 then begin
       push_field ();
-      rows := List.rev !fields :: !rows;
+      rows := (!row_line, List.rev !fields) :: !rows;
       fields := []
     end;
     seen := false
+  in
+  let newline () =
+    incr line;
+    if not (!seen || !fields <> [] || Buffer.length buf > 0) then
+      row_line := !line
   in
   let rec go i quoted =
     if i >= n then end_row ()
@@ -95,6 +112,7 @@ let parse_rows ?(sep = ',') s =
           end
           else go (i + 1) false
         else begin
+          if c = '\n' then incr line;
           Buffer.add_char buf c;
           go (i + 1) true
         end
@@ -109,10 +127,12 @@ let parse_rows ?(sep = ',') s =
       end
       else if c = '\r' && i + 1 < n && s.[i + 1] = '\n' then begin
         end_row ();
+        newline ();
         go (i + 2) false
       end
       else if c = '\n' || c = '\r' then begin
         end_row ();
+        newline ();
         go (i + 1) false
       end
       else begin
@@ -123,6 +143,8 @@ let parse_rows ?(sep = ',') s =
   in
   go 0 false;
   List.rev !rows
+
+let parse_rows ?sep s = List.map snd (parse_rows_loc ?sep s)
 
 let read_all ic =
   let buf = Buffer.create 4096 in
@@ -139,9 +161,9 @@ let read_all ic =
 
 let read_channel ?sep ic = parse_rows ?sep (read_all ic)
 
-let read_file ?sep path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_channel ?sep ic)
+(* whole-file reads go through the fault-injection shim so the chaos
+   harness can exercise short reads and crashes on the load path too *)
+let read_file ?sep path = parse_rows ?sep (Fault.Io.read_file path)
 
 (* Majority-vote type inference for a parsed column. *)
 let infer_type values =
@@ -175,23 +197,31 @@ let infer_type values =
     else !best
   end
 
-let relation_of_rows ?(header = true) rows =
+let relation_of_located ?(path = "<csv>") ?(header = true) rows =
   match rows with
   | [] -> Relation.create (Schema.make []) []
-  | first :: rest ->
+  | (_, first) :: rest ->
     let names, data =
       if header then (first, rest)
       else (List.mapi (fun i _ -> Printf.sprintf "c%d" i) first, rows)
     in
-    let parsed = List.map (fun row -> List.map Value.parse row) data in
     let arity = List.length names in
-    List.iteri
-      (fun i row ->
-        if List.length row <> arity then
-          invalid_arg
-            (Printf.sprintf "Csv: row %d has %d fields, expected %d" i
-               (List.length row) arity))
-      parsed;
+    let parsed =
+      List.map
+        (fun (line, row) ->
+          if List.length row <> arity then
+            raise
+              (Parse_error
+                 {
+                   path;
+                   line;
+                   msg =
+                     Printf.sprintf "row has %d fields, expected %d"
+                       (List.length row) arity;
+                 });
+          List.map Value.parse row)
+        data
+    in
     let columns =
       List.mapi (fun j _ -> List.map (fun row -> List.nth row j) parsed) names
     in
@@ -199,7 +229,15 @@ let relation_of_rows ?(header = true) rows =
     let schema = Schema.make (List.combine names types) in
     Relation.create schema (List.map Array.of_list parsed)
 
-let load_file ?sep ?header path = relation_of_rows ?header (read_file ?sep path)
+let relation_of_rows ?path ?header rows =
+  relation_of_located ?path ?header
+    (List.mapi (fun i row -> (i + 1, row)) rows)
+
+let relation_of_string ?path ?sep ?header s =
+  relation_of_located ?path ?header (parse_rows_loc ?sep s)
+
+let load_file ?sep ?header path =
+  relation_of_string ~path ?sep ?header (Fault.Io.read_file path)
 
 let write_channel ?sep ?(header = true) oc rel =
   if header then begin

@@ -4,6 +4,11 @@
     a double quote, or a newline are quoted with ["..."] and embedded
     quotes are doubled. *)
 
+exception Parse_error of { path : string; line : int; msg : string }
+(** A structurally invalid document: [path] and the 1-based physical
+    [line] locate the offending row ([path] is ["<csv>"] when the
+    input did not come from a file). *)
+
 val parse_line : ?sep:char -> string -> string list
 (** Parse a single physical line (no embedded newlines). *)
 
@@ -12,6 +17,10 @@ val parse_rows : ?sep:char -> string -> string list list
     boundaries, so fields containing newlines round-trip; blank lines
     (outside quotes) are skipped; CRLF and lone-CR terminators are
     tolerated. *)
+
+val parse_rows_loc : ?sep:char -> string -> (int * string list) list
+(** Like {!parse_rows}, each row tagged with the 1-based physical line
+    it starts on. *)
 
 val render_line : ?sep:char -> string list -> string
 (** Inverse of {!parse_line}/{!parse_rows} row rendering.  A row whose
@@ -22,16 +31,27 @@ val read_channel : ?sep:char -> in_channel -> string list list
 (** {!parse_rows} over the channel's remaining contents. *)
 
 val read_file : ?sep:char -> string -> string list list
+(** Reads go through {!Fault.Io}, so fault-injection schedules cover
+    the load path. *)
 
 val relation_of_rows :
-  ?header:bool -> string list list -> Relation.t
+  ?path:string -> ?header:bool -> string list list -> Relation.t
 (** Build a relation from raw CSV rows.  When [header] (default true)
     the first row gives attribute names; otherwise names are
     [c0, c1, ...].  Column types are inferred by {!Value.parse} on the
     data (majority vote; mixed columns degrade to VARCHAR, storing the
-    parsed values unchanged). *)
+    parsed values unchanged).
+    @raise Parse_error on a row whose arity differs from the header's
+    (located by row index when the physical line is unknown). *)
+
+val relation_of_string :
+  ?path:string -> ?sep:char -> ?header:bool -> string -> Relation.t
+(** {!parse_rows} + {!relation_of_rows} with physical line numbers in
+    errors. *)
 
 val load_file : ?sep:char -> ?header:bool -> string -> Relation.t
+(** @raise Parse_error with the file's path and physical line number
+    on malformed rows. *)
 
 val write_channel : ?sep:char -> ?header:bool -> out_channel -> Relation.t -> unit
 val write_file : ?sep:char -> ?header:bool -> string -> Relation.t -> unit

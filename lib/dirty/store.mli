@@ -1,39 +1,66 @@
-(** Directory persistence for dirty databases.
+(** Journaled, checksummed directory persistence for dirty databases.
 
-    A database is saved as one CSV file per table plus a
-    [manifest.csv] recording each table's identifier and probability
-    attributes:
+    A database is saved as one CSV file per table plus a manifest,
+    grouped into numbered {e generations}; a [CURRENT] pointer file
+    names the committed generation and a per-generation journal
+    records the size and CRC-32 of every file in it:
 
     {v
     dir/
-      manifest.csv      -- name,id_attr,prob_attr
-      customer.csv
-      orders.csv
+      CURRENT            -- "2\n": the committed generation
+      journal.g2.csv     -- file,bytes,crc32
+      manifest.g2.csv    -- name,id_attr,prob_attr,file
+      customer.g2.csv
+      orders.g2.csv
+      ...                -- generation-1 files kept as fallback
     v}
 
-    Writes are crash-safe: each file is written to a temporary name in
-    the same directory and renamed into place (atomic on POSIX), and
-    the manifest is written {e after} every table file, so a process
-    killed mid-{!save} never leaves a manifest naming a half-written
-    table — {!load} sees either the previous database or the new one,
-    complete. *)
+    Every file is written through {!Fault.Io} to a temp name, fsynced,
+    renamed into place (atomic on POSIX) and the directory synced;
+    transient I/O failures are retried per {!Fault.Retry}.  The order
+    is table files, then the journal, then the manifest, then the
+    [CURRENT] flip — the single commit point — so a process killed at
+    {e any} syscall boundary leaves either the previous committed
+    snapshot fully intact or the new one fully committed, never a mix.
+
+    {!load} verifies every journalled checksum and falls back to the
+    previous intact generation (counted by the
+    [dirty.store.recoveries] telemetry counter) when verification
+    fails.  The pre-journal v1 layout (a bare [manifest.csv] plus
+    [<table>.csv], no checksums) is still readable and serves as the
+    fallback for generation 1. *)
+
+exception Corrupt of { dir : string; detail : string }
+(** No intact snapshot could be loaded: every candidate generation
+    (and the legacy layout, if present) failed verification. *)
 
 val save : string -> Dirty_db.t -> unit
-(** Write the database into the directory (created if missing;
-    existing table files are overwritten atomically). *)
+(** Write the database into the directory (created if missing) as a
+    new generation and commit it by flipping [CURRENT]; generations
+    older than the immediate fallback are then removed best-effort. *)
 
 val load : ?validate:bool -> ?lenient:bool -> string -> Dirty_db.t
-(** Load a database saved by {!save}.  When [validate] (default
-    [true]) the per-cluster probability sums are re-checked.  When
-    [lenient] (default [false]), corrupt or invalid tables and
-    malformed manifest rows are skipped instead of aborting the whole
-    load (use {!load_verbose} to see what was skipped); a missing or
-    header-corrupt manifest is still fatal, since nothing can be
-    loaded without it.
-    @raise Sys_error / Dirty_db.Invalid on missing or malformed
-    files (non-lenient mode). *)
+(** Load the committed snapshot.  When [validate] (default [true]) the
+    per-cluster probability sums are re-checked.  When [lenient]
+    (default [false]), invalid tables and malformed manifest rows are
+    skipped instead of aborting the whole load (use {!load_verbose} to
+    see what was skipped).  Checksum or structural damage to a
+    generation triggers fallback to the previous intact one in either
+    mode.
+    @raise Corrupt when no intact snapshot remains.
+    @raise Sys_error on a missing directory / legacy manifest, and
+    @raise Dirty_db.Invalid on validation failures (non-lenient). *)
 
 val load_verbose :
   ?validate:bool -> ?lenient:bool -> string -> Dirty_db.t * string list
-(** Like {!load}, also returning the warnings collected while loading
-    (always empty when [lenient] is false, since problems raise). *)
+(** Like {!load}, also returning the warnings collected while loading:
+    tables skipped in lenient mode, and generations skipped by
+    checksum fallback (reported in both modes). *)
+
+val recover : string -> string list
+(** Sweep the directory for debris a crashed save can leave behind —
+    orphaned [.store-*.tmp] files, generation files newer than
+    [CURRENT] (written but never committed), and generations older
+    than the immediate fallback — remove it, and describe each removal.
+    The committed generation and its fallback are never touched; an
+    empty list means the directory was already clean. *)

@@ -40,20 +40,24 @@ type t = {
   limits : limits;
   mode : mode;
   started : float;
+  cancel : Cancel.token option;
   lock : Mutex.t;
   mutable produced : int;
   mutable stopped : bool;
+  mutable was_cancelled : bool;
   mutable countdown : int;
 }
 
-let create ?(mode = Raise) limits =
+let create ?(mode = Raise) ?cancel limits =
   {
     limits;
     mode;
     started = Unix.gettimeofday ();
+    cancel;
     lock = Mutex.create ();
     produced = 0;
     stopped = false;
+    was_cancelled = false;
     countdown = time_check_interval;
   }
 
@@ -64,7 +68,11 @@ let with_lock t f =
 let elapsed t = Unix.gettimeofday () -. t.started
 let produced t = with_lock t (fun () -> t.produced)
 let exhausted t = with_lock t (fun () -> t.stopped)
-let truncated = exhausted
+let truncated t = with_lock t (fun () -> t.stopped && not t.was_cancelled)
+let cancelled t = with_lock t (fun () -> t.was_cancelled)
+let cancel_token t = t.cancel
+let mode t = t.mode
+let limits t = t.limits
 
 (* must be called with [t.lock] held; raises in [Raise] mode, so
    callers release the lock via Fun.protect *)
@@ -74,23 +82,55 @@ let stop_locked t =
     raise (Exceeded { produced = t.produced; elapsed = elapsed t; limits = t.limits })
   | Truncate -> t.stopped <- true
 
+(* Stop because of cancellation — either the token tripped (watchdog,
+   caller) or the wall-clock limit was crossed.  Unlike a row-budget
+   stop this is surfaced as [Cancel.Cancelled], and the token (when
+   present) is tripped so parallel partitions observe it too.  Must be
+   called with [t.lock] held. *)
+let stop_cancel_locked t reason =
+  t.was_cancelled <- true;
+  (match t.cancel with Some tok -> Cancel.cancel ~reason tok | None -> ());
+  match t.mode with
+  | Raise -> raise (Cancel.Cancelled reason)
+  | Truncate -> t.stopped <- true
+
 let over_time t =
   match t.limits.max_elapsed with
   | None -> false
   | Some lim -> elapsed t > lim
 
+let time_reason t =
+  Printf.sprintf "time budget of %gs exceeded after %d rows in %.3fs"
+    (Option.value t.limits.max_elapsed ~default:0.0)
+    t.produced (elapsed t)
+
+(* token trip observed at a checkpoint; None when the token is absent
+   or untripped *)
+let token_reason t =
+  match t.cancel with
+  | Some tok when Cancel.cancelled tok ->
+    Some (Option.value (Cancel.reason tok) ~default:"cancelled")
+  | _ -> None
+
 let check_time t =
-  with_lock t (fun () -> if (not t.stopped) && over_time t then stop_locked t)
+  with_lock t (fun () ->
+      if not t.stopped then
+        match token_reason t with
+        | Some reason -> stop_cancel_locked t reason
+        | None -> if over_time t then stop_cancel_locked t (time_reason t))
 
 let admit t n =
   with_lock t @@ fun () ->
   if t.stopped then 0
   else begin
-    t.countdown <- t.countdown - n;
-    if t.countdown <= 0 then begin
-      t.countdown <- time_check_interval;
-      if over_time t then stop_locked t
-    end;
+    (match token_reason t with
+     | Some reason -> stop_cancel_locked t reason
+     | None ->
+       t.countdown <- t.countdown - n;
+       if t.countdown <= 0 then begin
+         t.countdown <- time_check_interval;
+         if over_time t then stop_cancel_locked t (time_reason t)
+       end);
     if t.stopped then 0
     else
       match t.limits.max_rows with

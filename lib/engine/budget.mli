@@ -19,6 +19,13 @@
       ([Database.query_ast_within], [Conquer.Clean.top_answers_within])
       to return partial answers with a truncation flag.
 
+    Crossing the {e time} limit — or an external trip of the attached
+    {!Cancel.token} — is a {e cancellation}, not a truncation: in
+    [Raise] mode it surfaces as {!Cancel.Cancelled}, and in [Truncate]
+    mode the partial result is flagged as cancelled
+    (consult {!cancelled}).  {!Exceeded} is reserved for the row
+    budget.
+
     A budget is domain-safe: its accounting is mutex-guarded, so
     charges from parallel operator partitions are serialized and the
     admitted total never exceeds the limit.  (The executor additionally
@@ -46,28 +53,43 @@ val exceeded_message : produced:int -> elapsed:float -> limits -> string
 
 type t
 
-val create : ?mode:mode -> limits -> t
-(** A fresh budget; the clock starts now. *)
+val create : ?mode:mode -> ?cancel:Cancel.token -> limits -> t
+(** A fresh budget; the clock starts now.  When [cancel] is given,
+    every charge also polls the token, so tripping it (e.g. from the
+    {!Cancel.with_deadline} watchdog) stops the execution at the next
+    checkpoint. *)
 
 val admit : t -> int -> int
 (** [admit t n] charges [n] more rows and returns how many of them the
     budget admits: [n] while within limits; fewer (possibly 0) in
-    [Truncate] mode once the row budget runs out.  The wall clock is
+    [Truncate] mode once the budget stops.  The wall clock is
     consulted at most once every few hundred admitted rows, keeping
-    the per-row cost negligible.
-    @raise Exceeded in [Raise] mode when a limit is crossed. *)
+    the per-row cost negligible; the cancellation token (if any) is
+    polled on every charge.
+    @raise Exceeded in [Raise] mode when the row limit is crossed.
+    @raise Cancel.Cancelled in [Raise] mode on time-limit crossing or
+    token trip. *)
 
 val check_time : t -> unit
-(** Force a clock check (used at operator boundaries, where crossing
-    the time limit should surface promptly).
-    @raise Exceeded in [Raise] mode. *)
+(** Force a clock and token check (used at operator boundaries, where
+    crossing the time limit should surface promptly).
+    @raise Cancel.Cancelled in [Raise] mode. *)
 
 val exhausted : t -> bool
-(** True once the budget stopped admitting rows ([Truncate] mode). *)
+(** True once the budget stopped admitting rows ([Truncate] mode),
+    whether by truncation or cancellation. *)
 
 val truncated : t -> bool
-(** Alias of {!exhausted}: the result reflects a truncated
-    execution. *)
+(** True when the row budget ran out ([Truncate] mode) — the partial
+    result is a prefix of the full one. *)
 
+val cancelled : t -> bool
+(** True when the execution was cancelled (time limit or token trip);
+    in [Truncate] mode the partial rows produced so far were still
+    returned. *)
+
+val cancel_token : t -> Cancel.token option
+val mode : t -> mode
+val limits : t -> limits
 val produced : t -> int
 val elapsed : t -> float

@@ -1,0 +1,31 @@
+(** Cooperative query cancellation.
+
+    A token is polled at the executor's checkpoints — budget charges,
+    operator boundaries, the parallel pool's chunk-claim loop — so a
+    running query (including one spread over several domains) stops at
+    the next checkpoint after the token trips.  Polling is one atomic
+    load; tripping is one-shot and counted by the
+    [engine.cancel.cancellations] telemetry counter. *)
+
+type token
+
+exception Cancelled of string
+(** Raised at a checkpoint of a cancelled execution (in [Raise] budget
+    mode); the payload is the {!cancel} reason. *)
+
+val create : unit -> token
+
+val cancel : ?reason:string -> token -> unit
+(** Trip the token (idempotent; the first reason wins). *)
+
+val cancelled : token -> bool
+val reason : token -> string option
+
+val check : token -> unit
+(** @raise Cancelled if the token has tripped. *)
+
+val with_deadline : seconds:float -> token -> (unit -> 'a) -> 'a
+(** Run [f] under a wall-clock watchdog: a polling domain trips the
+    token once [seconds] elapse, interrupting work — notably parallel
+    joins — at the next checkpoint even when no single operator ever
+    finishes.  The watchdog is always joined before returning. *)

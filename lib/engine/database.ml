@@ -76,13 +76,29 @@ let run_plan ?budget ?jobs t p = Exec.run ?budget ?jobs (exec_catalog t) p
 let effective_jobs (config : Planner.config option) =
   match config with Some c -> c.jobs | None -> Parallel.default_jobs ()
 
-(* the budget declared by the planner config, if any *)
+(* the budget declared by the planner config, if any; a time-limited
+   budget gets a cancellation token so the wall-clock watchdog can
+   interrupt parallel regions mid-operator *)
 let budget_of_config mode (config : Planner.config option) =
   match config with
   | Some { max_rows; max_elapsed; _ }
     when max_rows <> None || max_elapsed <> None ->
-    Some (Budget.create ~mode { Budget.max_rows; max_elapsed })
+    let cancel = if max_elapsed <> None then Some (Cancel.create ()) else None in
+    Some (Budget.create ~mode ?cancel { Budget.max_rows; max_elapsed })
   | Some _ | None -> None
+
+(* run [f] under the wall-clock watchdog when the budget carries a
+   time limit: the watchdog trips the budget's token at the deadline,
+   so execution stops at the next checkpoint (budget charge, operator
+   boundary, or parallel chunk claim) rather than only when a row
+   charge happens to consult the clock *)
+let guarded budget f =
+  match budget with
+  | None -> f ()
+  | Some b -> (
+    match (Budget.cancel_token b, (Budget.limits b).Budget.max_elapsed) with
+    | Some tok, Some seconds -> Cancel.with_deadline ~seconds tok f
+    | _ -> f ())
 
 let timed_query f =
   Telemetry.Metrics.inc m_queries;
@@ -96,15 +112,26 @@ let timed_query f =
 
 let query_ast ?config t q =
   timed_query (fun () ->
-      run_plan
-        ?budget:(budget_of_config Budget.Raise config)
-        ~jobs:(effective_jobs config) t (plan ?config t q))
+      let budget = budget_of_config Budget.Raise config in
+      guarded budget (fun () ->
+          run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q)))
+
+type stop = { truncated : bool; cancelled : bool }
+
+let no_stop = { truncated = false; cancelled = false }
 
 let query_ast_within ?config t q =
   timed_query (fun () ->
       let budget = budget_of_config Budget.Truncate config in
-      let rel = run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q) in
-      (rel, match budget with Some b -> Budget.truncated b | None -> false))
+      let rel =
+        guarded budget (fun () ->
+            run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q))
+      in
+      ( rel,
+        match budget with
+        | Some b ->
+          { truncated = Budget.truncated b; cancelled = Budget.cancelled b }
+        | None -> no_stop ))
 
 let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
 
@@ -113,9 +140,9 @@ let explain ?config t text =
 
 let query_profiled ?config t text =
   let p = plan ?config t (Sql.Parser.parse_query text) in
-  Exec.run_profiled
-    ?budget:(budget_of_config Budget.Raise config)
-    ~jobs:(effective_jobs config) (exec_catalog t) p
+  let budget = budget_of_config Budget.Raise config in
+  guarded budget (fun () ->
+      Exec.run_profiled ?budget ~jobs:(effective_jobs config) (exec_catalog t) p)
 
 let explain_analyze ?config t text =
   let _, profile = query_profiled ?config t text in

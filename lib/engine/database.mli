@@ -35,19 +35,29 @@ val run_plan : ?budget:Budget.t -> ?jobs:int -> t -> Plan.t -> Dirty.Relation.t
 val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
 val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t
 (** Parse, plan and execute SQL text.  When the config declares an
-    execution budget ([max_rows] / [max_elapsed]), exceeding it raises
-    {!Budget.Exceeded}.  The config's [jobs] field selects
+    execution budget, exceeding [max_rows] raises {!Budget.Exceeded}
+    and exceeding [max_elapsed] raises {!Cancel.Cancelled} — a
+    wall-clock watchdog trips the budget's cancellation token, so even
+    a query stuck inside a parallel operator is interrupted at its
+    next checkpoint.  The config's [jobs] field selects
     partition-parallel execution; with no config the process-wide
     default ([--jobs] / [CONQUER_JOBS]) applies.
-    @raise Sql.Parser.Error, Planner.Plan_error, Exec.Exec_error or
-    Budget.Exceeded. *)
+    @raise Sql.Parser.Error, Planner.Plan_error, Exec.Exec_error,
+    Budget.Exceeded or Cancel.Cancelled. *)
+
+type stop = {
+  truncated : bool;  (** the row budget ran out; rows are a prefix *)
+  cancelled : bool;
+      (** the time budget ran out (or the token was tripped); rows are
+          whatever had been produced when the execution stopped *)
+}
 
 val query_ast_within :
-  ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t * bool
+  ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t * stop
 (** Like {!query_ast}, but a budget declared by the config degrades
     gracefully instead of raising: execution stops producing rows once
-    the budget is spent and the partial result is returned with [true]
-    as the truncation flag. *)
+    the budget is spent and the partial result is returned together
+    with how it stopped. *)
 
 val explain : ?config:Planner.config -> t -> string -> string
 (** The plan the query would run, rendered EXPLAIN-style. *)

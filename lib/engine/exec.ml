@@ -70,6 +70,15 @@ let per_row_charged (plan : Plan.t) =
   | Scan _ | Filter _ | Project _ | Aggregate _ | Sort _ | Distinct _ | Limit _ ->
     false
 
+(* Result of a per-row-charged emit loop.  A cancelled execution's
+   partial rows are discarded at every node boundary above anyway, so
+   don't pay to reverse and materialize a possibly huge accumulator —
+   this is part of what keeps cancellation latency bounded. *)
+let emit_result budget out_schema out =
+  match budget with
+  | Some b when Budget.cancelled b -> Relation.create out_schema []
+  | _ -> Relation.create out_schema (List.rev !out)
+
 let infer_column_ty rows j =
   let rec go = function
     | [] -> Value.TString
@@ -246,15 +255,25 @@ let chunk_ranges ~jobs n =
 (* positive partition id for a group/join key *)
 let key_pid ~nparts key = Key.hash key land max_int mod nparts
 
+(* cancellation token forwarded to parallel regions: only in [Raise]
+   budget mode, where aborting a region with [Cancel.Cancelled] is the
+   desired outcome.  Truncate-mode executions must return partial
+   rows, so their regions run to completion and the stop is observed
+   at the next node boundary instead. *)
+let region_cancel budget =
+  match budget with
+  | Some b when Budget.mode b = Budget.Raise -> Budget.cancel_token b
+  | _ -> None
+
 (* chunked parallel filter; preserves row order exactly *)
-let run_filter ~jobs pred rel =
+let run_filter ?cancel ~jobs pred rel =
   let rows = Relation.rows rel in
   let n = Array.length rows in
   if not (use_parallel ~jobs n) then Relation.filter pred rel
   else begin
     let ranges = chunk_ranges ~jobs n in
     let parts =
-      Parallel.init ~jobs (Array.length ranges) (fun ci ->
+      Parallel.init ?cancel ~jobs (Array.length ranges) (fun ci ->
           let lo, len = ranges.(ci) in
           let acc = ref [] in
           for i = lo + len - 1 downto lo do
@@ -266,14 +285,14 @@ let run_filter ~jobs pred rel =
   end
 
 (* chunked parallel row mapping (Project); order-preserving *)
-let run_map_rows ~jobs f rel =
+let run_map_rows ?cancel ~jobs f rel =
   let rows = Relation.rows rel in
   let n = Array.length rows in
   if not (use_parallel ~jobs n) then List.map f (Array.to_list rows)
   else begin
     let ranges = chunk_ranges ~jobs n in
     let parts =
-      Parallel.init ~jobs (Array.length ranges) (fun ci ->
+      Parallel.init ?cancel ~jobs (Array.length ranges) (fun ci ->
           let lo, len = ranges.(ci) in
           List.init len (fun i -> f rows.(lo + i)))
     in
@@ -288,7 +307,7 @@ let feed_arg state arg row =
   | Star_arg -> feed state None
   | Expr_arg f -> feed state (Some (f row))
 
-let run_aggregate ~jobs input ~group_by ~items ~having =
+let run_aggregate ?cancel ~jobs input ~group_by ~items ~having =
   let in_schema = Relation.schema input in
   let key_fns = Array.of_list (List.map (compile in_schema) group_by) in
   let num_keys = Array.length key_fns in
@@ -326,7 +345,7 @@ let run_aggregate ~jobs input ~group_by ~items ~having =
       let nparts = min jobs Parallel.max_jobs in
       let pids = Array.make n 0 in
       let ranges = chunk_ranges ~jobs n in
-      Parallel.run ~jobs (Array.length ranges) (fun ci ->
+      Parallel.run ?cancel ~jobs (Array.length ranges) (fun ci ->
           let lo, len = ranges.(ci) in
           for i = lo to lo + len - 1 do
             let key = Array.init num_keys (fun j -> key_fns.(j) rows.(i)) in
@@ -334,7 +353,7 @@ let run_aggregate ~jobs input ~group_by ~items ~having =
             pids.(i) <- key_pid ~nparts key
           done);
       let per_part =
-        Parallel.init ~jobs nparts (fun p ->
+        Parallel.init ?cancel ~jobs nparts (fun p ->
             let groups = Ktbl.create 64 in
             (* (first-occurrence row index, key, states), reversed *)
             let entries = ref [] in
@@ -498,7 +517,7 @@ let run_hash_join ?budget ~jobs left right ~left_keys ~right_keys =
                  (bucket_rows b)))
          lrows
      with Budget_stop -> ());
-    Relation.create out_schema (List.rev !out)
+    emit_result budget out_schema out
   end
   else begin
     (* radix-partitioned build: extract build keys in parallel, build
@@ -649,7 +668,7 @@ let run_left_outer_join ?budget lrel rrel ~on =
         end)
       lrel
    with Budget_stop -> ());
-  Relation.create out_schema (List.rev !out)
+  emit_result budget out_schema out
 
 (* ---- main interpreter ----
 
@@ -783,7 +802,20 @@ and resolve_node budget jobs catalog (plan : Plan.t) : Plan.t =
     Sort { input; keys = List.map (fun (e, d) -> (r e, d)) keys }
 
 and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
-  let run catalog plan = run_hooked budget jobs hook catalog plan in
+  let run catalog plan =
+    let rel = run_hooked budget jobs hook catalog plan in
+    (* Once a Truncate-mode budget has stopped, every node boundary
+       above the stop admits 0 rows anyway — so hand parents an empty
+       input instead of letting them process (then discard) a large
+       partial intermediate.  This is what bounds cancellation latency:
+       after the token trips mid-join, the plan unwinds without paying
+       for filters/projections over millions of doomed rows. *)
+    match budget with
+    | Some b when Budget.exhausted b ->
+      Relation.of_array (Relation.schema rel) [||]
+    | _ -> rel
+  in
+  let cancel = region_cancel budget in
   match plan with
   | Scan { table; alias } ->
     let rel =
@@ -794,13 +826,13 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
     Relation.of_array schema (Relation.rows rel)
   | Filter { input; pred } ->
     let rel = run catalog input in
-    run_filter ~jobs (predicate (Relation.schema rel) pred) rel
+    run_filter ?cancel ~jobs (predicate (Relation.schema rel) pred) rel
   | Project { input; items } ->
     let rel = run catalog input in
     let schema = Relation.schema rel in
     let fns = List.map (fun (e, _) -> compile schema e) items in
     let rows =
-      run_map_rows ~jobs
+      run_map_rows ?cancel ~jobs
         (fun row -> Array.of_list (List.map (fun f -> f row) fns))
         rel
     in
@@ -858,7 +890,7 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
                    (Index.lookup index probe))
              lrel
          with Budget_stop -> ());
-        Relation.create out_schema (List.rev !out)))
+        emit_result budget out_schema out))
   | Cross (a, b) ->
     let ra = run catalog a and rb = run catalog b in
     let schema = Schema.append (Relation.schema ra) (Relation.schema rb) in
@@ -873,9 +905,9 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
              rb)
          ra
      with Budget_stop -> ());
-    Relation.create schema (List.rev !out)
+    emit_result budget schema out
   | Aggregate { input; group_by; items; having } ->
-    run_aggregate ~jobs (run catalog input) ~group_by ~items ~having
+    run_aggregate ?cancel ~jobs (run catalog input) ~group_by ~items ~having
   | Sort { input; keys } ->
     let rel = run catalog input in
     let schema = Relation.schema rel in

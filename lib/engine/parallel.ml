@@ -121,10 +121,11 @@ let enqueue_copies k job =
 
 (* ---- parallel regions ---- *)
 
-let run ~jobs n task =
+let run ?cancel ~jobs n task =
   if n <= 0 then ()
   else if jobs <= 1 || n = 1 then
     for i = 0 to n - 1 do
+      (match cancel with Some tok -> Cancel.check tok | None -> ());
       task i
     done
   else begin
@@ -137,16 +138,23 @@ let run ~jobs n task =
     let remaining = ref n in
     let run_one i =
       (match
-         if Telemetry.Control.enabled () then begin
-           let (), span =
-             Telemetry.Span.detached
-               ~attrs:[ ("task", string_of_int i) ]
-               ~name:"parallel.task"
-               (fun () -> task i)
-           in
-           spans.(i) <- span
-         end
-         else task i
+         (* cancellation checkpoint: once the token trips, remaining
+            chunks are claimed and marked cancelled without running, so
+            the region drains promptly and the caller sees [Cancelled]
+            (lowest-index error wins as usual) *)
+         match cancel with
+         | Some tok when Cancel.cancelled tok -> Cancel.check tok
+         | _ ->
+           if Telemetry.Control.enabled () then begin
+             let (), span =
+               Telemetry.Span.detached
+                 ~attrs:[ ("task", string_of_int i) ]
+                 ~name:"parallel.task"
+                 (fun () -> task i)
+             in
+             spans.(i) <- span
+           end
+           else task i
        with
       | () -> ()
       | exception e -> errors.(i) <- Some e);
@@ -178,10 +186,10 @@ let run ~jobs n task =
     Array.iter (function Some e -> raise e | None -> ()) errors
   end
 
-let init ~jobs n f =
+let init ?cancel ~jobs n f =
   if n <= 0 then [||]
   else begin
     let results = Array.make n None in
-    run ~jobs n (fun i -> results.(i) <- Some (f i));
+    run ?cancel ~jobs n (fun i -> results.(i) <- Some (f i));
     Array.map (function Some v -> v | None -> assert false) results
   end

@@ -32,16 +32,22 @@ val min_rows_per_chunk : int ref
     that, domain handoff costs more than it saves.  Exposed (default
     512) so tests can force the parallel paths on small relations. *)
 
-val run : jobs:int -> int -> (int -> unit) -> unit
+val run : ?cancel:Cancel.token -> jobs:int -> int -> (int -> unit) -> unit
 (** [run ~jobs n task] evaluates [task i] for every [0 <= i < n],
     using up to [jobs] domains (including the calling one).  Tasks
     must be thread-safe and write to disjoint state.  Blocks until all
     tasks finish; completed-task effects are visible to the caller.
     If any task raises, the exception of the lowest task index is
     re-raised in the caller after all tasks finish.  With [jobs <= 1]
-    or [n <= 1] the tasks run inline in index order. *)
+    or [n <= 1] the tasks run inline in index order.
 
-val init : jobs:int -> int -> (int -> 'a) -> 'a array
+    When [cancel] is given, the token is polled before each task: once
+    it trips, unstarted tasks are skipped and {!Cancel.Cancelled} is
+    raised after the region drains.  Only pass a token when raising is
+    acceptable (the executor does so in [Raise] budget mode only). *)
+
+val init : ?cancel:Cancel.token -> jobs:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] with the calls distributed
     like {!run}; element [i] is [f i].  The order of evaluation is
-    unspecified, so [f] must be pure up to thread-safe effects. *)
+    unspecified, so [f] must be pure up to thread-safe effects.
+    [cancel] behaves as in {!run}. *)

@@ -1,0 +1,66 @@
+(* Retry-with-capped-exponential-backoff for transient I/O failures.
+
+   The store wraps each per-file persistence step (write temp, fsync,
+   rename) in [with_retry]: a transient failure — an injected EIO, an
+   interrupted syscall — is retried after a backoff that doubles from
+   [base_backoff] up to [max_backoff]; permanent failures (ENOSPC, a
+   simulated crash, programming errors) propagate immediately.
+
+   Both the clock and the classifier are injectable, so the QCheck
+   property in test/test_chaos.ml verifies the exact attempt count and
+   sleep sequence without ever sleeping for real. *)
+
+type policy = { attempts : int; base_backoff : float; max_backoff : float }
+
+let default_policy = { attempts = 3; base_backoff = 0.05; max_backoff = 2.0 }
+
+(* the process-wide policy used by Dirty.Store; the CLI's --retries /
+   --io-backoff-ms flags write it once at startup *)
+let current = Atomic.make default_policy
+let set_policy p = Atomic.set current { p with attempts = max 1 p.attempts }
+let policy () = Atomic.get current
+
+let m_io_retries =
+  Telemetry.Metrics.counter "fault.retry.io_retries"
+    ~help:"I/O operations retried after a transient failure"
+
+exception Gave_up of { attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Gave_up { attempts; last } ->
+      Some
+        (Printf.sprintf "Fault.Retry.Gave_up: still failing after %d attempts: %s"
+           attempts (Printexc.to_string last))
+    | _ -> None)
+
+let default_classify = function
+  | Io.Io_error { transient; _ } -> if transient then `Transient else `Permanent
+  | Io.Crashed -> `Permanent
+  | Unix.Unix_error ((EINTR | EAGAIN | EIO), _, _) -> `Transient
+  | Sys_error _ -> `Transient
+  | _ -> `Permanent
+
+let backoff policy i =
+  Float.min policy.max_backoff (policy.base_backoff *. (2.0 ** float_of_int i))
+
+let with_retry ?policy:p ?(classify = default_classify)
+    ?(sleep = Unix.sleepf) f =
+  let p = match p with Some p -> p | None -> policy () in
+  let attempts = max 1 p.attempts in
+  let rec go i =
+    match f () with
+    | v -> v
+    | exception e -> (
+      match classify e with
+      | `Permanent -> raise e
+      | `Transient ->
+        if i + 1 >= attempts then
+          if i = 0 then raise e else raise (Gave_up { attempts; last = e })
+        else begin
+          Telemetry.Metrics.inc m_io_retries;
+          sleep (backoff p i);
+          go (i + 1)
+        end)
+  in
+  go 0

@@ -1,0 +1,43 @@
+(** Retry with capped exponential backoff.
+
+    [with_retry f] runs [f], retrying on failures the classifier deems
+    transient, sleeping [base_backoff * 2^i] (capped at [max_backoff])
+    between attempts.  Permanent failures propagate immediately; when
+    every attempt fails transiently, {!Gave_up} wraps the last error
+    (a single-attempt policy re-raises the error itself).
+
+    The sleep function and the classifier are injectable so tests can
+    verify attempt counts and the exact backoff sequence without
+    sleeping. *)
+
+type policy = {
+  attempts : int;  (** total tries, including the first (min 1) *)
+  base_backoff : float;  (** seconds before the first retry *)
+  max_backoff : float;  (** backoff ceiling, seconds *)
+}
+
+val default_policy : policy
+(** 3 attempts, 50ms base, 2s cap. *)
+
+val set_policy : policy -> unit
+(** Set the process-wide policy used when [with_retry] is called
+    without an explicit one (the CLI's [--retries]/[--io-backoff-ms]
+    flags). *)
+
+val policy : unit -> policy
+
+exception Gave_up of { attempts : int; last : exn }
+
+val backoff : policy -> int -> float
+(** [backoff p i] is the sleep after failed attempt [i] (0-based). *)
+
+val with_retry :
+  ?policy:policy ->
+  ?classify:(exn -> [ `Transient | `Permanent ]) ->
+  ?sleep:(float -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** The default classifier treats {!Io.Io_error} with
+    [transient = true], [Sys_error], and interrupted/EIO Unix errors
+    as transient; everything else — including {!Io.Crashed} and
+    ENOSPC — as permanent. *)

@@ -9,18 +9,17 @@ let parse_line line =
   in
   String.split_on_char '|' line
 
+(* reads go through the fault-injection shim, like every other loader *)
 let load_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | "" -> go acc
-        | line -> go (parse_line line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+  Fault.Io.read_file path
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line =
+           let n = String.length line in
+           if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1)
+           else line
+         in
+         if line = "" then None else Some (parse_line line))
 
 exception Parse_error of { path : string; lineno : int; msg : string }
 

@@ -1,24 +1,10 @@
-(* Fault injection for the robustness suite: seeded-problem databases,
-   file corruption, and simulated crashes of Store.save. *)
+(* Seeded-problem databases for the robustness suite: one dirty
+   database exhibiting every injectable Validate diagnostic at once. *)
 
 open Dirty
 
 let v_s s = Value.String s
 let v_f f = Value.Float f
-
-let with_temp_dir f =
-  let dir = Filename.temp_file "conquer" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun name -> Sys.remove (Filename.concat dir name))
-          (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
 
 (* ---- seeded problems ----
 
@@ -80,46 +66,3 @@ let seeded_db () =
   Dirty_db.add_table db
     (Dirty_db.make_table ~validate:false ~name:"orders" ~id_attr:"id"
        ~prob_attr:"prob" orders)
-
-(* ---- file corruption ---- *)
-
-let read_bytes path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_bytes path s =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc s)
-
-(* Simulate a torn (non-atomic) write: keep only the first [keep]
-   bytes of the file, cutting mid-row. *)
-let truncate_file path ~keep =
-  let s = read_bytes path in
-  write_bytes path (String.sub s 0 (min keep (String.length s)))
-
-(* ---- simulated crashes of Store.save ----
-
-   [Store.save] writes each table CSV atomically (temp file + rename),
-   then the manifest, last.  A crash can therefore be observed as: some
-   complete new table files, possibly a stray temp file from the write
-   in flight, and the manifest of the *previous* save (or none).
-   [interrupted_save] reproduces exactly that on-disk state: the first
-   [tables_written] tables of [db] land completely, a partial temp file
-   is left behind for the next one, and the manifest is not touched. *)
-
-let interrupted_save ?(tables_written = 1) dir db =
-  let tables = Dirty_db.tables db in
-  List.iteri
-    (fun i (t : Dirty_db.table) ->
-      if i < tables_written then
-        Csv.write_file (Filename.concat dir (t.name ^ ".csv")) t.relation
-      else if i = tables_written then begin
-        (* the write that was in flight: a half-written temp file *)
-        let tmp = Filename.temp_file ~temp_dir:dir ".store-" ".tmp" in
-        write_bytes tmp "id,na"
-      end)
-    tables

@@ -1,0 +1,429 @@
+(* Chaos harness: deterministic fault injection.
+
+   The headline property: for EVERY operation in a [Store.save] trace,
+   crashing exactly there and reloading yields a database that is
+   byte-for-byte the old snapshot or the new one — never a mix — and
+   per-cluster probabilities still sum to 1.  Exercised exhaustively
+   over a fixed pair of databases and probabilistically over random
+   databases and crash points, plus a randomized multi-fault schedule
+   driven by CONQUER_FAULT_SEED.
+
+   Also here: the retry/backoff laws (injected clock, satellite of the
+   fault work) and query cancellation deadlines. *)
+
+open Dirty
+
+let v_s s = Value.String s
+let v_i i = Value.Int i
+let v_f f = Value.Float f
+
+(* ---- databases with 1/16-grain probabilities ----
+
+   Sixteenths are exactly representable as floats and survive the CSV
+   round-trip bit-for-bit, so "old or new, never a mix" can compare
+   rendered values exactly and cluster sums come back to exactly 1. *)
+
+let chaos_schema =
+  Schema.make
+    [ ("id", Value.TString); ("val", Value.TInt); ("prob", Value.TFloat) ]
+
+let table_of_clusters name clusters =
+  let rows =
+    List.concat_map
+      (fun (cid, members) ->
+        List.map
+          (fun (v, sixteenths) ->
+            [| v_s cid; v_i v; v_f (float_of_int sixteenths /. 16.0) |])
+          members)
+      clusters
+  in
+  Dirty_db.make_table ~name ~id_attr:"id" ~prob_attr:"prob"
+    (Relation.create chaos_schema rows)
+
+let db_of_tables tables =
+  List.fold_left Dirty_db.add_table Dirty_db.empty tables
+
+let fixed_old =
+  db_of_tables
+    [
+      table_of_clusters "alpha"
+        [ ("a1", [ (1, 10); (2, 6) ]); ("a2", [ (3, 16) ]) ];
+      table_of_clusters "beta" [ ("b1", [ (7, 8); (8, 8) ]) ];
+    ]
+
+let fixed_new =
+  db_of_tables
+    [
+      table_of_clusters "alpha" [ ("a1", [ (1, 16) ]) ];
+      table_of_clusters "beta"
+        [ ("b1", [ (7, 4); (9, 12) ]); ("b2", [ (5, 16) ]) ];
+      table_of_clusters "gamma" [ ("g1", [ (0, 16) ]) ];
+    ]
+
+(* ---- snapshot comparison ---- *)
+
+let db_fingerprint db =
+  List.map
+    (fun (t : Dirty_db.table) ->
+      ( t.name,
+        t.id_attr,
+        t.prob_attr,
+        Schema.names (Relation.schema t.relation),
+        List.sort compare
+          (List.map
+             (fun row -> Array.to_list (Array.map Value.to_string row))
+             (Array.to_list (Relation.rows t.relation))) ))
+    (Dirty_db.tables db)
+
+let db_equal a b = db_fingerprint a = db_fingerprint b
+
+let cluster_sums_ok db =
+  List.for_all
+    (fun (t : Dirty_db.table) ->
+      let schema = Relation.schema t.relation in
+      let idi = Schema.index_of schema t.id_attr in
+      let pi = Schema.index_of schema t.prob_attr in
+      let sums = Hashtbl.create 8 in
+      Relation.iter
+        (fun row ->
+          let key = Value.to_string row.(idi) in
+          let p = Option.value (Value.to_float row.(pi)) ~default:nan in
+          Hashtbl.replace sums key
+            (p +. Option.value (Hashtbl.find_opt sums key) ~default:0.0))
+        t.relation;
+      Hashtbl.fold
+        (fun _ sum ok -> ok && Float.abs (sum -. 1.0) < 1e-9)
+        sums true)
+    (Dirty_db.tables db)
+
+(* ---- the crash-at-op harness ---- *)
+
+(* operation count of "save db_new over a store holding db_old",
+   learned from a recorded dry run in a scratch directory *)
+let count_save_ops db_old db_new =
+  Testutil.with_temp_dir (fun dir ->
+      Store.save dir db_old;
+      Fault.Io.reset ~record:true ();
+      Store.save dir db_new;
+      let n = Fault.Io.ops () in
+      Fault.Io.reset ();
+      n)
+
+(* crash at operation [k] of the save, then check the invariants:
+   the reloaded db is exactly old or new, cluster sums are intact, and
+   a recovery sweep does not change what loads *)
+let crash_and_check ?(faults = fun k -> [ (k, Fault.Io.Crash) ]) db_old db_new k
+    =
+  Testutil.with_temp_dir (fun dir ->
+      Store.save dir db_old;
+      Fault.Io.reset ();
+      Fault.Io.arm (faults k);
+      (match Store.save dir db_new with () -> () | exception _ -> ());
+      Fault.Io.reset ();
+      let loaded = Store.load dir in
+      if not (db_equal loaded db_old || db_equal loaded db_new) then
+        Alcotest.failf "fault at op %d: loaded db is neither old nor new" k;
+      if not (cluster_sums_ok loaded) then
+        Alcotest.failf "fault at op %d: cluster probability sums broken" k;
+      ignore (Store.recover dir);
+      let again = Store.load dir in
+      if not (db_equal again loaded) then
+        Alcotest.failf "fault at op %d: recover changed the loaded snapshot" k;
+      if Store.recover dir <> [] then
+        Alcotest.failf "fault at op %d: recover is not idempotent" k)
+
+let test_crash_every_op () =
+  let n = count_save_ops fixed_old fixed_new in
+  Alcotest.(check bool) "save has a meaningful trace" true (n > 10);
+  for k = 0 to n - 1 do
+    crash_and_check fixed_old fixed_new k
+  done
+
+let test_crash_every_op_first_save () =
+  (* no prior snapshot: the store directory must end up empty-loading
+     (legacy Sys_error) or holding exactly the new db *)
+  let n =
+    Testutil.with_temp_dir (fun dir ->
+        Fault.Io.reset ~record:true ();
+        Store.save dir fixed_new;
+        let n = Fault.Io.ops () in
+        Fault.Io.reset ();
+        n)
+  in
+  for k = 0 to n - 1 do
+    Testutil.with_temp_dir (fun dir ->
+        Fault.Io.reset ();
+        Fault.Io.arm [ (k, Fault.Io.Crash) ];
+        (match Store.save dir fixed_new with
+        | () -> ()
+        | exception _ -> ());
+        Fault.Io.reset ();
+        match Store.load dir with
+        | db ->
+          if not (db_equal db fixed_new) then
+            Alcotest.failf "crash at op %d: partial first save became visible"
+              k
+        | exception Sys_error _ -> ())
+  done
+
+(* ---- QCheck: random databases, random crash points ---- *)
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+(* [k] positive sixteenths summing to 16 *)
+let rec sixteenths_gen k total =
+  if k = 1 then QCheck.Gen.return [ total ]
+  else
+    let* first = QCheck.Gen.int_range 1 (total - (k - 1)) in
+    let* rest = sixteenths_gen (k - 1) (total - first) in
+    QCheck.Gen.return (first :: rest)
+
+let cluster_gen cid =
+  let* size = QCheck.Gen.int_range 1 3 in
+  let* parts = sixteenths_gen size 16 in
+  let* members =
+    QCheck.Gen.flatten_l
+      (List.map
+         (fun p ->
+           let* v = QCheck.Gen.int_range 0 99 in
+           QCheck.Gen.return (v, p))
+         parts)
+  in
+  QCheck.Gen.return (Printf.sprintf "c%d" cid, members)
+
+let table_gen name =
+  let* nclusters = QCheck.Gen.int_range 1 4 in
+  let* clusters =
+    QCheck.Gen.flatten_l (List.init nclusters cluster_gen)
+  in
+  QCheck.Gen.return (table_of_clusters name clusters)
+
+let db_gen =
+  let* ntables = QCheck.Gen.int_range 1 2 in
+  let* tables =
+    QCheck.Gen.flatten_l
+      (List.init ntables (fun i -> table_gen (Printf.sprintf "t%d" i)))
+  in
+  QCheck.Gen.return (db_of_tables tables)
+
+let chaos_case_gen =
+  let* db_old = db_gen in
+  let* db_new = db_gen in
+  let* crash_point = QCheck.Gen.int_range 0 10_000 in
+  QCheck.Gen.return (db_old, db_new, crash_point)
+
+let prop_crash_recovery_atomic =
+  QCheck.Test.make ~count:220
+    ~name:"crash during save: reload is exactly old or new"
+    (QCheck.make chaos_case_gen)
+    (fun (db_old, db_new, crash_point) ->
+      let n = count_save_ops db_old db_new in
+      crash_and_check db_old db_new (crash_point mod n);
+      true)
+
+(* ---- randomized multi-fault schedules (CONQUER_FAULT_SEED) ---- *)
+
+let test_randomized_schedule () =
+  let seed =
+    match Fault.Io.seed_from_env () with Some s -> s | None -> 421
+  in
+  (* log the seed so a CI failure is reproducible *)
+  Printf.printf "chaos schedule seed: CONQUER_FAULT_SEED=%d\n%!" seed;
+  let n = count_save_ops fixed_old fixed_new in
+  for round = 0 to 19 do
+    crash_and_check
+      ~faults:(fun _ ->
+        Fault.Io.random_schedule ~seed:(seed + round) ~ops:n)
+      fixed_old fixed_new round
+  done
+
+(* ---- retry/backoff laws (injected clock) ---- *)
+
+let transient_error () =
+  Fault.Io.Io_error
+    { op = Fault.Io.Write; path = "x"; msg = "injected"; transient = true }
+
+let retry_case_gen =
+  let* attempts = QCheck.Gen.int_range 1 6 in
+  let* failures = QCheck.Gen.int_range 0 (attempts - 1) in
+  let* base_ms = QCheck.Gen.int_range 1 100 in
+  let* cap_ms = QCheck.Gen.int_range 1 400 in
+  QCheck.Gen.return (attempts, failures, base_ms, cap_ms)
+
+let prop_retry_backoff_schedule =
+  QCheck.Test.make ~count:200
+    ~name:"retry: attempt count and backoff sequence are exactly as scheduled"
+    (QCheck.make retry_case_gen)
+    (fun (attempts, failures, base_ms, cap_ms) ->
+      let policy =
+        {
+          Fault.Retry.attempts;
+          base_backoff = float_of_int base_ms /. 1000.0;
+          max_backoff = float_of_int cap_ms /. 1000.0;
+        }
+      in
+      let calls = ref 0 in
+      let sleeps = ref [] in
+      let result =
+        Fault.Retry.with_retry ~policy
+          ~sleep:(fun s -> sleeps := s :: !sleeps)
+          (fun () ->
+            incr calls;
+            if !calls <= failures then raise (transient_error ());
+            !calls)
+      in
+      let expected_sleeps =
+        List.init failures (fun i ->
+            Float.min policy.max_backoff
+              (policy.base_backoff *. (2.0 ** float_of_int i)))
+      in
+      result = failures + 1
+      && !calls = failures + 1
+      && List.rev !sleeps = expected_sleeps)
+
+let prop_retry_gives_up =
+  QCheck.Test.make ~count:100
+    ~name:"retry: exhausted attempts give up after the scheduled sleeps"
+    (QCheck.make (QCheck.Gen.int_range 1 6))
+    (fun attempts ->
+      let policy =
+        { Fault.Retry.attempts; base_backoff = 0.01; max_backoff = 0.04 }
+      in
+      let calls = ref 0 in
+      let sleeps = ref 0 in
+      match
+        Fault.Retry.with_retry ~policy
+          ~sleep:(fun _ -> incr sleeps)
+          (fun () ->
+            incr calls;
+            raise (transient_error ()))
+      with
+      | _ -> false
+      | exception Fault.Retry.Gave_up { attempts = a; _ } ->
+        attempts > 1 && a = attempts && !calls = attempts
+        && !sleeps = attempts - 1
+      | exception Fault.Io.Io_error _ ->
+        (* a single-attempt policy re-raises the original error *)
+        attempts = 1 && !calls = 1 && !sleeps = 0)
+
+(* ---- cancellation deadlines ---- *)
+
+let test_parallel_cancel_within_deadline () =
+  let tok = Engine.Cancel.create () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.Cancel.with_deadline ~seconds:0.1 tok (fun () ->
+         (* 64 x 20ms on 4 domains = ~320ms of work, cancelled at 100ms *)
+         Engine.Parallel.run ~cancel:tok ~jobs:4 64 (fun _ ->
+             Unix.sleepf 0.02))
+   with
+  | () -> Alcotest.fail "parallel region outran its deadline uncancelled"
+  | exception Engine.Cancel.Cancelled _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled within 2x deadline (%.0fms)" (elapsed *. 1000.))
+    true (elapsed < 0.2)
+
+(* a database whose cross product is far too large to finish within
+   the deadline, so cancellation must interrupt it mid-operator *)
+let big_cross_db () =
+  let engine = Engine.Database.create () in
+  let schema = Schema.make [ ("k", Value.TInt); ("v", Value.TInt) ] in
+  let rel n =
+    Relation.create schema (List.init n (fun i -> [| v_i i; v_i (i * 7) |]))
+  in
+  Engine.Database.add_relation engine ~name:"a" (rel 3000);
+  Engine.Database.add_relation engine ~name:"b" (rel 3000);
+  engine
+
+let cross_query =
+  Sql.Parser.parse_query "select a.v, b.v from a, b where a.v + b.v > -1"
+
+let cancel_config jobs seconds =
+  {
+    Engine.Planner.default_config with
+    jobs;
+    max_elapsed = Some seconds;
+  }
+
+let test_query_cancelled_partial_within_deadline () =
+  let engine = big_cross_db () in
+  let deadline = 0.3 in
+  let t0 = Unix.gettimeofday () in
+  let rel, { Engine.Database.truncated; cancelled } =
+    Engine.Database.query_ast_within
+      ~config:(cancel_config 4 deadline)
+      engine cross_query
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "cancelled" true cancelled;
+  Alcotest.(check bool) "not row-truncated" false truncated;
+  Alcotest.(check bool) "partial, not the full cross product" true
+    (Relation.cardinality rel < 3000 * 3000);
+  Alcotest.(check bool)
+    (Printf.sprintf "returned within 2x deadline (%.0fms)" (elapsed *. 1000.))
+    true
+    (elapsed < 2.0 *. deadline)
+
+let test_query_cancelled_raise_within_deadline () =
+  let engine = big_cross_db () in
+  let deadline = 0.3 in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Engine.Database.query_ast ~config:(cancel_config 4 deadline) engine
+       cross_query
+   with
+  | _ -> Alcotest.fail "cross product outran its deadline uncancelled"
+  | exception Engine.Cancel.Cancelled _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "raised within 2x deadline (%.0fms)" (elapsed *. 1000.))
+    true
+    (elapsed < 2.0 *. deadline)
+
+let test_cancellation_counter () =
+  Telemetry.Control.with_enabled @@ fun () ->
+  let before =
+    Telemetry.Metrics.count
+      (Telemetry.Metrics.counter "engine.cancel.cancellations")
+  in
+  let tok = Engine.Cancel.create () in
+  Engine.Cancel.cancel ~reason:"test" tok;
+  Engine.Cancel.cancel ~reason:"again" tok;
+  (* second cancel of the same token is a no-op *)
+  let after =
+    Telemetry.Metrics.count
+      (Telemetry.Metrics.counter "engine.cancel.cancellations")
+  in
+  Alcotest.(check int) "one cancellation counted" (before + 1) after;
+  Alcotest.(check (option string)) "first reason wins" (Some "test")
+    (Engine.Cancel.reason tok)
+
+let () =
+  let qcheck = QCheck_alcotest.to_alcotest ~long:false in
+  Alcotest.run "chaos"
+    [
+      ( "store-crash",
+        [
+          Alcotest.test_case "crash at every op of a re-save" `Quick
+            test_crash_every_op;
+          Alcotest.test_case "crash at every op of a first save" `Quick
+            test_crash_every_op_first_save;
+          qcheck prop_crash_recovery_atomic;
+          Alcotest.test_case "randomized fault schedules" `Quick
+            test_randomized_schedule;
+        ] );
+      ( "retry",
+        [ qcheck prop_retry_backoff_schedule; qcheck prop_retry_gives_up ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "parallel region cancelled within 2x deadline"
+            `Quick test_parallel_cancel_within_deadline;
+          Alcotest.test_case "budgeted query degrades to cancelled partial"
+            `Quick test_query_cancelled_partial_within_deadline;
+          Alcotest.test_case "raise-mode query cancelled within 2x deadline"
+            `Quick test_query_cancelled_raise_within_deadline;
+          Alcotest.test_case "cancellations counter and first-reason-wins"
+            `Quick test_cancellation_counter;
+        ] );
+    ]

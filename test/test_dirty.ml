@@ -368,17 +368,7 @@ let test_propagation_requires_unique_key () =
 
 (* ---- Store ---- *)
 
-let with_temp_dir f =
-  let dir = Filename.temp_file "conquer" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
+let with_temp_dir = Testutil.with_temp_dir
 
 let test_store_roundtrip () =
   with_temp_dir (fun dir ->

@@ -124,7 +124,9 @@ let test_truncate_prefix () =
   let full = Engine.Database.query_ast ~config:(config ~jobs:1) engine q in
   let check_at jobs =
     let cfg = { (config ~jobs) with max_rows = Some 200 } in
-    let rel, truncated = Engine.Database.query_ast_within ~config:cfg engine q in
+    let rel, { Engine.Database.truncated; cancelled = _ } =
+      Engine.Database.query_ast_within ~config:cfg engine q
+    in
     Alcotest.(check bool)
       (Printf.sprintf "jobs=%d truncated" jobs)
       true truncated;

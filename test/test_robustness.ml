@@ -11,8 +11,8 @@ let v_f f = Value.Float f
 (* ---- Validate: one pass reports every seeded problem ---- *)
 
 let seeded_diags () =
-  Validate.db_diagnostics ~references:[ Fault.seeded_reference ]
-    (Fault.seeded_db ())
+  Validate.db_diagnostics ~references:[ Seeded.seeded_reference ]
+    (Seeded.seeded_db ())
 
 let count p diags = List.length (List.filter p diags)
 
@@ -53,7 +53,7 @@ let test_validate_unknown_reference () =
     Validate.db_diagnostics
       ~references:
         [ { Validate.ref_table = "orders"; fk_attr = "nope"; target = "cust" } ]
-      (Fault.seeded_db ())
+      (Seeded.seeded_db ())
   in
   Alcotest.(check bool) "missing foreign-key column reported" true
     (List.exists
@@ -63,10 +63,10 @@ let test_validate_unknown_reference () =
 
 (* ---- Repair: every policy yields a Validate-clean database ---- *)
 
-let refs = [ Fault.seeded_reference ]
+let refs = [ Seeded.seeded_reference ]
 
 let test_repair_policy policy () =
-  let db, actions = Repair.repair_db ~references:refs ~policy (Fault.seeded_db ()) in
+  let db, actions = Repair.repair_db ~references:refs ~policy (Seeded.seeded_db ()) in
   Alcotest.(check bool) "actions reported" true (actions <> []);
   Alcotest.(check bool)
     (Repair.policy_to_string policy ^ " leaves no errors")
@@ -74,14 +74,14 @@ let test_repair_policy policy () =
     (Validate.is_clean (Validate.db_diagnostics ~references:refs db))
 
 let test_repair_fail_policy () =
-  match Repair.repair_db ~references:refs ~policy:Repair.Fail (Fault.seeded_db ()) with
+  match Repair.repair_db ~references:refs ~policy:Repair.Fail (Seeded.seeded_db ()) with
   | exception Repair.Repair_failed _ -> ()
   | _ -> Alcotest.fail "Fail policy did not raise"
 
 let test_repair_renormalize_values () =
   let db, _ =
     Repair.repair_db ~references:refs ~policy:Repair.Renormalize
-      (Fault.seeded_db ())
+      (Seeded.seeded_db ())
   in
   let cust = Dirty_db.find_table db "cust" in
   let prob_of name =
@@ -106,7 +106,7 @@ let test_repair_renormalize_values () =
 let test_repair_drop_dangling () =
   let db, _ =
     Repair.repair_db ~references:refs ~policy:Repair.Drop_cluster
-      (Fault.seeded_db ())
+      (Seeded.seeded_db ())
   in
   let orders = Dirty_db.find_table db "orders" in
   Alcotest.(check int) "dangling order cluster dropped" 1
@@ -119,7 +119,7 @@ let test_repair_drop_dangling () =
 let test_repair_null_dangling () =
   let db, _ =
     Repair.repair_db ~references:refs ~policy:Repair.Renormalize
-      (Fault.seeded_db ())
+      (Seeded.seeded_db ())
   in
   let orders = Dirty_db.find_table db "orders" in
   Alcotest.(check int) "no rows dropped" 2 (Relation.cardinality orders.relation);
@@ -199,12 +199,27 @@ let modified_figure2 () =
   Dirty_db.add_table db
     (Dirty_db.make_table ~name:"aextra" ~id_attr:"id" ~prob_attr:"prob" extra)
 
-let test_store_crash_before_manifest () =
-  Fault.with_temp_dir (fun dir ->
+(* a save of an n-table database performs one Io.write per file:
+   n tables, then the journal, the manifest, and CURRENT *)
+let writes_per_save db = List.length (Dirty_db.tables db) + 3
+
+let crashed_save ~at_write dir db =
+  Fault.Io.reset ();
+  Fault.Io.arm_nth_write at_write Fault.Io.Crash;
+  (match Store.save dir db with
+  | () -> Alcotest.fail "save survived its crash schedule"
+  | exception Fault.Io.Crashed -> ());
+  Fault.Io.reset ()
+
+let test_store_crash_before_commit () =
+  Testutil.with_temp_dir (fun dir ->
       let v1 = Fixtures.figure2_db () in
       Store.save dir v1;
-      (* the re-save of a grown database crashes before the manifest *)
-      Fault.interrupted_save ~tables_written:1 dir (modified_figure2 ());
+      (* the re-save of a grown database crashes at the very last
+         write — CURRENT's temp file — so generation 2 is fully on
+         disk but never committed *)
+      let v2 = modified_figure2 () in
+      crashed_save ~at_write:(writes_per_save v2 - 1) dir v2;
       let db = Store.load dir in
       Alcotest.(check (list string))
         "load sees exactly the previous save"
@@ -216,29 +231,33 @@ let test_store_crash_before_manifest () =
         (Dirty_db.tables v1) (Dirty_db.tables db))
 
 let test_store_crash_on_first_save () =
-  Fault.with_temp_dir (fun dir ->
-      Fault.interrupted_save ~tables_written:1 dir (Fixtures.figure2_db ());
+  Testutil.with_temp_dir (fun dir ->
+      (* crash while writing the journal of the very first save: no
+         generation was ever committed, so there is nothing to load *)
+      crashed_save ~at_write:2 dir (Fixtures.figure2_db ());
       match Store.load dir with
       | exception Sys_error _ -> ()
       | _ -> Alcotest.fail "half-written first save was loadable")
 
 let test_store_stray_temp_ignored () =
-  Fault.with_temp_dir (fun dir ->
+  Testutil.with_temp_dir (fun dir ->
       let db = Fixtures.figure2_db () in
       Store.save dir db;
-      Fault.write_bytes (Filename.concat dir ".store-stray.tmp") "id,pr";
+      Testutil.write_bytes (Filename.concat dir ".store-stray.tmp") "id,pr";
       let db' = Store.load dir in
       Alcotest.(check (list string))
         "temp file invisible to load"
         (Dirty_db.table_names db) (Dirty_db.table_names db'))
 
 let test_store_torn_table_file () =
-  Fault.with_temp_dir (fun dir ->
+  Testutil.with_temp_dir (fun dir ->
       Store.save dir (Fixtures.figure2_db ());
-      let path = Filename.concat dir "customer.csv" in
-      Fault.truncate_file path ~keep:30;
+      let path = Filename.concat dir "customer.g1.csv" in
+      Testutil.truncate_file path ~keep:30;
+      (* the checksum catches the tear; with no older generation to
+         fall back to, strict load reports corruption *)
       (match Store.load dir with
-      | exception (Dirty_db.Invalid _ | Invalid_argument _ | Failure _) -> ()
+      | exception Store.Corrupt _ -> ()
       | _ -> Alcotest.fail "torn table accepted by strict load");
       let db, warnings = Store.load_verbose ~lenient:true dir in
       Alcotest.(check (list string)) "torn table skipped" [ "orders" ]
@@ -246,48 +265,76 @@ let test_store_torn_table_file () =
       Alcotest.(check int) "one warning" 1 (List.length warnings))
 
 let test_store_missing_table_file () =
-  Fault.with_temp_dir (fun dir ->
+  Testutil.with_temp_dir (fun dir ->
       Store.save dir (Fixtures.figure2_db ());
-      Sys.remove (Filename.concat dir "orders.csv");
+      Sys.remove (Filename.concat dir "orders.g1.csv");
       (match Store.load dir with
-      | exception Sys_error _ -> ()
+      | exception Store.Corrupt _ -> ()
       | _ -> Alcotest.fail "missing table accepted by strict load");
       let db, warnings = Store.load_verbose ~lenient:true dir in
       Alcotest.(check (list string)) "missing table skipped" [ "customer" ]
         (Dirty_db.table_names db);
       Alcotest.(check int) "one warning" 1 (List.length warnings))
 
-let test_store_malformed_manifest_row () =
-  Fault.with_temp_dir (fun dir ->
-      Store.save dir (Fixtures.figure2_db ());
-      let manifest = Filename.concat dir "manifest.csv" in
-      Fault.write_bytes manifest (Fault.read_bytes manifest ^ "too,few\n");
-      (match Store.load dir with
-      | exception Sys_error _ -> ()
-      | _ -> Alcotest.fail "malformed manifest row accepted by strict load");
-      let db, warnings = Store.load_verbose ~lenient:true dir in
-      Alcotest.(check int) "tables still loaded" 2
-        (List.length (Dirty_db.table_names db));
-      Alcotest.(check int) "one warning" 1 (List.length warnings))
+let test_store_manifest_corruption_falls_back () =
+  Testutil.with_temp_dir (fun dir ->
+      let v1 = Fixtures.figure2_db () in
+      Store.save dir v1;
+      Store.save dir (modified_figure2 ());
+      (* damage the committed generation's manifest: its checksum no
+         longer matches the journal, so load falls back to gen 1 *)
+      let manifest = Filename.concat dir "manifest.g2.csv" in
+      Testutil.write_bytes manifest (Testutil.read_bytes manifest ^ "too,few\n");
+      let db, warnings = Store.load_verbose dir in
+      Alcotest.(check (list string))
+        "fell back to the previous snapshot"
+        (Dirty_db.table_names v1) (Dirty_db.table_names db);
+      Alcotest.(check bool) "warning names the bad generation" true
+        (List.exists (fun w -> Testutil.contains w "generation 2") warnings))
 
-let test_store_malformed_manifest_header () =
-  Fault.with_temp_dir (fun dir ->
+let test_store_manifest_destroyed () =
+  Testutil.with_temp_dir (fun dir ->
       Store.save dir (Fixtures.figure2_db ());
-      Fault.write_bytes (Filename.concat dir "manifest.csv") "not,a,manifest\n";
-      (* fatal even in lenient mode: nothing can be loaded without it *)
+      Testutil.write_bytes
+        (Filename.concat dir "manifest.g1.csv")
+        "not,a,manifest\n";
+      (* fatal even in lenient mode: with the only generation's
+         manifest gone and nothing to fall back to, nothing loads *)
       match Store.load ~lenient:true dir with
-      | exception Sys_error _ -> ()
-      | _ -> Alcotest.fail "malformed manifest header accepted")
+      | exception Store.Corrupt _ -> ()
+      | _ -> Alcotest.fail "destroyed manifest accepted")
 
 let test_store_save_is_atomic_per_file () =
-  Fault.with_temp_dir (fun dir ->
+  Testutil.with_temp_dir (fun dir ->
       (* overwriting an existing store never truncates in place: the
-         old file stays readable until the rename *)
+         old generation stays on disk until the new one commits, and
+         generations older than the fallback are swept *)
       Store.save dir (Fixtures.figure2_db ());
       Store.save dir (Fixtures.figure2_db ());
+      Store.save dir (Fixtures.figure2_db ());
+      Alcotest.(check bool) "superseded generation swept" false
+        (Sys.file_exists (Filename.concat dir "customer.g1.csv"));
+      Alcotest.(check bool) "fallback generation kept" true
+        (Sys.file_exists (Filename.concat dir "customer.g2.csv"));
       let db = Store.load dir in
       Alcotest.(check int) "still two tables" 2
         (List.length (Dirty_db.table_names db)))
+
+let test_store_recover_sweeps_debris () =
+  Testutil.with_temp_dir (fun dir ->
+      let v1 = Fixtures.figure2_db () in
+      Store.save dir v1;
+      (* a crashed re-save leaves uncommitted gen-2 files and a torn
+         temp file behind *)
+      crashed_save ~at_write:3 dir (modified_figure2 ());
+      let actions = Store.recover dir in
+      Alcotest.(check bool) "something was swept" true (actions <> []);
+      Alcotest.(check (list string)) "second sweep finds nothing" []
+        (Store.recover dir);
+      let db = Store.load dir in
+      Alcotest.(check (list string))
+        "committed snapshot untouched"
+        (Dirty_db.table_names v1) (Dirty_db.table_names db))
 
 (* ---- budgets ---- *)
 
@@ -323,12 +370,13 @@ let test_query_budget_raises () =
 
 let test_query_time_budget_raises () =
   let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
-  (* a pre-expired clock: the first wall-clock check trips *)
+  (* a pre-expired clock: the first wall-clock check trips; crossing a
+     time limit surfaces as a cancellation, not Exceeded *)
   match
     Conquer.Clean.answers ~config:(budget_config ~secs:(-1.0) ()) s Fixtures.q2
   with
-  | exception Engine.Budget.Exceeded _ -> ()
-  | _ -> Alcotest.fail "time budget did not raise"
+  | exception Engine.Cancel.Cancelled _ -> ()
+  | _ -> Alcotest.fail "time budget did not cancel"
 
 let test_query_unbudgeted_config_unchanged () =
   let s = Conquer.Clean.create (Fixtures.figure2_db ()) in
@@ -376,8 +424,8 @@ let test_top_answers_within_partial_prefix () =
 (* ---- end-to-end: seeded db -> repair -> store -> budgeted query ---- *)
 
 let test_pipeline_end_to_end () =
-  Fault.with_temp_dir (fun dir ->
-      let dirty = Fault.seeded_db () in
+  Testutil.with_temp_dir (fun dir ->
+      let dirty = Seeded.seeded_db () in
       Alcotest.(check bool) "starts dirty" false
         (Validate.is_clean (Validate.db_diagnostics ~references:refs dirty));
       let repaired, _ =
@@ -389,7 +437,7 @@ let test_pipeline_end_to_end () =
       Alcotest.(check bool) "reloaded db validates" true
         (Validate.is_clean (Validate.db_diagnostics loaded));
       let s = Conquer.Clean.create loaded in
-      let { Conquer.Clean.rows; truncated } =
+      let { Conquer.Clean.rows; truncated; cancelled = _ } =
         Conquer.Clean.answers_within
           ~config:(budget_config ~rows:100_000 ())
           s "select id from cust"
@@ -469,8 +517,8 @@ let () =
         ] );
       ( "store",
         [
-          Alcotest.test_case "crash before manifest keeps old db" `Quick
-            test_store_crash_before_manifest;
+          Alcotest.test_case "crash before commit keeps old db" `Quick
+            test_store_crash_before_commit;
           Alcotest.test_case "crash on first save loads nothing" `Quick
             test_store_crash_on_first_save;
           Alcotest.test_case "stray temp file ignored" `Quick
@@ -478,12 +526,14 @@ let () =
           Alcotest.test_case "torn table file" `Quick test_store_torn_table_file;
           Alcotest.test_case "missing table file" `Quick
             test_store_missing_table_file;
-          Alcotest.test_case "malformed manifest row" `Quick
-            test_store_malformed_manifest_row;
-          Alcotest.test_case "malformed manifest header" `Quick
-            test_store_malformed_manifest_header;
+          Alcotest.test_case "manifest corruption falls back" `Quick
+            test_store_manifest_corruption_falls_back;
+          Alcotest.test_case "manifest destroyed" `Quick
+            test_store_manifest_destroyed;
           Alcotest.test_case "resave over existing store" `Quick
             test_store_save_is_atomic_per_file;
+          Alcotest.test_case "recover sweeps debris" `Quick
+            test_store_recover_sweeps_debris;
         ] );
       ( "budget",
         [
