@@ -1,4 +1,9 @@
-.PHONY: all build test check bench examples quickbench clean
+.PHONY: all build test check bench examples quickbench fuzz clean
+
+# the CI fuzz configuration: 500 differential cases, fixed seed,
+# counterexamples (if any) saved under fuzz-out/
+FUZZ_SEED ?= 0
+FUZZ_CASES ?= 500
 
 all: build
 
@@ -21,6 +26,11 @@ bench:
 # CI-sized benchmark pass
 quickbench:
 	dune exec bench/main.exe -- --quick --no-bechamel
+
+fuzz:
+	dune exec bin/conquer_cli.exe -- fuzz \
+	  --seed $(FUZZ_SEED) --cases $(FUZZ_CASES) --out fuzz-out
+	dune exec bin/conquer_cli.exe -- fuzz --replay test/corpus
 
 examples:
 	dune exec examples/quickstart.exe

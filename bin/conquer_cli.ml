@@ -814,6 +814,109 @@ let recover_cmd =
           the exit code is 4 if no loadable snapshot remains.")
     Term.(const run $ dir $ check)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run seed cases max_candidates out replay =
+    handling_failures @@ fun () ->
+    let failures = ref 0 in
+    let rejected = ref 0 in
+    let agreed = ref 0 in
+    let skipped = ref 0 in
+    let jobs = Fuzz.Differential.default_jobs in
+    let record name case =
+      match Fuzz.Differential.run ~jobs ~max_candidates case with
+      | Fuzz.Differential.Rejected _ -> incr rejected
+      | Fuzz.Differential.Agree _ -> incr agreed
+      | Fuzz.Differential.Oracle_too_large _ -> incr skipped
+      | outcome ->
+        incr failures;
+        let failing c =
+          Fuzz.Differential.failing
+            (Fuzz.Differential.run ~jobs ~max_candidates c)
+        in
+        let small = Fuzz.Differential.minimize failing case in
+        Printf.printf "FAILURE %s (minimized):\n%s%s\n" name
+          (Fuzz.Case.print small)
+          (Fuzz.Differential.to_string
+             (Fuzz.Differential.run ~jobs ~max_candidates small));
+        Option.iter
+          (fun dir ->
+            Fuzz.Corpus.save ~dir ~name small;
+            Printf.printf "counterexample saved to %s/%s.*\n" dir name)
+          out;
+        ignore outcome
+    in
+    (match replay with
+    | Some dir ->
+      let names = Fuzz.Corpus.names dir in
+      if names = [] then begin
+        Printf.eprintf "no corpus cases found in %s\n" dir;
+        exit 1
+      end;
+      List.iter
+        (fun name -> record name (Fuzz.Corpus.load ~dir ~name))
+        names;
+      Printf.printf
+        "replayed %d corpus case(s): %d agree, %d rejected, %d skipped, %d \
+         failure(s)\n"
+        (List.length names) !agreed !rejected !skipped !failures
+    | None ->
+      Printf.printf "fuzzing %d case(s) with seed %d (jobs %s)\n%!" cases seed
+        (String.concat "," (List.map string_of_int jobs));
+      for i = 0 to cases - 1 do
+        let rand = Random.State.make [| seed; i |] in
+        let case = QCheck.Gen.generate1 ~rand (Fuzz.Case.gen ()) in
+        record (Printf.sprintf "seed%d-case%d" seed i) case
+      done;
+      Printf.printf
+        "%d case(s): %d agree with the oracle, %d rejected by the \
+         rewritability check, %d over oracle budget, %d failure(s)\n"
+        cases !agreed !rejected !skipped !failures);
+    if !failures > 0 then exit 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Generator seed; case $(i,i) derives its stream from (seed, i), \
+                so any failing case replays from the seed alone.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 500
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of (database, query) cases.")
+  in
+  let max_candidates =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-candidates" ] ~docv:"N"
+          ~doc:"Skip databases with more candidate databases than this \
+                (the oracle enumerates them all).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write minimized counterexamples to this directory as \
+                corpus-format CSV + SQL.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some Cmdliner.Arg.dir) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:"Instead of generating cases, replay every corpus case in DIR \
+                (see test/corpus for the format).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random dirty databases and SPJ queries, \
+          RewriteClean on the engine versus the candidate-enumeration \
+          oracle, at every parallelism degree. Prints minimized \
+          counterexamples; exit code 1 if any case disagrees.")
+    Term.(const run $ seed $ cases $ max_candidates $ out $ replay)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -963,5 +1066,5 @@ let () =
           [
             query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
             expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
-            generate_cmd; recover_cmd; demo_cmd;
+            generate_cmd; recover_cmd; fuzz_cmd; demo_cmd;
           ]))

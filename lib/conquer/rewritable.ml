@@ -24,12 +24,46 @@ let violation_to_string = function
       id_attr
   | Unresolved_column msg -> msg
 
+(* Is the ORDER BY key one of the selected columns?  It survives the
+   rewriting's added GROUP BY iff it names a select item: structurally
+   equal to the item's expression, or a bare name matching the item's
+   alias or selected column name. *)
+let order_key_selected (items : Sql.Ast.select_item list)
+    (o : Sql.Ast.order_item) =
+  List.exists
+    (fun (i : Sql.Ast.select_item) ->
+      i.expr = o.o_expr
+      ||
+      match o.o_expr with
+      | Col { table = None; name } -> (
+        i.alias = Some name
+        || match i.expr with Col { name = n; _ } -> n = name | _ -> false)
+      | _ -> false)
+    items
+
 let spj_violation (q : Sql.Ast.query) =
   if q.distinct then Some "DISTINCT present"
   else if q.outer_joins <> [] then Some "outer join present"
   else if Sql.Ast.query_has_subqueries q then Some "subquery present"
   else if q.group_by <> [] then Some "GROUP BY present"
   else if q.having <> None then Some "HAVING present"
+  else if q.select = Sql.Ast.Star then
+    (* the rewriting needs an explicit attribute list to group by *)
+    Some "SELECT * present (list the attributes explicitly)"
+  else if
+    (* the rewriting wraps the query in GROUP BY: an ORDER BY key
+       survives only if it is one of the grouped (selected) columns *)
+    List.exists
+      (fun (o : Sql.Ast.order_item) ->
+        match q.select with
+        | Star -> false
+        | Items items -> not (order_key_selected items o))
+      q.order_by
+  then Some "ORDER BY key not in the select list"
+  else if q.limit <> None then
+    (* LIMIT truncates per candidate; applied after the grouped
+       rewriting it would truncate the set of clean answers instead *)
+    Some "LIMIT present"
   else
     let has_agg =
       (match q.select with

@@ -1,0 +1,49 @@
+(* A fuzz case: a schema spec, a dirty instance over it, and a query.
+   This is the unit the differential harness runs, shrinks, and saves
+   to the corpus. *)
+
+type t = {
+  spec : Dbgen.spec;
+  db : Dirty.Dirty_db.t;
+  query : Sql.Ast.query;
+}
+
+let sql c = Sql.Pretty.query_to_string c.query
+
+let print c = Dbgen.db_to_string c.db ^ sql c ^ "\n"
+
+let gen ?max_candidates () : t QCheck.Gen.t =
+  QCheck.Gen.(
+    Dbgen.spec_gen >>= fun spec ->
+    Dbgen.instance_gen ?max_candidates spec >>= fun db ->
+    Querygen.gen spec >>= fun query -> return { spec; db; query })
+
+(* tables the query does not mention can be dropped wholesale *)
+let drop_unused_tables c : t QCheck.Iter.t =
+ fun yield ->
+  let used =
+    List.map (fun (r : Sql.Ast.table_ref) -> r.table) c.query.from
+  in
+  let tables = Dirty.Dirty_db.tables c.db in
+  List.iter
+    (fun (t : Dirty.Dirty_db.table) ->
+      if not (List.mem t.name used) then begin
+        let rest = List.filter (fun (u : Dirty.Dirty_db.table) -> u != t) tables in
+        let db =
+          List.fold_left Dirty.Dirty_db.add_table Dirty.Dirty_db.empty rest
+        in
+        let spec =
+          List.filter (fun (s : Dbgen.table_spec) -> s.name <> t.name) c.spec
+        in
+        yield { c with db; spec }
+      end)
+    tables
+
+let shrink c : t QCheck.Iter.t =
+  QCheck.Iter.append
+    (QCheck.Iter.map (fun query -> { c with query }) (Querygen.shrink c.query))
+    (QCheck.Iter.append (drop_unused_tables c)
+       (QCheck.Iter.map (fun db -> { c with db }) (Dbgen.shrink_db c.db)))
+
+let arbitrary ?max_candidates () =
+  QCheck.make ~print ~shrink (gen ?max_candidates ())

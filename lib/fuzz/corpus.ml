@@ -1,0 +1,106 @@
+(* Replayable seed corpus.
+
+   A case named [n] in a corpus directory is stored flat as:
+
+   - [n.sql]           — the query, pretty-printed SQL
+   - [n.manifest.csv]  — header [table,file,id_attr,prob_attr], one
+                         row per dirty table
+   - [n.<table>.csv]   — the table's relation
+
+   Everything is loadable by the CLI's [--table] machinery too: the
+   manifest rows name ordinary CSV files.  Probabilities are
+   sixteenths, so the CSV round-trip is exact and a replayed case is
+   bit-identical to the saved one. *)
+
+open Dirty
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_text path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+let manifest_header = [ "table"; "file"; "id_attr"; "prob_attr" ]
+
+let save ~dir ~name (case : Case.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  write_text (Filename.concat dir (name ^ ".sql")) (Case.sql case ^ "\n");
+  let manifest =
+    List.map
+      (fun (t : Dirty_db.table) ->
+        let file = Printf.sprintf "%s.%s.csv" name t.name in
+        Csv.write_file (Filename.concat dir file) t.relation;
+        [ t.name; file; t.id_attr; t.prob_attr ])
+      (Dirty_db.tables case.db)
+  in
+  write_text
+    (Filename.concat dir (name ^ ".manifest.csv"))
+    (String.concat "\n"
+       (List.map Csv.render_line (manifest_header :: manifest))
+    ^ "\n")
+
+(* the spec is reconstructed from column-name conventions: [v*] are
+   payloads, [fk<table>] are foreign keys; anything else (beyond the
+   id and probability attributes) is treated as a payload *)
+let spec_of_db db : Dbgen.spec =
+  List.map
+    (fun (t : Dirty_db.table) ->
+      let payloads, fks =
+        List.fold_left
+          (fun (ps, fks) name ->
+            if name = t.id_attr || name = t.prob_attr then (ps, fks)
+            else if String.length name > 2 && String.sub name 0 2 = "fk" then
+              (ps, (name, String.sub name 2 (String.length name - 2)) :: fks)
+            else (name :: ps, fks))
+          ([], [])
+          (Schema.names (Relation.schema t.relation))
+      in
+      {
+        Dbgen.name = t.name;
+        payloads = List.rev payloads;
+        fks = List.rev fks;
+      })
+    (Dirty_db.tables db)
+
+let load ~dir ~name : Case.t =
+  let manifest_path = Filename.concat dir (name ^ ".manifest.csv") in
+  let rows = Csv.read_file manifest_path in
+  let rows =
+    match rows with
+    | header :: rest when header = manifest_header -> rest
+    | _ ->
+      failwith
+        (Printf.sprintf "%s: expected header %s" manifest_path
+           (String.concat "," manifest_header))
+  in
+  let db =
+    List.fold_left
+      (fun db row ->
+        match row with
+        | [ table; file; id_attr; prob_attr ] ->
+          let relation = Csv.load_file (Filename.concat dir file) in
+          Dirty_db.add_table db
+            (Dirty_db.make_table ~name:table ~id_attr ~prob_attr relation)
+        | _ ->
+          failwith
+            (Printf.sprintf "%s: malformed row (%s)" manifest_path
+               (String.concat "," row)))
+      Dirty_db.empty rows
+  in
+  let query =
+    Sql.Parser.parse_query (read_text (Filename.concat dir (name ^ ".sql")))
+  in
+  { Case.spec = spec_of_db db; db; query }
+
+let names dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:".sql" f)
+    |> List.sort compare

@@ -1,0 +1,294 @@
+(* Random dirty databases for the differential fuzzing harness.
+
+   Two generator families live here:
+
+   - the general [spec]/[instance_gen] pair: a random multi-relation
+     schema (identifier propagation through foreign keys, optional
+     extra edges so join graphs can be diamonds or cycles) and a
+     random valid dirty instance over it, and
+   - the "store" family (string identifiers, single payload column)
+     that the chaos suite crash-tests [Store.save] with.
+
+   Every probability is a multiple of 1/16.  Sixteenths are exact
+   binary floats and survive the CSV round-trip bit-for-bit, so
+   per-cluster sums come back to exactly 1, differential comparisons
+   can use a tight epsilon, and shrinking can move probability mass
+   between tuples without leaving the grid. *)
+
+open Dirty
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+(* ---- schema specs ---- *)
+
+type table_spec = {
+  name : string;
+  payloads : string list;  (** non-key integer columns, [v0], [v1], ... *)
+  fks : (string * string) list;
+      (** (column, target table): the column holds identifiers of the
+          target table's clusters *)
+}
+
+type spec = table_spec list
+
+let fk_column target = "fk" ^ target
+
+let schema_of_spec (t : table_spec) =
+  Schema.make
+    ((("id", Value.TInt) :: List.map (fun p -> (p, Value.TInt)) t.payloads)
+    @ List.map (fun (c, _) -> (c, Value.TInt)) t.fks
+    @ [ ("prob", Value.TFloat) ])
+
+let parent_child_spec =
+  [
+    { name = "parent"; payloads = [ "val" ]; fks = [] };
+    { name = "child"; payloads = [ "val" ]; fks = [ ("fk", "parent") ] };
+  ]
+
+(* Random spec: t0..t(n-1); every table after the first gets a foreign
+   key to some earlier table with high probability (so most specs are
+   join-able trees) and occasionally a second edge, which lets the
+   query generator build diamond- and cycle-shaped join graphs. *)
+let spec_gen : spec QCheck.Gen.t =
+  let* ntables = QCheck.Gen.int_range 1 4 in
+  let rec build i acc =
+    if i >= ntables then QCheck.Gen.return (List.rev acc)
+    else
+      let name = Printf.sprintf "t%d" i in
+      let* npayloads = QCheck.Gen.int_range 1 2 in
+      let payloads = List.init npayloads (Printf.sprintf "v%d") in
+      let* fks =
+        if i = 0 then QCheck.Gen.return []
+        else
+          let* primary = QCheck.Gen.int_range 0 9 in
+          let* target = QCheck.Gen.int_range 0 (i - 1) in
+          let first =
+            if primary < 9 then [ Printf.sprintf "t%d" target ] else []
+          in
+          let* extra = QCheck.Gen.int_range 0 9 in
+          let* target2 = QCheck.Gen.int_range 0 (i - 1) in
+          let t2 = Printf.sprintf "t%d" target2 in
+          let all =
+            if extra < 2 && not (List.mem t2 first) then first @ [ t2 ]
+            else first
+          in
+          QCheck.Gen.return (List.map (fun t -> (fk_column t, t)) all)
+      in
+      build (i + 1) ({ name; payloads; fks } :: acc)
+  in
+  build 0 []
+
+(* ---- probabilities on the 1/16 grid ---- *)
+
+(* [k] positive sixteenth-counts summing to [total] *)
+let rec sixteenths_gen k total =
+  if k = 1 then QCheck.Gen.return [ total ]
+  else
+    let* first = QCheck.Gen.int_range 1 (total - k + 1) in
+    let* rest = sixteenths_gen (k - 1) (total - first) in
+    QCheck.Gen.return (first :: rest)
+
+let probs_gen size =
+  let* parts = sixteenths_gen size 16 in
+  QCheck.Gen.return (List.map (fun s -> float_of_int s /. 16.0) parts)
+
+(* ---- instances over a spec ---- *)
+
+(* count of entities (clusters) per table, in spec order *)
+let entity_counts spec =
+  QCheck.Gen.flatten_l (List.map (fun _ -> QCheck.Gen.int_range 1 3) spec)
+
+let fk_value_gen ~targets =
+  (* mostly a live reference; sometimes NULL or dangling, which the
+     engine must treat as joining to nothing *)
+  let* roll = QCheck.Gen.int_range 0 9 in
+  if roll = 0 then QCheck.Gen.return Value.Null
+  else if roll = 1 then QCheck.Gen.return (Value.Int targets)
+  else
+    let* v = QCheck.Gen.int_range 0 (max 0 (targets - 1)) in
+    QCheck.Gen.return (Value.Int v)
+
+let row_gen (t : table_spec) ~counts_of ~entity ~prob =
+  let* payloads =
+    QCheck.Gen.flatten_l
+      (List.map (fun _ -> QCheck.Gen.int_range 0 4) t.payloads)
+  in
+  let* fk_values =
+    QCheck.Gen.flatten_l
+      (List.map (fun (_, target) -> fk_value_gen ~targets:(counts_of target))
+         t.fks)
+  in
+  QCheck.Gen.return
+    (Array.of_list
+       ((Value.Int entity :: List.map (fun v -> Value.Int v) payloads)
+       @ fk_values
+       @ [ Value.Float prob ]))
+
+(* The candidate count is the product of cluster sizes across the
+   whole database; the shared [budget] reference clamps it so every
+   generated instance stays oracle-enumerable. *)
+let cluster_rows_gen (t : table_spec) ~counts_of ~budget ~entity =
+  let* size = QCheck.Gen.int_range 1 3 in
+  let size = if size <= !budget then size else 1 in
+  budget := !budget / size;
+  let* probs = probs_gen size in
+  QCheck.Gen.flatten_l
+    (List.map (fun p -> row_gen t ~counts_of ~entity ~prob:p) probs)
+
+let table_gen (t : table_spec) ~counts_of ~budget =
+  let* clusters =
+    QCheck.Gen.flatten_l
+      (List.init (counts_of t.name) (fun entity ->
+           cluster_rows_gen t ~counts_of ~budget ~entity))
+  in
+  QCheck.Gen.return
+    (Dirty_db.make_table ~name:t.name ~id_attr:"id" ~prob_attr:"prob"
+       (Relation.create (schema_of_spec t) (List.concat clusters)))
+
+let instance_gen ?(max_candidates = 512) (spec : spec) =
+  let* counts = entity_counts spec in
+  let table = Hashtbl.create 8 in
+  List.iter2 (fun (t : table_spec) n -> Hashtbl.replace table t.name n) spec
+    counts;
+  let counts_of name = try Hashtbl.find table name with Not_found -> 0 in
+  (* fresh budget per generated instance: the ref is created inside
+     the bind, after [counts] is drawn *)
+  let budget = ref (max 1 max_candidates) in
+  let* tables =
+    QCheck.Gen.flatten_l
+      (List.map (fun t -> table_gen t ~counts_of ~budget) spec)
+  in
+  QCheck.Gen.return (List.fold_left Dirty_db.add_table Dirty_db.empty tables)
+
+(* ---- shrinking ---- *)
+
+let sixteenths_of_table (t : Dirty_db.table) =
+  let pi = Schema.index_of (Relation.schema t.relation) t.prob_attr in
+  fun row ->
+    match Value.to_float row.(pi) with
+    | Some p -> int_of_float (Float.round (p *. 16.0))
+    | None -> 0
+
+let rebuild_table (t : Dirty_db.table) rows =
+  Dirty_db.make_table ~name:t.name ~id_attr:t.id_attr ~prob_attr:t.prob_attr
+    (Relation.create (Relation.schema t.relation) rows)
+
+let replace_table db (t : Dirty_db.table) =
+  List.fold_left
+    (fun acc (u : Dirty_db.table) ->
+      Dirty_db.add_table acc (if u.name = t.name then t else u))
+    Dirty_db.empty (Dirty_db.tables db)
+
+(* Shrink a database towards smaller witnesses: drop a whole cluster,
+   or drop one member of a multi-tuple cluster, donating its
+   probability to the first remaining member so the instance stays
+   valid and on the sixteenths grid. *)
+let shrink_db (db : Dirty_db.t) : Dirty_db.t QCheck.Iter.t =
+ fun yield ->
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      let schema = Relation.schema t.relation in
+      let idi = Schema.index_of schema t.id_attr in
+      let pi = Schema.index_of schema t.prob_attr in
+      let sixteenths = sixteenths_of_table t in
+      let rows = Array.to_list (Relation.rows t.relation) in
+      let ids =
+        List.sort_uniq Value.compare (List.map (fun r -> r.(idi)) rows)
+      in
+      (* drop cluster *)
+      List.iter
+        (fun id ->
+          let rest =
+            List.filter (fun r -> not (Value.equal r.(idi) id)) rows
+          in
+          yield (replace_table db (rebuild_table t rest)))
+        ids;
+      (* drop one member of a multi-tuple cluster *)
+      List.iter
+        (fun id ->
+          let members, others =
+            List.partition (fun r -> Value.equal r.(idi) id) rows
+          in
+          match members with
+          | _ :: _ :: _ ->
+            List.iter
+              (fun victim ->
+                let survivors =
+                  List.filter (fun r -> r != victim) members
+                in
+                match survivors with
+                | first :: rest ->
+                  let first = Array.copy first in
+                  first.(pi) <-
+                    Value.Float
+                      (float_of_int
+                         (sixteenths first + sixteenths victim)
+                      /. 16.0);
+                  yield
+                    (replace_table db
+                       (rebuild_table t (others @ (first :: rest))))
+                | [] -> ())
+              members
+          | _ -> ())
+        ids)
+    (Dirty_db.tables db)
+
+(* ---- the store family (chaos suite) ---- *)
+
+let store_schema =
+  Schema.make
+    [ ("id", Value.TString); ("val", Value.TInt); ("prob", Value.TFloat) ]
+
+let store_table_of_clusters name clusters =
+  let rows =
+    List.concat_map
+      (fun (cid, members) ->
+        List.map
+          (fun (v, sixteenths) ->
+            [|
+              Value.String cid; Value.Int v;
+              Value.Float (float_of_int sixteenths /. 16.0);
+            |])
+          members)
+      clusters
+  in
+  Dirty_db.make_table ~name ~id_attr:"id" ~prob_attr:"prob"
+    (Relation.create store_schema rows)
+
+let db_of_tables tables =
+  List.fold_left Dirty_db.add_table Dirty_db.empty tables
+
+let store_cluster_gen cid =
+  let* size = QCheck.Gen.int_range 1 3 in
+  let* parts = sixteenths_gen size 16 in
+  let* values =
+    QCheck.Gen.flatten_l (List.map (fun _ -> QCheck.Gen.int_range 0 99) parts)
+  in
+  QCheck.Gen.return
+    (Printf.sprintf "c%d" cid, List.combine values parts)
+
+let store_table_gen name =
+  let* nclusters = QCheck.Gen.int_range 1 4 in
+  let* clusters =
+    QCheck.Gen.flatten_l (List.init nclusters store_cluster_gen)
+  in
+  QCheck.Gen.return (store_table_of_clusters name clusters)
+
+let store_db_gen =
+  let* ntables = QCheck.Gen.int_range 1 2 in
+  let* tables =
+    QCheck.Gen.flatten_l
+      (List.init ntables (fun i -> store_table_gen (Printf.sprintf "t%d" i)))
+  in
+  QCheck.Gen.return (db_of_tables tables)
+
+(* ---- printing ---- *)
+
+let db_to_string db =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (t : Dirty_db.table) ->
+      Buffer.add_string buf (t.name ^ ":\n");
+      Buffer.add_string buf (Relation.to_string t.relation))
+    (Dirty_db.tables db);
+  Buffer.contents buf

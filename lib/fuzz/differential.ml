@@ -1,0 +1,98 @@
+(* The differential core: run one fuzz case through both paths and
+   compare.
+
+   Operational path: [Rewritable.check], then [Rewrite.rewrite_exn],
+   then engine execution — once per requested parallelism degree,
+   since answers must be bit-identical at any [jobs] value.
+   Declarative path: [Oracle.answers], candidate enumeration.
+
+   A rejected query is not a failure — rejection is the fuzzer probing
+   the class boundary — but acceptance followed by disagreement with
+   the oracle is, as is any exception out of the rewrite or the
+   engine on an accepted query. *)
+
+type outcome =
+  | Rejected of Conquer.Rewritable.violation list
+  | Agree of { answers : int }
+  | Mismatch of { jobs : int; mismatch : Conquer.Oracle.mismatch }
+  | Oracle_too_large of { count : float }
+  | Error_during of { stage : string; message : string }
+
+let default_jobs = [ 1; 4 ]
+
+let failing = function
+  | Mismatch _ | Error_during _ -> true
+  | Rejected _ | Agree _ | Oracle_too_large _ -> false
+
+let to_string = function
+  | Rejected vs ->
+    "rejected: "
+    ^ String.concat "; "
+        (List.map Conquer.Rewritable.violation_to_string vs)
+  | Agree { answers } -> Printf.sprintf "agree (%d answers)" answers
+  | Mismatch { jobs; mismatch } ->
+    Printf.sprintf "MISMATCH at jobs=%d: %s" jobs
+      (Conquer.Oracle.mismatch_to_string mismatch)
+  | Oracle_too_large { count } ->
+    Printf.sprintf "oracle budget exceeded (%.0f candidates)" count
+  | Error_during { stage; message } ->
+    Printf.sprintf "ERROR during %s: %s" stage message
+
+let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
+  let env = Conquer.Dirty_schema.of_dirty_db case.db in
+  match Conquer.Rewritable.check env case.query with
+  | Error vs -> Rejected vs
+  | Ok _ -> (
+    match Conquer.Oracle.answers ~max_candidates case.db case.query with
+    | exception Conquer.Oracle.Too_many_candidates { count; _ } ->
+      Oracle_too_large { count }
+    | exception e ->
+      Error_during { stage = "oracle"; message = Printexc.to_string e }
+    | oracle -> (
+      match Conquer.Rewrite.rewrite_exn env case.query with
+      | exception e ->
+        Error_during { stage = "rewrite"; message = Printexc.to_string e }
+      | rewritten ->
+        let session = Conquer.Clean.create case.db in
+        let rec check_jobs = function
+          | [] -> Agree { answers = Dirty.Relation.cardinality oracle }
+          | j :: rest -> (
+            let config = { Engine.Planner.default_config with jobs = j } in
+            match
+              Engine.Database.query_ast ~config
+                (Conquer.Clean.engine session)
+                rewritten
+            with
+            | exception e ->
+              Error_during
+                {
+                  stage = Printf.sprintf "execute (jobs=%d)" j;
+                  message = Printexc.to_string e;
+                }
+            | answers -> (
+              match Conquer.Oracle.compare_answers ~oracle answers with
+              | Ok () -> check_jobs rest
+              | Error mismatch -> Mismatch { jobs = j; mismatch }))
+        in
+        check_jobs jobs))
+
+(* Greedy shrinking: repeatedly take the first shrink candidate that
+   still fails, until none does (or the step budget runs out).  Used
+   both by the property tests' deliberate-bug check and the CLI's
+   counterexample minimizer. *)
+let minimize ?(max_steps = 500) still_failing (case : Case.t) =
+  let steps = ref 0 in
+  let exception Found of Case.t in
+  let rec go case =
+    if !steps >= max_steps then case
+    else
+      match
+        Case.shrink case (fun candidate ->
+            incr steps;
+            if !steps <= max_steps && still_failing candidate then
+              raise (Found candidate))
+      with
+      | () -> case
+      | exception Found smaller -> go smaller
+  in
+  go case

@@ -1,0 +1,296 @@
+(* Random SPJ queries over a generated schema spec.
+
+   The distribution deliberately straddles the rewritable class
+   (Dfn 7): most queries join along foreign keys into a tree and
+   project the root identifier, but self-joins, identifier-free
+   joins, cyclic join graphs, dropped identifiers, DISTINCT,
+   ORDER BY, LIMIT and count-star all appear with small probability so
+   the harness also exercises the rejection path of
+   [Rewritable.check].
+
+   Round-trip hygiene (the generated queries double as the SQL
+   pretty-printer's property inputs): only non-negative integer
+   literals (negative ones reparse as [Unop (Neg, ...)]), never
+   [Agg (Sum, None)] (sum-star does not parse), columns always
+   alias-qualified. *)
+
+open Sql.Ast
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+let qcol alias name = Col { table = Some alias; name }
+
+(* ---- choosing table references ---- *)
+
+let refs_gen (spec : Dbgen.spec) =
+  let tables = Array.of_list spec in
+  let n = Array.length tables in
+  let* wanted =
+    QCheck.Gen.frequency
+      [
+        (3, QCheck.Gen.return 1);
+        (4, QCheck.Gen.return 2);
+        (2, QCheck.Gen.return 3);
+      ]
+  in
+  (* allow one repeated table (a self-join) about a tenth of the time *)
+  let* allow_self = QCheck.Gen.int_range 0 9 in
+  let cap = if allow_self = 0 then n + 1 else n in
+  let nrefs = max 1 (min wanted cap) in
+  let* idxs =
+    QCheck.Gen.flatten_l
+      (List.init nrefs (fun _ -> QCheck.Gen.int_range 0 (n - 1)))
+  in
+  (* bias towards distinct tables: replace duplicates with the first
+     unused table unless this query is allowed a self-join *)
+  let seen = Hashtbl.create 4 in
+  let idxs =
+    List.map
+      (fun i ->
+        if not (Hashtbl.mem seen i) then (Hashtbl.replace seen i (); i)
+        else if allow_self = 0 then i
+        else begin
+          let rec free j = if Hashtbl.mem seen (j mod n) then free (j + 1) else j mod n in
+          let j = free i in
+          Hashtbl.replace seen j ();
+          j
+        end)
+      idxs
+  in
+  QCheck.Gen.return
+    (List.mapi (fun k i -> (Printf.sprintf "r%d" k, tables.(i))) idxs)
+
+(* ---- join conditions ---- *)
+
+(* foreign-key arcs available between two referenced tables, either
+   direction: (fk-side alias, fk column, id-side alias) *)
+let fk_arcs (a, (ta : Dbgen.table_spec)) (b, (tb : Dbgen.table_spec)) =
+  List.filter_map
+    (fun (c, target) -> if target = tb.name then Some (a, c, b) else None)
+    ta.fks
+  @ List.filter_map
+      (fun (c, target) -> if target = ta.name then Some (b, c, a) else None)
+      tb.fks
+
+let payload_col_gen (alias, (t : Dbgen.table_spec)) =
+  let* p = QCheck.Gen.oneofl t.payloads in
+  QCheck.Gen.return (qcol alias p)
+
+let join_cond_gen here there =
+  let arcs = fk_arcs here there in
+  let* kind =
+    QCheck.Gen.frequency
+      (List.concat
+         [
+           (if arcs = [] then [] else [ (6, QCheck.Gen.return `Fk) ]);
+           [ (1, QCheck.Gen.return `Id_id); (1, QCheck.Gen.return `Non_id) ];
+         ])
+  in
+  match kind with
+  | `Fk ->
+    let* fk_alias, c, id_alias = QCheck.Gen.oneofl arcs in
+    QCheck.Gen.return (Binop (Eq, qcol fk_alias c, qcol id_alias "id"))
+  | `Id_id ->
+    QCheck.Gen.return (Binop (Eq, qcol (fst here) "id", qcol (fst there) "id"))
+  | `Non_id ->
+    let* a = payload_col_gen here in
+    let* b = payload_col_gen there in
+    QCheck.Gen.return (Binop (Eq, a, b))
+
+(* one condition per reference after the first (so join graphs are
+   mostly connected), occasionally omitted, plus an occasional extra
+   edge that can close a cycle *)
+let joins_gen refs =
+  let refs = Array.of_list refs in
+  let n = Array.length refs in
+  let rec per_ref i acc =
+    if i >= n then QCheck.Gen.return (List.rev acc)
+    else
+      let* skip = QCheck.Gen.int_range 0 9 in
+      if skip = 0 then per_ref (i + 1) acc
+      else
+        let* j = QCheck.Gen.int_range 0 (i - 1) in
+        let* cond = join_cond_gen refs.(i) refs.(j) in
+        per_ref (i + 1) (cond :: acc)
+  in
+  let* base = per_ref 1 [] in
+  if n < 2 then QCheck.Gen.return base
+  else
+    let* extra = QCheck.Gen.int_range 0 9 in
+    if extra > 0 then QCheck.Gen.return base
+    else
+      let* i = QCheck.Gen.int_range 1 (n - 1) in
+      let* j = QCheck.Gen.int_range 0 (i - 1) in
+      let* cond = join_cond_gen refs.(i) refs.(j) in
+      QCheck.Gen.return (base @ [ cond ])
+
+(* ---- filters ---- *)
+
+let filter_gen refs =
+  let* here = QCheck.Gen.oneofl refs in
+  let* column =
+    let _, (t : Dbgen.table_spec) = here in
+    QCheck.Gen.oneofl (("id" :: t.payloads) @ List.map fst t.fks)
+  in
+  let* op = QCheck.Gen.oneofl [ Eq; Neq; Lt; Le; Gt; Ge ] in
+  let* c = QCheck.Gen.int_range 0 4 in
+  QCheck.Gen.return (Binop (op, qcol (fst here) column, lit_int c))
+
+let filters_gen refs =
+  let* n = QCheck.Gen.frequency
+      [ (4, QCheck.Gen.return 0); (4, QCheck.Gen.return 1); (2, QCheck.Gen.return 2) ]
+  in
+  QCheck.Gen.flatten_l (List.init n (fun _ -> filter_gen refs))
+
+(* ---- select list ---- *)
+
+let select_gen refs =
+  let* picked =
+    QCheck.Gen.flatten_l
+      (List.map
+         (fun (alias, (t : Dbgen.table_spec)) ->
+           let* want_id = QCheck.Gen.int_range 0 99 in
+           let* payloads =
+             QCheck.Gen.flatten_l
+               (List.map
+                  (fun p ->
+                    let* w = QCheck.Gen.int_range 0 99 in
+                    QCheck.Gen.return (if w < 35 then [ qcol alias p ] else []))
+                  t.payloads)
+           in
+           QCheck.Gen.return
+             ((if want_id < 65 then [ qcol alias "id" ] else [])
+             @ List.concat payloads))
+         refs)
+  in
+  let exprs = List.concat picked in
+  let* exprs =
+    match exprs with
+    | [] ->
+      (* never an empty select list *)
+      let alias, _ = List.hd refs in
+      QCheck.Gen.return [ qcol alias "id" ]
+    | _ -> QCheck.Gen.return exprs
+  in
+  QCheck.Gen.flatten_l
+    (List.mapi
+       (fun k e ->
+         let* aliased = QCheck.Gen.int_range 0 9 in
+         let alias =
+           if aliased < 2 then Some (Printf.sprintf "x%d" k) else None
+         in
+         QCheck.Gen.return { expr = e; alias })
+       exprs)
+
+(* ---- whole queries ---- *)
+
+let gen (spec : Dbgen.spec) : query QCheck.Gen.t =
+  let* refs = refs_gen spec in
+  let* joins = joins_gen refs in
+  let* filters = filters_gen refs in
+  let* items = select_gen refs in
+  let* rare = QCheck.Gen.int_range 0 99 in
+  (* a sliver of deliberately non-SPJ shapes for the rejection path *)
+  let distinct = rare < 4 in
+  let* limit_roll = QCheck.Gen.int_range 0 99 in
+  let* limit_n = QCheck.Gen.int_range 0 3 in
+  let limit = if limit_roll < 4 then Some limit_n else None in
+  let* order_roll = QCheck.Gen.int_range 0 99 in
+  let* order_desc = QCheck.Gen.bool in
+  let order_by =
+    if order_roll < 4 then
+      let alias, _ = List.hd refs in
+      [ { o_expr = qcol alias "id"; desc = order_desc } ]
+    else []
+  in
+  let* count_roll = QCheck.Gen.int_range 0 99 in
+  let select =
+    if count_roll < 3 then Items [ { expr = Agg (Count, None); alias = None } ]
+    else Items items
+  in
+  QCheck.Gen.return
+    {
+      distinct;
+      select;
+      from =
+        List.map
+          (fun (alias, (t : Dbgen.table_spec)) ->
+            { table = t.name; t_alias = Some alias })
+          refs;
+      outer_joins = [];
+      where = conj (joins @ filters);
+      group_by = [];
+      having = None;
+      order_by;
+      limit;
+    }
+
+(* ---- shrinking ---- *)
+
+let aliases_of_expr e =
+  List.filter_map (fun (c : column) -> c.table) (expr_columns e)
+
+let mentions_alias alias e = List.mem alias (aliases_of_expr e)
+
+let shrink (q : query) : query QCheck.Iter.t =
+ fun yield ->
+  if q.distinct then yield { q with distinct = false };
+  if q.limit <> None then yield { q with limit = None };
+  if q.order_by <> [] then yield { q with order_by = [] };
+  let conjs = match q.where with None -> [] | Some w -> conjuncts w in
+  (* drop one where conjunct *)
+  List.iteri
+    (fun k _ ->
+      let rest = List.filteri (fun i _ -> i <> k) conjs in
+      yield { q with where = conj rest })
+    conjs;
+  (match q.select with
+  | Star -> ()
+  | Items items ->
+    (* drop one select item, keeping at least one *)
+    if List.length items > 1 then
+      List.iteri
+        (fun k _ ->
+          let rest = List.filteri (fun i _ -> i <> k) items in
+          yield { q with select = Items rest })
+        items;
+    (* drop a table reference together with everything naming it *)
+    if List.length q.from > 1 then
+      List.iter
+        (fun (r : table_ref) ->
+          match r.t_alias with
+          | None -> ()
+          | Some alias ->
+            let from = List.filter (fun (r' : table_ref) -> r' != r) q.from in
+            let conjs =
+              List.filter (fun e -> not (mentions_alias alias e)) conjs
+            in
+            let items' =
+              List.filter
+                (fun (i : select_item) -> not (mentions_alias alias i.expr))
+                items
+            in
+            let items' =
+              match items' with
+              | [] -> (
+                match from with
+                | { t_alias = Some a; _ } :: _ ->
+                  [ { expr = qcol a "id"; alias = None } ]
+                | _ -> items')
+              | _ -> items'
+            in
+            let order_by =
+              List.filter
+                (fun (o : order_item) -> not (mentions_alias alias o.o_expr))
+                q.order_by
+            in
+            if items' <> [] then
+              yield
+                {
+                  q with
+                  from;
+                  where = conj conjs;
+                  select = Items items';
+                  order_by;
+                })
+        q.from)

@@ -54,9 +54,11 @@ and expr_raw = function
        both operands must be additive-level or parenthesized *)
     expr_at 5 a ^ " " ^ binop_to_string op ^ " " ^ expr_at 5 b
   | Binop (((And | Or) as op), a, b) ->
-    (* associative: nesting direction needs no parentheses *)
+    (* the grammar parses AND/OR right-associative, so a left-nested
+       chain must parenthesize its left child to reparse into the same
+       tree *)
     let p = prec_of_binop op in
-    expr_at p a ^ " " ^ binop_to_string op ^ " " ^ expr_at p b
+    expr_at (p + 1) a ^ " " ^ binop_to_string op ^ " " ^ expr_at p b
   | Binop (op, a, b) ->
     let p = prec_of_binop op in
     (* left-associative: the right child needs strictly higher

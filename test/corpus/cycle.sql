@@ -1,0 +1,3 @@
+SELECT r0.id, r1.id, r2.id
+FROM t0 r0, t1 r1, t2 r2
+WHERE (r1.fkt0 = r0.id AND r2.fkt1 = r1.id) AND r2.fkt0 = r0.id

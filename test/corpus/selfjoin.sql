@@ -1,0 +1,3 @@
+SELECT r0.id
+FROM t0 r0, t0 r1
+WHERE r0.id = r1.id

@@ -66,3 +66,47 @@ let seeded_db () =
   Dirty_db.add_table db
     (Dirty_db.make_table ~validate:false ~name:"orders" ~id_attr:"id"
        ~prob_attr:"prob" orders)
+
+(* ---- random seeded-problem tables ----
+
+   The cluster skeleton (cluster count, cluster sizes, integer
+   payloads) is drawn from the fuzzing harness's store-table
+   generator, so the robustness suite corrupts the same space of
+   databases the chaos and differential suites fuzz; only the
+   probability column is then replaced with random garbage
+   (out-of-range, NaN, zero, or valid) for the repair policies to
+   work on. *)
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+let garbage_prob_gen =
+  QCheck.Gen.frequency
+    [
+      (5, QCheck.Gen.float_range (-0.5) 2.0);
+      (1, QCheck.Gen.return Float.nan);
+      (1, QCheck.Gen.return 0.0);
+      (4, QCheck.Gen.float_range 0.0 1.0);
+    ]
+
+let garbage_table_gen =
+  let* t = Fuzz.Dbgen.store_table_gen "t" in
+  let rel = t.Dirty_db.relation in
+  let* probs =
+    QCheck.Gen.flatten_l
+      (List.init (Relation.cardinality rel) (fun _ -> garbage_prob_gen))
+  in
+  let probs = Array.of_list probs in
+  let pi = Schema.index_of (Relation.schema rel) t.prob_attr in
+  let i = ref (-1) in
+  let corrupted =
+    Relation.map_rows (Relation.schema rel)
+      (fun row ->
+        incr i;
+        let row = Array.copy row in
+        row.(pi) <- Value.Float probs.(!i);
+        row)
+      rel
+  in
+  QCheck.Gen.return
+    (Dirty_db.make_table ~validate:false ~name:t.name ~id_attr:t.id_attr
+       ~prob_attr:t.prob_attr corrupted)

@@ -13,35 +13,18 @@
 
 open Dirty
 
-let v_s s = Value.String s
 let v_i i = Value.Int i
-let v_f f = Value.Float f
 
 (* ---- databases with 1/16-grain probabilities ----
 
    Sixteenths are exactly representable as floats and survive the CSV
    round-trip bit-for-bit, so "old or new, never a mix" can compare
-   rendered values exactly and cluster sums come back to exactly 1. *)
+   rendered values exactly and cluster sums come back to exactly 1.
+   The generators live in [Fuzz.Dbgen] (store family), shared with the
+   differential fuzzing harness so both suites fuzz the same space. *)
 
-let chaos_schema =
-  Schema.make
-    [ ("id", Value.TString); ("val", Value.TInt); ("prob", Value.TFloat) ]
-
-let table_of_clusters name clusters =
-  let rows =
-    List.concat_map
-      (fun (cid, members) ->
-        List.map
-          (fun (v, sixteenths) ->
-            [| v_s cid; v_i v; v_f (float_of_int sixteenths /. 16.0) |])
-          members)
-      clusters
-  in
-  Dirty_db.make_table ~name ~id_attr:"id" ~prob_attr:"prob"
-    (Relation.create chaos_schema rows)
-
-let db_of_tables tables =
-  List.fold_left Dirty_db.add_table Dirty_db.empty tables
+let table_of_clusters = Fuzz.Dbgen.store_table_of_clusters
+let db_of_tables = Fuzz.Dbgen.db_of_tables
 
 let fixed_old =
   db_of_tables
@@ -170,41 +153,7 @@ let test_crash_every_op_first_save () =
 
 let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
 
-(* [k] positive sixteenths summing to 16 *)
-let rec sixteenths_gen k total =
-  if k = 1 then QCheck.Gen.return [ total ]
-  else
-    let* first = QCheck.Gen.int_range 1 (total - (k - 1)) in
-    let* rest = sixteenths_gen (k - 1) (total - first) in
-    QCheck.Gen.return (first :: rest)
-
-let cluster_gen cid =
-  let* size = QCheck.Gen.int_range 1 3 in
-  let* parts = sixteenths_gen size 16 in
-  let* members =
-    QCheck.Gen.flatten_l
-      (List.map
-         (fun p ->
-           let* v = QCheck.Gen.int_range 0 99 in
-           QCheck.Gen.return (v, p))
-         parts)
-  in
-  QCheck.Gen.return (Printf.sprintf "c%d" cid, members)
-
-let table_gen name =
-  let* nclusters = QCheck.Gen.int_range 1 4 in
-  let* clusters =
-    QCheck.Gen.flatten_l (List.init nclusters cluster_gen)
-  in
-  QCheck.Gen.return (table_of_clusters name clusters)
-
-let db_gen =
-  let* ntables = QCheck.Gen.int_range 1 2 in
-  let* tables =
-    QCheck.Gen.flatten_l
-      (List.init ntables (fun i -> table_gen (Printf.sprintf "t%d" i)))
-  in
-  QCheck.Gen.return (db_of_tables tables)
+let db_gen = Fuzz.Dbgen.store_db_gen
 
 let chaos_case_gen =
   let* db_old = db_gen in

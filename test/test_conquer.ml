@@ -6,6 +6,7 @@ open Dirty
 
 let v_s s = Value.String s
 let v_i i = Value.Int i
+let v_f f = Value.Float f
 
 let session () = Conquer.Clean.create (Fixtures.figure2_db ())
 let loyalty_session () = Conquer.Clean.create (Fixtures.loyalty_db ())
@@ -254,6 +255,100 @@ let test_cross_product_not_tree () =
       (List.exists
          (function Conquer.Rewritable.Graph_not_tree _ -> true | _ -> false)
          vs)
+
+(* a three-relation database whose foreign keys can close a cycle:
+   t1 references t0, and t2 references both *)
+let triangle_db () =
+  let table name columns row =
+    Dirty_db.make_table ~name ~id_attr:"id" ~prob_attr:"prob"
+      (Relation.create (Schema.make columns) [ row ])
+  in
+  List.fold_left Dirty_db.add_table Dirty_db.empty
+    [
+      table "t0"
+        [ ("id", Value.TInt); ("prob", Value.TFloat) ]
+        [| v_i 0; v_f 1.0 |];
+      table "t1"
+        [ ("id", Value.TInt); ("fkt0", Value.TInt); ("prob", Value.TFloat) ]
+        [| v_i 0; v_i 0; v_f 1.0 |];
+      table "t2"
+        [
+          ("id", Value.TInt); ("fkt0", Value.TInt); ("fkt1", Value.TInt);
+          ("prob", Value.TFloat);
+        ]
+        [| v_i 0; v_i 0; v_i 0; v_f 1.0 |];
+    ]
+
+let test_cyclic_join_graph_rejected () =
+  let s = Conquer.Clean.create (triangle_db ()) in
+  let sql =
+    "select r0.id, r1.id, r2.id from t0 r0, t1 r1, t2 r2 \
+     where r1.fkt0 = r0.id and r2.fkt1 = r1.id and r2.fkt0 = r0.id"
+  in
+  match Conquer.Clean.check s sql with
+  | Ok _ -> Alcotest.fail "cyclic join graph should be rejected"
+  | Error vs ->
+    Alcotest.(check bool) "graph-not-tree reported" true
+      (List.exists
+         (function Conquer.Rewritable.Graph_not_tree _ -> true | _ -> false)
+         vs)
+
+let test_root_identifier_not_projected () =
+  (* the join-graph root is orders; selecting only the customer side's
+     identifier must name the precise missing column *)
+  let sql = "select c.id from orders o, customer c where o.cidfk = c.id" in
+  match Conquer.Clean.check (session ()) sql with
+  | Ok _ -> Alcotest.fail "dropped root identifier should be rejected"
+  | Error vs ->
+    Alcotest.(check bool) "missing o.id reported" true
+      (List.exists
+         (function
+           | Conquer.Rewritable.Root_identifier_not_selected
+               { root = "o"; id_attr = "id" } ->
+             true
+           | _ -> false)
+         vs)
+
+(* the SPJ frontier shapes the rewriting cannot honour: each must be
+   rejected with a Not_spj naming the offending clause, because the
+   grouped rewriting would silently change their semantics (LIMIT and
+   ORDER BY act per candidate database, not on the clean answers) *)
+let expect_not_spj name sql fragment =
+  match Conquer.Clean.check (session ()) sql with
+  | Ok _ -> Alcotest.failf "%s should be rejected" name
+  | Error vs ->
+    Alcotest.(check bool) name true
+      (List.exists
+         (function
+           | Conquer.Rewritable.Not_spj why ->
+             (* the diagnostic names the clause *)
+             let contains s sub =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length s
+                 && (String.sub s i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             contains why fragment
+           | _ -> false)
+         vs)
+
+let test_select_star_rejected () =
+  expect_not_spj "SELECT * rejected" "select * from customer" "SELECT *"
+
+let test_order_by_rejected () =
+  (* ordering by a selected column is fine (it survives the GROUP BY
+     the rewriting adds); ordering by a dropped one is not *)
+  (match Conquer.Clean.check (session ()) "select id from customer order by id"
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "ORDER BY on a selected column is rewritable");
+  expect_not_spj "ORDER BY on dropped column rejected"
+    "select id from customer order by balance" "ORDER BY"
+
+let test_limit_rejected () =
+  expect_not_spj "LIMIT rejected" "select id from customer limit 1" "LIMIT"
 
 (* ---- the rewriting's SQL output ---- *)
 
@@ -568,6 +663,14 @@ let () =
             test_non_identifier_join_rejected;
           Alcotest.test_case "aggregate query rejected" `Quick
             test_aggregate_query_rejected;
+          Alcotest.test_case "cyclic join graph rejected" `Quick
+            test_cyclic_join_graph_rejected;
+          Alcotest.test_case "root identifier not projected" `Quick
+            test_root_identifier_not_projected;
+          Alcotest.test_case "select star rejected" `Quick
+            test_select_star_rejected;
+          Alcotest.test_case "order by rejected" `Quick test_order_by_rejected;
+          Alcotest.test_case "limit rejected" `Quick test_limit_rejected;
           Alcotest.test_case "cross product rejected" `Quick
             test_cross_product_not_tree;
         ] );

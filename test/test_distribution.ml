@@ -160,6 +160,74 @@ let test_poisson_binomial_shape () =
   let binom = [| 0.0625; 0.25; 0.375; 0.25; 0.0625 |] in
   check_pmf "binomial(4, 1/2)" binom pmf
 
+(* ---- hand-built two-cluster closed forms ---- *)
+
+(* two clusters qualifying with p1 and p2: the count pmf is
+   [(1-p1)(1-p2); p1(1-p2) + (1-p1)p2; p1 p2] *)
+let two_cluster_db p1 p2 =
+  (* each cluster holds one qualifying tuple (v = 1) with the given
+     probability and one non-qualifying remainder *)
+  let rel =
+    Relation.create
+      (Schema.make
+         [ ("id", Value.TInt); ("v", Value.TInt); ("prob", Value.TFloat) ])
+      [
+        [| Value.Int 0; Value.Int 1; Value.Float p1 |];
+        [| Value.Int 0; Value.Int 0; Value.Float (1.0 -. p1) |];
+        [| Value.Int 1; Value.Int 1; Value.Float p2 |];
+        [| Value.Int 1; Value.Int 0; Value.Float (1.0 -. p2) |];
+      ]
+  in
+  Dirty_db.add_table Dirty_db.empty
+    (Dirty_db.make_table ~name:"t" ~id_attr:"id" ~prob_attr:"prob" rel)
+
+let test_two_cluster_closed_form () =
+  List.iter
+    (fun (p1, p2) ->
+      let s = Conquer.Clean.create (two_cluster_db p1 p2) in
+      let sql = "select id from t where v = 1" in
+      let pmf = Conquer.Distribution.count_distribution s sql in
+      check_pmf
+        (Printf.sprintf "p1=%g p2=%g" p1 p2)
+        [|
+          (1.0 -. p1) *. (1.0 -. p2);
+          (p1 *. (1.0 -. p2)) +. ((1.0 -. p1) *. p2);
+          p1 *. p2;
+        |]
+        pmf;
+      Fixtures.check_float "mean = p1 + p2" (p1 +. p2)
+        (Conquer.Distribution.mean pmf);
+      Fixtures.check_float "variance = sum p(1-p)"
+        ((p1 *. (1.0 -. p1)) +. (p2 *. (1.0 -. p2)))
+        (Conquer.Distribution.variance pmf);
+      Fixtures.check_float "P(>=1) = 1 - (1-p1)(1-p2)"
+        (1.0 -. ((1.0 -. p1) *. (1.0 -. p2)))
+        (Conquer.Distribution.at_least pmf 1);
+      let oracle = Conquer.Distribution.count_distribution_oracle s sql in
+      check_pmf "oracle pmf" oracle pmf)
+    [ (0.25, 0.5); (0.0625, 0.9375); (1.0, 0.5) ]
+
+(* ---- the DP agrees with the oracle over the fuzzing space ---- *)
+
+let prop_pmf_matches_oracle =
+  QCheck.Test.make ~count:100
+    ~name:"count pmf: DP = oracle, normalized, on fuzzed stores"
+    (QCheck.make Fuzz.Dbgen.store_db_gen ~print:Fuzz.Dbgen.db_to_string)
+    (fun db ->
+      let s = Conquer.Clean.create db in
+      let sql = "select id from t0 where val < 50" in
+      let fast = Conquer.Distribution.count_distribution s sql in
+      let slow = Conquer.Distribution.count_distribution_oracle s sql in
+      let total = Array.fold_left ( +. ) 0.0 fast in
+      Float.abs (total -. 1.0) <= 1e-9
+      && Array.for_all (fun p -> p >= -1e-9 && p <= 1.0 +. 1e-9) fast
+      && Array.for_all2
+           (fun p q -> Float.abs (p -. q) <= 1e-9)
+           (Array.append fast
+              (Array.make (max 0 (Array.length slow - Array.length fast)) 0.0))
+           (Array.append slow
+              (Array.make (max 0 (Array.length fast - Array.length slow)) 0.0)))
+
 let () =
   Alcotest.run "distribution"
     [
@@ -173,6 +241,9 @@ let () =
           Alcotest.test_case "normalized" `Quick test_pmf_normalized;
           Alcotest.test_case "deterministic counts" `Quick test_certain_counts;
           Alcotest.test_case "binomial shape" `Quick test_poisson_binomial_shape;
+          Alcotest.test_case "two-cluster closed form" `Quick
+            test_two_cluster_closed_form;
+          QCheck_alcotest.to_alcotest ~long:false prop_pmf_matches_oracle;
         ] );
       ( "plumbing",
         [

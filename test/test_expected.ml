@@ -137,6 +137,68 @@ let test_clean_database_expectations () =
   let pv = Option.get (Value.to_float (Relation.get plain 0).(0)) in
   Fixtures.check_float ~eps:1e-6 "clean db: expectation = actual" pv ev
 
+(* ---- hand-built two-cluster closed forms ---- *)
+
+let test_two_cluster_closed_forms () =
+  (* cluster 0: values 2 (p) and 4 (1-p); cluster 1: values 6 (q) and
+     0 (1-q).  With every tuple qualifying:
+       E[COUNT] = 2 exactly,
+       E[SUM]   = 2p + 4(1-p) + 6q + 0(1-q)  (linearity, Dfn 5) *)
+  List.iter
+    (fun (p, q) ->
+      let rel =
+        Relation.create
+          (Schema.make
+             [ ("id", Value.TInt); ("v", Value.TInt); ("prob", Value.TFloat) ])
+          [
+            [| Value.Int 0; Value.Int 2; Value.Float p |];
+            [| Value.Int 0; Value.Int 4; Value.Float (1.0 -. p) |];
+            [| Value.Int 1; Value.Int 6; Value.Float q |];
+            [| Value.Int 1; Value.Int 0; Value.Float (1.0 -. q) |];
+          ]
+      in
+      let db =
+        Dirty_db.add_table Dirty_db.empty
+          (Dirty_db.make_table ~name:"t" ~id_attr:"id" ~prob_attr:"prob" rel)
+      in
+      let s = Conquer.Clean.create db in
+      let scalar rel = Option.get (Value.to_float (Relation.get rel 0).(0)) in
+      let e_sum = (2.0 *. p) +. (4.0 *. (1.0 -. p)) +. (6.0 *. q) in
+      Fixtures.check_float "E[SUM] closed form" e_sum
+        (scalar (Conquer.Expected.answers s "select sum(v) from t"));
+      Fixtures.check_float "E[COUNT] = cluster count" 2.0
+        (scalar (Conquer.Expected.answers s "select count(*) from t"));
+      Fixtures.check_float "oracle E[SUM]" e_sum
+        (scalar (Conquer.Expected.answers_oracle s "select sum(v) from t"));
+      (* restricted to v >= 4: cluster 0 contributes 4(1-p), cluster 1
+         contributes 6q; E[COUNT] = (1-p) + q *)
+      Fixtures.check_float "filtered E[SUM]"
+        ((4.0 *. (1.0 -. p)) +. (6.0 *. q))
+        (scalar (Conquer.Expected.answers s "select sum(v) from t where v >= 4"));
+      Fixtures.check_float "filtered E[COUNT]"
+        (1.0 -. p +. q)
+        (scalar
+           (Conquer.Expected.answers s "select count(*) from t where v >= 4")))
+    [ (0.25, 0.5); (0.9375, 0.0625); (1.0, 0.5) ]
+
+(* ---- the rewriting agrees with the oracle over the fuzzing space ---- *)
+
+let prop_expected_matches_oracle =
+  QCheck.Test.make ~count:100
+    ~name:"expected aggregates: rewriting = oracle on fuzzed stores"
+    (QCheck.make Fuzz.Dbgen.store_db_gen ~print:Fuzz.Dbgen.db_to_string)
+    (fun db ->
+      let s = Conquer.Clean.create db in
+      let sql = "select sum(val), count(*) from t0 where val < 50" in
+      let fast = Conquer.Expected.answers s sql in
+      let slow = Conquer.Expected.answers_oracle s sql in
+      (* SUM over an empty qualifying set is NULL on both paths *)
+      let value rel i =
+        Option.value ~default:0.0 (Value.to_float (Relation.get rel 0).(i))
+      in
+      Float.abs (value fast 0 -. value slow 0) <= 1e-6
+      && Float.abs (value fast 1 -. value slow 1) <= 1e-9)
+
 (* ---- oracle equality on random databases (QCheck-lite, via seeds) ---- *)
 
 let test_oracle_equality_randomized () =
@@ -231,6 +293,8 @@ let () =
           Alcotest.test_case "group by" `Quick test_expected_group_by;
           Alcotest.test_case "beyond Dfn 7" `Quick test_expected_beyond_dfn7;
           Alcotest.test_case "avg ratio" `Quick test_expected_avg_ratio;
+          Alcotest.test_case "two-cluster closed forms" `Quick
+            test_two_cluster_closed_forms;
         ] );
       ( "class check",
         [
@@ -242,6 +306,7 @@ let () =
           Alcotest.test_case "clean db" `Quick test_clean_database_expectations;
           Alcotest.test_case "randomized oracle equality" `Quick
             test_oracle_equality_randomized;
+          QCheck_alcotest.to_alcotest ~long:false prop_expected_matches_oracle;
           Alcotest.test_case "TPC-H aggregate variants" `Quick
             test_tpch_aggregate_variants;
         ] );

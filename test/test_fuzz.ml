@@ -1,0 +1,261 @@
+(* The differential fuzzing harness as a test suite.
+
+   The headline property: on random dirty databases and random SPJ
+   queries, whenever [Rewritable.check] accepts, RewriteClean on the
+   engine agrees exactly with the candidate-enumeration oracle — at
+   jobs=1 and jobs=4.  Around it: the oracle's own invariants, sampler
+   convergence to oracle probabilities, the SQL pretty-printer
+   round-trip on generated queries, corpus round-trip and replay, and
+   the shrinker actually shrinking. *)
+
+open Dirty
+
+let case_arb = Fuzz.Case.arbitrary ()
+
+let total_rows db =
+  List.fold_left
+    (fun n (t : Dirty_db.table) -> n + Relation.cardinality t.relation)
+    0 (Dirty_db.tables db)
+
+(* ---- the differential property ---- *)
+
+let prop_differential =
+  QCheck.Test.make ~count:300
+    ~name:"rewriting agrees with the oracle (jobs 1 and 4)" case_arb
+    (fun case ->
+      let outcome = Fuzz.Differential.run ~jobs:[ 1; 4 ] case in
+      if Fuzz.Differential.failing outcome then
+        QCheck.Test.fail_report (Fuzz.Differential.to_string outcome)
+      else true)
+
+(* ---- oracle invariants ---- *)
+
+let prop_oracle_mass =
+  QCheck.Test.make ~count:150
+    ~name:"oracle probabilities in (0,1], one row per answer tuple" case_arb
+    (fun case ->
+      match Conquer.Oracle.answer_probabilities case.db case.query with
+      | exception Conquer.Oracle.Too_many_candidates _ -> QCheck.assume_fail ()
+      | exception _ ->
+        (* a query the engine cannot run (e.g. planner limits) is not
+           an oracle defect *)
+        QCheck.assume_fail ()
+      | answers ->
+        let seen = Hashtbl.create 16 in
+        List.for_all
+          (fun (row, p) ->
+            let key =
+              String.concat "\x00"
+                (Array.to_list (Array.map Value.to_string row))
+            in
+            let fresh = not (Hashtbl.mem seen key) in
+            Hashtbl.replace seen key ();
+            fresh && p > 0.0 && p <= 1.0 +. 1e-9)
+          answers)
+
+(* ---- sampler convergence ---- *)
+
+let prop_sampler_converges =
+  QCheck.Test.make ~count:25
+    ~name:"sampler estimates converge to oracle probabilities" case_arb
+    (fun case ->
+      match Conquer.Oracle.answer_probabilities case.db case.query with
+      | exception _ -> QCheck.assume_fail ()
+      | oracle ->
+        let samples = 1500 in
+        let session = Conquer.Clean.create case.db in
+        let estimates =
+          try
+            Conquer.Sampler.estimates ~seed:7 ~samples session
+              (Fuzz.Case.sql case)
+          with _ -> QCheck.assume_fail ()
+        in
+        let find row =
+          List.find_opt
+            (fun (e : Conquer.Sampler.estimate) ->
+              Array.length e.row = Array.length row
+              && Array.for_all2 Value.equal e.row row)
+            estimates
+        in
+        let tolerance p =
+          Float.max 0.08
+            (6.0 *. sqrt (p *. (1.0 -. p) /. float_of_int samples))
+        in
+        (* every oracle answer is estimated within tolerance (absent
+           means estimated 0), and nothing is sampled that the oracle
+           rules out *)
+        List.for_all
+          (fun (row, p) ->
+            let estimate =
+              match find row with Some e -> e.probability | None -> 0.0
+            in
+            Float.abs (estimate -. p) <= tolerance p)
+          oracle
+        && List.for_all
+             (fun (e : Conquer.Sampler.estimate) ->
+               List.exists
+                 (fun (row, _) ->
+                   Array.length e.row = Array.length row
+                   && Array.for_all2 Value.equal e.row row)
+                 oracle)
+             estimates)
+
+(* ---- SQL pretty-printer round-trip ---- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"Parser.parse (Pretty.to_string q) reparses to q" case_arb
+    (fun case ->
+      let text = Sql.Pretty.query_to_string case.query in
+      match Sql.Parser.parse_query text with
+      | exception Sql.Parser.Error msg ->
+        QCheck.Test.fail_reportf "unparseable: %s\n%s" msg text
+      | reparsed ->
+        if reparsed = case.query then true
+        else
+          QCheck.Test.fail_reportf "round-trip changed the query:\n%s" text)
+
+(* ---- corpus round-trip ---- *)
+
+let prop_corpus_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"corpus save/load is exact" case_arb
+    (fun case ->
+      Testutil.with_temp_dir (fun dir ->
+          Fuzz.Corpus.save ~dir ~name:"case" case;
+          let loaded = Fuzz.Corpus.load ~dir ~name:"case" in
+          let fingerprint db =
+            List.map
+              (fun (t : Dirty_db.table) ->
+                ( t.name,
+                  Schema.names (Relation.schema t.relation),
+                  List.sort compare
+                    (List.map
+                       (fun row ->
+                         Array.to_list (Array.map Value.to_string row))
+                       (Array.to_list (Relation.rows t.relation))) ))
+              (Dirty_db.tables db)
+          in
+          loaded.query = case.query
+          && fingerprint loaded.db = fingerprint case.db))
+
+(* ---- seed corpus replay ---- *)
+
+(* dune runtest runs tests in _build/default/test, where the glob_files
+   dep places the corpus; a manual dune exec from the repo root finds
+   the source copy instead *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let test_corpus_replay () =
+  let dir = corpus_dir in
+  let names = Fuzz.Corpus.names dir in
+  Alcotest.(check bool) "seed corpus present" true (List.length names >= 6);
+  let outcomes =
+    List.map
+      (fun name -> (name, Fuzz.Differential.run (Fuzz.Corpus.load ~dir ~name)))
+      names
+  in
+  List.iter
+    (fun (name, outcome) ->
+      if Fuzz.Differential.failing outcome then
+        Alcotest.failf "corpus case %s: %s" name
+          (Fuzz.Differential.to_string outcome))
+    outcomes;
+  (* the seed corpus straddles the class boundary *)
+  let is_agree = function _, Fuzz.Differential.Agree _ -> true | _ -> false in
+  let is_rejected =
+    function _, Fuzz.Differential.Rejected _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "some case is rewritable" true
+    (List.exists is_agree outcomes);
+  Alcotest.(check bool) "some case is rejected" true
+    (List.exists is_rejected outcomes)
+
+(* the corpus cases assert specific class membership *)
+let test_corpus_classification () =
+  let dir = corpus_dir in
+  let check name expect_rewritable =
+    let case = Fuzz.Corpus.load ~dir ~name in
+    let env = Conquer.Dirty_schema.of_dirty_db case.db in
+    let accepted = Result.is_ok (Conquer.Rewritable.check env case.query) in
+    Alcotest.(check bool) name expect_rewritable accepted
+  in
+  check "single-filter" true;
+  check "fk-tree" true;
+  check "selfjoin" false;
+  check "cycle" false;
+  check "dropped-root" false
+
+(* ---- shrinking ---- *)
+
+let test_minimize_shrinks () =
+  (* a fake bug that any non-empty database triggers: the minimizer
+     must walk it down to a single-row database and a skeletal query *)
+  let rand = Random.State.make [| 42 |] in
+  let still_failing (c : Fuzz.Case.t) = total_rows c.db >= 1 in
+  let rec find_big tries =
+    let case = QCheck.Gen.generate1 ~rand (Fuzz.Case.gen ()) in
+    if total_rows case.db >= 6 || tries > 200 then case else find_big (tries + 1)
+  in
+  let case = find_big 0 in
+  let small = Fuzz.Differential.minimize still_failing case in
+  Alcotest.(check bool) "still failing" true (still_failing small);
+  Alcotest.(check int) "shrunk to a single row" 1 (total_rows small.db);
+  Alcotest.(check bool) "query shrunk too" true
+    (List.length small.query.from <= List.length case.query.from)
+
+(* ---- refute finds planted wrong answers ---- *)
+
+let test_refute_detects_tampering () =
+  let dir = corpus_dir in
+  let case = Fuzz.Corpus.load ~dir ~name:"single-filter" in
+  let env = Conquer.Dirty_schema.of_dirty_db case.db in
+  let rewritten = Conquer.Rewrite.rewrite_exn env case.query in
+  let session = Conquer.Clean.create case.db in
+  let answers =
+    Engine.Database.query_ast (Conquer.Clean.engine session) rewritten
+  in
+  Alcotest.(check bool) "honest answers pass" true
+    (Conquer.Oracle.refute case.db case.query answers = None);
+  let tampered =
+    Relation.map_rows (Relation.schema answers)
+      (fun row ->
+        let row = Array.copy row in
+        let n = Array.length row in
+        row.(n - 1) <-
+          (match row.(n - 1) with
+          | Value.Float p -> Value.Float (p /. 2.0)
+          | v -> v);
+        row)
+      answers
+  in
+  match Conquer.Oracle.refute case.db case.query tampered with
+  | None -> Alcotest.fail "halved probabilities not refuted"
+  | Some m ->
+    Alcotest.(check bool) "mismatch names the probability gap" true
+      (m.oracle_prob <> None && m.actual_prob <> None)
+
+let () =
+  let to_alcotest tests =
+    List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+  in
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        to_alcotest [ prop_differential; prop_oracle_mass ] );
+      ("sampler", to_alcotest [ prop_sampler_converges ]);
+      ("roundtrip", to_alcotest [ prop_roundtrip; prop_corpus_roundtrip ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "replay seed corpus" `Quick test_corpus_replay;
+          Alcotest.test_case "class membership" `Quick
+            test_corpus_classification;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "minimize reaches a one-row witness" `Quick
+            test_minimize_shrinks;
+          Alcotest.test_case "refute detects tampered answers" `Quick
+            test_refute_detects_tampering;
+        ] );
+    ]

@@ -8,68 +8,15 @@ open Dirty
 
 let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
 
-(* ---- random dirty databases over a parent/child schema ---- *)
+(* ---- random dirty databases over a parent/child schema ----
 
-let parent_schema =
-  Schema.make
-    [ ("id", Value.TInt); ("val", Value.TInt); ("prob", Value.TFloat) ]
+   The schema spec and instance generator are the fuzzing harness's
+   ([Fuzz.Dbgen]), instantiated at the fixed parent/child spec: this
+   suite and the differential fuzzer draw from the same space of
+   dirty databases (1/16-grain probabilities, occasional NULL or
+   dangling foreign keys). *)
 
-let child_schema =
-  Schema.make
-    [
-      ("id", Value.TInt); ("fk", Value.TInt); ("val", Value.TInt);
-      ("prob", Value.TFloat);
-    ]
-
-(* random per-cluster probabilities: positive and normalized *)
-let probs_gen k =
-  let* raw = QCheck.Gen.list_size (QCheck.Gen.return k) (QCheck.Gen.float_range 0.05 1.0) in
-  let total = List.fold_left ( +. ) 0.0 raw in
-  QCheck.Gen.return (List.map (fun x -> x /. total) raw)
-
-let cluster_gen ~make_row entity =
-  let* size = QCheck.Gen.int_range 1 3 in
-  let* probs = probs_gen size in
-  let* rows =
-    QCheck.Gen.flatten_l (List.map (fun p -> make_row entity p) probs)
-  in
-  QCheck.Gen.return rows
-
-let parent_gen ~entities =
-  let make_row entity p =
-    let* v = QCheck.Gen.int_range 0 9 in
-    QCheck.Gen.return [| Value.Int entity; Value.Int v; Value.Float p |]
-  in
-  let* clusters =
-    QCheck.Gen.flatten_l
-      (List.init entities (fun e -> cluster_gen ~make_row e))
-  in
-  QCheck.Gen.return (Relation.create parent_schema (List.concat clusters))
-
-let child_gen ~entities ~parents =
-  let make_row entity p =
-    let* fk = QCheck.Gen.int_range 0 (parents - 1) in
-    let* v = QCheck.Gen.int_range 0 9 in
-    QCheck.Gen.return [| Value.Int entity; Value.Int fk; Value.Int v; Value.Float p |]
-  in
-  let* clusters =
-    QCheck.Gen.flatten_l
-      (List.init entities (fun e -> cluster_gen ~make_row e))
-  in
-  QCheck.Gen.return (Relation.create child_schema (List.concat clusters))
-
-let db_gen =
-  let* parents = QCheck.Gen.int_range 1 3 in
-  let* children = QCheck.Gen.int_range 1 3 in
-  let* parent = parent_gen ~entities:parents in
-  let* child = child_gen ~entities:children ~parents in
-  let db =
-    Dirty_db.add_table Dirty_db.empty
-      (Dirty_db.make_table ~name:"parent" ~id_attr:"id" ~prob_attr:"prob" parent)
-  in
-  QCheck.Gen.return
-    (Dirty_db.add_table db
-       (Dirty_db.make_table ~name:"child" ~id_attr:"id" ~prob_attr:"prob" child))
+let db_gen = Fuzz.Dbgen.instance_gen Fuzz.Dbgen.parent_child_spec
 
 (* random rewritable queries over the parent/child schema *)
 let query_gen =

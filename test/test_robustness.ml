@@ -129,9 +129,9 @@ let test_repair_null_dangling () =
   Alcotest.(check bool) "dangling foreign key nulled" true
     (Value.is_null fk_of_o1)
 
-(* every non-Fail policy, on random garbage probabilities *)
+(* every non-Fail policy, on random garbage probabilities drawn over
+   the fuzzing harness's table space (see [Seeded.garbage_table_gen]) *)
 let repair_property =
-  let ( let* ) gen f = QCheck.Gen.( >>= ) gen f in
   let policy_gen =
     QCheck.Gen.oneofl
       [
@@ -139,50 +139,14 @@ let repair_property =
         Repair.Clamp_and_renormalize; Repair.Drop_cluster;
       ]
   in
-  let prob_gen =
-    QCheck.Gen.frequency
-      [
-        (5, QCheck.Gen.float_range (-0.5) 2.0);
-        (1, QCheck.Gen.return Float.nan);
-        (1, QCheck.Gen.return 0.0);
-        (4, QCheck.Gen.float_range 0.0 1.0);
-      ]
+  let print ((t : Dirty_db.table), policy) =
+    Repair.policy_to_string policy ^ "\n" ^ Relation.to_string t.relation
   in
-  let table_gen =
-    let* clusters = QCheck.Gen.int_range 1 5 in
-    QCheck.Gen.flatten_l
-      (List.init clusters (fun c ->
-           let* size = QCheck.Gen.int_range 1 4 in
-           QCheck.Gen.flatten_l
-             (List.init size (fun i ->
-                  let* p = prob_gen in
-                  QCheck.Gen.return
-                    [| Value.Int c; Value.Int ((10 * c) + i); Value.Float p |]))))
+  let arb =
+    QCheck.make ~print QCheck.Gen.(pair Seeded.garbage_table_gen policy_gen)
   in
-  let print (rows, policy) =
-    Repair.policy_to_string policy
-    ^ "\n"
-    ^ String.concat "\n"
-        (List.map
-           (fun r ->
-             String.concat ","
-               (List.map Value.to_string (Array.to_list r)))
-           (List.concat rows))
-  in
-  let arb = QCheck.make ~print QCheck.Gen.(pair table_gen policy_gen) in
   QCheck.Test.make ~count:200 ~name:"repair leaves no error diagnostics" arb
-    (fun (rows, policy) ->
-      let rows = List.concat rows in
-      let rel =
-        Relation.create
-          (Schema.make
-             [ ("id", Value.TInt); ("v", Value.TInt); ("prob", Value.TFloat) ])
-          rows
-      in
-      let t =
-        Dirty_db.make_table ~validate:false ~name:"t" ~id_attr:"id"
-          ~prob_attr:"prob" rel
-      in
+    (fun (t, policy) ->
       let t', _ = Repair.repair_table ~policy t in
       Validate.is_clean (Validate.table_diagnostics t'))
 

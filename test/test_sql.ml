@@ -201,6 +201,20 @@ let test_pretty_parenthesization () =
   | Binop (And, Binop (Or, _, _), _) -> ()
   | _ -> Alcotest.failf "parentheses lost: %s" printed
 
+let test_pretty_left_nested_bool () =
+  (* AND/OR parse right-associative, so a left-nested chain must be
+     printed with its left child parenthesized to reparse structurally *)
+  let a = parse_e "a = 1" and b = parse_e "b = 2" and c = parse_e "c = 3" in
+  let check e =
+    let printed = Pretty.expr_to_string e in
+    let reparsed = parse_e printed in
+    if reparsed <> e then
+      Alcotest.failf "left-nested chain changed shape: %s" printed
+  in
+  check (Ast.Binop (Or, Binop (Or, a, b), c));
+  check (Ast.Binop (And, Binop (And, a, b), c));
+  check (Ast.Binop (Or, Binop (And, Binop (And, a, b), c), b))
+
 let test_conj_helpers () =
   let e = parse_e "a = 1 and b = 2 and c = 3" in
   Alcotest.(check int) "three conjuncts" 3 (List.length (Ast.conjuncts e));
@@ -242,6 +256,8 @@ let () =
           Alcotest.test_case "TPC-H queries round trip" `Quick test_roundtrip_tpch;
           Alcotest.test_case "parenthesization" `Quick
             test_pretty_parenthesization;
+          Alcotest.test_case "left-nested and/or chains" `Quick
+            test_pretty_left_nested_bool;
           Alcotest.test_case "conjunct helpers" `Quick test_conj_helpers;
         ] );
     ]
