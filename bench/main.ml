@@ -819,6 +819,175 @@ let report_parallel () =
   note "        (group order, row order and float accumulation included)"
 
 (* ------------------------------------------------------------------ *)
+(* report: serve — the daemon under concurrent load                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Boots an in-process [conquer serve] daemon over a synthetic dirty
+   store, then measures it from the outside through real sockets:
+
+   - a steady phase (clients <= capacity) yields p50/p99 latency and
+     throughput under normal load;
+   - a burst phase (clients > workers + queue) exercises admission
+     control and yields the shed rate.
+
+   Latencies are wall-clock seconds and recorded verbatim; throughput
+   (req/s) and shed rate (fraction) are dimensionless, so like the
+   parallel report's speedups they are recorded divided by 1000 to
+   survive the ms conversion in BENCH_<n>.json. *)
+
+let report_serve () =
+  section "Serve daemon: latency, throughput and shedding over sockets";
+  let n_clusters = if !quick then 200 else 600 in
+  let members = 3 in
+  let rows =
+    List.concat
+      (List.init n_clusters (fun c ->
+           let p = 1.0 /. Float.of_int members in
+           List.init members (fun m ->
+               [|
+                 Value.String (Printf.sprintf "c%d" c);
+                 Value.Int ((c * members) + m);
+                 Value.Float p;
+               |])))
+  in
+  let rel =
+    Relation.create
+      (Schema.make
+         [ ("id", Value.TString); ("val", Value.TInt); ("prob", Value.TFloat) ])
+      rows
+  in
+  let db =
+    Dirty_db.add_table Dirty_db.empty
+      (Dirty_db.make_table ~name:"items" ~id_attr:"id" ~prob_attr:"prob" rel)
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "conquer-bench-serve-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Dirty.Store.save dir db;
+  let config =
+    {
+      Server.Serve.default_config with
+      port = 0;
+      concurrency = 4;
+      queue_capacity = 16;
+      cache_capacity = 256;
+    }
+  in
+  let t = Server.Serve.create ~config ~dir () in
+  let port = Server.Serve.port t in
+  let runner = Domain.spawn (fun () -> Server.Serve.run t) in
+  let queries =
+    [|
+      "select id from items";
+      "select id, val from items";
+      "select id from items where val >= 0";
+    |]
+  in
+  let fire sql =
+    try
+      let r =
+        Server.Http.request ~host:"127.0.0.1" ~port ~timeout:30.0 ~body:sql
+          "/query"
+      in
+      Some r.Server.Http.status
+    with _ -> None
+  in
+  (* warm the prepared-query and result caches *)
+  Array.iter (fun q -> ignore (fire q)) queries;
+  let shed_before =
+    Option.value ~default:0 (Telemetry.Metrics.counter_value "serve.shed")
+  in
+  (* steady phase: fewer clients than worker+queue capacity *)
+  let clients = 6 in
+  let per_client = if !quick then 25 else 80 in
+  let started = Unix.gettimeofday () in
+  let client_results =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            List.init per_client (fun i ->
+                let sql = queries.((c + i) mod Array.length queries) in
+                let t0 = Unix.gettimeofday () in
+                let status = fire sql in
+                (status, Unix.gettimeofday () -. t0))))
+    |> List.concat_map Domain.join
+  in
+  let steady_wall = Unix.gettimeofday () -. started in
+  let ok =
+    List.filter (fun (s, _) -> s = Some 200) client_results
+    |> List.map snd |> Array.of_list
+  in
+  Array.sort compare ok;
+  let n_ok = Array.length ok in
+  if n_ok = 0 then failwith "serve bench: no successful responses";
+  let quantile q = ok.(min (n_ok - 1) (int_of_float (q *. float_of_int n_ok))) in
+  let p50 = quantile 0.50 and p99 = quantile 0.99 in
+  let throughput = float_of_int n_ok /. steady_wall in
+  record "serve/p50" (Telemetry.Timing.singleton p50);
+  record "serve/p99" (Telemetry.Timing.singleton p99);
+  record "serve/throughput" (Telemetry.Timing.singleton (throughput /. 1000.0));
+  Printf.printf
+    "steady phase: %d clients x %d requests — %d ok / %d total\n" clients
+    per_client n_ok (List.length client_results);
+  Printf.printf "  p50 %.2fms   p99 %.2fms   %.0f req/s\n" (ms p50) (ms p99)
+    throughput;
+  (* burst phase: more concurrent clients than workers + queue, all
+     running an uncacheable heavy query under a short deadline, so
+     workers stay busy and admission control must shed the overflow
+     with 503.  Deadline expiry inside a worker still answers 200
+     with partial rows — only true overload sheds. *)
+  let burst_clients = 48 in
+  let burst_each = 4 in
+  let heavy = "select a.val from items a, items b where a.val + b.val >= 0" in
+  let fire_heavy () =
+    try
+      let r =
+        Server.Http.request ~host:"127.0.0.1" ~port ~timeout:30.0 ~body:heavy
+          "/query?mode=original&deadline_ms=250"
+      in
+      Some r.Server.Http.status
+    with _ -> None
+  in
+  let burst =
+    List.init burst_clients (fun _ ->
+        Domain.spawn (fun () -> List.init burst_each (fun _ -> fire_heavy ())))
+    |> List.concat_map Domain.join
+  in
+  let burst_total = List.length burst in
+  let burst_shed = List.length (List.filter (fun s -> s = Some 503) burst) in
+  let shed_rate = float_of_int burst_shed /. float_of_int burst_total in
+  record "serve/shed_rate" (Telemetry.Timing.singleton (shed_rate /. 1000.0));
+  Printf.printf "burst phase: %d clients — shed %d/%d (%.0f%%)\n" burst_clients
+    burst_shed burst_total (100.0 *. shed_rate);
+  let counter name =
+    Option.value ~default:0 (Telemetry.Metrics.counter_value name)
+  in
+  Printf.printf
+    "  counters: requests=%d shed=%d (+%d this run) cache_hits=%d\n"
+    (counter "serve.requests") (counter "serve.shed")
+    (counter "serve.shed" - shed_before)
+    (counter "serve.cache_hits");
+  Server.Serve.shutdown t;
+  let drain = Domain.join runner in
+  Printf.printf "  drain: %s (%d cancelled in flight)\n"
+    (if drain.Server.Serve.drained then "clean" else "forced")
+    drain.Server.Serve.cancelled_inflight;
+  rm_rf dir;
+  note "p50/p99 measured through real sockets, cache warm; shed rate";
+  note "        from a burst of %d clients against %d workers + queue %d"
+    burst_clients config.concurrency config.queue_capacity
+
+(* ------------------------------------------------------------------ *)
 (* bechamel statistical pass                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -986,6 +1155,7 @@ let reports =
     ("ext-distribution", report_ext_distribution);
     ("ext-sampler", report_ext_sampler);
     ("parallel", report_parallel);
+    ("serve", report_serve);
   ]
 
 let () =

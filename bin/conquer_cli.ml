@@ -814,6 +814,129 @@ let recover_cmd =
           the exit code is 4 if no loadable snapshot remains.")
     Term.(const run $ dir $ check)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run dir host port concurrency queue_capacity deadline_ms max_deadline_ms
+      budget_rows jobs cache drain_ms =
+    handling_failures @@ fun () ->
+    let config =
+      {
+        Server.Serve.default_config with
+        host;
+        port;
+        concurrency;
+        queue_capacity;
+        default_deadline = float_of_int deadline_ms /. 1000.0;
+        max_deadline = float_of_int max_deadline_ms /. 1000.0;
+        default_budget_rows = budget_rows;
+        jobs;
+        cache_capacity = cache;
+        drain_deadline = float_of_int drain_ms /. 1000.0;
+      }
+    in
+    let t = Server.Serve.create ~config ~dir () in
+    List.iter
+      (fun a -> Printf.eprintf "recovered: %s\n" a)
+      (Server.Serve.recovery_log t);
+    let stop _ = Server.Serve.request_shutdown t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.printf "conquer serve: listening on %s:%d (store %s)\n%!" host
+      (Server.Serve.port t) dir;
+    let report = Server.Serve.run t in
+    if report.Server.Serve.drained then print_endline "drained cleanly"
+    else begin
+      Printf.eprintf "drain deadline exceeded: %d in-flight quer(ies) cancelled\n"
+        report.Server.Serve.cancelled_inflight;
+      exit 3
+    end
+  in
+  let dir =
+    Arg.(
+      required & opt (some Cmdliner.Arg.dir) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"The database directory to serve (Dirty.Store layout).")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listen port; 0 picks an ephemeral one (printed at startup).")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"N"
+          ~doc:"Worker domains executing queries.")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; beyond it requests are shed with 503.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (clients override with the \
+                deadline_ms query parameter).")
+  in
+  let max_deadline_ms =
+    Arg.(
+      value & opt int 60000
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Ceiling clamped onto client-supplied deadlines.")
+  in
+  let budget_rows =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-rows" ] ~docv:"N"
+          ~doc:"Default row budget per query (clients override with the \
+                budget_rows query parameter).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "query-jobs" ] ~docv:"N"
+          ~doc:"Engine domains per query; 1 keeps each query serial and lets \
+                --concurrency provide the parallelism.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Result-cache capacity in entries; 0 disables caching.")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:"Grace period for in-flight work on shutdown; past it, \
+                remaining queries are cancelled (exit code 3).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the query daemon: an HTTP/JSON endpoint over a database \
+          directory with admission control, per-request deadlines (partial \
+          answers instead of errors), client-disconnect cancellation, a \
+          store circuit breaker, a generation-keyed result cache, and \
+          graceful SIGTERM drain. Routes: GET /healthz, GET /readyz, GET \
+          /metrics (Prometheus), POST /query (SQL body; deadline_ms, \
+          budget_rows, mode parameters). Exit codes: 0 after a clean drain, \
+          3 when the drain deadline forced cancellations, 4 when the store \
+          cannot be loaded.")
+    Term.(
+      const run $ dir $ host $ port $ concurrency $ queue_capacity
+      $ deadline_ms $ max_deadline_ms $ budget_rows $ jobs $ cache $ drain_ms)
+
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
@@ -1066,5 +1189,5 @@ let () =
           [
             query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
             expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
-            generate_cmd; recover_cmd; fuzz_cmd; demo_cmd;
+            generate_cmd; recover_cmd; serve_cmd; fuzz_cmd; demo_cmd;
           ]))

@@ -81,20 +81,20 @@ type partial = { rows : Relation.t; truncated : bool; cancelled : bool }
 let partial_of (rows, { Engine.Database.truncated; cancelled }) =
   { rows; truncated; cancelled }
 
-let answers_within ?config s sql =
+let answers_within ?config ?cancel s sql =
   spanned "rewritten-within" @@ fun () ->
   let q = Sql.Parser.parse_query sql in
   let rewritten = Rewrite.rewrite_exn s.env q in
   Log.debug (fun m -> m "rewritten query:@\n%a" Sql.Pretty.pp_query rewritten);
-  partial_of (Engine.Database.query_ast_within ?config s.engine rewritten)
+  partial_of (Engine.Database.query_ast_within ?config ?cancel s.engine rewritten)
 
-let top_answers_within ?config ~k s sql =
+let top_answers_within ?config ?cancel ~k s sql =
   let q = rewritten_ast s sql in
   let by_prob : Sql.Ast.order_item =
     { o_expr = Sql.Ast.col Rewrite.prob_column; desc = true }
   in
   partial_of
-    (Engine.Database.query_ast_within ?config s.engine
+    (Engine.Database.query_ast_within ?config ?cancel s.engine
        { q with order_by = [ by_prob ]; limit = Some k })
 
 let answers_above ?config ~threshold s sql =

@@ -51,15 +51,29 @@ type partial = { rows : Dirty.Relation.t; truncated : bool; cancelled : bool }
     set. *)
 
 val answers_within :
-  ?config:Engine.Planner.config -> session -> string -> partial
+  ?config:Engine.Planner.config ->
+  ?cancel:Engine.Cancel.token ->
+  session ->
+  string ->
+  partial
 (** Like {!answers}, but a budget declared by [config] ([max_rows] /
     [max_elapsed]) degrades gracefully: instead of raising
     {!Engine.Budget.Exceeded} or {!Engine.Cancel.Cancelled}, execution
     stops producing rows once the budget is spent and the partial
-    answers are returned with the corresponding flag set. *)
+    answers are returned with the corresponding flag set.
+
+    [cancel] attaches an externally owned token to the execution (see
+    {!Engine.Database.query_ast_within}): tripping it — e.g. when the
+    requesting client disconnects — stops the query at its next
+    checkpoint and sets the [cancelled] flag. *)
 
 val top_answers_within :
-  ?config:Engine.Planner.config -> k:int -> session -> string -> partial
+  ?config:Engine.Planner.config ->
+  ?cancel:Engine.Cancel.token ->
+  k:int ->
+  session ->
+  string ->
+  partial
 (** Budgeted {!top_answers}: the prefix of the ranked answers that the
     budget allowed, with the truncation flag. *)
 

@@ -165,6 +165,10 @@ let committed_generation dir =
     match available_generations dir with g :: _ -> g | [] -> 0)
   | Missing -> 0
 
+let generation dir =
+  if Sys.file_exists dir && Sys.is_directory dir then committed_generation dir
+  else 0
+
 (* best-effort removal: a failure to clean up must not fail a
    committed save (a simulated crash still propagates) *)
 let try_remove path =

@@ -57,6 +57,15 @@ val load_verbose :
     tables skipped in lenient mode, and generations skipped by
     checksum fallback (reported in both modes). *)
 
+val generation : string -> int
+(** The committed generation number of the directory — what [CURRENT]
+    names, falling back to the newest journalled generation when the
+    pointer is damaged, and [0] when no v2 commit ever happened (a
+    legacy v1 directory, or an empty/missing one).  Every {!save}
+    bumps it, which is what makes [(query, generation)] a sound result
+    cache key: any observable change to the committed snapshot changes
+    the generation. *)
+
 val recover : string -> string list
 (** Sweep the directory for debris a crashed save can leave behind —
     orphaned [.store-*.tmp] files, generation files newer than

@@ -46,7 +46,12 @@ let check t = if Atomic.get t.flag then raise (Cancelled (Atomic.get t.why))
 
 let poll_interval = 0.002
 
-let with_deadline ~seconds t f =
+let expired_reason seconds =
+  if seconds <= 0.0 then
+    Printf.sprintf "deadline of %gs already expired" seconds
+  else Printf.sprintf "time budget of %gs exceeded" seconds
+
+let with_deadline_watchdog ~seconds t f =
   let stop = Atomic.make false in
   let deadline = Unix.gettimeofday () +. seconds in
   let dog =
@@ -70,3 +75,17 @@ let with_deadline ~seconds t f =
       Atomic.set stop true;
       Domain.join dog)
     f
+
+let with_deadline ~seconds t f =
+  (* A deadline at or below the watchdog tick is beneath the watchdog's
+     resolution: it would fire one poll interval late, after the guarded
+     function had already started doing work it was never entitled to.
+     Trip the token synchronously instead, before [f] runs — [f] still
+     executes (so Truncate-mode callers get their empty partial result
+     through the normal path) but observes the cancellation at its very
+     first checkpoint.  No watchdog domain is spawned. *)
+  if seconds <= poll_interval then begin
+    cancel ~reason:(expired_reason seconds) t;
+    f ()
+  end
+  else with_deadline_watchdog ~seconds t f

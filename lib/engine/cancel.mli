@@ -28,4 +28,9 @@ val with_deadline : seconds:float -> token -> (unit -> 'a) -> 'a
 (** Run [f] under a wall-clock watchdog: a polling domain trips the
     token once [seconds] elapse, interrupting work — notably parallel
     joins — at the next checkpoint even when no single operator ever
-    finishes.  The watchdog is always joined before returning. *)
+    finishes.  The watchdog is always joined before returning.
+
+    A deadline that is already past — zero, negative, or at or below
+    the watchdog's 2ms tick — trips the token {e before} [f] runs
+    (and spawns no watchdog), so [f] observes the cancellation at its
+    first checkpoint instead of one tick later. *)

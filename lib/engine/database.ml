@@ -76,16 +76,29 @@ let run_plan ?budget ?jobs t p = Exec.run ?budget ?jobs (exec_catalog t) p
 let effective_jobs (config : Planner.config option) =
   match config with Some c -> c.jobs | None -> Parallel.default_jobs ()
 
-(* the budget declared by the planner config, if any; a time-limited
+(* The budget declared by the planner config, if any; a time-limited
    budget gets a cancellation token so the wall-clock watchdog can
-   interrupt parallel regions mid-operator *)
-let budget_of_config mode (config : Planner.config option) =
-  match config with
-  | Some { max_rows; max_elapsed; _ }
-    when max_rows <> None || max_elapsed <> None ->
-    let cancel = if max_elapsed <> None then Some (Cancel.create ()) else None in
-    Some (Budget.create ~mode ?cancel { Budget.max_rows; max_elapsed })
-  | Some _ | None -> None
+   interrupt parallel regions mid-operator.  An externally supplied
+   token (the server's per-request token, tripped on client
+   disconnect) is attached to the budget whatever the limits — and
+   forces a budget into existence even for a limitless config, so the
+   execution polls it at every checkpoint. *)
+let budget_of_config ?cancel mode (config : Planner.config option) =
+  let limits =
+    match config with
+    | Some { max_rows; max_elapsed; _ } -> { Budget.max_rows; max_elapsed }
+    | None -> Budget.no_limits
+  in
+  if limits = Budget.no_limits && cancel = None then None
+  else
+    let cancel =
+      match cancel with
+      | Some _ as c -> c
+      | None ->
+        if limits.Budget.max_elapsed <> None then Some (Cancel.create ())
+        else None
+    in
+    Some (Budget.create ~mode ?cancel limits)
 
 (* run [f] under the wall-clock watchdog when the budget carries a
    time limit: the watchdog trips the budget's token at the deadline,
@@ -120,9 +133,9 @@ type stop = { truncated : bool; cancelled : bool }
 
 let no_stop = { truncated = false; cancelled = false }
 
-let query_ast_within ?config t q =
+let query_ast_within ?config ?cancel t q =
   timed_query (fun () ->
-      let budget = budget_of_config Budget.Truncate config in
+      let budget = budget_of_config ?cancel Budget.Truncate config in
       let rel =
         guarded budget (fun () ->
             run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q))

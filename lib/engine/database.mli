@@ -53,11 +53,21 @@ type stop = {
 }
 
 val query_ast_within :
-  ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t * stop
+  ?config:Planner.config ->
+  ?cancel:Cancel.token ->
+  t ->
+  Sql.Ast.query ->
+  Dirty.Relation.t * stop
 (** Like {!query_ast}, but a budget declared by the config degrades
     gracefully instead of raising: execution stops producing rows once
     the budget is spent and the partial result is returned together
-    with how it stopped. *)
+    with how it stopped.
+
+    When [cancel] is given, that token (rather than a fresh internal
+    one) is attached to the budget — and a budget is created even for
+    a limitless config — so an external trip (a disconnected client, a
+    server drain) stops the execution at its next checkpoint and
+    surfaces as [stop.cancelled]. *)
 
 val explain : ?config:Planner.config -> t -> string -> string
 (** The plan the query would run, rendered EXPLAIN-style. *)

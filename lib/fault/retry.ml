@@ -10,14 +10,27 @@
    property in test/test_chaos.ml verifies the exact attempt count and
    sleep sequence without ever sleeping for real. *)
 
-type policy = { attempts : int; base_backoff : float; max_backoff : float }
+type policy = {
+  attempts : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+}
 
-let default_policy = { attempts = 3; base_backoff = 0.05; max_backoff = 2.0 }
+let default_policy =
+  { attempts = 3; base_backoff = 0.05; max_backoff = 2.0; jitter = 1.0 }
 
 (* the process-wide policy used by Dirty.Store; the CLI's --retries /
    --io-backoff-ms flags write it once at startup *)
 let current = Atomic.make default_policy
-let set_policy p = Atomic.set current { p with attempts = max 1 p.attempts }
+
+let set_policy p =
+  Atomic.set current
+    {
+      p with
+      attempts = max 1 p.attempts;
+      jitter = Float.min 1.0 (Float.max 0.0 p.jitter);
+    }
 let policy () = Atomic.get current
 
 let m_io_retries =
@@ -44,8 +57,23 @@ let default_classify = function
 let backoff policy i =
   Float.min policy.max_backoff (policy.base_backoff *. (2.0 ** float_of_int i))
 
+(* Full jitter (à la "Exponential Backoff and Jitter", AWS builders'
+   library): with jitter factor j, the delay after failed attempt i is
+   drawn uniformly from [(1-j)*b, b] where b is the capped-exponential
+   ceiling — j=0 is the deterministic schedule, j=1 (the default) is
+   the classic full-jitter U[0, b].  Many clients retrying a shed or
+   recovering server thereby desynchronize instead of stampeding back
+   in lockstep.  [rng] must return a float in [0, 1); it is a seam so
+   tests can pin the draw. *)
+let default_rng () = Random.float 1.0
+
+let jittered_backoff ?(rng = default_rng) policy i =
+  let b = backoff policy i in
+  let j = Float.min 1.0 (Float.max 0.0 policy.jitter) in
+  b *. (1.0 -. j +. (j *. Float.min 1.0 (Float.max 0.0 (rng ()))))
+
 let with_retry ?policy:p ?(classify = default_classify)
-    ?(sleep = Unix.sleepf) f =
+    ?(sleep = Unix.sleepf) ?rng f =
   let p = match p with Some p -> p | None -> policy () in
   let attempts = max 1 p.attempts in
   let rec go i =
@@ -59,7 +87,7 @@ let with_retry ?policy:p ?(classify = default_classify)
           if i = 0 then raise e else raise (Gave_up { attempts; last = e })
         else begin
           Telemetry.Metrics.inc m_io_retries;
-          sleep (backoff p i);
+          sleep (jittered_backoff ?rng p i);
           go (i + 1)
         end)
   in

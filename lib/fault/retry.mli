@@ -14,10 +14,17 @@ type policy = {
   attempts : int;  (** total tries, including the first (min 1) *)
   base_backoff : float;  (** seconds before the first retry *)
   max_backoff : float;  (** backoff ceiling, seconds *)
+  jitter : float;
+      (** jitter factor in [0, 1]: the sleep after failed attempt [i]
+          is drawn uniformly from [[(1-jitter)*b, b]] where [b] is
+          {!backoff}[ policy i] — 0 is the deterministic schedule, 1
+          (the default) is full jitter [U[0, b]], which keeps a crowd
+          of clients retrying a shed server from thundering back in
+          lockstep *)
 }
 
 val default_policy : policy
-(** 3 attempts, 50ms base, 2s cap. *)
+(** 3 attempts, 50ms base, 2s cap, full jitter. *)
 
 val set_policy : policy -> unit
 (** Set the process-wide policy used when [with_retry] is called
@@ -29,12 +36,20 @@ val policy : unit -> policy
 exception Gave_up of { attempts : int; last : exn }
 
 val backoff : policy -> int -> float
-(** [backoff p i] is the sleep after failed attempt [i] (0-based). *)
+(** [backoff p i] is the capped-exponential ceiling of the sleep after
+    failed attempt [i] (0-based), before jitter. *)
+
+val jittered_backoff : ?rng:(unit -> float) -> policy -> int -> float
+(** The actual sleep after failed attempt [i]: {!backoff} scaled into
+    [[(1-jitter)*b, b]] by a draw from [rng] (default: [Random.float],
+    injectable so tests can pin the draw; the result is clamped into
+    [[0, 1)] before use). *)
 
 val with_retry :
   ?policy:policy ->
   ?classify:(exn -> [ `Transient | `Permanent ]) ->
   ?sleep:(float -> unit) ->
+  ?rng:(unit -> float) ->
   (unit -> 'a) ->
   'a
 (** The default classifier treats {!Io.Io_error} with

@@ -1,0 +1,84 @@
+(* Circuit breaker with the classic three states.  The cooldown
+   schedule is Fault.Retry's capped-exponential backoff with jitter:
+   the i-th consecutive trip sleeps jittered_backoff(policy, i), so a
+   persistently damaged store is probed at a gently decaying rate and
+   a fleet of daemons doesn't re-probe in lockstep. *)
+
+let m_trips =
+  Telemetry.Metrics.counter "serve.breaker_trips"
+    ~help:"circuit-breaker transitions to open after repeated store failures"
+
+type state = Closed | Open | Half_open
+
+type t = {
+  lock : Mutex.t;
+  threshold : int;
+  policy : Fault.Retry.policy;
+  clock : unit -> float;
+  mutable st : state;
+  mutable consecutive_failures : int;  (* in Closed, toward threshold *)
+  mutable consecutive_trips : int;  (* backoff index for the cooldown *)
+  mutable open_until : float;
+  mutable total_trips : int;
+}
+
+let create ?(threshold = 3) ?policy ?(clock = Unix.gettimeofday) () =
+  let policy = match policy with Some p -> p | None -> Fault.Retry.policy () in
+  {
+    lock = Mutex.create ();
+    threshold = max 1 threshold;
+    policy;
+    clock;
+    st = Closed;
+    consecutive_failures = 0;
+    consecutive_trips = 0;
+    open_until = 0.0;
+    total_trips = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t = locked t (fun () -> t.st)
+let trips t = locked t (fun () -> t.total_trips)
+
+let trip t =
+  t.st <- Open;
+  t.open_until <- t.clock () +. Fault.Retry.jittered_backoff t.policy t.consecutive_trips;
+  t.consecutive_trips <- t.consecutive_trips + 1;
+  t.total_trips <- t.total_trips + 1;
+  Telemetry.Metrics.inc m_trips
+
+let allow t =
+  locked t @@ fun () ->
+  match t.st with
+  | Closed -> true
+  | Half_open -> false
+  | Open ->
+    if t.clock () >= t.open_until then begin
+      (* cooldown over: admit exactly this caller as the probe *)
+      t.st <- Half_open;
+      true
+    end
+    else false
+
+let success t =
+  locked t @@ fun () ->
+  t.st <- Closed;
+  t.consecutive_failures <- 0;
+  t.consecutive_trips <- 0
+
+let failure t =
+  locked t @@ fun () ->
+  match t.st with
+  | Half_open ->
+    (* the probe failed: straight back to open, longer cooldown *)
+    trip t
+  | Closed ->
+    t.consecutive_failures <- t.consecutive_failures + 1;
+    if t.consecutive_failures >= t.threshold then begin
+      t.consecutive_failures <- 0;
+      trip t
+    end
+  | Open -> ()

@@ -1,0 +1,52 @@
+(** A per-store circuit breaker.
+
+    Guards the daemon's store interactions (generation probes and
+    snapshot reloads): repeated failures — [Dirty.Store.Corrupt],
+    [Fault.Io.Io_error], exhausted retries — trip the breaker {e open},
+    after which guarded work is refused outright (the daemon answers
+    503 instead of hammering a damaged store).  After a cooldown drawn
+    from the {!Fault.Retry} backoff schedule (jitter included, so many
+    daemons watching one store don't re-probe in lockstep) the breaker
+    {e half-opens}: exactly one caller is let through as a probe; its
+    success closes the breaker, its failure re-opens it with the next,
+    longer cooldown.
+
+    All transitions are mutex-guarded and counted by the
+    [serve.breaker_trips] telemetry counter. *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val create :
+  ?threshold:int ->
+  ?policy:Fault.Retry.policy ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [threshold] (default 3) is the consecutive-failure count that
+    trips the breaker.  [policy] (default {!Fault.Retry.policy}[ ()])
+    supplies the cooldown schedule: the cooldown after the [i]-th
+    consecutive trip is [jittered_backoff policy i].  [clock] is
+    injectable for tests. *)
+
+val state : t -> state
+
+val allow : t -> bool
+(** May the caller attempt the guarded operation right now?  [Closed]:
+    yes.  [Open]: no, until the cooldown elapses — the first call after
+    that transitions to [Half_open] and is admitted as the probe.
+    [Half_open]: no (a probe is already in flight).  Callers that are
+    admitted {e must} report {!success} or {!failure}. *)
+
+val success : t -> unit
+(** The guarded operation succeeded: close the breaker and reset the
+    failure and trip streaks. *)
+
+val failure : t -> unit
+(** The guarded operation failed.  In [Closed], counts toward the
+    threshold; reaching it trips the breaker.  In [Half_open], the
+    probe failed: re-open with the next cooldown. *)
+
+val trips : t -> int
+(** Total times this breaker tripped open. *)

@@ -1,0 +1,24 @@
+(** A bounded, domain-safe key-value cache with FIFO eviction.
+
+    Backs the daemon's result cache (keyed on normalized query text
+    and store generation — see {!Serve}) and its prepared-query cache.
+    FIFO rather than LRU: eviction order only matters under pressure,
+    and FIFO needs no bookkeeping on the (hot, shared) read path. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity <= 0] disables the cache ({!add} is a no-op). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (replacing any previous binding); evicts the oldest
+    insertions once over capacity. *)
+
+val drop : ('k, 'v) t -> ('k -> bool) -> unit
+(** Remove every binding whose key satisfies the predicate (used to
+    purge entries of superseded store generations eagerly). *)
+
+val clear : ('k, 'v) t -> unit
+val length : ('k, 'v) t -> int

@@ -1,0 +1,633 @@
+(* The daemon proper: admission queue, worker pool, disconnect
+   reaper, circuit-breaker-guarded store access, result cache, and
+   the drain protocol.  See serve.mli for the behavioral contract and
+   DESIGN.md §5h for the rationale. *)
+
+(* ---- telemetry ---- *)
+
+let m_requests =
+  Telemetry.Metrics.counter "serve.requests" ~help:"query requests admitted"
+
+let m_shed =
+  Telemetry.Metrics.counter "serve.shed"
+    ~help:"requests refused with 503 because the admission queue was full"
+
+let m_cancelled =
+  Telemetry.Metrics.counter "serve.cancelled"
+    ~help:"queries cancelled (deadline, disconnect, or drain)"
+
+let m_partial =
+  Telemetry.Metrics.counter "serve.partial"
+    ~help:"200 responses carrying a partial (budgeted) answer set"
+
+let m_cache_hits =
+  Telemetry.Metrics.counter "serve.cache_hits"
+    ~help:"queries answered from the result cache"
+
+let m_internal =
+  Telemetry.Metrics.counter "serve.internal_errors"
+    ~help:"requests that ended in an unexpected exception (500)"
+
+let g_inflight =
+  Telemetry.Metrics.gauge "serve.in_flight" ~help:"queries executing right now"
+
+let g_queue =
+  Telemetry.Metrics.gauge "serve.queue_depth" ~help:"requests waiting for a worker"
+
+let h_latency =
+  Telemetry.Metrics.histogram "serve.request_seconds"
+    ~help:"wall-clock seconds from accept to response"
+
+(* ---- configuration ---- *)
+
+type config = {
+  host : string;
+  port : int;
+  concurrency : int;
+  queue_capacity : int;
+  default_deadline : float;
+  max_deadline : float;
+  default_budget_rows : int option;
+  jobs : int;
+  cache_capacity : int;
+  breaker_threshold : int;
+  drain_deadline : float;
+  retry_after : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    concurrency = 4;
+    queue_capacity = 64;
+    default_deadline = 5.0;
+    max_deadline = 60.0;
+    default_budget_rows = None;
+    jobs = 1;
+    cache_capacity = 256;
+    breaker_threshold = 3;
+    drain_deadline = 5.0;
+    retry_after = 1.0;
+  }
+
+(* ---- state ---- *)
+
+type job = { fd : Unix.file_descr; enqueued_at : float }
+
+type t = {
+  cfg : config;
+  dir : string;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  recovered : string list;
+  (* admission queue *)
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  queue : job Queue.t;
+  mutable draining : bool;
+  mutable hard_drain : bool;
+  (* store session, guarded by slock *)
+  slock : Mutex.t;
+  breaker : Breaker.t;
+  mutable session : (int * Conquer.Clean.session) option;
+  prepared : (string, Sql.Ast.query) Cache.t;
+  results : (string, string) Cache.t;
+  (* in-flight queries, for the reaper and the hard drain *)
+  ilock : Mutex.t;
+  inflight : (int, Unix.file_descr * Engine.Cancel.token) Hashtbl.t;
+  mutable next_id : int;
+  active : int Atomic.t;
+  reaper_stop : bool Atomic.t;
+  force_cancelled : int Atomic.t;
+  stop_requested : bool Atomic.t;
+}
+
+(* ---- small helpers ---- *)
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- JSON rendering ---- *)
+
+let value_json v =
+  match v with
+  | Dirty.Value.Null -> "null"
+  | Dirty.Value.Bool b -> if b then "true" else "false"
+  | Dirty.Value.Int i -> string_of_int i
+  | Dirty.Value.Float f -> Telemetry.Export.json_float f
+  | Dirty.Value.String s -> Telemetry.Export.json_string s
+  | Dirty.Value.Date _ -> Telemetry.Export.json_string (Dirty.Value.to_string v)
+
+(* the cacheable core of a /query response: everything except the
+   per-request [cached] and [elapsed_ms] fields *)
+let result_core rel ~generation ~truncated ~cancelled =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "\"columns\":[";
+  List.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Telemetry.Export.json_string name))
+    (Dirty.Schema.names (Dirty.Relation.schema rel));
+  Buffer.add_string buf "],\"rows\":[";
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (value_json v))
+        row;
+      Buffer.add_char buf ']')
+    (Dirty.Relation.rows rel);
+  Buffer.add_string buf
+    (Printf.sprintf "],\"row_count\":%d,\"generation\":%d"
+       (Dirty.Relation.cardinality rel) generation);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"partial\":%b,\"truncated\":%b,\"cancelled\":%b"
+       (truncated || cancelled) truncated cancelled);
+  Buffer.contents buf
+
+let compose_body ~core ~cached ~elapsed =
+  Printf.sprintf "{%s,\"cached\":%b,\"elapsed_ms\":%s}" core cached
+    (Telemetry.Export.json_float (elapsed *. 1000.0))
+
+let error_body detail =
+  Printf.sprintf "{\"error\":%s}" (Telemetry.Export.json_string detail)
+
+(* ---- construction ---- *)
+
+let create ?(config = default_config) ~dir () =
+  Telemetry.Control.enable ();
+  let recovered = Dirty.Store.recover dir in
+  let db = Dirty.Store.load dir in
+  let generation = Dirty.Store.generation dir in
+  let session = Conquer.Clean.create db in
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd
+       (ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 128
+   with e ->
+     close_quiet listen_fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  {
+    cfg = config;
+    dir;
+    listen_fd;
+    bound_port;
+    recovered;
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    queue = Queue.create ();
+    draining = false;
+    hard_drain = false;
+    slock = Mutex.create ();
+    breaker = Breaker.create ~threshold:config.breaker_threshold ();
+    session = Some (generation, session);
+    prepared = Cache.create ~capacity:config.cache_capacity;
+    results = Cache.create ~capacity:config.cache_capacity;
+    ilock = Mutex.create ();
+    inflight = Hashtbl.create 64;
+    next_id = 0;
+    active = Atomic.make 0;
+    reaper_stop = Atomic.make false;
+    force_cancelled = Atomic.make 0;
+    stop_requested = Atomic.make false;
+  }
+
+let port t = t.bound_port
+let recovery_log t = t.recovered
+
+(* ---- store session management ---- *)
+
+(* The single chokepoint for store access.  Probes the committed
+   generation on every query (one small read through Fault.Io — this
+   IS the cache-invalidation mechanism) and reloads the snapshot when
+   it moved.  All failures feed the circuit breaker; while the breaker
+   is open the probe is skipped entirely and the caller sheds. *)
+let ensure_session t =
+  locked t.slock @@ fun () ->
+  if not (Breaker.allow t.breaker) then
+    Error "store circuit breaker open; retry later"
+  else
+    match
+      let rec probe_and_load () =
+        let generation = Dirty.Store.generation t.dir in
+        match t.session with
+        | Some (g, s) when g = generation -> (generation, s)
+        | _ ->
+          let db = Fault.Retry.with_retry (fun () -> Dirty.Store.load t.dir) in
+          (* a commit can land between the probe and the load, which
+             would label the newer snapshot with the older generation
+             (and poison the result cache under that key) — re-probe
+             and reload until the generation is stable around the
+             load *)
+          if Dirty.Store.generation t.dir <> generation then probe_and_load ()
+          else begin
+            let s = Conquer.Clean.create db in
+            t.session <- Some (generation, s);
+            Cache.clear t.prepared;
+            let live_suffix = Printf.sprintf "|g%d" generation in
+            Cache.drop t.results (fun k ->
+                not (String.ends_with ~suffix:live_suffix k));
+            (generation, s)
+          end
+      in
+      probe_and_load ()
+    with
+    | pair ->
+      Breaker.success t.breaker;
+      Ok pair
+    | exception e ->
+      Breaker.failure t.breaker;
+      Error (Printf.sprintf "store unavailable: %s" (Printexc.to_string e))
+
+(* ---- request handling ---- *)
+
+type mode = Rewritten | Original
+
+let mode_tag = function Rewritten -> "rewritten" | Original -> "original"
+
+exception Reply of int * (string * string) list * string
+
+let reply ?(headers = []) status body = raise (Reply (status, headers, body))
+
+let parse_params t req =
+  let deadline =
+    match Http.param req "deadline_ms" with
+    | None -> t.cfg.default_deadline
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some ms when ms > 0.0 -> Float.min (ms /. 1000.0) t.cfg.max_deadline
+      | _ -> reply 400 (error_body ("bad deadline_ms: " ^ v)))
+  in
+  let budget_rows =
+    match Http.param req "budget_rows" with
+    | None -> t.cfg.default_budget_rows
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 -> Some n
+      | _ -> reply 400 (error_body ("bad budget_rows: " ^ v)))
+  in
+  let mode =
+    match Http.param req "mode" with
+    | None | Some "rewritten" -> Rewritten
+    | Some "original" -> Original
+    | Some m -> reply 400 (error_body ("bad mode: " ^ m))
+  in
+  (deadline, budget_rows, mode)
+
+(* parse (for normalization) and rewrite once per (query, mode); the
+   prepared AST is executed directly on the engine thereafter *)
+let prepare t session mode sql =
+  let ast =
+    try Sql.Parser.parse_query sql
+    with e -> reply 400 (error_body ("parse error: " ^ Printexc.to_string e))
+  in
+  let normalized = Sql.Pretty.query_to_string ast in
+  let key = mode_tag mode ^ "|" ^ normalized in
+  match Cache.find t.prepared key with
+  | Some prepared -> (normalized, prepared)
+  | None ->
+    let prepared =
+      match mode with
+      | Original -> ast
+      | Rewritten -> (
+        match Conquer.Clean.rewrite session sql with
+        | Ok rewritten -> Sql.Parser.parse_query rewritten
+        | Error violations ->
+          reply 400
+            (error_body
+               ("not rewritable: "
+               ^ String.concat "; "
+                   (List.map Conquer.Rewritable.violation_to_string violations)
+               )))
+    in
+    Cache.add t.prepared key prepared;
+    (normalized, prepared)
+
+let register_inflight t fd token =
+  locked t.ilock @@ fun () ->
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.inflight id (fd, token);
+  id
+
+let unregister_inflight t id =
+  locked t.ilock @@ fun () -> Hashtbl.remove t.inflight id
+
+let handle_query t job req =
+  Telemetry.Metrics.inc m_requests;
+  let sql =
+    match (req.Http.meth, String.trim req.Http.body) with
+    | "POST", body when body <> "" -> body
+    | _ -> (
+      match Http.param req "sql" with
+      | Some sql when String.trim sql <> "" -> sql
+      | _ -> reply 400 (error_body "no sql (POST a body or pass ?sql=)"))
+  in
+  let deadline, budget_rows, mode = parse_params t req in
+  let remaining = job.enqueued_at +. deadline -. Unix.gettimeofday () in
+  if remaining <= 0.0 then begin
+    (* spent the whole deadline waiting in the queue: the query never
+       ran, so there are no partial rows to return *)
+    Telemetry.Metrics.inc m_cancelled;
+    reply 408 (error_body "deadline expired before execution began")
+  end;
+  let generation, session =
+    match ensure_session t with
+    | Ok pair -> pair
+    | Error detail ->
+      reply 503
+        ~headers:
+          [ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ]
+        (error_body detail)
+  in
+  let normalized, ast = prepare t session mode sql in
+  let result_key =
+    Printf.sprintf "%s|%s|g%d" (mode_tag mode) normalized generation
+  in
+  match Cache.find t.results result_key with
+  | Some core ->
+    Telemetry.Metrics.inc m_cache_hits;
+    reply 200
+      (compose_body ~core ~cached:true
+         ~elapsed:(Unix.gettimeofday () -. job.enqueued_at))
+  | None ->
+    let token = Engine.Cancel.create () in
+    let id = register_inflight t job.fd token in
+    let rel, stop =
+      Fun.protect
+        ~finally:(fun () -> unregister_inflight t id)
+        (fun () ->
+          let config =
+            {
+              Engine.Planner.default_config with
+              jobs = t.cfg.jobs;
+              max_rows = budget_rows;
+              max_elapsed = Some remaining;
+            }
+          in
+          Engine.Database.query_ast_within ~config ~cancel:token
+            (Conquer.Clean.engine session)
+            ast)
+    in
+    let truncated = stop.Engine.Database.truncated in
+    let cancelled = stop.Engine.Database.cancelled in
+    if cancelled then Telemetry.Metrics.inc m_cancelled;
+    if truncated || cancelled then Telemetry.Metrics.inc m_partial;
+    let core = result_core rel ~generation ~truncated ~cancelled in
+    if not (truncated || cancelled) then Cache.add t.results result_key core;
+    reply 200
+      (compose_body ~core ~cached:false
+         ~elapsed:(Unix.gettimeofday () -. job.enqueued_at))
+
+let handle_request t job req =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> reply 200 "{\"status\":\"ok\"}"
+  | "GET", "/readyz" ->
+    let ready =
+      (not t.draining)
+      && (match Breaker.state t.breaker with
+         | Breaker.Open -> false
+         | _ -> true)
+      && t.session <> None
+    in
+    if ready then reply 200 "{\"status\":\"ready\"}"
+    else reply 503 (error_body "not ready")
+  | "GET", "/metrics" ->
+    raise
+      (Reply
+         ( 200,
+           [ ("x-content-type", "text/plain") ],
+           Telemetry.Export.prometheus_string () ))
+  | ("GET" | "POST"), "/query" -> handle_query t job req
+  | _, ("/healthz" | "/readyz" | "/metrics" | "/query") ->
+    reply 405 (error_body "method not allowed")
+  | _ -> reply 404 (error_body "not found")
+
+(* One request, one connection.  Every exception is converted into a
+   response (or a silent close when the client is already gone): the
+   worker domain survives anything a request can throw at it. *)
+let serve_connection t job =
+  Fun.protect
+    ~finally:(fun () -> close_quiet job.fd)
+    (fun () ->
+      let outcome =
+        if t.hard_drain then
+          Reply
+            ( 503,
+              [ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ],
+              error_body "server is shutting down" )
+        else
+          match Http.read_request ~read_timeout:1.0 job.fd with
+          | req -> ( try handle_request t job req with o -> o)
+          | exception e -> e
+      in
+      let status, headers, body =
+        match outcome with
+        | Reply (status, headers, body) -> (status, headers, body)
+        | Http.Bad_request detail -> (400, [], error_body detail)
+        | Http.Too_large detail -> (413, [], error_body detail)
+        | Http.Timeout -> (408, [], error_body "request read timed out")
+        | Http.Disconnected -> raise Http.Disconnected
+        | e ->
+          Telemetry.Metrics.inc m_internal;
+          (500, [], error_body ("internal error: " ^ Printexc.to_string e))
+      in
+      let content_type =
+        match List.assoc_opt "x-content-type" headers with
+        | Some ct -> ct
+        | None -> "application/json"
+      in
+      let headers = List.remove_assoc "x-content-type" headers in
+      Http.write_response job.fd ~status ~headers ~content_type ~body ();
+      Telemetry.Metrics.observe h_latency
+        (Unix.gettimeofday () -. job.enqueued_at))
+
+let serve_connection_quiet t job =
+  try serve_connection t job with
+  | Http.Disconnected -> ()
+  | Unix.Unix_error _ -> ()
+
+(* ---- worker pool ---- *)
+
+let next_job t =
+  locked t.qlock @@ fun () ->
+  let rec wait () =
+    if not (Queue.is_empty t.queue) then begin
+      let job = Queue.pop t.queue in
+      Telemetry.Metrics.set g_queue (Float.of_int (Queue.length t.queue));
+      Some job
+    end
+    else if t.draining then None
+    else begin
+      Condition.wait t.qcond t.qlock;
+      wait ()
+    end
+  in
+  wait ()
+
+let rec worker_loop t =
+  match next_job t with
+  | None -> ()
+  | Some job ->
+    Atomic.incr t.active;
+    Telemetry.Metrics.set g_inflight (Float.of_int (Atomic.get t.active));
+    serve_connection_quiet t job;
+    Atomic.decr t.active;
+    Telemetry.Metrics.set g_inflight (Float.of_int (Atomic.get t.active));
+    worker_loop t
+
+(* ---- disconnect reaper ---- *)
+
+(* A zero-byte MSG_PEEK on a readable connection distinguishes "the
+   client hung up" (recv returns 0) from "the client pipelined more
+   bytes" (recv returns them, unconsumed).  Hung-up connections get
+   their query's token tripped so the worker stops at its next
+   checkpoint instead of computing an answer nobody will read. *)
+let reap_once t =
+  let snapshot =
+    locked t.ilock @@ fun () ->
+    Hashtbl.fold (fun _ v acc -> v :: acc) t.inflight []
+  in
+  List.iter
+    (fun (fd, token) ->
+      if not (Engine.Cancel.cancelled token) then
+        try
+          match Unix.select [ fd ] [] [] 0.0 with
+          | [ _ ], _, _ -> (
+            let b = Bytes.create 1 in
+            match Unix.recv fd b 0 1 [ MSG_PEEK ] with
+            | 0 -> Engine.Cancel.cancel ~reason:"client disconnected" token
+            | _ -> ()
+            | exception Unix.Unix_error _ ->
+              Engine.Cancel.cancel ~reason:"client disconnected" token)
+          | _ -> ()
+        with Unix.Unix_error _ -> ())
+    snapshot
+
+let reaper_loop t =
+  while not (Atomic.get t.reaper_stop) do
+    reap_once t;
+    Unix.sleepf 0.01
+  done
+
+(* ---- accept loop, shed, drain ---- *)
+
+let shed t fd =
+  Telemetry.Metrics.inc m_shed;
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+   with Unix.Unix_error _ -> ());
+  (try
+     Http.write_response fd ~status:503
+       ~headers:[ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ]
+       ~body:(error_body "overloaded; request shed")
+       ()
+   with Http.Disconnected | Unix.Unix_error _ -> ());
+  close_quiet fd
+
+let admit t fd =
+  let job = { fd; enqueued_at = Unix.gettimeofday () } in
+  let admitted =
+    locked t.qlock @@ fun () ->
+    if t.draining || Queue.length t.queue >= t.cfg.queue_capacity then false
+    else begin
+      Queue.push job t.queue;
+      Telemetry.Metrics.set g_queue (Float.of_int (Queue.length t.queue));
+      Condition.signal t.qcond;
+      true
+    end
+  in
+  if not admitted then shed t fd
+
+let shutdown t =
+  locked t.qlock @@ fun () ->
+  t.draining <- true;
+  Condition.broadcast t.qcond
+
+(* async-signal-safe shutdown request: one atomic store, no locks.
+   Signal handlers run at safepoints of the accepting domain, which
+   may already hold qlock — so the handler must only set this flag;
+   the accept loop notices it within one select timeout and runs the
+   real (locking) shutdown itself. *)
+let request_shutdown t = Atomic.set t.stop_requested true
+
+type drain_report = { drained : bool; cancelled_inflight : int }
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop_requested then shutdown t;
+    if t.draining then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> admit t fd
+        | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error ((EINTR | EBADF), _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* Drain protocol: stop accepting, let the workers finish the queue,
+   and past the deadline flip to hard drain — remaining queued
+   requests answer 503 without executing and every in-flight token is
+   tripped — so the daemon always comes down in bounded time. *)
+let run t =
+  (* a client that vanishes mid-write must surface as EPIPE, not kill
+     the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let workers =
+    List.init t.cfg.concurrency (fun _ -> Domain.spawn (fun () -> worker_loop t))
+  in
+  let reaper = Domain.spawn (fun () -> reaper_loop t) in
+  accept_loop t;
+  close_quiet t.listen_fd;
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_deadline in
+  let rec await_drain () =
+    let idle =
+      locked t.qlock (fun () -> Queue.is_empty t.queue)
+      && Atomic.get t.active = 0
+    in
+    if idle then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.01;
+      await_drain ()
+    end
+  in
+  let drained = await_drain () in
+  if not drained then begin
+    t.hard_drain <- true;
+    let victims =
+      locked t.ilock @@ fun () ->
+      Hashtbl.fold (fun _ (_, token) acc -> token :: acc) t.inflight []
+    in
+    List.iter
+      (fun token ->
+        if not (Engine.Cancel.cancelled token) then begin
+          Engine.Cancel.cancel ~reason:"server draining" token;
+          Telemetry.Metrics.inc m_cancelled;
+          Atomic.incr t.force_cancelled
+        end)
+      victims
+  end;
+  locked t.qlock (fun () -> Condition.broadcast t.qcond);
+  List.iter Domain.join workers;
+  Atomic.set t.reaper_stop true;
+  Domain.join reaper;
+  { drained; cancelled_inflight = Atomic.get t.force_cancelled }

@@ -1,0 +1,111 @@
+(** The overload-resilient query daemon.
+
+    A long-lived HTTP/JSON front end over a {!Dirty.Store} directory
+    and {!Conquer.Clean} query answering, designed to degrade rather
+    than fall over:
+
+    - {b admission control}: accepted connections enter a bounded
+      queue drained by a fixed pool of worker domains; when the queue
+      is full the request is shed immediately with 503 and a
+      [Retry-After] hint instead of piling up latency for everyone.
+    - {b deadlines}: every query runs under a wall-clock deadline
+      (from the [deadline_ms] parameter, clamped to the configured
+      maximum).  Time spent waiting in the queue counts against it.
+      An expired deadline never produces a 500: if the query already
+      started, the partial rows computed so far come back as HTTP 200
+      with ["partial": true]; if it never started, 408.
+    - {b disconnect cancellation}: a reaper domain watches in-flight
+      connections; a client that goes away trips the query's
+      cancellation token, freeing the worker at its next checkpoint.
+    - {b circuit breaker}: repeated store failures (corruption,
+      injected I/O faults, exhausted retries) open a per-store
+      {!Breaker}; while open, queries answer 503 without touching the
+      store, and a jittered-backoff probe schedule closes it again
+      once the store heals.
+    - {b prepared queries and result cache}: parsing and rewriting
+      are cached per normalized query text; complete (non-partial)
+      results are cached keyed on (normalized query, mode, store
+      generation), so a store commit invalidates every stale entry by
+      construction.
+    - {b graceful drain}: {!shutdown} (the SIGTERM handler's job)
+      stops accepting, lets workers finish the queue, and — if the
+      drain deadline passes — cancels what is still running before
+      joining every domain.
+
+    {b HTTP surface} (one request per connection, [Content-Length]
+    framing):
+
+    - [GET /healthz] — 200 while the process lives.
+    - [GET /readyz] — 200 when accepting and the breaker is closed,
+      503 otherwise.
+    - [GET /metrics] — Prometheus text exposition of the telemetry
+      registry.
+    - [POST /query] (SQL text as the body) or [GET /query?sql=...] —
+      query parameters [deadline_ms], [budget_rows], and
+      [mode=rewritten|original].  200 carries
+      [{"columns", "rows", "row_count", "generation", "partial",
+      "truncated", "cancelled", "cached", "elapsed_ms"}]; 400 for
+      unparsable or non-rewritable queries, 408 for a deadline that
+      expired before execution began, 503 when shed, draining, or
+      breaker-open, 500 (with the telemetry counter
+      [serve.internal_errors]) for anything else — the worker never
+      dies. *)
+
+type config = {
+  host : string;  (** bind address, default 127.0.0.1 *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  concurrency : int;  (** worker domains draining the queue *)
+  queue_capacity : int;  (** admission queue bound; beyond it, shed *)
+  default_deadline : float;  (** seconds, when [deadline_ms] absent *)
+  max_deadline : float;  (** ceiling clamped onto client deadlines *)
+  default_budget_rows : int option;  (** row budget when none given *)
+  jobs : int;  (** engine domains per query; 1 = serial execution *)
+  cache_capacity : int;  (** result-cache entries; 0 disables *)
+  breaker_threshold : int;  (** store failures before tripping open *)
+  drain_deadline : float;  (** seconds {!run} waits before hard drain *)
+  retry_after : float;  (** seconds advertised on shed responses *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> dir:string -> unit -> t
+(** Sweep the store directory ({!Dirty.Store.recover}), load the
+    committed snapshot, build the query session, and bind the listen
+    socket.  Enables telemetry for the process (the daemon's counters
+    and [/metrics] endpoint are part of its contract).
+    @raise Dirty.Store.Corrupt when no intact snapshot exists (the
+    CLI maps this to exit code 4). *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val recovery_log : t -> string list
+(** What the startup {!Dirty.Store.recover} sweep removed. *)
+
+type drain_report = {
+  drained : bool;
+      (** every in-flight and queued request completed within
+          [drain_deadline] *)
+  cancelled_inflight : int;
+      (** queries force-cancelled by the hard drain *)
+}
+
+val run : t -> drain_report
+(** Serve until {!shutdown}: spawns the worker pool and the
+    disconnect reaper, then accepts in the calling domain (with
+    [SIGPIPE] ignored process-wide — socket writes must fail with
+    [EPIPE], not kill the daemon).  Returns once every domain is
+    joined. *)
+
+val shutdown : t -> unit
+(** Begin draining: stop accepting, finish (or, past the drain
+    deadline, cancel) in-flight work.  Safe from any domain;
+    idempotent.  Takes a lock — from a signal handler use
+    {!request_shutdown} instead. *)
+
+val request_shutdown : t -> unit
+(** Async-signal-safe {!shutdown} request (one atomic store): the
+    accept loop notices within one poll interval and begins the
+    drain.  This is what the CLI's SIGTERM/SIGINT handlers call. *)

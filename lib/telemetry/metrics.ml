@@ -188,6 +188,26 @@ let snapshot () =
     metrics
   |> List.sort (fun a b -> String.compare a.name b.name)
 
+(* The q-quantile (q in [0,1]) of a histogram snapshot: the upper
+   bound of the first bucket whose cumulative count reaches the rank —
+   an upper estimate at the buckets' log-scale resolution.  Ranks that
+   land in the overflow bucket report the largest finite bound. *)
+let histogram_quantile hs q =
+  if hs.hs_total = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank =
+      max 1 (int_of_float (Float.ceil (q *. float_of_int hs.hs_total)))
+    in
+    let n = Array.length hs.hs_bounds in
+    let rec go i =
+      if i >= n then if n = 0 then 0.0 else hs.hs_bounds.(n - 1)
+      else if hs.hs_counts.(i) >= rank then hs.hs_bounds.(i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
 (* zero every metric (handles stay valid); for tests and benchmarks *)
 let reset () =
   let metrics =

@@ -209,6 +209,7 @@ let prop_retry_backoff_schedule =
           Fault.Retry.attempts;
           base_backoff = float_of_int base_ms /. 1000.0;
           max_backoff = float_of_int cap_ms /. 1000.0;
+          jitter = 0.0 (* exact-sequence assertions need no jitter *);
         }
       in
       let calls = ref 0 in
@@ -236,7 +237,12 @@ let prop_retry_gives_up =
     (QCheck.make (QCheck.Gen.int_range 1 6))
     (fun attempts ->
       let policy =
-        { Fault.Retry.attempts; base_backoff = 0.01; max_backoff = 0.04 }
+        {
+          Fault.Retry.attempts;
+          base_backoff = 0.01;
+          max_backoff = 0.04;
+          jitter = 0.0;
+        }
       in
       let calls = ref 0 in
       let sleeps = ref 0 in
@@ -255,7 +261,80 @@ let prop_retry_gives_up =
         (* a single-attempt policy re-raises the original error *)
         attempts = 1 && !calls = 1 && !sleeps = 0)
 
+(* jittered delays: for any jitter factor and any RNG draw, the sleep
+   stays within [0, cap] and never exceeds the deterministic ceiling
+   for that attempt *)
+let prop_retry_jitter_within_cap =
+  let gen =
+    let* attempts = QCheck.Gen.int_range 2 6 in
+    let* base_ms = QCheck.Gen.int_range 1 100 in
+    let* cap_ms = QCheck.Gen.int_range 1 400 in
+    let* jitter = QCheck.Gen.float_bound_inclusive 1.0 in
+    let* draw = QCheck.Gen.float_bound_inclusive 1.0 in
+    QCheck.Gen.return (attempts, base_ms, cap_ms, jitter, draw)
+  in
+  QCheck.Test.make ~count:300
+    ~name:"retry: jittered delays stay within [0, cap] and under the ceiling"
+    (QCheck.make gen)
+    (fun (attempts, base_ms, cap_ms, jitter, draw) ->
+      let policy =
+        {
+          Fault.Retry.attempts;
+          base_backoff = float_of_int base_ms /. 1000.0;
+          max_backoff = float_of_int cap_ms /. 1000.0;
+          jitter;
+        }
+      in
+      List.for_all
+        (fun i ->
+          let d = Fault.Retry.jittered_backoff ~rng:(fun () -> draw) policy i in
+          let ceiling = Fault.Retry.backoff policy i in
+          0.0 <= d && d <= policy.max_backoff +. 1e-12 && d <= ceiling +. 1e-12)
+        (List.init (attempts - 1) Fun.id))
+
+(* with jitter off, the jittered delay is exactly the deterministic
+   schedule, whatever the RNG says *)
+let prop_retry_no_jitter_is_deterministic =
+  QCheck.Test.make ~count:100
+    ~name:"retry: jitter=0 reproduces the deterministic backoff exactly"
+    (QCheck.make (QCheck.Gen.float_bound_inclusive 1.0))
+    (fun draw ->
+      let policy = { Fault.Retry.default_policy with jitter = 0.0 } in
+      List.for_all
+        (fun i ->
+          Fault.Retry.jittered_backoff ~rng:(fun () -> draw) policy i
+          = Fault.Retry.backoff policy i)
+        [ 0; 1; 2; 3; 7 ])
+
 (* ---- cancellation deadlines ---- *)
+
+(* a deadline that has already passed (zero, negative, or at/below the
+   2ms watchdog tick) must trip the token before the wrapped function
+   runs — not one watchdog tick later *)
+let test_expired_deadline_trips_before_run () =
+  List.iter
+    (fun seconds ->
+      let tok = Engine.Cancel.create () in
+      let observed_tripped = ref false in
+      let ran = ref false in
+      (try
+         Engine.Cancel.with_deadline ~seconds tok (fun () ->
+             ran := true;
+             observed_tripped := Engine.Cancel.cancelled tok;
+             Engine.Cancel.check tok)
+       with Engine.Cancel.Cancelled _ -> ());
+      Alcotest.(check bool)
+        (Printf.sprintf "wrapped function still runs (deadline %gs)" seconds)
+        true !ran;
+      Alcotest.(check bool)
+        (Printf.sprintf "token tripped before the function ran (deadline %gs)"
+           seconds)
+        true !observed_tripped;
+      Alcotest.(check bool)
+        (Printf.sprintf "token still tripped after (deadline %gs)" seconds)
+        true
+        (Engine.Cancel.cancelled tok))
+    [ 0.0; -1.0; 0.001; 0.002 ]
 
 let test_parallel_cancel_within_deadline () =
   let tok = Engine.Cancel.create () in
@@ -294,6 +373,18 @@ let cancel_config jobs seconds =
     jobs;
     max_elapsed = Some seconds;
   }
+
+(* a budgeted query whose time budget is already spent returns an
+   empty cancelled partial, through the normal degrading path *)
+let test_expired_deadline_query_degrades () =
+  let engine = big_cross_db () in
+  let rel, { Engine.Database.truncated; cancelled } =
+    Engine.Database.query_ast_within ~config:(cancel_config 4 0.0) engine
+      cross_query
+  in
+  Alcotest.(check bool) "cancelled" true cancelled;
+  Alcotest.(check bool) "not truncated" false truncated;
+  Alcotest.(check int) "no rows produced" 0 (Relation.cardinality rel)
 
 let test_query_cancelled_partial_within_deadline () =
   let engine = big_cross_db () in
@@ -363,11 +454,20 @@ let () =
             test_randomized_schedule;
         ] );
       ( "retry",
-        [ qcheck prop_retry_backoff_schedule; qcheck prop_retry_gives_up ] );
+        [
+          qcheck prop_retry_backoff_schedule;
+          qcheck prop_retry_gives_up;
+          qcheck prop_retry_jitter_within_cap;
+          qcheck prop_retry_no_jitter_is_deterministic;
+        ] );
       ( "cancellation",
         [
           Alcotest.test_case "parallel region cancelled within 2x deadline"
             `Quick test_parallel_cancel_within_deadline;
+          Alcotest.test_case "expired deadline trips before the function runs"
+            `Quick test_expired_deadline_trips_before_run;
+          Alcotest.test_case "expired deadline degrades to empty partial"
+            `Quick test_expired_deadline_query_degrades;
           Alcotest.test_case "budgeted query degrades to cancelled partial"
             `Quick test_query_cancelled_partial_within_deadline;
           Alcotest.test_case "raise-mode query cancelled within 2x deadline"

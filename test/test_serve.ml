@@ -1,0 +1,800 @@
+(* The daemon under hostile conditions.
+
+   The headline soak: a few hundred concurrent requests — fast clean
+   queries, budgeted queries, short-deadline heavy queries, rude
+   clients that hang up mid-query, injected store faults, and live
+   re-commits bumping the generation — against one server.  The
+   daemon must never crash, never return a wrong answer (every
+   complete 200 is compared against [Clean.answers] recomputed
+   directly from the snapshot of the generation the response claims),
+   and over-deadline requests must come back as partial/408 in
+   bounded time.
+
+   Around the soak: unit tests for the FIFO cache and the circuit
+   breaker (injected clock), the cache-invalidation property (a
+   commit is immediately visible; no stale-generation answers), the
+   shed/burst path, disconnect cancellation, both drain outcomes, and
+   the serve.* metrics surface. *)
+
+open Dirty
+
+(* ---- fixture database ---- *)
+
+let table_of_clusters = Fuzz.Dbgen.store_table_of_clusters
+let db_of_tables = Fuzz.Dbgen.db_of_tables
+
+(* [variant k] databases answer the fixture queries differently for
+   every k, so a stale cache or session is caught by content, not
+   just by the generation number *)
+let variant k =
+  let cluster i =
+    ( Printf.sprintf "c%d" i,
+      [ ((100 * k) + i, 10); ((100 * k) + i + 1, 6) ] )
+  in
+  db_of_tables
+    [
+      table_of_clusters "alpha" (List.init 24 cluster);
+      table_of_clusters "beta" (List.init 6 cluster);
+    ]
+
+let fixture = variant 0
+
+let q_alpha = "select id from alpha"
+let q_beta = "select id from beta where val >= 0"
+let q_proj = "select id, val from alpha"
+let fast_queries = [ q_alpha; q_beta; q_proj ]
+
+(* ~1.3M intermediate rows (run as mode=original, outside the
+   rewritable class): long enough to outlive a short deadline, bounded
+   enough for the suite once cancelled *)
+let slow_sql =
+  "select a.val from alpha a, alpha b, alpha c, beta d where a.val + b.val + \
+   c.val + d.val > -1"
+
+(* ---- expected answers, rendered the way the server renders them ---- *)
+
+let value_json v =
+  match v with
+  | Value.Null -> "null"
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Telemetry.Export.json_float f
+  | Value.String s -> Telemetry.Export.json_string s
+  | Value.Date _ -> Telemetry.Export.json_string (Value.to_string v)
+
+let rows_json rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (value_json v))
+        row;
+      Buffer.add_char buf ']')
+    (Relation.rows rel);
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+(* query text -> expected rows JSON, for one database snapshot *)
+let expected_rows db =
+  let session = Conquer.Clean.create db in
+  List.map
+    (fun sql -> (sql, rows_json (Conquer.Clean.answers session sql)))
+    fast_queries
+
+(* ---- response parsing (field extraction, no JSON library) ---- *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let body_rows body =
+  match (find_sub body "\"rows\":", find_sub body ",\"row_count\"") with
+  | Some i, Some j ->
+    let start = i + String.length "\"rows\":" in
+    String.sub body start (j - start)
+  | _ -> Alcotest.failf "no rows field in %s" body
+
+let body_field body name =
+  let tag = "\"" ^ name ^ "\":" in
+  match find_sub body tag with
+  | None -> Alcotest.failf "no %s field in %s" name body
+  | Some i ->
+    let start = i + String.length tag in
+    let rec stop j =
+      if j >= String.length body then j
+      else match body.[j] with ',' | '}' -> j | _ -> stop (j + 1)
+    in
+    String.sub body start (stop start - start)
+
+let body_generation body = int_of_string (body_field body "generation")
+let body_flag body name = body_field body name = "true"
+
+(* ---- server harness ---- *)
+
+let base_config =
+  {
+    Server.Serve.default_config with
+    port = 0;
+    concurrency = 4;
+    queue_capacity = 16;
+    default_deadline = 10.0;
+    drain_deadline = 10.0;
+  }
+
+(* run [f dir t port] against a live server; returns f's result and
+   the drain report from shutting the server down afterwards *)
+let with_server ?(config = base_config) db f =
+  Testutil.with_temp_dir @@ fun dir ->
+  Fault.Io.reset ();
+  Store.save dir db;
+  let t = Server.Serve.create ~config ~dir () in
+  let runner = Domain.spawn (fun () -> Server.Serve.run t) in
+  let res =
+    try f dir t (Server.Serve.port t)
+    with e ->
+      Server.Serve.shutdown t;
+      ignore (Domain.join runner);
+      Fault.Io.reset ();
+      raise e
+  in
+  Server.Serve.shutdown t;
+  let report = Domain.join runner in
+  Fault.Io.reset ();
+  (res, report)
+
+type outcome = Resp of Server.Http.response | Conn_error of string
+
+let client port ?body ?(timeout = 30.0) target =
+  try Resp (Server.Http.request ~host:"127.0.0.1" ~port ?body ~timeout target)
+  with
+  | Server.Http.Disconnected -> Conn_error "disconnected"
+  | Server.Http.Timeout -> Conn_error "timeout"
+  | Unix.Unix_error (e, _, _) -> Conn_error (Unix.error_message e)
+
+let expect_200 outcome =
+  match outcome with
+  | Resp { status = 200; r_body; _ } -> r_body
+  | Resp { status; r_body; _ } ->
+    Alcotest.failf "expected 200, got %d: %s" status r_body
+  | Conn_error e -> Alcotest.failf "expected 200, got connection error: %s" e
+
+(* a rude client: sends a request and hangs up without reading *)
+let fire_and_hangup port target =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+     let req =
+       Printf.sprintf "POST %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" target
+         (String.length slow_sql) slow_sql
+     in
+     ignore (Unix.write_substring fd req 0 (String.length req))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- unit: cache ---- *)
+
+let test_cache_fifo () =
+  let open Server in
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  Cache.add c "d" 4;
+  Alcotest.(check (option int)) "oldest evicted" None (Cache.find c "a");
+  Alcotest.(check (option int)) "newest kept" (Some 4) (Cache.find c "d");
+  Alcotest.(check int) "bounded" 3 (Cache.length c);
+  Cache.add c "b" 20;
+  Alcotest.(check (option int)) "replace in place" (Some 20) (Cache.find c "b");
+  Alcotest.(check int) "replace does not grow" 3 (Cache.length c);
+  Cache.drop c (fun k -> k <> "b");
+  Alcotest.(check int) "drop by predicate" 1 (Cache.length c);
+  Cache.clear c;
+  Alcotest.(check int) "clear" 0 (Cache.length c);
+  let off = Cache.create ~capacity:0 in
+  Cache.add off "a" 1;
+  Alcotest.(check (option int)) "capacity 0 disables" None (Cache.find off "a")
+
+(* ---- unit: circuit breaker with an injected clock ---- *)
+
+let test_breaker_transitions () =
+  let open Server in
+  let now = ref 0.0 in
+  let policy =
+    { Fault.Retry.attempts = 5; base_backoff = 1.0; max_backoff = 8.0; jitter = 0.0 }
+  in
+  let b = Breaker.create ~threshold:2 ~policy ~clock:(fun () -> !now) () in
+  Alcotest.(check bool) "closed admits" true (Breaker.allow b);
+  Breaker.failure b;
+  Alcotest.(check bool) "one failure stays closed" true (Breaker.allow b);
+  Breaker.failure b;
+  Alcotest.(check bool) "threshold trips open" true (Breaker.state b = Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b);
+  now := 0.5;
+  Alcotest.(check bool) "still cooling down" false (Breaker.allow b);
+  now := 1.1;
+  Alcotest.(check bool) "cooldown over: one probe" true (Breaker.allow b);
+  Alcotest.(check bool) "half-open refuses a second probe" false (Breaker.allow b);
+  Breaker.failure b;
+  Alcotest.(check bool) "probe failure re-opens" true (Breaker.state b = Breaker.Open);
+  (* second trip backs off exponentially: 2s from the re-trip *)
+  now := 2.0;
+  Alcotest.(check bool) "longer cooldown holds" false (Breaker.allow b);
+  now := 3.2;
+  Alcotest.(check bool) "second probe admitted" true (Breaker.allow b);
+  Breaker.success b;
+  Alcotest.(check bool) "probe success closes" true (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "closed admits again" true (Breaker.allow b);
+  Alcotest.(check int) "two trips counted" 2 (Breaker.trips b)
+
+(* ---- unit: histogram quantiles ---- *)
+
+let test_histogram_quantile () =
+  let hs =
+    {
+      Telemetry.Metrics.hs_bounds = [| 0.001; 0.002; 0.004 |];
+      hs_counts = [| 2; 3; 4; 5 |];
+      hs_sum = 0.02;
+      hs_total = 5;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "p40 in first bucket" 0.001
+    (Telemetry.Metrics.histogram_quantile hs 0.4);
+  Alcotest.(check (float 1e-9)) "p60 in second bucket" 0.002
+    (Telemetry.Metrics.histogram_quantile hs 0.6);
+  Alcotest.(check (float 1e-9)) "overflow reports last bound" 0.004
+    (Telemetry.Metrics.histogram_quantile hs 1.0);
+  let empty =
+    { Telemetry.Metrics.hs_bounds = [| 1.0 |]; hs_counts = [| 0; 0 |];
+      hs_sum = 0.0; hs_total = 0 }
+  in
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0
+    (Telemetry.Metrics.histogram_quantile empty 0.99)
+
+(* ---- endpoints and differential answers ---- *)
+
+let test_endpoints_and_answers () =
+  let expected = expected_rows fixture in
+  let (), _report =
+    with_server fixture (fun _dir _t port ->
+        let body = expect_200 (client port "/healthz") in
+        Alcotest.(check string) "healthz" "{\"status\":\"ok\"}" body;
+        ignore (expect_200 (client port "/readyz"));
+        (match client port "/metrics" with
+        | Resp { status = 200; r_body; _ } ->
+          Alcotest.(check bool) "prometheus exposition" true
+            (find_sub r_body "conquer_serve_requests" <> None)
+        | _ -> Alcotest.fail "metrics endpoint failed");
+        List.iter
+          (fun (sql, rows) ->
+            let body = expect_200 (client port ~body:sql "/query") in
+            Alcotest.(check string) ("answers: " ^ sql) rows (body_rows body);
+            Alcotest.(check bool) "complete" false (body_flag body "partial");
+            Alcotest.(check bool) "first run computes" false
+              (body_flag body "cached");
+            let again = expect_200 (client port ~body:sql "/query") in
+            Alcotest.(check string) "cached rows identical" rows
+              (body_rows again);
+            Alcotest.(check bool) "second run cached" true
+              (body_flag again "cached"))
+          expected;
+        (match client port "/nope" with
+        | Resp { status = 404; _ } -> ()
+        | _ -> Alcotest.fail "unknown path should 404");
+        (match client port ~body:q_alpha "/healthz" with
+        | Resp { status = 405; _ } -> ()
+        | _ -> Alcotest.fail "POST /healthz should 405");
+        (match client port "/query" with
+        | Resp { status = 400; _ } -> ()
+        | _ -> Alcotest.fail "query without sql should 400");
+        (match client port ~body:"select nonsense from" "/query" with
+        | Resp { status = 400; _ } -> ()
+        | _ -> Alcotest.fail "parse error should 400");
+        (match client port ~body:"select val from alpha" "/query" with
+        | Resp { status = 400; r_body; _ } ->
+          Alcotest.(check bool) "explains the violation" true
+            (find_sub r_body "not rewritable" <> None)
+        | _ -> Alcotest.fail "non-rewritable should 400"))
+  in
+  ()
+
+let test_partial_on_tiny_budget () =
+  let (), _report =
+    with_server fixture (fun _dir _t port ->
+        let body =
+          expect_200 (client port ~body:q_alpha "/query?budget_rows=2")
+        in
+        Alcotest.(check bool) "partial" true (body_flag body "partial");
+        Alcotest.(check bool) "truncated" true (body_flag body "truncated");
+        (* partial results must never be served from the cache *)
+        let again =
+          expect_200 (client port ~body:q_alpha "/query?budget_rows=2")
+        in
+        Alcotest.(check bool) "partial not cached" false
+          (body_flag again "cached"))
+  in
+  ()
+
+let test_deadline_partial_or_408 () =
+  let (), _report =
+    with_server fixture (fun _dir _t port ->
+        let started = Unix.gettimeofday () in
+        let outcome =
+          client port ~body:slow_sql "/query?mode=original&deadline_ms=500"
+        in
+        let elapsed = Unix.gettimeofday () -. started in
+        (match outcome with
+        | Resp { status = 200; r_body; _ } ->
+          Alcotest.(check bool) "over-deadline answer is partial" true
+            (body_flag r_body "partial");
+          Alcotest.(check bool) "flagged cancelled" true
+            (body_flag r_body "cancelled")
+        | Resp { status = 408; _ } -> ()
+        | Resp { status; r_body; _ } ->
+          Alcotest.failf "expected partial 200 or 408, got %d: %s" status r_body
+        | Conn_error e -> Alcotest.failf "connection error: %s" e);
+        Alcotest.(check bool)
+          (Printf.sprintf "within 2x deadline (took %.3fs)" elapsed)
+          true (elapsed <= 1.0))
+  in
+  ()
+
+(* ---- overload: shed with Retry-After, queue deadline 408 ---- *)
+
+let test_shed_under_burst () =
+  let config =
+    { base_config with concurrency = 1; queue_capacity = 2; default_deadline = 0.4 }
+  in
+  let before = Option.value (Telemetry.Metrics.counter_value "serve.shed") ~default:0 in
+  let outcomes, _report =
+    with_server ~config fixture (fun _dir _t port ->
+        let clients =
+          List.init 12 (fun _ ->
+              Domain.spawn (fun () ->
+                  client port ~body:slow_sql "/query?mode=original"))
+        in
+        List.map Domain.join clients)
+  in
+  let shed =
+    List.filter
+      (fun o ->
+        match o with
+        | Resp ({ status = 503; _ } as r) ->
+          Alcotest.(check bool) "shed carries retry-after" true
+            (Server.Http.(
+               List.assoc_opt "retry-after" r.r_headers <> None));
+          true
+        | _ -> false)
+      outcomes
+  in
+  List.iter
+    (fun o ->
+      match o with
+      | Resp { status = 200 | 408 | 503; _ } -> ()
+      | Resp { status; r_body; _ } ->
+        Alcotest.failf "burst produced status %d: %s" status r_body
+      | Conn_error _ -> (* a shed connection torn down mid-exchange *) ())
+    outcomes;
+  Alcotest.(check bool) "burst actually shed" true (List.length shed >= 1);
+  let after = Option.value (Telemetry.Metrics.counter_value "serve.shed") ~default:0 in
+  Alcotest.(check bool) "serve.shed counted" true (after > before)
+
+(* ---- disconnect cancellation frees the worker ---- *)
+
+let test_client_disconnect_cancels () =
+  let config = { base_config with concurrency = 1 } in
+  let before =
+    Option.value (Telemetry.Metrics.counter_value "serve.cancelled") ~default:0
+  in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        (* occupy the only worker with a 30s-deadline heavy query whose
+           client immediately hangs up *)
+        fire_and_hangup port "/query?mode=original&deadline_ms=30000";
+        Unix.sleepf 0.2;
+        (* the reaper must trip the abandoned query's token well before
+           its deadline, freeing the worker for this request *)
+        let started = Unix.gettimeofday () in
+        let body = expect_200 (client port ~body:q_alpha "/query" ~timeout:20.0) in
+        let elapsed = Unix.gettimeofday () -. started in
+        Alcotest.(check bool) "answer still correct" false
+          (body_flag body "partial");
+        Alcotest.(check bool)
+          (Printf.sprintf "worker freed fast (%.3fs)" elapsed)
+          true (elapsed < 10.0))
+  in
+  let after =
+    Option.value (Telemetry.Metrics.counter_value "serve.cancelled") ~default:0
+  in
+  Alcotest.(check bool) "disconnect counted as cancellation" true (after > before)
+
+(* ---- cache invalidation across commits (satellite property) ---- *)
+
+let test_cache_invalidation_on_commit () =
+  let (), _report =
+    with_server fixture (fun dir _t port ->
+        for k = 1 to 6 do
+          (* populate the cache for the current generation... *)
+          ignore (expect_200 (client port ~body:q_alpha "/query"));
+          let warm = expect_200 (client port ~body:q_alpha "/query") in
+          Alcotest.(check bool) "cache warm before commit" true
+            (body_flag warm "cached");
+          (* ...then commit a snapshot with different answers *)
+          let db = variant k in
+          Store.save dir db;
+          let committed = Store.generation dir in
+          let fresh = List.assoc q_alpha (expected_rows db) in
+          let body = expect_200 (client port ~body:q_alpha "/query") in
+          Alcotest.(check int)
+            (Printf.sprintf "commit %d visible immediately" k)
+            committed (body_generation body);
+          Alcotest.(check string)
+            (Printf.sprintf "no stale answers after commit %d" k)
+            fresh (body_rows body);
+          Alcotest.(check bool) "not served from the stale cache" false
+            (body_flag body "cached")
+        done)
+  in
+  ()
+
+(* ---- circuit breaker against injected store faults ---- *)
+
+let test_breaker_trips_and_recovers () =
+  let saved_policy = Fault.Retry.policy () in
+  Fault.Retry.set_policy
+    { attempts = 2; base_backoff = 0.02; max_backoff = 0.1; jitter = 0.0 };
+  Fun.protect ~finally:(fun () -> Fault.Retry.set_policy saved_policy)
+  @@ fun () ->
+  let config = { base_config with breaker_threshold = 2 } in
+  let before =
+    Option.value (Telemetry.Metrics.counter_value "serve.breaker_trips")
+      ~default:0
+  in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        ignore (expect_200 (client port ~body:q_alpha "/query"));
+        (* simulate the store's disk dying mid-flight: every shim
+           operation now raises *)
+        Fault.Io.reset ();
+        Fault.Io.arm [ (0, Fault.Io.Crash) ];
+        let statuses =
+          List.init 6 (fun _ ->
+              match client port ~body:q_beta "/query" with
+              | Resp r -> r.Server.Http.status
+              | Conn_error e -> Alcotest.failf "connection error: %s" e)
+        in
+        List.iter
+          (fun s ->
+            Alcotest.(check int) "faulty store answers 503, not 500" 503 s)
+          statuses;
+        (* cached answers for the current generation are not reachable
+           while the breaker is open — the daemon fails fast instead *)
+        (* the disk heals; after the cooldown the half-open probe must
+           close the breaker and serve again *)
+        Fault.Io.reset ();
+        Unix.sleepf 0.3;
+        let rec recovered tries =
+          if tries = 0 then Alcotest.fail "breaker never closed after heal"
+          else
+            match client port ~body:q_alpha "/query" with
+            | Resp { status = 200; _ } -> ()
+            | _ ->
+              Unix.sleepf 0.1;
+              recovered (tries - 1)
+        in
+        recovered 10)
+  in
+  let after =
+    Option.value (Telemetry.Metrics.counter_value "serve.breaker_trips")
+      ~default:0
+  in
+  Alcotest.(check bool) "breaker trip counted" true (after > before)
+
+(* ---- drain: clean and forced ---- *)
+
+let test_graceful_drain_clean () =
+  let config = { base_config with concurrency = 2; drain_deadline = 10.0 } in
+  let outcomes, report =
+    with_server ~config fixture (fun _dir t port ->
+        let clients =
+          List.init 3 (fun _ ->
+              Domain.spawn (fun () ->
+                  client port ~body:slow_sql "/query?mode=original&deadline_ms=800"))
+        in
+        Unix.sleepf 0.1;
+        (* drain while they are still executing; with_server joins the
+           runner, so returning here races shutdown against the work *)
+        Server.Serve.shutdown t;
+        List.map Domain.join clients)
+  in
+  Alcotest.(check bool) "drained cleanly" true report.Server.Serve.drained;
+  List.iter
+    (fun o ->
+      match o with
+      | Resp { status = 200 | 408 | 503; _ } -> ()
+      | Resp { status; _ } -> Alcotest.failf "drain produced status %d" status
+      | Conn_error e -> Alcotest.failf "drain dropped a client: %s" e)
+    outcomes
+
+let test_forced_drain_cancels () =
+  let config =
+    { base_config with concurrency = 2; drain_deadline = 0.2; default_deadline = 30.0 }
+  in
+  let started = Unix.gettimeofday () in
+  let outcomes, report =
+    with_server ~config fixture (fun _dir t port ->
+        let clients =
+          List.init 2 (fun _ ->
+              Domain.spawn (fun () ->
+                  client port ~body:slow_sql "/query?mode=original"))
+        in
+        Unix.sleepf 0.15;
+        Server.Serve.shutdown t;
+        List.map Domain.join clients)
+  in
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check bool) "hard drain reported" false report.Server.Serve.drained;
+  Alcotest.(check bool) "in-flight work was cancelled" true
+    (report.Server.Serve.cancelled_inflight >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "came down in bounded time (%.2fs)" elapsed)
+    true (elapsed < 10.0);
+  (* force-cancelled queries still answer: 200 with the partial flag *)
+  List.iter
+    (fun o ->
+      match o with
+      | Resp { status = 200; r_body; _ } ->
+        Alcotest.(check bool) "cancelled partial" true
+          (body_flag r_body "partial")
+      | Resp { status = 408 | 503; _ } -> ()
+      | Resp { status; _ } -> Alcotest.failf "forced drain status %d" status
+      | Conn_error e -> Alcotest.failf "forced drain dropped a client: %s" e)
+    outcomes
+
+(* ---- metrics surface (satellite snapshot test) ---- *)
+
+let test_metrics_surface () =
+  (* by this point earlier tests have driven real traffic *)
+  let names =
+    List.map
+      (fun (s : Telemetry.Metrics.sample) -> s.name)
+      (Telemetry.Metrics.snapshot ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [
+      "serve.requests"; "serve.shed"; "serve.cancelled"; "serve.partial";
+      "serve.cache_hits"; "serve.breaker_trips"; "serve.request_seconds";
+    ];
+  Alcotest.(check bool) "requests counted" true
+    (Option.value (Telemetry.Metrics.counter_value "serve.requests") ~default:0
+    > 0);
+  let prom = Telemetry.Export.prometheus_string () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " exported") true (find_sub prom n <> None))
+    [
+      "conquer_serve_requests"; "conquer_serve_shed";
+      "conquer_serve_cache_hits"; "conquer_serve_breaker_trips";
+      "conquer_serve_request_seconds";
+    ];
+  (* the latency histogram is live: quantiles are ordered and positive *)
+  match
+    List.find_opt
+      (fun (s : Telemetry.Metrics.sample) -> s.name = "serve.request_seconds")
+      (Telemetry.Metrics.snapshot ())
+  with
+  | Some { data = Telemetry.Metrics.Histogram_value hs; _ } when hs.hs_total > 0
+    ->
+    let p50 = Telemetry.Metrics.histogram_quantile hs 0.5 in
+    let p99 = Telemetry.Metrics.histogram_quantile hs 0.99 in
+    Alcotest.(check bool) "p50 positive" true (p50 > 0.0);
+    Alcotest.(check bool) "quantiles ordered" true (p50 <= p99)
+  | _ -> Alcotest.fail "serve.request_seconds has no observations"
+
+(* ---- the chaos soak ---- *)
+
+let test_chaos_soak () =
+  (* generation -> expected rows per query; written by the saver
+     domain, read by the clients, hence the lock *)
+  let gen_expected = Hashtbl.create 8 in
+  let exp_lock = Mutex.create () in
+  let record_expected gen db =
+    let rows = expected_rows db in
+    Mutex.lock exp_lock;
+    Hashtbl.replace gen_expected gen rows;
+    Mutex.unlock exp_lock
+  in
+  let lookup_expected gen =
+    Mutex.lock exp_lock;
+    let r = Hashtbl.find_opt gen_expected gen in
+    Mutex.unlock exp_lock;
+    r
+  in
+  record_expected 1 fixture;
+  let wrong = ref [] in
+  let wrong_lock = Mutex.create () in
+  let complain fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Mutex.lock wrong_lock;
+        wrong := msg :: !wrong;
+        Mutex.unlock wrong_lock)
+      fmt
+  in
+  (* a complete 200 must carry exactly the direct [Clean.answers] of
+     the snapshot of the generation it claims *)
+  let check_complete_answer sql body =
+    if not (body_flag body "partial") then begin
+      let gen = body_generation body in
+      match lookup_expected gen with
+      | None -> complain "response claims unknown generation %d" gen
+      | Some expected ->
+        let want = List.assoc sql expected in
+        let got = body_rows body in
+        if got <> want then
+          complain "wrong answer for %S at generation %d: %s <> %s" sql gen got
+            want
+    end
+  in
+  let config =
+    { base_config with concurrency = 4; queue_capacity = 8; breaker_threshold = 3 }
+  in
+  let statuses = Array.make 600 0 in
+  let phase nclients per_client worker =
+    let domains =
+      List.init nclients (fun c ->
+          Domain.spawn (fun () ->
+              for i = 0 to per_client - 1 do
+                worker c i
+              done))
+    in
+    List.iter Domain.join domains
+  in
+  let (), report =
+    with_server ~config fixture (fun dir _t port ->
+        let record slot outcome =
+          (match outcome with
+          | Resp { status = (200 | 400 | 408 | 503) as s; _ } ->
+            statuses.(slot) <- s
+          | Resp { status; r_body; _ } ->
+            complain "unexpected status %d: %s" status r_body
+          | Conn_error _ -> statuses.(slot) <- -1);
+          outcome
+        in
+        (* phase A: 160 concurrent well-behaved requests, no faults —
+           every one must come back 200 with the right rows *)
+        phase 8 20 (fun c i ->
+            let slot = (c * 20) + i in
+            let sql = List.nth fast_queries (i mod 3) in
+            match record slot (client port ~body:sql "/query") with
+            | Resp { status = 200; r_body; _ } ->
+              check_complete_answer sql r_body
+            | Resp { status; r_body; _ } ->
+              complain "phase A status %d: %s" status r_body
+            | Conn_error e -> complain "phase A connection error: %s" e);
+        (* phase B: 64 requests mixing heavy short-deadline queries,
+           tiny budgets, and rude disconnecting clients *)
+        phase 8 8 (fun c i ->
+            let slot = 160 + (c * 8) + i in
+            match i mod 4 with
+            | 0 -> (
+              let started = Unix.gettimeofday () in
+              let o =
+                record slot
+                  (client port ~body:slow_sql
+                     "/query?mode=original&deadline_ms=1000")
+              in
+              let elapsed = Unix.gettimeofday () -. started in
+              if elapsed > 2.0 then
+                complain "deadline overrun: %.3fs for a 1s deadline" elapsed;
+              match o with
+              | Resp { status = 200; _ } -> () (* partial or complete: fine *)
+              | Resp { status = 408 | 503; _ } -> ()
+              | Resp { status; _ } -> complain "phase B status %d" status
+              | Conn_error e -> complain "phase B connection error: %s" e)
+            | 1 ->
+              fire_and_hangup port "/query?mode=original&deadline_ms=20000";
+              statuses.(slot) <- 0
+            | _ -> (
+              let sql = List.nth fast_queries (i mod 3) in
+              match
+                record slot (client port ~body:sql "/query?budget_rows=3")
+              with
+              | Resp { status = 200; r_body; _ } ->
+                check_complete_answer sql r_body
+              | Resp { status = 503; _ } -> ()
+              | Resp { status; _ } -> complain "phase B status %d" status
+              | Conn_error e -> complain "phase B connection error: %s" e));
+        (* phase C: live re-commits concurrent with 96 readers — every
+           complete answer must match the generation it names.  The
+           saver records the expected answers BEFORE committing (one
+           sequential saver, so the post-save generation is known), so
+           a reader can never observe a generation it cannot check. *)
+        let saver =
+          Domain.spawn (fun () ->
+              for k = 1 to 2 do
+                Unix.sleepf 0.05;
+                let db = variant k in
+                record_expected (Store.generation dir + 1) db;
+                Store.save dir db
+              done)
+        in
+        phase 8 12 (fun c i ->
+            let slot = 224 + (c * 12) + i in
+            let sql = List.nth fast_queries (i mod 3) in
+            match record slot (client port ~body:sql "/query") with
+            | Resp { status = 200; r_body; _ } ->
+              check_complete_answer sql r_body
+            | Resp { status = 503; _ } -> ()
+            | Resp { status; r_body; _ } ->
+              complain "phase C status %d: %s" status r_body
+            | Conn_error e -> complain "phase C connection error: %s" e);
+        Domain.join saver)
+  in
+  (match !wrong with
+  | [] -> ()
+  | msgs ->
+    Alcotest.failf "soak found %d violation(s):\n%s" (List.length msgs)
+      (String.concat "\n" msgs));
+  let total = Array.fold_left (fun n s -> if s <> 0 then n + 1 else n) 0 statuses in
+  Alcotest.(check bool)
+    (Printf.sprintf "soak exercised %d requests" total)
+    true (total >= 200);
+  let ok = Array.fold_left (fun n s -> if s = 200 then n + 1 else n) 0 statuses in
+  Alcotest.(check bool)
+    (Printf.sprintf "most requests answered 200 (%d/%d)" ok total)
+    true (ok * 10 >= total * 7);
+  Alcotest.(check bool) "server drained after the soak" true
+    report.Server.Serve.drained
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "cache FIFO semantics" `Quick test_cache_fifo;
+          Alcotest.test_case "breaker transitions" `Quick
+            test_breaker_transitions;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantile;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "endpoints and differential answers" `Quick
+            test_endpoints_and_answers;
+          Alcotest.test_case "tiny budget yields partial, uncached" `Quick
+            test_partial_on_tiny_budget;
+          Alcotest.test_case "deadline yields partial or 408 in 2x" `Quick
+            test_deadline_partial_or_408;
+          Alcotest.test_case "burst sheds with Retry-After" `Quick
+            test_shed_under_burst;
+          Alcotest.test_case "client disconnect cancels the query" `Quick
+            test_client_disconnect_cancels;
+          Alcotest.test_case "commits invalidate the result cache" `Quick
+            test_cache_invalidation_on_commit;
+          Alcotest.test_case "breaker trips on store faults and heals" `Quick
+            test_breaker_trips_and_recovers;
+          Alcotest.test_case "graceful drain completes in-flight work" `Quick
+            test_graceful_drain_clean;
+          Alcotest.test_case "forced drain cancels in bounded time" `Quick
+            test_forced_drain_cancels;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "chaos soak" `Slow test_chaos_soak ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "serve counters surfaced" `Quick
+            test_metrics_surface;
+        ] );
+    ]
