@@ -982,10 +982,77 @@ let report_serve () =
   Printf.printf "  drain: %s (%d cancelled in flight)\n"
     (if drain.Server.Serve.drained then "clean" else "forced")
     drain.Server.Serve.cancelled_inflight;
+  (* trace overhead A/B: the same steady workload against a second
+     daemon with every request traced (sample rate 1.0, slow-query
+     threshold armed, query log on).  The recorded sample is the
+     traced/untraced p50 ratio — dimensionless, so divided by 1000
+     like the other ratios; ~0.001 in BENCH json means parity. *)
+  let traced_config =
+    {
+      config with
+      trace_sample = 1.0;
+      slow_query_ms = Some 500.0;
+      trace_capacity = 64;
+    }
+  in
+  let t2 = Server.Serve.create ~config:traced_config ~dir () in
+  let port2 = Server.Serve.port t2 in
+  let runner2 = Domain.spawn (fun () -> Server.Serve.run t2) in
+  let fire2 sql =
+    try
+      let r =
+        Server.Http.request ~host:"127.0.0.1" ~port:port2 ~timeout:30.0
+          ~body:sql "/query"
+      in
+      Some r.Server.Http.status
+    with _ -> None
+  in
+  Array.iter (fun q -> ignore (fire2 q)) queries;
+  let traced_results =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            List.init per_client (fun i ->
+                let sql = queries.((c + i) mod Array.length queries) in
+                let t0 = Unix.gettimeofday () in
+                let status = fire2 sql in
+                (status, Unix.gettimeofday () -. t0))))
+    |> List.concat_map Domain.join
+  in
+  let traced_ok =
+    List.filter (fun (s, _) -> s = Some 200) traced_results
+    |> List.map snd |> Array.of_list
+  in
+  Array.sort compare traced_ok;
+  let n_traced = Array.length traced_ok in
+  if n_traced = 0 then failwith "serve bench: no traced responses";
+  let traced_p50 =
+    traced_ok.(min (n_traced - 1) (int_of_float (0.5 *. float_of_int n_traced)))
+  in
+  let overhead = traced_p50 /. p50 in
+  record "serve/trace_overhead" (Telemetry.Timing.singleton (overhead /. 1000.0));
+  Printf.printf
+    "traced phase (sample 1.0): p50 %.2fms vs %.2fms untraced — x%.3f\n"
+    (ms traced_p50) (ms p50) overhead;
+  (* smoke the debug surface while the traced daemon is still up *)
+  let debug target =
+    try
+      (Server.Http.request ~host:"127.0.0.1" ~port:port2 target).Server.Http
+        .status
+    with _ -> 0
+  in
+  Printf.printf
+    "  debug surface: /debug/requests=%d /debug/traces=%d /debug/querylog=%d \
+     /debug/gc=%d /debug/exemplars=%d\n"
+    (debug "/debug/requests") (debug "/debug/traces")
+    (debug "/debug/querylog?n=5") (debug "/debug/gc")
+    (debug "/debug/exemplars");
+  Server.Serve.shutdown t2;
+  ignore (Domain.join runner2);
   rm_rf dir;
   note "p50/p99 measured through real sockets, cache warm; shed rate";
   note "        from a burst of %d clients against %d workers + queue %d"
-    burst_clients config.concurrency config.queue_capacity
+    burst_clients config.concurrency config.queue_capacity;
+  note "trace_overhead = traced(sample 1.0) p50 / untraced p50, same load"
 
 (* ------------------------------------------------------------------ *)
 (* bechamel statistical pass                                           *)

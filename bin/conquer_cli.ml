@@ -13,6 +13,8 @@
      assign     compute tuple probabilities for a clustered CSV (Figure 5)
      generate   emit a dirty TPC-H-style database as CSV files
      recover    sweep crash debris from a saved database directory
+     serve      run the overload-resilient query daemon
+     trace      inspect a running daemon: traces and the query log
      demo       walk through the paper's running example
 
    Exit codes: 0 success; 2 the database has Error-severity validation
@@ -362,7 +364,7 @@ let query_cmd =
 (* ---- profile ---- *)
 
 let profile_cmd =
-  let run tables dir sql mode runs lenient repair =
+  let run tables dir sql mode runs format lenient repair =
     handling_failures @@ fun () ->
     (* counting starts before the load, so I/O retries and recoveries
        during store loading show up in the counter section below *)
@@ -380,27 +382,94 @@ let profile_cmd =
     (* one instrumented pass captures the span tree (plan operators,
        rewriting, and the clean-answer aggregation) *)
     let result, spans = Telemetry.Span.collecting (fun () -> execute ()) in
-    Printf.printf "%d answer row(s)\n\nspan tree:\n" (Relation.cardinality result);
-    List.iter
-      (fun s -> print_string (Telemetry.Export.span_to_string s))
-      spans;
-    (* counters, including the robustness ones (faults injected, I/O
-       retries, store recoveries, cancellations) *)
-    print_string "\ncounters:\n";
-    List.iter
-      (fun (s : Telemetry.Metrics.sample) ->
-        match s.data with
-        | Telemetry.Metrics.Counter_value n ->
-          Printf.printf "  %-36s %d\n" s.name n
-        | _ -> ())
-      (Telemetry.Metrics.snapshot ());
     (* repeated timing runs with telemetry forced off, so the numbers
        are not distorted by the instrumentation itself *)
     let stats =
       Telemetry.Control.with_disabled (fun () ->
           Telemetry.Timing.time_runs ~runs (fun () -> ignore (execute ())))
     in
-    Printf.printf "\ntiming (telemetry off): %s\n" (Telemetry.Timing.to_string stats)
+    let samples = Telemetry.Metrics.snapshot () in
+    let histograms =
+      List.filter_map
+        (fun (s : Telemetry.Metrics.sample) ->
+          match s.data with
+          | Telemetry.Metrics.Histogram_value h when h.hs_total > 0 ->
+            Some
+              ( s.name,
+                h,
+                Telemetry.Metrics.histogram_quantile h 0.5,
+                Telemetry.Metrics.histogram_quantile h 0.99 )
+          | _ -> None)
+        samples
+    in
+    match format with
+    | `Human ->
+      Printf.printf "%d answer row(s)\n\nspan tree:\n"
+        (Relation.cardinality result);
+      List.iter
+        (fun s -> print_string (Telemetry.Export.span_to_string s))
+        spans;
+      (* counters, including the robustness ones (faults injected, I/O
+         retries, store recoveries, cancellations) *)
+      print_string "\ncounters:\n";
+      List.iter
+        (fun (s : Telemetry.Metrics.sample) ->
+          match s.data with
+          | Telemetry.Metrics.Counter_value n ->
+            Printf.printf "  %-36s %d\n" s.name n
+          | _ -> ())
+        samples;
+      (* latency distributions, summarized by the same quantile
+         estimator the daemon's debug surface uses *)
+      print_string "\nhistograms (p50/p99, bucket upper bounds):\n";
+      List.iter
+        (fun (name, (h : Telemetry.Metrics.histogram_snapshot), p50, p99) ->
+          Printf.printf "  %-36s n=%-6d p50=%.3gs p99=%.3gs sum=%.3gs\n" name
+            h.hs_total p50 p99 h.hs_sum)
+        histograms;
+      Printf.printf "\ntiming (telemetry off): %s\n"
+        (Telemetry.Timing.to_string stats)
+    | `Json ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"rows\":%d,\"spans\":["
+           (Relation.cardinality result));
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Telemetry.Export.span_to_json s))
+        spans;
+      Buffer.add_string buf "],\"metrics\":";
+      Buffer.add_string buf (Telemetry.Export.metrics_json ());
+      Buffer.add_string buf ",\"quantiles\":{";
+      List.iteri
+        (fun i (name, _, p50, p99) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "%s:{\"p50\":%s,\"p99\":%s}"
+               (Telemetry.Export.json_string name)
+               (Telemetry.Export.json_float p50)
+               (Telemetry.Export.json_float p99)))
+        histograms;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "},\"timing_ms\":{\"runs\":%d,\"min\":%s,\"median\":%s,\"max\":%s}}"
+           stats.Telemetry.Timing.runs
+           (Telemetry.Export.json_float (stats.Telemetry.Timing.min *. 1000.0))
+           (Telemetry.Export.json_float
+              (stats.Telemetry.Timing.median *. 1000.0))
+           (Telemetry.Export.json_float (stats.Telemetry.Timing.max *. 1000.0)));
+      print_endline (Buffer.contents buf)
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: 'human' (the span tree and counter sections) or \
+             'json' (one machine-readable object with spans, metrics, \
+             histogram quantiles, and timings).")
   in
   let mode =
     Arg.(
@@ -420,12 +489,13 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Run a query with telemetry enabled: print the tracing-span tree \
-          (per-operator rows, wall-clock, allocation) and min/median/max \
-          timings. Combine with --metrics FILE for a Prometheus-style \
-          counter snapshot.")
+          (per-operator rows, wall-clock, allocation), histogram p50/p99 \
+          quantiles, and min/median/max timings — or the same as one JSON \
+          object with --format json. Combine with --metrics FILE for a \
+          Prometheus-style counter snapshot.")
     Term.(
-      const run $ tables_arg $ dir_arg $ sql_arg $ mode $ runs $ lenient_arg
-      $ repair_arg)
+      const run $ tables_arg $ dir_arg $ sql_arg $ mode $ runs $ format
+      $ lenient_arg $ repair_arg)
 
 (* ---- validate ---- *)
 
@@ -818,7 +888,7 @@ let recover_cmd =
 
 let serve_cmd =
   let run dir host port concurrency queue_capacity deadline_ms max_deadline_ms
-      budget_rows jobs cache drain_ms =
+      budget_rows jobs cache drain_ms trace_sample slow_query_ms query_log =
     handling_failures @@ fun () ->
     let config =
       {
@@ -833,6 +903,9 @@ let serve_cmd =
         jobs;
         cache_capacity = cache;
         drain_deadline = float_of_int drain_ms /. 1000.0;
+        trace_sample;
+        slow_query_ms;
+        querylog_path = query_log;
       }
     in
     let t = Server.Serve.create ~config ~dir () in
@@ -921,21 +994,203 @@ let serve_cmd =
           ~doc:"Grace period for in-flight work on shutdown; past it, \
                 remaining queries are cancelled (exit code 3).")
   in
+  let trace_sample =
+    Arg.(
+      value & opt float 0.0
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Fraction of /query requests whose span tree is retained for \
+             /debug/traces (decided deterministically from the trace id). 0 \
+             disables request tracing; 1 traces everything.")
+  in
+  let slow_query_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests slower than this (total, queue wait included) are \
+             counted, flagged in the query log, and promoted to a full span \
+             dump even when not sampled.")
+  in
+  let query_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "query-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per /query request (fingerprint, plan \
+             hash, latency split, outcome flags) to FILE, in addition to \
+             the in-memory ring behind /debug/querylog.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the query daemon: an HTTP/JSON endpoint over a database \
           directory with admission control, per-request deadlines (partial \
           answers instead of errors), client-disconnect cancellation, a \
-          store circuit breaker, a generation-keyed result cache, and \
-          graceful SIGTERM drain. Routes: GET /healthz, GET /readyz, GET \
-          /metrics (Prometheus), POST /query (SQL body; deadline_ms, \
-          budget_rows, mode parameters). Exit codes: 0 after a clean drain, \
-          3 when the drain deadline forced cancellations, 4 when the store \
-          cannot be loaded.")
+          store circuit breaker, a generation-keyed result cache, \
+          request-scoped tracing (--trace-sample, --slow-query-ms, \
+          /debug/traces), a structured query log (--query-log, \
+          /debug/querylog), and graceful SIGTERM drain. Routes: GET \
+          /healthz, GET /readyz, GET /metrics (Prometheus), GET \
+          /debug/requests|traces|querylog|gc|exemplars, POST /query (SQL \
+          body; deadline_ms, budget_rows, mode parameters). Exit codes: 0 \
+          after a clean drain, 3 when the drain deadline forced \
+          cancellations, 4 when the store cannot be loaded.")
     Term.(
       const run $ dir $ host $ port $ concurrency $ queue_capacity
-      $ deadline_ms $ max_deadline_ms $ budget_rows $ jobs $ cache $ drain_ms)
+      $ deadline_ms $ max_deadline_ms $ budget_rows $ jobs $ cache $ drain_ms
+      $ trace_sample $ slow_query_ms $ query_log)
+
+(* ---- trace: inspect a running daemon's observability surface ---- *)
+
+let trace_cmd =
+  let run host port id log n follow json =
+    handling_failures @@ fun () ->
+    let get target =
+      match Server.Http.request ~host ~port target with
+      | resp -> resp
+      | exception (Unix.Unix_error _ as e) ->
+        Printf.eprintf "cannot reach %s:%d: %s\n" host port
+          (Printexc.to_string e);
+        exit 4
+    in
+    let fail_body (resp : Server.Http.response) =
+      Printf.eprintf "daemon answered %d: %s\n" resp.status
+        (String.trim resp.r_body);
+      exit 1
+    in
+    let print_record (r : Server.Querylog.record) =
+      if json then print_endline (Server.Querylog.to_json r)
+      else begin
+        let flags =
+          List.filter_map
+            (fun (set, tag) -> if set then Some tag else None)
+            [
+              (r.cached, "cached");
+              (r.truncated, "truncated");
+              (r.cancelled, "cancelled");
+              (r.slow, "slow");
+              (r.sampled, "traced");
+            ]
+        in
+        Printf.printf
+          "#%-5d %3d %-9s %6d rows  queue=%.1fms exec=%.1fms total=%.1fms  %s%s  %s\n"
+          r.seq r.status r.mode r.rows r.queue_wait_ms r.exec_ms r.total_ms
+          r.trace_id
+          (if flags = [] then "" else "  [" ^ String.concat "," flags ^ "]")
+          r.sql
+      end
+    in
+    match (id, log) with
+    | Some id, _ ->
+      (* one retained trace, rendered server-side so the output here
+         matches the daemon's own /debug view *)
+      let target =
+        if json then Printf.sprintf "/debug/traces/%s" id
+        else Printf.sprintf "/debug/traces/%s?format=pretty" id
+      in
+      let resp = get target in
+      if resp.status <> 200 then fail_body resp;
+      print_string resp.r_body;
+      if String.length resp.r_body > 0
+         && resp.r_body.[String.length resp.r_body - 1] <> '\n'
+      then print_newline ()
+    | None, true ->
+      (* tail the query log by sequence cursor *)
+      let parse_lines body =
+        String.split_on_char '\n' body
+        |> List.filter_map (fun line ->
+               if String.trim line = "" then None
+               else
+                 match Server.Querylog.of_json line with
+                 | Ok r -> Some r
+                 | Error e ->
+                   Printf.eprintf "skipping malformed record: %s\n" e;
+                   None)
+      in
+      let fetch ~after ~n =
+        let resp =
+          get (Printf.sprintf "/debug/querylog?n=%d&after=%d" n after)
+        in
+        if resp.status <> 200 then fail_body resp;
+        parse_lines resp.r_body
+      in
+      let records = fetch ~after:0 ~n in
+      List.iter print_record records;
+      let cursor =
+        ref
+          (List.fold_left (fun acc (r : Server.Querylog.record) ->
+               max acc r.seq)
+             0 records)
+      in
+      if follow then
+        while true do
+          Unix.sleepf 0.5;
+          let fresh = fetch ~after:!cursor ~n:1000 in
+          List.iter print_record fresh;
+          List.iter
+            (fun (r : Server.Querylog.record) -> cursor := max !cursor r.seq)
+            fresh
+        done
+    | None, false ->
+      (* no id, no --log: list what the trace ring holds *)
+      let resp = get "/debug/traces" in
+      if resp.status <> 200 then fail_body resp;
+      print_endline resp.r_body
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let id =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"TRACE_ID"
+          ~doc:
+            "Fetch one retained trace and pretty-print its span tree \
+             (per-operator wall-clock, rows, allocation).")
+  in
+  let log =
+    Arg.(
+      value & flag
+      & info [ "log" ]
+          ~doc:"Print the daemon's structured query log instead of a trace.")
+  in
+  let n =
+    Arg.(
+      value & opt int 50
+      & info [ "n" ] ~docv:"K" ~doc:"Query-log records to fetch (with --log).")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "f"; "follow" ]
+          ~doc:"With --log: keep polling for new records (like tail -f).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Raw JSON output (the trace object, or one JSON line per \
+             query-log record).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Inspect a running 'conquer serve' daemon: fetch a retained \
+          request trace by id (pretty span tree with queue wait, planner, \
+          per-operator execution, serialization), tail the structured query \
+          log with --log [--follow], or list retained traces when called \
+          with no arguments. Pair with serve's --trace-sample / \
+          --slow-query-ms to control what gets retained.")
+    Term.(const run $ host $ port $ id $ log $ n $ follow $ json)
 
 (* ---- fuzz ---- *)
 
@@ -1189,5 +1444,6 @@ let () =
           [
             query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
             expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
-            generate_cmd; recover_cmd; serve_cmd; fuzz_cmd; demo_cmd;
+            generate_cmd; recover_cmd; serve_cmd; trace_cmd; fuzz_cmd;
+            demo_cmd;
           ]))

@@ -113,15 +113,19 @@ let guarded budget f =
     | Some tok, Some seconds -> Cancel.with_deadline ~seconds tok f
     | _ -> f ())
 
+(* Every query entry point runs under one [engine.query] span, so a
+   request-scoped trace (the daemon's) sees planning and per-operator
+   execution as a single attributable subtree rather than a loose
+   collection of roots. *)
 let timed_query f =
   Telemetry.Metrics.inc m_queries;
   if not (Telemetry.Control.enabled ()) then f ()
-  else begin
-    let t0 = Unix.gettimeofday () in
-    let result = f () in
-    Telemetry.Metrics.observe h_query_seconds (Unix.gettimeofday () -. t0);
-    result
-  end
+  else
+    Telemetry.Span.with_ ~name:"engine.query" (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let result = f () in
+        Telemetry.Metrics.observe h_query_seconds (Unix.gettimeofday () -. t0);
+        result)
 
 let query_ast ?config t q =
   timed_query (fun () ->
@@ -140,11 +144,16 @@ let query_ast_within ?config ?cancel t q =
         guarded budget (fun () ->
             run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q))
       in
-      ( rel,
+      let stop =
         match budget with
         | Some b ->
           { truncated = Budget.truncated b; cancelled = Budget.cancelled b }
-        | None -> no_stop ))
+        | None -> no_stop
+      in
+      Telemetry.Span.add_attr "rows" (string_of_int (Relation.cardinality rel));
+      if stop.truncated then Telemetry.Span.add_attr "truncated" "true";
+      if stop.cancelled then Telemetry.Span.add_attr "cancelled" "true";
+      (rel, stop))
 
 let query ?config t text = query_ast ?config t (Sql.Parser.parse_query text)
 

@@ -281,7 +281,7 @@ let parse_response raw =
       in
       { status; r_headers; r_body = body })
 
-let request ~host ~port ?meth ?body ?(timeout = 30.0) target =
+let request ~host ~port ?meth ?(headers = []) ?body ?(timeout = 30.0) target =
   let meth =
     match (meth, body) with
     | Some m, _ -> m
@@ -298,9 +298,13 @@ let request ~host ~port ?meth ?body ?(timeout = 30.0) target =
        with Unix.Unix_error _ -> ());
       Unix.connect fd addr;
       let body_s = Option.value body ~default:"" in
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
       let req =
-        Printf.sprintf "%s %s HTTP/1.1\r\nhost: %s:%d\r\ncontent-length: %d\r\nconnection: close\r\n\r\n%s"
-          meth target host port (String.length body_s) body_s
+        Printf.sprintf "%s %s HTTP/1.1\r\nhost: %s:%d\r\ncontent-length: %d\r\nconnection: close\r\n%s\r\n%s"
+          meth target host port (String.length body_s) extra body_s
       in
       write_all fd req;
       parse_response (read_to_eof fd))

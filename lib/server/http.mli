@@ -70,12 +70,15 @@ val request :
   host:string ->
   port:int ->
   ?meth:string ->
+  ?headers:(string * string) list ->
   ?body:string ->
   ?timeout:float ->
   string ->
   response
 (** [request ~host ~port target] performs one HTTP exchange (default
     [meth] GET, or POST when [body] is given) and reads the response
-    to EOF.  [timeout] (default 30s) bounds both connect and read.
+    to EOF.  [headers] are sent verbatim after the built-in ones
+    (e.g. [("x-trace-id", id)]).  [timeout] (default 30s) bounds both
+    connect and read.
     @raise Unix.Unix_error on connection failure, Disconnected if the
     server closes mid-response. *)

@@ -1,0 +1,327 @@
+(* The structured query log: one flat JSON record per /query request,
+   retained in a bounded in-memory ring (the [/debug/querylog] surface
+   and the [conquer trace --log] tail read it by sequence cursor) and
+   optionally appended as JSON lines to a file.
+
+   Records are flat on purpose: every field is a string, number or
+   boolean, so the parser in [of_json] — which the CLI tail and the
+   round-trip tests share — stays a page long and the format stays
+   greppable with standard tooling. *)
+
+type record = {
+  seq : int;  (* monotone per daemon; 0 until {!log} stamps it *)
+  ts : float;  (* Unix epoch seconds at response completion *)
+  trace_id : string;
+  sampled : bool;  (* span tree captured and retained for this id *)
+  sql : string;  (* normalized SQL ("" when the query never parsed) *)
+  fingerprint : string;  (* stable hash of the normalized SQL *)
+  plan_hash : string;  (* stable hash of the physical plan; "" if unplanned *)
+  generation : int;  (* store generation answered from; -1 if none *)
+  mode : string;  (* "rewritten" | "original" *)
+  status : int;  (* HTTP status sent *)
+  rows : int;  (* answer rows in a 200; 0 otherwise *)
+  truncated : bool;
+  cancelled : bool;
+  cached : bool;
+  slow : bool;  (* total latency crossed the slow-query threshold *)
+  queue_wait_ms : float;  (* admission-queue wait (incl. header read) *)
+  exec_ms : float;  (* plan+execute inside the engine *)
+  total_ms : float;  (* accept to response written *)
+}
+
+let empty_record =
+  {
+    seq = 0;
+    ts = 0.0;
+    trace_id = "";
+    sampled = false;
+    sql = "";
+    fingerprint = "";
+    plan_hash = "";
+    generation = -1;
+    mode = "rewritten";
+    status = 0;
+    rows = 0;
+    truncated = false;
+    cancelled = false;
+    cached = false;
+    slow = false;
+    queue_wait_ms = 0.0;
+    exec_ms = 0.0;
+    total_ms = 0.0;
+  }
+
+(* stable SQL fingerprint: queries equal after normalization (the
+   pretty-printed AST) share it across restarts and processes *)
+let fingerprint sql = String.sub (Digest.to_hex (Digest.string sql)) 0 16
+
+(* ---- JSON ---- *)
+
+let to_json r =
+  let js = Telemetry.Export.json_string in
+  (* %.17g round-trips every finite double exactly, so
+     [of_json (to_json r) = Ok r] holds bit-for-bit *)
+  let jf f =
+    if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+  in
+  Printf.sprintf
+    "{\"seq\":%d,\"ts\":%s,\"trace_id\":%s,\"sampled\":%b,\"sql\":%s,\"fingerprint\":%s,\"plan_hash\":%s,\"generation\":%d,\"mode\":%s,\"status\":%d,\"rows\":%d,\"truncated\":%b,\"cancelled\":%b,\"cached\":%b,\"slow\":%b,\"queue_wait_ms\":%s,\"exec_ms\":%s,\"total_ms\":%s}"
+    r.seq (jf r.ts) (js r.trace_id) r.sampled (js r.sql) (js r.fingerprint)
+    (js r.plan_hash) r.generation (js r.mode) r.status r.rows r.truncated
+    r.cancelled r.cached r.slow (jf r.queue_wait_ms) (jf r.exec_ms)
+    (jf r.total_ms)
+
+(* A minimal parser for the flat objects [to_json] emits: string,
+   number, boolean and null values only (no nesting).  Unknown keys
+   are ignored, so the format can grow fields without breaking old
+   readers. *)
+
+exception Parse of string
+
+let of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "dangling escape"
+           else
+             match line.[!pos] with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'u' ->
+               if !pos + 4 >= n then fail "short \\u escape";
+               let hex = String.sub line (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | Some code when code < 0x80 ->
+                 Buffer.add_char buf (Char.chr code)
+               | Some code ->
+                 (* non-ASCII escapes re-encode as UTF-8 *)
+                 if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf
+                     (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+               | None -> fail "bad \\u escape");
+               pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_scalar () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> `String (parse_string ())
+    | Some 't' ->
+      if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4;
+        `Bool true
+      end
+      else fail "bad literal"
+    | Some 'f' ->
+      if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5;
+        `Bool false
+      end
+      else fail "bad literal"
+    | Some 'n' ->
+      if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
+        pos := !pos + 4;
+        `Null
+      end
+      else fail "bad literal"
+    | Some _ ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match line.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      if !pos = start then fail "expected a value";
+      let text = String.sub line start (!pos - start) in
+      (match float_of_string_opt text with
+      | Some f -> `Number f
+      | None -> fail ("bad number " ^ text))
+    | None -> fail "expected a value"
+  in
+  match
+    skip_ws ();
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    (match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+      let rec members () =
+        let key = (skip_ws (); parse_string ()) in
+        expect ':';
+        let v = parse_scalar () in
+        fields := (key, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ());
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes";
+    !fields
+  with
+  | exception Parse msg -> Error msg
+  | fields ->
+    let str key default =
+      match List.assoc_opt key fields with
+      | Some (`String s) -> s
+      | _ -> default
+    in
+    let num key default =
+      match List.assoc_opt key fields with
+      | Some (`Number f) -> f
+      | _ -> default
+    in
+    let int_ key default =
+      match List.assoc_opt key fields with
+      | Some (`Number f) -> int_of_float f
+      | _ -> default
+    in
+    let flag key default =
+      match List.assoc_opt key fields with
+      | Some (`Bool b) -> b
+      | _ -> default
+    in
+    Ok
+      {
+        seq = int_ "seq" 0;
+        ts = num "ts" 0.0;
+        trace_id = str "trace_id" "";
+        sampled = flag "sampled" false;
+        sql = str "sql" "";
+        fingerprint = str "fingerprint" "";
+        plan_hash = str "plan_hash" "";
+        generation = int_ "generation" (-1);
+        mode = str "mode" "rewritten";
+        status = int_ "status" 0;
+        rows = int_ "rows" 0;
+        truncated = flag "truncated" false;
+        cancelled = flag "cancelled" false;
+        cached = flag "cached" false;
+        slow = flag "slow" false;
+        queue_wait_ms = num "queue_wait_ms" 0.0;
+        exec_ms = num "exec_ms" 0.0;
+        total_ms = num "total_ms" 0.0;
+      }
+
+(* ---- the log itself: bounded ring plus optional file sink ---- *)
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  slots : record option array;
+  mutable next_seq : int;  (* seq of the next record; starts at 1 *)
+  sink : out_channel option;
+}
+
+let create ?(capacity = 512) ?path () =
+  let sink =
+    Option.map
+      (fun p -> open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 p)
+      path
+  in
+  {
+    lock = Mutex.create ();
+    capacity = max 1 capacity;
+    slots = Array.make (max 1 capacity) None;
+    next_seq = 1;
+    sink;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* stamp the record with the next sequence number, retain it, append
+   it to the sink (if any), and return the stamped record *)
+let log t record =
+  locked t @@ fun () ->
+  let stamped = { record with seq = t.next_seq } in
+  t.slots.(t.next_seq mod t.capacity) <- Some stamped;
+  t.next_seq <- t.next_seq + 1;
+  (match t.sink with
+  | Some oc ->
+    output_string oc (to_json stamped);
+    output_char oc '\n';
+    flush oc
+  | None -> ());
+  stamped
+
+(* records with seq > [after], ascending, at most [n]; the shape a
+   tail wants: poll with the last seq seen as the new cursor *)
+let recent ?(after = 0) ?n t =
+  locked t @@ fun () ->
+  let newest = t.next_seq - 1 in
+  let oldest = max 1 (t.next_seq - t.capacity) in
+  let lo = max oldest (after + 1) in
+  let want = match n with None -> t.capacity | Some n -> max 0 n in
+  (* when more than [n] match, keep the newest [n] *)
+  let lo = max lo (newest - want + 1) in
+  let rec collect acc seq =
+    if seq < lo then acc
+    else
+      match t.slots.(seq mod t.capacity) with
+      | Some r when r.seq = seq -> collect (r :: acc) (seq - 1)
+      | _ -> collect acc (seq - 1)
+  in
+  collect [] newest
+
+let close t =
+  locked t (fun () ->
+      match t.sink with Some oc -> close_out_noerr oc | None -> ())

@@ -1,0 +1,57 @@
+(** Structured query log: one flat JSON record per request, retained
+    in a bounded ring (served by [/debug/querylog] and tailed by
+    [conquer trace --log]) and optionally appended to a JSON-lines
+    file. *)
+
+type record = {
+  seq : int;  (** monotone per daemon; stamped by {!log} *)
+  ts : float;  (** Unix epoch seconds at response completion *)
+  trace_id : string;
+  sampled : bool;  (** a span tree was captured and retained *)
+  sql : string;  (** normalized SQL; [""] when parsing failed *)
+  fingerprint : string;  (** stable hash of the normalized SQL *)
+  plan_hash : string;  (** stable hash of the physical plan; [""] if unplanned *)
+  generation : int;  (** store generation answered from; [-1] if none *)
+  mode : string;  (** ["rewritten"] or ["original"] *)
+  status : int;  (** HTTP status sent *)
+  rows : int;  (** answer rows in a 200 *)
+  truncated : bool;
+  cancelled : bool;
+  cached : bool;
+  slow : bool;  (** total latency crossed the slow-query threshold *)
+  queue_wait_ms : float;
+  exec_ms : float;
+  total_ms : float;
+}
+
+val empty_record : record
+(** All-zero template; build records with [{ empty_record with ... }]. *)
+
+val fingerprint : string -> string
+(** Stable 16-hex-char fingerprint of (normalized) SQL text. *)
+
+val to_json : record -> string
+(** One flat JSON object, no newline.  Finite floats round-trip
+    exactly through {!of_json}. *)
+
+val of_json : string -> (record, string) result
+(** Parse a record emitted by {!to_json}.  Unknown keys are ignored;
+    missing keys take the {!empty_record} defaults. *)
+
+type t
+
+val create : ?capacity:int -> ?path:string -> unit -> t
+(** A log retaining the newest [capacity] (default 512) records;
+    [path] additionally appends each record as a JSON line. *)
+
+val log : t -> record -> record
+(** Stamp the next sequence number onto the record, retain it, append
+    it to the file sink, and return the stamped record. *)
+
+val recent : ?after:int -> ?n:int -> t -> record list
+(** Records with [seq > after] still in the ring, ascending by [seq],
+    the newest [n] (default: everything retained).  Tail by polling
+    with the last seen [seq] as the next [after]. *)
+
+val close : t -> unit
+(** Close the file sink, if any. *)

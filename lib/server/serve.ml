@@ -34,6 +34,14 @@ let g_inflight =
 let g_queue =
   Telemetry.Metrics.gauge "serve.queue_depth" ~help:"requests waiting for a worker"
 
+let m_slow =
+  Telemetry.Metrics.counter "serve.slow_queries"
+    ~help:"requests whose total latency crossed --slow-query-ms"
+
+let m_traced =
+  Telemetry.Metrics.counter "serve.traced"
+    ~help:"requests whose span tree was retained in the trace ring"
+
 let h_latency =
   Telemetry.Metrics.histogram "serve.request_seconds"
     ~help:"wall-clock seconds from accept to response"
@@ -53,6 +61,11 @@ type config = {
   breaker_threshold : int;
   drain_deadline : float;
   retry_after : float;
+  trace_sample : float;
+  slow_query_ms : float option;
+  trace_capacity : int;
+  querylog_capacity : int;
+  querylog_path : string option;
 }
 
 let default_config =
@@ -69,11 +82,28 @@ let default_config =
     breaker_threshold = 3;
     drain_deadline = 5.0;
     retry_after = 1.0;
+    trace_sample = 0.0;
+    slow_query_ms = None;
+    trace_capacity = 128;
+    querylog_capacity = 512;
+    querylog_path = None;
   }
 
 (* ---- state ---- *)
 
 type job = { fd : Unix.file_descr; enqueued_at : float }
+
+(* what /debug/requests shows about a query that is executing right
+   now; the reaper and the hard drain only need [if_fd]/[if_token] *)
+type inflight = {
+  if_fd : Unix.file_descr;
+  if_token : Engine.Cancel.token;
+  if_trace_id : string;
+  if_sql : string;
+  if_mode : string;
+  if_enqueued_at : float;
+  if_started_at : float;
+}
 
 type t = {
   cfg : config;
@@ -91,11 +121,15 @@ type t = {
   slock : Mutex.t;
   breaker : Breaker.t;
   mutable session : (int * Conquer.Clean.session) option;
-  prepared : (string, Sql.Ast.query) Cache.t;
-  results : (string, string) Cache.t;
-  (* in-flight queries, for the reaper and the hard drain *)
+  prepared : (string, Sql.Ast.query * string) Cache.t;
+  results : (string, string * int) Cache.t;
+  (* observability: retained traces and the structured query log *)
+  traces : Telemetry.Trace.ring;
+  querylog : Querylog.t;
+  (* in-flight queries, for the reaper, the hard drain, and
+     /debug/requests *)
   ilock : Mutex.t;
-  inflight : (int, Unix.file_descr * Engine.Cancel.token) Hashtbl.t;
+  inflight : (int, inflight) Hashtbl.t;
   mutable next_id : int;
   active : int Atomic.t;
   reaper_stop : bool Atomic.t;
@@ -197,6 +231,10 @@ let create ?(config = default_config) ~dir () =
     session = Some (generation, session);
     prepared = Cache.create ~capacity:config.cache_capacity;
     results = Cache.create ~capacity:config.cache_capacity;
+    traces = Telemetry.Trace.ring_create ~capacity:config.trace_capacity;
+    querylog =
+      Querylog.create ~capacity:config.querylog_capacity
+        ?path:config.querylog_path ();
     ilock = Mutex.create ();
     inflight = Hashtbl.create 64;
     next_id = 0;
@@ -259,6 +297,38 @@ type mode = Rewritten | Original
 
 let mode_tag = function Rewritten -> "rewritten" | Original -> "original"
 
+(* Per-request scratchpad the query handler fills in as it learns
+   things (normalized SQL, plan hash, row counts, engine time); the
+   connection epilogue turns it into the query-log record.  The
+   handler communicates its response by raising {!Reply}, so these
+   facts can't travel in a return value. *)
+type reqctx = {
+  mutable cx_is_query : bool;
+  mutable cx_sql : string;
+  mutable cx_plan_hash : string;
+  mutable cx_generation : int;
+  mutable cx_mode : string;
+  mutable cx_rows : int;
+  mutable cx_truncated : bool;
+  mutable cx_cancelled : bool;
+  mutable cx_cached : bool;
+  mutable cx_exec : float;  (* seconds inside the engine *)
+}
+
+let new_reqctx () =
+  {
+    cx_is_query = false;
+    cx_sql = "";
+    cx_plan_hash = "";
+    cx_generation = -1;
+    cx_mode = "rewritten";
+    cx_rows = 0;
+    cx_truncated = false;
+    cx_cancelled = false;
+    cx_cached = false;
+    cx_exec = 0.0;
+  }
+
 exception Reply of int * (string * string) list * string
 
 let reply ?(headers = []) status body = raise (Reply (status, headers, body))
@@ -289,7 +359,10 @@ let parse_params t req =
   (deadline, budget_rows, mode)
 
 (* parse (for normalization) and rewrite once per (query, mode); the
-   prepared AST is executed directly on the engine thereafter *)
+   prepared AST is executed directly on the engine thereafter.  The
+   plan hash rides along in the cache entry: it identifies the
+   physical plan shape in the query log, so two queries that
+   normalize differently but plan identically are groupable. *)
 let prepare t session mode sql =
   let ast =
     try Sql.Parser.parse_query sql
@@ -298,7 +371,7 @@ let prepare t session mode sql =
   let normalized = Sql.Pretty.query_to_string ast in
   let key = mode_tag mode ^ "|" ^ normalized in
   match Cache.find t.prepared key with
-  | Some prepared -> (normalized, prepared)
+  | Some (prepared, plan_hash) -> (normalized, prepared, plan_hash)
   | None ->
     let prepared =
       match mode with
@@ -314,21 +387,29 @@ let prepare t session mode sql =
                    (List.map Conquer.Rewritable.violation_to_string violations)
                )))
     in
-    Cache.add t.prepared key prepared;
-    (normalized, prepared)
+    let plan_hash =
+      try
+        Querylog.fingerprint
+          (Engine.Plan.to_string
+             (Engine.Database.plan (Conquer.Clean.engine session) prepared))
+      with _ -> ""
+    in
+    Cache.add t.prepared key (prepared, plan_hash);
+    (normalized, prepared, plan_hash)
 
-let register_inflight t fd token =
+let register_inflight t info =
   locked t.ilock @@ fun () ->
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.inflight id (fd, token);
+  Hashtbl.replace t.inflight id info;
   id
 
 let unregister_inflight t id =
   locked t.ilock @@ fun () -> Hashtbl.remove t.inflight id
 
-let handle_query t job req =
+let handle_query t ctx ~trace_id job req =
   Telemetry.Metrics.inc m_requests;
+  ctx.cx_is_query <- true;
   let sql =
     match (req.Http.meth, String.trim req.Http.body) with
     | "POST", body when body <> "" -> body
@@ -337,36 +418,65 @@ let handle_query t job req =
       | Some sql when String.trim sql <> "" -> sql
       | _ -> reply 400 (error_body "no sql (POST a body or pass ?sql=)"))
   in
+  ctx.cx_sql <- sql;
   let deadline, budget_rows, mode = parse_params t req in
+  ctx.cx_mode <- mode_tag mode;
   let remaining = job.enqueued_at +. deadline -. Unix.gettimeofday () in
   if remaining <= 0.0 then begin
     (* spent the whole deadline waiting in the queue: the query never
        ran, so there are no partial rows to return *)
     Telemetry.Metrics.inc m_cancelled;
+    ctx.cx_cancelled <- true;
     reply 408 (error_body "deadline expired before execution began")
   end;
   let generation, session =
-    match ensure_session t with
-    | Ok pair -> pair
-    | Error detail ->
-      reply 503
-        ~headers:
-          [ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ]
-        (error_body detail)
+    Telemetry.Span.with_ ~name:"serve.store_probe" (fun () ->
+        match ensure_session t with
+        | Ok pair -> pair
+        | Error detail ->
+          reply 503
+            ~headers:
+              [ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ]
+            (error_body detail))
   in
-  let normalized, ast = prepare t session mode sql in
+  ctx.cx_generation <- generation;
+  let normalized, ast, plan_hash =
+    Telemetry.Span.with_ ~name:"serve.prepare" (fun () ->
+        prepare t session mode sql)
+  in
+  ctx.cx_sql <- normalized;
+  ctx.cx_plan_hash <- plan_hash;
   let result_key =
     Printf.sprintf "%s|%s|g%d" (mode_tag mode) normalized generation
   in
-  match Cache.find t.results result_key with
-  | Some core ->
+  let cache_hit =
+    Telemetry.Span.with_ ~name:"serve.cache_probe" (fun () ->
+        Cache.find t.results result_key)
+  in
+  match cache_hit with
+  | Some (core, rows) ->
     Telemetry.Metrics.inc m_cache_hits;
+    ctx.cx_cached <- true;
+    ctx.cx_rows <- rows;
+    Telemetry.Span.add_attr "cached" "true";
     reply 200
       (compose_body ~core ~cached:true
          ~elapsed:(Unix.gettimeofday () -. job.enqueued_at))
   | None ->
     let token = Engine.Cancel.create () in
-    let id = register_inflight t job.fd token in
+    let id =
+      register_inflight t
+        {
+          if_fd = job.fd;
+          if_token = token;
+          if_trace_id = trace_id;
+          if_sql = normalized;
+          if_mode = mode_tag mode;
+          if_enqueued_at = job.enqueued_at;
+          if_started_at = Unix.gettimeofday ();
+        }
+    in
+    let t_exec = Unix.gettimeofday () in
     let rel, stop =
       Fun.protect
         ~finally:(fun () -> unregister_inflight t id)
@@ -383,17 +493,164 @@ let handle_query t job req =
             (Conquer.Clean.engine session)
             ast)
     in
+    ctx.cx_exec <- Unix.gettimeofday () -. t_exec;
     let truncated = stop.Engine.Database.truncated in
     let cancelled = stop.Engine.Database.cancelled in
     if cancelled then Telemetry.Metrics.inc m_cancelled;
     if truncated || cancelled then Telemetry.Metrics.inc m_partial;
-    let core = result_core rel ~generation ~truncated ~cancelled in
-    if not (truncated || cancelled) then Cache.add t.results result_key core;
+    ctx.cx_rows <- Dirty.Relation.cardinality rel;
+    ctx.cx_truncated <- truncated;
+    ctx.cx_cancelled <- cancelled;
+    let core =
+      Telemetry.Span.with_ ~name:"serve.serialize" (fun () ->
+          let core = result_core rel ~generation ~truncated ~cancelled in
+          Telemetry.Span.add_attr "bytes" (string_of_int (String.length core));
+          core)
+    in
+    if not (truncated || cancelled) then
+      Cache.add t.results result_key (core, ctx.cx_rows);
     reply 200
       (compose_body ~core ~cached:false
          ~elapsed:(Unix.gettimeofday () -. job.enqueued_at))
 
-let handle_request t job req =
+(* ---- the /debug surface ---- *)
+
+let debug_requests_json t =
+  let now = Unix.gettimeofday () in
+  let snapshot =
+    locked t.ilock @@ fun () ->
+    Hashtbl.fold (fun id v acc -> (id, v) :: acc) t.inflight []
+  in
+  let snapshot = List.sort (fun (a, _) (b, _) -> compare a b) snapshot in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"in_flight\":[";
+  List.iteri
+    (fun i (id, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"trace_id\":%s,\"sql\":%s,\"mode\":%s,\"elapsed_ms\":%s,\"queue_wait_ms\":%s,\"cancelled\":%b}"
+           id
+           (Telemetry.Export.json_string v.if_trace_id)
+           (Telemetry.Export.json_string v.if_sql)
+           (Telemetry.Export.json_string v.if_mode)
+           (Telemetry.Export.json_float ((now -. v.if_started_at) *. 1000.0))
+           (Telemetry.Export.json_float
+              ((v.if_started_at -. v.if_enqueued_at) *. 1000.0))
+           (Engine.Cancel.cancelled v.if_token)))
+    snapshot;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"count\":%d}" (List.length snapshot));
+  Buffer.contents buf
+
+let debug_traces_index_json t =
+  let entries = Telemetry.Trace.ring_recent t.traces in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"traces\":[";
+  List.iteri
+    (fun i (e : Telemetry.Trace.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"trace_id\":%s,\"completed_at\":%s,\"elapsed_ms\":%s,\"covered_ms\":%s,\"spans\":%d}"
+           (Telemetry.Export.json_string e.trace_id)
+           (Telemetry.Export.json_float e.completed_at)
+           (Telemetry.Export.json_float (e.root.Telemetry.Span.elapsed *. 1000.0))
+           (Telemetry.Export.json_float
+              (Telemetry.Span.leaf_elapsed e.root *. 1000.0))
+           (Telemetry.Span.count e.root)))
+    entries;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"count\":%d,\"capacity\":%d}"
+       (List.length entries)
+       (Telemetry.Trace.ring_capacity t.traces));
+  Buffer.contents buf
+
+let debug_trace t req id =
+  match Telemetry.Trace.ring_find t.traces id with
+  | None -> reply 404 (error_body ("no retained trace " ^ id))
+  | Some e -> (
+    match Http.param req "format" with
+    | Some "pretty" ->
+      (* rendered server-side so the CLI needs no span-tree parser *)
+      let text =
+        Printf.sprintf "trace %s  completed %.3f\n%s" e.trace_id e.completed_at
+          (Telemetry.Export.span_to_string e.root)
+      in
+      reply 200 ~headers:[ ("x-content-type", "text/plain") ] text
+    | _ ->
+      reply 200
+        (Printf.sprintf "{\"trace_id\":%s,\"completed_at\":%s,\"root\":%s}"
+           (Telemetry.Export.json_string e.trace_id)
+           (Telemetry.Export.json_float e.completed_at)
+           (Telemetry.Export.span_to_json e.root)))
+
+let debug_querylog t req =
+  let int_param name default =
+    match Http.param req name with
+    | None -> default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ -> reply 400 (error_body (Printf.sprintf "bad %s: %s" name v)))
+  in
+  let n = int_param "n" 50 in
+  let after = int_param "after" 0 in
+  let records = Querylog.recent ~after ~n t.querylog in
+  let body =
+    String.concat "" (List.map (fun r -> Querylog.to_json r ^ "\n") records)
+  in
+  reply 200 ~headers:[ ("x-content-type", "application/x-ndjson") ] body
+
+let debug_gc_json () =
+  let s = Gc.quick_stat () in
+  Printf.sprintf
+    "{\"minor_words\":%s,\"promoted_words\":%s,\"major_words\":%s,\"minor_collections\":%d,\"major_collections\":%d,\"compactions\":%d,\"heap_words\":%d,\"top_heap_words\":%d,\"stack_size\":%d}"
+    (Telemetry.Export.json_float s.Gc.minor_words)
+    (Telemetry.Export.json_float s.Gc.promoted_words)
+    (Telemetry.Export.json_float s.Gc.major_words)
+    s.Gc.minor_collections s.Gc.major_collections s.Gc.compactions
+    s.Gc.heap_words s.Gc.top_heap_words s.Gc.stack_size
+
+(* every histogram bucket that holds an exemplar, as
+   (metric, le, count, trace_id, value, ts) — the join between the
+   latency distribution and the trace ring *)
+let debug_exemplars_json () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"exemplars\":[";
+  let first = ref true in
+  List.iter
+    (fun (s : Telemetry.Metrics.sample) ->
+      match s.data with
+      | Telemetry.Metrics.Histogram_value h ->
+        Array.iteri
+          (fun i ex ->
+            match ex with
+            | None -> ()
+            | Some (e : Telemetry.Metrics.exemplar) ->
+              if not !first then Buffer.add_char buf ',';
+              first := false;
+              let le =
+                if i < Array.length h.hs_bounds then
+                  Printf.sprintf "%.9g" h.hs_bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "{\"metric\":%s,\"le\":%s,\"count\":%d,\"trace_id\":%s,\"value\":%s,\"ts\":%s}"
+                   (Telemetry.Export.json_string s.name)
+                   (Telemetry.Export.json_string le)
+                   h.hs_counts.(i)
+                   (Telemetry.Export.json_string e.ex_label)
+                   (Telemetry.Export.json_float e.ex_value)
+                   (Telemetry.Export.json_float e.ex_at)))
+          h.hs_exemplars
+      | _ -> ())
+    (Telemetry.Metrics.snapshot ());
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let handle_request t ctx ~trace_id job req =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> reply 200 "{\"status\":\"ok\"}"
   | "GET", "/readyz" ->
@@ -412,49 +669,194 @@ let handle_request t job req =
          ( 200,
            [ ("x-content-type", "text/plain") ],
            Telemetry.Export.prometheus_string () ))
-  | ("GET" | "POST"), "/query" -> handle_query t job req
+  | ("GET" | "POST"), "/query" -> handle_query t ctx ~trace_id job req
+  | "GET", "/debug/requests" -> reply 200 (debug_requests_json t)
+  | "GET", "/debug/traces" -> reply 200 (debug_traces_index_json t)
+  | "GET", path when String.starts_with ~prefix:"/debug/traces/" path ->
+    let id =
+      String.sub path (String.length "/debug/traces/")
+        (String.length path - String.length "/debug/traces/")
+    in
+    debug_trace t req id
+  | "GET", "/debug/querylog" -> debug_querylog t req
+  | "GET", "/debug/gc" -> reply 200 (debug_gc_json ())
+  | "GET", "/debug/exemplars" -> reply 200 (debug_exemplars_json ())
   | _, ("/healthz" | "/readyz" | "/metrics" | "/query") ->
+    reply 405 (error_body "method not allowed")
+  | _, path
+    when String.starts_with ~prefix:"/debug/" path ->
     reply 405 (error_body "method not allowed")
   | _ -> reply 404 (error_body "not found")
 
+let outcome_to_response outcome =
+  match outcome with
+  | Reply (status, headers, body) -> (status, headers, body)
+  | Http.Bad_request detail -> (400, [], error_body detail)
+  | Http.Too_large detail -> (413, [], error_body detail)
+  | Http.Timeout -> (408, [], error_body "request read timed out")
+  | Http.Disconnected -> raise Http.Disconnected
+  | e ->
+    Telemetry.Metrics.inc m_internal;
+    (500, [], error_body ("internal error: " ^ Printexc.to_string e))
+
+let write_outcome fd (status, headers, body) =
+  let content_type =
+    match List.assoc_opt "x-content-type" headers with
+    | Some ct -> ct
+    | None -> "application/json"
+  in
+  let headers = List.remove_assoc "x-content-type" headers in
+  Http.write_response fd ~status ~headers ~content_type ~body ();
+  status
+
 (* One request, one connection.  Every exception is converted into a
    response (or a silent close when the client is already gone): the
-   worker domain survives anything a request can throw at it. *)
+   worker domain survives anything a request can throw at it.
+
+   Tracing: every request gets a trace id — the client's [X-Trace-Id]
+   when it sends a plausible one (so a caller can correlate its own
+   logs with the daemon's), a fresh one otherwise — echoed back on
+   the response.  A span tree is captured when the id samples in
+   under [trace_sample], or speculatively whenever a slow-query
+   threshold is configured (a query does not announce in advance that
+   it will be slow).  Captured trees are retained in the ring only
+   when sampled or actually slow; everything else is dropped on the
+   floor.  With sampling off and no threshold, no serve-level span
+   capture happens at all — the zero-rate overhead budget in ISSUE
+   terms.
+
+   The capture must wrap the whole computation *as a value*:
+   {!Telemetry.Span.detached} loses its captured root when the
+   wrapped function raises, and [handle_request] signals every
+   response by raising {!Reply}.  So the traced region converts
+   outcomes to values (and writes the response, so serialization and
+   the socket write are on the tree) and only {!Http.Disconnected}
+   escapes — a trace nobody could have read anyway. *)
 let serve_connection t job =
   Fun.protect
     ~finally:(fun () -> close_quiet job.fd)
     (fun () ->
-      let outcome =
-        if t.hard_drain then
+      if t.hard_drain then begin
+        let outcome =
           Reply
             ( 503,
               [ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ],
               error_body "server is shutting down" )
-        else
-          match Http.read_request ~read_timeout:1.0 job.fd with
-          | req -> ( try handle_request t job req with o -> o)
-          | exception e -> e
-      in
-      let status, headers, body =
-        match outcome with
-        | Reply (status, headers, body) -> (status, headers, body)
-        | Http.Bad_request detail -> (400, [], error_body detail)
-        | Http.Too_large detail -> (413, [], error_body detail)
-        | Http.Timeout -> (408, [], error_body "request read timed out")
-        | Http.Disconnected -> raise Http.Disconnected
-        | e ->
-          Telemetry.Metrics.inc m_internal;
-          (500, [], error_body ("internal error: " ^ Printexc.to_string e))
-      in
-      let content_type =
-        match List.assoc_opt "x-content-type" headers with
-        | Some ct -> ct
-        | None -> "application/json"
-      in
-      let headers = List.remove_assoc "x-content-type" headers in
-      Http.write_response job.fd ~status ~headers ~content_type ~body ();
-      Telemetry.Metrics.observe h_latency
-        (Unix.gettimeofday () -. job.enqueued_at))
+        in
+        let _status = write_outcome job.fd (outcome_to_response outcome) in
+        Telemetry.Metrics.observe h_latency
+          (Unix.gettimeofday () -. job.enqueued_at)
+      end
+      else
+        match Http.read_request ~read_timeout:1.0 job.fd with
+        | exception e ->
+          (* no parsed request: no trace id to honor, nothing to log *)
+          let _status = write_outcome job.fd (outcome_to_response e) in
+          Telemetry.Metrics.observe h_latency
+            (Unix.gettimeofday () -. job.enqueued_at)
+        | req ->
+          let started = Unix.gettimeofday () in
+          let trace_id =
+            match Http.header req "x-trace-id" with
+            | Some id when Telemetry.Trace.valid_id id ->
+              String.lowercase_ascii id
+            | _ -> Telemetry.Trace.gen_id ()
+          in
+          let is_query = req.Http.path = "/query" in
+          let sampled =
+            is_query
+            && Telemetry.Trace.decide ~rate:t.cfg.trace_sample trace_id
+          in
+          let capture =
+            Telemetry.Control.enabled () && is_query
+            && (sampled || t.cfg.slow_query_ms <> None)
+          in
+          let ctx = new_reqctx () in
+          let run () =
+            if capture then
+              (* queue wait (including the header read) predates any
+                 instrumented code: graft it as a hand-made first child *)
+              Telemetry.Span.attach
+                (Telemetry.Span.manual ~name:"serve.queue_wait"
+                   ~start:job.enqueued_at
+                   ~elapsed:(started -. job.enqueued_at) ());
+            let outcome =
+              try handle_request t ctx ~trace_id job req with o -> o
+            in
+            let status, headers, body = outcome_to_response outcome in
+            let headers =
+              if is_query then ("x-trace-id", trace_id) :: headers
+              else headers
+            in
+            let respond () = write_outcome job.fd (status, headers, body) in
+            if capture then
+              Telemetry.Span.with_ ~name:"serve.respond" respond
+            else respond ()
+          in
+          let status, root =
+            if capture then
+              Telemetry.Span.detached ~name:"serve.request"
+                ~attrs:
+                  [ ("trace_id", trace_id); ("path", req.Http.path) ]
+                run
+            else (run (), None)
+          in
+          let finished = Unix.gettimeofday () in
+          let total = finished -. job.enqueued_at in
+          let slow =
+            match t.cfg.slow_query_ms with
+            | Some ms -> is_query && total *. 1000.0 >= ms
+            | None -> false
+          in
+          if slow then Telemetry.Metrics.inc m_slow;
+          let retained =
+            match root with
+            | Some root when sampled || slow ->
+              (* stretch the root over the whole request so the tree's
+                 span covers queue wait too, then retain it *)
+              root.Telemetry.Span.start <- job.enqueued_at;
+              root.Telemetry.Span.elapsed <- total;
+              root.Telemetry.Span.attrs <-
+                ("status", string_of_int status)
+                :: List.remove_assoc "status" root.Telemetry.Span.attrs;
+              (* exclusive-time "(self)" leaves, so the retained tree
+                 attributes the wall-clock all the way down *)
+              Telemetry.Span.annotate_self root;
+              Telemetry.Trace.ring_add t.traces ~trace_id root;
+              Telemetry.Metrics.inc m_traced;
+              true
+            | _ -> false
+          in
+          Telemetry.Metrics.observe
+            ?exemplar:(if retained then Some trace_id else None)
+            h_latency total;
+          if is_query then begin
+            let record =
+              {
+                Querylog.empty_record with
+                ts = finished;
+                trace_id;
+                sampled = retained;
+                sql = ctx.cx_sql;
+                fingerprint =
+                  (if ctx.cx_sql = "" then ""
+                   else Querylog.fingerprint ctx.cx_sql);
+                plan_hash = ctx.cx_plan_hash;
+                generation = ctx.cx_generation;
+                mode = ctx.cx_mode;
+                status;
+                rows = ctx.cx_rows;
+                truncated = ctx.cx_truncated;
+                cancelled = ctx.cx_cancelled;
+                cached = ctx.cx_cached;
+                slow;
+                queue_wait_ms = (started -. job.enqueued_at) *. 1000.0;
+                exec_ms = ctx.cx_exec *. 1000.0;
+                total_ms = total *. 1000.0;
+              }
+            in
+            ignore (Querylog.log t.querylog record)
+          end)
 
 let serve_connection_quiet t job =
   try serve_connection t job with
@@ -503,7 +905,7 @@ let reap_once t =
     Hashtbl.fold (fun _ v acc -> v :: acc) t.inflight []
   in
   List.iter
-    (fun (fd, token) ->
+    (fun { if_fd = fd; if_token = token; _ } ->
       if not (Engine.Cancel.cancelled token) then
         try
           match Unix.select [ fd ] [] [] 0.0 with
@@ -615,7 +1017,7 @@ let run t =
     t.hard_drain <- true;
     let victims =
       locked t.ilock @@ fun () ->
-      Hashtbl.fold (fun _ (_, token) acc -> token :: acc) t.inflight []
+      Hashtbl.fold (fun _ { if_token; _ } acc -> if_token :: acc) t.inflight []
     in
     List.iter
       (fun token ->
@@ -630,4 +1032,5 @@ let run t =
   List.iter Domain.join workers;
   Atomic.set t.reaper_stop true;
   Domain.join reaper;
+  Querylog.close t.querylog;
   { drained; cancelled_inflight = Atomic.get t.force_cancelled }

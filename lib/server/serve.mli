@@ -39,7 +39,18 @@
     - [GET /readyz] — 200 when accepting and the breaker is closed,
       503 otherwise.
     - [GET /metrics] — Prometheus text exposition of the telemetry
-      registry.
+      registry (conformant classic format: [_total] counter families,
+      cumulative [_bucket]/[_sum]/[_count] histograms).
+    - [GET /debug/requests] — queries executing right now, with trace
+      id, elapsed and queue-wait milliseconds.
+    - [GET /debug/traces] and [GET /debug/traces/<id>] — the bounded
+      ring of retained span trees, as JSON (or pre-rendered text with
+      [?format=pretty], which is what [conquer trace <id>] prints).
+    - [GET /debug/querylog?n=K&after=SEQ] — the structured query log
+      as JSON lines; poll with the last [seq] as [after] to tail it.
+    - [GET /debug/gc] — a [Gc.quick_stat] heap snapshot.
+    - [GET /debug/exemplars] — histogram buckets joined to the trace
+      ids of recent requests that landed in them.
     - [POST /query] (SQL text as the body) or [GET /query?sql=...] —
       query parameters [deadline_ms], [budget_rows], and
       [mode=rewritten|original].  200 carries
@@ -49,7 +60,17 @@
       expired before execution began, 503 when shed, draining, or
       breaker-open, 500 (with the telemetry counter
       [serve.internal_errors]) for anything else — the worker never
-      dies. *)
+      dies.
+
+    {b Tracing}: every /query response carries an [X-Trace-Id] header
+    (the client's, when it sent a plausible one; fresh otherwise).
+    When the id samples in under [trace_sample] — a deterministic
+    hash of the id, so reissuing the same id reproduces the decision
+    — or the request crosses [slow_query_ms], the request's span tree
+    (queue wait, store probe, prepare, cache probe, planner,
+    per-operator execution, serialization, response write) is
+    retained and served at [/debug/traces/<id>].  Every /query lands
+    one structured record in the query log regardless of sampling. *)
 
 type config = {
   host : string;  (** bind address, default 127.0.0.1 *)
@@ -64,6 +85,16 @@ type config = {
   breaker_threshold : int;  (** store failures before tripping open *)
   drain_deadline : float;  (** seconds {!run} waits before hard drain *)
   retry_after : float;  (** seconds advertised on shed responses *)
+  trace_sample : float;
+      (** fraction of /query requests whose span tree is retained
+          (decided deterministically from the trace id); 0 disables *)
+  slow_query_ms : float option;
+      (** total latency above this promotes the request to a full
+          span dump and the query log's [slow] flag *)
+  trace_capacity : int;  (** retained span trees (newest win) *)
+  querylog_capacity : int;  (** query-log ring entries *)
+  querylog_path : string option;
+      (** also append each query-log record as a JSON line here *)
 }
 
 val default_config : config

@@ -111,7 +111,16 @@ let trace_writer path =
         output_char oc '\n';
         flush oc)
 
-(* ---- Prometheus-style text format ---- *)
+(* ---- Prometheus text exposition format ----
+
+   Conformant with the classic text format (the dialect a
+   promtool-style checker accepts): metric names restricted to
+   [a-zA-Z_:][a-zA-Z0-9_:]*, counter families carry the [_total]
+   suffix, HELP text escapes backslash and newline, label values
+   escape backslash / newline / double quote, sample values render
+   as Prometheus floats ([NaN], [+Inf], [-Inf] — never JSON null),
+   and every histogram family emits cumulative [_bucket] series
+   ending in [le="+Inf"] plus [_sum] and [_count]. *)
 
 let prometheus_name name =
   let mapped =
@@ -124,27 +133,73 @@ let prometheus_name name =
   in
   "conquer_" ^ mapped
 
+(* Prometheus floats are not JSON floats: non-finite values have
+   spellings instead of being unrepresentable *)
+let prometheus_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" f
+
+(* HELP lines run to end-of-line: backslash and newline would change
+   the parse, so they are escaped (the only escapes the format has) *)
+let prometheus_escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* label values live inside double quotes: quote joins the escape set *)
+let prometheus_escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let pp_prometheus ppf () =
   List.iter
     (fun (s : Metrics.sample) ->
-      let pname = prometheus_name s.name in
-      if s.help <> "" then Format.fprintf ppf "# HELP %s %s@\n" pname s.help;
+      let base = prometheus_name s.name in
+      let family, kind =
+        match s.data with
+        (* counters expose the family as <name>_total, the convention
+           format checkers enforce *)
+        | Metrics.Counter_value _ ->
+          ( (if String.ends_with ~suffix:"_total" base then base
+             else base ^ "_total"),
+            "counter" )
+        | Metrics.Gauge_value _ -> (base, "gauge")
+        | Metrics.Histogram_value _ -> (base, "histogram")
+      in
+      if s.help <> "" then
+        Format.fprintf ppf "# HELP %s %s@\n" family
+          (prometheus_escape_help s.help);
+      Format.fprintf ppf "# TYPE %s %s@\n" family kind;
       match s.data with
-      | Metrics.Counter_value n ->
-        Format.fprintf ppf "# TYPE %s counter@\n%s %d@\n" pname pname n
+      | Metrics.Counter_value n -> Format.fprintf ppf "%s %d@\n" family n
       | Metrics.Gauge_value v ->
-        Format.fprintf ppf "# TYPE %s gauge@\n%s %s@\n" pname pname (json_float v)
+        Format.fprintf ppf "%s %s@\n" family (prometheus_float v)
       | Metrics.Histogram_value h ->
-        Format.fprintf ppf "# TYPE %s histogram@\n" pname;
         Array.iteri
           (fun i bound ->
-            Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@\n" pname
-              (json_float bound) h.hs_counts.(i))
+            Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@\n" family
+              (prometheus_float bound) h.hs_counts.(i))
           h.hs_bounds;
-        Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@\n" pname
+        Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@\n" family
           h.hs_counts.(Array.length h.hs_counts - 1);
-        Format.fprintf ppf "%s_sum %s@\n" pname (json_float h.hs_sum);
-        Format.fprintf ppf "%s_count %d@\n" pname h.hs_total)
+        Format.fprintf ppf "%s_sum %s@\n" family (prometheus_float h.hs_sum);
+        Format.fprintf ppf "%s_count %d@\n" family h.hs_total)
     (Metrics.snapshot ())
 
 let prometheus_string () = Format.asprintf "%a" pp_prometheus ()

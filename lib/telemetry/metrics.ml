@@ -20,12 +20,18 @@ type gauge = { g_name : string; g_help : string; value : float Atomic.t }
    [base] seconds; the last bucket is +infinity.  A histogram update
    touches three fields, so it takes the per-histogram lock — observe
    sites are per-operator (not per-row), keeping the cost acceptable. *)
+(* An exemplar pins one concrete observation to a bucket — typically
+   the trace id of a recent request that landed there — so a latency
+   histogram can answer "show me a request from the slow bucket". *)
+type exemplar = { ex_label : string; ex_value : float; ex_at : float }
+
 type histogram = {
   h_name : string;
   h_help : string;
   h_lock : Mutex.t;
   bounds : float array;  (* upper bound of each finite bucket *)
   counts : int array;    (* one per finite bucket, plus one overflow *)
+  exemplars : exemplar option array;  (* last labeled hit per bucket *)
   mutable sum : float;
   mutable total : int;
 }
@@ -82,6 +88,7 @@ let histogram ?(help = "") ?(bounds = default_bounds) name =
             h_lock = Mutex.create ();
             bounds;
             counts = Array.make (Array.length bounds + 1) 0;
+            exemplars = Array.make (Array.length bounds + 1) None;
             sum = 0.0;
             total = 0;
           })
@@ -121,13 +128,18 @@ let bucket_index bounds v =
   in
   go 0 n
 
-let observe h v =
+let observe ?exemplar h v =
   if Control.enabled () then begin
     let i = bucket_index h.bounds v in
     with_lock h.h_lock @@ fun () ->
     h.counts.(i) <- h.counts.(i) + 1;
     h.sum <- h.sum +. v;
-    h.total <- h.total + 1
+    h.total <- h.total + 1;
+    match exemplar with
+    | Some label ->
+      h.exemplars.(i) <-
+        Some { ex_label = label; ex_value = v; ex_at = Unix.gettimeofday () }
+    | None -> ()
   end
 
 let histogram_total h = with_lock h.h_lock (fun () -> h.total)
@@ -141,6 +153,7 @@ type histogram_snapshot = {
   hs_counts : int array;  (* cumulative, per finite bound, then +Inf *)
   hs_sum : float;
   hs_total : int;
+  hs_exemplars : exemplar option array;  (* per bucket, +Inf last *)
 }
 
 type value =
@@ -163,8 +176,9 @@ let snapshot () =
       | Gauge g ->
         { name = g.g_name; help = g.g_help; data = Gauge_value (Atomic.get g.value) }
       | Histogram h ->
-        let counts, sum, total =
-          with_lock h.h_lock (fun () -> (Array.copy h.counts, h.sum, h.total))
+        let counts, sum, total, exemplars =
+          with_lock h.h_lock (fun () ->
+              (Array.copy h.counts, h.sum, h.total, Array.copy h.exemplars))
         in
         let cumulative = Array.make (Array.length counts) 0 in
         let running = ref 0 in
@@ -183,6 +197,7 @@ let snapshot () =
                 hs_counts = cumulative;
                 hs_sum = sum;
                 hs_total = total;
+                hs_exemplars = exemplars;
               };
         })
     metrics
@@ -222,6 +237,7 @@ let reset () =
       | Histogram h ->
         with_lock h.h_lock (fun () ->
             Array.fill h.counts 0 (Array.length h.counts) 0;
+            Array.fill h.exemplars 0 (Array.length h.exemplars) None;
             h.sum <- 0.0;
             h.total <- 0))
     metrics

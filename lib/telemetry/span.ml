@@ -24,7 +24,7 @@
 type t = {
   name : string;
   mutable attrs : (string * string) list;
-  start : float;                 (* Unix epoch seconds *)
+  mutable start : float;         (* Unix epoch seconds *)
   mutable elapsed : float;       (* seconds, inclusive of children *)
   mutable minor_words : float;   (* allocation deltas, inclusive *)
   mutable major_words : float;
@@ -111,6 +111,22 @@ let with_ ?(attrs = []) ~name f =
       raise e
   end
 
+(* A hand-built span for time that was spent before any instrumented
+   code could run (admission-queue wait, for one): the interval is
+   measured by the caller, there are no allocation deltas, and the
+   span is already "finished" — pair it with {!attach} to graft it
+   into a live tree. *)
+let manual ?(attrs = []) ~name ~start ~elapsed () =
+  {
+    name;
+    attrs;
+    start;
+    elapsed;
+    minor_words = 0.0;
+    major_words = 0.0;
+    children = [];
+  }
+
 (* ---- parallel regions ---- *)
 
 (* Run [f] under a fresh root span on the current domain, capturing
@@ -173,3 +189,30 @@ let rec fold_preorder f acc ?(depth = 0) span =
   List.fold_left (fun acc child -> fold_preorder f acc ~depth:(depth + 1) child) acc
     span.children
 let count span = fold_preorder (fun n ~depth:_ _ -> n + 1) 0 span
+
+(* sum of leaf-span elapsed time — what fraction of a root's
+   wall-clock its finest-grained spans account for *)
+let leaf_elapsed span =
+  fold_preorder
+    (fun acc ~depth:_ s -> if s.children = [] then acc +. s.elapsed else acc)
+    0.0 span
+
+(* Nested spans are inclusive: an operator's elapsed contains its
+   inputs', so the tree says what each subtree cost but not what each
+   node itself cost.  [annotate_self] adds the flamegraph-style
+   exclusive view: every interior span whose elapsed exceeds the sum
+   of its children's gains a final ["(self)"] leaf holding the
+   difference.  After annotation the leaves partition the attributed
+   wall-clock, so [leaf_elapsed root /. root.elapsed] reads as trace
+   coverage — the rest is glue between sibling spans. *)
+let rec annotate_self span =
+  match span.children with
+  | [] -> ()
+  | children ->
+    List.iter annotate_self children;
+    let under = List.fold_left (fun a c -> a +. c.elapsed) 0.0 children in
+    let self = span.elapsed -. under in
+    if self > 0.0 then
+      span.children <-
+        span.children
+        @ [ manual ~name:"(self)" ~start:span.start ~elapsed:self () ]

@@ -1,0 +1,162 @@
+(* Request-scoped trace context: trace identifiers, probabilistic
+   sampling, and a bounded in-memory ring of completed traces.
+
+   A trace id is 16 lowercase hex characters.  Generation draws from a
+   splitmix64 stream behind a mutex; {!set_seed} pins the stream so
+   tests (and replay tooling) get a deterministic id sequence.  The
+   sampling decision is a pure function of (rate, id) — hashing the id
+   into [0,1) and comparing against the rate — so every component that
+   sees the same trace id reaches the same keep/drop verdict without
+   coordination, and a fixed seed makes the whole sampled set
+   reproducible.
+
+   The ring retains the last [capacity] completed traces (root spans
+   stamped with their id and completion time).  It is the backing
+   store for the daemon's [/debug/traces] surface: bounded memory,
+   newest-wins eviction, lookup by id. *)
+
+(* ---- id generation (seedable splitmix64) ---- *)
+
+let state_lock = Mutex.create ()
+
+let state =
+  (* default seed: distinct per process, without consulting the
+     generator before a test can call set_seed *)
+  ref (Int64.of_int (Unix.getpid () + 0x9e3779b9))
+
+let seeded = ref false
+
+let set_seed seed =
+  Mutex.lock state_lock;
+  state := Int64.of_int seed;
+  seeded := true;
+  Mutex.unlock state_lock
+
+let splitmix64 s =
+  (* the standard finalizer: good avalanche from a sequential state *)
+  let open Int64 in
+  let z = add s 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let next_word () =
+  Mutex.lock state_lock;
+  if not !seeded then begin
+    (* mix the clock in once, so two daemons started in the same
+       second do not share an id stream *)
+    state :=
+      Int64.logxor !state
+        (Int64.of_float (Unix.gettimeofday () *. 1e6));
+    seeded := true
+  end;
+  let s, w = splitmix64 !state in
+  state := s;
+  Mutex.unlock state_lock;
+  w
+
+let gen_id () = Printf.sprintf "%016Lx" (next_word ())
+
+(* ids accepted from the outside (the X-Trace-Id header): non-empty
+   hex, bounded so a hostile client cannot stuff arbitrary bytes into
+   logs and debug pages *)
+let valid_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         match c with '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+(* ---- sampling ---- *)
+
+(* FNV-1a over the id bytes; the decision uses 53 bits so the
+   [0,1) mapping is exact in a float *)
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001b3L)
+    s;
+  !h
+
+let decide ~rate id =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else
+    let bits =
+      Int64.to_float (Int64.shift_right_logical (fnv1a64 id) 11)
+    in
+    bits /. 9007199254740992.0 (* 2^53 *) < rate
+
+(* ---- bounded trace ring ---- *)
+
+type entry = {
+  trace_id : string;
+  root : Span.t;
+  completed_at : float;  (* Unix epoch seconds *)
+}
+
+type ring = {
+  lock : Mutex.t;
+  capacity : int;
+  slots : entry option array;  (* circular, newest at (next-1) mod capacity *)
+  mutable next : int;          (* total entries ever stored *)
+  by_id : (string, entry) Hashtbl.t;
+}
+
+let ring_create ~capacity =
+  let capacity = max 1 capacity in
+  {
+    lock = Mutex.create ();
+    capacity;
+    slots = Array.make capacity None;
+    next = 0;
+    by_id = Hashtbl.create (2 * capacity);
+  }
+
+let ring_locked r f =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+let ring_add r ~trace_id root =
+  ring_locked r @@ fun () ->
+  let entry = { trace_id; root; completed_at = Unix.gettimeofday () } in
+  let slot = r.next mod r.capacity in
+  (match r.slots.(slot) with
+  | Some old ->
+    (* evict, unless the same id was re-stored in a newer slot *)
+    (match Hashtbl.find_opt r.by_id old.trace_id with
+    | Some cur when cur == old -> Hashtbl.remove r.by_id old.trace_id
+    | _ -> ())
+  | None -> ());
+  r.slots.(slot) <- Some entry;
+  r.next <- r.next + 1;
+  Hashtbl.replace r.by_id trace_id entry
+
+let ring_find r trace_id =
+  ring_locked r (fun () -> Hashtbl.find_opt r.by_id trace_id)
+
+(* newest first *)
+let ring_recent ?n r =
+  ring_locked r @@ fun () ->
+  let stored = min r.next r.capacity in
+  let want = match n with None -> stored | Some n -> min (max 0 n) stored in
+  (* walk newest→oldest, prepending: the accumulator ends up
+     oldest-first, so one reverse hands back newest-first *)
+  let rec collect acc got i =
+    if got >= want || i >= stored then List.rev acc
+    else
+      let slot = (r.next - 1 - i) mod r.capacity in
+      match r.slots.(slot) with
+      | Some e -> collect (e :: acc) (got + 1) (i + 1)
+      | None -> collect acc got (i + 1)
+  in
+  collect [] 0 0
+
+let ring_length r =
+  ring_locked r (fun () -> min r.next r.capacity)
+
+let ring_capacity r = r.capacity

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Warn-only bench regression check: compare the two newest
+# BENCH_<n>.json files (conquer-bench/1 schema) sample by sample and
+# flag medians that moved more than the threshold.
+#
+#   scripts/bench_regression.sh [--threshold PCT] [DIR]
+#
+# Never fails the build: CI bench boxes are noisy, so a regression
+# here is a reason to look, not a reason to block.  Exits 0 always
+# (including when there are fewer than two files to compare).
+
+THRESHOLD=20
+case "$1" in
+  --threshold)
+    THRESHOLD="$2"
+    shift 2
+    ;;
+esac
+DIR="${1:-.}"
+
+# newest two by the numeric suffix bench/main.ml allocates
+files=$(ls "$DIR"/BENCH_*.json 2>/dev/null \
+  | sed 's/.*BENCH_\([0-9]*\)\.json/\1 &/' \
+  | sort -n | awk '{print $2}' | tail -2)
+count=$(printf '%s\n' "$files" | grep -c . || true)
+
+if [ "$count" -lt 2 ]; then
+  echo "bench-regression: need two BENCH_*.json files, found $count -- nothing to compare"
+  exit 0
+fi
+
+old=$(printf '%s\n' "$files" | head -1)
+new=$(printf '%s\n' "$files" | tail -1)
+echo "bench-regression: $old -> $new (warn at ${THRESHOLD}% median growth)"
+
+# one "report|name|median_ms" line per sample; the files are
+# machine-written, so splitting objects on "},{" is reliable
+medians() {
+  tr '{' '\n' < "$1" \
+    | grep '"median_ms"' \
+    | sed 's/.*"report":"\([^"]*\)","name":"\([^"]*\)".*"median_ms":\([0-9.eE+-]*\).*/\1|\2|\3/'
+}
+
+medians "$old" > /tmp/bench_old.$$
+medians "$new" > /tmp/bench_new.$$
+trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
+
+warned=0
+while IFS='|' read -r report name new_ms; do
+  old_ms=$(grep -F "$report|$name|" /tmp/bench_old.$$ | head -1 | cut -d'|' -f3)
+  [ -n "$old_ms" ] || continue
+  verdict=$(awk -v o="$old_ms" -v n="$new_ms" -v t="$THRESHOLD" 'BEGIN {
+    if (o <= 0) { print "skip"; exit }
+    pct = (n - o) / o * 100.0
+    printf "%s %.1f", (pct > t) ? "WARN" : "ok", pct
+  }')
+  case "$verdict" in
+    skip) ;;
+    WARN*)
+      pct=${verdict#WARN }
+      echo "  WARN $report/$name: ${old_ms}ms -> ${new_ms}ms (+${pct}%)"
+      warned=$((warned + 1))
+      ;;
+    *)
+      pct=${verdict#ok }
+      echo "    ok $report/$name: ${old_ms}ms -> ${new_ms}ms (${pct}%)"
+      ;;
+  esac
+done < /tmp/bench_new.$$
+
+if [ "$warned" -gt 0 ]; then
+  echo "bench-regression: $warned sample(s) regressed beyond ${THRESHOLD}% (warn-only, not failing the build)"
+else
+  echo "bench-regression: no sample regressed beyond ${THRESHOLD}%"
+fi
+exit 0

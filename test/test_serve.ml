@@ -245,6 +245,7 @@ let test_histogram_quantile () =
       hs_counts = [| 2; 3; 4; 5 |];
       hs_sum = 0.02;
       hs_total = 5;
+      hs_exemplars = [| None; None; None; None |];
     }
   in
   Alcotest.(check (float 1e-9)) "p40 in first bucket" 0.001
@@ -255,10 +256,440 @@ let test_histogram_quantile () =
     (Telemetry.Metrics.histogram_quantile hs 1.0);
   let empty =
     { Telemetry.Metrics.hs_bounds = [| 1.0 |]; hs_counts = [| 0; 0 |];
-      hs_sum = 0.0; hs_total = 0 }
+      hs_sum = 0.0; hs_total = 0; hs_exemplars = [| None; None |] }
   in
   Alcotest.(check (float 1e-9)) "empty histogram" 0.0
     (Telemetry.Metrics.histogram_quantile empty 0.99)
+
+(* ---- unit: query-log records round-trip ---- *)
+
+let test_querylog_roundtrip () =
+  let open Server in
+  let record =
+    {
+      Querylog.empty_record with
+      ts = 1723111845.1234567;
+      trace_id = "00ff00ff00ff00ff";
+      sampled = true;
+      sql = "SELECT \"weird\"\n\tid FROM t \\ x";
+      fingerprint = Querylog.fingerprint "select id from t";
+      plan_hash = "abcdef0123456789";
+      generation = 7;
+      mode = "original";
+      status = 200;
+      rows = 42;
+      truncated = true;
+      cancelled = false;
+      cached = true;
+      slow = true;
+      queue_wait_ms = 0.037;
+      exec_ms = 12.5;
+      total_ms = 13.000000000000004;
+    }
+  in
+  (match Querylog.of_json (Querylog.to_json record) with
+  | Ok r -> Alcotest.(check bool) "bit-for-bit round-trip" true (r = record)
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e);
+  (match Querylog.of_json "{}" with
+  | Ok r ->
+    Alcotest.(check bool) "missing keys take defaults" true
+      (r = Querylog.empty_record)
+  | Error e -> Alcotest.failf "empty object: %s" e);
+  (match Querylog.of_json "{\"seq\":1,\"later_field\":\"ignored\"}" with
+  | Ok r -> Alcotest.(check int) "unknown keys ignored" 1 r.Querylog.seq
+  | Error e -> Alcotest.failf "unknown key: %s" e);
+  (match Querylog.of_json "not json" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  (* ring + cursor semantics *)
+  let log = Querylog.create ~capacity:4 () in
+  let stamped =
+    List.map
+      (fun i ->
+        Querylog.log log { Querylog.empty_record with rows = i })
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Alcotest.(check (list int)) "seq stamps monotonically"
+    [ 1; 2; 3; 4; 5; 6 ]
+    (List.map (fun (r : Querylog.record) -> r.seq) stamped);
+  Alcotest.(check (list int)) "ring keeps the newest, ascending"
+    [ 3; 4; 5; 6 ]
+    (List.map (fun (r : Querylog.record) -> r.seq) (Querylog.recent log));
+  Alcotest.(check (list int)) "cursor tails past seq 4"
+    [ 5; 6 ]
+    (List.map
+       (fun (r : Querylog.record) -> r.seq)
+       (Querylog.recent ~after:4 log));
+  Alcotest.(check (list int)) "n keeps the newest"
+    [ 5; 6 ]
+    (List.map (fun (r : Querylog.record) -> r.seq) (Querylog.recent ~n:2 log));
+  Querylog.close log
+
+(* ---- request tracing ---- *)
+
+(* the pretty span rendering, one "(indent)name  X.XXXms ..." line per
+   span: parse (indent, name, elapsed_ms) per line *)
+let parse_pretty_spans text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let indent =
+           let rec go i =
+             if i < String.length line && line.[i] = ' ' then go (i + 1) else i
+           in
+           go 0
+         in
+         let rest = String.sub line indent (String.length line - indent) in
+         match String.index_opt rest ' ' with
+         | None -> None
+         | Some i -> (
+           let name = String.sub rest 0 i in
+           let after = String.sub rest i (String.length rest - i) in
+           let words =
+             String.split_on_char ' ' after |> List.filter (fun w -> w <> "")
+           in
+           match
+             List.find_opt
+               (fun w -> String.length w > 2 && Filename.check_suffix w "ms")
+               words
+           with
+           | Some w -> (
+             match
+               float_of_string_opt (String.sub w 0 (String.length w - 2))
+             with
+             | Some ms -> Some (indent, name, ms)
+             | None -> None)
+           | None -> None))
+
+(* leaves of the indentation tree: a line none of whose successors is
+   deeper before the indentation returns to its level *)
+let leaf_ms spans =
+  let arr = Array.of_list spans in
+  let n = Array.length arr in
+  let is_leaf i =
+    let indent_i, _, _ = arr.(i) in
+    if i + 1 >= n then true
+    else
+      let indent_next, _, _ = arr.(i + 1) in
+      indent_next <= indent_i
+  in
+  let total = ref 0.0 in
+  Array.iteri (fun i (_, _, ms) -> if is_leaf i then total := !total +. ms) arr;
+  !total
+
+let test_trace_capture_and_coverage () =
+  let config = { base_config with trace_sample = 1.0 } in
+  let trace_id = "feedc0de12345678" in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        (* a heavy enough query that per-operator time dominates the
+           fixed per-request glue *)
+        let target = "/query?mode=original&deadline_ms=30000" in
+        let resp =
+          Server.Http.request ~host:"127.0.0.1" ~port
+            ~headers:[ ("x-trace-id", trace_id) ]
+            ~body:"select a.val from alpha a, alpha b where a.val + b.val >= 0"
+            target
+        in
+        Alcotest.(check int) "query ok" 200 resp.Server.Http.status;
+        Alcotest.(check (option string)) "trace id echoed" (Some trace_id)
+          (List.assoc_opt "x-trace-id" resp.Server.Http.r_headers);
+        (* the retained trace, pretty-rendered by the daemon *)
+        let pretty =
+          expect_200
+            (client port (Printf.sprintf "/debug/traces/%s?format=pretty" trace_id))
+        in
+        let spans = parse_pretty_spans pretty in
+        let names = List.map (fun (_, name, _) -> name) spans in
+        Alcotest.(check bool) "root serve.request" true
+          (List.mem "serve.request" names);
+        Alcotest.(check bool) "queue wait span" true
+          (List.mem "serve.queue_wait" names);
+        Alcotest.(check bool) "per-operator exec span" true
+          (List.exists
+             (fun n -> String.length n >= 5 && String.sub n 0 5 = "exec.")
+             names);
+        Alcotest.(check bool) "planner span" true
+          (List.mem "planner.plan" names);
+        Alcotest.(check bool) "serialization span" true
+          (List.mem "serve.serialize" names);
+        let root_ms =
+          match spans with
+          | (_, _, ms) :: _ -> ms
+          | [] -> Alcotest.fail "no spans parsed"
+        in
+        let covered = leaf_ms spans in
+        Alcotest.(check bool)
+          (Printf.sprintf "leaf spans cover >=95%% (%.3f of %.3fms)" covered
+             root_ms)
+          true
+          (covered >= 0.95 *. root_ms);
+        (* JSON form of the same trace *)
+        let json = expect_200 (client port ("/debug/traces/" ^ trace_id)) in
+        Alcotest.(check bool) "json trace carries id" true
+          (find_sub json trace_id <> None);
+        (* the index lists it *)
+        let index = expect_200 (client port "/debug/traces") in
+        Alcotest.(check bool) "index lists the trace" true
+          (find_sub index trace_id <> None);
+        (* exemplars join the latency histogram to this trace *)
+        let ex = expect_200 (client port "/debug/exemplars") in
+        Alcotest.(check bool) "exemplar references a trace" true
+          (find_sub ex "serve.request_seconds" <> None);
+        (* unknown ids 404 *)
+        match client port "/debug/traces/0000000000000000" with
+        | Resp { status = 404; _ } -> ()
+        | Resp { status; _ } -> Alcotest.failf "expected 404, got %d" status
+        | Conn_error e -> Alcotest.failf "connection error: %s" e)
+  in
+  ()
+
+(* four worker domains, every request traced with its own id: each
+   retained tree must be intact (its own trace id, exactly one queue
+   wait, a planner and an exec subtree) — a cross-domain span-stack
+   mixup would show up as missing or foreign spans *)
+let test_trace_integrity_across_domains () =
+  let config =
+    { base_config with concurrency = 4; trace_sample = 1.0;
+      trace_capacity = 128; cache_capacity = 0 }
+  in
+  let n_clients = 4 and per_client = 8 in
+  let ids =
+    List.init (n_clients * per_client) (fun i ->
+        Printf.sprintf "ab%014x" (i + 1))
+  in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        let fire id k =
+          let sql = List.nth fast_queries (k mod List.length fast_queries) in
+          let resp =
+            Server.Http.request ~host:"127.0.0.1" ~port
+              ~headers:[ ("x-trace-id", id) ]
+              ~body:sql "/query"
+          in
+          Alcotest.(check int) "query ok" 200 resp.Server.Http.status
+        in
+        List.init n_clients (fun c ->
+            Domain.spawn (fun () ->
+                List.iteri
+                  (fun k id -> fire id k)
+                  (List.filteri
+                     (fun i _ -> i mod n_clients = c)
+                     ids)))
+        |> List.iter Domain.join;
+        List.iter
+          (fun id ->
+            let pretty =
+              expect_200
+                (client port
+                   (Printf.sprintf "/debug/traces/%s?format=pretty" id))
+            in
+            Alcotest.(check bool)
+              ("trace " ^ id ^ " carries its own id")
+              true
+              (find_sub pretty ("trace_id=" ^ id) <> None);
+            let spans = parse_pretty_spans pretty in
+            let count name =
+              List.length (List.filter (fun (_, n, _) -> n = name) spans)
+            in
+            Alcotest.(check int) "exactly one root" 1 (count "serve.request");
+            Alcotest.(check int) "exactly one queue wait" 1
+              (count "serve.queue_wait");
+            Alcotest.(check int) "exactly one engine subtree" 1
+              (count "engine.query");
+            (* >= 1: a prepared-cache miss also plans once for the
+               plan hash *)
+            Alcotest.(check bool) "planned" true (count "planner.plan" >= 1);
+            Alcotest.(check bool) "per-operator exec spans" true
+              (List.exists
+                 (fun (_, n, _) ->
+                   String.length n >= 5 && String.sub n 0 5 = "exec.")
+                 spans))
+          ids)
+  in
+  ()
+
+(* rate 0 plus a zero slow-query threshold: nothing samples, but every
+   request crosses the threshold and is promoted to a retained dump *)
+let test_slow_query_promotion () =
+  let config =
+    { base_config with trace_sample = 0.0; slow_query_ms = Some 0.0 }
+  in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        let resp =
+          Server.Http.request ~host:"127.0.0.1" ~port
+            ~headers:[ ("x-trace-id", "5109999999999999") ]
+            ~body:q_alpha "/query"
+        in
+        Alcotest.(check int) "query ok" 200 resp.Server.Http.status;
+        ignore
+          (expect_200 (client port "/debug/traces/5109999999999999"));
+        let log = expect_200 (client port "/debug/querylog?n=10") in
+        Alcotest.(check bool) "record flagged slow" true
+          (find_sub log "\"slow\":true" <> None))
+  in
+  ()
+
+(* the structured query log over the wire: every /query lands one
+   record, parseable by the CLI's reader, with the latency split and
+   the outcome flags; the seq cursor tails correctly *)
+let test_querylog_over_http () =
+  let config = { base_config with trace_sample = 1.0 } in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        List.iter
+          (fun sql -> ignore (expect_200 (client port ~body:sql "/query")))
+          fast_queries;
+        (* one cached repeat *)
+        ignore (expect_200 (client port ~body:q_alpha "/query"));
+        let body = expect_200 (client port "/debug/querylog?n=100") in
+        let records =
+          String.split_on_char '\n' body
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map (fun line ->
+                 match Server.Querylog.of_json line with
+                 | Ok r -> r
+                 | Error e -> Alcotest.failf "unparseable record %s: %s" line e)
+        in
+        Alcotest.(check int) "one record per query" 4 (List.length records);
+        List.iter
+          (fun (r : Server.Querylog.record) ->
+            Alcotest.(check int) "status" 200 r.status;
+            Alcotest.(check bool) "rows counted" true (r.rows > 0);
+            Alcotest.(check bool) "fingerprint present" true
+              (String.length r.fingerprint = 16);
+            Alcotest.(check bool) "plan hash present" true
+              (String.length r.plan_hash = 16);
+            Alcotest.(check bool) "generation known" true (r.generation >= 0);
+            Alcotest.(check bool) "total covers exec" true
+              (r.total_ms >= r.exec_ms);
+            Alcotest.(check bool) "queue wait measured" true
+              (r.queue_wait_ms >= 0.0);
+            Alcotest.(check bool) "trace id present" true
+              (Telemetry.Trace.valid_id r.trace_id))
+          records;
+        Alcotest.(check bool) "cached repeat flagged" true
+          (List.exists (fun (r : Server.Querylog.record) -> r.cached) records);
+        (* identical queries share fingerprints *)
+        let by_first =
+          List.filter
+            (fun (r : Server.Querylog.record) ->
+              r.fingerprint
+              = (List.hd records).Server.Querylog.fingerprint)
+            records
+        in
+        Alcotest.(check int) "repeat shares the fingerprint" 2
+          (List.length by_first);
+        (* cursor: everything after the second record *)
+        let tail = expect_200 (client port "/debug/querylog?n=100&after=2") in
+        let tail_seqs =
+          String.split_on_char '\n' tail
+          |> List.filter (fun l -> String.trim l <> "")
+          |> List.map (fun line ->
+                 match Server.Querylog.of_json line with
+                 | Ok r -> r.Server.Querylog.seq
+                 | Error e -> Alcotest.failf "tail parse: %s" e)
+        in
+        Alcotest.(check (list int)) "seq cursor" [ 3; 4 ] tail_seqs)
+  in
+  ()
+
+(* /debug/requests shows an executing query with its trace id, and
+   /debug/gc answers *)
+let test_debug_requests_inflight () =
+  let config =
+    { base_config with trace_sample = 1.0; cache_capacity = 0 }
+  in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        let slow_client =
+          Domain.spawn (fun () ->
+              client port
+                ~body:slow_sql
+                ~timeout:30.0 "/query?mode=original&deadline_ms=3000")
+        in
+        (* poll until the slow query shows up in flight *)
+        let rec probe tries =
+          let body = expect_200 (client port "/debug/requests") in
+          if find_sub body "\"sql\":" <> None && find_sub body "alpha" <> None
+          then body
+          else if tries <= 0 then
+            Alcotest.failf "query never appeared in flight: %s" body
+          else begin
+            Unix.sleepf 0.02;
+            probe (tries - 1)
+          end
+        in
+        let body = probe 100 in
+        Alcotest.(check bool) "trace id listed" true
+          (find_sub body "\"trace_id\":" <> None);
+        Alcotest.(check bool) "elapsed listed" true
+          (find_sub body "\"elapsed_ms\":" <> None);
+        let gc = expect_200 (client port "/debug/gc") in
+        Alcotest.(check bool) "gc snapshot" true
+          (find_sub gc "\"heap_words\":" <> None);
+        ignore (Domain.join slow_client))
+  in
+  ()
+
+(* with sampling off and no slow threshold, nothing is retained and
+   the debug surface stays empty (the <3%% overhead configuration) *)
+let test_tracing_off_retains_nothing () =
+  let (), _report =
+    with_server fixture (fun _dir _t port ->
+        List.iter
+          (fun sql -> ignore (expect_200 (client port ~body:sql "/query")))
+          fast_queries;
+        let index = expect_200 (client port "/debug/traces") in
+        Alcotest.(check bool) "no traces retained" true
+          (find_sub index "\"count\":0" <> None);
+        (* the query log still records everything *)
+        let log = expect_200 (client port "/debug/querylog?n=10") in
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' log)
+        in
+        Alcotest.(check int) "query log still populated" 3
+          (List.length lines);
+        List.iter
+          (fun line ->
+            match Server.Querylog.of_json line with
+            | Ok r ->
+              Alcotest.(check bool) "not sampled" false
+                r.Server.Querylog.sampled
+            | Error e -> Alcotest.failf "parse: %s" e)
+          lines)
+  in
+  ()
+
+(* --query-log FILE: records are also appended as JSON lines *)
+let test_querylog_file_sink () =
+  Testutil.with_temp_dir @@ fun scratch ->
+  let path = Filename.concat scratch "queries.jsonl" in
+  let config = { base_config with querylog_path = Some path } in
+  let (), _report =
+    with_server ~config fixture (fun _dir _t port ->
+        List.iter
+          (fun sql -> ignore (expect_200 (client port ~body:sql "/query")))
+          [ q_alpha; q_beta ])
+  in
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let records =
+    List.rev_map
+      (fun line ->
+        match Server.Querylog.of_json line with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "file sink line %s: %s" line e)
+      !lines
+  in
+  Alcotest.(check int) "one line per query" 2 (List.length records)
 
 (* ---- endpoints and differential answers ---- *)
 
@@ -768,6 +1199,25 @@ let () =
             test_breaker_transitions;
           Alcotest.test_case "histogram quantiles" `Quick
             test_histogram_quantile;
+          Alcotest.test_case "query-log records round-trip" `Quick
+            test_querylog_roundtrip;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "sampled trace covers the wall-clock" `Quick
+            test_trace_capture_and_coverage;
+          Alcotest.test_case "trace integrity across 4 worker domains" `Quick
+            test_trace_integrity_across_domains;
+          Alcotest.test_case "slow queries promote to span dumps" `Quick
+            test_slow_query_promotion;
+          Alcotest.test_case "query log over /debug/querylog" `Quick
+            test_querylog_over_http;
+          Alcotest.test_case "/debug/requests shows in-flight work" `Quick
+            test_debug_requests_inflight;
+          Alcotest.test_case "rate 0 retains nothing" `Quick
+            test_tracing_off_retains_nothing;
+          Alcotest.test_case "query-log file sink" `Quick
+            test_querylog_file_sink;
         ] );
       ( "daemon",
         [

@@ -225,18 +225,254 @@ let test_prometheus_dump () =
   let h = Telemetry.Metrics.histogram "test.prom.hist" in
   Telemetry.Metrics.observe h 0.5;
   let dump = Telemetry.Export.prometheus_string () in
+  (* counters expose the family with the _total suffix *)
   Alcotest.(check bool) "counter line" true
-    (contains dump "conquer_test_prom_counter 3");
+    (contains dump "conquer_test_prom_counter_total 3");
   Alcotest.(check bool) "help line" true
-    (contains dump "# HELP conquer_test_prom_counter a test counter");
+    (contains dump "# HELP conquer_test_prom_counter_total a test counter");
   Alcotest.(check bool) "type line" true
-    (contains dump "# TYPE conquer_test_prom_counter counter");
+    (contains dump "# TYPE conquer_test_prom_counter_total counter");
   Alcotest.(check bool) "histogram buckets" true
     (contains dump "conquer_test_prom_hist_bucket{le=");
   Alcotest.(check bool) "histogram +Inf bucket" true
     (contains dump "conquer_test_prom_hist_bucket{le=\"+Inf\"} 1");
   Alcotest.(check bool) "histogram count" true
     (contains dump "conquer_test_prom_hist_count 1")
+
+(* a promtool-style structural check over the whole exposition: every
+   line is a comment or [name[{labels}] value] with a legal metric
+   name and a parseable Prometheus float, HELP text is escaped, and
+   every histogram family ends with +Inf/_sum/_count *)
+let test_prometheus_conformance () =
+  with_telemetry @@ fun () ->
+  let c =
+    Telemetry.Metrics.counter ~help:"line one\nline two \\ backslash"
+      "test.conf.counter"
+  in
+  Telemetry.Metrics.inc c;
+  let g = Telemetry.Metrics.gauge "test.conf.gauge" in
+  Telemetry.Metrics.set g Float.infinity;
+  let h = Telemetry.Metrics.histogram ~help:"h" "test.conf.hist" in
+  Telemetry.Metrics.observe h 0.003;
+  Telemetry.Metrics.observe h 1e9;
+  let dump = Telemetry.Export.prometheus_string () in
+  let name_ok name =
+    name <> ""
+    && (match name.[0] with
+       | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+       | _ -> false)
+    && String.for_all
+         (fun ch ->
+           match ch with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         name
+  in
+  let value_ok v =
+    v = "NaN" || v = "+Inf" || v = "-Inf" || float_of_string_opt v <> None
+  in
+  let check_line line =
+    if line = "" || String.length line >= 2 && String.sub line 0 2 = "# " then begin
+      (* comment lines must be HELP or TYPE with a legal family name *)
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: family :: _ ->
+          Alcotest.(check bool) ("family name: " ^ line) true (name_ok family)
+        | _ -> Alcotest.failf "bad comment line: %s" line
+    end
+    else begin
+      (* sample line: name[{labels}] value *)
+      let name_part, value_part =
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "no value on line: %s" line
+        | Some i ->
+          ( String.sub line 0 i,
+            String.sub line (i + 1) (String.length line - i - 1) )
+      in
+      let bare_name =
+        match String.index_opt name_part '{' with
+        | None -> name_part
+        | Some i ->
+          Alcotest.(check bool)
+            ("label block closes: " ^ line)
+            true
+            (name_part.[String.length name_part - 1] = '}');
+          String.sub name_part 0 i
+      in
+      Alcotest.(check bool) ("metric name: " ^ line) true (name_ok bare_name);
+      Alcotest.(check bool) ("value: " ^ line) true (value_ok value_part)
+    end
+  in
+  List.iter check_line (String.split_on_char '\n' dump);
+  (* the multi-line help text is escaped onto one line *)
+  Alcotest.(check bool) "help newline escaped" true
+    (contains dump "line one\\nline two \\\\ backslash");
+  Alcotest.(check bool) "inf gauge spelled +Inf" true
+    (contains dump "conquer_test_conf_gauge +Inf");
+  Alcotest.(check bool) "hist sum present" true
+    (contains dump "conquer_test_conf_hist_sum");
+  Alcotest.(check bool) "hist count present" true
+    (contains dump "conquer_test_conf_hist_count 2");
+  Alcotest.(check bool) "hist +Inf bucket present" true
+    (contains dump "conquer_test_conf_hist_bucket{le=\"+Inf\"} 2")
+
+(* ---- trace context ---- *)
+
+let test_trace_ids_deterministic () =
+  Telemetry.Trace.set_seed 42;
+  let first = List.init 8 (fun _ -> Telemetry.Trace.gen_id ()) in
+  Telemetry.Trace.set_seed 42;
+  let second = List.init 8 (fun _ -> Telemetry.Trace.gen_id ()) in
+  Alcotest.(check (list string)) "seeded stream reproduces" first second;
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("valid id " ^ id) true (Telemetry.Trace.valid_id id);
+      Alcotest.(check int) "16 hex chars" 16 (String.length id))
+    first;
+  Alcotest.(check bool) "distinct ids" true
+    (List.length (List.sort_uniq String.compare first) = 8);
+  Alcotest.(check bool) "reject empty" false (Telemetry.Trace.valid_id "");
+  Alcotest.(check bool) "reject non-hex" false (Telemetry.Trace.valid_id "xyz");
+  Alcotest.(check bool) "reject oversized" false
+    (Telemetry.Trace.valid_id (String.make 65 'a'))
+
+let test_trace_sampling () =
+  (* pure in (rate, id): same verdict on every call *)
+  Telemetry.Trace.set_seed 7;
+  let ids = List.init 2000 (fun _ -> Telemetry.Trace.gen_id ()) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "rate 0 drops" false
+        (Telemetry.Trace.decide ~rate:0.0 id);
+      Alcotest.(check bool) "rate 1 keeps" true
+        (Telemetry.Trace.decide ~rate:1.0 id);
+      Alcotest.(check bool) "decision stable"
+        (Telemetry.Trace.decide ~rate:0.3 id)
+        (Telemetry.Trace.decide ~rate:0.3 id))
+    ids;
+  let kept =
+    List.length (List.filter (Telemetry.Trace.decide ~rate:0.3) ids)
+  in
+  let fraction = float_of_int kept /. 2000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate 0.3 keeps roughly 30%% (got %.3f)" fraction)
+    true
+    (fraction > 0.2 && fraction < 0.4);
+  (* monotone: anything kept at a lower rate is kept at a higher one *)
+  List.iter
+    (fun id ->
+      if Telemetry.Trace.decide ~rate:0.1 id then
+        Alcotest.(check bool) "monotone in rate" true
+          (Telemetry.Trace.decide ~rate:0.5 id))
+    ids
+
+let test_trace_ring () =
+  let span name =
+    Telemetry.Span.manual ~name ~start:0.0 ~elapsed:0.001 ()
+  in
+  let r = Telemetry.Trace.ring_create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Telemetry.Trace.ring_capacity r);
+  List.iter
+    (fun i ->
+      Telemetry.Trace.ring_add r
+        ~trace_id:(Printf.sprintf "%016x" i)
+        (span (Printf.sprintf "s%d" i)))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "bounded" 3 (Telemetry.Trace.ring_length r);
+  Alcotest.(check bool) "oldest evicted" true
+    (Telemetry.Trace.ring_find r (Printf.sprintf "%016x" 1) = None);
+  (match Telemetry.Trace.ring_find r (Printf.sprintf "%016x" 5) with
+  | Some e ->
+    Alcotest.(check string) "newest retrievable" "s5"
+      e.Telemetry.Trace.root.Telemetry.Span.name
+  | None -> Alcotest.fail "newest trace missing");
+  let recent = Telemetry.Trace.ring_recent r in
+  Alcotest.(check (list string))
+    "newest first"
+    [ "5"; "4"; "3" ]
+    (List.map
+       (fun (e : Telemetry.Trace.entry) ->
+         String.sub e.root.Telemetry.Span.name 1 1)
+       recent);
+  Alcotest.(check int) "n limits" 2
+    (List.length (Telemetry.Trace.ring_recent ~n:2 r))
+
+let test_histogram_exemplars () =
+  with_telemetry @@ fun () ->
+  let h = Telemetry.Metrics.histogram "test.exemplar.hist" in
+  Telemetry.Metrics.observe ~exemplar:"aaaa000000000001" h 0.002;
+  Telemetry.Metrics.observe h 0.002;
+  (* unlabeled observation keeps the previous exemplar *)
+  let snap () =
+    match
+      List.find_map
+        (fun (s : Telemetry.Metrics.sample) ->
+          if s.name = "test.exemplar.hist" then
+            match s.data with
+            | Telemetry.Metrics.Histogram_value hv -> Some hv
+            | _ -> None
+          else None)
+        (Telemetry.Metrics.snapshot ())
+    with
+    | Some hv -> hv
+    | None -> Alcotest.fail "histogram missing from snapshot"
+  in
+  let hv = snap () in
+  let stored =
+    Array.to_list hv.hs_exemplars
+    |> List.filter_map (fun e ->
+           Option.map (fun e -> e.Telemetry.Metrics.ex_label) e)
+  in
+  Alcotest.(check (list string)) "exemplar retained" [ "aaaa000000000001" ]
+    stored;
+  Telemetry.Metrics.observe ~exemplar:"aaaa000000000002" h 0.002;
+  let stored' =
+    Array.to_list (snap ()).hs_exemplars
+    |> List.filter_map (fun e ->
+           Option.map (fun e -> e.Telemetry.Metrics.ex_label) e)
+  in
+  Alcotest.(check (list string)) "newest wins per bucket"
+    [ "aaaa000000000002" ] stored';
+  Telemetry.Metrics.reset ();
+  let cleared =
+    Array.for_all (fun e -> e = None) (snap ()).hs_exemplars
+  in
+  Alcotest.(check bool) "reset clears exemplars" true cleared
+
+let test_span_manual_and_leaf_elapsed () =
+  let leaf name elapsed =
+    Telemetry.Span.manual ~name ~start:0.0 ~elapsed ()
+  in
+  let (), roots =
+    Telemetry.Span.collecting (fun () ->
+        Telemetry.Span.with_ ~name:"root" (fun () ->
+            Telemetry.Span.attach (leaf "queue_wait" 0.5);
+            Telemetry.Span.with_ ~name:"mid" (fun () ->
+                Telemetry.Span.attach (leaf "a" 0.25);
+                Telemetry.Span.attach (leaf "b" 0.25))))
+  in
+  let root = List.hd roots in
+  (* leaves: queue_wait, a, b — mid and root are interior *)
+  Alcotest.(check (float 1e-4)) "leaf sum" 1.0
+    (Telemetry.Span.leaf_elapsed root);
+  Alcotest.(check int) "span count" 5 (Telemetry.Span.count root);
+  (* self-time annotation: an interior span costing more than its
+     children gains a "(self)" leaf with the difference, after which
+     the leaves account for the whole attributed wall-clock *)
+  let g = Telemetry.Span.manual ~name:"g" ~start:0.0 ~elapsed:2.0 () in
+  let c = Telemetry.Span.manual ~name:"c" ~start:0.0 ~elapsed:0.5 () in
+  let d = Telemetry.Span.manual ~name:"d" ~start:0.5 ~elapsed:0.25 () in
+  c.Telemetry.Span.children <- [ d ];
+  g.Telemetry.Span.children <- [ c ];
+  Telemetry.Span.annotate_self g;
+  Alcotest.(check int) "two self leaves inserted" 5 (Telemetry.Span.count g);
+  Alcotest.(check (float 1e-9)) "leaves partition the root" 2.0
+    (Telemetry.Span.leaf_elapsed g);
+  (* idempotence is not required, but a childless span must never
+     gain one *)
+  let lone = Telemetry.Span.manual ~name:"lone" ~start:0.0 ~elapsed:1.0 () in
+  Telemetry.Span.annotate_self lone;
+  Alcotest.(check int) "leaf untouched" 1 (Telemetry.Span.count lone)
 
 let test_metrics_json () =
   with_telemetry @@ fun () ->
@@ -312,9 +548,24 @@ let () =
       ( "export",
         [
           Alcotest.test_case "prometheus dump" `Quick test_prometheus_dump;
+          Alcotest.test_case "prometheus conformance" `Quick
+            test_prometheus_conformance;
           Alcotest.test_case "metrics json" `Quick test_metrics_json;
           Alcotest.test_case "span json" `Quick test_span_json;
           Alcotest.test_case "json escaping" `Quick test_json_escaping;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "seeded trace-id stream" `Quick
+            test_trace_ids_deterministic;
+          Alcotest.test_case "sampling is pure and calibrated" `Quick
+            test_trace_sampling;
+          Alcotest.test_case "trace ring bounds and lookup" `Quick
+            test_trace_ring;
+          Alcotest.test_case "histogram exemplars" `Quick
+            test_histogram_exemplars;
+          Alcotest.test_case "manual spans and leaf coverage" `Quick
+            test_span_manual_and_leaf_elapsed;
         ] );
       ( "timing",
         [
