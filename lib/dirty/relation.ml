@@ -31,6 +31,9 @@ let column t name =
   let i = Schema.index_of t.schema name in
   Array.map (fun row -> row.(i)) t.rows
 
+let column_slice t ~col ~lo ~len =
+  Array.init len (fun i -> t.rows.(lo + i).(col))
+
 let value t row name = row.(Schema.index_of t.schema name)
 
 let project t names =

@@ -1,0 +1,313 @@
+open Dirty
+
+(* A chunk is a fixed-capacity batch of rows pivoted into columns.
+   Columns are unboxed when every non-null cell of the batch shares a
+   type tag (int/float/bool/date arrays, dictionary-coded strings) and
+   fall back to boxed [Value.t] arrays for mixed columns — relations
+   here are dynamically typed per cell, so the classification is per
+   chunk, not per schema.  Null positions are tracked in a side
+   bitmap; the slot under a null holds a dummy and must never be read
+   without consulting the bitmap. *)
+
+(* rows per chunk when slicing a relation; a ref so tests can shrink
+   it and exercise multi-chunk paths (boundary-straddling groups,
+   morsel merges) on small inputs *)
+let default_rows = ref 2048
+
+type data =
+  | Ints of int array
+  | Floats of float array
+  | Bools of bool array
+  | Dates of int array
+  | Strings of { codes : int array; dict : string array }
+  | Boxed of Value.t array
+
+type col = { data : data; nulls : Bytes.t option }
+
+type t = { length : int; cols : col array }
+
+(* ---- null bitmaps ---- *)
+
+let bitmap_create n = Bytes.make ((n + 7) / 8) '\000'
+
+let bitmap_set b i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set b byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b byte) lor (1 lsl (i land 7))))
+
+let bitmap_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+(* exported for kernel code (e.g. the executor's arithmetic kernels)
+   that builds result columns with their null bitmaps directly *)
+module Bitmap = struct
+  let create = bitmap_create
+  let set = bitmap_set
+  let get = bitmap_get
+end
+
+let is_null col i =
+  match col.nulls with None -> false | Some b -> bitmap_get b i
+
+(* ---- cell access (re-boxing) ---- *)
+
+let cell col i =
+  if is_null col i then Value.Null
+  else
+    match col.data with
+    | Ints a -> Value.Int a.(i)
+    | Floats a -> Value.Float a.(i)
+    | Bools a -> Value.Bool a.(i)
+    | Dates a -> Value.Date a.(i)
+    | Strings { codes; dict } -> Value.String dict.(codes.(i))
+    | Boxed a -> a.(i)
+
+let row t i = Array.map (fun c -> cell c i) t.cols
+
+(* ---- column extraction ---- *)
+
+type kind = KNone | KInt | KFloat | KBool | KDate | KString | KMixed
+
+let kind_of (v : Value.t) =
+  match v with
+  | Value.Null -> KNone
+  | Value.Int _ -> KInt
+  | Value.Float _ -> KFloat
+  | Value.Bool _ -> KBool
+  | Value.Date _ -> KDate
+  | Value.String _ -> KString
+
+let join_kind k v =
+  match kind_of v with
+  | KNone -> k
+  | kv -> if k = KNone || k = kv then kv else KMixed
+
+(* pivot one column out of [values]; two passes: classify, then fill
+   the typed array (dummy slots under nulls) *)
+let col_of_values (values : Value.t array) : col =
+  let n = Array.length values in
+  let kind = ref KNone and nnull = ref 0 in
+  for i = 0 to n - 1 do
+    if Value.is_null values.(i) then incr nnull
+    else kind := join_kind !kind values.(i)
+  done;
+  let nulls =
+    if !nnull = 0 then None
+    else begin
+      let b = bitmap_create n in
+      for i = 0 to n - 1 do
+        if Value.is_null values.(i) then bitmap_set b i
+      done;
+      Some b
+    end
+  in
+  let data =
+    match !kind with
+    | KInt ->
+      Ints
+        (Array.init n (fun i ->
+             match values.(i) with Value.Int x -> x | _ -> 0))
+    | KFloat ->
+      Floats
+        (Array.init n (fun i ->
+             match values.(i) with Value.Float x -> x | _ -> 0.0))
+    | KBool ->
+      Bools
+        (Array.init n (fun i ->
+             match values.(i) with Value.Bool x -> x | _ -> false))
+    | KDate ->
+      Dates
+        (Array.init n (fun i ->
+             match values.(i) with Value.Date x -> x | _ -> 0))
+    | KString ->
+      let codes = Array.make n 0 in
+      let tbl = Hashtbl.create 64 in
+      let rev = ref [] and next = ref 0 in
+      for i = 0 to n - 1 do
+        match values.(i) with
+        | Value.String s ->
+          codes.(i) <-
+            (match Hashtbl.find_opt tbl s with
+            | Some c -> c
+            | None ->
+              let c = !next in
+              Hashtbl.add tbl s c;
+              rev := s :: !rev;
+              incr next;
+              c)
+        | _ -> ()
+      done;
+      let dict = Array.make (max 1 !next) "" in
+      List.iteri (fun i s -> dict.(!next - 1 - i) <- s) !rev;
+      Strings { codes; dict }
+    | KNone | KMixed -> Boxed values
+  in
+  { data; nulls }
+
+let of_rows (rows : Value.t array array) ~lo ~len ~arity =
+  {
+    length = len;
+    cols =
+      Array.init arity (fun j ->
+          col_of_values (Array.init len (fun i -> rows.(lo + i).(j))));
+  }
+
+(* a broadcast literal as a single-valued column *)
+let const n (v : Value.t) : col =
+  match v with
+  | Value.Null ->
+    let b = bitmap_create n in
+    for i = 0 to n - 1 do bitmap_set b i done;
+    { data = Ints (Array.make n 0); nulls = Some b }
+  | Value.Int x -> { data = Ints (Array.make n x); nulls = None }
+  | Value.Float x -> { data = Floats (Array.make n x); nulls = None }
+  | Value.Bool x -> { data = Bools (Array.make n x); nulls = None }
+  | Value.Date x -> { data = Dates (Array.make n x); nulls = None }
+  | Value.String s ->
+    { data = Strings { codes = Array.make n 0; dict = [| s |] }; nulls = None }
+
+(* ---- materialization back to rows ---- *)
+
+let blit_rows t (out : Value.t array array) ~pos =
+  for i = 0 to t.length - 1 do
+    out.(pos + i) <- row t i
+  done
+
+let rows_of t = Array.init t.length (fun i -> row t i)
+
+(* ---- gather (selection vectors) ---- *)
+
+let gather_col col (sel : int array) : col =
+  let n = Array.length sel in
+  let nulls =
+    match col.nulls with
+    | None -> None
+    | Some b ->
+      let any = ref false in
+      let nb = bitmap_create n in
+      for i = 0 to n - 1 do
+        if bitmap_get b sel.(i) then begin
+          any := true;
+          bitmap_set nb i
+        end
+      done;
+      if !any then Some nb else None
+  in
+  let data =
+    match col.data with
+    | Ints a -> Ints (Array.init n (fun i -> a.(sel.(i))))
+    | Floats a -> Floats (Array.init n (fun i -> a.(sel.(i))))
+    | Bools a -> Bools (Array.init n (fun i -> a.(sel.(i))))
+    | Dates a -> Dates (Array.init n (fun i -> a.(sel.(i))))
+    | Strings { codes; dict } ->
+      (* the dictionary is shared, not rebuilt: codes stay valid *)
+      Strings { codes = Array.init n (fun i -> codes.(sel.(i))); dict }
+    | Boxed a -> Boxed (Array.init n (fun i -> a.(sel.(i))))
+  in
+  { data; nulls }
+
+let gather t sel =
+  { length = Array.length sel; cols = Array.map (fun c -> gather_col c sel) t.cols }
+
+(* ---- concatenation (flattening a chunk list into one batch) ---- *)
+
+(* null bitmaps re-packed element-wise (chunk lengths are not byte
+   aligned); [None] when no source column carries nulls *)
+let concat_nulls total (chunks : t array) j =
+  if Array.for_all (fun ch -> ch.cols.(j).nulls = None) chunks then None
+  else begin
+    let b = bitmap_create total in
+    let pos = ref 0 in
+    Array.iter
+      (fun ch ->
+        let c = ch.cols.(j) in
+        for i = 0 to ch.length - 1 do
+          if is_null c i then bitmap_set b (!pos + i)
+        done;
+        pos := !pos + ch.length)
+      chunks;
+    Some b
+  end
+
+(* when every chunk agrees on the column's representation the typed
+   arrays concatenate directly — no re-boxing, and for strings no
+   dictionary re-hash: dictionaries are appended (duplicate entries
+   across source chunks are harmless, nothing assumes dict
+   uniqueness) and codes are offset *)
+let concat_col_fast total (chunks : t array) j : data option =
+  let datum ch = ch.cols.(j).data in
+  let parts f = Array.to_list (Array.map (fun ch -> f (datum ch)) chunks) in
+  match datum chunks.(0) with
+  | Ints _ when Array.for_all (fun ch -> match datum ch with Ints _ -> true | _ -> false) chunks ->
+    Some (Ints (Array.concat (parts (function Ints a -> a | _ -> assert false))))
+  | Floats _ when Array.for_all (fun ch -> match datum ch with Floats _ -> true | _ -> false) chunks ->
+    Some (Floats (Array.concat (parts (function Floats a -> a | _ -> assert false))))
+  | Bools _ when Array.for_all (fun ch -> match datum ch with Bools _ -> true | _ -> false) chunks ->
+    Some (Bools (Array.concat (parts (function Bools a -> a | _ -> assert false))))
+  | Dates _ when Array.for_all (fun ch -> match datum ch with Dates _ -> true | _ -> false) chunks ->
+    Some (Dates (Array.concat (parts (function Dates a -> a | _ -> assert false))))
+  | Strings _ when Array.for_all (fun ch -> match datum ch with Strings _ -> true | _ -> false) chunks ->
+    let codes = Array.make total 0 in
+    let pos = ref 0 and base = ref 0 in
+    Array.iter
+      (fun ch ->
+        match datum ch with
+        | Strings { codes = c; dict } ->
+          Array.iteri (fun i code -> codes.(!pos + i) <- !base + code) c;
+          pos := !pos + ch.length;
+          base := !base + Array.length dict
+        | _ -> assert false)
+      chunks;
+    Some
+      (Strings
+         {
+           codes;
+           dict =
+             Array.concat
+               (parts (function Strings { dict; _ } -> dict | _ -> assert false));
+         })
+  | Boxed _ when Array.for_all (fun ch -> match datum ch with Boxed _ -> true | _ -> false) chunks ->
+    Some (Boxed (Array.concat (parts (function Boxed a -> a | _ -> assert false))))
+  | _ -> None
+
+let concat ~arity (chunks : t array) : t =
+  let total = Array.fold_left (fun acc c -> acc + c.length) 0 chunks in
+  {
+    length = total;
+    cols =
+      Array.init arity (fun j ->
+          match
+            if Array.length chunks > 0 then concat_col_fast total chunks j
+            else None
+          with
+          | Some data -> { data; nulls = concat_nulls total chunks j }
+          | None ->
+            (* kinds disagree across chunks: concatenate through the
+               boxed form and re-classify; per-column cost is one pass
+               over the values *)
+            let values = Array.make total Value.Null in
+            let pos = ref 0 in
+            Array.iter
+              (fun ch ->
+                let c = ch.cols.(j) in
+                for i = 0 to ch.length - 1 do
+                  values.(!pos + i) <- cell c i
+                done;
+                pos := !pos + ch.length)
+              chunks;
+            col_of_values values);
+  }
+
+(* ---- schema inference support ---- *)
+
+(* the type tag of the column's first non-null cell, as
+   [Exec.infer_schema] would see it; [None] when the chunk has no
+   non-null cell in that column *)
+let column_ty t j =
+  let col = t.cols.(j) in
+  let rec go i =
+    if i >= t.length then None
+    else if is_null col i then go (i + 1)
+    else Value.type_of (cell col i)
+  in
+  go 0

@@ -1,0 +1,81 @@
+(** Columnar batches for the chunk executor.
+
+    A chunk holds up to {!default_rows} rows of a relation pivoted
+    into columns.  A column is unboxed when every non-null cell in the
+    batch shares one type tag — [int array] / [float array] / [bool
+    array] / date [int array] / dictionary-coded strings — and falls
+    back to a boxed [Value.t array] for mixed-type columns.  Null
+    positions live in a side bitmap; the typed slot under a null holds
+    a dummy value and is only meaningful through {!cell}.
+
+    Chunk boundaries are a function of the data and of
+    [!default_rows] only — never of the jobs count — which is what
+    lets morsel-parallel operators stay bit-identical between jobs=1
+    and jobs=N. *)
+
+open Dirty
+
+val default_rows : int ref
+(** Rows per chunk when slicing a relation (default 2048).  Exposed
+    so tests can shrink it and exercise multi-chunk paths on small
+    inputs. *)
+
+type data =
+  | Ints of int array
+  | Floats of float array
+  | Bools of bool array
+  | Dates of int array
+  | Strings of { codes : int array; dict : string array }
+      (** per-chunk dictionary; [codes.(i)] indexes [dict] *)
+  | Boxed of Value.t array  (** mixed-type fallback *)
+
+type col = { data : data; nulls : Bytes.t option }
+(** [nulls = None] means no cell of the column is null. *)
+
+type t = { length : int; cols : col array }
+
+(** Null bitmaps: bit set = null.  [create n] is an all-clear bitmap
+    for [n] positions. *)
+module Bitmap : sig
+  val create : int -> Bytes.t
+  val set : Bytes.t -> int -> unit
+  val get : Bytes.t -> int -> bool
+end
+
+val is_null : col -> int -> bool
+
+val cell : col -> int -> Value.t
+(** Re-box one cell ([Null] when the bitmap says so). *)
+
+val row : t -> int -> Value.t array
+(** Materialize one row (fresh array). *)
+
+val col_of_values : Value.t array -> col
+(** Pivot a boxed column into its tightest representation.  Takes
+    ownership of the array (it may be kept as the [Boxed] backing). *)
+
+val of_rows : Value.t array array -> lo:int -> len:int -> arity:int -> t
+(** Extract rows [lo .. lo+len-1] into a chunk of [arity] columns. *)
+
+val const : int -> Value.t -> col
+(** A broadcast literal column of the given length. *)
+
+val blit_rows : t -> Value.t array array -> pos:int -> unit
+(** Materialize the chunk's rows into [out] starting at [pos]. *)
+
+val rows_of : t -> Value.t array array
+
+val gather : t -> int array -> t
+(** [gather t sel] is the chunk of rows [sel.(0), sel.(1), ...] of
+    [t], in selection order — the filter/join output primitive.
+    String dictionaries are shared, not rebuilt. *)
+
+val concat : arity:int -> t array -> t
+(** Flatten chunks into one batch (used to give the join build side
+    O(1) row addressing).  Columns are re-classified, so chunks whose
+    kinds disagree unify (possibly to [Boxed]). *)
+
+val column_ty : t -> int -> Value.ty option
+(** Type tag of the column's first non-null cell in row order, [None]
+    if every cell is null — the per-chunk step of the executor's
+    output schema inference. *)

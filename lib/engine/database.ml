@@ -68,13 +68,18 @@ let exec_catalog t : Exec.catalog =
   }
 
 let plan ?config t q = Planner.plan ?config (planner_env t) q
-let run_plan ?budget ?jobs t p = Exec.run ?budget ?jobs (exec_catalog t) p
+
+let run_plan ?budget ?jobs ?chunked t p =
+  Exec.run ?budget ?jobs ?chunked (exec_catalog t) p
 
 (* the parallelism the caller asked for: an explicit config pins it
    (so jobs=1 vs jobs=4 comparisons are environment-independent);
    otherwise the process default (CLI --jobs / CONQUER_JOBS) applies *)
 let effective_jobs (config : Planner.config option) =
   match config with Some c -> c.jobs | None -> Parallel.default_jobs ()
+
+let effective_chunked (config : Planner.config option) =
+  match config with Some c -> c.chunked | None -> true
 
 (* The budget declared by the planner config, if any; a time-limited
    budget gets a cancellation token so the wall-clock watchdog can
@@ -131,7 +136,8 @@ let query_ast ?config t q =
   timed_query (fun () ->
       let budget = budget_of_config Budget.Raise config in
       guarded budget (fun () ->
-          run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q)))
+          run_plan ?budget ~jobs:(effective_jobs config)
+            ~chunked:(effective_chunked config) t (plan ?config t q)))
 
 type stop = { truncated : bool; cancelled : bool }
 
@@ -142,7 +148,8 @@ let query_ast_within ?config ?cancel t q =
       let budget = budget_of_config ?cancel Budget.Truncate config in
       let rel =
         guarded budget (fun () ->
-            run_plan ?budget ~jobs:(effective_jobs config) t (plan ?config t q))
+            run_plan ?budget ~jobs:(effective_jobs config)
+              ~chunked:(effective_chunked config) t (plan ?config t q))
       in
       let stop =
         match budget with
@@ -164,7 +171,8 @@ let query_profiled ?config t text =
   let p = plan ?config t (Sql.Parser.parse_query text) in
   let budget = budget_of_config Budget.Raise config in
   guarded budget (fun () ->
-      Exec.run_profiled ?budget ~jobs:(effective_jobs config) (exec_catalog t) p)
+      Exec.run_profiled ?budget ~jobs:(effective_jobs config)
+        ~chunked:(effective_chunked config) (exec_catalog t) p)
 
 let explain_analyze ?config t text =
   let _, profile = query_profiled ?config t text in

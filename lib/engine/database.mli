@@ -30,7 +30,10 @@ val analyze_all : t -> unit
 val stats : t -> string -> Stats.t option
 
 val plan : ?config:Planner.config -> t -> Sql.Ast.query -> Plan.t
-val run_plan : ?budget:Budget.t -> ?jobs:int -> t -> Plan.t -> Dirty.Relation.t
+val run_plan :
+  ?budget:Budget.t -> ?jobs:int -> ?chunked:bool -> t -> Plan.t -> Dirty.Relation.t
+(** Execute a plan directly.  [chunked] (default [true]) selects the
+    columnar chunk executor — see {!Exec.run}. *)
 
 val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
 val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t

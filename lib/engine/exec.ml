@@ -31,6 +31,14 @@ let h_operator_seconds =
   Telemetry.Metrics.histogram "engine.exec.operator_seconds"
     ~help:"wall-clock per plan operator (inclusive of children)"
 
+let m_chunks_out =
+  Telemetry.Metrics.counter "engine.exec.chunks_out"
+    ~help:"column chunks produced by chunked operators"
+
+let h_rows_per_chunk =
+  Telemetry.Metrics.histogram "engine.exec.rows_per_chunk"
+    ~help:"rows per chunk emitted by chunked operators"
+
 let operator_label (plan : Plan.t) =
   match plan with
   | Scan { table; _ } -> "Scan " ^ table
@@ -172,6 +180,42 @@ let finish = function
     if s.count = 0 then Value.Null else Value.Float (s.total /. float_of_int s.count)
   | Min_state r | Max_state r -> Option.value ~default:Value.Null !r
 
+(* Merge a morsel-local partial aggregate state into the global one.
+   The chunked aggregate merges partials in morsel index order, so the
+   accumulation order is a function of the morsel boundaries (data and
+   [!Chunk.default_rows]) only — never of the jobs count. *)
+let merge_state (into : agg_state) (from : agg_state) =
+  match into, from with
+  | Count_state a, Count_state b -> a := !a + !b
+  | Sum_state a, Sum_state b ->
+    if b.seen then begin
+      if b.is_float && not a.is_float then begin
+        a.is_float <- true;
+        a.float_sum <- float_of_int a.int_sum
+      end;
+      if a.is_float then
+        a.float_sum <-
+          a.float_sum +. (if b.is_float then b.float_sum else float_of_int b.int_sum)
+      else a.int_sum <- a.int_sum + b.int_sum;
+      a.seen <- true
+    end
+  | Avg_state a, Avg_state b ->
+    a.total <- a.total +. b.total;
+    a.count <- a.count + b.count
+  | Min_state a, Min_state b -> (
+    match !a, !b with
+    | _, None -> ()
+    | None, Some v -> a := Some v
+    | Some m, Some v -> if Value.compare v m < 0 then a := Some v)
+  | Max_state a, Max_state b -> (
+    match !a, !b with
+    | _, None -> ()
+    | None, Some v -> a := Some v
+    | Some m, Some v -> if Value.compare v m > 0 then a := Some v)
+  | _ ->
+    (* states at one aggregate position always share a constructor *)
+    assert false
+
 (* Collect the distinct aggregate calls appearing in the given
    expressions, in syntactic order. *)
 let collect_aggs exprs =
@@ -215,6 +259,58 @@ let rewrite_grouped ~group_by ~aggs e =
           exec_errorf "nested aggregate: %s" (Sql.Pretty.expr_to_string e)))
   in
   go e
+
+(* Shared tail of the aggregation operators (row and chunked):
+   [finished_rows] are [key columns @ aggregate columns] rows in
+   first-occurrence group order; apply HAVING and the final projection
+   over the #g/#a intermediate schema. *)
+let aggregate_output ~group_by ~items ~having ~aggs finished_rows =
+  let num_keys = List.length group_by in
+  let num_aggs = List.length aggs in
+  (* fast path: the output columns are exactly the group columns
+     followed by the aggregates, and no HAVING — emit directly *)
+  let rewritten_items =
+    List.map (fun (e, n) -> (rewrite_grouped ~group_by ~aggs e, n)) items
+  in
+  let is_passthrough =
+    having = None
+    && List.length items = num_keys + num_aggs
+    && List.for_all2
+         (fun (e, _) i ->
+           match (e : Sql.Ast.expr) with
+           | Col { table = None; name } ->
+             name
+             = (if i < num_keys then Printf.sprintf "#g%d" i
+                else Printf.sprintf "#a%d" (i - num_keys))
+           | _ -> false)
+         rewritten_items
+         (List.init (List.length items) Fun.id)
+  in
+  if is_passthrough then
+    Relation.create (infer_schema (List.map snd items) finished_rows) finished_rows
+  else begin
+    let inter_names =
+      List.mapi (fun i _ -> Printf.sprintf "#g%d" i) group_by
+      @ List.mapi (fun i _ -> Printf.sprintf "#a%d" i) aggs
+    in
+    let inter_schema = infer_schema inter_names finished_rows in
+    let inter = Relation.create inter_schema finished_rows in
+    let inter =
+      match having with
+      | None -> inter
+      | Some h ->
+        let h' = rewrite_grouped ~group_by ~aggs h in
+        Relation.filter (predicate inter_schema h') inter
+    in
+    let out_names = List.map snd items in
+    let out_fns = List.map (fun (e, _) -> compile inter_schema e) rewritten_items in
+    let out_rows =
+      List.map
+        (fun row -> Array.of_list (List.map (fun f -> f row) out_fns))
+        (Relation.row_list inter)
+    in
+    Relation.create (infer_schema out_names out_rows) out_rows
+  end
 
 module Key = struct
   type t = Value.t array
@@ -412,50 +508,7 @@ let run_aggregate ?cancel ~jobs input ~group_by ~items ~having =
         !order
     end
   in
-  (* fast path: the output columns are exactly the group columns
-     followed by the aggregates, and no HAVING — emit directly *)
-  let rewritten_items =
-    List.map (fun (e, n) -> (rewrite_grouped ~group_by ~aggs e, n)) items
-  in
-  let is_passthrough =
-    having = None
-    && List.length items = num_keys + num_aggs
-    && List.for_all2
-         (fun (e, _) i ->
-           match (e : Sql.Ast.expr) with
-           | Col { table = None; name } ->
-             name
-             = (if i < num_keys then Printf.sprintf "#g%d" i
-                else Printf.sprintf "#a%d" (i - num_keys))
-           | _ -> false)
-         rewritten_items
-         (List.init (List.length items) Fun.id)
-  in
-  if is_passthrough then
-    Relation.create (infer_schema (List.map snd items) finished_rows) finished_rows
-  else begin
-    let inter_names =
-      List.mapi (fun i _ -> Printf.sprintf "#g%d" i) group_by
-      @ List.mapi (fun i _ -> Printf.sprintf "#a%d" i) aggs
-    in
-    let inter_schema = infer_schema inter_names finished_rows in
-    let inter = Relation.create inter_schema finished_rows in
-    let inter =
-      match having with
-      | None -> inter
-      | Some h ->
-        let h' = rewrite_grouped ~group_by ~aggs h in
-        Relation.filter (predicate inter_schema h') inter
-    in
-    let out_names = List.map snd items in
-    let out_fns = List.map (fun (e, _) -> compile inter_schema e) rewritten_items in
-    let out_rows =
-      List.map
-        (fun row -> Array.of_list (List.map (fun f -> f row) out_fns))
-        (Relation.row_list inter)
-    in
-    Relation.create (infer_schema out_names out_rows) out_rows
-  end
+  aggregate_output ~group_by ~items ~having ~aggs finished_rows
 
 (* ---- joins ---- *)
 
@@ -670,19 +723,923 @@ let run_left_outer_join ?budget lrel rrel ~on =
    with Budget_stop -> ());
   emit_result budget out_schema out
 
+
+(* ---- columnar chunk executor ----
+
+   The chunked path evaluates Filter/Project/Hash_join/Aggregate a
+   chunk at a time over {!Chunk.t} batches.  A morsel is one chunk;
+   the unit handed to {!Parallel} is the chunk index, so workers steal
+   fixed-size chunks instead of pre-split halves, and the output
+   (chunks concatenated in index order) is bit-identical between
+   jobs=1 and jobs=N: chunk boundaries depend on the data and
+   [!Chunk.default_rows] only, never on the jobs count. *)
+
+type ctable = { c_schema : Schema.t; c_chunks : Chunk.t array }
+
+let note_chunks (chunks : Chunk.t array) =
+  if Telemetry.Control.enabled () then begin
+    Telemetry.Metrics.inc ~n:(Array.length chunks) m_chunks_out;
+    Array.iter
+      (fun (c : Chunk.t) ->
+        Telemetry.Metrics.observe h_rows_per_chunk (float_of_int c.Chunk.length))
+      chunks
+  end
+
+(* row-major to column-major pivot, one chunk per morsel *)
+let pivot_relation ?cancel ~jobs rel =
+  let n = Relation.cardinality rel in
+  let arity = Schema.arity (Relation.schema rel) in
+  let cap = max 1 !Chunk.default_rows in
+  let nchunks = (n + cap - 1) / cap in
+  Parallel.init ?cancel ~jobs nchunks (fun ci ->
+      let lo = ci * cap in
+      let len = min cap (n - lo) in
+      {
+        Chunk.length = len;
+        cols =
+          Array.init arity (fun j ->
+              Chunk.col_of_values (Relation.column_slice rel ~col:j ~lo ~len));
+      })
+
+(* Pivot memoization.  Base tables are scanned by every query, and the
+   pivot (classification + dictionary build) is the chunked path's
+   dominant constant cost over them, so completed pivots are kept in a
+   small cache keyed by the PHYSICAL identity of the relation's row
+   array.  The rows array — not the relation — is the key because the
+   executor re-wraps tables in alias-qualified schemas per query
+   ([Relation.of_array schema (Relation.rows rel)] shares the array),
+   and the pivot reads cell values only, never schema names.  Safe
+   because the relational API is persistent: mutators like
+   [Relation.map_rows] build new row arrays.  The array is held
+   through a [Weak] pointer: dropping a table frees its pivot at the
+   next insertion sweep.  Entries remember the chunk cap they were
+   built with, so tests that shrink [!Chunk.default_rows] never see a
+   stale slicing. *)
+type pivot_entry = {
+  p_rows : Value.t array array Weak.t;
+  p_cap : int;
+  p_chunks : Chunk.t array;
+}
+
+let pivot_cache : pivot_entry list ref = ref []
+let pivot_lock = Mutex.create ()
+let pivot_cache_limit = 32
+
+let ctable_of_relation ?cancel ~jobs rel =
+  let cap = max 1 !Chunk.default_rows in
+  let rows = Relation.rows rel in
+  let cached =
+    Mutex.lock pivot_lock;
+    let hit =
+      List.find_opt
+        (fun e ->
+          e.p_cap = cap
+          && match Weak.get e.p_rows 0 with Some r -> r == rows | None -> false)
+        !pivot_cache
+    in
+    Mutex.unlock pivot_lock;
+    hit
+  in
+  let chunks =
+    match cached with
+    | Some e -> e.p_chunks
+    | None ->
+      let chunks = pivot_relation ?cancel ~jobs rel in
+      let w = Weak.create 1 in
+      Weak.set w 0 (Some rows);
+      Mutex.lock pivot_lock;
+      let live =
+        List.filter
+          (fun e -> match Weak.get e.p_rows 0 with Some _ -> true | None -> false)
+          !pivot_cache
+      in
+      let trimmed = List.filteri (fun i _ -> i < pivot_cache_limit - 1) live in
+      pivot_cache := { p_rows = w; p_cap = cap; p_chunks = chunks } :: trimmed;
+      Mutex.unlock pivot_lock;
+      chunks
+  in
+  { c_schema = Relation.schema rel; c_chunks = chunks }
+
+let relation_of_ctable ?cancel ~jobs ct =
+  let chunks = ct.c_chunks in
+  let n = Array.fold_left (fun acc (c : Chunk.t) -> acc + c.Chunk.length) 0 chunks in
+  let offsets = Array.make (Array.length chunks) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i (c : Chunk.t) ->
+      offsets.(i) <- !pos;
+      pos := !pos + c.Chunk.length)
+    chunks;
+  let out = Array.make n [||] in
+  Parallel.run ?cancel ~jobs (Array.length chunks) (fun ci ->
+      Chunk.blit_rows chunks.(ci) out ~pos:offsets.(ci));
+  Relation.of_array ct.c_schema out
+
+(* output schema inference, matching [infer_schema] over the
+   materialized rows: first non-null cell in row order, TString when
+   the column is entirely null *)
+let infer_ctable_schema names (chunks : Chunk.t array) =
+  Schema.make
+    (List.map
+       (fun (j, name) ->
+         let rec go ci =
+           if ci >= Array.length chunks then Value.TString
+           else
+             match Chunk.column_ty chunks.(ci) j with
+             | Some ty -> ty
+             | None -> go (ci + 1)
+         in
+         (name, go 0))
+       (List.mapi (fun j name -> (j, name)) names))
+
+(* ---- vectorized expression evaluation ----
+
+   [vcompile] turns an expression into a chunk-to-column function when
+   every subexpression has a kernel; otherwise the operator falls back
+   to the compiled row closure over the chunk's materialized rows.
+   The kernels agree with the row path lane for lane.  When several
+   lanes (or several subexpressions) would each raise, both paths
+   raise — the columnar evaluation order may surface a different
+   instance of the error, which is the one accepted divergence. *)
+
+type vval = Vcol of Chunk.col | Vlit of Value.t
+
+let vcell v i = match v with Vcol c -> Chunk.cell c i | Vlit x -> x
+let vnull v i = match v with Vcol c -> Chunk.is_null c i | Vlit x -> Value.is_null x
+
+let col_of_vval n v =
+  match v with Vcol c -> c | Vlit x -> Chunk.const n x
+
+(* or-combined null bitmap of two operands of a NULL-propagating
+   operation; literal operands reaching the typed fast paths are never
+   null (a null literal routes through the generic path) *)
+let merged_nulls n a b =
+  let bm v = match v with Vcol c -> c.Chunk.nulls | Vlit _ -> None in
+  match bm a, bm b with
+  | None, None -> None
+  | Some x, None -> Some x
+  | None, Some y -> Some y
+  | Some x, Some y ->
+    let nb = Chunk.Bitmap.create n in
+    for i = 0 to n - 1 do
+      if Chunk.Bitmap.get x i || Chunk.Bitmap.get y i then Chunk.Bitmap.set nb i
+    done;
+    Some nb
+
+(* SQL predicate truth of every lane ([Expr.truth]: Null is false,
+   non-boolean raises); loops run in ascending order so the first
+   raising lane matches the row path's first bad row *)
+let truth_mask v n : bool array =
+  match v with
+  | Vlit x -> Array.make n (Expr.truth x)
+  | Vcol ({ Chunk.data = Chunk.Bools a; _ } as c) -> (
+    match c.Chunk.nulls with
+    | None -> Array.init n (fun i -> a.(i))
+    | Some m -> Array.init n (fun i -> (not (Chunk.Bitmap.get m i)) && a.(i)))
+  | Vcol c ->
+    let out = Array.make n false in
+    for i = 0 to n - 1 do
+      out.(i) <- Expr.truth (Chunk.cell c i)
+    done;
+    out
+
+(* numeric views: unboxed accessors over int/float columns and
+   numeric literals; everything else goes through the generic path *)
+type numview =
+  | NInts of int array
+  | NFloats of float array
+  | NIntLit of int
+  | NFloatLit of float
+  | NOther
+
+let numview v =
+  match v with
+  | Vlit (Value.Int i) -> NIntLit i
+  | Vlit (Value.Float f) -> NFloatLit f
+  | Vlit _ -> NOther
+  | Vcol { Chunk.data = Chunk.Ints a; _ } -> NInts a
+  | Vcol { Chunk.data = Chunk.Floats a; _ } -> NFloats a
+  | Vcol _ -> NOther
+
+let iget = function
+  | NInts a -> fun i -> a.(i)
+  | NIntLit k -> fun _ -> k
+  | NFloats _ | NFloatLit _ | NOther -> assert false
+
+let fget = function
+  | NInts a -> fun i -> float_of_int a.(i)
+  | NFloats a -> fun i -> a.(i)
+  | NIntLit k ->
+    let f = float_of_int k in
+    fun _ -> f
+  | NFloatLit k -> fun _ -> k
+  | NOther -> assert false
+
+let null_test = function
+  | None -> fun _ -> false
+  | Some m -> Chunk.Bitmap.get m
+
+(* vectorized NULL-propagating arithmetic.  Division consults the null
+   mask before the zero test: the row path yields NULL for [x / NULL]
+   and [NULL / 0] without raising, and the dummy slot under a null is
+   0, so testing the slot first would raise spuriously. *)
+let arith_kernel (op : Sql.Ast.binop) a b n : Chunk.col =
+  let va = numview a and vb = numview b in
+  match va, vb with
+  | NOther, _ | _, NOther ->
+    let f =
+      match op with
+      | Sql.Ast.Add -> Expr.add
+      | Sql.Ast.Sub -> Expr.sub
+      | Sql.Ast.Mul -> Expr.mul
+      | Sql.Ast.Div -> Expr.div
+      | _ -> assert false
+    in
+    let out = Array.make n Value.Null in
+    for i = 0 to n - 1 do
+      out.(i) <- f (vcell a i) (vcell b i)
+    done;
+    Chunk.col_of_values out
+  | (NInts _ | NIntLit _), (NInts _ | NIntLit _) ->
+    let nulls = merged_nulls n a b in
+    let ia = iget va and ib = iget vb in
+    let out = Array.make n 0 in
+    (match op with
+    | Sql.Ast.Add -> for i = 0 to n - 1 do out.(i) <- ia i + ib i done
+    | Sql.Ast.Sub -> for i = 0 to n - 1 do out.(i) <- ia i - ib i done
+    | Sql.Ast.Mul -> for i = 0 to n - 1 do out.(i) <- ia i * ib i done
+    | Sql.Ast.Div ->
+      let is_null = null_test nulls in
+      for i = 0 to n - 1 do
+        if not (is_null i) then begin
+          let d = ib i in
+          if d = 0 then raise (Expr.Type_error "division by zero");
+          out.(i) <- ia i / d
+        end
+      done
+    | _ -> assert false);
+    { Chunk.data = Chunk.Ints out; nulls }
+  | _ ->
+    (* at least one float operand: the row path coerces both to float *)
+    let nulls = merged_nulls n a b in
+    let fa = fget va and fb = fget vb in
+    let out = Array.make n 0.0 in
+    (match op with
+    | Sql.Ast.Add -> for i = 0 to n - 1 do out.(i) <- fa i +. fb i done
+    | Sql.Ast.Sub -> for i = 0 to n - 1 do out.(i) <- fa i -. fb i done
+    | Sql.Ast.Mul -> for i = 0 to n - 1 do out.(i) <- fa i *. fb i done
+    | Sql.Ast.Div ->
+      let is_null = null_test nulls in
+      for i = 0 to n - 1 do
+        if not (is_null i) then begin
+          let d = fb i in
+          if d = 0.0 then raise (Expr.Type_error "division by zero");
+          out.(i) <- fa i /. d
+        end
+      done
+    | _ -> assert false);
+    { Chunk.data = Chunk.Floats out; nulls }
+
+let cmp_test (op : Sql.Ast.binop) =
+  match op with
+  | Sql.Ast.Eq -> fun c -> c = 0
+  | Sql.Ast.Neq -> fun c -> c <> 0
+  | Sql.Ast.Lt -> fun c -> c < 0
+  | Sql.Ast.Le -> fun c -> c <= 0
+  | Sql.Ast.Gt -> fun c -> c > 0
+  | Sql.Ast.Ge -> fun c -> c >= 0
+  | _ -> assert false
+
+(* per-lane sign of [Value.compare (vcell a i) (vcell b i)] without
+   re-boxing, for same-rank representation pairs; [None] falls back to
+   boxed comparison.  The numeric cross cases go through
+   [Value.compare_int_float], the same exact int/float comparison the
+   boxed path uses (rounding the int would break transitivity). *)
+let sign_fun a b : (int -> int) option =
+  match a, b with
+  | Vcol { Chunk.data = Chunk.Ints x; _ }, Vcol { Chunk.data = Chunk.Ints y; _ } ->
+    Some (fun i -> Int.compare x.(i) y.(i))
+  | Vcol { Chunk.data = Chunk.Ints x; _ }, Vlit (Value.Int k) ->
+    Some (fun i -> Int.compare x.(i) k)
+  | Vlit (Value.Int k), Vcol { Chunk.data = Chunk.Ints y; _ } ->
+    Some (fun i -> Int.compare k y.(i))
+  | Vcol { Chunk.data = Chunk.Floats x; _ }, Vcol { Chunk.data = Chunk.Floats y; _ }
+    ->
+    Some (fun i -> Float.compare x.(i) y.(i))
+  | Vcol { Chunk.data = Chunk.Floats x; _ }, Vlit (Value.Float k) ->
+    Some (fun i -> Float.compare x.(i) k)
+  | Vlit (Value.Float k), Vcol { Chunk.data = Chunk.Floats y; _ } ->
+    Some (fun i -> Float.compare k y.(i))
+  | Vcol { Chunk.data = Chunk.Ints x; _ }, Vcol { Chunk.data = Chunk.Floats y; _ }
+    ->
+    Some (fun i -> Value.compare_int_float x.(i) y.(i))
+  | Vcol { Chunk.data = Chunk.Floats x; _ }, Vcol { Chunk.data = Chunk.Ints y; _ }
+    ->
+    Some (fun i -> -Value.compare_int_float y.(i) x.(i))
+  | Vcol { Chunk.data = Chunk.Ints x; _ }, Vlit (Value.Float k) ->
+    Some (fun i -> Value.compare_int_float x.(i) k)
+  | Vlit (Value.Float k), Vcol { Chunk.data = Chunk.Ints y; _ } ->
+    Some (fun i -> -Value.compare_int_float y.(i) k)
+  | Vcol { Chunk.data = Chunk.Floats x; _ }, Vlit (Value.Int k) ->
+    Some (fun i -> -Value.compare_int_float k x.(i))
+  | Vlit (Value.Int k), Vcol { Chunk.data = Chunk.Floats y; _ } ->
+    Some (fun i -> Value.compare_int_float k y.(i))
+  | Vcol { Chunk.data = Chunk.Dates x; _ }, Vcol { Chunk.data = Chunk.Dates y; _ }
+    ->
+    Some (fun i -> Int.compare x.(i) y.(i))
+  | Vcol { Chunk.data = Chunk.Dates x; _ }, Vlit (Value.Date k) ->
+    Some (fun i -> Int.compare x.(i) k)
+  | Vlit (Value.Date k), Vcol { Chunk.data = Chunk.Dates y; _ } ->
+    Some (fun i -> Int.compare k y.(i))
+  | Vcol { Chunk.data = Chunk.Strings { codes; dict }; _ }, Vlit (Value.String s)
+    ->
+    (* one comparison per distinct string, then a table lookup *)
+    let tbl = Array.map (fun d -> String.compare d s) dict in
+    Some (fun i -> tbl.(codes.(i)))
+  | Vlit (Value.String s), Vcol { Chunk.data = Chunk.Strings { codes; dict }; _ }
+    ->
+    let tbl = Array.map (fun d -> String.compare s d) dict in
+    Some (fun i -> tbl.(codes.(i)))
+  | ( Vcol { Chunk.data = Chunk.Strings sa; _ },
+      Vcol { Chunk.data = Chunk.Strings sb; _ } ) ->
+    Some (fun i -> String.compare sa.dict.(sa.codes.(i)) sb.dict.(sb.codes.(i)))
+  | _ -> None
+
+(* comparison truth per lane: false when either side is NULL *)
+let cmp_mask op a b n : bool array =
+  let test = cmp_test op in
+  let out = Array.make n false in
+  (match sign_fun a b with
+  | Some sgn ->
+    for i = 0 to n - 1 do
+      if not (vnull a i || vnull b i) then out.(i) <- test (sgn i)
+    done
+  | None ->
+    for i = 0 to n - 1 do
+      let x = vcell a i and y = vcell b i in
+      if not (Value.is_null x || Value.is_null y) then
+        out.(i) <- test (Value.compare x y)
+    done);
+  out
+
+let bool_col a = { Chunk.data = Chunk.Bools a; nulls = None }
+
+let not_kernel v n : Chunk.col =
+  let out = Array.make n false in
+  (match v with
+  | Vcol ({ Chunk.data = Chunk.Bools a; _ } as c) ->
+    for i = 0 to n - 1 do
+      if not (Chunk.is_null c i) then out.(i) <- not a.(i)
+    done
+  | _ ->
+    for i = 0 to n - 1 do
+      match vcell v i with
+      | Value.Bool b -> out.(i) <- not b
+      | Value.Null -> ()
+      | x ->
+        raise
+          (Expr.Type_error
+             (Printf.sprintf "NOT: expected boolean, got %s" (Value.to_string x)))
+    done);
+  bool_col out
+
+let neg_kernel v n : Chunk.col =
+  match v with
+  | Vcol { Chunk.data = Chunk.Ints a; nulls } ->
+    { Chunk.data = Chunk.Ints (Array.init n (fun i -> -a.(i))); nulls }
+  | Vcol { Chunk.data = Chunk.Floats a; nulls } ->
+    { Chunk.data = Chunk.Floats (Array.init n (fun i -> -.a.(i))); nulls }
+  | _ ->
+    let out = Array.make n Value.Null in
+    for i = 0 to n - 1 do
+      out.(i) <-
+        (match vcell v i with
+        | Value.Int x -> Value.Int (-x)
+        | Value.Float x -> Value.Float (-.x)
+        | Value.Null -> Value.Null
+        | x ->
+          raise
+            (Expr.Type_error
+               (Printf.sprintf "unary -: expected number, got %s"
+                  (Value.to_string x))))
+    done;
+    Chunk.col_of_values out
+
+let is_null_kernel v n ~negate : Chunk.col =
+  let out = Array.make n false in
+  (match v with
+  | Vlit x ->
+    let b = Value.is_null x <> negate in
+    Array.fill out 0 n b
+  | Vcol c ->
+    for i = 0 to n - 1 do
+      out.(i) <- Chunk.is_null c i <> negate
+    done);
+  bool_col out
+
+(* LIKE over a dictionary column runs the matcher once per distinct
+   string; the generic path mirrors the row semantics, where a
+   non-null non-string is matched through [Value.to_string] *)
+let like_kernel v n ~pattern ~negate : Chunk.col =
+  let matcher = Expr.like_matcher pattern in
+  let m s = if negate then not (matcher s) else matcher s in
+  let out = Array.make n false in
+  (match v with
+  | Vcol ({ Chunk.data = Chunk.Strings { codes; dict }; _ } as c) ->
+    let tbl = Array.map m dict in
+    for i = 0 to n - 1 do
+      if not (Chunk.is_null c i) then out.(i) <- tbl.(codes.(i))
+    done
+  | _ ->
+    for i = 0 to n - 1 do
+      match vcell v i with
+      | Value.Null -> ()
+      | Value.String s -> out.(i) <- m s
+      | x -> out.(i) <- m (Value.to_string x)
+    done);
+  bool_col out
+
+let in_list_kernel v n values : Chunk.col =
+  let out = Array.make n false in
+  (match v with
+  | Vcol ({ Chunk.data = Chunk.Strings { codes; dict }; _ } as c) ->
+    let tbl =
+      Array.map (fun s -> List.exists (Value.equal (Value.String s)) values) dict
+    in
+    for i = 0 to n - 1 do
+      if not (Chunk.is_null c i) then out.(i) <- tbl.(codes.(i))
+    done
+  | _ ->
+    for i = 0 to n - 1 do
+      let x = vcell v i in
+      if not (Value.is_null x) then out.(i) <- List.exists (Value.equal x) values
+    done);
+  bool_col out
+
+(* [Some (f, may_raise, bool_total)]: [may_raise] — evaluating the
+   kernel can raise [Expr.Type_error] on some input; [bool_total] —
+   every lane yields Bool/Null, so [Expr.truth] of any lane cannot
+   raise.  Both drive the AND/OR gate: the row path short-circuits the
+   right side, so vectorizing it is only sound when evaluating it on
+   every lane cannot raise. *)
+let rec vcompile schema (e : Sql.Ast.expr) :
+    ((Chunk.t -> vval) * bool * bool) option =
+  match e with
+  | Lit v ->
+    let bt = match v with Value.Bool _ | Value.Null -> true | _ -> false in
+    Some ((fun _ -> Vlit v), false, bt)
+  | Col c -> (
+    match Expr.resolve schema c with
+    | i -> Some ((fun ch -> Vcol ch.Chunk.cols.(i)), false, false)
+    | exception (Expr.Unbound_column _ | Expr.Ambiguous_column _) ->
+      (* fall back so the row compiler surfaces the proper error *)
+      None)
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) -> (
+    match vcompile schema a, vcompile schema b with
+    | Some (fa, _, _), Some (fb, _, _) ->
+      Some
+        ( (fun ch -> Vcol (arith_kernel op (fa ch) (fb ch) ch.Chunk.length)),
+          true,
+          false )
+    | _ -> None)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) -> (
+    match vcompile schema a, vcompile schema b with
+    | Some (fa, ra, _), Some (fb, rb, _) ->
+      Some
+        ( (fun ch ->
+            Vcol (bool_col (cmp_mask op (fa ch) (fb ch) ch.Chunk.length))),
+          ra || rb,
+          true )
+    | _ -> None)
+  | Binop (((And | Or) as op), a, b) -> (
+    match vcompile schema a, vcompile schema b with
+    | Some (fa, ra, bta), Some (fb, rb, btb) when (not rb) && btb ->
+      let conj = match op with Sql.Ast.And -> true | _ -> false in
+      let f ch =
+        let n = ch.Chunk.length in
+        let ma = truth_mask (fa ch) n in
+        let mb = truth_mask (fb ch) n in
+        let out = Array.make n false in
+        if conj then
+          for i = 0 to n - 1 do
+            out.(i) <- ma.(i) && mb.(i)
+          done
+        else
+          for i = 0 to n - 1 do
+            out.(i) <- ma.(i) || mb.(i)
+          done;
+        Vcol (bool_col out)
+      in
+      Some (f, ra || not bta, true)
+    | _ -> None)
+  | Unop (Not, a) -> (
+    match vcompile schema a with
+    | Some (fa, ra, bta) ->
+      Some
+        ( (fun ch -> Vcol (not_kernel (fa ch) ch.Chunk.length)),
+          ra || not bta,
+          true )
+    | None -> None)
+  | Unop (Neg, a) -> (
+    match vcompile schema a with
+    | Some (fa, _, _) ->
+      Some ((fun ch -> Vcol (neg_kernel (fa ch) ch.Chunk.length)), true, false)
+    | None -> None)
+  | Is_null a -> (
+    match vcompile schema a with
+    | Some (fa, ra, _) ->
+      Some
+        ( (fun ch -> Vcol (is_null_kernel (fa ch) ch.Chunk.length ~negate:false)),
+          ra,
+          true )
+    | None -> None)
+  | Is_not_null a -> (
+    match vcompile schema a with
+    | Some (fa, ra, _) ->
+      Some
+        ( (fun ch -> Vcol (is_null_kernel (fa ch) ch.Chunk.length ~negate:true)),
+          ra,
+          true )
+    | None -> None)
+  | Like (a, p) -> (
+    match vcompile schema a with
+    | Some (fa, ra, _) ->
+      Some
+        ( (fun ch ->
+            Vcol (like_kernel (fa ch) ch.Chunk.length ~pattern:p ~negate:false)),
+          ra,
+          true )
+    | None -> None)
+  | Not_like (a, p) -> (
+    match vcompile schema a with
+    | Some (fa, ra, _) ->
+      Some
+        ( (fun ch ->
+            Vcol (like_kernel (fa ch) ch.Chunk.length ~pattern:p ~negate:true)),
+          ra,
+          true )
+    | None -> None)
+  | In_list (a, vs) -> (
+    match vcompile schema a with
+    | Some (fa, ra, _) ->
+      Some
+        ( (fun ch -> Vcol (in_list_kernel (fa ch) ch.Chunk.length vs)),
+          ra,
+          true )
+    | None -> None)
+  | Between (a, lo, hi) -> (
+    match vcompile schema a, vcompile schema lo, vcompile schema hi with
+    | Some (fa, ra, _), Some (fl, rl, _), Some (fh, rh, _) ->
+      let f ch =
+        let n = ch.Chunk.length in
+        let va = fa ch in
+        let vl = fl ch in
+        let vh = fh ch in
+        let m1 = cmp_mask Sql.Ast.Le vl va n in
+        let m2 = cmp_mask Sql.Ast.Le va vh n in
+        let out = Array.make n false in
+        for i = 0 to n - 1 do
+          out.(i) <- m1.(i) && m2.(i)
+        done;
+        Vcol (bool_col out)
+      in
+      Some (f, ra || rl || rh, true)
+    | _ -> None)
+  | Agg _ | In_query _ | Exists _ | Scalar_subquery _ -> None
+
+(* a chunk-level compiled expression: vectorized when possible, else
+   the row closure applied over the chunk's materialized rows *)
+type chunk_expr = CVec of (Chunk.t -> vval) | CRow of (Relation.row -> Value.t)
+
+let chunk_compile schema e =
+  match vcompile schema e with
+  | Some (f, _, _) -> CVec f
+  | None -> CRow (compile schema e)
+
+(* [rows] is the lazily materialized row view of the chunk, shared by
+   every row-compiled expression of the operator.  It is created and
+   forced within a single morsel task, so the lazy cell never crosses
+   domains. *)
+let chunk_eval_col ce (ch : Chunk.t) rows : Chunk.col =
+  match ce with
+  | CVec f -> col_of_vval ch.Chunk.length (f ch)
+  | CRow g ->
+    let rows = Lazy.force rows in
+    let n = ch.Chunk.length in
+    let out = Array.make n Value.Null in
+    for i = 0 to n - 1 do
+      out.(i) <- g rows.(i)
+    done;
+    Chunk.col_of_values out
+
+(* ---- chunked operators ---- *)
+
+let chunked_filter ?cancel ~jobs ct pred =
+  let pf =
+    match vcompile ct.c_schema pred with
+    | Some (f, _, _) -> `Vec f
+    | None -> `Row (predicate ct.c_schema pred)
+  in
+  let out =
+    Parallel.init ?cancel ~jobs (Array.length ct.c_chunks) (fun ci ->
+        let ch = ct.c_chunks.(ci) in
+        let n = ch.Chunk.length in
+        let mask =
+          match pf with
+          | `Vec f -> truth_mask (f ch) n
+          | `Row p ->
+            let rows = Chunk.rows_of ch in
+            let m = Array.make n false in
+            for i = 0 to n - 1 do
+              m.(i) <- p rows.(i)
+            done;
+            m
+        in
+        let count = ref 0 in
+        Array.iter (fun b -> if b then incr count) mask;
+        if !count = n then Some ch
+        else if !count = 0 then None
+        else begin
+          let sel = Array.make !count 0 in
+          let k = ref 0 in
+          for i = 0 to n - 1 do
+            if mask.(i) then begin
+              sel.(!k) <- i;
+              incr k
+            end
+          done;
+          Some (Chunk.gather ch sel)
+        end)
+  in
+  let chunks = Array.of_list (List.filter_map Fun.id (Array.to_list out)) in
+  note_chunks chunks;
+  { ct with c_chunks = chunks }
+
+let chunked_project ?cancel ~jobs ct items =
+  let ces =
+    Array.of_list (List.map (fun (e, _) -> chunk_compile ct.c_schema e) items)
+  in
+  let out =
+    Parallel.init ?cancel ~jobs (Array.length ct.c_chunks) (fun ci ->
+        let ch = ct.c_chunks.(ci) in
+        let rows = lazy (Chunk.rows_of ch) in
+        {
+          Chunk.length = ch.Chunk.length;
+          cols = Array.map (fun ce -> chunk_eval_col ce ch rows) ces;
+        })
+  in
+  note_chunks out;
+  { c_schema = infer_ctable_schema (List.map snd items) out; c_chunks = out }
+
+(* Chunk-at-a-time hash join.  The build side is flattened into one
+   batch so bucket entries are plain global row ids; the build is
+   radix-partitioned by key hash exactly like the row path; probes run
+   one morsel per left chunk against the read-only partition tables.
+   Output order — left chunks in index order, left rows ascending,
+   bucket ids ascending — is the serial row join's order. *)
+let chunked_hash_join ?cancel ~jobs lct rct ~left_keys ~right_keys =
+  let ls = lct.c_schema and rs = rct.c_schema in
+  let out_schema = Schema.append ls rs in
+  let lkc = Array.of_list (List.map (chunk_compile ls) left_keys) in
+  let rkc = Array.of_list (List.map (chunk_compile rs) right_keys) in
+  let nkeys = Array.length lkc in
+  let rchunk = Chunk.concat ~arity:(Schema.arity rs) rct.c_chunks in
+  let nr = rchunk.Chunk.length in
+  let rkeys = Array.make nr None in
+  if nr > 0 then begin
+    let rrows = lazy (Chunk.rows_of rchunk) in
+    let kcols = Array.map (fun ce -> chunk_eval_col ce rchunk rrows) rkc in
+    let cap = max 1 !Chunk.default_rows in
+    Parallel.run ?cancel ~jobs ((nr + cap - 1) / cap) (fun si ->
+        let lo = si * cap in
+        let hi = min nr (lo + cap) - 1 in
+        for i = lo to hi do
+          let key = Array.init nkeys (fun j -> Chunk.cell kcols.(j) i) in
+          if not (Array.exists Value.is_null key) then rkeys.(i) <- Some key
+        done)
+  end;
+  let nparts = min (max 1 jobs) Parallel.max_jobs in
+  let tables =
+    Parallel.init ?cancel ~jobs nparts (fun p ->
+        let tbl : int list ref Ktbl.t = Ktbl.create (max 16 (nr / nparts)) in
+        for i = 0 to nr - 1 do
+          match rkeys.(i) with
+          | Some key when key_pid ~nparts key = p -> (
+            match Ktbl.find_opt tbl key with
+            | Some ids -> ids := i :: !ids
+            | None -> Ktbl.add tbl key (ref [ i ]))
+          | _ -> ()
+        done;
+        Ktbl.iter (fun _ ids -> ids := List.rev !ids) tbl;
+        tbl)
+  in
+  let out =
+    Parallel.init ?cancel ~jobs (Array.length lct.c_chunks) (fun ci ->
+        let ch = lct.c_chunks.(ci) in
+        let n = ch.Chunk.length in
+        let rows = lazy (Chunk.rows_of ch) in
+        let kcols = Array.map (fun ce -> chunk_eval_col ce ch rows) lkc in
+        let lsel = ref (Array.make 16 0) and rsel = ref (Array.make 16 0) in
+        let count = ref 0 in
+        let push li ri =
+          if !count = Array.length !lsel then begin
+            let nl = Array.make (2 * !count) 0 and nr' = Array.make (2 * !count) 0 in
+            Array.blit !lsel 0 nl 0 !count;
+            Array.blit !rsel 0 nr' 0 !count;
+            lsel := nl;
+            rsel := nr'
+          end;
+          !lsel.(!count) <- li;
+          !rsel.(!count) <- ri;
+          incr count
+        in
+        for i = 0 to n - 1 do
+          let key = Array.init nkeys (fun j -> Chunk.cell kcols.(j) i) in
+          if not (Array.exists Value.is_null key) then
+            match Ktbl.find_opt tables.(key_pid ~nparts key) key with
+            | None -> ()
+            | Some ids -> List.iter (fun ri -> push i ri) !ids
+        done;
+        if !count = 0 then None
+        else begin
+          let lg = Chunk.gather ch (Array.sub !lsel 0 !count) in
+          let rg = Chunk.gather rchunk (Array.sub !rsel 0 !count) in
+          Some
+            {
+              Chunk.length = !count;
+              cols = Array.append lg.Chunk.cols rg.Chunk.cols;
+            }
+        end)
+  in
+  let chunks = Array.of_list (List.filter_map Fun.id (Array.to_list out)) in
+  note_chunks chunks;
+  { c_schema = out_schema; c_chunks = chunks }
+
+(* Morsel-partial aggregation.  The input is re-sliced at canonical
+   [!Chunk.default_rows] boundaries over the concatenated row sequence
+   before building per-morsel partials, so the partial-merge order —
+   the one place the chunked path reassociates float accumulation —
+   is a function of the row sequence alone: independent of the jobs
+   count AND of upstream chunk shapes (fused and unfused plans agree
+   bit for bit).  Partials merge in morsel index order; group order is
+   first occurrence, as in the serial row path. *)
+let chunked_aggregate ?cancel ~jobs ct ~group_by ~items ~having =
+  let in_schema = ct.c_schema in
+  let key_ces = Array.of_list (List.map (chunk_compile in_schema) group_by) in
+  let num_keys = Array.length key_ces in
+  let exprs = List.map fst items @ Option.to_list having in
+  let aggs = collect_aggs exprs in
+  let agg_specs =
+    Array.of_list
+      (List.map
+         (fun e ->
+           match (e : Sql.Ast.expr) with
+           | Agg (f, None) -> (f, None)
+           | Agg (f, Some arg) -> (f, Some (chunk_compile in_schema arg))
+           | _ -> assert false)
+         aggs)
+  in
+  let num_aggs = Array.length agg_specs in
+  let new_states () = Array.map (fun (f, _) -> new_state f) agg_specs in
+  let cap = max 1 !Chunk.default_rows in
+  (* zero-length chunks contribute no rows and would stall the span
+     walk below *)
+  let chunks =
+    Array.of_list
+      (List.filter
+         (fun (c : Chunk.t) -> c.Chunk.length > 0)
+         (Array.to_list ct.c_chunks))
+  in
+  let nchunks = Array.length chunks in
+  let total =
+    Array.fold_left (fun acc (c : Chunk.t) -> acc + c.Chunk.length) 0 chunks
+  in
+  (* offsets.(i) = global row index of chunk i's first row *)
+  let offsets = Array.make (nchunks + 1) 0 in
+  Array.iteri
+    (fun i (c : Chunk.t) -> offsets.(i + 1) <- offsets.(i) + c.Chunk.length)
+    chunks;
+  (* Key and argument expressions are evaluated vectorized, one parallel
+     pass over the chunks as they stand — no concat, gather or row
+     materialization however irregular the shapes.  Morsels then sit at
+     canonical [cap] boundaries over the concatenated row sequence and
+     read the evaluated columns through chunk-local spans. *)
+  let evaled =
+    Parallel.init ?cancel ~jobs nchunks (fun ci ->
+        let ch = chunks.(ci) in
+        let rows = lazy (Chunk.rows_of ch) in
+        ( Array.map (fun ce -> chunk_eval_col ce ch rows) key_ces,
+          Array.map
+            (fun (_, arg) ->
+              Option.map (fun ce -> chunk_eval_col ce ch rows) arg)
+            agg_specs ))
+  in
+  (* Aggregation morsels are coarser than chunk granularity: with many
+     distinct groups, small partials re-discover most groups in every
+     morsel and the merge pass re-does almost all the hash work.
+     Sixteen slices bound that duplication while leaving enough
+     morsels to spread across the pool.  The slice width depends on
+     [total] and [cap] only — never on the jobs count — so partial
+     boundaries, and therefore float accumulation order, stay a
+     function of the row sequence alone. *)
+  let acap = max cap ((total + 15) / 16) in
+  let nmorsels = (total + acap - 1) / acap in
+  let partials =
+    Parallel.init ?cancel ~jobs nmorsels (fun si ->
+        let lo = si * acap in
+        let hi = lo + min acap (total - lo) in
+        let groups = Ktbl.create 64 in
+        let order = ref [] in
+        let ci = ref 0 in
+        while offsets.(!ci + 1) <= lo do
+          incr ci
+        done;
+        let gpos = ref lo in
+        while !gpos < hi do
+          let c = !ci in
+          let kcols, acols = evaled.(c) in
+          let local = !gpos - offsets.(c) in
+          let span = min (hi - !gpos) (chunks.(c).Chunk.length - local) in
+          for i = local to local + span - 1 do
+            let key = Array.init num_keys (fun j -> Chunk.cell kcols.(j) i) in
+            let states =
+              match Ktbl.find_opt groups key with
+              | Some s -> s
+              | None ->
+                let s = new_states () in
+                Ktbl.add groups key s;
+                order := (key, s) :: !order;
+                s
+            in
+            for a = 0 to num_aggs - 1 do
+              match acols.(a) with
+              | None -> feed states.(a) None
+              | Some col -> feed states.(a) (Some (Chunk.cell col i))
+            done
+          done;
+          gpos := !gpos + span;
+          incr ci
+        done;
+        List.rev !order)
+  in
+  let groups = Ktbl.create 256 in
+  let order = ref [] in
+  Array.iter
+    (List.iter (fun (key, states) ->
+         match Ktbl.find_opt groups key with
+         | Some g -> Array.iteri (fun a s -> merge_state g.(a) s) states
+         | None ->
+           Ktbl.add groups key states;
+           order := key :: !order))
+    partials;
+  (* SQL semantics: an ungrouped aggregate over an empty input yields
+     a single row of initial aggregate values *)
+  if group_by = [] && Ktbl.length groups = 0 then begin
+    Ktbl.add groups [||] (new_states ());
+    order := [ [||] ]
+  end;
+  let finished_rows =
+    List.rev_map
+      (fun key ->
+        let states = Ktbl.find groups key in
+        Array.append key (Array.map finish states))
+      !order
+  in
+  aggregate_output ~group_by ~items ~having ~aggs finished_rows
+
 (* ---- main interpreter ----
 
    The interpreter threads a [hook] around every node's evaluation so
    that {!run_profiled} can record per-operator statistics without a
-   second copy of the evaluation logic. *)
+   second copy of the evaluation logic.
 
-let rec run_hooked budget jobs hook catalog (plan : Plan.t) : Relation.t =
+   [chunked] selects the columnar executor for
+   Filter/Project/Hash_join/Aggregate (the hash join keeps the serial
+   row path under a budget, whose Truncate prefix is defined by
+   per-row emission order).  [fuse] additionally lets maximal
+   chunk-friendly subtrees evaluate column-to-column, skipping the
+   row materialization between operators; it is disabled under
+   budgets, telemetry, and profiling, which all need per-node row
+   boundaries.  Fused and unfused runs return identical results. *)
+
+type ctx = {
+  budget : Budget.t option;
+  jobs : int;
+  hook : Plan.t -> (unit -> Relation.t) -> Relation.t;
+  catalog : catalog;
+  chunked : bool;
+  fuse : bool;
+}
+
+let can_fuse ctx =
+  ctx.fuse && ctx.chunked
+  && Option.is_none ctx.budget
+  && not (Telemetry.Control.enabled ())
+
+let rec run_hooked ctx (plan : Plan.t) : Relation.t =
   (* bail out of deep plans promptly when the clock has run out *)
-  (match budget with None -> () | Some b -> Budget.check_time b);
-  let eval_node () =
-    hook plan (fun () ->
-        eval budget jobs hook catalog (resolve_node budget jobs catalog plan))
-  in
+  (match ctx.budget with None -> () | Some b -> Budget.check_time b);
+  let eval_node () = ctx.hook plan (fun () -> eval ctx (resolve_node ctx plan)) in
   let rel =
     if not (Telemetry.Control.enabled ()) then eval_node ()
     else
@@ -696,7 +1653,7 @@ let rec run_hooked budget jobs hook catalog (plan : Plan.t) : Relation.t =
           Telemetry.Span.add_attr "rows_out" (string_of_int n);
           rel)
   in
-  match budget with
+  match ctx.budget with
   | None -> rel
   | Some _ when per_row_charged plan -> rel
   | Some b ->
@@ -704,6 +1661,18 @@ let rec run_hooked budget jobs hook catalog (plan : Plan.t) : Relation.t =
     let allowed = Budget.admit b n in
     if allowed >= n then rel
     else Relation.of_array (Relation.schema rel) (Array.sub (Relation.rows rel) 0 allowed)
+
+and run_child ctx plan =
+  let rel = run_hooked ctx plan in
+  (* Once a Truncate-mode budget has stopped, every node boundary
+     above the stop admits 0 rows anyway — so hand parents an empty
+     input instead of letting them process (then discard) a large
+     partial intermediate.  This is what bounds cancellation latency:
+     after the token trips mid-join, the plan unwinds without paying
+     for filters/projections over millions of doomed rows. *)
+  match ctx.budget with
+  | Some b when Budget.exhausted b -> Relation.of_array (Relation.schema rel) [||]
+  | _ -> rel
 
 (* ---- uncorrelated subqueries ----
 
@@ -714,26 +1683,26 @@ let rec run_hooked budget jobs hook catalog (plan : Plan.t) : Relation.t =
    Correlated references fail inside the subquery's own planning with
    an unbound-column error. *)
 
-and eval_subquery budget jobs catalog (q : Sql.Ast.query) : Relation.t =
+and eval_subquery ctx (q : Sql.Ast.query) : Relation.t =
   let env : Planner.env =
     {
       schema_of =
         (fun name ->
-          match catalog.relation name with
+          match ctx.catalog.relation name with
           | rel -> Some (Relation.schema rel)
           | exception Not_found -> None);
       stats_of = (fun _ -> None);
-      has_index = (fun table attr -> catalog.index table attr <> None);
+      has_index = (fun table attr -> ctx.catalog.index table attr <> None);
     }
   in
   let plan =
     try Planner.plan env q
     with Planner.Plan_error msg -> exec_errorf "in subquery: %s" msg
   in
-  run_hooked budget jobs (fun _ f -> f ()) catalog plan
+  run_hooked { ctx with hook = (fun _ f -> f ()); fuse = true } plan
 
-and scalar_of_subquery budget jobs catalog q =
-  let rel = eval_subquery budget jobs catalog q in
+and scalar_of_subquery ctx q =
+  let rel = eval_subquery ctx q in
   if Schema.arity (Relation.schema rel) <> 1 then
     exec_errorf "scalar subquery must return one column";
   match Relation.cardinality rel with
@@ -741,11 +1710,11 @@ and scalar_of_subquery budget jobs catalog q =
   | 1 -> (Relation.get rel 0).(0)
   | n -> exec_errorf "scalar subquery returned %d rows" n
 
-and resolve_expr budget jobs catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
-  let go = resolve_expr budget jobs catalog in
+and resolve_expr ctx (e : Sql.Ast.expr) : Sql.Ast.expr =
+  let go = resolve_expr ctx in
   match e with
   | In_query (x, q) ->
-    let rel = eval_subquery budget jobs catalog q in
+    let rel = eval_subquery ctx q in
     if Schema.arity (Relation.schema rel) <> 1 then
       exec_errorf "IN subquery must return one column";
     let values =
@@ -755,8 +1724,8 @@ and resolve_expr budget jobs catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
     in
     In_list (go x, List.rev values)
   | Exists q ->
-    Lit (Value.Bool (not (Relation.is_empty (eval_subquery budget jobs catalog q))))
-  | Scalar_subquery q -> Lit (scalar_of_subquery budget jobs catalog q)
+    Lit (Value.Bool (not (Relation.is_empty (eval_subquery ctx q))))
+  | Scalar_subquery q -> Lit (scalar_of_subquery ctx q)
   | Lit _ | Col _ | Agg (_, None) -> e
   | Agg (f, Some a) -> Agg (f, Some (go a))
   | Unop (op, a) -> Unop (op, go a)
@@ -768,11 +1737,11 @@ and resolve_expr budget jobs catalog (e : Sql.Ast.expr) : Sql.Ast.expr =
   | Is_null a -> Is_null (go a)
   | Is_not_null a -> Is_not_null (go a)
 
-and resolve_if_needed budget jobs catalog e =
-  if Sql.Ast.has_subqueries e then resolve_expr budget jobs catalog e else e
+and resolve_if_needed ctx e =
+  if Sql.Ast.has_subqueries e then resolve_expr ctx e else e
 
-and resolve_node budget jobs catalog (plan : Plan.t) : Plan.t =
-  let r = resolve_if_needed budget jobs catalog in
+and resolve_node ctx (plan : Plan.t) : Plan.t =
+  let r = resolve_if_needed ctx in
   match plan with
   | Scan _ | Distinct _ | Limit _ -> plan
   | Filter { input; pred } -> Filter { input; pred = r pred }
@@ -801,59 +1770,97 @@ and resolve_node budget jobs catalog (plan : Plan.t) : Plan.t =
   | Sort { input; keys } ->
     Sort { input; keys = List.map (fun (e, d) -> (r e, d)) keys }
 
-and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
-  let run catalog plan =
-    let rel = run_hooked budget jobs hook catalog plan in
-    (* Once a Truncate-mode budget has stopped, every node boundary
-       above the stop admits 0 rows anyway — so hand parents an empty
-       input instead of letting them process (then discard) a large
-       partial intermediate.  This is what bounds cancellation latency:
-       after the token trips mid-join, the plan unwinds without paying
-       for filters/projections over millions of doomed rows. *)
-    match budget with
-    | Some b when Budget.exhausted b ->
-      Relation.of_array (Relation.schema rel) [||]
-    | _ -> rel
-  in
-  let cancel = region_cancel budget in
+(* the columnar input of a chunked operator: a fused chunk-friendly
+   subtree evaluates column-to-column; anything else goes through the
+   row interpreter (keeping per-node hooks, spans, and budget
+   boundaries) and is pivoted at the operator's edge *)
+and input_ctable ctx (input : Plan.t) : ctable =
+  if can_fuse ctx && Plan.chunk_friendly input then eval_ctable ctx input
+  else
+    let cancel = region_cancel ctx.budget in
+    ctable_of_relation ?cancel ~jobs:ctx.jobs (run_child ctx input)
+
+and eval_ctable ctx (plan : Plan.t) : ctable =
+  let cancel = region_cancel ctx.budget in
+  match resolve_node ctx plan with
+  | Scan { table; alias } ->
+    let rel =
+      try ctx.catalog.relation table
+      with Not_found -> exec_errorf "unknown table %s" table
+    in
+    let schema = Schema.rename ~prefix:alias (Relation.schema rel) in
+    ctable_of_relation ?cancel ~jobs:ctx.jobs
+      (Relation.of_array schema (Relation.rows rel))
+  | Filter { input; pred } ->
+    chunked_filter ?cancel ~jobs:ctx.jobs (input_ctable ctx input) pred
+  | Project { input; items } ->
+    chunked_project ?cancel ~jobs:ctx.jobs (input_ctable ctx input) items
+  | Hash_join { left; right; left_keys; right_keys } ->
+    chunked_hash_join ?cancel ~jobs:ctx.jobs (input_ctable ctx left)
+      (input_ctable ctx right) ~left_keys ~right_keys
+  | Index_join _ | Left_outer_join _ | Cross _ | Aggregate _ | Sort _
+  | Distinct _ | Limit _ ->
+    (* [input_ctable] only routes chunk-friendly nodes here *)
+    assert false
+
+and eval ctx (plan : Plan.t) : Relation.t =
+  let cancel = region_cancel ctx.budget in
+  let budget = ctx.budget and jobs = ctx.jobs in
   match plan with
   | Scan { table; alias } ->
     let rel =
-      try catalog.relation table
+      try ctx.catalog.relation table
       with Not_found -> exec_errorf "unknown table %s" table
     in
     let schema = Schema.rename ~prefix:alias (Relation.schema rel) in
     Relation.of_array schema (Relation.rows rel)
   | Filter { input; pred } ->
-    let rel = run catalog input in
-    run_filter ?cancel ~jobs (predicate (Relation.schema rel) pred) rel
+    if ctx.chunked then
+      relation_of_ctable ?cancel ~jobs
+        (chunked_filter ?cancel ~jobs (input_ctable ctx input) pred)
+    else
+      let rel = run_child ctx input in
+      run_filter ?cancel ~jobs (predicate (Relation.schema rel) pred) rel
   | Project { input; items } ->
-    let rel = run catalog input in
-    let schema = Relation.schema rel in
-    let fns = List.map (fun (e, _) -> compile schema e) items in
-    let rows =
-      run_map_rows ?cancel ~jobs
-        (fun row -> Array.of_list (List.map (fun f -> f row) fns))
-        rel
-    in
-    Relation.create (infer_schema (List.map snd items) rows) rows
+    if ctx.chunked then
+      relation_of_ctable ?cancel ~jobs
+        (chunked_project ?cancel ~jobs (input_ctable ctx input) items)
+    else begin
+      let rel = run_child ctx input in
+      let schema = Relation.schema rel in
+      let fns = List.map (fun (e, _) -> compile schema e) items in
+      let rows =
+        run_map_rows ?cancel ~jobs
+          (fun row -> Array.of_list (List.map (fun f -> f row) fns))
+          rel
+      in
+      Relation.create (infer_schema (List.map snd items) rows) rows
+    end
   | Hash_join { left; right; left_keys; right_keys } ->
-    run_hash_join ?budget ~jobs (run catalog left) (run catalog right) ~left_keys
-      ~right_keys
+    (* with a budget the join stays on the serial row path: rows are
+       charged as they are emitted, and the Truncate prefix is defined
+       by that per-row order *)
+    if ctx.chunked && Option.is_none budget then
+      relation_of_ctable ?cancel ~jobs
+        (chunked_hash_join ?cancel ~jobs (input_ctable ctx left)
+           (input_ctable ctx right) ~left_keys ~right_keys)
+    else
+      run_hash_join ?budget ~jobs (run_child ctx left) (run_child ctx right)
+        ~left_keys ~right_keys
   | Left_outer_join { left; right; on } ->
-    run_left_outer_join ?budget (run catalog left) (run catalog right) ~on
+    run_left_outer_join ?budget (run_child ctx left) (run_child ctx right) ~on
   | Index_join { left; table; alias; left_keys; right_attrs } -> (
     let base =
-      try catalog.relation table
+      try ctx.catalog.relation table
       with Not_found -> exec_errorf "unknown table %s" table
     in
     match right_attrs with
     | [] -> exec_errorf "index join with no key attributes"
     | first_attr :: other_attrs -> (
-      match catalog.index table first_attr with
+      match ctx.catalog.index table first_attr with
       | None -> exec_errorf "no index on %s.%s" table first_attr
       | Some index ->
-        let lrel = run catalog left in
+        let lrel = run_child ctx left in
         let ls = Relation.schema lrel in
         let lf =
           match List.map (compile ls) left_keys with
@@ -892,7 +1899,7 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
          with Budget_stop -> ());
         emit_result budget out_schema out))
   | Cross (a, b) ->
-    let ra = run catalog a and rb = run catalog b in
+    let ra = run_child ctx a and rb = run_child ctx b in
     let schema = Schema.append (Relation.schema ra) (Relation.schema rb) in
     let out = ref [] in
     (try
@@ -907,9 +1914,13 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
      with Budget_stop -> ());
     emit_result budget schema out
   | Aggregate { input; group_by; items; having } ->
-    run_aggregate ?cancel ~jobs (run catalog input) ~group_by ~items ~having
+    if ctx.chunked then
+      chunked_aggregate ?cancel ~jobs (input_ctable ctx input) ~group_by ~items
+        ~having
+    else
+      run_aggregate ?cancel ~jobs (run_child ctx input) ~group_by ~items ~having
   | Sort { input; keys } ->
-    let rel = run catalog input in
+    let rel = run_child ctx input in
     let schema = Relation.schema rel in
     let compiled = List.map (fun (e, desc) -> (compile schema e, desc)) keys in
     let cmp a b =
@@ -922,17 +1933,19 @@ and eval budget jobs hook catalog (plan : Plan.t) : Relation.t =
       go compiled
     in
     Relation.sort_by cmp rel
-  | Distinct input -> Relation.distinct (run catalog input)
+  | Distinct input -> Relation.distinct (run_child ctx input)
   | Limit (input, n) ->
-    let rel = run catalog input in
+    let rel = run_child ctx input in
     let keep = min n (Relation.cardinality rel) in
     Relation.of_array (Relation.schema rel)
       (Array.sub (Relation.rows rel) 0 keep)
 
-let run ?budget ?(jobs = 1) catalog plan =
+let run ?budget ?(jobs = 1) ?(chunked = true) catalog plan =
+  let ctx =
+    { budget; jobs; hook = (fun _ f -> f ()); catalog; chunked; fuse = true }
+  in
   (* evaluation-time type errors surface as engine errors *)
-  try run_hooked budget jobs (fun _ f -> f ()) catalog plan
-  with Expr.Type_error msg -> raise (Exec_error msg)
+  try run_hooked ctx plan with Expr.Type_error msg -> raise (Exec_error msg)
 
 type profile = {
   operator : string;
@@ -941,10 +1954,11 @@ type profile = {
   children : profile list;
 }
 
-let run_profiled ?budget ?(jobs = 1) catalog plan =
+let run_profiled ?budget ?(jobs = 1) ?(chunked = true) catalog plan =
   (* a stack of children accumulators: the hook pushes a frame before
      evaluating a node and folds the completed profile into the
-     parent's frame afterwards *)
+     parent's frame afterwards.  Fusion stays off so every node keeps
+     its own row boundary (and hence an accurate out_rows). *)
   let stack = ref [ [] ] in
   let hook node f =
     stack := [] :: !stack;
@@ -965,8 +1979,9 @@ let run_profiled ?budget ?(jobs = 1) catalog plan =
     | _ -> assert false);
     rel
   in
+  let ctx = { budget; jobs; hook; catalog; chunked; fuse = false } in
   let rel =
-    try run_hooked budget jobs hook catalog plan
+    try run_hooked ctx plan
     with Expr.Type_error msg -> raise (Exec_error msg)
   in
   match !stack with

@@ -14,7 +14,13 @@ type catalog = {
 
 exception Exec_error of string
 
-val run : ?budget:Budget.t -> ?jobs:int -> catalog -> Plan.t -> Dirty.Relation.t
+val run :
+  ?budget:Budget.t ->
+  ?jobs:int ->
+  ?chunked:bool ->
+  catalog ->
+  Plan.t ->
+  Dirty.Relation.t
 (** [jobs] (default [1]) caps the domains used for partition-parallel
     operators (hash join, filter, project, aggregate).  Results are
     bit-identical to a serial run for any [jobs]: chunk outputs are
@@ -22,6 +28,20 @@ val run : ?budget:Budget.t -> ?jobs:int -> catalog -> Plan.t -> Dirty.Relation.t
     first-occurrence order.  Per-row budget-charged operators fall
     back to serial whenever [budget] is given, so [Truncate] prefixes
     stay well-defined.
+
+    [chunked] (default [true]) selects the columnar chunk executor for
+    Filter/Project/Hash_join/Aggregate: inputs are pivoted into
+    {!Chunk.t} batches of [!Chunk.default_rows] rows, operators run
+    one morsel (chunk) per scheduling unit, and chunk-friendly
+    subtrees fuse column-to-column when no budget is in force and
+    telemetry is off.  Chunk boundaries are a function of the data
+    only, so the jobs=1 ≡ jobs=N guarantee carries over.  Relative to
+    [chunked:false] (the row-at-a-time executor), results are
+    identical except that multi-chunk float aggregate sums may differ
+    in the last bits (per-morsel partials reassociate the
+    accumulation; the order is still deterministic), and when several
+    rows would each raise a type error the reported instance may
+    differ (whether an error is raised never does).
     @raise Exec_error on semantic errors (unknown table, unbound or
     ambiguous column, type errors).
     @raise Budget.Exceeded when a [Raise]-mode budget runs out; with a
@@ -37,8 +57,17 @@ type profile = {
 }
 
 val run_profiled :
-  ?budget:Budget.t -> ?jobs:int -> catalog -> Plan.t -> Dirty.Relation.t * profile
-(** Like {!run} but also returns the per-node statistics tree. *)
+  ?budget:Budget.t ->
+  ?jobs:int ->
+  ?chunked:bool ->
+  catalog ->
+  Plan.t ->
+  Dirty.Relation.t * profile
+(** Like {!run} but also returns the per-node statistics tree.
+    Fusion is disabled so every node keeps its own row boundary (and
+    an accurate [out_rows]); chunked aggregation re-slices its input
+    at canonical chunk boundaries, so profiled results are
+    bit-identical to {!run}'s. *)
 
 val pp_profile : Format.formatter -> profile -> unit
 

@@ -111,6 +111,11 @@ let ensure_workers want =
     Mutex.unlock pool.lock
   end
 
+(* pre-spawn the workers a [jobs]-wide region will use, so the first
+   timed run doesn't pay domain-creation cost (benchmarks warm the
+   pool before sampling) *)
+let warm jobs = ensure_workers (max 0 (min jobs max_jobs - 1))
+
 let enqueue_copies k job =
   Mutex.lock pool.lock;
   for _ = 1 to k do

@@ -26,6 +26,13 @@ val set_default_jobs : int -> unit
 (** Set the process-wide default (clamped to [1 .. max_jobs]); used by
     the CLI's [--jobs] flag. *)
 
+val warm : int -> unit
+(** [warm jobs] pre-spawns the worker domains a [jobs]-wide region
+    would use (clamped to {!max_jobs}), so the first parallel region
+    does not pay domain-creation cost.  Benchmarks call this before
+    sampling; otherwise the lazily-created pool charges its spawn time
+    to whichever run happens first. *)
+
 val min_rows_per_chunk : int ref
 (** Parallel operators fall back to serial execution when the input
     has fewer than about [jobs * !min_rows_per_chunk] rows — below

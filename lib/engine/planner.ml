@@ -6,6 +6,7 @@ type config = {
   max_rows : int option;
   max_elapsed : float option;
   jobs : int;
+  chunked : bool;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     max_rows = None;
     max_elapsed = None;
     jobs = 1;
+    chunked = true;
   }
 
 type env = {

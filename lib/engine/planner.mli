@@ -30,6 +30,11 @@ type config = {
       (** domains used for partition-parallel operators; [1] (the
           default) keeps execution serial.  Results are bit-identical
           for any value — see {!Exec.run}. *)
+  chunked : bool;
+      (** use the columnar chunk executor (the default); [false]
+          selects the row-at-a-time executor.  An executor toggle
+          passed through to {!Exec.run} — the planner itself does not
+          read it. *)
 }
 
 val default_config : config

@@ -2,8 +2,9 @@
    compare.
 
    Operational path: [Rewritable.check], then [Rewrite.rewrite_exn],
-   then engine execution — once per requested parallelism degree,
-   since answers must be bit-identical at any [jobs] value.
+   then engine execution — once per requested parallelism degree plus
+   one row-at-a-time executor leg, since answers must be bit-identical
+   at any [jobs] value and the chunked and row executors must agree.
    Declarative path: [Oracle.answers], candidate enumeration.
 
    A rejected query is not a failure — rejection is the fuzzer probing
@@ -14,7 +15,11 @@
 type outcome =
   | Rejected of Conquer.Rewritable.violation list
   | Agree of { answers : int }
-  | Mismatch of { jobs : int; mismatch : Conquer.Oracle.mismatch }
+  | Mismatch of {
+      jobs : int;
+      chunked : bool;
+      mismatch : Conquer.Oracle.mismatch;
+    }
   | Oracle_too_large of { count : float }
   | Error_during of { stage : string; message : string }
 
@@ -30,8 +35,9 @@ let to_string = function
     ^ String.concat "; "
         (List.map Conquer.Rewritable.violation_to_string vs)
   | Agree { answers } -> Printf.sprintf "agree (%d answers)" answers
-  | Mismatch { jobs; mismatch } ->
-    Printf.sprintf "MISMATCH at jobs=%d: %s" jobs
+  | Mismatch { jobs; chunked; mismatch } ->
+    Printf.sprintf "MISMATCH at jobs=%d (%s executor): %s" jobs
+      (if chunked then "chunked" else "row")
       (Conquer.Oracle.mismatch_to_string mismatch)
   | Oracle_too_large { count } ->
     Printf.sprintf "oracle budget exceeded (%.0f candidates)" count
@@ -54,10 +60,18 @@ let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
         Error_during { stage = "rewrite"; message = Printexc.to_string e }
       | rewritten ->
         let session = Conquer.Clean.create case.db in
-        let rec check_jobs = function
+        (* one leg per jobs value on the chunked executor, plus a
+           serial row-at-a-time leg: chunked vs row disagreement is a
+           real bug even when both agree across jobs values *)
+        let legs =
+          (1, false) :: List.map (fun j -> (j, true)) jobs
+        in
+        let rec check_legs = function
           | [] -> Agree { answers = Dirty.Relation.cardinality oracle }
-          | j :: rest -> (
-            let config = { Engine.Planner.default_config with jobs = j } in
+          | (j, chunked) :: rest -> (
+            let config =
+              { Engine.Planner.default_config with jobs = j; chunked }
+            in
             match
               Engine.Database.query_ast ~config
                 (Conquer.Clean.engine session)
@@ -66,15 +80,17 @@ let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
             | exception e ->
               Error_during
                 {
-                  stage = Printf.sprintf "execute (jobs=%d)" j;
+                  stage =
+                    Printf.sprintf "execute (jobs=%d, %s executor)" j
+                      (if chunked then "chunked" else "row");
                   message = Printexc.to_string e;
                 }
             | answers -> (
               match Conquer.Oracle.compare_answers ~oracle answers with
-              | Ok () -> check_jobs rest
-              | Error mismatch -> Mismatch { jobs = j; mismatch }))
+              | Ok () -> check_legs rest
+              | Error mismatch -> Mismatch { jobs = j; chunked; mismatch }))
         in
-        check_jobs jobs))
+        check_legs legs))
 
 (* Greedy shrinking: repeatedly take the first shrink candidate that
    still fails, until none does (or the step budget runs out).  Used

@@ -1,22 +1,42 @@
 #!/bin/sh
-# Warn-only bench regression check: compare the two newest
-# BENCH_<n>.json files (conquer-bench/1 schema) sample by sample and
-# flag medians that moved more than the threshold.
+# Bench regression check: compare the two newest BENCH_<n>.json files
+# (conquer-bench/1 schema) sample by sample and flag medians that grew
+# more than the threshold.
 #
-#   scripts/bench_regression.sh [--threshold PCT] [DIR]
+#   scripts/bench_regression.sh [--threshold PCT] \
+#       [--fail-match REGEX] [--fail-threshold PCT] [DIR]
 #
-# Never fails the build: CI bench boxes are noisy, so a regression
-# here is a reason to look, not a reason to block.  Exits 0 always
-# (including when there are fewer than two files to compare).
+# By default the check is warn-only: CI bench boxes are noisy, so a
+# regression is a reason to look, not a reason to block.  With
+# --fail-match, samples whose "report/name" matches REGEX become
+# load-bearing: any of them growing beyond --fail-threshold (default:
+# the warn threshold) fails the script with exit 1.  Everything else
+# stays warn-only.  Exits 0 when there are fewer than two files.
 
 THRESHOLD=20
-case "$1" in
-  --threshold)
-    THRESHOLD="$2"
-    shift 2
-    ;;
-esac
+FAIL_MATCH=
+FAIL_THRESHOLD=
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threshold)
+      THRESHOLD="$2"
+      shift 2
+      ;;
+    --fail-match)
+      FAIL_MATCH="$2"
+      shift 2
+      ;;
+    --fail-threshold)
+      FAIL_THRESHOLD="$2"
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 DIR="${1:-.}"
+[ -n "$FAIL_THRESHOLD" ] || FAIL_THRESHOLD="$THRESHOLD"
 
 # newest two by the numeric suffix bench/main.ml allocates
 files=$(ls "$DIR"/BENCH_*.json 2>/dev/null \
@@ -32,6 +52,9 @@ fi
 old=$(printf '%s\n' "$files" | head -1)
 new=$(printf '%s\n' "$files" | tail -1)
 echo "bench-regression: $old -> $new (warn at ${THRESHOLD}% median growth)"
+if [ -n "$FAIL_MATCH" ]; then
+  echo "bench-regression: failing when '$FAIL_MATCH' samples grow beyond ${FAIL_THRESHOLD}%"
+fi
 
 # one "report|name|median_ms" line per sample; the files are
 # machine-written, so splitting objects on "},{" is reliable
@@ -46,16 +69,29 @@ medians "$new" > /tmp/bench_new.$$
 trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
 
 warned=0
+failed=0
 while IFS='|' read -r report name new_ms; do
   old_ms=$(grep -F "$report|$name|" /tmp/bench_old.$$ | head -1 | cut -d'|' -f3)
   [ -n "$old_ms" ] || continue
-  verdict=$(awk -v o="$old_ms" -v n="$new_ms" -v t="$THRESHOLD" 'BEGIN {
+  load_bearing=no
+  if [ -n "$FAIL_MATCH" ] && printf '%s' "$report/$name" | grep -Eq "$FAIL_MATCH"; then
+    load_bearing=yes
+  fi
+  verdict=$(awk -v o="$old_ms" -v n="$new_ms" -v t="$THRESHOLD" \
+                -v ft="$FAIL_THRESHOLD" -v lb="$load_bearing" 'BEGIN {
     if (o <= 0) { print "skip"; exit }
     pct = (n - o) / o * 100.0
-    printf "%s %.1f", (pct > t) ? "WARN" : "ok", pct
+    if (lb == "yes" && pct > ft) printf "FAIL %.1f", pct
+    else if (pct > t) printf "WARN %.1f", pct
+    else printf "ok %.1f", pct
   }')
   case "$verdict" in
     skip) ;;
+    FAIL*)
+      pct=${verdict#FAIL }
+      echo "  FAIL $report/$name: ${old_ms}ms -> ${new_ms}ms (+${pct}%)"
+      failed=$((failed + 1))
+      ;;
     WARN*)
       pct=${verdict#WARN }
       echo "  WARN $report/$name: ${old_ms}ms -> ${new_ms}ms (+${pct}%)"
@@ -68,6 +104,10 @@ while IFS='|' read -r report name new_ms; do
   esac
 done < /tmp/bench_new.$$
 
+if [ "$failed" -gt 0 ]; then
+  echo "bench-regression: $failed load-bearing sample(s) regressed beyond ${FAIL_THRESHOLD}% -- failing"
+  exit 1
+fi
 if [ "$warned" -gt 0 ]; then
   echo "bench-regression: $warned sample(s) regressed beyond ${THRESHOLD}% (warn-only, not failing the build)"
 else
