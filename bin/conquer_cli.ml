@@ -12,6 +12,7 @@
      match      cluster duplicate records (sorted-neighborhood)
      assign     compute tuple probabilities for a clustered CSV (Figure 5)
      generate   emit a dirty TPC-H-style database as CSV files
+     update     apply a delta batch to a saved database and commit it
      recover    sweep crash debris from a saved database directory
      serve      run the overload-resilient query daemon
      trace      inspect a running daemon: traces and the query log
@@ -858,9 +859,24 @@ let recover_cmd =
     if actions = [] then print_endline "nothing to recover: store is clean"
     else List.iter print_endline actions;
     if check then begin
+      (* verify every retained generation's journal, not just the
+         committed one: a corrupt fallback is worth knowing about
+         before the day the fallback is needed *)
+      List.iter
+        (fun (c : Dirty.Store.check) ->
+          Printf.printf "generation %d (%s%s): %s\n" c.check_generation
+            (match c.check_kind with
+            | `Snapshot -> "snapshot"
+            | `Delta -> "delta")
+            (if c.check_in_chain then ", committed chain" else "")
+            (match c.check_result with
+            | Ok () -> "OK"
+            | Error detail -> "CORRUPT: " ^ detail))
+        (Dirty.Store.check_generations dir);
       let db = load_store ~lenient:false dir in
-      Printf.printf "store loads cleanly: %d table(s)\n"
+      Printf.printf "store loads cleanly: %d table(s), generation %d\n"
         (List.length (Dirty.Dirty_db.tables db))
+        (Dirty.Store.generation dir)
     end
   in
   let dir =
@@ -872,17 +888,116 @@ let recover_cmd =
     Arg.(
       value & flag
       & info [ "check" ]
-          ~doc:"After sweeping, load the store and report the table count.")
+          ~doc:
+            "After sweeping, verify the journalled checksums of every \
+             retained generation (snapshots and delta records, committed \
+             chain and fallbacks), report each as OK or CORRUPT, then load \
+             the store.")
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:
-         "Sweep the debris an interrupted save can leave in a database \
-          directory (orphaned temp files, never-committed or superseded \
-          generations) and report each removal. The committed snapshot is \
-          never touched. With --check, the store is loaded afterwards and \
-          the exit code is 4 if no loadable snapshot remains.")
+         "Sweep the debris an interrupted save or delta commit can leave in \
+          a database directory (orphaned temp files, never-committed or \
+          superseded generations) and report each removal. The committed \
+          chain is never touched. With --check, every retained generation's \
+          journal is verified (per-generation OK/CORRUPT report) and the \
+          store is loaded; the exit code is 4 only if no loadable snapshot \
+          remains — a corrupt fallback alone does not fail the check.")
     Term.(const run $ dir $ check)
+
+(* ---- update ---- *)
+
+let update_cmd =
+  let run dir ops file compact =
+    handling_failures @@ fun () ->
+    let text =
+      match (ops, file) with
+      | _ :: _, Some _ ->
+        prerr_endline "give update ops either as arguments or with --file";
+        exit 1
+      | _ :: _, None -> String.concat "\n" ops
+      | [], Some "-" | [], None -> In_channel.input_all stdin
+      | [], Some f -> In_channel.with_open_text f In_channel.input_all
+    in
+    let batch =
+      match Dirty.Delta.of_rows (Csv.parse_rows text) with
+      | batch -> batch
+      | exception Dirty.Delta.Invalid msg ->
+        Printf.eprintf "invalid update: %s\n" msg;
+        exit 2
+    in
+    if batch = [] then begin
+      prerr_endline "no update ops given";
+      exit 1
+    end;
+    let db = load_store ~lenient:false dir in
+    let outcome =
+      match Dirty.Delta.apply db batch with
+      | outcome -> outcome
+      | exception Dirty.Delta.Invalid msg ->
+        Printf.eprintf "invalid update: %s\n" msg;
+        exit 2
+    in
+    List.iter
+      (fun a ->
+        Printf.eprintf "renormalized: %s\n" (Dirty.Repair.action_to_string a))
+      outcome.Dirty.Delta.actions;
+    let generation =
+      if compact then begin
+        Dirty.Store.save dir outcome.Dirty.Delta.db;
+        Dirty.Store.generation dir
+      end
+      else Dirty.Store.commit_delta dir batch
+    in
+    Printf.printf "committed generation %d: %d op(s), %d cluster(s) touched%s\n"
+      generation (List.length batch)
+      (List.length outcome.Dirty.Delta.touched)
+      (if compact then ", compacted to a full snapshot" else "")
+  in
+  let dir =
+    Arg.(
+      required & opt (some Cmdliner.Arg.dir) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"The database directory to update (Dirty.Store layout).")
+  in
+  let ops =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"OP"
+          ~doc:
+            "Update operations as CSV records, one per argument: \
+             'insert,TABLE,V1,...'; 'delete,TABLE,CLUSTER,ORDINAL'; \
+             'split,TABLE,CLUSTER,NEWID,I1,...'; 'merge,TABLE,FROM,INTO'; \
+             'reassign,TABLE,CLUSTER,W1,...'. Omitted: records are read \
+             from --file or stdin.")
+  in
+  let file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Read update records from FILE ('-' for stdin).")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "Commit the updated database as a full snapshot generation \
+             instead of appending a delta record, collapsing the chain.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply an update batch (insert / delete / split / merge / reassign) \
+          to a saved database and commit it crash-atomically as a new \
+          generation — a checksummed delta record by default, a compacting \
+          full snapshot with --compact. Touched clusters are renormalized; \
+          the batch commits in full or not at all. Exit codes: 0 committed, \
+          1 unreadable input (missing file, broken CSV quoting, empty \
+          batch), 2 an invalid op (malformed record, unknown table or \
+          cluster, bad weights), 4 the store cannot be loaded.")
+    Term.(const run $ dir $ ops $ file $ compact)
 
 (* ---- serve ---- *)
 
@@ -1444,6 +1559,7 @@ let () =
           [
             query_cmd; profile_cmd; validate_cmd; rewrite_cmd; why_cmd;
             expected_cmd; dist_cmd; sample_cmd; match_cmd; assign_cmd;
-            generate_cmd; recover_cmd; serve_cmd; trace_cmd; fuzz_cmd;
+            generate_cmd; update_cmd; recover_cmd; serve_cmd; trace_cmd;
+            fuzz_cmd;
             demo_cmd;
           ]))

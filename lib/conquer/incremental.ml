@@ -1,0 +1,277 @@
+open Dirty
+
+module Rtbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec loop i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1))
+    in
+    loop 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 a
+end)
+
+let m_refreshes =
+  Telemetry.Metrics.counter "conquer.incremental.refreshes"
+    ~help:"incremental view refreshes (fallbacks included)"
+
+let m_fallbacks =
+  Telemetry.Metrics.counter "conquer.incremental.fallbacks"
+    ~help:"view refreshes that fell back to full re-execution"
+
+type stats = { s_touched : int; s_affected : int; s_fallback : string option }
+
+type t = {
+  sql : string;
+  items : Sql.Ast.select_item list;
+  relations : (string * string * Dirty_schema.table_info) list;
+      (** alias, table name, id/prob attributes — in FROM order *)
+  rewritten : Sql.Ast.query;
+  witness : Sql.Ast.query;
+      (** the ungrouped rewriting: answer columns then one cluster-id
+          column per FROM relation *)
+  localizable : bool;
+  mutable session : Clean.session;
+  mutable answers : Relation.t;
+  index : (string * string, unit Rtbl.t) Hashtbl.t;
+      (** (table, cluster id as printed) -> answer groups it reached *)
+}
+
+let answers t = t.answers
+let sql t = t.sql
+let num_answer_cols t = List.length t.items
+
+let index_key table cluster = (table, Value.to_string cluster)
+
+let index_add t key group =
+  let groups =
+    match Hashtbl.find_opt t.index key with
+    | Some g -> g
+    | None ->
+      let g = Rtbl.create 8 in
+      Hashtbl.add t.index key g;
+      g
+  in
+  if not (Rtbl.mem groups group) then Rtbl.replace groups group ()
+
+(* scan a witness relation (answer columns followed by one cluster id
+   per relation) into the provenance index; [each_group] additionally
+   receives every group key seen *)
+let index_scan t rel ~each_group =
+  let n = num_answer_cols t in
+  Relation.iter
+    (fun row ->
+      let group = Array.sub row 0 n in
+      each_group group;
+      List.iteri
+        (fun i (_, table, _) -> index_add t (index_key table row.(n + i)) group)
+        t.relations)
+    rel
+
+let run_witness ?config t ~where =
+  let q = { t.witness with where } in
+  Engine.Database.query_ast ?config (Clean.engine t.session) q
+
+let conj a b =
+  match a with None -> Some b | Some a -> Some (Sql.Ast.Binop (And, a, b))
+
+let materialize_query ?config session (q : Sql.Ast.query) =
+  let sql = Sql.Pretty.query_to_string q in
+  let env = Clean.env session in
+  (match Rewritable.check env q with
+  | Ok _ -> ()
+  | Error vs -> raise (Rewrite.Not_rewritable vs));
+  let items =
+    match q.select with
+    | Items items -> items
+    | Star -> invalid_arg "Incremental.materialize: SELECT * not supported"
+  in
+  let relations =
+    List.map
+      (fun (r : Sql.Ast.table_ref) ->
+        let alias = Option.value ~default:r.table r.t_alias in
+        let info = Option.get (env.Dirty_schema.info_of r.table) in
+        (alias, r.table, info))
+      q.from
+  in
+  let witness_items =
+    List.map
+      (fun (alias, _, (info : Dirty_schema.table_info)) ->
+        ({ expr = Sql.Ast.Col { table = Some alias; name = info.id_attr };
+           alias = None }
+          : Sql.Ast.select_item))
+      relations
+  in
+  let witness =
+    {
+      q with
+      select = Items (items @ witness_items);
+      group_by = [];
+      order_by = [];
+      limit = None;
+      distinct = false;
+    }
+  in
+  let rewritten = Rewrite.rewrite_exn env q in
+  let localizable =
+    q.order_by = [] && q.limit = None && not q.distinct
+  in
+  let t =
+    {
+      sql;
+      items;
+      relations;
+      rewritten;
+      witness;
+      localizable;
+      session;
+      answers = Engine.Database.query_ast ?config (Clean.engine session) rewritten;
+      index = Hashtbl.create 256;
+    }
+  in
+  index_scan t (run_witness ?config t ~where:q.where) ~each_group:(fun _ -> ());
+  t
+
+let materialize ?config session sql =
+  materialize_query ?config session (Sql.Parser.parse_query sql)
+
+let full_refresh ?config t reason ~touched =
+  Telemetry.Metrics.inc m_fallbacks;
+  t.answers <-
+    Engine.Database.query_ast ?config (Clean.engine t.session) t.rewritten;
+  Hashtbl.reset t.index;
+  index_scan t
+    (run_witness ?config t ~where:t.witness.where)
+    ~each_group:(fun _ -> ());
+  {
+    s_touched = touched;
+    s_affected = Relation.cardinality t.answers;
+    s_fallback = Some reason;
+  }
+
+(* one conjunct per answer column: NULL keys need IS NULL, Eq would
+   never match them *)
+let group_conjunct t group =
+  List.mapi
+    (fun i (item : Sql.Ast.select_item) ->
+      if Value.is_null group.(i) then Sql.Ast.Is_null item.expr
+      else Sql.Ast.Binop (Eq, item.expr, Lit group.(i)))
+    t.items
+  |> function
+  | [] -> invalid_arg "Incremental: no answer columns"
+  | c :: cs -> List.fold_left (fun acc c -> Sql.Ast.Binop (And, acc, c)) c cs
+
+let group_predicate t affected =
+  Rtbl.fold (fun g () acc -> group_conjunct t g :: acc) affected []
+  |> function
+  | [] -> assert false
+  | d :: ds -> List.fold_left (fun acc d -> Sql.Ast.Binop (Or, acc, d)) d ds
+
+(* splice recomputed group rows into the materialized relation:
+   affected groups are replaced in place (or dropped when they
+   vanished); groups new to the view append in recomputation order *)
+let splice t recomputed affected =
+  let n = num_answer_cols t in
+  let key row = Array.sub row 0 n in
+  let fresh = Rtbl.create 16 in
+  let fresh_order = ref [] in
+  Relation.iter
+    (fun row ->
+      let k = key row in
+      if not (Rtbl.mem fresh k) then begin
+        Rtbl.replace fresh k row;
+        fresh_order := k :: !fresh_order
+      end)
+    recomputed;
+  let emitted = Rtbl.create 16 in
+  let kept =
+    Relation.fold
+      (fun acc row ->
+        let k = key row in
+        if Rtbl.mem affected k then (
+          match Rtbl.find_opt fresh k with
+          | Some row' ->
+            Rtbl.replace emitted k ();
+            row' :: acc
+          | None -> acc (* the group vanished *))
+        else row :: acc)
+      [] t.answers
+  in
+  let appended =
+    List.fold_left
+      (fun acc k ->
+        if Rtbl.mem emitted k then acc else Rtbl.find fresh k :: acc)
+      [] !fresh_order
+    (* fresh_order is reversed; folding it reversed restores order *)
+  in
+  t.answers <-
+    Relation.create (Relation.schema t.answers) (List.rev kept @ appended)
+
+let refresh ?config ?(max_affected = 256) t session ~touched =
+  Telemetry.Metrics.inc m_refreshes;
+  Telemetry.Span.with_ ~name:"incremental.refresh" @@ fun () ->
+  t.session <- session;
+  let relevant =
+    List.filter
+      (fun (tbl, _) ->
+        List.exists (fun (_, tn, _) -> String.equal tn tbl) t.relations)
+      touched
+  in
+  let n_touched = List.length relevant in
+  if relevant = [] then { s_touched = 0; s_affected = 0; s_fallback = None }
+  else if not t.localizable then
+    full_refresh ?config t "order-by/limit/distinct" ~touched:n_touched
+  else begin
+    (* groups the touched clusters contributed to in any past state *)
+    let affected = Rtbl.create 64 in
+    List.iter
+      (fun (tbl, c) ->
+        match Hashtbl.find_opt t.index (index_key tbl c) with
+        | Some groups -> Rtbl.iter (fun g () -> Rtbl.replace affected g ()) groups
+        | None -> ())
+      relevant;
+    (* plus groups reachable from the touched clusters in the new
+       state: witness query restricted to the touched identifiers,
+       which also keeps the index invariant (only ever add) *)
+    let restriction =
+      List.filter_map
+        (fun (alias, table, (info : Dirty_schema.table_info)) ->
+          let ids =
+            List.filter_map
+              (fun (tbl, c) ->
+                if String.equal tbl table then Some c else None)
+              relevant
+          in
+          if ids = [] then None
+          else
+            Some
+              (Sql.Ast.In_list
+                 (Col { table = Some alias; name = info.id_attr }, ids)))
+        t.relations
+      |> function
+      | [] -> assert false (* relevant <> [] implies one restriction *)
+      | d :: ds -> List.fold_left (fun acc d -> Sql.Ast.Binop (Or, acc, d)) d ds
+    in
+    let wrel =
+      run_witness ?config t ~where:(conj t.witness.where restriction)
+    in
+    index_scan t wrel ~each_group:(fun g ->
+        if not (Rtbl.mem affected g) then Rtbl.replace affected g ());
+    let n_affected = Rtbl.length affected in
+    if n_affected = 0 then
+      { s_touched = n_touched; s_affected = 0; s_fallback = None }
+    else if n_affected > max_affected then
+      full_refresh ?config t "wide-delta" ~touched:n_touched
+    else begin
+      let pred = group_predicate t affected in
+      let q = { t.rewritten with where = conj t.rewritten.where pred } in
+      let recomputed =
+        Engine.Database.query_ast ?config (Clean.engine t.session) q
+      in
+      splice t recomputed affected;
+      { s_touched = n_touched; s_affected = n_affected; s_fallback = None }
+    end
+  end

@@ -24,13 +24,24 @@
    The legacy v1 layout — a bare [manifest.csv] plus [<table>.csv],
    no checksums — is still readable; the first v2 save over it keeps
    it around as generation 0's fallback and the second one cleans it
-   up, like any superseded generation. *)
+   up, like any superseded generation.
+
+   Format v3 adds delta generations: a generation is either a full
+   snapshot as above or a journaled batch of update records
+   ([delta.g<k>.csv], first row naming the parent generation) whose
+   journal covers just that file.  Loading a delta generation loads
+   the snapshot at the base of its chain and replays each batch in
+   order through [Delta.apply]; commit is the same CURRENT flip, so a
+   delta append is crash-atomic at every syscall boundary exactly like
+   a full save.  Cleanup and recovery are chain-aware: the whole chain
+   of the committed generation and of its fallback stay on disk. *)
 
 let current_name = "CURRENT"
 let legacy_manifest_name = "manifest.csv"
 let manifest_name g = Printf.sprintf "manifest.g%d.csv" g
 let journal_name g = Printf.sprintf "journal.g%d.csv" g
 let table_file g name = Printf.sprintf "%s.g%d.csv" name g
+let delta_name g = Printf.sprintf "delta.g%d.csv" g
 let journal_header = [ "file"; "bytes"; "crc32" ]
 let manifest_header = [ "name"; "id_attr"; "prob_attr"; "file" ]
 
@@ -57,6 +68,14 @@ let m_renames =
 let m_recoveries =
   Telemetry.Metrics.counter "dirty.store.recoveries"
     ~help:"loads that fell back to an earlier snapshot after corruption"
+
+let m_delta_commits =
+  Telemetry.Metrics.counter "dirty.store.delta_commits"
+    ~help:"update batches committed by Store.commit_delta"
+
+let m_journal_bytes =
+  Telemetry.Metrics.gauge "dirty.store.journal_bytes"
+    ~help:"bytes of journaled delta records in the committed chain"
 
 (* temp names are process-unique; leftovers from crashed saves are
    swept by [recover] *)
@@ -142,6 +161,20 @@ let available_generations dir =
          | _ -> None)
   |> List.sort_uniq (fun a b -> compare b a)
 
+let is_delta_generation dir g =
+  Sys.file_exists (Filename.concat dir (delta_name g))
+
+(* the snapshot generation at the base of [g]'s chain: [g] itself when
+   [g] is a full snapshot, else the first non-delta generation below *)
+let rec base_of dir g =
+  if g >= 1 && is_delta_generation dir g then base_of dir (g - 1) else g
+
+(* oldest generation still needed as fallback once [cur] is committed:
+   everything in the chains of [cur] and of [cur - 1].  When every
+   generation is a full snapshot this degenerates to [cur - 1], the
+   v2 rule. *)
+let fallback_floor dir cur = if cur <= 1 then 1 else base_of dir (cur - 1)
+
 (* What CURRENT says.  [Missing] means no v2 commit ever happened —
    generation files on disk are uncommitted debris and must not be
    loaded.  [Unreadable] means a commit happened but the pointer got
@@ -169,18 +202,41 @@ let generation dir =
   if Sys.file_exists dir && Sys.is_directory dir then committed_generation dir
   else 0
 
+(* delta generations of the committed chain, oldest first *)
+let delta_chain dir =
+  let cur = committed_generation dir in
+  if cur = 0 then []
+  else
+    let base = base_of dir cur in
+    List.init (cur - base) (fun i -> base + 1 + i)
+
+let delta_chain_length dir = List.length (delta_chain dir)
+
+let journal_bytes dir =
+  List.fold_left
+    (fun acc g ->
+      match (Unix.stat (Filename.concat dir (delta_name g))).Unix.st_size with
+      | n -> acc + n
+      | exception Unix.Unix_error _ -> acc)
+    0 (delta_chain dir)
+
+let update_journal_bytes dir =
+  Telemetry.Metrics.set m_journal_bytes (float_of_int (journal_bytes dir))
+
 (* best-effort removal: a failure to clean up must not fail a
    committed save (a simulated crash still propagates) *)
 let try_remove path =
   try Fault.Io.remove path with Sys_error _ | Fault.Io.Io_error _ -> ()
 
-(* after committing generation [g], drop generations <= g-2 and, once
-   a v2 fallback generation exists, the legacy v1 files *)
+(* after committing generation [g], drop generations below the
+   fallback chain's base and, once a v2 fallback generation exists,
+   the legacy v1 files *)
 let cleanup_old dir g =
+  let floor = fallback_floor dir g in
   Array.iter
     (fun f ->
       match gen_of_file f with
-      | Some (_, k) when k <= g - 2 -> try_remove (Filename.concat dir f)
+      | Some (_, k) when k < floor -> try_remove (Filename.concat dir f)
       | _ -> ())
     (Sys.readdir dir);
   if g >= 2 && Sys.file_exists (Filename.concat dir legacy_manifest_name) then begin
@@ -241,7 +297,44 @@ let save dir db =
     (render_rows journal_rows);
   write_atomic (Filename.concat dir (manifest_name g)) manifest_content;
   write_atomic (Filename.concat dir current_name) (string_of_int g ^ "\n");
-  cleanup_old dir g
+  cleanup_old dir g;
+  update_journal_bytes dir
+
+let commit_delta dir batch =
+  Telemetry.Span.with_ ~name:"store.commit_delta" ~attrs:[ ("dir", dir) ]
+  @@ fun () ->
+  if batch = [] then invalid_arg "Dirty.Store.commit_delta: empty batch";
+  (match pointer dir with
+  | Committed _ -> ()
+  | Missing | Unreadable ->
+    raise
+      (Sys_error (dir ^ ": no committed v2 generation to append a delta to")));
+  let parent = committed_generation dir in
+  let g = parent + 1 in
+  let content =
+    render_rows
+      ([ "delta"; "parent"; string_of_int parent ] :: Delta.to_rows batch)
+  in
+  let journal_rows =
+    journal_header
+    :: [
+         [
+           delta_name g;
+           string_of_int (String.length content);
+           Fault.Crc32.to_hex (Fault.Crc32.string content);
+         ];
+       ]
+  in
+  (* the delta record, then its journal, then the CURRENT flip — the
+     same commit point as [save], so the append is atomic at every
+     syscall boundary *)
+  write_atomic (Filename.concat dir (delta_name g)) content;
+  write_atomic (Filename.concat dir (journal_name g)) (render_rows journal_rows);
+  write_atomic (Filename.concat dir current_name) (string_of_int g ^ "\n");
+  Telemetry.Metrics.inc m_delta_commits;
+  cleanup_old dir g;
+  update_journal_bytes dir;
+  g
 
 (* a generation that cannot be trusted: missing file, size or CRC
    mismatch, malformed journal/manifest — grounds for falling back *)
@@ -259,42 +352,63 @@ let describe_exn = function
     Printf.sprintf "%s:%d: %s" path line msg
   | e -> Printexc.to_string e
 
-let load_generation ~validate ~lenient ~warn dir g =
+let journal_entries dir g =
   let journal_path = Filename.concat dir (journal_name g) in
   let journal =
     match Fault.Io.read_file journal_path with
     | s -> s
     | exception Sys_error msg -> failf "%s" msg
   in
-  let entries =
-    match Csv.parse_rows journal with
-    | header :: rest when header = journal_header ->
-      List.map
-        (function
-          | [ file; bytes; crc ] -> (
-            match (int_of_string_opt bytes, Fault.Crc32.of_hex crc) with
-            | Some b, Some c -> (file, b, c)
-            | _ -> failf "%s: malformed journal row" journal_path)
+  match Csv.parse_rows journal with
+  | header :: rest when header = journal_header ->
+    List.map
+      (function
+        | [ file; bytes; crc ] -> (
+          match (int_of_string_opt bytes, Fault.Crc32.of_hex crc) with
+          | Some b, Some c -> (file, b, c)
           | _ -> failf "%s: malformed journal row" journal_path)
-        rest
-    | _ -> failf "%s: malformed journal header" journal_path
-  in
-  (* read a journalled file and verify its size and checksum *)
-  let checked file =
-    let path = Filename.concat dir file in
-    match List.find_opt (fun (f, _, _) -> f = file) entries with
-    | None -> failf "%s not covered by the journal" file
-    | Some (_, bytes, crc) -> (
-      match Fault.Io.read_file path with
-      | exception Sys_error msg -> failf "%s" msg
-      | content ->
-        if String.length content <> bytes then
-          failf "%s: size %d does not match journalled %d" path
-            (String.length content) bytes
-        else if Fault.Crc32.string content <> crc then
-          failf "%s: checksum mismatch" path
-        else content)
-  in
+        | _ -> failf "%s: malformed journal row" journal_path)
+      rest
+  | _ -> failf "%s: malformed journal header" journal_path
+
+(* read a journalled file and verify its size and checksum *)
+let checked dir entries file =
+  let path = Filename.concat dir file in
+  match List.find_opt (fun (f, _, _) -> f = file) entries with
+  | None -> failf "%s not covered by the journal" file
+  | Some (_, bytes, crc) -> (
+    match Fault.Io.read_file path with
+    | exception Sys_error msg -> failf "%s" msg
+    | content ->
+      if String.length content <> bytes then
+        failf "%s: size %d does not match journalled %d" path
+          (String.length content) bytes
+      else if Fault.Crc32.string content <> crc then
+        failf "%s: checksum mismatch" path
+      else content)
+
+(* a generation is a delta batch exactly when its journal covers the
+   delta record file *)
+let journal_has_delta g entries =
+  List.exists (fun (f, _, _) -> f = delta_name g) entries
+
+let parse_delta dir g entries =
+  let file = delta_name g in
+  let path = Filename.concat dir file in
+  let content = checked dir entries file in
+  match Csv.parse_rows content with
+  | [ "delta"; "parent"; p ] :: ops -> (
+    (match int_of_string_opt p with
+    | Some parent when parent = g - 1 -> ()
+    | Some _ | None ->
+      failf "%s: delta parent %S does not match generation %d" path p g);
+    match Delta.of_rows ops with
+    | batch -> batch
+    | exception Delta.Invalid msg -> failf "%s: %s" path msg)
+  | _ -> failf "%s: malformed delta header" path
+
+let load_snapshot_generation ~validate ~lenient ~warn dir g entries =
+  let checked file = checked dir entries file in
   let manifest = checked (manifest_name g) in
   let manifest_path = Filename.concat dir (manifest_name g) in
   let rows =
@@ -329,6 +443,25 @@ let load_generation ~validate ~lenient ~warn dir g =
         end
         else failf "%s: malformed manifest row" manifest_path)
     Dirty_db.empty rows
+
+(* Load generation [g]: a snapshot directly, a delta generation by
+   loading its parent (recursively, down to the snapshot at the base
+   of the chain) and replaying the batch.  Any CRC, parse or replay
+   failure raises [Unusable], triggering generation fallback. *)
+let rec load_generation ~validate ~lenient ~warn dir g =
+  if g < 1 then failf "delta chain has no snapshot base"
+  else begin
+    let entries = journal_entries dir g in
+    if journal_has_delta g entries then begin
+      let batch = parse_delta dir g entries in
+      let base = load_generation ~validate ~lenient ~warn dir (g - 1) in
+      match Delta.apply base batch with
+      | outcome -> outcome.Delta.db
+      | exception Delta.Invalid msg ->
+        failf "%s: replay failed: %s" (delta_name g) msg
+    end
+    else load_snapshot_generation ~validate ~lenient ~warn dir g entries
+  end
 
 (* The pre-journal v1 layout: no checksums, so structural damage
    surfaces as parse/validation errors instead of CRC mismatches. *)
@@ -419,6 +552,7 @@ let load_verbose ?(validate = true) ?(lenient = false) dir =
       db
     end
   in
+  if Sys.file_exists dir && Sys.is_directory dir then update_journal_bytes dir;
   (db, List.rev !warnings)
 
 let load ?validate ?lenient dir = fst (load_verbose ?validate ?lenient dir)
@@ -427,6 +561,7 @@ let recover dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then []
   else begin
     let cur = committed_generation dir in
+    let floor = if cur >= 1 then fallback_floor dir cur else 1 in
     let actions = ref [] in
     let remove f reason =
       match Fault.Io.remove (Filename.concat dir f) with
@@ -440,8 +575,48 @@ let recover dir =
           match gen_of_file f with
           | Some (_, k) when k > cur ->
             remove f "in-flight generation never committed"
-          | Some (_, k) when k < cur - 1 -> remove f "superseded generation"
+          | Some (_, k) when k < floor -> remove f "superseded generation"
           | _ -> ())
       (Sys.readdir dir);
     List.rev !actions
+  end
+
+(* {1 Integrity checking} *)
+
+type check = {
+  check_generation : int;
+  check_kind : [ `Snapshot | `Delta ];
+  check_in_chain : bool;
+  check_result : (unit, string) result;
+}
+
+let check_generation dir ~chain g =
+  let kind = if is_delta_generation dir g then `Delta else `Snapshot in
+  let result =
+    match
+      let entries = journal_entries dir g in
+      List.iter (fun (f, _, _) -> ignore (checked dir entries f)) entries;
+      if journal_has_delta g entries then ignore (parse_delta dir g entries)
+    with
+    | () -> Ok ()
+    | exception Unusable msg -> Error msg
+  in
+  {
+    check_generation = g;
+    check_kind = kind;
+    check_in_chain = List.mem g chain;
+    check_result = result;
+  }
+
+let check_generations dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else begin
+    let cur = committed_generation dir in
+    let chain =
+      if cur = 0 then []
+      else
+        let base = base_of dir cur in
+        List.init (cur - base + 1) (fun i -> base + i)
+    in
+    List.map (check_generation dir ~chain) (available_generations dir)
   end

@@ -28,7 +28,16 @@
     [dirty.store.recoveries] telemetry counter) when verification
     fails.  The pre-journal v1 layout (a bare [manifest.csv] plus
     [<table>.csv], no checksums) is still readable and serves as the
-    fallback for generation 1. *)
+    fallback for generation 1.
+
+    Format v3 adds {e delta generations} ({!commit_delta}): a
+    generation that persists a journaled, checksummed {!Delta.batch}
+    ([delta.g<k>.csv]) instead of a full snapshot.  Loading walks the
+    chain down to the snapshot at its base and replays each batch in
+    order; commit is the same [CURRENT] flip, so updates share the
+    full save's crash-atomicity at every syscall boundary.  Cleanup
+    and {!recover} keep the committed chain and its fallback chain
+    intact. *)
 
 exception Corrupt of { dir : string; detail : string }
 (** No intact snapshot could be loaded: every candidate generation
@@ -36,8 +45,29 @@ exception Corrupt of { dir : string; detail : string }
 
 val save : string -> Dirty_db.t -> unit
 (** Write the database into the directory (created if missing) as a
-    new generation and commit it by flipping [CURRENT]; generations
-    older than the immediate fallback are then removed best-effort. *)
+    new full-snapshot generation and commit it by flipping [CURRENT];
+    generations older than the fallback chain's base are then removed
+    best-effort.  Saving over a delta chain compacts it: the next
+    cleanup drops the superseded chain. *)
+
+val commit_delta : string -> Delta.batch -> int
+(** Append one update batch as a new delta generation and commit it,
+    returning the new generation number.  The batch is validated by
+    the caller (typically by {!Delta.apply} against the in-memory
+    database before committing).
+    @raise Invalid_argument on an empty batch, and
+    @raise Sys_error when the directory has no committed v2 generation
+    to build on (save a snapshot first). *)
+
+val delta_chain_length : string -> int
+(** Number of delta generations between the committed generation and
+    the snapshot at the base of its chain ([0] right after a full
+    save) — the writer's compaction trigger. *)
+
+val journal_bytes : string -> int
+(** Total bytes of delta record files in the committed chain, also
+    published as the [dirty.store.journal_bytes] gauge by every
+    save/commit/load. *)
 
 val load : ?validate:bool -> ?lenient:bool -> string -> Dirty_db.t
 (** Load the committed snapshot.  When [validate] (default [true]) the
@@ -67,9 +97,28 @@ val generation : string -> int
     the generation. *)
 
 val recover : string -> string list
-(** Sweep the directory for debris a crashed save can leave behind —
-    orphaned [.store-*.tmp] files, generation files newer than
-    [CURRENT] (written but never committed), and generations older
-    than the immediate fallback — remove it, and describe each removal.
-    The committed generation and its fallback are never touched; an
-    empty list means the directory was already clean. *)
+(** Sweep the directory for debris a crashed save or delta commit can
+    leave behind — orphaned [.store-*.tmp] files, generation files
+    newer than [CURRENT] (written but never committed, delta records
+    included), and generations older than the fallback chain's base —
+    remove it, and describe each removal.  The committed chain and its
+    fallback chain are never touched; an empty list means the
+    directory was already clean. *)
+
+(** Integrity report for one retained generation ([conquer recover
+    --check]).  [check_in_chain] marks membership in the committed
+    chain (base snapshot through [CURRENT]). *)
+type check = {
+  check_generation : int;
+  check_kind : [ `Snapshot | `Delta ];
+  check_in_chain : bool;
+  check_result : (unit, string) result;
+}
+
+val check_generations : string -> check list
+(** Verify the journalled size and CRC-32 of every file of {e every}
+    retained generation (not just the committed one), newest first;
+    delta records are additionally parsed and their parent linkage
+    checked.  Purely diagnostic: nothing is modified, and a corrupt
+    entry here does not imply the store is unloadable (fallback may
+    still succeed). *)

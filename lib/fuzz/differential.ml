@@ -92,6 +92,173 @@ let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
         in
         check_legs legs))
 
+(* The update differential: replay a sequence of update batches and
+   compare incremental view maintenance against from-scratch execution
+   after every batch, at every (jobs, executor) leg.  On grid-mode
+   sequences (all probabilities dyadic) the comparison runs at eps 0:
+   sums and products of dyadic rationals are exact, so incremental
+   splicing, morsel slicing and executor choice must all produce the
+   same float bits.  The final database is additionally checked
+   against the enumeration oracle when it fits the candidate budget. *)
+
+type update_outcome =
+  | U_rejected of Conquer.Rewritable.violation list
+  | U_agree of { batches : int; answers : int; fallbacks : int }
+  | U_mismatch of {
+      jobs : int;
+      chunked : bool;
+      batch : int;  (** 1-based index of the first diverging batch *)
+      mismatch : Conquer.Oracle.mismatch;
+    }
+  | U_oracle_mismatch of { mismatch : Conquer.Oracle.mismatch }
+  | U_error of { stage : string; message : string }
+
+let update_failing = function
+  | U_mismatch _ | U_oracle_mismatch _ | U_error _ -> true
+  | U_rejected _ | U_agree _ -> false
+
+let update_to_string = function
+  | U_rejected vs ->
+    "rejected: "
+    ^ String.concat "; "
+        (List.map Conquer.Rewritable.violation_to_string vs)
+  | U_agree { batches; answers; fallbacks } ->
+    Printf.sprintf "agree (%d batches, %d answers, %d fallbacks)" batches
+      answers fallbacks
+  | U_mismatch { jobs; chunked; batch; mismatch } ->
+    Printf.sprintf "MISMATCH after batch %d at jobs=%d (%s executor): %s"
+      batch jobs
+      (if chunked then "chunked" else "row")
+      (Conquer.Oracle.mismatch_to_string mismatch)
+  | U_oracle_mismatch { mismatch } ->
+    Printf.sprintf "ORACLE MISMATCH on final database: %s"
+      (Conquer.Oracle.mismatch_to_string mismatch)
+  | U_error { stage; message } ->
+    Printf.sprintf "ERROR during %s: %s" stage message
+
+let run_updates ?(jobs = default_jobs) ?(max_candidates = 200_000)
+    ?(eps = 0.0) (case : Case.t) (batches : Dirty.Delta.batch list) =
+  let env = Conquer.Dirty_schema.of_dirty_db case.db in
+  match Conquer.Rewritable.check env case.query with
+  | Error vs -> U_rejected vs
+  | Ok _ -> (
+    match
+      (* apply the batches once; the per-leg work is read-only *)
+      List.fold_left
+        (fun (db, acc) batch ->
+          let o = Dirty.Delta.apply db batch in
+          (o.Dirty.Delta.db, (o.Dirty.Delta.touched, o.Dirty.Delta.db) :: acc))
+        (case.db, []) batches
+    with
+    | exception e ->
+      U_error { stage = "apply"; message = Printexc.to_string e }
+    | _, rev_states -> (
+      let states =
+        List.rev_map
+          (fun (touched, db) -> (touched, Conquer.Clean.create db))
+          rev_states
+      in
+      let session0 = Conquer.Clean.create case.db in
+      match Conquer.Rewrite.rewrite_exn env case.query with
+      | exception e ->
+        U_error { stage = "rewrite"; message = Printexc.to_string e }
+      | rewritten -> (
+        let fallbacks = ref 0 in
+        let legs =
+          List.concat_map (fun j -> [ (j, false); (j, true) ]) jobs
+        in
+        let exception Fail of update_outcome in
+        let check_leg (j, chunked) =
+          let config =
+            { Engine.Planner.default_config with jobs = j; chunked }
+          in
+          let stage fmt =
+            Printf.ksprintf
+              (fun s ->
+                Printf.sprintf "%s (jobs=%d, %s executor)" s j
+                  (if chunked then "chunked" else "row"))
+              fmt
+          in
+          let view =
+            try Conquer.Incremental.materialize_query ~config session0 case.query
+            with e ->
+              raise
+                (Fail
+                   (U_error
+                      {
+                        stage = stage "materialize";
+                        message = Printexc.to_string e;
+                      }))
+          in
+          List.iteri
+            (fun i (touched, session) ->
+              (match
+                 Conquer.Incremental.refresh ~config view session ~touched
+               with
+              | exception e ->
+                raise
+                  (Fail
+                     (U_error
+                        {
+                          stage = stage "refresh (batch %d)" (i + 1);
+                          message = Printexc.to_string e;
+                        }))
+              | stats ->
+                if stats.Conquer.Incremental.s_fallback <> None then
+                  incr fallbacks);
+              let scratch =
+                try
+                  Engine.Database.query_ast ~config
+                    (Conquer.Clean.engine session)
+                    rewritten
+                with e ->
+                  raise
+                    (Fail
+                       (U_error
+                          {
+                            stage = stage "execute (batch %d)" (i + 1);
+                            message = Printexc.to_string e;
+                          }))
+              in
+              match
+                Conquer.Oracle.compare_answers ~eps ~oracle:scratch
+                  (Conquer.Incremental.answers view)
+              with
+              | Ok () -> ()
+              | Error mismatch ->
+                raise
+                  (Fail (U_mismatch { jobs = j; chunked; batch = i + 1; mismatch })))
+            states;
+          view
+        in
+        match List.map check_leg legs with
+        | exception Fail outcome -> outcome
+        | views -> (
+          let view = List.hd views in
+          let answers =
+            Dirty.Relation.cardinality (Conquer.Incremental.answers view)
+          in
+          let agree =
+            U_agree
+              { batches = List.length states; answers; fallbacks = !fallbacks }
+          in
+          match states with
+          | [] -> agree
+          | _ -> (
+            let _, final_session = List.nth states (List.length states - 1) in
+            let final_db = Conquer.Clean.dirty_db final_session in
+            match Conquer.Oracle.answers ~max_candidates final_db case.query with
+            | exception Conquer.Oracle.Too_many_candidates _ -> agree
+            | exception e ->
+              U_error { stage = "oracle"; message = Printexc.to_string e }
+            | oracle -> (
+              match
+                Conquer.Oracle.compare_answers ~oracle
+                  (Conquer.Incremental.answers view)
+              with
+              | Ok () -> agree
+              | Error mismatch -> U_oracle_mismatch { mismatch }))))))
+
 (* Greedy shrinking: repeatedly take the first shrink candidate that
    still fails, until none does (or the step budget runs out).  Used
    both by the property tests' deliberate-bug check and the CLI's

@@ -28,6 +28,10 @@ let m_internal =
   Telemetry.Metrics.counter "serve.internal_errors"
     ~help:"requests that ended in an unexpected exception (500)"
 
+let m_updates =
+  Telemetry.Metrics.counter "serve.updates"
+    ~help:"update batches applied and committed"
+
 let g_inflight =
   Telemetry.Metrics.gauge "serve.in_flight" ~help:"queries executing right now"
 
@@ -59,6 +63,7 @@ type config = {
   jobs : int;
   cache_capacity : int;
   breaker_threshold : int;
+  compact_every : int;
   drain_deadline : float;
   retry_after : float;
   trace_sample : float;
@@ -80,6 +85,7 @@ let default_config =
     jobs = 1;
     cache_capacity = 256;
     breaker_threshold = 3;
+    compact_every = 16;
     drain_deadline = 5.0;
     retry_after = 1.0;
     trace_sample = 0.0;
@@ -254,13 +260,16 @@ let recovery_log t = t.recovered
    IS the cache-invalidation mechanism) and reloads the snapshot when
    it moved.  All failures feed the circuit breaker; while the breaker
    is open the probe is skipped entirely and the caller sheds. *)
-let ensure_session t =
-  locked t.slock @@ fun () ->
+(* losing the probe/reload race repeatedly is contention, not damage:
+   it must surface as a retryable 503, never a 500 *)
+exception Generation_unstable
+
+let ensure_session_locked t =
   if not (Breaker.allow t.breaker) then
     Error "store circuit breaker open; retry later"
   else
     match
-      let rec probe_and_load () =
+      let rec probe_and_load attempts =
         let generation = Dirty.Store.generation t.dir in
         match t.session with
         | Some (g, s) when g = generation -> (generation, s)
@@ -270,8 +279,11 @@ let ensure_session t =
              would label the newer snapshot with the older generation
              (and poison the result cache under that key) — re-probe
              and reload until the generation is stable around the
-             load *)
-          if Dirty.Store.generation t.dir <> generation then probe_and_load ()
+             load, giving up (retryably) under sustained writer
+             pressure rather than spinning *)
+          if Dirty.Store.generation t.dir <> generation then
+            if attempts <= 1 then raise Generation_unstable
+            else probe_and_load (attempts - 1)
           else begin
             let s = Conquer.Clean.create db in
             t.session <- Some (generation, s);
@@ -282,14 +294,61 @@ let ensure_session t =
             (generation, s)
           end
       in
-      probe_and_load ()
+      probe_and_load 5
     with
     | pair ->
       Breaker.success t.breaker;
       Ok pair
+    | exception Generation_unstable ->
+      (* not a store failure: don't count against the breaker *)
+      Error "store generation moving under concurrent commits; retry later"
     | exception e ->
       Breaker.failure t.breaker;
       Error (Printf.sprintf "store unavailable: %s" (Printexc.to_string e))
+
+let ensure_session t = locked t.slock @@ fun () -> ensure_session_locked t
+
+(* The write path: validate and apply the batch against the current
+   in-memory snapshot, persist it (a delta commit, or a compacting
+   full save once the chain reaches [compact_every]), and swap the
+   session in place — the daemon never reloads what it just applied.
+   Serialized by [slock] with the probe/reload path, so readers always
+   pair the right generation with the right session. *)
+let apply_update t batch =
+  locked t.slock @@ fun () ->
+  match ensure_session_locked t with
+  | Error detail -> Error (`Unavailable detail)
+  | Ok (_generation, session) -> (
+    match Dirty.Delta.apply (Conquer.Clean.dirty_db session) batch with
+    | exception Dirty.Delta.Invalid msg -> Error (`Invalid msg)
+    | outcome -> (
+      let compact =
+        Dirty.Store.delta_chain_length t.dir + 1 >= t.cfg.compact_every
+      in
+      match
+        (* the store does its own transient-fault retries through
+           Fault.Io; retrying the whole commit here could apply the
+           batch twice if a failure landed after the CURRENT flip *)
+        if compact then begin
+          Dirty.Store.save t.dir outcome.Dirty.Delta.db;
+          Dirty.Store.generation t.dir
+        end
+        else Dirty.Store.commit_delta t.dir batch
+      with
+      | exception e ->
+        Breaker.failure t.breaker;
+        Error
+          (`Unavailable
+            (Printf.sprintf "store unavailable: %s" (Printexc.to_string e)))
+      | generation ->
+        Breaker.success t.breaker;
+        t.session <- Some (generation, Conquer.Clean.create outcome.Dirty.Delta.db);
+        Cache.clear t.prepared;
+        let live_suffix = Printf.sprintf "|g%d" generation in
+        Cache.drop t.results (fun k ->
+            not (String.ends_with ~suffix:live_suffix k));
+        Telemetry.Metrics.inc m_updates;
+        Ok (generation, outcome, compact)))
 
 (* ---- request handling ---- *)
 
@@ -513,6 +572,40 @@ let handle_query t ctx ~trace_id job req =
       (compose_body ~core ~cached:false
          ~elapsed:(Unix.gettimeofday () -. job.enqueued_at))
 
+(* ---- the update endpoint ---- *)
+
+let handle_update t job req =
+  let body = String.trim req.Http.body in
+  if body = "" then
+    reply 400 (error_body "no update ops (POST delta CSV records)");
+  let batch =
+    match Dirty.Delta.of_rows (Dirty.Csv.parse_rows body) with
+    | batch -> batch
+    | exception Dirty.Delta.Invalid msg ->
+      reply 400 (error_body ("invalid update: " ^ msg))
+    | exception Dirty.Csv.Parse_error { line; msg; _ } ->
+      reply 400 (error_body (Printf.sprintf "bad CSV at line %d: %s" line msg))
+  in
+  if batch = [] then
+    reply 400 (error_body "no update ops (POST delta CSV records)");
+  match
+    Telemetry.Span.with_ ~name:"serve.update" (fun () -> apply_update t batch)
+  with
+  | Error (`Invalid msg) -> reply 400 (error_body ("invalid update: " ^ msg))
+  | Error (`Unavailable detail) ->
+    reply 503
+      ~headers:[ ("retry-after", Printf.sprintf "%.0f" t.cfg.retry_after) ]
+      (error_body detail)
+  | Ok (generation, outcome, compacted) ->
+    reply 200
+      (Printf.sprintf
+         "{\"generation\":%d,\"ops\":%d,\"touched\":%d,\"compacted\":%b,\"elapsed_ms\":%s}"
+         generation (List.length batch)
+         (List.length outcome.Dirty.Delta.touched)
+         compacted
+         (Telemetry.Export.json_float
+            ((Unix.gettimeofday () -. job.enqueued_at) *. 1000.0)))
+
 (* ---- the /debug surface ---- *)
 
 let debug_requests_json t =
@@ -670,6 +763,7 @@ let handle_request t ctx ~trace_id job req =
            [ ("x-content-type", "text/plain") ],
            Telemetry.Export.prometheus_string () ))
   | ("GET" | "POST"), "/query" -> handle_query t ctx ~trace_id job req
+  | "POST", "/update" -> handle_update t job req
   | "GET", "/debug/requests" -> reply 200 (debug_requests_json t)
   | "GET", "/debug/traces" -> reply 200 (debug_traces_index_json t)
   | "GET", path when String.starts_with ~prefix:"/debug/traces/" path ->
@@ -681,7 +775,7 @@ let handle_request t ctx ~trace_id job req =
   | "GET", "/debug/querylog" -> debug_querylog t req
   | "GET", "/debug/gc" -> reply 200 (debug_gc_json ())
   | "GET", "/debug/exemplars" -> reply 200 (debug_exemplars_json ())
-  | _, ("/healthz" | "/readyz" | "/metrics" | "/query") ->
+  | _, ("/healthz" | "/readyz" | "/metrics" | "/query" | "/update") ->
     reply 405 (error_body "method not allowed")
   | _, path
     when String.starts_with ~prefix:"/debug/" path ->

@@ -51,6 +51,16 @@
     - [GET /debug/gc] — a [Gc.quick_stat] heap snapshot.
     - [GET /debug/exemplars] — histogram buckets joined to the trace
       ids of recent requests that landed in them.
+    - [POST /update] ({!Dirty.Delta} CSV records as the body) —
+      validate the batch against the current snapshot, apply it with
+      renormalization, and commit it crash-atomically (a delta
+      generation, or a compacting full save once the chain reaches
+      [compact_every]).  200 carries [{"generation", "ops", "touched",
+      "compacted", "elapsed_ms"}]; the generation bump invalidates
+      every cached result by construction.  400 for malformed CSV or
+      an invalid op (nothing is committed), 503 with [Retry-After]
+      when the breaker is open, the store is unavailable, or the
+      probe/reload race persists — never 500 for contention.
     - [POST /query] (SQL text as the body) or [GET /query?sql=...] —
       query parameters [deadline_ms], [budget_rows], and
       [mode=rewritten|original].  200 carries
@@ -83,6 +93,9 @@ type config = {
   jobs : int;  (** engine domains per query; 1 = serial execution *)
   cache_capacity : int;  (** result-cache entries; 0 disables *)
   breaker_threshold : int;  (** store failures before tripping open *)
+  compact_every : int;
+      (** delta-chain length at which an update commits as a
+          compacting full snapshot instead of another delta *)
   drain_deadline : float;  (** seconds {!run} waits before hard drain *)
   retry_after : float;  (** seconds advertised on shed responses *)
   trace_sample : float;

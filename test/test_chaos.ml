@@ -170,6 +170,130 @@ let prop_crash_recovery_atomic =
       crash_and_check db_old db_new (crash_point mod n);
       true)
 
+(* ---- write-path crash matrix: delta commit and compaction ----
+
+   Same discipline as the save matrix: crash at EVERY I/O operation of
+   a delta append+commit, reload, and require exactly the base state
+   or the updated state — never a mix, never a torn replay.  The delta
+   record stores weights at full precision, so the updated comparison
+   target is the in-memory [Delta.apply] image. *)
+
+let fixed_batch =
+  [
+    Delta.Reassign
+      { table = "alpha"; cluster = Value.String "a1"; weights = [| 0.25; 0.75 |] };
+    Delta.Insert
+      {
+        table = "beta";
+        row = [| Value.String "b2"; v_i 5; Value.Float (4.0 /. 16.0) |];
+      };
+    Delta.Delete { table = "alpha"; cluster = Value.String "a2"; member = 0 };
+  ]
+
+let count_delta_ops db batch =
+  Testutil.with_temp_dir (fun dir ->
+      Store.save dir db;
+      Fault.Io.reset ~record:true ();
+      ignore (Store.commit_delta dir batch);
+      let n = Fault.Io.ops () in
+      Fault.Io.reset ();
+      n)
+
+let crash_delta_and_check ?(faults = fun k -> [ (k, Fault.Io.Crash) ]) db batch
+    k =
+  let updated = (Delta.apply db batch).Delta.db in
+  Testutil.with_temp_dir (fun dir ->
+      Store.save dir db;
+      Fault.Io.reset ();
+      Fault.Io.arm (faults k);
+      (match Store.commit_delta dir batch with
+      | (_ : int) -> ()
+      | exception _ -> ());
+      Fault.Io.reset ();
+      let loaded = Store.load dir in
+      if not (db_equal loaded db || db_equal loaded updated) then
+        Alcotest.failf "delta fault at op %d: loaded db is neither base nor updated" k;
+      if not (cluster_sums_ok loaded) then
+        Alcotest.failf "delta fault at op %d: cluster probability sums broken" k;
+      ignore (Store.recover dir);
+      let again = Store.load dir in
+      if not (db_equal again loaded) then
+        Alcotest.failf "delta fault at op %d: recover changed the loaded snapshot" k;
+      if Store.recover dir <> [] then
+        Alcotest.failf "delta fault at op %d: recover is not idempotent" k)
+
+let test_crash_every_op_delta_commit () =
+  let n = count_delta_ops fixed_old fixed_batch in
+  Alcotest.(check bool) "delta commit has a meaningful trace" true (n > 5);
+  for k = 0 to n - 1 do
+    crash_delta_and_check fixed_old fixed_batch k
+  done
+
+(* crash at every op of the compacting save over a live delta chain:
+   the chain replay and the compacted snapshot describe the same
+   database, so the reload must equal it at every crash point, and the
+   fallback chain must survive the sweep *)
+let test_crash_every_op_compaction () =
+  let setup dir =
+    Store.save dir fixed_old;
+    ignore (Store.commit_delta dir fixed_batch);
+    Store.load dir
+  in
+  let n =
+    Testutil.with_temp_dir (fun dir ->
+        let current = setup dir in
+        Fault.Io.reset ~record:true ();
+        Store.save dir current;
+        let n = Fault.Io.ops () in
+        Fault.Io.reset ();
+        n)
+  in
+  for k = 0 to n - 1 do
+    Testutil.with_temp_dir (fun dir ->
+        let current = setup dir in
+        Fault.Io.reset ();
+        Fault.Io.arm [ (k, Fault.Io.Crash) ];
+        (match Store.save dir current with () -> () | exception _ -> ());
+        Fault.Io.reset ();
+        let loaded = Store.load dir in
+        if not (db_equal loaded current) then
+          Alcotest.failf
+            "compaction fault at op %d: loaded db diverged from the chain" k;
+        ignore (Store.recover dir);
+        if not (db_equal (Store.load dir) current) then
+          Alcotest.failf
+            "compaction fault at op %d: recover broke the loadable state" k)
+  done
+
+(* random databases, random grid batches, random crash points *)
+let delta_chaos_case_gen =
+  let* db = db_gen in
+  let* batch, _ = Fuzz.Updategen.batch_gen db ~len:2 in
+  let* crash_point = QCheck.Gen.int_range 0 10_000 in
+  QCheck.Gen.return (db, batch, crash_point)
+
+let prop_crash_delta_commit_atomic =
+  QCheck.Test.make ~count:120
+    ~name:"crash during delta commit: reload is exactly base or updated"
+    (QCheck.make delta_chaos_case_gen)
+    (fun (db, batch, crash_point) ->
+      QCheck.assume (batch <> []);
+      let n = count_delta_ops db batch in
+      crash_delta_and_check db batch (crash_point mod n);
+      true)
+
+let test_randomized_schedule_delta () =
+  let seed =
+    match Fault.Io.seed_from_env () with Some s -> s | None -> 1337
+  in
+  Printf.printf "delta chaos schedule seed: CONQUER_FAULT_SEED=%d\n%!" seed;
+  let n = count_delta_ops fixed_old fixed_batch in
+  for round = 0 to 19 do
+    crash_delta_and_check
+      ~faults:(fun _ -> Fault.Io.random_schedule ~seed:(seed + round) ~ops:n)
+      fixed_old fixed_batch round
+  done
+
 (* ---- randomized multi-fault schedules (CONQUER_FAULT_SEED) ---- *)
 
 let test_randomized_schedule () =
@@ -452,6 +576,16 @@ let () =
           qcheck prop_crash_recovery_atomic;
           Alcotest.test_case "randomized fault schedules" `Quick
             test_randomized_schedule;
+        ] );
+      ( "write-path-crash",
+        [
+          Alcotest.test_case "crash at every op of a delta commit" `Quick
+            test_crash_every_op_delta_commit;
+          Alcotest.test_case "crash at every op of a compacting save" `Quick
+            test_crash_every_op_compaction;
+          qcheck prop_crash_delta_commit_atomic;
+          Alcotest.test_case "randomized fault schedules over delta commits"
+            `Quick test_randomized_schedule_delta;
         ] );
       ( "retry",
         [

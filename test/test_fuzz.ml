@@ -28,6 +28,29 @@ let prop_differential =
         QCheck.Test.fail_report (Fuzz.Differential.to_string outcome)
       else true)
 
+(* ---- the update differential property ----
+
+   300 random update sequences over rewritable cases: incremental
+   maintenance of the materialized view agrees bit-for-bit (eps 0)
+   with from-scratch re-execution at jobs in {1,4} x chunked in
+   {false,true}, and the final database agrees with the oracle.  The
+   generator stays on the 1/16 probability grid, so sums and products
+   are dyadic and exact equality is sound. *)
+
+let prop_update_differential =
+  QCheck.Test.make ~count:300
+    ~name:
+      "incremental maintenance agrees with from-scratch and the oracle (4 \
+       legs)"
+    (Fuzz.Updategen.scenario_arbitrary ())
+    (fun (case, batches) ->
+      let outcome =
+        Fuzz.Differential.run_updates ~jobs:[ 1; 4 ] ~eps:0.0 case batches
+      in
+      if Fuzz.Differential.update_failing outcome then
+        QCheck.Test.fail_report (Fuzz.Differential.update_to_string outcome)
+      else true)
+
 (* ---- oracle invariants ---- *)
 
 let prop_oracle_mass =
@@ -186,6 +209,61 @@ let test_corpus_classification () =
   check "cycle" false;
   check "dropped-root" false
 
+(* ---- pinned update edge cases ----
+
+   Deterministic witnesses for the two update shapes most likely to
+   break incremental maintenance, run through the full 4-leg
+   differential at eps 0. *)
+
+let run_pinned_updates name batches =
+  let case = Fuzz.Corpus.load ~dir:corpus_dir ~name in
+  match
+    Fuzz.Differential.run_updates ~jobs:[ 1; 4 ] ~eps:0.0 case batches
+  with
+  | Fuzz.Differential.U_agree { answers; _ } -> answers
+  | outcome ->
+    Alcotest.failf "pinned %s: %s" name
+      (Fuzz.Differential.update_to_string outcome)
+
+(* splitting a cluster of the join root moves a member into a brand
+   new answer group; the follow-up insert gives the new cluster a
+   join partner so the group actually surfaces in the view *)
+let test_pin_split_across_answer_groups () =
+  let batches =
+    [
+      [
+        Delta.Split
+          {
+            table = "t0";
+            cluster = Value.Int 0;
+            into = Value.Int 5;
+            members = [ 0 ];
+          };
+      ];
+      [
+        Delta.Insert
+          {
+            table = "t1";
+            row = [| Value.Int 3; Value.Int 9; Value.Int 5; Value.Float 1.0 |];
+          };
+      ];
+    ]
+  in
+  Alcotest.(check int)
+    "new answer group surfaced" 4
+    (run_pinned_updates "fk-tree" batches)
+
+(* deleting the only member of t0 cluster 1 removes the cluster; the
+   t1 tuple whose foreign key pointed at it dangles, and its answer
+   group must vanish from the maintained view *)
+let test_pin_delete_last_tuple_of_cluster () =
+  let batches =
+    [ [ Delta.Delete { table = "t0"; cluster = Value.Int 1; member = 0 } ] ]
+  in
+  Alcotest.(check int)
+    "dangling answer group vanished" 2
+    (run_pinned_updates "fk-tree" batches)
+
 (* ---- shrinking ---- *)
 
 let test_minimize_shrinks () =
@@ -242,7 +320,8 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "differential",
-        to_alcotest [ prop_differential; prop_oracle_mass ] );
+        to_alcotest
+          [ prop_differential; prop_update_differential; prop_oracle_mass ] );
       ("sampler", to_alcotest [ prop_sampler_converges ]);
       ("roundtrip", to_alcotest [ prop_roundtrip; prop_corpus_roundtrip ]);
       ( "corpus",
@@ -250,6 +329,10 @@ let () =
           Alcotest.test_case "replay seed corpus" `Quick test_corpus_replay;
           Alcotest.test_case "class membership" `Quick
             test_corpus_classification;
+          Alcotest.test_case "pin: split across answer groups" `Quick
+            test_pin_split_across_answer_groups;
+          Alcotest.test_case "pin: delete last tuple of a cluster" `Quick
+            test_pin_delete_last_tuple_of_cluster;
         ] );
       ( "shrinking",
         [

@@ -877,6 +877,147 @@ let test_cache_invalidation_on_commit () =
   in
   ()
 
+(* ---- POST /update: commit, invalidation, durability ---- *)
+
+let test_update_endpoint () =
+  let batch_csv = "reassign,alpha,c0,1,3\ninsert,alpha,zz,5,1.0" in
+  let updated =
+    (Delta.apply fixture (Delta.of_rows (Csv.parse_rows batch_csv))).Delta.db
+  in
+  let (), _report =
+    with_server fixture (fun dir _t port ->
+        (* warm the result cache for the current generation *)
+        ignore (expect_200 (client port ~body:q_alpha "/query"));
+        let warm = expect_200 (client port ~body:q_alpha "/query") in
+        Alcotest.(check bool) "cache warm before update" true
+          (body_flag warm "cached");
+        let gen0 = body_generation warm in
+        (match client port "/update" with
+        | Resp { status = 405; _ } -> ()
+        | _ -> Alcotest.fail "GET /update should 405");
+        (* nothing commits on bad input *)
+        List.iter
+          (fun body ->
+            match client port ~body "/update" with
+            | Resp { status = 400; _ } -> ()
+            | Resp { status; r_body; _ } ->
+              Alcotest.failf "bad update %S: expected 400, got %d: %s" body
+                status r_body
+            | Conn_error e -> Alcotest.failf "connection error: %s" e)
+          [ " "; "bogus,alpha,c0"; "delete,alpha,nope,0" ];
+        Alcotest.(check int) "rejected updates committed nothing" gen0
+          (Store.generation dir);
+        (* the real batch *)
+        let body = expect_200 (client port ~body:batch_csv "/update") in
+        let gen = body_generation body in
+        Alcotest.(check int) "generation bumped" (gen0 + 1) gen;
+        Alcotest.(check string) "ops counted" "2" (body_field body "ops");
+        Alcotest.(check string) "touched clusters counted" "2"
+          (body_field body "touched");
+        Alcotest.(check bool) "delta append, not a compaction" false
+          (body_flag body "compacted");
+        (* immediately visible, never served from the stale cache *)
+        let fresh = List.assoc q_alpha (expected_rows updated) in
+        let q = expect_200 (client port ~body:q_alpha "/query") in
+        Alcotest.(check int) "new generation visible" gen (body_generation q);
+        Alcotest.(check string) "updated answers" fresh (body_rows q);
+        Alcotest.(check bool) "stale cache not used" false (body_flag q "cached");
+        (* durable: an independent load replays the committed delta *)
+        Alcotest.(check bool) "committed delta replays on load" true
+          (Testutil.db_fingerprint (Store.load dir)
+          = Testutil.db_fingerprint updated);
+        (* metrics surface *)
+        let prom = expect_200 (client port "/metrics") in
+        Alcotest.(check bool) "updates counter exported" true
+          (find_sub prom "conquer_serve_updates" <> None);
+        Alcotest.(check bool) "journal bytes gauge exported" true
+          (find_sub prom "conquer_dirty_store_journal_bytes" <> None))
+  in
+  ()
+
+let test_update_compaction_threshold () =
+  let config = { base_config with compact_every = 2 } in
+  let (), _report =
+    with_server ~config fixture (fun dir _t port ->
+        let b1 =
+          expect_200 (client port ~body:"reassign,alpha,c1,1,1" "/update")
+        in
+        Alcotest.(check bool) "first update appends a delta" false
+          (body_flag b1 "compacted");
+        Alcotest.(check int) "chain grew" 1 (Store.delta_chain_length dir);
+        let b2 =
+          expect_200 (client port ~body:"reassign,alpha,c2,1,1" "/update")
+        in
+        Alcotest.(check bool) "threshold update compacts" true
+          (body_flag b2 "compacted");
+        Alcotest.(check int) "chain reset by the snapshot" 0
+          (Store.delta_chain_length dir))
+  in
+  ()
+
+(* concurrent writers: every update serializes onto a distinct
+   generation, losers get 503 + Retry-After (never 500), and the final
+   database is the commutative image of every committed reassign *)
+let test_concurrent_updates_serialize () =
+  let n_writers = 4 and per_writer = 4 in
+  let config = { base_config with concurrency = 4 } in
+  let (results, final_gen, final_db), _report =
+    with_server ~config fixture (fun dir _t port ->
+        let writers =
+          List.init n_writers (fun w ->
+              Domain.spawn (fun () ->
+                  List.init per_writer (fun i ->
+                      let csv =
+                        Printf.sprintf "reassign,alpha,c%d,1,3"
+                          ((w * per_writer) + i)
+                      in
+                      (w, i, client port ~body:csv "/update"))))
+        in
+        let results = List.concat_map Domain.join writers in
+        (results, Store.generation dir, Store.load dir))
+  in
+  let committed =
+    List.filter_map
+      (fun (w, i, o) ->
+        match o with
+        | Resp ({ status = 200; r_body; _ } : Server.Http.response) ->
+          Some ((w * per_writer) + i, body_generation r_body)
+        | Resp ({ status = 503; _ } as r) ->
+          Alcotest.(check bool) "write-path 503 carries retry-after" true
+            (List.assoc_opt "retry-after" r.Server.Http.r_headers <> None);
+          None
+        | Resp { status; r_body; _ } ->
+          Alcotest.failf "concurrent update status %d: %s" status r_body
+        | Conn_error e -> Alcotest.failf "connection error: %s" e)
+      results
+  in
+  let gens = List.map snd committed in
+  Alcotest.(check int) "every commit took a distinct generation"
+    (List.length gens)
+    (List.length (List.sort_uniq compare gens));
+  Alcotest.(check int) "final generation counts the commits"
+    (1 + List.length committed)
+    final_gen;
+  (* distinct clusters commute, so the final database is the image of
+     applying exactly the committed reassigns in any order *)
+  let expected =
+    List.fold_left
+      (fun db (k, _) ->
+        (Delta.apply db
+           [
+             Delta.Reassign
+               {
+                 table = "alpha";
+                 cluster = Value.String (Printf.sprintf "c%d" k);
+                 weights = [| 1.0; 3.0 |];
+               };
+           ])
+          .Delta.db)
+      fixture committed
+  in
+  Alcotest.(check bool) "final database is the committed image" true
+    (Testutil.db_fingerprint final_db = Testutil.db_fingerprint expected)
+
 (* ---- circuit breaker against injected store faults ---- *)
 
 let test_breaker_trips_and_recovers () =
@@ -1233,6 +1374,12 @@ let () =
             test_client_disconnect_cancels;
           Alcotest.test_case "commits invalidate the result cache" `Quick
             test_cache_invalidation_on_commit;
+          Alcotest.test_case "POST /update commits and invalidates" `Quick
+            test_update_endpoint;
+          Alcotest.test_case "update compaction threshold" `Quick
+            test_update_compaction_threshold;
+          Alcotest.test_case "concurrent updates serialize" `Quick
+            test_concurrent_updates_serialize;
           Alcotest.test_case "breaker trips on store faults and heals" `Quick
             test_breaker_trips_and_recovers;
           Alcotest.test_case "graceful drain completes in-flight work" `Quick

@@ -42,3 +42,19 @@ let write_bytes path s =
 let truncate_file path ~keep =
   let s = read_bytes path in
   write_bytes path (String.sub s 0 (min keep (String.length s)))
+
+(* Order-insensitive structural image of a dirty database, for
+   exact (rendered-value) equality checks across save/load/replay. *)
+let db_fingerprint db =
+  List.map
+    (fun (t : Dirty.Dirty_db.table) ->
+      ( t.name,
+        t.id_attr,
+        t.prob_attr,
+        Dirty.Schema.names (Dirty.Relation.schema t.relation),
+        List.sort compare
+          (List.map
+             (fun row ->
+               Array.to_list (Array.map Dirty.Value.to_string row))
+             (Array.to_list (Dirty.Relation.rows t.relation))) ))
+    (Dirty.Dirty_db.tables db)
