@@ -7,15 +7,31 @@
 
 type session
 
-val create : ?index_identifiers:bool -> Dirty.Dirty_db.t -> session
+val create : ?index_identifiers:bool -> ?shards:int -> Dirty.Dirty_db.t -> session
 (** Build a session.  When [index_identifiers] (default [true]),
     hash indexes are created on every table's identifier attribute
     and statistics are collected, mirroring the paper's experimental
-    setup (indexes on the identifier + RUNSTATS). *)
+    setup (indexes on the identifier + RUNSTATS).
+
+    When [shards] is given, the dirty database is additionally
+    hash-partitioned along cluster boundaries into that many
+    in-process shard catalogs ({!Engine.Shard}), and every query
+    entry point below scatters shardable queries across them —
+    gathering partial results with deterministic first-occurrence
+    merge order — falling back transparently to unsharded execution
+    for queries outside the shardable class (subqueries, [SELECT *],
+    LIMIT — so {!top_answers} always runs unsharded — outer joins,
+    AVG, and HAVING/ORDER BY not expressible over partials).  Answers
+    are bag-identical whatever the shard count.  Budgets in [config]
+    apply {e per shard}; cancellation tokens reach every shard. *)
 
 val dirty_db : session -> Dirty.Dirty_db.t
 val engine : session -> Engine.Database.t
 val env : session -> Dirty_schema.env
+
+val shards : session -> int
+(** The shard count the session was created with ([1] when
+    unsharded). *)
 
 val check : session -> string -> (Join_graph.t, Rewritable.violation list) result
 (** Parse the SQL text and test membership in the rewritable class. *)
@@ -66,6 +82,18 @@ val answers_within :
     {!Engine.Database.query_ast_within}): tripping it — e.g. when the
     requesting client disconnects — stops the query at its next
     checkpoint and sets the [cancelled] flag. *)
+
+val answers_ast_within :
+  ?config:Engine.Planner.config ->
+  ?cancel:Engine.Cancel.token ->
+  session ->
+  Sql.Ast.query ->
+  Dirty.Relation.t * Engine.Database.stop
+(** Budgeted execution of an already-rewritten (prepared) query AST
+    through the session's execution path — sharded scatter/gather when
+    the session is sharded and the query is shardable, the plain
+    engine otherwise.  The daemon's prepared-statement cache uses
+    this. *)
 
 val top_answers_within :
   ?config:Engine.Planner.config ->

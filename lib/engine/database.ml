@@ -17,6 +17,18 @@ let m_queries =
 
 let create () : t = Hashtbl.create 16
 
+(* Shallow copy with one table's entry swapped in from another
+   database.  Entries (relations, indexes, stats) are shared with the
+   base, so an overlay is cheap to build per shard: the shard executor
+   overlays its fragment of the partition table over the global
+   catalog and reads every other table as-is. *)
+let overlay t ~name ~from : t =
+  let t' = Hashtbl.copy t in
+  (match Hashtbl.find_opt from name with
+  | Some e -> Hashtbl.replace t' name e
+  | None -> Hashtbl.remove t' name);
+  t'
+
 let add_relation t ~name rel =
   Hashtbl.replace t name { relation = rel; indexes = []; stats = None }
 
@@ -69,8 +81,21 @@ let exec_catalog t : Exec.catalog =
 
 let plan ?config t q = Planner.plan ?config (planner_env t) q
 
-let run_plan ?budget ?jobs ?chunked t p =
-  Exec.run ?budget ?jobs ?chunked (exec_catalog t) p
+let spill_of_config (config : Planner.config option) =
+  match config with
+  | Some { spill_rows = Some rows; spill_dir; _ } ->
+    Some
+      {
+        Exec.spill_rows = rows;
+        spill_dir =
+          (match spill_dir with
+          | Some dir -> dir
+          | None -> Filename.get_temp_dir_name ());
+      }
+  | _ -> None
+
+let run_plan ?budget ?jobs ?chunked ?spill t p =
+  Exec.run ?budget ?jobs ?chunked ?spill (exec_catalog t) p
 
 (* the parallelism the caller asked for: an explicit config pins it
    (so jobs=1 vs jobs=4 comparisons are environment-independent);
@@ -137,7 +162,8 @@ let query_ast ?config t q =
       let budget = budget_of_config Budget.Raise config in
       guarded budget (fun () ->
           run_plan ?budget ~jobs:(effective_jobs config)
-            ~chunked:(effective_chunked config) t (plan ?config t q)))
+            ~chunked:(effective_chunked config) ?spill:(spill_of_config config)
+            t (plan ?config t q)))
 
 type stop = { truncated : bool; cancelled : bool }
 
@@ -149,7 +175,8 @@ let query_ast_within ?config ?cancel t q =
       let rel =
         guarded budget (fun () ->
             run_plan ?budget ~jobs:(effective_jobs config)
-              ~chunked:(effective_chunked config) t (plan ?config t q))
+              ~chunked:(effective_chunked config)
+              ?spill:(spill_of_config config) t (plan ?config t q))
       in
       let stop =
         match budget with
@@ -172,7 +199,8 @@ let query_profiled ?config t text =
   let budget = budget_of_config Budget.Raise config in
   guarded budget (fun () ->
       Exec.run_profiled ?budget ~jobs:(effective_jobs config)
-        ~chunked:(effective_chunked config) (exec_catalog t) p)
+        ~chunked:(effective_chunked config) ?spill:(spill_of_config config)
+        (exec_catalog t) p)
 
 let explain_analyze ?config t text =
   let _, profile = query_profiled ?config t text in

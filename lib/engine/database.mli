@@ -5,6 +5,15 @@ type t
 
 val create : unit -> t
 
+val overlay : t -> name:string -> from:t -> t
+(** [overlay t ~name ~from] is a shallow copy of [t] whose entry for
+    table [name] — relation, indexes, statistics — is the one [from]
+    holds (removed when [from] has no such table).  Every other entry
+    is shared with [t], so later index or statistics changes on either
+    database are visible through both.  The shard executor uses this
+    to run a plan fragment against [fragment ∪ global-other-tables]
+    without copying any table data. *)
+
 val add_relation : t -> name:string -> Dirty.Relation.t -> unit
 (** Register (or replace) a base table. Replacing a table drops its
     indexes and statistics. *)
@@ -31,9 +40,11 @@ val stats : t -> string -> Stats.t option
 
 val plan : ?config:Planner.config -> t -> Sql.Ast.query -> Plan.t
 val run_plan :
-  ?budget:Budget.t -> ?jobs:int -> ?chunked:bool -> t -> Plan.t -> Dirty.Relation.t
+  ?budget:Budget.t -> ?jobs:int -> ?chunked:bool -> ?spill:Exec.spill ->
+  t -> Plan.t -> Dirty.Relation.t
 (** Execute a plan directly.  [chunked] (default [true]) selects the
-    columnar chunk executor — see {!Exec.run}. *)
+    columnar chunk executor; [spill] enables the Grace hash-join spill
+    — see {!Exec.run}. *)
 
 val query_ast : ?config:Planner.config -> t -> Sql.Ast.query -> Dirty.Relation.t
 val query : ?config:Planner.config -> t -> string -> Dirty.Relation.t

@@ -180,42 +180,6 @@ let finish = function
     if s.count = 0 then Value.Null else Value.Float (s.total /. float_of_int s.count)
   | Min_state r | Max_state r -> Option.value ~default:Value.Null !r
 
-(* Merge a morsel-local partial aggregate state into the global one.
-   The chunked aggregate merges partials in morsel index order, so the
-   accumulation order is a function of the morsel boundaries (data and
-   [!Chunk.default_rows]) only — never of the jobs count. *)
-let merge_state (into : agg_state) (from : agg_state) =
-  match into, from with
-  | Count_state a, Count_state b -> a := !a + !b
-  | Sum_state a, Sum_state b ->
-    if b.seen then begin
-      if b.is_float && not a.is_float then begin
-        a.is_float <- true;
-        a.float_sum <- float_of_int a.int_sum
-      end;
-      if a.is_float then
-        a.float_sum <-
-          a.float_sum +. (if b.is_float then b.float_sum else float_of_int b.int_sum)
-      else a.int_sum <- a.int_sum + b.int_sum;
-      a.seen <- true
-    end
-  | Avg_state a, Avg_state b ->
-    a.total <- a.total +. b.total;
-    a.count <- a.count + b.count
-  | Min_state a, Min_state b -> (
-    match !a, !b with
-    | _, None -> ()
-    | None, Some v -> a := Some v
-    | Some m, Some v -> if Value.compare v m < 0 then a := Some v)
-  | Max_state a, Max_state b -> (
-    match !a, !b with
-    | _, None -> ()
-    | None, Some v -> a := Some v
-    | Some m, Some v -> if Value.compare v m > 0 then a := Some v)
-  | _ ->
-    (* states at one aggregate position always share a constructor *)
-    assert false
-
 (* Collect the distinct aggregate calls appearing in the given
    expressions, in syntactic order. *)
 let collect_aggs exprs =
@@ -628,6 +592,180 @@ let run_hash_join ?budget ~jobs left right ~left_keys ~right_keys =
     in
     Relation.create out_schema (List.concat (Array.to_list parts))
   end
+
+(* ---- spill-to-disk (Grace) hash join ----
+
+   When a spill configuration is in force and the build side reaches
+   the row threshold, both inputs are hash-partitioned by join key
+   into on-disk run files and the join proceeds partition-at-a-time,
+   bounding the in-memory hash table to roughly [spill_rows] build
+   rows.  All file traffic goes through {!Fault.Io}, so chaos tests
+   can fail or crash any syscall of a spill; a crashed spill leaves
+   [.spill-*.tmp] debris for [Dirty.Store.recover] to sweep.
+
+   Row codec: each row is one [Marshal] frame appended to its
+   partition file; frames are buffered and flushed in large batches to
+   keep the syscall count low.  Output is partition-major (partition
+   ids ascending, probe rows in input order within each) — a
+   bag-identical but differently ordered result from the in-memory
+   join, which is the spill path's one documented divergence. *)
+
+type spill = { spill_rows : int; spill_dir : string }
+
+let m_spills =
+  Telemetry.Metrics.counter "engine.exec.join_spills"
+    ~help:"hash joins that spilled to disk"
+
+let m_spill_bytes =
+  Telemetry.Metrics.counter "engine.exec.join_spill_bytes"
+    ~help:"bytes written to join spill partition files"
+
+let spill_seq = Atomic.make 0
+let spill_flush_bytes = 1 lsl 18
+
+(* a lazily created partition run file: empty partitions never touch
+   the disk, and small ones cost one write *)
+type spill_file = {
+  sf_path : string;
+  mutable sf_writer : Fault.Io.writer option;
+  sf_buf : Buffer.t;
+}
+
+let spill_file path =
+  { sf_path = path; sf_writer = None; sf_buf = Buffer.create 4096 }
+
+let spill_flush sf =
+  if Buffer.length sf.sf_buf > 0 then begin
+    let s = Buffer.contents sf.sf_buf in
+    Buffer.clear sf.sf_buf;
+    let w =
+      match sf.sf_writer with
+      | Some w -> w
+      | None ->
+        let w = Fault.Io.open_out sf.sf_path in
+        sf.sf_writer <- Some w;
+        w
+    in
+    Fault.Io.write w s;
+    Telemetry.Metrics.inc ~n:(String.length s) m_spill_bytes
+  end
+
+let spill_add sf (row : Relation.row) =
+  Buffer.add_string sf.sf_buf (Marshal.to_string row []);
+  if Buffer.length sf.sf_buf >= spill_flush_bytes then spill_flush sf
+
+let spill_close sf =
+  spill_flush sf;
+  match sf.sf_writer with None -> () | Some w -> Fault.Io.close w
+
+let spill_read_rows path =
+  (* a partition whose file was never created holds no rows *)
+  if not (Sys.file_exists path) then []
+  else begin
+    let s = Fault.Io.read_file path in
+    let bytes = Bytes.unsafe_of_string s in
+    let len = String.length s in
+    let torn () =
+      raise
+        (Fault.Io.Io_error
+           { op = Read; path; msg = "torn spill frame"; transient = false })
+    in
+    let rec go ofs acc =
+      if ofs >= len then List.rev acc
+      else if len - ofs < Marshal.header_size then torn ()
+      else begin
+        let sz = Marshal.total_size bytes ofs in
+        if ofs + sz > len then torn ()
+        else begin
+          let (row : Relation.row) = Marshal.from_string s ofs in
+          go (ofs + sz) (row :: acc)
+        end
+      end
+    in
+    go 0 []
+  end
+
+let run_spill_hash_join ?budget ~spill left right ~left_keys ~right_keys =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let lf = List.map (compile ls) left_keys
+  and rf = List.map (compile rs) right_keys in
+  let out_schema = Schema.append ls rs in
+  let probe_key fns row =
+    let key = Array.of_list (List.map (fun f -> f row) fns) in
+    if Array.exists Value.is_null key then None else Some key
+  in
+  let nr = Relation.cardinality right in
+  let nparts =
+    min 64 (max 2 ((nr + spill.spill_rows - 1) / max 1 spill.spill_rows))
+  in
+  Telemetry.Metrics.inc m_spills;
+  let seq = Atomic.fetch_and_add spill_seq 1 in
+  let path tag p =
+    Filename.concat spill.spill_dir
+      (Printf.sprintf ".spill-%d-%d-%s%d.tmp" (Unix.getpid ()) seq tag p)
+  in
+  let bfiles = Array.init nparts (fun p -> spill_file (path "b" p)) in
+  let pfiles = Array.init nparts (fun p -> spill_file (path "p" p)) in
+  let all_files = Array.to_list bfiles @ Array.to_list pfiles in
+  let cleanup () =
+    List.iter
+      (fun sf ->
+        (match sf.sf_writer with None -> () | Some w -> Fault.Io.abort w);
+        if Sys.file_exists sf.sf_path then
+          (* best effort: after a simulated crash [remove] is
+             suppressed (a dead process cannot repair the disk) and
+             the debris is [recover]'s to sweep *)
+          try Fault.Io.remove sf.sf_path with _ -> ())
+      all_files
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Telemetry.Span.with_ ~name:"exec.spill_join" (fun () ->
+          (* partition both sides to disk in input order *)
+          Relation.iter
+            (fun row ->
+              match probe_key rf row with
+              | Some key -> spill_add bfiles.(key_pid ~nparts key) row
+              | None -> ())
+            right;
+          Array.iter spill_close bfiles;
+          Relation.iter
+            (fun row ->
+              match probe_key lf row with
+              | Some key -> spill_add pfiles.(key_pid ~nparts key) row
+              | None -> ())
+            left;
+          Array.iter spill_close pfiles;
+          (* join one partition at a time; output is partition-major *)
+          let out = ref [] in
+          (try
+             for p = 0 to nparts - 1 do
+               match spill_read_rows bfiles.(p).sf_path with
+               | [] -> ()
+               | brows ->
+                 let table = Ktbl.create (max 16 (List.length brows)) in
+                 List.iter
+                   (fun row ->
+                     match probe_key rf row with
+                     | Some key -> bucket_add table key row
+                     | None -> ())
+                   brows;
+                 List.iter
+                   (fun lrow ->
+                     match probe_key lf lrow with
+                     | None -> ()
+                     | Some key -> (
+                       match Ktbl.find_opt table key with
+                       | None -> ()
+                       | Some b ->
+                         List.iter
+                           (fun rrow ->
+                             tick budget;
+                             out := Array.append lrow rrow :: !out)
+                           (bucket_rows b)))
+                   (spill_read_rows pfiles.(p).sf_path)
+             done
+           with Budget_stop -> ());
+          emit_result budget out_schema out))
 
 (* Find an equality conjunct of [on] whose sides resolve strictly on
    the two inputs, to drive a hash path for the outer join; the rest
@@ -1475,14 +1613,19 @@ let chunked_hash_join ?cancel ~jobs lct rct ~left_keys ~right_keys =
   note_chunks chunks;
   { c_schema = out_schema; c_chunks = chunks }
 
-(* Morsel-partial aggregation.  The input is re-sliced at canonical
-   [!Chunk.default_rows] boundaries over the concatenated row sequence
-   before building per-morsel partials, so the partial-merge order —
-   the one place the chunked path reassociates float accumulation —
-   is a function of the row sequence alone: independent of the jobs
-   count AND of upstream chunk shapes (fused and unfused plans agree
-   bit for bit).  Partials merge in morsel index order; group order is
-   first occurrence, as in the serial row path. *)
+(* Group-hash-partitioned chunked aggregation, mirroring the row
+   path's [run_aggregate]: key and argument expressions are evaluated
+   vectorized over the chunks as they stand, then groups — not row
+   ranges — are partitioned by key hash.  A partition owns every row
+   of its groups and feeds them in global row order, so per-group
+   accumulation (including float order) is exactly the serial one;
+   merging sorts partitions' groups by first-occurrence row index,
+   recovering serial group order.  There is no partial merge and hence
+   no float reassociation: the chunked aggregate is bit-identical to
+   the row executor at any jobs count and any upstream chunk shape,
+   and the hash work per row is done once (the old morsel-partial
+   scheme re-discovered most groups in every morsel at high group
+   cardinality — the ~2x filter-agg regression of ROADMAP item 1b). *)
 let chunked_aggregate ?cancel ~jobs ct ~group_by ~items ~having =
   let in_schema = ct.c_schema in
   let key_ces = Array.of_list (List.map (chunk_compile in_schema) group_by) in
@@ -1501,7 +1644,6 @@ let chunked_aggregate ?cancel ~jobs ct ~group_by ~items ~having =
   in
   let num_aggs = Array.length agg_specs in
   let new_states () = Array.map (fun (f, _) -> new_state f) agg_specs in
-  let cap = max 1 !Chunk.default_rows in
   (* zero-length chunks contribute no rows and would stall the span
      walk below *)
   let chunks =
@@ -1534,76 +1676,96 @@ let chunked_aggregate ?cancel ~jobs ct ~group_by ~items ~having =
               Option.map (fun ce -> chunk_eval_col ce ch rows) arg)
             agg_specs ))
   in
-  (* Aggregation morsels are coarser than chunk granularity: with many
-     distinct groups, small partials re-discover most groups in every
-     morsel and the merge pass re-does almost all the hash work.
-     Sixteen slices bound that duplication while leaving enough
-     morsels to spread across the pool.  The slice width depends on
-     [total] and [cap] only — never on the jobs count — so partial
-     boundaries, and therefore float accumulation order, stay a
-     function of the row sequence alone. *)
-  let acap = max cap ((total + 15) / 16) in
-  let nmorsels = (total + acap - 1) / acap in
-  let partials =
-    Parallel.init ?cancel ~jobs nmorsels (fun si ->
-        let lo = si * acap in
-        let hi = lo + min acap (total - lo) in
-        let groups = Ktbl.create 64 in
-        let order = ref [] in
-        let ci = ref 0 in
-        while offsets.(!ci + 1) <= lo do
-          incr ci
-        done;
-        let gpos = ref lo in
-        while !gpos < hi do
-          let c = !ci in
-          let kcols, acols = evaled.(c) in
-          let local = !gpos - offsets.(c) in
-          let span = min (hi - !gpos) (chunks.(c).Chunk.length - local) in
-          for i = local to local + span - 1 do
-            let key = Array.init num_keys (fun j -> Chunk.cell kcols.(j) i) in
-            let states =
-              match Ktbl.find_opt groups key with
-              | Some s -> s
-              | None ->
-                let s = new_states () in
-                Ktbl.add groups key s;
-                order := (key, s) :: !order;
-                s
-            in
-            for a = 0 to num_aggs - 1 do
-              match acols.(a) with
-              | None -> feed states.(a) None
-              | Some col -> feed states.(a) (Some (Chunk.cell col i))
-            done
-          done;
-          gpos := !gpos + span;
-          incr ci
-        done;
-        List.rev !order)
+  (* keys.(g) = group key of global row g; shared by both paths *)
+  let keys = Array.make total [||] in
+  Parallel.run ?cancel ~jobs nchunks (fun ci ->
+      let kcols, _ = evaled.(ci) in
+      let base = offsets.(ci) in
+      for i = 0 to chunks.(ci).Chunk.length - 1 do
+        keys.(base + i) <- Array.init num_keys (fun j -> Chunk.cell kcols.(j) i)
+      done);
+  let feed_row states acols i =
+    for a = 0 to num_aggs - 1 do
+      match acols.(a) with
+      | None -> feed states.(a) None
+      | Some col -> feed states.(a) (Some (Chunk.cell col i))
+    done
   in
-  let groups = Ktbl.create 256 in
-  let order = ref [] in
-  Array.iter
-    (List.iter (fun (key, states) ->
-         match Ktbl.find_opt groups key with
-         | Some g -> Array.iteri (fun a s -> merge_state g.(a) s) states
-         | None ->
-           Ktbl.add groups key states;
-           order := key :: !order))
-    partials;
-  (* SQL semantics: an ungrouped aggregate over an empty input yields
-     a single row of initial aggregate values *)
-  if group_by = [] && Ktbl.length groups = 0 then begin
-    Ktbl.add groups [||] (new_states ());
-    order := [ [||] ]
-  end;
   let finished_rows =
-    List.rev_map
-      (fun key ->
-        let states = Ktbl.find groups key in
-        Array.append key (Array.map finish states))
-      !order
+    if num_keys > 0 && use_parallel ~jobs total then begin
+      let nparts = min jobs Parallel.max_jobs in
+      let pids = Array.make total 0 in
+      Parallel.run ?cancel ~jobs nchunks (fun ci ->
+          let base = offsets.(ci) in
+          for i = 0 to chunks.(ci).Chunk.length - 1 do
+            pids.(base + i) <- key_pid ~nparts keys.(base + i)
+          done);
+      let per_part =
+        Parallel.init ?cancel ~jobs nparts (fun p ->
+            let groups = Ktbl.create 64 in
+            (* (first-occurrence row index, key, states), reversed *)
+            let entries = ref [] in
+            for ci = 0 to nchunks - 1 do
+              let _, acols = evaled.(ci) in
+              let base = offsets.(ci) in
+              for i = 0 to chunks.(ci).Chunk.length - 1 do
+                let g = base + i in
+                if pids.(g) = p then begin
+                  let states =
+                    match Ktbl.find_opt groups keys.(g) with
+                    | Some states -> states
+                    | None ->
+                      let states = new_states () in
+                      Ktbl.add groups keys.(g) states;
+                      entries := (g, keys.(g), states) :: !entries;
+                      states
+                  in
+                  feed_row states acols i
+                end
+              done
+            done;
+            List.rev !entries)
+      in
+      let merged =
+        List.sort
+          (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          (List.concat (Array.to_list per_part))
+      in
+      List.map
+        (fun (_, key, states) -> Array.append key (Array.map finish states))
+        merged
+    end
+    else begin
+      let groups = Ktbl.create 256 in
+      let order = ref [] in
+      for ci = 0 to nchunks - 1 do
+        let _, acols = evaled.(ci) in
+        let base = offsets.(ci) in
+        for i = 0 to chunks.(ci).Chunk.length - 1 do
+          let states =
+            match Ktbl.find_opt groups keys.(base + i) with
+            | Some states -> states
+            | None ->
+              let states = new_states () in
+              Ktbl.add groups keys.(base + i) states;
+              order := keys.(base + i) :: !order;
+              states
+          in
+          feed_row states acols i
+        done
+      done;
+      (* SQL semantics: an ungrouped aggregate over an empty input
+         yields a single row of initial aggregate values *)
+      if group_by = [] && Ktbl.length groups = 0 then begin
+        Ktbl.add groups [||] (new_states ());
+        order := [ [||] ]
+      end;
+      List.rev_map
+        (fun key ->
+          let states = Ktbl.find groups key in
+          Array.append key (Array.map finish states))
+        !order
+    end
   in
   aggregate_output ~group_by ~items ~having ~aggs finished_rows
 
@@ -1629,11 +1791,15 @@ type ctx = {
   catalog : catalog;
   chunked : bool;
   fuse : bool;
+  spill : spill option;
 }
 
+(* spill decisions need materialized join inputs, so a spill-enabled
+   execution keeps per-node row boundaries *)
 let can_fuse ctx =
   ctx.fuse && ctx.chunked
   && Option.is_none ctx.budget
+  && Option.is_none ctx.spill
   && not (Telemetry.Control.enabled ())
 
 let rec run_hooked ctx (plan : Plan.t) : Relation.t =
@@ -1836,17 +2002,27 @@ and eval ctx (plan : Plan.t) : Relation.t =
       in
       Relation.create (infer_schema (List.map snd items) rows) rows
     end
-  | Hash_join { left; right; left_keys; right_keys } ->
+  | Hash_join { left; right; left_keys; right_keys } -> (
     (* with a budget the join stays on the serial row path: rows are
        charged as they are emitted, and the Truncate prefix is defined
        by that per-row order *)
-    if ctx.chunked && Option.is_none budget then
-      relation_of_ctable ?cancel ~jobs
-        (chunked_hash_join ?cancel ~jobs (input_ctable ctx left)
-           (input_ctable ctx right) ~left_keys ~right_keys)
-    else
-      run_hash_join ?budget ~jobs (run_child ctx left) (run_child ctx right)
-        ~left_keys ~right_keys
+    match ctx.spill with
+    | Some sp ->
+      (* spill-eligible executions materialize both sides first (the
+         threshold needs the build cardinality); below the threshold
+         the ordinary row join runs over them *)
+      let lrel = run_child ctx left and rrel = run_child ctx right in
+      if Relation.cardinality rrel >= sp.spill_rows then
+        run_spill_hash_join ?budget ~spill:sp lrel rrel ~left_keys ~right_keys
+      else run_hash_join ?budget ~jobs lrel rrel ~left_keys ~right_keys
+    | None ->
+      if ctx.chunked && Option.is_none budget then
+        relation_of_ctable ?cancel ~jobs
+          (chunked_hash_join ?cancel ~jobs (input_ctable ctx left)
+             (input_ctable ctx right) ~left_keys ~right_keys)
+      else
+        run_hash_join ?budget ~jobs (run_child ctx left) (run_child ctx right)
+          ~left_keys ~right_keys)
   | Left_outer_join { left; right; on } ->
     run_left_outer_join ?budget (run_child ctx left) (run_child ctx right) ~on
   | Index_join { left; table; alias; left_keys; right_attrs } -> (
@@ -1940,9 +2116,10 @@ and eval ctx (plan : Plan.t) : Relation.t =
     Relation.of_array (Relation.schema rel)
       (Array.sub (Relation.rows rel) 0 keep)
 
-let run ?budget ?(jobs = 1) ?(chunked = true) catalog plan =
+let run ?budget ?(jobs = 1) ?(chunked = true) ?spill catalog plan =
   let ctx =
-    { budget; jobs; hook = (fun _ f -> f ()); catalog; chunked; fuse = true }
+    { budget; jobs; hook = (fun _ f -> f ()); catalog; chunked; fuse = true;
+      spill }
   in
   (* evaluation-time type errors surface as engine errors *)
   try run_hooked ctx plan with Expr.Type_error msg -> raise (Exec_error msg)
@@ -1954,7 +2131,7 @@ type profile = {
   children : profile list;
 }
 
-let run_profiled ?budget ?(jobs = 1) ?(chunked = true) catalog plan =
+let run_profiled ?budget ?(jobs = 1) ?(chunked = true) ?spill catalog plan =
   (* a stack of children accumulators: the hook pushes a frame before
      evaluating a node and folds the completed profile into the
      parent's frame afterwards.  Fusion stays off so every node keeps
@@ -1979,7 +2156,7 @@ let run_profiled ?budget ?(jobs = 1) ?(chunked = true) catalog plan =
     | _ -> assert false);
     rel
   in
-  let ctx = { budget; jobs; hook; catalog; chunked; fuse = false } in
+  let ctx = { budget; jobs; hook; catalog; chunked; fuse = false; spill } in
   let rel =
     try run_hooked ctx plan
     with Expr.Type_error msg -> raise (Exec_error msg)

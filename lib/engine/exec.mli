@@ -14,10 +14,21 @@ type catalog = {
 
 exception Exec_error of string
 
+type spill = { spill_rows : int; spill_dir : string }
+(** Grace-spill configuration for hash joins: when the build side of a
+    join holds at least [spill_rows] rows, both sides are hash-
+    partitioned into [.spill-*.tmp] run files under [spill_dir]
+    (through {!Fault.Io}, so chaos tests can fail or crash any
+    syscall) and joined partition-at-a-time, bounding the in-memory
+    hash table.  Spilled join output is partition-major — bag-
+    identical to the in-memory join, but row order differs.  A
+    crashed spill leaves debris that [Dirty.Store.recover] sweeps. *)
+
 val run :
   ?budget:Budget.t ->
   ?jobs:int ->
   ?chunked:bool ->
+  ?spill:spill ->
   catalog ->
   Plan.t ->
   Dirty.Relation.t
@@ -33,20 +44,26 @@ val run :
     Filter/Project/Hash_join/Aggregate: inputs are pivoted into
     {!Chunk.t} batches of [!Chunk.default_rows] rows, operators run
     one morsel (chunk) per scheduling unit, and chunk-friendly
-    subtrees fuse column-to-column when no budget is in force and
-    telemetry is off.  Chunk boundaries are a function of the data
-    only, so the jobs=1 ≡ jobs=N guarantee carries over.  Relative to
-    [chunked:false] (the row-at-a-time executor), results are
-    identical except that multi-chunk float aggregate sums may differ
-    in the last bits (per-morsel partials reassociate the
-    accumulation; the order is still deterministic), and when several
-    rows would each raise a type error the reported instance may
-    differ (whether an error is raised never does).
+    subtrees fuse column-to-column when no budget is in force, no
+    spill is configured, and telemetry is off.  Chunk boundaries are a
+    function of the data only, so the jobs=1 ≡ jobs=N guarantee
+    carries over.  Results are bit-identical to [chunked:false] (the
+    row-at-a-time executor): chunked aggregation partitions groups by
+    key hash exactly like the row path, feeding every group in global
+    row order — no partial merge, no float reassociation.  The one
+    accepted divergence: when several rows would each raise a type
+    error, the reported instance may differ (whether an error is
+    raised never does).
+
+    [spill] (default off) enables the Grace hash-join spill; joins
+    below the threshold are unaffected.
     @raise Exec_error on semantic errors (unknown table, unbound or
     ambiguous column, type errors).
     @raise Budget.Exceeded when a [Raise]-mode budget runs out; with a
     [Truncate]-mode budget the result is the partial output produced
-    within the budget (consult {!Budget.truncated}). *)
+    within the budget (consult {!Budget.truncated}).
+    @raise Fault.Io.Io_error when a spill file operation fails (a torn
+    spill frame surfaces as a non-transient read error). *)
 
 (** Per-operator execution statistics (EXPLAIN ANALYZE). *)
 type profile = {
@@ -60,14 +77,14 @@ val run_profiled :
   ?budget:Budget.t ->
   ?jobs:int ->
   ?chunked:bool ->
+  ?spill:spill ->
   catalog ->
   Plan.t ->
   Dirty.Relation.t * profile
 (** Like {!run} but also returns the per-node statistics tree.
     Fusion is disabled so every node keeps its own row boundary (and
-    an accurate [out_rows]); chunked aggregation re-slices its input
-    at canonical chunk boundaries, so profiled results are
-    bit-identical to {!run}'s. *)
+    an accurate [out_rows]); profiled results are bit-identical to
+    {!run}'s. *)
 
 val pp_profile : Format.formatter -> profile -> unit
 

@@ -1,0 +1,591 @@
+open Dirty
+module Ast = Sql.Ast
+
+(* Cluster-sharded scatter/gather execution.
+
+   The dirty store is hash-partitioned along cluster boundaries
+   ([Dirty_db.partition]); a query is rewritten into one plan fragment
+   that every shard runs against [its fragment of ONE partition table
+   ∪ the global copies of every other table] (a broadcast join), and
+   the partial results are gathered and finished on the coordinator.
+
+   Correctness hinges on the partition table appearing exactly once in
+   the FROM list: every joined result row then contains exactly one
+   partition-table row, and since the fragments partition that table,
+   each result row is produced by exactly one shard.  SPJ outputs
+   therefore concatenate, and aggregate groups merge additively (SUM /
+   COUNT) or by order (MIN / MAX) without double counting.
+
+   Determinism: partials are gathered in shard-index order and groups
+   merged in first-occurrence order of that scan, so the gathered
+   relation is a deterministic function of the data and the shard
+   count.  Row order may differ from the unsharded run (groups first
+   occur on different shards), but the answer bags are identical —
+   and for SUM the per-group float additions happen in a fixed
+   per-shard-then-shard-order association, so any fixed shard count
+   yields bit-reproducible sums. *)
+
+type session = {
+  base : Database.t;
+  nshards : int;
+  fragments : Database.t array;
+      (* fragments.(s) holds shard [s]'s fragment of EVERY dirty
+         table, indexed and analyzed like the base catalog *)
+}
+
+let m_sharded =
+  Telemetry.Metrics.counter "engine.shard.queries"
+    ~help:"queries executed scatter/gather across shards"
+
+let m_fallback =
+  Telemetry.Metrics.counter "engine.shard.fallbacks"
+    ~help:"queries outside the shardable class, run unsharded"
+
+let create ?(index_identifiers = true) ~base ~shards dirty =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Shard.create: shards must be >= 1, got %d" shards);
+  let parts = Dirty_db.partition dirty ~shards in
+  let fragments =
+    Array.map
+      (fun part ->
+        let db = Database.create () in
+        List.iter
+          (fun (t : Dirty_db.table) ->
+            Database.add_relation db ~name:t.name t.relation;
+            if index_identifiers then begin
+              Database.create_index db ~table:t.name ~attr:t.id_attr;
+              Database.analyze db t.name
+            end)
+          (Dirty_db.tables part);
+        db)
+      parts
+  in
+  { base; nshards = shards; fragments }
+
+let shards t = t.nshards
+let fragment_db t s = t.fragments.(s)
+
+(* ---- plan fragments ---- *)
+
+type fragment = { frag_table : string; frag_query : Ast.query }
+
+let fragment_to_string { frag_table; frag_query } =
+  frag_table ^ "\n" ^ Sql.Pretty.query_to_string frag_query
+
+let fragment_of_string s =
+  match String.index_opt s '\n' with
+  | None -> invalid_arg "Shard.fragment_of_string: missing partition-table line"
+  | Some i ->
+    {
+      frag_table = String.sub s 0 i;
+      frag_query =
+        Sql.Parser.parse_query (String.sub s (i + 1) (String.length s - i - 1));
+    }
+
+type kind =
+  | Group of { num_keys : int; agg_funs : Ast.agg_fun array; finish : Ast.query }
+      (* partials are GROUP BY results keyed on the first [num_keys]
+         columns; merge additively then run [finish] over [__merged] *)
+  | Select of { finish : Ast.query }
+      (* partials are SPJ outputs; concatenate in shard order then run
+         [finish] over [__merged] *)
+
+type plan = { frag : fragment; kind : kind }
+
+let plan_fragment p = p.frag
+let partition_table p = p.frag.frag_table
+
+(* ---- partial-result codec ----
+
+   One CSV-framed line per row, each cell self-describing its type so
+   the decode is exact: [Value.to_string] floats are display-rounded
+   (%g), so partials instead ship floats in hex (%h), which
+   round-trips every double including nan and the infinities.  The
+   first line carries the column names; column types are re-inferred
+   from the decoded values on read. *)
+
+let encode_value (v : Value.t) =
+  match v with
+  | Null -> "n:"
+  | Bool b -> "b:" ^ string_of_bool b
+  | Int i -> "i:" ^ string_of_int i
+  | Float f -> Printf.sprintf "f:%h" f
+  | String s -> "s:" ^ s
+  | Date d -> "d:" ^ string_of_int d
+
+let decode_value s : Value.t =
+  let fail () =
+    invalid_arg (Printf.sprintf "Shard.partial_of_string: bad cell %S" s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.sub s 0 i with
+    | "n" -> Null
+    | "b" -> ( try Bool (bool_of_string rest) with _ -> fail ())
+    | "i" -> ( try Int (int_of_string rest) with _ -> fail ())
+    | "f" -> ( try Float (float_of_string rest) with _ -> fail ())
+    | "s" -> String rest
+    | "d" -> ( try Date (int_of_string rest) with _ -> fail ())
+    | _ -> fail ())
+
+let partial_to_string rel =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Csv.render_line (Schema.names (Relation.schema rel)));
+  Relation.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Csv.render_line (List.map encode_value (Array.to_list row))))
+    rel;
+  Buffer.contents buf
+
+let partial_of_string s =
+  match Csv.parse_rows s with
+  | [] -> invalid_arg "Shard.partial_of_string: missing header line"
+  | names :: data ->
+    let rows = List.map (fun cells -> Array.of_list (List.map decode_value cells)) data in
+    let arity = List.length names in
+    List.iter
+      (fun r ->
+        if Array.length r <> arity then
+          invalid_arg "Shard.partial_of_string: row arity differs from header")
+      rows;
+    Relation.create (Exec.infer_schema names rows) rows
+
+(* ---- gather: merging partial results ---- *)
+
+let add_values (a : Value.t) (b : Value.t) : Value.t =
+  match (a, b) with
+  | Null, x | x, Null -> x
+  | Int x, Int y -> Int (x + y)
+  | _ -> (
+    match (Value.to_float a, Value.to_float b) with
+    | Some x, Some y -> Float (x +. y)
+    | _ -> invalid_arg "Shard.merge_partials: non-numeric aggregate partial")
+
+let merge_cell (f : Ast.agg_fun) a b =
+  match f with
+  | Count | Sum -> add_values a b
+  | Min ->
+    if Value.is_null a then b
+    else if Value.is_null b then a
+    else if Value.compare a b <= 0 then a
+    else b
+  | Max ->
+    if Value.is_null a then b
+    else if Value.is_null b then a
+    else if Value.compare a b >= 0 then a
+    else b
+  | Avg -> invalid_arg "Shard.merge_partials: AVG partials are not mergeable"
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash k = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 k
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let output_names partials fallback =
+  match partials with
+  | p :: _ -> Schema.names (Relation.schema p)
+  | [] -> fallback
+
+let merge_partials ~num_keys ~aggs partials =
+  let naggs = Array.length aggs in
+  let arity = num_keys + naggs in
+  let tbl = Ktbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun part ->
+      Relation.iter
+        (fun row ->
+          if Array.length row <> arity then
+            invalid_arg
+              (Printf.sprintf
+                 "Shard.merge_partials: row arity %d, expected %d keys + %d aggregates"
+                 (Array.length row) num_keys naggs);
+          let key = Array.sub row 0 num_keys in
+          match Ktbl.find_opt tbl key with
+          | Some states ->
+            for j = 0 to naggs - 1 do
+              states.(j) <- merge_cell aggs.(j) states.(j) row.(num_keys + j)
+            done
+          | None ->
+            Ktbl.add tbl key (Array.sub row num_keys naggs);
+            order := key :: !order)
+        part)
+    partials;
+  let rows =
+    List.rev_map (fun key -> Array.append key (Ktbl.find tbl key)) !order
+  in
+  let fallback =
+    List.init num_keys (Printf.sprintf "__g%d")
+    @ List.init naggs (Printf.sprintf "__a%d")
+  in
+  Relation.create (Exec.infer_schema (output_names partials fallback) rows) rows
+
+let concat_partials partials =
+  let rows =
+    List.concat_map (fun p -> Array.to_list (Relation.rows p)) partials
+  in
+  Relation.create (Exec.infer_schema (output_names partials []) rows) rows
+
+(* ---- shardability analysis ---- *)
+
+let merged_table = "__merged"
+let gname = Printf.sprintf "__g%d"
+let aname = Printf.sprintf "__a%d"
+let cname = Printf.sprintf "__c%d"
+
+(* the engine's output-naming rule (Planner.derive_output_names),
+   replicated so the finish query aliases its items to exactly the
+   names the unsharded run would produce *)
+let derive_output_names items =
+  let taken = Hashtbl.create 8 in
+  List.mapi
+    (fun i ({ expr; alias } : Ast.select_item) ->
+      let base =
+        match alias with
+        | Some a -> a
+        | None -> (
+          match (expr : Ast.expr) with
+          | Col { name; _ } -> name
+          | _ -> Printf.sprintf "expr%d" (i + 1))
+      in
+      let name =
+        if not (Hashtbl.mem taken base) then base
+        else
+          let rec go k =
+            let candidate = Printf.sprintf "%s_%d" base k in
+            if Hashtbl.mem taken candidate then go (k + 1) else candidate
+          in
+          go 2
+      in
+      Hashtbl.replace taken name ();
+      name)
+    items
+
+let rec collect_aggs acc (e : Ast.expr) =
+  match e with
+  | Agg _ -> if List.exists (Ast.equal_expr e) acc then acc else acc @ [ e ]
+  | Lit _ | Col _ -> acc
+  | Unop (_, a) | Like (a, _) | Not_like (a, _) | In_list (a, _)
+  | Is_null a | Is_not_null a ->
+    collect_aggs acc a
+  | Binop (_, a, b) -> collect_aggs (collect_aggs acc a) b
+  | Between (a, b, c) -> collect_aggs (collect_aggs (collect_aggs acc a) b) c
+  | In_query _ | Exists _ | Scalar_subquery _ -> acc
+
+(* Rewrite [e] over the partial columns: any subexpression equal to a
+   mapped expression (a GROUP BY key, a collected aggregate, or a
+   select item) becomes a bare column reference into [__merged];
+   everything else must be built from mapped pieces and literals.
+   [None] means the query cannot be finished over partials — the
+   caller falls back to unsharded execution. *)
+let rec rewrite_over map (e : Ast.expr) : Ast.expr option =
+  match List.find_opt (fun (src, _) -> Ast.equal_expr src e) map with
+  | Some (_, name) -> Some (Ast.col name)
+  | None -> (
+    match e with
+    | Lit _ -> Some e
+    | Col _ | Agg _ -> None
+    | Unop (op, a) -> Option.map (fun a -> Ast.Unop (op, a)) (rewrite_over map a)
+    | Binop (op, a, b) -> (
+      match (rewrite_over map a, rewrite_over map b) with
+      | Some a, Some b -> Some (Binop (op, a, b))
+      | _ -> None)
+    | Like (a, p) -> Option.map (fun a -> Ast.Like (a, p)) (rewrite_over map a)
+    | Not_like (a, p) ->
+      Option.map (fun a -> Ast.Not_like (a, p)) (rewrite_over map a)
+    | In_list (a, vs) ->
+      Option.map (fun a -> Ast.In_list (a, vs)) (rewrite_over map a)
+    | Between (a, b, c) -> (
+      match (rewrite_over map a, rewrite_over map b, rewrite_over map c) with
+      | Some a, Some b, Some c -> Some (Between (a, b, c))
+      | _ -> None)
+    | Is_null a -> Option.map (fun a -> Ast.Is_null a) (rewrite_over map a)
+    | Is_not_null a ->
+      Option.map (fun a -> Ast.Is_not_null a) (rewrite_over map a)
+    | In_query _ | Exists _ | Scalar_subquery _ -> None)
+
+let rec option_all = function
+  | [] -> Some []
+  | None :: _ -> None
+  | Some x :: rest -> Option.map (fun xs -> x :: xs) (option_all rest)
+
+(* The partition table: a FROM table whose name occurs exactly once
+   (a self-joined table cannot be partitioned — cross-shard row pairs
+   would be lost) and that the shard catalogs know (i.e. a dirty
+   table).  Among candidates, the one with the largest base
+   cardinality — sharding the biggest table moves the most work —
+   with the lexicographically first name breaking ties. *)
+let partition_table_of session (q : Ast.query) =
+  let names = List.map (fun (r : Ast.table_ref) -> r.table) q.from in
+  let candidates =
+    List.filter
+      (fun n ->
+        List.length (List.filter (String.equal n) names) = 1
+        && Database.relation_opt session.fragments.(0) n <> None)
+      names
+  in
+  let card n =
+    match Database.relation_opt session.base n with
+    | Some r -> Relation.cardinality r
+    | None -> 0
+  in
+  List.fold_left
+    (fun best n ->
+      match best with
+      | None -> Some n
+      | Some b ->
+        let cb = card b and cn = card n in
+        if cn > cb || (cn = cb && String.compare n b < 0) then Some n else best)
+    None candidates
+
+let plan_query session (q : Ast.query) : plan option =
+  if Ast.query_has_subqueries q then None
+  else if q.outer_joins <> [] then None
+  else if q.limit <> None then None
+  else
+    match q.select with
+    | Star -> None
+    | Items items -> (
+      match partition_table_of session q with
+      | None -> None
+      | Some frag_table ->
+        let order_exprs = List.map (fun (o : Ast.order_item) -> o.o_expr) q.order_by in
+        let grouped =
+          q.group_by <> []
+          || List.exists (fun (it : Ast.select_item) -> Ast.has_aggregates it.expr) items
+          || (match q.having with Some h -> Ast.has_aggregates h | None -> false)
+          || List.exists Ast.has_aggregates order_exprs
+        in
+        let out_names = derive_output_names items in
+        if grouped then begin
+          if q.distinct then None
+          else
+            let sources =
+              List.map (fun (it : Ast.select_item) -> it.expr) items
+              @ (match q.having with Some h -> [ h ] | None -> [])
+              @ order_exprs
+            in
+            let aggs = List.fold_left collect_aggs [] sources in
+            if List.exists (function Ast.Agg (Avg, _) -> true | _ -> false) aggs
+            then None (* AVG partials are not additively mergeable *)
+            else
+              let group_map = List.mapi (fun i g -> (g, gname i)) q.group_by in
+              let agg_map = List.mapi (fun i a -> (a, aname i)) aggs in
+              let map = group_map @ agg_map in
+              let fitems =
+                option_all
+                  (List.map2
+                     (fun (it : Ast.select_item) name ->
+                       Option.map
+                         (fun e -> { Ast.expr = e; alias = Some name })
+                         (rewrite_over map it.expr))
+                     items out_names)
+              in
+              let fhaving =
+                match q.having with
+                | None -> Some None
+                | Some h -> Option.map Option.some (rewrite_over map h)
+              in
+              let forder =
+                option_all
+                  (List.map
+                     (fun (o : Ast.order_item) ->
+                       Option.map
+                         (fun e -> { Ast.o_expr = e; desc = o.desc })
+                         (rewrite_over map o.o_expr))
+                     q.order_by)
+              in
+              (match (fitems, fhaving, forder) with
+              | Some fitems, Some fhaving, Some forder ->
+                let frag_query =
+                  {
+                    Ast.distinct = false;
+                    select =
+                      Items
+                        (List.map
+                           (fun (e, n) -> { Ast.expr = e; alias = Some n })
+                           (group_map @ agg_map));
+                    from = q.from;
+                    outer_joins = [];
+                    where = q.where;
+                    group_by = q.group_by;
+                    having = None;
+                    order_by = [];
+                    limit = None;
+                  }
+                in
+                let finish =
+                  {
+                    Ast.distinct = false;
+                    select = Items fitems;
+                    from = [ { Ast.table = merged_table; t_alias = None } ];
+                    outer_joins = [];
+                    where = fhaving;
+                    group_by = [];
+                    having = None;
+                    order_by = forder;
+                    limit = None;
+                  }
+                in
+                Some
+                  {
+                    frag = { frag_table; frag_query };
+                    kind =
+                      Group
+                        {
+                          num_keys = List.length q.group_by;
+                          agg_funs =
+                            Array.of_list
+                              (List.map
+                                 (function
+                                   | Ast.Agg (f, _) -> f
+                                   | _ -> assert false)
+                                 aggs);
+                          finish;
+                        };
+                  }
+              | _ -> None)
+        end
+        else if q.having <> None then None
+        else
+          (* SPJ: fragments compute the projected rows, the finish
+             re-projects to the original names (and re-applies
+             DISTINCT / ORDER BY globally) *)
+          let item_map =
+            List.mapi (fun i (it : Ast.select_item) -> (it.expr, cname i)) items
+          in
+          let forder =
+            option_all
+              (List.map
+                 (fun (o : Ast.order_item) ->
+                   Option.map
+                     (fun e -> { Ast.o_expr = e; desc = o.desc })
+                     (rewrite_over item_map o.o_expr))
+                 q.order_by)
+          in
+          (match forder with
+          | None -> None
+          | Some forder ->
+            let frag_query =
+              {
+                q with
+                select =
+                  Items
+                    (List.map
+                       (fun (e, n) -> { Ast.expr = e; alias = Some n })
+                       item_map);
+                order_by = [];
+              }
+            in
+            let finish =
+              {
+                Ast.distinct = q.distinct;
+                select =
+                  Items
+                    (List.map2
+                       (fun (_, n) out ->
+                         { Ast.expr = Ast.col n; alias = Some out })
+                       item_map out_names);
+                from = [ { Ast.table = merged_table; t_alias = None } ];
+                outer_joins = [];
+                where = None;
+                group_by = [];
+                having = None;
+                order_by = forder;
+                limit = None;
+              }
+            in
+            Some { frag = { frag_table; frag_query }; kind = Select { finish } }))
+
+(* ---- scatter / gather ---- *)
+
+let scatter session p ~f =
+  let dbs =
+    Array.init session.nshards (fun s ->
+        Database.overlay session.base ~name:p.frag.frag_table
+          ~from:session.fragments.(s))
+  in
+  Parallel.init ~jobs:session.nshards session.nshards (fun s -> f dbs.(s))
+
+let gather p partials =
+  match p.kind with
+  | Group { num_keys; agg_funs; _ } ->
+    merge_partials ~num_keys ~aggs:agg_funs partials
+  | Select _ -> concat_partials partials
+
+(* The finish runs on the coordinator over the (small) merged
+   intermediate, so the scatter config's budgets and spill threshold
+   do not apply to it — each shard already charged its own budget. *)
+let strip_limits (config : Planner.config option) =
+  match config with
+  | None -> None
+  | Some c -> Some { c with max_rows = None; max_elapsed = None; spill_rows = None }
+
+let finish_relation ?config p merged =
+  let db = Database.create () in
+  Database.add_relation db ~name:merged_table merged;
+  let finish =
+    match p.kind with Group g -> g.finish | Select s -> s.finish
+  in
+  Database.query_ast ?config:(strip_limits config) db finish
+
+let with_shard_span session p f =
+  Telemetry.Metrics.inc m_sharded;
+  Telemetry.Span.with_ ~name:"engine.shard.query"
+    ~attrs:
+      [
+        ("shards", string_of_int session.nshards);
+        ("partition_table", p.frag.frag_table);
+      ]
+    f
+
+let query_ast ?config session q =
+  match plan_query session q with
+  | None ->
+    Telemetry.Metrics.inc m_fallback;
+    None
+  | Some p ->
+    with_shard_span session p (fun () ->
+        let partials =
+          scatter session p ~f:(fun db ->
+              Database.query_ast ?config db p.frag.frag_query)
+        in
+        let merged = gather p (Array.to_list partials) in
+        Some (finish_relation ?config p merged))
+
+let query_ast_within ?config ?cancel session q =
+  match plan_query session q with
+  | None ->
+    Telemetry.Metrics.inc m_fallback;
+    None
+  | Some p ->
+    with_shard_span session p (fun () ->
+        let results =
+          scatter session p ~f:(fun db ->
+              Database.query_ast_within ?config ?cancel db p.frag.frag_query)
+        in
+        let merged = gather p (Array.to_list (Array.map fst results)) in
+        let stop =
+          Array.fold_left
+            (fun acc (_, (s : Database.stop)) ->
+              {
+                Database.truncated = acc.Database.truncated || s.truncated;
+                cancelled = acc.cancelled || s.cancelled;
+              })
+            { Database.truncated = false; cancelled = false }
+            results
+        in
+        Some (finish_relation ?config p merged, stop))

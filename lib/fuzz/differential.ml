@@ -20,14 +20,34 @@ type outcome =
       chunked : bool;
       mismatch : Conquer.Oracle.mismatch;
     }
+  | S_mismatch of {
+      shards : int;
+      jobs : int;
+      chunked : bool;
+      vs_oracle : bool;
+          (* true: sharded answers disagree with the oracle; false:
+             they disagree bit-for-bit with the unsharded answers *)
+      mismatch : Conquer.Oracle.mismatch;
+    }
+  | S_error of {
+      shards : int;
+      jobs : int;
+      chunked : bool;
+      message : string;
+    }
   | Oracle_too_large of { count : float }
   | Error_during of { stage : string; message : string }
 
 let default_jobs = [ 1; 4 ]
+let default_shards = [ 1; 2; 4 ]
 
 let failing = function
-  | Mismatch _ | Error_during _ -> true
+  | Mismatch _ | S_mismatch _ | S_error _ | Error_during _ -> true
   | Rejected _ | Agree _ | Oracle_too_large _ -> false
+
+let leg_label jobs chunked =
+  Printf.sprintf "jobs=%d, %s executor" jobs
+    (if chunked then "chunked" else "row")
 
 let to_string = function
   | Rejected vs ->
@@ -39,12 +59,21 @@ let to_string = function
     Printf.sprintf "MISMATCH at jobs=%d (%s executor): %s" jobs
       (if chunked then "chunked" else "row")
       (Conquer.Oracle.mismatch_to_string mismatch)
+  | S_mismatch { shards; jobs; chunked; vs_oracle; mismatch } ->
+    Printf.sprintf "SHARD MISMATCH vs %s at shards=%d (%s): %s"
+      (if vs_oracle then "oracle" else "unsharded answers")
+      shards (leg_label jobs chunked)
+      (Conquer.Oracle.mismatch_to_string mismatch)
+  | S_error { shards; jobs; chunked; message } ->
+    Printf.sprintf "SHARD ERROR at shards=%d (%s): %s" shards
+      (leg_label jobs chunked) message
   | Oracle_too_large { count } ->
     Printf.sprintf "oracle budget exceeded (%.0f candidates)" count
   | Error_during { stage; message } ->
     Printf.sprintf "ERROR during %s: %s" stage message
 
-let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
+let run ?(jobs = default_jobs) ?(shards = default_shards)
+    ?(max_candidates = 200_000) (case : Case.t) =
   let env = Conquer.Dirty_schema.of_dirty_db case.db in
   match Conquer.Rewritable.check env case.query with
   | Error vs -> Rejected vs
@@ -66,8 +95,9 @@ let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
         let legs =
           (1, false) :: List.map (fun j -> (j, true)) jobs
         in
+        let reference = ref None in
         let rec check_legs = function
-          | [] -> Agree { answers = Dirty.Relation.cardinality oracle }
+          | [] -> check_shards ()
           | (j, chunked) :: rest -> (
             let config =
               { Engine.Planner.default_config with jobs = j; chunked }
@@ -80,15 +110,67 @@ let run ?(jobs = default_jobs) ?(max_candidates = 200_000) (case : Case.t) =
             | exception e ->
               Error_during
                 {
-                  stage =
-                    Printf.sprintf "execute (jobs=%d, %s executor)" j
-                      (if chunked then "chunked" else "row");
+                  stage = Printf.sprintf "execute (%s)" (leg_label j chunked);
                   message = Printexc.to_string e;
                 }
             | answers -> (
+              if !reference = None then reference := Some answers;
               match Conquer.Oracle.compare_answers ~oracle answers with
               | Ok () -> check_legs rest
               | Error mismatch -> Mismatch { jobs = j; chunked; mismatch }))
+        (* the shards legs: scatter/gather across every shard count ×
+           (jobs, executor) combination must agree with the oracle and
+           be bit-identical (eps 0 — the dbgen grid keeps float sums
+           exact under re-association across shards) to the unsharded
+           answers of the first leg *)
+        and check_shards () =
+          let unsharded = Option.get !reference in
+          let shard_legs =
+            List.concat_map
+              (fun s ->
+                List.map (fun (j, chunked) -> (s, j, chunked)) legs)
+              shards
+          in
+          let rec go = function
+            | [] -> Agree { answers = Dirty.Relation.cardinality oracle }
+            | (s, j, chunked) :: rest -> (
+              let config =
+                { Engine.Planner.default_config with jobs = j; chunked }
+              in
+              match
+                let sharded = Conquer.Clean.create ~shards:s case.db in
+                Conquer.Clean.answers_ast_within ~config sharded rewritten
+              with
+              | exception e ->
+                S_error
+                  {
+                    shards = s;
+                    jobs = j;
+                    chunked;
+                    message = Printexc.to_string e;
+                  }
+              | answers, _stop -> (
+                match Conquer.Oracle.compare_answers ~oracle answers with
+                | Error mismatch ->
+                  S_mismatch
+                    { shards = s; jobs = j; chunked; vs_oracle = true; mismatch }
+                | Ok () -> (
+                  match
+                    Conquer.Oracle.compare_answers ~eps:0.0 ~oracle:unsharded
+                      answers
+                  with
+                  | Error mismatch ->
+                    S_mismatch
+                      {
+                        shards = s;
+                        jobs = j;
+                        chunked;
+                        vs_oracle = false;
+                        mismatch;
+                      }
+                  | Ok () -> go rest)))
+          in
+          go shard_legs
         in
         check_legs legs))
 

@@ -61,6 +61,7 @@ type config = {
   max_deadline : float;
   default_budget_rows : int option;
   jobs : int;
+  shards : int;
   cache_capacity : int;
   breaker_threshold : int;
   compact_every : int;
@@ -83,6 +84,7 @@ let default_config =
     max_deadline = 60.0;
     default_budget_rows = None;
     jobs = 1;
+    shards = 1;
     cache_capacity = 256;
     breaker_threshold = 3;
     compact_every = 16;
@@ -201,12 +203,19 @@ let error_body detail =
 
 (* ---- construction ---- *)
 
+(* every snapshot swap rebuilds the session the same way: sharded
+   when the daemon was configured with [--shards N] (N > 1) *)
+let clean_session (cfg : config) db =
+  Conquer.Clean.create
+    ?shards:(if cfg.shards > 1 then Some cfg.shards else None)
+    db
+
 let create ?(config = default_config) ~dir () =
   Telemetry.Control.enable ();
   let recovered = Dirty.Store.recover dir in
   let db = Dirty.Store.load dir in
   let generation = Dirty.Store.generation dir in
-  let session = Conquer.Clean.create db in
+  let session = clean_session config db in
   let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.setsockopt listen_fd SO_REUSEADDR true;
   (try
@@ -285,7 +294,7 @@ let ensure_session_locked t =
             if attempts <= 1 then raise Generation_unstable
             else probe_and_load (attempts - 1)
           else begin
-            let s = Conquer.Clean.create db in
+            let s = clean_session t.cfg db in
             t.session <- Some (generation, s);
             Cache.clear t.prepared;
             let live_suffix = Printf.sprintf "|g%d" generation in
@@ -342,7 +351,7 @@ let apply_update t batch =
             (Printf.sprintf "store unavailable: %s" (Printexc.to_string e)))
       | generation ->
         Breaker.success t.breaker;
-        t.session <- Some (generation, Conquer.Clean.create outcome.Dirty.Delta.db);
+        t.session <- Some (generation, clean_session t.cfg outcome.Dirty.Delta.db);
         Cache.clear t.prepared;
         let live_suffix = Printf.sprintf "|g%d" generation in
         Cache.drop t.results (fun k ->
@@ -548,9 +557,7 @@ let handle_query t ctx ~trace_id job req =
               max_elapsed = Some remaining;
             }
           in
-          Engine.Database.query_ast_within ~config ~cancel:token
-            (Conquer.Clean.engine session)
-            ast)
+          Conquer.Clean.answers_ast_within ~config ~cancel:token session ast)
     in
     ctx.cx_exec <- Unix.gettimeofday () -. t_exec;
     let truncated = stop.Engine.Database.truncated in

@@ -91,6 +91,12 @@ type config = {
   max_deadline : float;  (** ceiling clamped onto client deadlines *)
   default_budget_rows : int option;  (** row budget when none given *)
   jobs : int;  (** engine domains per query; 1 = serial execution *)
+  shards : int;
+      (** cluster-hash shards the store is partitioned into at session
+          load ([--shards]); shardable queries scatter across them and
+          gather ({!Engine.Shard}), the rest run unsharded.  [1] (the
+          default) disables sharding.  Answers are bag-identical
+          whatever the value. *)
   cache_capacity : int;  (** result-cache entries; 0 disables *)
   breaker_threshold : int;  (** store failures before tripping open *)
   compact_every : int;

@@ -1,0 +1,3 @@
+SELECT r1.id, r0.v0
+FROM t1 r1, t0 r0
+WHERE r1.fkt0 = r0.id

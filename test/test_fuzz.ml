@@ -21,9 +21,14 @@ let total_rows db =
 
 let prop_differential =
   QCheck.Test.make ~count:300
-    ~name:"rewriting agrees with the oracle (jobs 1 and 4)" case_arb
+    ~name:
+      "rewriting agrees with the oracle (jobs 1 and 4; shards 1, 2 and 4 \
+       bit-identical to unsharded)"
+    case_arb
     (fun case ->
-      let outcome = Fuzz.Differential.run ~jobs:[ 1; 4 ] case in
+      let outcome =
+        Fuzz.Differential.run ~jobs:[ 1; 4 ] ~shards:[ 1; 2; 4 ] case
+      in
       if Fuzz.Differential.failing outcome then
         QCheck.Test.fail_report (Fuzz.Differential.to_string outcome)
       else true)
@@ -172,7 +177,7 @@ let corpus_dir =
 let test_corpus_replay () =
   let dir = corpus_dir in
   let names = Fuzz.Corpus.names dir in
-  Alcotest.(check bool) "seed corpus present" true (List.length names >= 6);
+  Alcotest.(check bool) "seed corpus present" true (List.length names >= 8);
   let outcomes =
     List.map
       (fun name -> (name, Fuzz.Differential.run (Fuzz.Corpus.load ~dir ~name)))
@@ -207,7 +212,14 @@ let test_corpus_classification () =
   check "fk-tree" true;
   check "selfjoin" false;
   check "cycle" false;
-  check "dropped-root" false
+  check "dropped-root" false;
+  (* the two shard pins: a rewritten answer group whose clusters land
+     on different shards (cross-shard merge), and an aggregate whose
+     clusters all land on shard 0 (one-sided merge over empty
+     partials) — both must stay rewritable for the shards legs of the
+     replay above to exercise the merge *)
+  check "shard-split-group" true;
+  check "shard-one-sided" true
 
 (* ---- pinned update edge cases ----
 
